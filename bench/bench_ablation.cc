@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Ablations of the design choices the paper calls out:
+ *
+ *  (a) call emulation vs runtime RA translation on exception-heavy
+ *      workloads (§2.3/§6: "we observe over 30% of runtime overhead
+ *      by just emulating function calls");
+ *  (b) trampoline placement analysis on/off (CFL-only + superblocks
+ *      vs per-block);
+ *  (c) multi-hop trampolines on/off (trap counts under range
+ *      pressure).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/builder.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "harness/experiment.hh"
+#include "sim/loader.hh"
+#include "rewrite/rewriter.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace icp;
+
+namespace
+{
+
+/** A call-heavy, exception-using workload. */
+ProgramSpec
+callHeavySpec()
+{
+    auto suite = specCpuSuite(Arch::x64, false);
+    ProgramSpec spec = suite[6]; // 620.omnetpp-like (C++)
+    // Crank call density: every hub loops over its calls. Cap
+    // indirect calls at one so the sp-based CallIndMem variant (the
+    // separate Dyninst-10.2 bug) stays out of this measurement.
+    for (auto &fs : spec.funcs) {
+        if (!fs.callees.empty() && fs.loopIters == 0)
+            fs.loopIters = 8;
+        fs.computeOps = std::min(fs.computeOps, 4u);
+        fs.indirectCalls = std::min(fs.indirectCalls, 1u);
+    }
+    return spec;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Machine::Config mc{};
+
+    std::printf("Ablation (a): call emulation vs runtime RA "
+                "translation (call-heavy C++ workload)\n\n");
+    {
+        const BinaryImage img = compileProgram(callHeavySpec());
+        TextTable table({"Unwinding support", "Overhead",
+                         "CFL blocks", "RA map entries"});
+        for (bool ra : {false, true}) {
+            RewriteOptions opts;
+            opts.mode = RewriteMode::jt;
+            opts.raTranslation = ra;
+            const ToolRun run =
+                runBlockLevelExperiment(img, opts, mc);
+            table.addRow({ra ? "RA translation (§6)"
+                             : "call emulation",
+                          run.pass ? formatPercent(run.overhead)
+                                   : "FAILED: " + run.failReason,
+                          std::to_string(run.stats.cflBlocks),
+                          std::to_string(run.stats.raMapEntries)});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("Paper: call emulation alone costs over 30%% on "
+                    "call-heavy code; RA translation\nremoves call "
+                    "fall-through CFL blocks and the emulation "
+                    "sequences.\n\n");
+    }
+
+    std::printf("Ablation (b): trampoline placement analysis "
+                "(x86-64 suite, dir mode)\n\n");
+    {
+        TextTable table({"Placement", "Ovh mean", "Ovh max",
+                         "Trampolines", "Traps"});
+        for (bool placement : {false, true}) {
+            SampleStats ovh;
+            std::uint64_t tramps = 0, traps = 0;
+            for (const auto &spec : specCpuSuite(Arch::x64, false)) {
+                const BinaryImage img = compileProgram(spec);
+                RewriteOptions opts;
+                opts.mode = RewriteMode::dir;
+                opts.trampolinePlacement = placement;
+                const ToolRun run =
+                    runBlockLevelExperiment(img, opts, mc);
+                if (!run.pass)
+                    continue;
+                ovh.add(run.overhead);
+                tramps += run.stats.trampolines;
+                traps += run.stats.trapTramps;
+            }
+            table.addRow({placement ? "CFL blocks + superblocks (§4)"
+                                    : "every basic block",
+                          formatPercent(ovh.mean()),
+                          formatPercent(ovh.max()),
+                          std::to_string(tramps),
+                          std::to_string(traps)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    std::printf("Ablation (c): multi-hop trampolines under range "
+                "pressure (ppc64le, 40 MB data)\n\n");
+    {
+        const auto suite = specCpuSuite(Arch::ppc64le, false);
+        const BinaryImage img = compileProgram(suite[1]); // big gcc
+        TextTable table({"Multi-hop", "Result", "Overhead",
+                         "Multi-hops", "Traps"});
+        for (bool hops : {false, true}) {
+            RewriteOptions opts;
+            opts.mode = RewriteMode::dir;
+            opts.multiHop = hops;
+            const ToolRun run =
+                runBlockLevelExperiment(img, opts, mc);
+            table.addRow({hops ? "on" : "off",
+                          run.pass ? "pass" : "fail",
+                          run.pass ? formatPercent(run.overhead)
+                                   : "-",
+                          std::to_string(run.stats.multiHopTramps),
+                          std::to_string(run.stats.trapTramps)});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("The .instr section sits beyond the ±32 MB "
+                    "branch range; without chaining\nthrough scratch "
+                    "space every out-of-range CFL block needs a trap "
+                    "(§7).\n");
+    }
+
+    std::printf("\nAblation (d): RA translation under frdwarf-style "
+                "compiled unwinding (§2.3)\n\n");
+    {
+        const BinaryImage img = compileProgram(callHeavySpec());
+        TextTable table({"Unwinder", "Result", "Overhead",
+                         "Unwind steps"});
+        for (bool compiled : {false, true}) {
+            Machine::Config unw = mc;
+            unw.compiledUnwinding = compiled;
+            RewriteOptions opts;
+            opts.mode = RewriteMode::jt;
+            const ToolRun run =
+                runBlockLevelExperiment(img, opts, unw);
+            table.addRow({compiled ? "compiled (frdwarf-style)"
+                                   : "DWARF recipe interpretation",
+                          run.pass ? "pass" : "fail",
+                          run.pass ? formatPercent(run.overhead)
+                                   : "-",
+                          std::to_string(
+                              run.rewrittenRun.unwindSteps)});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("Runtime RA translation composes with non-DWARF "
+                    "unwinders unchanged — the\nmapping is looked up "
+                    "before the recipe, however the recipe is "
+                    "executed.\nDWARF-rewriting approaches (BOLT) "
+                    "cannot target such unwinders (§2.3).\nNote the "
+                    "relative overhead rises slightly: with ~10x "
+                    "cheaper frame steps the\ntranslation lookup is "
+                    "no longer negligible against the unwinder, "
+                    "though it\nremains a small constant per "
+                    "frame.\n");
+    }
+
+    std::printf("\nAblation (e): selective instrumentation with "
+                "reachability-pruned placement (S4.2)\n\n");
+    {
+        const BinaryImage img =
+            compileProgram(specCpuSuite(Arch::x64, false)[0]);
+        // Instrument two blocks of one hub function.
+        const CfgModule cfg = buildCfg(img, AnalysisOptions{});
+        std::set<Addr> chosen;
+        for (const auto &[entry, func] : cfg.functions) {
+            if (func.name != "600.perlbench_h1")
+                continue;
+            for (const auto &[start, block] : func.blocks) {
+                chosen.insert(start);
+                if (chosen.size() >= 2)
+                    break;
+            }
+        }
+
+        auto golden_proc = loadImage(img);
+        Machine golden(*golden_proc, mc);
+        const RunResult g = golden.run();
+
+        TextTable table({"Placement", "Trampolines", "Overhead"});
+        for (bool pruning : {false, true}) {
+            RewriteOptions opts;
+            opts.mode = RewriteMode::jt;
+            opts.instrumentation.countBlocks = true;
+            opts.instrumentation.onlyBlocks = chosen;
+            opts.reachabilityPruning = pruning;
+            const RewriteResult rw = rewriteBinary(img, opts);
+            auto proc = loadImage(rw.image);
+            RuntimeLib rt(proc->module);
+            Machine machine(*proc, mc);
+            machine.attachRuntimeLib(&rt);
+            const RunResult r = machine.run();
+            table.addRow(
+                {pruning ? "CFL blocks reaching instrumentation"
+                         : "all CFL blocks",
+                 std::to_string(rw.stats.trampolines),
+                 r.halted ? formatPercent(
+                                static_cast<double>(r.cycles) /
+                                    static_cast<double>(g.cycles) -
+                                1.0)
+                          : "fail"});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("With two instrumented blocks, pruning keeps "
+                    "only the trampolines on paths\nthat can reach "
+                    "them (S4.2's suggested refinement).\n");
+    }
+    return 0;
+}

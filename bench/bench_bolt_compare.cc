@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Reproduces the BOLT comparison (§8.3): two code reorderings over
+ * the SPEC-like suite on x86-64 — (1) reverse all functions keeping
+ * block order, (2) reverse all blocks keeping function order — done
+ * by the BOLT-like optimizer and by our rewriter. Expected shape:
+ * BOLT refuses function reordering without link-time relocations
+ * (even for PIE); block reordering corrupts 10 of 19 binaries; our
+ * rewriter performs both reorderings on all 19.
+ */
+
+#include <cstdio>
+
+#include "baselines/boltlike.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "harness/verify.hh"
+#include "rewrite/rewriter.hh"
+#include "sim/loader.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace icp;
+
+namespace
+{
+
+bool
+runsCorrectly(const BinaryImage &original, const BinaryImage &image)
+{
+    auto gp = loadImage(original);
+    Machine gm(*gp, Machine::Config{});
+    const RunResult g = gm.run();
+    if (!g.halted)
+        return false;
+    if (image.entry == 0)
+        return false; // corrupted (.interp analog)
+    auto proc = loadImage(image);
+    RuntimeLib rt(proc->module);
+    Machine machine(*proc, Machine::Config{});
+    machine.attachRuntimeLib(&rt);
+    const RunResult r = machine.run();
+    return r.halted && r.checksum == g.checksum;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("BOLT comparison (§8.3): function and block "
+                "reordering, x86-64 SPEC-like suite\n\n");
+
+    unsigned bolt_fn_refused = 0, bolt_fn_refused_pie = 0;
+    unsigned bolt_blk_ok = 0, bolt_blk_corrupt = 0;
+    unsigned ours_fn_ok = 0, ours_blk_ok = 0;
+    SampleStats bolt_size;
+
+    const auto suite = specCpuSuite(Arch::x64, false);
+    for (const auto &spec : suite) {
+        const BinaryImage img = compileProgram(spec);
+
+        // (1) Function reordering: BOLT needs link-time relocs,
+        // which the default build (no -Wl,-q) lacks — and a PIE's
+        // runtime relocations do not help.
+        if (!boltRewrite(img, BoltOperation::reorderFunctions).ok)
+            ++bolt_fn_refused;
+        ProgramSpec pie_spec = spec;
+        pie_spec.pie = true;
+        if (!boltRewrite(compileProgram(pie_spec),
+                         BoltOperation::reorderFunctions).ok)
+            ++bolt_fn_refused_pie;
+
+        // BOLT with -Wl,-q succeeds structurally (not the paper's
+        // configuration; included for completeness).
+        // (2) Block reordering: works for 9, corrupts 10.
+        ProgramSpec relocs_spec = spec;
+        relocs_spec.emitLinkRelocs = true;
+        const BinaryImage img_q = compileProgram(relocs_spec);
+        const BoltOutcome blk =
+            boltRewrite(img_q, BoltOperation::reorderBlocks);
+        if (blk.ok && !blk.corrupted &&
+            runsCorrectly(img_q, blk.image)) {
+            ++bolt_blk_ok;
+            bolt_size.add(blk.sizeIncrease(img_q));
+        } else {
+            ++bolt_blk_corrupt;
+        }
+
+        // Our rewriter does both on stock binaries.
+        {
+            RewriteOptions fn;
+            fn.mode = RewriteMode::jt;
+            fn.functionOrder = OrderPolicy::reversed;
+            fn.clobberOriginal = true;
+            const RewriteResult rw = rewriteBinary(img, fn);
+            if (rw.ok && runsCorrectly(img, rw.image))
+                ++ours_fn_ok;
+        }
+        {
+            RewriteOptions blk_opts;
+            blk_opts.mode = RewriteMode::jt;
+            blk_opts.blockOrder = OrderPolicy::reversed;
+            blk_opts.clobberOriginal = true;
+            const RewriteResult rw = rewriteBinary(img, blk_opts);
+            if (rw.ok && runsCorrectly(img, rw.image))
+                ++ours_blk_ok;
+        }
+    }
+
+    TextTable table({"Experiment", "BOLT", "Our work"});
+    table.addRow({"(1) reverse functions",
+                  std::to_string(19 - bolt_fn_refused) +
+                      "/19 (refused without -Wl,-q; PIE also "
+                      "refused: " +
+                      std::to_string(bolt_fn_refused_pie) + "/19)",
+                  std::to_string(ours_fn_ok) + "/19"});
+    table.addRow({"(2) reverse blocks",
+                  std::to_string(bolt_blk_ok) + "/19 (" +
+                      std::to_string(bolt_blk_corrupt) +
+                      " corrupted)",
+                  std::to_string(ours_blk_ok) + "/19"});
+    table.addRow({"BOLT size overhead (passing)",
+                  bolt_size.empty()
+                      ? "-"
+                      : formatPercent(bolt_size.mean()) + " mean, " +
+                            formatPercent(bolt_size.max()) + " max",
+                  "-"});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper: BOLT refuses function reordering without "
+                "link-time relocations\n(even for PIE); block "
+                "reordering succeeded for 9/19 and corrupted 10;\n"
+                "BOLT size overhead 11%% mean / 33%% max; our work "
+                "handles 19/19 for both.\n");
+    return 0;
+}

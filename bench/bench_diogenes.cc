@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reproduces the Diogenes case study (§9): partial instrumentation
+ * of a libcuda.so analog — only the driver-API functions and their
+ * dispatch helpers are instrumented (700 of 12644 in the paper) to
+ * locate the hidden synchronization function. Mainstream Dyninst
+ * places per-block trampolines with no scratch-space chaining, so
+ * the driver's dense tiny dispatch blocks become trap trampolines;
+ * our placement + jump-table cloning eliminates them. The paper
+ * reports the instrumentation test dropping from 30 minutes to 30
+ * seconds (~60x).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/srbi.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "harness/verify.hh"
+#include "rewrite/rewriter.hh"
+#include "sim/loader.hh"
+#include "support/table.hh"
+
+using namespace icp;
+
+namespace
+{
+
+RunResult
+runImage(const BinaryImage &img)
+{
+    auto proc = loadImage(img);
+    RuntimeLib rt(proc->module);
+    Machine machine(*proc, Machine::Config{});
+    machine.attachRuntimeLib(&rt);
+    return machine.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Diogenes case study (§9): partial instrumentation "
+                "of the libcuda.so analog\n\n");
+    const BinaryImage img = compileProgram(libcudaProfile());
+    const unsigned total =
+        static_cast<unsigned>(img.functionSymbols().size());
+
+    // The Diogenes subset: public driver APIs plus the dispatch
+    // helpers on their call paths.
+    std::set<std::string> subset;
+    for (const Symbol *sym : img.functionSymbols()) {
+        if (sym->name.rfind("cu_api", 0) == 0)
+            subset.insert(sym->name);
+        else if (sym->name.rfind("cu_f", 0) == 0) {
+            const unsigned idx = static_cast<unsigned>(
+                std::stoul(sym->name.substr(4)));
+            if (idx < 170)
+                subset.insert(sym->name);
+        }
+    }
+    std::printf("instrumenting %zu of %u functions\n\n",
+                subset.size(), total);
+
+    auto golden_proc = loadImage(img);
+    Machine golden(*golden_proc, Machine::Config{});
+    const RunResult golden_run = golden.run();
+
+    // Mainstream Dyninst: per-block trampolines, no multi-hop.
+    RewriteOptions mainstream = srbiOptions();
+    mainstream.onlyFunctions = subset;
+    mainstream.instrumentation.countFunctionEntries = true;
+    const RewriteResult main_rw = rewriteBinary(img, mainstream);
+
+    // Ours: jt mode with trampoline placement analysis.
+    RewriteOptions ours;
+    ours.mode = RewriteMode::jt;
+    ours.onlyFunctions = subset;
+    ours.instrumentation.countFunctionEntries = true;
+    const RewriteResult ours_rw = rewriteBinary(img, ours);
+
+    const RunResult main_run = runImage(main_rw.image);
+    const RunResult ours_run = runImage(ours_rw.image);
+
+    TextTable table({"Tool", "Trap tramps", "Run traps",
+                     "Instr test cycles", "vs golden"});
+    auto pct = [&](const RunResult &r) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2fx",
+                      static_cast<double>(r.cycles) /
+                          static_cast<double>(golden_run.cycles));
+        return std::string(buf);
+    };
+    table.addRow({"golden (uninstrumented)", "-", "-",
+                  std::to_string(golden_run.cycles), "1.00x"});
+    table.addRow({"mainstream Dyninst (per-block, no chaining)",
+                  std::to_string(main_rw.stats.trapTramps),
+                  std::to_string(main_run.traps),
+                  std::to_string(main_run.cycles), pct(main_run)});
+    table.addRow({"our approach (jt + placement analysis)",
+                  std::to_string(ours_rw.stats.trapTramps),
+                  std::to_string(ours_run.traps),
+                  std::to_string(ours_run.cycles), pct(ours_run)});
+    std::printf("%s\n", table.render().c_str());
+
+    const double speedup = static_cast<double>(main_run.cycles) /
+                           static_cast<double>(ours_run.cycles);
+    std::printf("Instrumentation test speedup: %.1fx "
+                "(paper: 30 minutes -> 30 seconds, ~60x,\n"
+                "attributed to the reduction of trap-based "
+                "trampolines)\n",
+                speedup);
+    std::printf("\nPartial instrumentation worked without touching "
+                "the other %zu functions\n(Egalito could not rewrite "
+                "the library at all: symbol versioning).\n",
+                total - subset.size());
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces the Docker experiment (§8.2): rewrite the Go-binary
+ * analog and exercise it under a command mix with GC stack walks
+ * through the binary's own runtime.findfunc/runtime.pcvalue.
+ * Expected shape: dir == jt (Go emits no jump tables), func-ptr
+ * fails (.vtab function tables), unwinding works only with RA
+ * translation, noticeably higher overhead than SPEC/libxul because
+ * function pointers cannot be rewritten, ~69% size increase,
+ * Egalito cannot rewrite Go at all.
+ */
+
+#include <cstdio>
+
+#include "baselines/irlower.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "harness/experiment.hh"
+#include "rewrite/rewriter.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace icp;
+
+int
+main()
+{
+    std::printf("Docker experiment: Go binary analog (§8.2)\n\n");
+    const BinaryImage img = compileProgram(dockerProfile());
+
+    // The 13-command mix: run the workload under several GC
+    // cadences, standing in for docker pull/run/exec/... commands
+    // with different allocation behaviour.
+    const std::vector<std::uint64_t> command_gc = {
+        16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+    };
+
+    TextTable table({"Mode", "Ovh mean", "Ovh max", "Coverage",
+                     "Size", "GC walks", "Result"});
+
+    for (RewriteMode mode : {RewriteMode::dir, RewriteMode::jt,
+                             RewriteMode::funcPtr}) {
+        RewriteOptions opts;
+        opts.mode = mode;
+        SampleStats overhead;
+        double coverage = 0, size = 0;
+        std::uint64_t walks = 0;
+        std::string fail;
+        for (std::uint64_t gc : command_gc) {
+            Machine::Config mc;
+            mc.goGcEveryCalls = gc;
+            const ToolRun run =
+                runBlockLevelExperiment(img, opts, mc);
+            if (!run.pass) {
+                fail = run.failReason;
+                break;
+            }
+            overhead.add(run.overhead);
+            coverage = run.coverage;
+            size = run.sizeIncrease;
+            walks += run.rewrittenRun.gcWalks;
+        }
+        if (!fail.empty() || overhead.empty()) {
+            table.addRow({rewriteModeName(mode), "-", "-", "-", "-",
+                          "-", "FAILED: " + fail});
+            continue;
+        }
+        table.addRow({rewriteModeName(mode),
+                      formatPercent(overhead.mean()),
+                      formatPercent(overhead.max()),
+                      formatPercent(coverage), formatPercent(size),
+                      std::to_string(walks), "pass (13 commands)"});
+    }
+
+    const RewriteResult egalito = irLowerRewrite(img, {});
+    table.addRow({"Egalito", "-", "-", "-", "-", "-",
+                  egalito.ok ? "unexpectedly ok"
+                             : "FAILED: " + egalito.failReason});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper: 100%% coverage; dir and jt identical (Go emits no "
+        "jump tables);\nfunc-ptr fails on Go's function tables; "
+        "6.98%% average / 16.27%% max\noverhead across 13 commands; "
+        "+69.28%% size; Egalito cannot rewrite Go.\n");
+    return 0;
+}

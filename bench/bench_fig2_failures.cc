@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Reproduces Figure 2's failure-mode analysis as a measurable
+ * experiment: inject each jump-table-analysis failure mode and show
+ * its effect on binary rewriting.
+ *
+ *   analysis reporting failure -> lower instrumentation coverage,
+ *                                 other functions unaffected;
+ *   over-approximation         -> extra (harmless) trampolines /
+ *                                 possible traps, correct execution;
+ *   under-approximation        -> missed trampolines, wrong
+ *                                 instrumentation caught by the
+ *                                 strong test.
+ */
+
+#include <cstdio>
+
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "harness/verify.hh"
+#include "rewrite/rewriter.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace icp;
+
+namespace
+{
+
+struct Row
+{
+    double coverage = 0;
+    std::uint64_t trampolines = 0;
+    std::uint64_t traps = 0;
+    bool correct = false;
+};
+
+Row
+runWithPlan(const BinaryImage &img, const JumpTableFailurePlan &plan,
+            RewriteMode mode)
+{
+    RewriteOptions opts;
+    opts.mode = mode;
+    opts.clobberOriginal = true;
+    opts.instrumentation.countFunctionEntries = true;
+    opts.analysis.inject = plan;
+
+    Row row;
+    const RewriteResult rw = rewriteBinary(img, opts);
+    if (!rw.ok)
+        return row;
+    row.coverage = rw.stats.coverage();
+    row.trampolines = rw.stats.trampolines;
+    row.traps = rw.stats.trapTramps;
+    const VerifyOutcome outcome =
+        verifyRewrite(img, rw, Machine::Config{});
+    row.correct = outcome.pass;
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 2: failure modes of binary analysis and "
+                "their impact on rewriting\n(switch-heavy workload, "
+                "x86-64, dir mode so table targets are CFL)\n\n");
+
+    // A switch-heavy benchmark so jump tables matter.
+    const auto suite = specCpuSuite(Arch::x64, false);
+    const BinaryImage img = compileProgram(suite[1]); // 602.gcc-like
+
+    TextTable table({"Injected failure", "Coverage", "Trampolines",
+                     "Traps", "Strong test"});
+
+    auto addRow = [&](const char *name, const Row &row) {
+        table.addRow({name, formatPercent(row.coverage),
+                      std::to_string(row.trampolines),
+                      std::to_string(row.traps),
+                      row.correct ? "PASS" : "FAIL (caught)"});
+    };
+
+    JumpTableFailurePlan none;
+    addRow("none (baseline)", runWithPlan(img, none,
+                                          RewriteMode::dir));
+
+    JumpTableFailurePlan fail;
+    fail.failProb = 0.5;
+    addRow("analysis reporting failure (50%)",
+           runWithPlan(img, fail, RewriteMode::dir));
+
+    JumpTableFailurePlan over;
+    over.overProb = 1.0;
+    over.overExtra = 6;
+    addRow("over-approximation (+6 entries)",
+           runWithPlan(img, over, RewriteMode::dir));
+
+    JumpTableFailurePlan under;
+    under.underProb = 1.0;
+    under.underCut = 3;
+    addRow("under-approximation (-3 entries)",
+           runWithPlan(img, under, RewriteMode::dir));
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Expected shape (S4.3): reporting failures only reduce "
+        "coverage; over-\napproximation adds harmless trampolines "
+        "and never breaks execution;\nunder-approximation loses "
+        "trampolines and is catastrophic — the strong\ntest "
+        "detects it.\n\n");
+
+    // Second panel: in jt mode, over-approximation must also be
+    // tolerated by jump-table cloning (garbage entries never read).
+    TextTable jt_table({"Injected failure (jt mode)", "Coverage",
+                        "Trampolines", "Traps", "Strong test"});
+    JumpTableFailurePlan over_jt;
+    over_jt.overProb = 1.0;
+    over_jt.overExtra = 6;
+    const Row jt_base = runWithPlan(img, none, RewriteMode::jt);
+    const Row jt_over = runWithPlan(img, over_jt, RewriteMode::jt);
+    jt_table.addRow({"none (baseline)", formatPercent(jt_base.coverage),
+                     std::to_string(jt_base.trampolines),
+                     std::to_string(jt_base.traps),
+                     jt_base.correct ? "PASS" : "FAIL"});
+    jt_table.addRow({"over-approximation (+6 entries)",
+                     formatPercent(jt_over.coverage),
+                     std::to_string(jt_over.trampolines),
+                     std::to_string(jt_over.traps),
+                     jt_over.correct ? "PASS" : "FAIL"});
+    std::printf("%s\n", jt_table.render().c_str());
+    std::printf("Cloned tables tolerate over-approximation because "
+                "the original table is\nleft unchanged and garbage "
+                "clone entries are never dereferenced (S5.1,\n"
+                "Failure 3).\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces the Firefox experiment (§8.2): rewrite the libxul.so
+ * analog (large C++/Rust shared library) and run the two browser
+ * workloads — a latency benchmark and a JetStream-like throughput
+ * score. The paper reports jt / func-ptr overheads of a few
+ * percent, a dir-mode runtime-library failure, 99.93% coverage,
+ * +82.8% size, and an Egalito failure on Rust metadata.
+ */
+
+#include <cstdio>
+
+#include "baselines/irlower.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "harness/experiment.hh"
+#include "rewrite/rewriter.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace icp;
+
+int
+main()
+{
+    std::printf("Firefox experiment: libxul.so analog (§8.2)\n\n");
+    const BinaryImage img = compileProgram(libxulProfile());
+    std::printf("libxul profile: %zu functions, loaded size %.1f "
+                "KiB, Rust metadata, symbol versioning\n\n",
+                img.functionSymbols().size(),
+                static_cast<double>(img.loadedSize()) / 1024.0);
+
+    TextTable table({"Mode", "Latency ovh", "Score change",
+                     "Coverage", "Size", "Result"});
+
+    const Machine::Config mc{};
+    for (RewriteMode mode : {RewriteMode::dir, RewriteMode::jt,
+                             RewriteMode::funcPtr}) {
+        RewriteOptions opts;
+        opts.mode = mode;
+        const ToolRun run = runBlockLevelExperiment(img, opts, mc);
+        if (!run.pass) {
+            table.addRow({rewriteModeName(mode), "-", "-",
+                          formatPercent(run.coverage), "-",
+                          "FAILED: " + run.failReason});
+            continue;
+        }
+        // The latency benchmark is responsiveness: overhead on the
+        // end-to-end cycles. The JetStream-like score is inverse
+        // runtime, so the score change is -overhead/(1+overhead).
+        const double score_change =
+            -run.overhead / (1.0 + run.overhead);
+        std::string result = "pass";
+        if (mode == RewriteMode::dir &&
+            run.rewrittenRun.traps > 0) {
+            // The paper's dir mode failed on a runtime-library bug
+            // handling trap trampolines in library destructors; our
+            // runtime library handles them, so we report the trap
+            // pressure that triggered it instead.
+            result = "pass (" +
+                     std::to_string(run.rewrittenRun.traps) +
+                     " traps; paper's dir run hit a runtime-library "
+                     "bug here)";
+        }
+        table.addRow({rewriteModeName(mode),
+                      formatPercent(run.overhead),
+                      formatPercent(score_change),
+                      formatPercent(run.coverage),
+                      formatPercent(run.sizeIncrease), result});
+    }
+
+    // Egalito: fails on Rust metadata.
+    const RewriteResult egalito = irLowerRewrite(img, {});
+    table.addRow({"Egalito", "-", "-", "-", "-",
+                  egalito.ok ? "unexpectedly ok"
+                             : "FAILED: " + egalito.failReason});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper: jt 3.07%% avg latency overhead, func-ptr "
+                "2.31%%; JetStream2 score\nreductions 2.08%% / "
+                "0.20%%; coverage 99.93%%; size +82.83%%; Egalito "
+                "segfaults\non Rust meta-data.\n");
+    return 0;
+}

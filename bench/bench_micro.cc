@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the infrastructure hot paths:
+ * codec encode/decode on each ISA, assembler finalization, RA-map
+ * lookup, i-cache access, simulator dispatch throughput, CFG
+ * construction, and full rewrite passes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/builder.hh"
+#include "binfmt/addr_map.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "rewrite/rewriter.hh"
+#include "sim/icache.hh"
+#include "sim/loader.hh"
+#include "sim/machine.hh"
+
+using namespace icp;
+
+namespace
+{
+
+void
+BM_CodecEncode(benchmark::State &state)
+{
+    const auto &arch =
+        ArchInfo::get(static_cast<Arch>(state.range(0)));
+    const Instruction in = makeAddImm(Reg::r4, 42);
+    std::vector<std::uint8_t> out;
+    for (auto _ : state) {
+        out.clear();
+        benchmark::DoNotOptimize(arch.codec->encode(in, 0x1000, out));
+    }
+}
+BENCHMARK(BM_CodecEncode)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_CodecDecode(benchmark::State &state)
+{
+    const auto &arch =
+        ArchInfo::get(static_cast<Arch>(state.range(0)));
+    std::vector<std::uint8_t> bytes;
+    arch.codec->encode(makeAddImm(Reg::r4, 42), 0x1000, bytes);
+    Instruction out;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(arch.codec->decode(
+            bytes.data(), bytes.size(), 0x1000, out));
+    }
+}
+BENCHMARK(BM_CodecDecode)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_AddrMapLookup(benchmark::State &state)
+{
+    std::vector<std::pair<Addr, Addr>> pairs;
+    for (Addr a = 0; a < 100000; ++a)
+        pairs.emplace_back(a * 16, a * 32);
+    const AddrPairMap map(std::move(pairs));
+    Addr key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.lookup(key));
+        key = (key + 4096) % (100000 * 16);
+    }
+}
+BENCHMARK(BM_AddrMapLookup);
+
+void
+BM_ICacheAccess(benchmark::State &state)
+{
+    ICache cache(ICache::Config{});
+    Addr pc = 0x400000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(pc));
+        pc += 48;
+        if (pc > 0x500000)
+            pc = 0x400000;
+    }
+}
+BENCHMARK(BM_ICacheAccess);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, false));
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        auto proc = loadImage(img);
+        Machine machine(*proc, Machine::Config{});
+        const RunResult r = machine.run();
+        instructions += r.instructions;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+void
+BM_BuildCfg(benchmark::State &state)
+{
+    const BinaryImage img =
+        compileProgram(specCpuSuite(Arch::x64, false)[1]);
+    for (auto _ : state) {
+        const CfgModule cfg = buildCfg(img, AnalysisOptions{});
+        benchmark::DoNotOptimize(cfg.totalFunctions());
+    }
+}
+BENCHMARK(BM_BuildCfg);
+
+void
+BM_FullRewrite(benchmark::State &state)
+{
+    const BinaryImage img =
+        compileProgram(specCpuSuite(Arch::x64, false)[1]);
+    RewriteOptions opts;
+    opts.mode = static_cast<RewriteMode>(state.range(0));
+    for (auto _ : state) {
+        const RewriteResult rw = rewriteBinary(img, opts);
+        benchmark::DoNotOptimize(rw.stats.trampolines);
+    }
+}
+BENCHMARK(BM_FullRewrite)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_CompileWorkload(benchmark::State &state)
+{
+    const auto suite = specCpuSuite(Arch::x64, false);
+    for (auto _ : state) {
+        const BinaryImage img = compileProgram(suite[0]);
+        benchmark::DoNotOptimize(img.loadedSize());
+    }
+}
+BENCHMARK(BM_CompileWorkload);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A profiling tool built on the public API: per-block execution
+ * counting on a SPEC-like benchmark (the classic Dyninst use case
+ * the paper's §10 discusses). Prints the hottest basic blocks with
+ * their owning functions, and the infrastructure overhead of the
+ * instrumented run.
+ *
+ * Usage: ./build/examples/block_counter [benchmark-index 0..18]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "rewrite/rewriter.hh"
+#include "sim/loader.hh"
+#include "sim/machine.hh"
+
+using namespace icp;
+
+int
+main(int argc, char **argv)
+{
+    const unsigned index =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 1;
+    const auto suite = specCpuSuite(Arch::x64, false);
+    if (index >= suite.size()) {
+        std::fprintf(stderr, "benchmark index out of range\n");
+        return 1;
+    }
+    const auto names = specCpuNames();
+    std::printf("profiling %s\n", names[index].c_str());
+    const BinaryImage img = compileProgram(suite[index]);
+
+    RewriteOptions options;
+    options.mode = RewriteMode::funcPtr; // lowest-overhead mode
+    options.instrumentation.countBlocks = true;
+    const RewriteResult rewritten = rewriteBinary(img, options);
+    if (!rewritten.ok) {
+        std::fprintf(stderr, "rewrite failed: %s\n",
+                     rewritten.failReason.c_str());
+        return 1;
+    }
+
+    auto golden_proc = loadImage(img);
+    Machine golden(*golden_proc, Machine::Config{});
+    const RunResult golden_run = golden.run();
+
+    auto proc = loadImage(rewritten.image);
+    RuntimeLib runtime(proc->module);
+    Machine machine(*proc, Machine::Config{});
+    machine.attachRuntimeLib(&runtime);
+    const RunResult run = machine.run();
+    if (!run.halted || run.checksum != golden_run.checksum) {
+        std::fprintf(stderr, "instrumented run diverged: %s\n",
+                     run.describe().c_str());
+        return 1;
+    }
+
+    // Rank blocks by execution count.
+    struct Hot
+    {
+        Addr block;
+        std::uint64_t count;
+    };
+    std::vector<Hot> hot;
+    for (const auto &[block, id] : rewritten.blockCounters) {
+        if (id < run.counters.size() && run.counters[id] > 0)
+            hot.push_back({block, run.counters[id]});
+    }
+    std::sort(hot.begin(), hot.end(),
+              [](const Hot &a, const Hot &b) {
+                  return a.count > b.count;
+              });
+
+    std::printf("\n%-12s %-28s %s\n", "block", "function", "count");
+    for (std::size_t i = 0; i < hot.size() && i < 10; ++i) {
+        const Symbol *owner = img.functionContaining(hot[i].block);
+        std::printf("0x%-10llx %-28s %llu\n",
+                    static_cast<unsigned long long>(hot[i].block),
+                    owner ? owner->name.c_str() : "?",
+                    static_cast<unsigned long long>(hot[i].count));
+    }
+    std::printf("\n%zu blocks executed; counting overhead %.2f%% "
+                "(counter increments dominate — see §10 on how tool "
+                "usage, not the\nrewriting infrastructure, drives "
+                "real-tool overhead)\n",
+                hot.size(),
+                (static_cast<double>(run.cycles) /
+                     static_cast<double>(golden_run.cycles) -
+                 1.0) * 100.0);
+    return 0;
+}

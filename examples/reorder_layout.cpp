@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Code-layout transformation (the §8.3 use case): reverse the
+ * function order and, separately, the basic-block order of a binary
+ * with the incremental-CFG-patching rewriter, then prove behaviour
+ * is unchanged. BOLT needs -Wl,-q link relocations for the first
+ * and corrupted half the suite on the second; the patching approach
+ * needs neither.
+ *
+ * Usage: ./build/examples/reorder_layout
+ */
+
+#include <cstdio>
+
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "rewrite/rewriter.hh"
+#include "sim/loader.hh"
+#include "sim/machine.hh"
+
+using namespace icp;
+
+namespace
+{
+
+RunResult
+run(const BinaryImage &img, bool with_runtime)
+{
+    auto proc = loadImage(img);
+    Machine machine(*proc, Machine::Config{});
+    RuntimeLib runtime(proc->module);
+    if (with_runtime)
+        machine.attachRuntimeLib(&runtime);
+    return machine.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    const BinaryImage img =
+        compileProgram(specCpuSuite(Arch::x64, false)[0]);
+    const RunResult golden = run(img, false);
+    std::printf("golden: %s\n", golden.describe().c_str());
+
+    for (const bool functions : {true, false}) {
+        RewriteOptions options;
+        options.mode = RewriteMode::jt;
+        options.clobberOriginal = true;
+        if (functions)
+            options.functionOrder = OrderPolicy::reversed;
+        else
+            options.blockOrder = OrderPolicy::reversed;
+
+        const RewriteResult rewritten = rewriteBinary(img, options);
+        if (!rewritten.ok) {
+            std::fprintf(stderr, "reorder failed: %s\n",
+                         rewritten.failReason.c_str());
+            return 1;
+        }
+        const RunResult result = run(rewritten.image, true);
+        const bool ok = result.halted &&
+                        result.checksum == golden.checksum;
+        std::printf("reversed %-9s -> %s (checksum %s)\n",
+                    functions ? "functions" : "blocks",
+                    result.describe().c_str(),
+                    ok ? "matches" : "MISMATCH");
+        if (!ok)
+            return 1;
+    }
+    std::printf("both layout permutations preserved behaviour — no "
+                "link-time relocations needed.\n");
+    return 0;
+}

@@ -1,0 +1,387 @@
+#include "analysis/builder.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/logging.hh"
+
+namespace icp
+{
+
+namespace
+{
+
+/** Per-function construction state. */
+class FunctionBuilder
+{
+  public:
+    FunctionBuilder(const BinaryImage &image,
+                    const AnalysisOptions &opts, const Symbol &sym,
+                    const std::vector<TryRange> &try_ranges)
+        : image_(image), opts_(opts), analyzer_(image, opts.inject)
+    {
+        func_.name = sym.name;
+        func_.entry = sym.addr;
+        func_.end = sym.addr + sym.size;
+        for (const auto &range : try_ranges)
+            func_.landingPads.insert(sym.addr + range.lpOff);
+    }
+
+    Function build();
+
+  private:
+    bool decodeAt(Addr addr, Instruction &in) const;
+    void traverseFrom(Addr addr);
+    void formBlocks();
+    void resolveIndirectJumps();
+    void classifyGaps();
+
+    bool
+    inFunction(Addr a) const
+    {
+        return a >= func_.entry && a < func_.end;
+    }
+
+    const BinaryImage &image_;
+    const AnalysisOptions &opts_;
+    JumpTableAnalyzer analyzer_;
+
+    Function func_;
+    std::map<Addr, Instruction> insns_;
+    std::set<Addr> leaders_;
+    std::deque<Addr> work_;
+
+    /** Ranges of embedded jump-table data (not code). */
+    std::vector<std::pair<Addr, Addr>> dataRanges_;
+
+    /** Unresolved indirect jumps (candidates for the heuristic). */
+    std::vector<Addr> unresolved_;
+};
+
+bool
+FunctionBuilder::decodeAt(Addr addr, Instruction &in) const
+{
+    const auto &arch = image_.archInfo();
+    std::vector<std::uint8_t> bytes;
+    const std::size_t want = std::min<std::uint64_t>(
+        arch.maxInstrLen, func_.end - addr);
+    if (want == 0 || !image_.readBytes(addr, want, bytes))
+        return false;
+    return arch.codec->decode(bytes.data(), bytes.size(), addr, in);
+}
+
+void
+FunctionBuilder::traverseFrom(Addr start)
+{
+    if (!inFunction(start) || insns_.count(start))
+        return;
+    if (start % image_.archInfo().instrAlign != 0)
+        return;
+    Addr cur = start;
+    while (inFunction(cur) && !insns_.count(cur)) {
+        Instruction in;
+        if (!decodeAt(cur, in)) {
+            // Undecodable byte: stop this run; the gap classifier
+            // will see it.
+            return;
+        }
+        insns_.emplace(cur, in);
+        const Addr next = cur + in.length;
+
+        if (isControlFlow(in.op)) {
+            switch (in.op) {
+              case Opcode::Jmp:
+                if (inFunction(in.target)) {
+                    leaders_.insert(in.target);
+                    work_.push_back(in.target);
+                }
+                // Targets outside are direct tail calls.
+                break;
+              case Opcode::JmpCond:
+                if (inFunction(in.target)) {
+                    leaders_.insert(in.target);
+                    work_.push_back(in.target);
+                }
+                leaders_.insert(next);
+                work_.push_back(next);
+                break;
+              case Opcode::Call:
+              case Opcode::CallInd:
+              case Opcode::CallIndMem:
+                leaders_.insert(next);
+                work_.push_back(next);
+                break;
+              default:
+                // Ret/Halt/Trap/Throw/JmpInd/JmpTar terminate runs.
+                break;
+            }
+            return;
+        }
+        cur = next;
+        if (leaders_.count(cur))
+            return;
+    }
+}
+
+void
+FunctionBuilder::formBlocks()
+{
+    func_.blocks.clear();
+    // Drop leaders that fall mid-instruction inside already decoded
+    // code (misaligned over-approximated edges are infeasible).
+    std::set<Addr> starts;
+    for (const auto &[a, in] : insns_)
+        starts.insert(a);
+    std::set<Addr> valid_leaders;
+    for (Addr l : leaders_) {
+        if (starts.count(l))
+            valid_leaders.insert(l);
+    }
+    valid_leaders.insert(func_.entry);
+
+    for (Addr start : valid_leaders) {
+        if (!insns_.count(start))
+            continue;
+        Block block;
+        block.start = start;
+        Addr cur = start;
+        while (true) {
+            auto it = insns_.find(cur);
+            if (it == insns_.end())
+                break;
+            const Instruction &in = it->second;
+            block.insns.push_back(in);
+            cur += in.length;
+            if (isControlFlow(in.op))
+                break;
+            if (valid_leaders.count(cur))
+                break;
+        }
+        block.end = cur;
+        if (block.insns.empty())
+            continue;
+
+        // Successor edges.
+        const Instruction &last = block.last();
+        const Addr next = block.end;
+        switch (last.op) {
+          case Opcode::Jmp:
+            if (inFunction(last.target))
+                block.succs.push_back({last.target, EdgeKind::taken});
+            else
+                block.endsFunction = true;
+            break;
+          case Opcode::JmpCond:
+            if (inFunction(last.target))
+                block.succs.push_back({last.target, EdgeKind::taken});
+            block.succs.push_back({next, EdgeKind::fallthrough});
+            break;
+          case Opcode::Call:
+            block.callTarget = last.target;
+            block.succs.push_back({next, EdgeKind::callFallthrough});
+            break;
+          case Opcode::CallInd:
+          case Opcode::CallIndMem:
+            block.succs.push_back({next, EdgeKind::callFallthrough});
+            break;
+          case Opcode::JmpInd:
+          case Opcode::JmpTar:
+            block.endsInUnresolvedIndirect = true; // refined later
+            break;
+          case Opcode::Ret:
+          case Opcode::Halt:
+          case Opcode::Trap:
+          case Opcode::Throw:
+            block.endsFunction = true;
+            break;
+          default:
+            if (!isControlFlow(last.op))
+                block.succs.push_back({next, EdgeKind::fallthrough});
+            break;
+        }
+        func_.blocks.emplace(block.start, std::move(block));
+    }
+}
+
+void
+FunctionBuilder::resolveIndirectJumps()
+{
+    // Iterate to a fixpoint: resolving a table discovers case
+    // blocks, which may contain further switches.
+    for (unsigned round = 0; round < 16; ++round) {
+        formBlocks();
+        unresolved_.clear();
+        bool discovered = false;
+        for (auto &[start, block] : func_.blocks) {
+            if (!block.endsInUnresolvedIndirect)
+                continue;
+            const Addr jump_addr = block.last().addr;
+            const bool known = std::any_of(
+                func_.jumpTables.begin(), func_.jumpTables.end(),
+                [&](const JumpTable &jt) {
+                    return jt.jumpAddr == jump_addr;
+                });
+            if (known)
+                continue;
+            if (!opts_.resolveJumpTables) {
+                unresolved_.push_back(jump_addr);
+                continue;
+            }
+            // Layout predecessor: the block ending exactly at this
+            // block's start with a fall-through edge.
+            const Block *pred = nullptr;
+            auto it = func_.blocks.find(start);
+            if (it != func_.blocks.begin()) {
+                const Block &before = std::prev(it)->second;
+                if (before.end == start)
+                    pred = &before;
+            }
+            auto jt = analyzer_.analyze(block, pred);
+            if (!jt) {
+                unresolved_.push_back(jump_addr);
+                continue;
+            }
+            if (jt->embeddedInCode) {
+                dataRanges_.emplace_back(
+                    jt->tableAddr,
+                    jt->tableAddr + std::uint64_t{jt->entryCount} *
+                                        jt->entrySize);
+            }
+            for (Addr t : jt->targets) {
+                if (!inFunction(t))
+                    continue;
+                if (t % image_.archInfo().instrAlign != 0)
+                    continue;
+                leaders_.insert(t);
+                work_.push_back(t);
+                discovered = true;
+            }
+            func_.jumpTables.push_back(std::move(*jt));
+        }
+        while (!work_.empty()) {
+            const Addr a = work_.front();
+            work_.pop_front();
+            traverseFrom(a);
+        }
+        if (!discovered && round > 0)
+            break;
+        if (!discovered && unresolved_.empty())
+            break;
+    }
+    formBlocks();
+
+    // Attach resolved jump-table successor edges.
+    for (auto &jt : func_.jumpTables) {
+        Block *block = func_.blockAt(jt.jumpAddr);
+        if (!block)
+            continue;
+        block->endsInUnresolvedIndirect = false;
+        for (Addr t : jt.targets) {
+            if (inFunction(t) && func_.blocks.count(t))
+                block->succs.push_back({t, EdgeKind::jumpTable});
+        }
+    }
+}
+
+void
+FunctionBuilder::classifyGaps()
+{
+    if (unresolved_.empty())
+        return;
+
+    if (!opts_.tailCallHeuristic) {
+        func_.failure = AnalysisFailure::jumpTableUnresolved;
+        return;
+    }
+
+    // Gap analysis (§5.1): decode the bytes not covered by blocks or
+    // embedded table data; nop-only gaps mean the unresolved jumps
+    // are indirect tail calls.
+    std::vector<std::pair<Addr, Addr>> covered;
+    for (const auto &[start, block] : func_.blocks)
+        covered.emplace_back(start, block.end);
+    for (const auto &range : dataRanges_)
+        covered.push_back(range);
+    std::sort(covered.begin(), covered.end());
+
+    Addr cursor = func_.entry;
+    bool gaps_real = false;
+    auto scanGap = [&](Addr lo, Addr hi) {
+        Addr a = lo;
+        while (a < hi) {
+            Instruction in;
+            if (!decodeAt(a, in) || in.op != Opcode::Nop) {
+                gaps_real = true;
+                return;
+            }
+            a += in.length;
+        }
+    };
+    for (const auto &[lo, hi] : covered) {
+        if (lo > cursor)
+            scanGap(cursor, std::min(lo, func_.end));
+        cursor = std::max(cursor, hi);
+        if (gaps_real || cursor >= func_.end)
+            break;
+    }
+    if (!gaps_real && cursor < func_.end)
+        scanGap(cursor, func_.end);
+
+    if (gaps_real) {
+        func_.failure = AnalysisFailure::gapsWithRealCode;
+    } else {
+        func_.indirectTailCalls = unresolved_;
+        for (Addr a : unresolved_) {
+            if (Block *block = func_.blockAt(a)) {
+                block->endsInUnresolvedIndirect = false;
+                block->endsFunction = true;
+            }
+        }
+    }
+}
+
+Function
+FunctionBuilder::build()
+{
+    leaders_.insert(func_.entry);
+    work_.push_back(func_.entry);
+    for (Addr lp : func_.landingPads) {
+        leaders_.insert(lp);
+        work_.push_back(lp);
+    }
+    while (!work_.empty()) {
+        const Addr a = work_.front();
+        work_.pop_front();
+        traverseFrom(a);
+    }
+    resolveIndirectJumps();
+    classifyGaps();
+    return func_;
+}
+
+} // namespace
+
+CfgModule
+buildCfg(const BinaryImage &image, const AnalysisOptions &opts)
+{
+    CfgModule mod;
+    mod.image = &image;
+
+    // Landing pads per function from .eh_frame.
+    std::map<Addr, std::vector<TryRange>> tries;
+    for (const auto &fde : image.fdeRecords()) {
+        if (!fde.tryRanges.empty())
+            tries[fde.start] = fde.tryRanges;
+    }
+
+    for (const Symbol *sym : image.functionSymbols()) {
+        auto it = tries.find(sym->addr);
+        static const std::vector<TryRange> none;
+        FunctionBuilder builder(image, opts, *sym,
+                                it == tries.end() ? none : it->second);
+        mod.functions.emplace(sym->addr, builder.build());
+    }
+    return mod;
+}
+
+} // namespace icp

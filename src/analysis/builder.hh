@@ -1,0 +1,40 @@
+/**
+ * @file
+ * CFG construction by recursive control-flow traversal from function
+ * symbols, with iterative jump-table resolution, landing-pad leaders
+ * from .eh_frame, and the gap-decoding indirect-tail-call heuristic
+ * of §5.1.
+ */
+
+#ifndef ICP_ANALYSIS_BUILDER_HH
+#define ICP_ANALYSIS_BUILDER_HH
+
+#include "analysis/cfg.hh"
+#include "analysis/jump_table.hh"
+
+namespace icp
+{
+
+struct AnalysisOptions
+{
+    /** Run jump-table analysis (all modeled tools do). */
+    bool resolveJumpTables = true;
+
+    /**
+     * Our gap-decoding heuristic: unresolved indirect jumps in a
+     * function whose address range has no non-nop gaps are treated
+     * as indirect tail calls instead of failing the function.
+     * Dyninst-10.2 / SRBI lacks it.
+     */
+    bool tailCallHeuristic = true;
+
+    JumpTableFailurePlan inject;
+};
+
+/** Build the module CFG for every function symbol in @p image. */
+CfgModule buildCfg(const BinaryImage &image,
+                   const AnalysisOptions &opts = AnalysisOptions{});
+
+} // namespace icp
+
+#endif // ICP_ANALYSIS_BUILDER_HH

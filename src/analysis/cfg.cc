@@ -1,0 +1,56 @@
+#include "analysis/cfg.hh"
+
+namespace icp
+{
+
+const Block *
+Function::blockAt(Addr a) const
+{
+    auto it = blocks.upper_bound(a);
+    if (it == blocks.begin())
+        return nullptr;
+    --it;
+    if (a < it->second.end)
+        return &it->second;
+    return nullptr;
+}
+
+Block *
+Function::blockAt(Addr a)
+{
+    return const_cast<Block *>(
+        static_cast<const Function *>(this)->blockAt(a));
+}
+
+std::set<Addr>
+Function::jumpTableTargets() const
+{
+    std::set<Addr> targets;
+    for (const auto &jt : jumpTables) {
+        for (Addr t : jt.targets) {
+            if (t >= entry && t < end)
+                targets.insert(t);
+        }
+    }
+    return targets;
+}
+
+unsigned
+CfgModule::instrumentableFunctions() const
+{
+    unsigned n = 0;
+    for (const auto &[addr, func] : functions) {
+        if (func.instrumentable())
+            ++n;
+    }
+    return n;
+}
+
+const Function *
+CfgModule::functionAt(Addr entry) const
+{
+    auto it = functions.find(entry);
+    return it == functions.end() ? nullptr : &it->second;
+}
+
+} // namespace icp

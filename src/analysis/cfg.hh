@@ -1,0 +1,152 @@
+/**
+ * @file
+ * CFG data structures produced by binary analysis and consumed by
+ * the rewriters: basic blocks with decoded instructions, typed
+ * edges, per-function jump-table results, and the failure states of
+ * Figure 2 (analysis reporting failure / over-approximation /
+ * under-approximation).
+ */
+
+#ifndef ICP_ANALYSIS_CFG_HH
+#define ICP_ANALYSIS_CFG_HH
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "binfmt/image.hh"
+#include "isa/instruction.hh"
+
+namespace icp
+{
+
+enum class EdgeKind : std::uint8_t
+{
+    fallthrough,
+    taken,          ///< direct branch target
+    callFallthrough,///< resume point after a call
+    jumpTable,      ///< resolved indirect-jump target
+};
+
+struct Edge
+{
+    Addr target;
+    EdgeKind kind;
+};
+
+/** A basic block: [start, end) with decoded instructions. */
+struct Block
+{
+    Addr start = 0;
+    Addr end = 0;
+    std::vector<Instruction> insns;
+
+    /** Intra-procedural successors. */
+    std::vector<Edge> succs;
+
+    /** Direct call target, if the block ends in a Call. */
+    std::optional<Addr> callTarget;
+
+    /** Block ends in an unresolved indirect jump (tail call?). */
+    bool endsInUnresolvedIndirect = false;
+
+    /** Block ends in Ret / Halt / tail jump leaving the function. */
+    bool endsFunction = false;
+
+    const Instruction &
+    last() const
+    {
+        return insns.back();
+    }
+
+    std::uint64_t size() const { return end - start; }
+};
+
+/** A resolved (or failed) jump table. */
+struct JumpTable
+{
+    Addr jumpAddr = 0;       ///< address of the indirect jump
+    Addr tableAddr = 0;      ///< first entry
+    unsigned entrySize = 4;
+    bool signedEntries = false;
+    unsigned shift = 0;      ///< scale applied to entries (a64: 2)
+
+    /** Entries are target-base-relative; absolute when empty. */
+    std::optional<Addr> base;
+
+    /**
+     * Instruction addresses that materialize the table base —
+     * the ones jump-table cloning overwrites to reference the clone.
+     */
+    std::vector<Addr> baseDefAddrs;
+
+    /** Address of the table-entry load instruction. */
+    Addr loadAddr = 0;
+
+    unsigned entryCount = 0;
+    std::vector<Addr> targets; ///< computed, in entry order
+
+    /** True when the table bytes live inside .text (ppc64le). */
+    bool embeddedInCode = false;
+};
+
+/** Why a function was marked uninstrumentable. */
+enum class AnalysisFailure : std::uint8_t
+{
+    none = 0,
+    jumpTableUnresolved, ///< couldn't find where a table starts (F1)
+    gapsWithRealCode,    ///< unresolved jump + non-nop gaps
+};
+
+struct Function
+{
+    std::string name;
+    Addr entry = 0;
+    Addr end = 0; ///< entry + symbol size
+
+    std::map<Addr, Block> blocks; ///< keyed by start
+
+    std::vector<JumpTable> jumpTables;
+
+    /** Unresolved indirect jumps classified as tail calls. */
+    std::vector<Addr> indirectTailCalls;
+
+    AnalysisFailure failure = AnalysisFailure::none;
+
+    /** Landing-pad block starts (from .eh_frame try ranges). */
+    std::set<Addr> landingPads;
+
+    bool instrumentable() const
+    {
+        return failure == AnalysisFailure::none;
+    }
+
+    const Block *blockAt(Addr a) const;
+    Block *blockAt(Addr a);
+
+    /** Blocks that are targets of resolved jump tables. */
+    std::set<Addr> jumpTableTargets() const;
+};
+
+/** Whole-module analysis result. */
+struct CfgModule
+{
+    const BinaryImage *image = nullptr;
+
+    std::map<Addr, Function> functions; ///< keyed by entry
+
+    /** Totals for coverage reporting. */
+    unsigned totalFunctions() const
+    {
+        return static_cast<unsigned>(functions.size());
+    }
+    unsigned instrumentableFunctions() const;
+
+    const Function *functionAt(Addr entry) const;
+};
+
+} // namespace icp
+
+#endif // ICP_ANALYSIS_CFG_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Function-pointer analysis (§5.2). Identifies function-pointer
+ * definition sites — relocation-backed data cells, absolute code
+ * immediates, and pc-relative address formation — and forward-slices
+ * loads of those cells to catch derived pointers like the
+ * entry-plus-one pattern of Listing 1.
+ *
+ * The safety requirement is precision: rewriting must update every
+ * definition or none, so the result carries the evidence needed for
+ * the rewriter to decide, and deliberately does not classify values
+ * that merely look like pointers after arithmetic (the Go .vtab
+ * case), reproducing the paper's func-ptr-mode failure on Go.
+ */
+
+#ifndef ICP_ANALYSIS_FUNCPTR_HH
+#define ICP_ANALYSIS_FUNCPTR_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace icp
+{
+
+struct FuncPtrDef
+{
+    enum class Kind : std::uint8_t
+    {
+        dataCell,   ///< 8-byte cell in a data section
+        codeImm,    ///< MovImm of a function address (non-PIE)
+        codePcRel,  ///< Lea / AdrPage+AddImm / AddisToc+AddImm pair
+    };
+
+    Kind kind = Kind::dataCell;
+
+    /** Cell address (dataCell) or first instruction (code kinds). */
+    Addr site = 0;
+
+    /** All instructions forming the value, for code kinds. */
+    std::vector<Addr> defAddrs;
+
+    /** The function whose entry the pointer references. */
+    Addr funcEntry = 0;
+
+    /**
+     * Extra displacement applied to the pointer before use, found by
+     * forward slicing (Listing 1's +1). The rewritten cell must make
+     * relocated(entry + delta) - delta the stored value.
+     */
+    std::int64_t delta = 0;
+
+    /** Backed by a relocation entry (rewrite via the reloc). */
+    bool hasReloc = false;
+};
+
+struct FuncPtrAnalysisResult
+{
+    std::vector<FuncPtrDef> defs;
+
+    /**
+     * Relocation-backed cells whose targets are not recognizable
+     * function addresses (e.g. Go .vtab obfuscated values). They are
+     * left unrewritten; if such a cell is in fact a pointer the
+     * func-ptr mode produces a broken binary — detected by the
+     * strong test, as in the paper's Docker experiment.
+     */
+    unsigned unclassifiedRelocs = 0;
+};
+
+/** Run the analysis over @p cfg. */
+FuncPtrAnalysisResult analyzeFuncPtrs(const CfgModule &cfg);
+
+} // namespace icp
+
+#endif // ICP_ANALYSIS_FUNCPTR_HH

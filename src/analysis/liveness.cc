@@ -1,0 +1,119 @@
+#include "analysis/liveness.hh"
+
+namespace icp
+{
+
+namespace
+{
+
+RegSet
+allRegs()
+{
+    RegSet set;
+    for (unsigned r = 0; r < num_regs; ++r)
+        set.add(static_cast<Reg>(r));
+    return set;
+}
+
+} // namespace
+
+RegSet
+LivenessResult::liveAtBlockStart(Addr block_start) const
+{
+    auto it = liveIn.find(block_start);
+    return it == liveIn.end() ? allRegs() : it->second;
+}
+
+Reg
+LivenessResult::deadRegAt(Addr block_start) const
+{
+    const RegSet live = liveAtBlockStart(block_start);
+    for (unsigned r = 0; r < num_gp_regs; ++r) {
+        const Reg reg = static_cast<Reg>(r);
+        if (!live.contains(reg))
+            return reg;
+    }
+    return Reg::none;
+}
+
+LivenessResult
+computeLiveness(const Function &func, const ArchInfo &arch)
+{
+    LivenessResult result;
+
+    // Block-local def/use summaries.
+    struct Summary
+    {
+        RegSet use; ///< read before any write
+        RegSet def; ///< written
+    };
+    // The synthetic ABI: r0 return value, r1 argument, r6/r8/r9
+    // callee-saved; everything else is clobbered by a call.
+    RegSet callerClobbered;
+    for (unsigned r = 0; r < num_gp_regs; ++r) {
+        const Reg reg = static_cast<Reg>(r);
+        if (reg != Reg::r6 && reg != Reg::r8 && reg != Reg::r9)
+            callerClobbered.add(reg);
+    }
+
+    std::map<Addr, Summary> summaries;
+    for (const auto &[start, block] : func.blocks) {
+        Summary s;
+        for (const auto &in : block.insns) {
+            RegSet reads = regsRead(in, arch);
+            if (isCall(in.op)) {
+                reads.add(Reg::r1);
+                reads.add(Reg::sp);
+            }
+            reads -= s.def;
+            s.use |= reads;
+            s.def |= regsWritten(in, arch);
+            if (isCall(in.op))
+                s.def |= callerClobbered;
+        }
+        summaries[start] = s;
+    }
+
+    // Live-out seed: blocks leaving the function (returns, tail
+    // calls, unresolved indirect flow) treat everything as live.
+    std::map<Addr, RegSet> liveOut;
+    auto outOf = [&](const Block &block) {
+        RegSet out;
+        if (block.endsFunction || block.endsInUnresolvedIndirect ||
+            block.succs.empty()) {
+            out = allRegs();
+        }
+        for (const auto &edge : block.succs) {
+            auto it = result.liveIn.find(edge.target);
+            if (it != result.liveIn.end())
+                out |= it->second;
+            else if (!func.blocks.count(edge.target))
+                out = allRegs();
+        }
+        return out;
+    };
+
+    // Fixpoint (reverse order helps convergence).
+    bool changed = true;
+    unsigned rounds = 0;
+    while (changed && rounds++ < 64) {
+        changed = false;
+        for (auto it = func.blocks.rbegin(); it != func.blocks.rend();
+             ++it) {
+            const Addr start = it->first;
+            const Block &block = it->second;
+            RegSet out = outOf(block);
+            RegSet in = out;
+            in -= summaries[start].def;
+            in |= summaries[start].use;
+            auto cur = result.liveIn.find(start);
+            if (cur == result.liveIn.end() || !(cur->second == in)) {
+                result.liveIn[start] = in;
+                changed = true;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace icp

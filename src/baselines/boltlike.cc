@@ -1,0 +1,88 @@
+#include "baselines/boltlike.hh"
+
+#include "analysis/builder.hh"
+#include "baselines/regen_util.hh"
+#include "rewrite/engine.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+BoltOutcome
+boltRewrite(const BinaryImage &input, BoltOperation op)
+{
+    BoltOutcome outcome;
+
+    if (op == BoltOperation::reorderFunctions &&
+        input.linkRelocs.empty()) {
+        // Emitted even for PIE/shared objects with runtime
+        // relocations present (§8.3).
+        outcome.error =
+            "BOLT-ERROR: function reordering only works when "
+            "relocations are enabled";
+        return outcome;
+    }
+
+    const CfgModule cfg = buildCfg(input, AnalysisOptions{});
+    std::set<Addr> all;
+    for (const auto &[entry, func] : cfg.functions) {
+        if (!func.instrumentable()) {
+            outcome.error = "cannot analyze " + func.name;
+            return outcome;
+        }
+        all.insert(entry);
+    }
+
+    const Section *text = input.findSection(SectionKind::text);
+    icp_assert(text, "no .text");
+
+    EngineConfig config;
+    config.mode = RewriteMode::funcPtr;
+    config.instrBase = input.highWaterMark(4096);
+    config.newRodataBase =
+        config.instrBase + text->memSize * 4 + 0x10000;
+    config.functionAlign = 16;
+    config.functionOrder = op == BoltOperation::reorderFunctions
+        ? OrderPolicy::reversed
+        : OrderPolicy::original;
+    config.blockOrder = op == BoltOperation::reorderBlocks
+        ? OrderPolicy::reversed
+        : OrderPolicy::original;
+
+    EngineResult engine = relocateFunctions(cfg, all, config);
+
+    BinaryImage out = input;
+    Section *old_text = out.findSection(SectionKind::text);
+    old_text->addr = config.instrBase;
+    old_text->bytes = engine.instrBytes;
+    old_text->memSize = old_text->bytes.size();
+    if (!engine.newRodataBytes.empty()) {
+        Section ro;
+        ro.name = ".newrodata";
+        ro.kind = SectionKind::newRodata;
+        ro.addr = config.newRodataBase;
+        ro.bytes = engine.newRodataBytes;
+        ro.memSize = ro.bytes.size();
+        out.addSection(std::move(ro));
+    }
+    rewriteRegeneratedFuncPtrs(out, *old_text, cfg, engine);
+
+    auto entry_it = engine.blockMap.find(input.entry);
+    icp_assert(entry_it != engine.blockMap.end(), "entry missing");
+    out.entry = entry_it->second;
+
+    outcome.ok = true;
+    outcome.image = std::move(out);
+
+    // The modeled metadata corruption (bad .interp): block
+    // reordering broke 10 of 19 SPEC binaries in the paper's run.
+    if (op == BoltOperation::reorderBlocks &&
+        (input.features.cppExceptions ||
+         input.features.fortranComponent)) {
+        outcome.corrupted = true;
+        outcome.image.entry = 0; // unloadable analog
+    }
+    return outcome;
+}
+
+} // namespace icp

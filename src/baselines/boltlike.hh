@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The BOLT-like binary optimizer baseline for the §8.3 comparison:
+ * function and basic-block reordering. Function reordering requires
+ * link-time relocations (the -Wl,-q analog) and refuses otherwise,
+ * even for PIE — exactly the behaviour the paper observed. Block
+ * reordering emits corrupted binaries for the workloads whose
+ * metadata the real tool mishandled (modeled on the paper's 10/19
+ * failures: binaries with C++ exceptions or Fortran components).
+ */
+
+#ifndef ICP_BASELINES_BOLTLIKE_HH
+#define ICP_BASELINES_BOLTLIKE_HH
+
+#include <string>
+
+#include "binfmt/image.hh"
+
+namespace icp
+{
+
+enum class BoltOperation : std::uint8_t
+{
+    reorderFunctions,
+    reorderBlocks,
+};
+
+struct BoltOutcome
+{
+    bool ok = false;        ///< a binary was produced
+    bool corrupted = false; ///< produced but unloadable/broken
+    std::string error;
+    BinaryImage image;
+
+    double
+    sizeIncrease(const BinaryImage &original) const
+    {
+        return static_cast<double>(image.loadedSize()) /
+                   static_cast<double>(original.loadedSize()) -
+               1.0;
+    }
+};
+
+BoltOutcome boltRewrite(const BinaryImage &input, BoltOperation op);
+
+} // namespace icp
+
+#endif // ICP_BASELINES_BOLTLIKE_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The instruction-patching baseline (E9Patch-like): no control flow
+ * is rewritten at all. Each instrumented block gets a trampoline to
+ * an out-of-line stub holding the instrumentation plus a copy of the
+ * block, and the stub branches straight back to the original next
+ * address — the ping-pong the paper measures at >100% overhead
+ * (§1, §2.2). Short-branch chaining through scratch space stands in
+ * for E9Patch's instruction-punning tactics.
+ *
+ * Consequences reproduced by construction rather than special cases:
+ * return addresses point into stubs, so C++ exceptions and Go
+ * unwinding break (Table 1's "NA" for stack unwinding), and the
+ * original code must stay intact (no strong-test clobbering).
+ */
+
+#ifndef ICP_BASELINES_INSTPATCH_HH
+#define ICP_BASELINES_INSTPATCH_HH
+
+#include "rewrite/options.hh"
+
+namespace icp
+{
+
+/**
+ * Patch every basic block of every analyzable function of @p input
+ * (x86-64 only, like the original tool). Never fails outright;
+ * runtime behaviour determines pass/fail.
+ */
+RewriteResult instPatchRewrite(const BinaryImage &input,
+                               const InstrumentationSpec &instrumentation);
+
+} // namespace icp
+
+#endif // ICP_BASELINES_INSTPATCH_HH

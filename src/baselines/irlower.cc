@@ -1,0 +1,125 @@
+#include "baselines/irlower.hh"
+
+#include "analysis/builder.hh"
+#include "baselines/regen_util.hh"
+#include "rewrite/engine.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+RewriteResult
+irLowerRewrite(const BinaryImage &input,
+               const InstrumentationSpec &instrumentation)
+{
+    RewriteResult result;
+
+    // The documented metadata limits of the IR-lowering tools.
+    if (!input.pie) {
+        result.failReason = "requires PIE (runtime relocations)";
+        return result;
+    }
+    if (input.features.cppExceptions) {
+        result.failReason = "C++ exceptions unsupported";
+        return result;
+    }
+    if (input.features.isGo) {
+        result.failReason = "Go metadata and stack unwinding "
+                            "unsupported";
+        return result;
+    }
+    if (input.features.rustMetadata) {
+        result.failReason = "Rust metadata unsupported";
+        return result;
+    }
+    if (input.features.symbolVersioning) {
+        result.failReason = "symbol versioning unsupported";
+        return result;
+    }
+
+    const CfgModule cfg = buildCfg(input, AnalysisOptions{});
+    result.stats.totalFunctions = cfg.totalFunctions();
+    result.stats.instrumentableFunctions =
+        cfg.instrumentableFunctions();
+    result.stats.originalLoadedSize = input.loadedSize();
+
+    // All-or-nothing: one unanalyzable function fails the binary.
+    std::set<Addr> all;
+    for (const auto &[entry, func] : cfg.functions) {
+        if (!func.instrumentable()) {
+            result.failReason =
+                "analysis failed for function " + func.name;
+            return result;
+        }
+        all.insert(entry);
+    }
+    result.stats.instrumentedFunctions =
+        static_cast<unsigned>(all.size());
+
+    BinaryImage out = input;
+    Section *old_text = out.findSection(SectionKind::text);
+    icp_assert(old_text, "no .text");
+
+    EngineConfig config;
+    config.mode = RewriteMode::funcPtr;
+    config.instrumentation = instrumentation;
+    config.instrBase = input.highWaterMark(4096);
+    config.newRodataBase = config.instrBase +
+                           old_text->memSize * 4 + 0x10000;
+    config.functionAlign = 4; // compacted layout (binary optimizer)
+
+    EngineResult engine = relocateFunctions(cfg, all, config);
+
+    // Remove the original code entirely; the regenerated code is
+    // the new .text.
+    old_text->addr = config.instrBase;
+    old_text->bytes = engine.instrBytes;
+    old_text->memSize = old_text->bytes.size();
+
+    if (!engine.newRodataBytes.empty()) {
+        Section ro;
+        ro.name = ".newrodata";
+        ro.kind = SectionKind::newRodata;
+        ro.addr = config.newRodataBase;
+        ro.bytes = engine.newRodataBytes;
+        ro.memSize = ro.bytes.size();
+        out.addSection(std::move(ro));
+    }
+
+    // Rewrite every function-pointer definition (the all-rewritten
+    // property that gives IR lowering its zero-overhead profile).
+    result.stats.rewrittenFuncPtrs =
+        rewriteRegeneratedFuncPtrs(out, *old_text, cfg, engine);
+
+    // Regenerate unwind records for the new layout (BOLT-style
+    // "update DWARF"; trivial here because the qualifying binaries
+    // have no try ranges).
+    std::vector<FdeRecord> new_fdes;
+    for (const auto &fde : input.fdeRecords()) {
+        auto start_it = engine.blockMap.find(fde.start);
+        if (start_it == engine.blockMap.end())
+            continue;
+        FdeRecord updated = fde;
+        updated.start = start_it->second;
+        // Conservative extent: up to the next function's start.
+        auto next = engine.blockMap.upper_bound(fde.end - 1);
+        updated.end = start_it->second + (fde.end - fde.start) * 4;
+        (void)next;
+        new_fdes.push_back(updated);
+    }
+    out.setFdeRecords(new_fdes);
+
+    // New entry point: the relocated main.
+    auto entry_it = engine.blockMap.find(input.entry);
+    icp_assert(entry_it != engine.blockMap.end(), "entry missing");
+    out.entry = entry_it->second;
+
+    result.stats.rewrittenLoadedSize = out.loadedSize();
+    result.blockCounters = engine.blockCounters;
+    result.entryCounters = engine.entryCounters;
+    result.image = std::move(out);
+    result.ok = true;
+    return result;
+}
+
+} // namespace icp

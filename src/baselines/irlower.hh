@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The IR-lowering baseline (Egalito/RetroWrite-like): lift the whole
+ * binary and regenerate a new one. Near-zero overhead when it works
+ * — all control flow rewritten, no trampolines, compacted layout —
+ * but "all-or-nothing": it requires PIE with runtime relocations and
+ * fails on the metadata its real counterparts document as
+ * unsupported (C++ exceptions, Go binaries, Rust metadata, symbol
+ * versioning) or on any analysis-failing function (§1, §8).
+ */
+
+#ifndef ICP_BASELINES_IRLOWER_HH
+#define ICP_BASELINES_IRLOWER_HH
+
+#include "rewrite/options.hh"
+
+namespace icp
+{
+
+/**
+ * Lift-and-regenerate @p input. On success the result image has a
+ * freshly emitted .text (original code removed), every reference
+ * rewritten, and regenerated unwind records.
+ */
+RewriteResult irLowerRewrite(const BinaryImage &input,
+                             const InstrumentationSpec &instrumentation);
+
+} // namespace icp
+
+#endif // ICP_BASELINES_IRLOWER_HH

@@ -1,0 +1,32 @@
+#include "baselines/srbi.hh"
+
+namespace icp
+{
+
+RewriteOptions
+srbiOptions()
+{
+    RewriteOptions opts;
+    opts.mode = RewriteMode::dir;
+    opts.trampolinePlacement = false; // trampoline at every block
+    opts.multiHop = false;            // short form or trap only
+    opts.raTranslation = false;       // call emulation
+    opts.analysis.tailCallHeuristic = false;
+    return opts;
+}
+
+std::optional<std::string>
+srbiRefuses(const BinaryImage &image)
+{
+    const bool fixed = image.archInfo().fixedLength;
+    if (image.features.cppExceptions && fixed) {
+        return "call emulation not implemented on " +
+               std::string(image.archInfo().name);
+    }
+    if (image.features.isGo) {
+        return "Go runtime stack unwinding unsupported";
+    }
+    return std::nullopt;
+}
+
+} // namespace icp

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The SRBI / Dyninst-10.2 baseline: per-block trampolines (no
+ * placement analysis, no multi-hop chaining), call emulation for
+ * stack unwinding, direct-control-flow-only rewriting, and no
+ * indirect-tail-call heuristic. Its documented engineering gaps are
+ * reproduced: call emulation is unimplemented on ppc64le/aarch64
+ * (C++-exception binaries fail outright there), and the x64
+ * emulation mishandles indirect calls through stack memory (§8.1).
+ */
+
+#ifndef ICP_BASELINES_SRBI_HH
+#define ICP_BASELINES_SRBI_HH
+
+#include <optional>
+
+#include "rewrite/options.hh"
+
+namespace icp
+{
+
+/** Rewrite options modeling SRBI / mainstream Dyninst-10.2. */
+RewriteOptions srbiOptions();
+
+/**
+ * Preflight check: nullopt when SRBI can attempt the binary, else
+ * the reason it refuses (the paper's "failed benchmarks").
+ */
+std::optional<std::string> srbiRefuses(const BinaryImage &image);
+
+/**
+ * Dyninst-10.2's signal-delivery bug (§8.1: "over 100%% runtime
+ * overhead for 602.sgcc after fixing signal delivery"): runs that
+ * lean this heavily on trap trampolines crashed in the runtime
+ * library and count as failures.
+ */
+inline constexpr std::uint64_t srbi_signal_bug_traps = 50000;
+
+inline bool
+srbiSignalBugTriggered(std::uint64_t traps)
+{
+    return traps > srbi_signal_bug_traps;
+}
+
+} // namespace icp
+
+#endif // ICP_BASELINES_SRBI_HH

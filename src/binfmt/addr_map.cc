@@ -1,0 +1,66 @@
+#include "binfmt/addr_map.hh"
+
+#include <algorithm>
+
+#include "isa/bytes.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+AddrPairMap::AddrPairMap(std::vector<std::pair<Addr, Addr>> pairs)
+    : pairs_(std::move(pairs))
+{
+    std::sort(pairs_.begin(), pairs_.end());
+    for (std::size_t i = 1; i < pairs_.size(); ++i) {
+        icp_assert(pairs_[i].first != pairs_[i - 1].first,
+                   "AddrPairMap: duplicate key 0x%llx",
+                   static_cast<unsigned long long>(pairs_[i].first));
+    }
+}
+
+std::optional<Addr>
+AddrPairMap::lookup(Addr key) const
+{
+    auto it = std::lower_bound(
+        pairs_.begin(), pairs_.end(), key,
+        [](const std::pair<Addr, Addr> &p, Addr k) {
+            return p.first < k;
+        });
+    if (it == pairs_.end() || it->first != key)
+        return std::nullopt;
+    return it->second;
+}
+
+std::vector<std::uint8_t>
+AddrPairMap::serialize() const
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, static_cast<std::uint32_t>(pairs_.size()));
+    for (const auto &[from, to] : pairs_) {
+        putU64(out, from);
+        putU64(out, to);
+    }
+    return out;
+}
+
+AddrPairMap
+AddrPairMap::parse(const std::vector<std::uint8_t> &bytes)
+{
+    icp_assert(bytes.size() >= 4, "addr map truncated");
+    const std::uint32_t count = getU32(bytes.data());
+    icp_assert(bytes.size() >= 4 + std::uint64_t{count} * 16,
+               "addr map truncated");
+    std::vector<std::pair<Addr, Addr>> pairs;
+    pairs.reserve(count);
+    std::size_t pos = 4;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const Addr from = getU64(bytes.data() + pos);
+        const Addr to = getU64(bytes.data() + pos + 8);
+        pairs.emplace_back(from, to);
+        pos += 16;
+    }
+    return AddrPairMap(std::move(pairs));
+}
+
+} // namespace icp

@@ -1,0 +1,106 @@
+#include "binfmt/ehframe.hh"
+
+#include <algorithm>
+
+#include "isa/bytes.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+std::optional<Offset>
+FdeRecord::landingPadFor(Offset off) const
+{
+    for (const auto &range : tryRanges) {
+        if (off >= range.startOff && off < range.endOff)
+            return range.lpOff;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::uint8_t>
+serializeEhFrame(const std::vector<FdeRecord> &fdes)
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, static_cast<std::uint32_t>(fdes.size()));
+    for (const auto &fde : fdes) {
+        putU64(out, fde.start);
+        putU64(out, fde.end);
+        putU32(out, fde.frameSize);
+        putU8(out, static_cast<std::uint8_t>(
+            (fde.raOnStack ? 1 : 0) |
+            (fde.savesCalleeSaved ? 2 : 0)));
+        putU32(out, static_cast<std::uint32_t>(fde.raOffset));
+        putU32(out, static_cast<std::uint32_t>(fde.tryRanges.size()));
+        for (const auto &range : fde.tryRanges) {
+            putU32(out, static_cast<std::uint32_t>(range.startOff));
+            putU32(out, static_cast<std::uint32_t>(range.endOff));
+            putU32(out, static_cast<std::uint32_t>(range.lpOff));
+        }
+    }
+    return out;
+}
+
+std::vector<FdeRecord>
+parseEhFrame(const std::vector<std::uint8_t> &bytes)
+{
+    std::vector<FdeRecord> fdes;
+    std::size_t pos = 0;
+    auto need = [&](std::size_t n) {
+        icp_assert(pos + n <= bytes.size(), ".eh_frame truncated");
+    };
+    need(4);
+    const std::uint32_t count = getU32(bytes.data());
+    pos = 4;
+    fdes.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        FdeRecord fde;
+        need(29);
+        fde.start = getU64(bytes.data() + pos);
+        fde.end = getU64(bytes.data() + pos + 8);
+        fde.frameSize = getU32(bytes.data() + pos + 16);
+        fde.raOnStack = (bytes[pos + 20] & 1) != 0;
+        fde.savesCalleeSaved = (bytes[pos + 20] & 2) != 0;
+        fde.raOffset = static_cast<std::int32_t>(
+            getU32(bytes.data() + pos + 21));
+        const std::uint32_t ranges = getU32(bytes.data() + pos + 25);
+        pos += 29;
+        fde.tryRanges.reserve(ranges);
+        for (std::uint32_t r = 0; r < ranges; ++r) {
+            need(12);
+            TryRange range;
+            range.startOff = getU32(bytes.data() + pos);
+            range.endOff = getU32(bytes.data() + pos + 4);
+            range.lpOff = getU32(bytes.data() + pos + 8);
+            pos += 12;
+            fde.tryRanges.push_back(range);
+        }
+        fdes.push_back(std::move(fde));
+    }
+    return fdes;
+}
+
+FdeIndex::FdeIndex(std::vector<FdeRecord> fdes)
+    : fdes_(std::move(fdes))
+{
+    std::sort(fdes_.begin(), fdes_.end(),
+              [](const FdeRecord &a, const FdeRecord &b) {
+                  return a.start < b.start;
+              });
+}
+
+const FdeRecord *
+FdeIndex::find(Addr pc) const
+{
+    auto it = std::upper_bound(
+        fdes_.begin(), fdes_.end(), pc,
+        [](Addr a, const FdeRecord &fde) { return a < fde.start; });
+    if (it == fdes_.begin())
+        return nullptr;
+    --it;
+    if (pc < it->end)
+        return &*it;
+    return nullptr;
+}
+
+} // namespace icp

@@ -1,0 +1,378 @@
+#include "binfmt/image.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "isa/bytes.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+const char *
+sectionKindName(SectionKind kind)
+{
+    switch (kind) {
+      case SectionKind::text: return ".text";
+      case SectionKind::rodata: return ".rodata";
+      case SectionKind::data: return ".data";
+      case SectionKind::bss: return ".bss";
+      case SectionKind::dynsym: return ".dynsym";
+      case SectionKind::dynstr: return ".dynstr";
+      case SectionKind::relaDyn: return ".rela.dyn";
+      case SectionKind::ehFrame: return ".eh_frame";
+      case SectionKind::instr: return ".instr";
+      case SectionKind::raMap: return ".ra_map";
+      case SectionKind::trapMap: return ".trap_map";
+      case SectionKind::newRodata: return ".newrodata";
+      case SectionKind::other: return ".other";
+    }
+    return "?";
+}
+
+Section *
+BinaryImage::findSection(const std::string &name)
+{
+    for (auto &s : sections) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+const Section *
+BinaryImage::findSection(const std::string &name) const
+{
+    return const_cast<BinaryImage *>(this)->findSection(name);
+}
+
+Section *
+BinaryImage::findSection(SectionKind kind)
+{
+    for (auto &s : sections) {
+        if (s.kind == kind)
+            return &s;
+    }
+    return nullptr;
+}
+
+const Section *
+BinaryImage::findSection(SectionKind kind) const
+{
+    return const_cast<BinaryImage *>(this)->findSection(kind);
+}
+
+const Section *
+BinaryImage::sectionAt(Addr a) const
+{
+    for (const auto &s : sections) {
+        if (s.contains(a))
+            return &s;
+    }
+    return nullptr;
+}
+
+Section *
+BinaryImage::sectionAt(Addr a)
+{
+    return const_cast<Section *>(std::as_const(*this).sectionAt(a));
+}
+
+std::vector<const Symbol *>
+BinaryImage::functionSymbols() const
+{
+    std::vector<const Symbol *> funcs;
+    for (const auto &sym : symbols) {
+        if (sym.kind == Symbol::Kind::function)
+            funcs.push_back(&sym);
+    }
+    std::sort(funcs.begin(), funcs.end(),
+              [](const Symbol *a, const Symbol *b) {
+                  return a->addr < b->addr;
+              });
+    return funcs;
+}
+
+const Symbol *
+BinaryImage::functionContaining(Addr a) const
+{
+    const Symbol *best = nullptr;
+    for (const auto &sym : symbols) {
+        if (sym.kind != Symbol::Kind::function)
+            continue;
+        if (a >= sym.addr && a < sym.addr + sym.size) {
+            if (!best || sym.addr > best->addr)
+                best = &sym;
+        }
+    }
+    return best;
+}
+
+std::vector<FdeRecord>
+BinaryImage::fdeRecords() const
+{
+    const Section *s = findSection(SectionKind::ehFrame);
+    if (!s || s->bytes.empty())
+        return {};
+    return parseEhFrame(s->bytes);
+}
+
+void
+BinaryImage::setFdeRecords(const std::vector<FdeRecord> &fdes)
+{
+    Section *s = findSection(SectionKind::ehFrame);
+    icp_assert(s, "image has no .eh_frame");
+    s->bytes = serializeEhFrame(fdes);
+    s->memSize = s->bytes.size();
+}
+
+std::uint64_t
+BinaryImage::loadedSize() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : sections) {
+        if (s.loadable)
+            total += s.memSize;
+    }
+    return total;
+}
+
+bool
+BinaryImage::readBytes(Addr addr, std::size_t len,
+                       std::vector<std::uint8_t> &out) const
+{
+    const Section *s = sectionAt(addr);
+    if (!s || addr + len > s->end())
+        return false;
+    out.resize(len);
+    const Offset off = addr - s->addr;
+    for (std::size_t i = 0; i < len; ++i) {
+        out[i] = (off + i < s->bytes.size()) ? s->bytes[off + i] : 0;
+    }
+    return true;
+}
+
+std::optional<std::uint64_t>
+BinaryImage::readValue(Addr addr, unsigned size) const
+{
+    std::vector<std::uint8_t> raw;
+    if (!readBytes(addr, size, raw))
+        return std::nullopt;
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
+    return v;
+}
+
+bool
+BinaryImage::writeBytes(Addr addr, const std::vector<std::uint8_t> &bytes)
+{
+    Section *s = sectionAt(addr);
+    if (!s || addr + bytes.size() > s->end())
+        return false;
+    const Offset off = addr - s->addr;
+    if (off + bytes.size() > s->bytes.size())
+        s->bytes.resize(off + bytes.size(), 0);
+    std::copy(bytes.begin(), bytes.end(), s->bytes.begin() + off);
+    return true;
+}
+
+Addr
+BinaryImage::highWaterMark(unsigned alignment) const
+{
+    Addr top = prefBase;
+    for (const auto &s : sections)
+        top = std::max(top, s.end());
+    const Addr mask = alignment - 1;
+    return (top + mask) & ~static_cast<Addr>(mask);
+}
+
+Section &
+BinaryImage::addSection(Section section)
+{
+    for (const auto &s : sections) {
+        const bool overlap = section.addr < s.end() &&
+                             s.addr < section.end();
+        icp_assert(!overlap, "section %s overlaps %s",
+                   section.name.c_str(), s.name.c_str());
+    }
+    sections.push_back(std::move(section));
+    return sections.back();
+}
+
+// --- serialization ---------------------------------------------------------
+
+namespace
+{
+
+constexpr std::uint32_t sbf_magic = 0x31464253; // "SBF1"
+
+void
+putString(std::vector<std::uint8_t> &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string
+getString(const std::vector<std::uint8_t> &raw, std::size_t &pos)
+{
+    icp_assert(pos + 4 <= raw.size(), "SBF truncated");
+    const std::uint32_t len = getU32(raw.data() + pos);
+    pos += 4;
+    icp_assert(pos + len <= raw.size(), "SBF truncated");
+    std::string s(raw.begin() + static_cast<std::ptrdiff_t>(pos),
+                  raw.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+    return s;
+}
+
+std::uint64_t
+getU64At(const std::vector<std::uint8_t> &raw, std::size_t &pos)
+{
+    icp_assert(pos + 8 <= raw.size(), "SBF truncated");
+    const std::uint64_t v = getU64(raw.data() + pos);
+    pos += 8;
+    return v;
+}
+
+std::uint32_t
+getU32At(const std::vector<std::uint8_t> &raw, std::size_t &pos)
+{
+    icp_assert(pos + 4 <= raw.size(), "SBF truncated");
+    const std::uint32_t v = getU32(raw.data() + pos);
+    pos += 4;
+    return v;
+}
+
+std::uint8_t
+getU8At(const std::vector<std::uint8_t> &raw, std::size_t &pos)
+{
+    icp_assert(pos + 1 <= raw.size(), "SBF truncated");
+    return raw[pos++];
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+BinaryImage::serialize() const
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, sbf_magic);
+    putU8(out, static_cast<std::uint8_t>(arch));
+    putU8(out, pie ? 1 : 0);
+    putU64(out, prefBase);
+    putU64(out, entry);
+    putU64(out, tocBase);
+    putString(out, soname);
+    putU8(out, features.cppExceptions);
+    putU8(out, features.isGo);
+    putU8(out, features.rustMetadata);
+    putU8(out, features.symbolVersioning);
+    putU8(out, features.fortranComponent);
+
+    putU32(out, static_cast<std::uint32_t>(sections.size()));
+    for (const auto &s : sections) {
+        putString(out, s.name);
+        putU8(out, static_cast<std::uint8_t>(s.kind));
+        putU64(out, s.addr);
+        putU64(out, s.memSize);
+        putU8(out, static_cast<std::uint8_t>(
+            (s.loadable ? 1 : 0) | (s.executable ? 2 : 0) |
+            (s.writable ? 4 : 0)));
+        putU32(out, static_cast<std::uint32_t>(s.bytes.size()));
+        out.insert(out.end(), s.bytes.begin(), s.bytes.end());
+    }
+
+    putU32(out, static_cast<std::uint32_t>(symbols.size()));
+    for (const auto &sym : symbols) {
+        putString(out, sym.name);
+        putU8(out, static_cast<std::uint8_t>(sym.kind));
+        putU64(out, sym.addr);
+        putU64(out, sym.size);
+    }
+
+    putU32(out, static_cast<std::uint32_t>(relocs.size()));
+    for (const auto &rel : relocs) {
+        putU64(out, rel.site);
+        putU64(out, static_cast<std::uint64_t>(rel.addend));
+    }
+
+    putU32(out, static_cast<std::uint32_t>(linkRelocs.size()));
+    for (const auto &rel : linkRelocs) {
+        putU64(out, rel.site);
+        putString(out, rel.symbol);
+        putU64(out, static_cast<std::uint64_t>(rel.addend));
+    }
+    return out;
+}
+
+BinaryImage
+BinaryImage::deserialize(const std::vector<std::uint8_t> &raw)
+{
+    BinaryImage img;
+    std::size_t pos = 0;
+    icp_assert(getU32At(raw, pos) == sbf_magic, "bad SBF magic");
+    img.arch = static_cast<Arch>(getU8At(raw, pos));
+    img.pie = getU8At(raw, pos) != 0;
+    img.prefBase = getU64At(raw, pos);
+    img.entry = getU64At(raw, pos);
+    img.tocBase = getU64At(raw, pos);
+    img.soname = getString(raw, pos);
+    img.features.cppExceptions = getU8At(raw, pos);
+    img.features.isGo = getU8At(raw, pos);
+    img.features.rustMetadata = getU8At(raw, pos);
+    img.features.symbolVersioning = getU8At(raw, pos);
+    img.features.fortranComponent = getU8At(raw, pos);
+
+    const std::uint32_t nsec = getU32At(raw, pos);
+    for (std::uint32_t i = 0; i < nsec; ++i) {
+        Section s;
+        s.name = getString(raw, pos);
+        s.kind = static_cast<SectionKind>(getU8At(raw, pos));
+        s.addr = getU64At(raw, pos);
+        s.memSize = getU64At(raw, pos);
+        const std::uint8_t flags = getU8At(raw, pos);
+        s.loadable = flags & 1;
+        s.executable = flags & 2;
+        s.writable = flags & 4;
+        const std::uint32_t len = getU32At(raw, pos);
+        icp_assert(pos + len <= raw.size(), "SBF truncated");
+        s.bytes.assign(raw.begin() + static_cast<std::ptrdiff_t>(pos),
+                       raw.begin() +
+                           static_cast<std::ptrdiff_t>(pos + len));
+        pos += len;
+        img.sections.push_back(std::move(s));
+    }
+
+    const std::uint32_t nsym = getU32At(raw, pos);
+    for (std::uint32_t i = 0; i < nsym; ++i) {
+        Symbol sym;
+        sym.name = getString(raw, pos);
+        sym.kind = static_cast<Symbol::Kind>(getU8At(raw, pos));
+        sym.addr = getU64At(raw, pos);
+        sym.size = getU64At(raw, pos);
+        img.symbols.push_back(std::move(sym));
+    }
+
+    const std::uint32_t nrel = getU32At(raw, pos);
+    for (std::uint32_t i = 0; i < nrel; ++i) {
+        Relocation rel;
+        rel.site = getU64At(raw, pos);
+        rel.addend = static_cast<std::int64_t>(getU64At(raw, pos));
+        img.relocs.push_back(rel);
+    }
+
+    const std::uint32_t nlrel = getU32At(raw, pos);
+    for (std::uint32_t i = 0; i < nlrel; ++i) {
+        LinkReloc rel;
+        rel.site = getU64At(raw, pos);
+        rel.symbol = getString(raw, pos);
+        rel.addend = static_cast<std::int64_t>(getU64At(raw, pos));
+        img.linkRelocs.push_back(std::move(rel));
+    }
+    return img;
+}
+
+} // namespace icp

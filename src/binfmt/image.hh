@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The SBF binary image: the unit that the synthetic compiler emits,
+ * the analyses consume, the rewriters transform, and the loader maps
+ * into simulated memory.
+ */
+
+#ifndef ICP_BINFMT_IMAGE_HH
+#define ICP_BINFMT_IMAGE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "binfmt/ehframe.hh"
+#include "binfmt/section.hh"
+#include "isa/arch.hh"
+
+namespace icp
+{
+
+/**
+ * Source-language / toolchain features recorded as image metadata.
+ * The baseline rewriters consult these to reproduce the paper's
+ * failure matrix (e.g. IR lowering fails on C++ exceptions, Rust
+ * metadata, Go binaries, and symbol versioning).
+ */
+struct LangFeatures
+{
+    bool cppExceptions = false;
+    bool isGo = false;
+    bool rustMetadata = false;
+    bool symbolVersioning = false;
+    bool fortranComponent = false;
+};
+
+/**
+ * A complete binary: sections, symbols, relocations, unwind records,
+ * and metadata. All addresses are at the preferred base; PIE images
+ * may be loaded at a different base with runtime relocations applied.
+ */
+class BinaryImage
+{
+  public:
+    Arch arch = Arch::x64;
+    bool pie = false;
+
+    /** Preferred (link-time) base address. */
+    Addr prefBase = 0;
+
+    /** Entry point (at preferred base). */
+    Addr entry = 0;
+
+    /** ppc64le TOC anchor value (at preferred base). */
+    Addr tocBase = 0;
+
+    std::string soname; ///< empty for executables
+
+    std::vector<Section> sections;
+    std::vector<Symbol> symbols;
+    std::vector<Relocation> relocs;
+    std::vector<LinkReloc> linkRelocs;
+    LangFeatures features;
+
+    // --- accessors ------------------------------------------------------
+
+    Section *findSection(const std::string &name);
+    const Section *findSection(const std::string &name) const;
+
+    Section *findSection(SectionKind kind);
+    const Section *findSection(SectionKind kind) const;
+
+    /** The section containing address @p a, if any. */
+    const Section *sectionAt(Addr a) const;
+    Section *sectionAt(Addr a);
+
+    /** All function symbols sorted by address. */
+    std::vector<const Symbol *> functionSymbols() const;
+
+    /** The function symbol whose [addr, addr+size) contains @p a. */
+    const Symbol *functionContaining(Addr a) const;
+
+    /** Parsed .eh_frame records (empty when no section). */
+    std::vector<FdeRecord> fdeRecords() const;
+
+    /** Replace the .eh_frame section contents. */
+    void setFdeRecords(const std::vector<FdeRecord> &fdes);
+
+    /**
+     * Total size of loadable sections — what binutils' `size`
+     * reports; the metric used for Table 3's size-increase columns.
+     */
+    std::uint64_t loadedSize() const;
+
+    /** Read bytes at a preferred-base address range from sections. */
+    bool readBytes(Addr addr, std::size_t len,
+                   std::vector<std::uint8_t> &out) const;
+
+    /** Read a little-endian value of @p size bytes at @p addr. */
+    std::optional<std::uint64_t> readValue(Addr addr,
+                                           unsigned size) const;
+
+    /** Write bytes into the containing section. */
+    bool writeBytes(Addr addr, const std::vector<std::uint8_t> &bytes);
+
+    /** First free address after all sections, rounded up. */
+    Addr highWaterMark(unsigned alignment = 4096) const;
+
+    /** Append a section; address must not overlap existing ones. */
+    Section &addSection(Section section);
+
+    // --- serialization ---------------------------------------------------
+
+    std::vector<std::uint8_t> serialize() const;
+    static BinaryImage deserialize(const std::vector<std::uint8_t> &raw);
+
+    const ArchInfo &archInfo() const { return ArchInfo::get(arch); }
+};
+
+} // namespace icp
+
+#endif // ICP_BINFMT_IMAGE_HH

@@ -1,0 +1,1087 @@
+#include "codegen/compiler.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "isa/assembler.hh"
+#include "isa/bytes.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+namespace
+{
+
+/** Round @p v up to @p align (a power of two). */
+Addr
+alignUp(Addr v, Addr align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+unsigned
+log2Exact(unsigned v)
+{
+    unsigned r = 0;
+    while ((1u << r) < v)
+        ++r;
+    icp_assert((1u << r) == v, "value %u not a power of two", v);
+    return r;
+}
+
+/** The Go vtab obfuscation constant (startup adds it back). */
+constexpr std::uint64_t vtab_key = 0x11000;
+
+/** Recorded locations of one emitted switch's jump table. */
+struct SwitchSite
+{
+    Addr tableAddr = 0;           // 0 for ppc (embedded in code)
+    unsigned entrySize = 4;
+    bool relative = true;
+    Addr anchorAddr = 0;          // aarch64 anchor; else table base
+    std::vector<Addr> caseAddrs;  // final case-block addresses
+};
+
+struct FuncMeta
+{
+    Addr addr = 0;
+    std::uint64_t size = 0;
+    std::uint32_t frameSize = 0;
+    bool raOnStack = true;
+    std::int32_t raOffset = 0;
+    std::vector<TryRange> tryRanges;
+};
+
+class CompilerImpl
+{
+  public:
+    explicit CompilerImpl(const ProgramSpec &spec)
+        : spec_(spec), arch_(ArchInfo::get(spec.arch))
+    {
+    }
+
+    BinaryImage compile();
+
+  private:
+    // Total function count including synthesized Go runtime funcs.
+    unsigned
+    funcCount() const
+    {
+        return static_cast<unsigned>(spec_.funcs.size()) +
+               (spec_.goRuntime ? 2 : 0);
+    }
+
+    bool isGoRuntimeFunc(unsigned idx) const
+    {
+        return idx >= spec_.funcs.size();
+    }
+
+    std::string funcName(unsigned idx) const;
+    bool funcIsLeaf(const FuncSpec &fs) const;
+
+    Addr funcAddr(unsigned idx) const;
+    Addr tableAddr(unsigned func, unsigned sw) const;
+
+    void planLayout();
+
+    FuncMeta emitFunction(unsigned idx, Addr at,
+                          std::vector<SwitchSite> *sites);
+    void emitRegularBody(Assembler &as, const FuncSpec &fs,
+                         unsigned idx, bool is_main,
+                         std::vector<SwitchSite> *sites,
+                         std::vector<std::array<int, 3>> &try_labels);
+    void emitGoRuntimeFunc(Assembler &as, bool is_pcvalue);
+
+    void emitLoadAddr(Assembler &as, Reg rd, Addr target);
+    void emitMask(Assembler &as, Reg rd, unsigned bits);
+    void emitSwitch(Assembler &as, unsigned func_idx,
+                    const SwitchSpec &sw, unsigned sw_idx, Reg arg,
+                    std::vector<SwitchSite> *sites);
+    void emitPrologue(Assembler &as, const FuncSpec &fs, bool leaf);
+    void emitEpilogue(Assembler &as, const FuncSpec &fs, bool leaf);
+
+    void buildDataSections(BinaryImage &img);
+    void fillJumpTables(BinaryImage &img);
+
+    const ProgramSpec &spec_;
+    const ArchInfo &arch_;
+    bool resolved_ = false;
+
+    // Layout.
+    Addr prefBase_ = 0;
+    Addr dynsymAddr_ = 0, dynstrAddr_ = 0, relaAddr_ = 0;
+    std::uint64_t dynsymSize_ = 0, dynstrSize_ = 0, relaSize_ = 0;
+    Addr textBase_ = 0;
+    std::uint64_t textSize_ = 0;
+    Addr rodataBase_ = 0;
+    std::uint64_t rodataSize_ = 0;
+    Addr dataBase_ = 0;
+    std::uint64_t dataSize_ = 0;
+    Addr tocBase_ = 0;
+
+    std::vector<Addr> funcAddrs_;
+    std::vector<std::uint64_t> funcSizes_;
+
+    // .rodata allocations: per (func, switch) table address.
+    std::map<std::pair<unsigned, unsigned>, Addr> tables_;
+
+    // .data allocations.
+    std::vector<unsigned> fptrFuncs_; // indices of address-taken funcs
+    Addr fptrTableAddr_ = 0;
+    Addr pcTableAddr_ = 0;
+    Addr vtabAddr_ = 0;
+    Addr vtabDataAddr_ = 0;
+    Addr plusOneCellAddr_ = 0;
+    Addr plusOneSlotAddr_ = 0;
+    int goexitIdx_ = -1;
+
+    std::vector<SwitchSite> allSites_;
+    std::vector<FuncMeta> metas_;
+    std::vector<std::uint8_t> metaBytes_; ///< phase-B bytes scratch
+};
+
+std::string
+CompilerImpl::funcName(unsigned idx) const
+{
+    if (idx < spec_.funcs.size())
+        return spec_.funcs[idx].name;
+    return idx == spec_.funcs.size() ? "runtime.findfunc"
+                                     : "runtime.pcvalue";
+}
+
+bool
+CompilerImpl::funcIsLeaf(const FuncSpec &fs) const
+{
+    return fs.callees.empty() && fs.indirectCalls == 0 && !fs.catches;
+}
+
+Addr
+CompilerImpl::funcAddr(unsigned idx) const
+{
+    if (!resolved_)
+        return textBase_; // any in-range dummy
+    icp_assert(idx < funcAddrs_.size(), "bad func index %u", idx);
+    return funcAddrs_[idx];
+}
+
+Addr
+CompilerImpl::tableAddr(unsigned func, unsigned sw) const
+{
+    if (!resolved_)
+        return textBase_ + 0x1000;
+    auto it = tables_.find({func, sw});
+    icp_assert(it != tables_.end(), "no table for f%u s%u", func, sw);
+    return it->second;
+}
+
+void
+CompilerImpl::emitLoadAddr(Assembler &as, Reg rd, Addr target)
+{
+    switch (arch_.arch) {
+      case Arch::x64:
+        if (spec_.pie)
+            as.emit(makeLea(rd, target));
+        else
+            as.emit(makeMovImm(rd, static_cast<std::int64_t>(target)));
+        break;
+      case Arch::ppc64le: {
+        const std::int64_t off = static_cast<std::int64_t>(target) -
+                                 static_cast<std::int64_t>(tocBase_);
+        const std::int64_t hi = (off + 0x8000) >> 16;
+        const std::int64_t lo =
+            signExtend(static_cast<std::uint64_t>(off), 16);
+        icp_assert(fitsSigned(hi, 16), "TOC offset out of range");
+        as.emit(makeAddisToc(rd, static_cast<std::int32_t>(hi)));
+        as.emit(makeAddImm(rd, lo));
+        break;
+      }
+      case Arch::aarch64: {
+        as.emit(makeAdrPage(rd, target));
+        const Addr page = ((target + 0x8000) >> 16) << 16;
+        as.emit(makeAddImm(rd, static_cast<std::int64_t>(target) -
+                               static_cast<std::int64_t>(page)));
+        break;
+      }
+    }
+}
+
+void
+CompilerImpl::emitMask(Assembler &as, Reg rd, unsigned bits)
+{
+    icp_assert(bits < 64, "bad mask width");
+    if (bits == 0) {
+        as.emit(makeXor(rd, rd));
+        return;
+    }
+    as.emit(makeShlImm(rd, static_cast<std::uint8_t>(64 - bits)));
+    as.emit(makeShrImm(rd, static_cast<std::uint8_t>(64 - bits)));
+}
+
+void
+CompilerImpl::emitSwitch(Assembler &as, unsigned func_idx,
+                         const SwitchSpec &sw, unsigned sw_idx,
+                         Reg arg, std::vector<SwitchSite> *sites)
+{
+    const unsigned bits = log2Exact(sw.cases);
+    const auto merge = as.newLabel();
+    const auto dflt = as.newLabel();
+    std::vector<Assembler::Label> case_labels(sw.cases);
+    for (auto &l : case_labels)
+        l = as.newLabel();
+
+    // Index in r7, derived from the argument register.
+    as.emit(makeMovReg(Reg::r7, arg));
+    as.emit(makeAddImm(Reg::r7, static_cast<std::int64_t>(sw_idx)));
+    emitMask(as, Reg::r7, bits);
+    // The bounds check the jump-table analysis reads the table size
+    // from; never taken because the mask already bounds the index.
+    as.emit(makeCmpImm(Reg::r7, static_cast<std::int64_t>(sw.cases)));
+    as.emitToLabel(makeJmpCond(Cond::ge, 0), dflt);
+
+    SwitchSite site;
+    site.entrySize = sw.entrySize;
+
+    if (arch_.arch == Arch::ppc64le) {
+        // Table embedded in code right after the indirect jump
+        // (Assumption 1 violation: jump table data inside .text).
+        const auto ltab = as.newLabel();
+        as.emitAddisTocPair(Reg::r2, ltab, tocBase_);
+        if (sw.hard) {
+            // Spill the base through the stack: defeats the
+            // backward slice.
+            // Spill below sp (red zone): leaf-safe, and the
+            // memory round-trip still defeats the backward slice.
+            as.emit(makeStore(Reg::sp, -16, Reg::r2));
+            as.emit(makeXor(Reg::r2, Reg::r2));
+            as.emit(makeLoad(Reg::r2, Reg::sp, -16));
+        }
+        as.emit(makeLoadIdx(Reg::r3, Reg::r2, Reg::r7, 4, 0, true));
+        as.emit(makeAdd(Reg::r3, Reg::r2));
+        as.emit(makeJmpInd(Reg::r3));
+        as.alignTo(4);
+        as.bind(ltab);
+        for (unsigned i = 0; i < sw.cases; ++i)
+            as.emitDataLabelDiff(case_labels[i], ltab, 4);
+        site.relative = true;
+        site.tableAddr = 0; // embedded
+    } else if (arch_.arch == Arch::aarch64) {
+        // Sub-word unsigned entries scaled by 4 relative to an
+        // anchor label (Assumption 2 territory: narrow entries).
+        const auto anchor = as.newLabel();
+        emitLoadAddr(as, Reg::r2,
+                     tableAddr(func_idx, sw_idx));
+        if (sw.hard) {
+            // Spill below sp (red zone): leaf-safe, and the
+            // memory round-trip still defeats the backward slice.
+            as.emit(makeStore(Reg::sp, -16, Reg::r2));
+            as.emit(makeXor(Reg::r2, Reg::r2));
+            as.emit(makeLoad(Reg::r2, Reg::sp, -16));
+        }
+        as.emit(makeLoadIdx(Reg::r3, Reg::r2, Reg::r7,
+                            static_cast<std::uint8_t>(sw.entrySize),
+                            0, false));
+        as.emitToLabel(makeLea(Reg::r2, 0), anchor);
+        as.emit(makeShlImm(Reg::r3, 2));
+        as.emit(makeAdd(Reg::r3, Reg::r2));
+        as.emit(makeJmpInd(Reg::r3));
+        as.bind(anchor);
+        site.relative = true;
+        site.anchorAddr = as.labelAddr(anchor);
+    } else {
+        // x64: PIC-relative 4-byte entries for PIE, absolute 8-byte
+        // entries for position dependent code.
+        const bool relative = spec_.pie;
+        emitLoadAddr(as, Reg::r2, tableAddr(func_idx, sw_idx));
+        if (sw.hard) {
+            // Spill below sp (red zone): leaf-safe, and the
+            // memory round-trip still defeats the backward slice.
+            as.emit(makeStore(Reg::sp, -16, Reg::r2));
+            as.emit(makeXor(Reg::r2, Reg::r2));
+            as.emit(makeLoad(Reg::r2, Reg::sp, -16));
+        }
+        if (relative) {
+            as.emit(makeLoadIdx(Reg::r3, Reg::r2, Reg::r7, 4, 0,
+                                true));
+            as.emit(makeAdd(Reg::r3, Reg::r2));
+        } else {
+            as.emit(makeLoadIdx(Reg::r3, Reg::r2, Reg::r7, 8, 0,
+                                false));
+        }
+        as.emit(makeJmpInd(Reg::r3));
+        site.relative = relative;
+        site.entrySize = relative ? 4 : 8;
+    }
+
+    // Case blocks. Dense-tiny switches chain by fall-through with
+    // two-byte bodies; regular switches jump to the merge point.
+    if (sw.denseTiny) {
+        for (unsigned i = 0; i < sw.cases; ++i) {
+            as.bind(case_labels[i]);
+            as.emit(makeXor(Reg::r5, Reg::r4));
+        }
+        as.bind(dflt);
+        as.emit(makeAddImm(Reg::r4, 1));
+        as.bind(merge);
+    } else {
+        for (unsigned i = 0; i < sw.cases; ++i) {
+            as.bind(case_labels[i]);
+            as.emit(makeAddImm(Reg::r4,
+                               static_cast<std::int64_t>(i * 7 + 3)));
+            as.emitToLabel(makeJmp(0), merge);
+        }
+        as.bind(dflt);
+        as.emit(makeAddImm(Reg::r4, 1));
+        as.bind(merge);
+    }
+
+    if (sites) {
+        // Record final case addresses; the caller resolves the
+        // anchor label after finalize.
+        for (unsigned i = 0; i < sw.cases; ++i)
+            site.caseAddrs.push_back(as.labelAddr(case_labels[i]));
+        sites->push_back(std::move(site));
+    }
+}
+
+void
+CompilerImpl::emitPrologue(Assembler &as, const FuncSpec &fs, bool leaf)
+{
+    (void)fs;
+    if (leaf)
+        return;
+    as.emit(makeAddImm(Reg::sp, -static_cast<std::int64_t>(frame_bytes)));
+    if (arch_.hasLinkRegister) {
+        as.emit(makeStore(Reg::sp,
+                          static_cast<std::int64_t>(frame_bytes) - 8,
+                          Reg::lr));
+    }
+    as.emit(makeStore(Reg::sp, 0, Reg::r8));
+    as.emit(makeStore(Reg::sp, 8, Reg::r9));
+    as.emit(makeStore(Reg::sp, 16, Reg::r6));
+}
+
+void
+CompilerImpl::emitEpilogue(Assembler &as, const FuncSpec &fs, bool leaf)
+{
+    (void)fs;
+    if (leaf)
+        return;
+    as.emit(makeLoad(Reg::r8, Reg::sp, 0));
+    as.emit(makeLoad(Reg::r9, Reg::sp, 8));
+    as.emit(makeLoad(Reg::r6, Reg::sp, 16));
+    if (arch_.hasLinkRegister) {
+        as.emit(makeLoad(Reg::lr, Reg::sp,
+                         static_cast<std::int64_t>(frame_bytes) - 8));
+    }
+    as.emit(makeAddImm(Reg::sp, static_cast<std::int64_t>(frame_bytes)));
+}
+
+void
+CompilerImpl::emitRegularBody(Assembler &as, const FuncSpec &fs,
+                              unsigned idx, bool is_main,
+                              std::vector<SwitchSite> *sites,
+                              std::vector<std::array<int, 3>> &try_labels)
+{
+    const bool leaf = funcIsLeaf(fs) && !is_main;
+    const unsigned iters = is_main
+        ? static_cast<unsigned>(spec_.mainIterations)
+        : fs.loopIters;
+    const bool has_loop = iters > 0;
+    // Leaves must not disturb callee-saved registers (r6/r8/r9): a
+    // looping leaf parks r6 in the red zone (it makes no calls and,
+    // by workload discipline, does not throw); other leaves avoid
+    // the registers entirely by keeping the argument in r1 and
+    // accumulating directly into r0.
+    const bool red_zone_r6 = leaf && has_loop;
+    icp_assert(!(red_zone_r6 && fs.throwsOnOdd),
+               "a looping leaf must not throw (red-zone r6)");
+    const Reg arg = leaf ? Reg::r1 : Reg::r8;
+
+    if (fs.leadingNop)
+        as.emit(makeNop());
+
+    emitPrologue(as, fs, leaf);
+    if (red_zone_r6)
+        as.emit(makeStore(Reg::sp, -8, Reg::r6));
+    if (is_main) {
+        as.emit(makeMovImm(Reg::r8, 0));
+        as.emit(makeMovImm(Reg::r9, 0));
+    } else if (!leaf) {
+        as.emit(makeMovReg(Reg::r8, Reg::r1));
+        as.emit(makeXor(Reg::r9, Reg::r9));
+    } else {
+        as.emit(makeXor(Reg::r0, Reg::r0));
+    }
+
+    // Go-specific startup in main.
+    if (is_main && spec_.goVtab && !fptrFuncs_.empty()) {
+        const auto fill = as.newLabel();
+        emitLoadAddr(as, Reg::r2, vtabDataAddr_);
+        emitLoadAddr(as, Reg::r3, vtabAddr_);
+        as.emit(makeMovImm(Reg::r4,
+            static_cast<std::int64_t>(fptrFuncs_.size())));
+        as.emitMovImm64(Reg::r5, vtab_key);
+        as.bind(fill);
+        as.emit(makeLoad(Reg::r7, Reg::r2, 0));
+        as.emit(makeAdd(Reg::r7, Reg::r5));
+        as.emit(makeStore(Reg::r3, 0, Reg::r7));
+        as.emit(makeAddImm(Reg::r2, 8));
+        as.emit(makeAddImm(Reg::r3, 8));
+        as.emit(makeAddImm(Reg::r4, -1));
+        as.emit(makeCmpImm(Reg::r4, 0));
+        as.emitToLabel(makeJmpCond(Cond::gt, 0), fill);
+    }
+    if (is_main && spec_.goFuncPtrPlusOne) {
+        // Listing 1: load a relocated function pointer, add one,
+        // store it for later indirect calls.
+        emitLoadAddr(as, Reg::r2, plusOneCellAddr_);
+        as.emit(makeLoad(Reg::r3, Reg::r2, 0));
+        as.emit(makeAddImm(Reg::r3, 1));
+        emitLoadAddr(as, Reg::r2, plusOneSlotAddr_);
+        as.emit(makeStore(Reg::r2, 0, Reg::r3));
+    }
+
+    const auto loop_head = as.newLabel();
+    if (has_loop) {
+        as.emit(makeMovImm(Reg::r6, 1));
+        as.bind(loop_head);
+        if (is_main)
+            as.emit(makeMovReg(Reg::r8, Reg::r6));
+    }
+
+    // Compute segment.
+    as.emit(makeMovReg(Reg::r4, arg));
+    if (red_zone_r6)
+        as.emit(makeAdd(Reg::r4, Reg::r6));
+    as.emit(makeMovReg(Reg::r5, Reg::r4));
+    for (unsigned i = 0; i < fs.computeOps; ++i) {
+        switch (i % 4) {
+          case 0: as.emit(makeAddImm(Reg::r4,
+                      static_cast<std::int64_t>(i + idx + 1))); break;
+          case 1: as.emit(makeXor(Reg::r5, Reg::r4)); break;
+          case 2: as.emit(makeAdd(Reg::r4, Reg::r5)); break;
+          case 3: as.emit(makeMul(Reg::r5, Reg::r4)); break;
+        }
+    }
+
+    // Switches.
+    for (unsigned s = 0; s < fs.switches.size(); ++s)
+        emitSwitch(as, idx, fs.switches[s], s, arg, sites);
+
+    // Function pointer comparison (x == &f), rewritten consistently
+    // only when func-ptr analysis is precise (S5.2).
+    if (fs.comparesFuncPtr && !fptrFuncs_.empty()) {
+        const auto skip = as.newLabel();
+        emitLoadAddr(as, Reg::r2, fptrTableAddr_);
+        as.emit(makeLoad(Reg::r3, Reg::r2, 0));
+        emitLoadAddr(as, Reg::r2, funcAddr(fptrFuncs_[0]));
+        as.emit(makeCmp(Reg::r3, Reg::r2));
+        as.emitToLabel(makeJmpCond(Cond::ne, 0), skip);
+        as.emit(makeAddImm(Reg::r4, 3));
+        as.bind(skip);
+    }
+
+    // Direct calls, optionally covered by a try range.
+    Assembler::Label try_start = -1, try_end = -1, lp = -1;
+    if (fs.catches && !fs.callees.empty()) {
+        try_start = as.newLabel();
+        try_end = as.newLabel();
+        lp = as.newLabel();
+        as.bind(try_start);
+    }
+    for (unsigned c = 0; c < fs.callees.size(); ++c) {
+        const unsigned callee = fs.callees[c];
+        icp_assert(callee < funcCount(), "callee out of range");
+        as.emit(makeMovReg(Reg::r1, Reg::r8));
+        as.emit(makeAddImm(Reg::r1, static_cast<std::int64_t>(c)));
+        as.emit(makeCall(funcAddr(callee)));
+        as.emit(makeXor(Reg::r9, Reg::r0));
+    }
+    if (fs.catches && !fs.callees.empty()) {
+        as.bind(try_end);
+        const auto after = as.newLabel();
+        as.emitToLabel(makeJmp(0), after);
+        as.bind(lp);
+        as.emit(makeAddImm(Reg::r4, 13));
+        as.bind(after);
+        try_labels.push_back({try_start, try_end, lp});
+    }
+
+    // Indirect calls through the function-pointer table / Go vtab.
+    if (fs.indirectCalls > 0 && !fptrFuncs_.empty()) {
+        icp_assert(!leaf, "indirect calls imply non-leaf");
+        const unsigned n =
+            static_cast<unsigned>(fptrFuncs_.size());
+        const unsigned bits = log2Exact(n);
+        const Addr table = spec_.goVtab ? vtabAddr_ : fptrTableAddr_;
+        for (unsigned k = 0; k < fs.indirectCalls; ++k) {
+            as.emit(makeMovReg(Reg::r7, Reg::r8));
+            as.emit(makeAddImm(Reg::r7,
+                               static_cast<std::int64_t>(k)));
+            emitMask(as, Reg::r7, bits);
+            emitLoadAddr(as, Reg::r2, table);
+            as.emit(makeLoadIdx(Reg::r3, Reg::r2, Reg::r7, 8, 0,
+                                false));
+            as.emit(makeMovReg(Reg::r1, Reg::r8));
+            if (arch_.arch == Arch::x64 && k % 2 == 1) {
+                // Spill the pointer and call through stack memory —
+                // the pattern Dyninst-10.2's call emulation
+                // mishandles (§8.1).
+                as.emit(makeStore(Reg::sp, 32, Reg::r3));
+                as.emit(makeCallIndMem(Reg::sp, 32));
+            } else {
+                as.emit(makeCallInd(Reg::r3));
+            }
+            as.emit(makeXor(Reg::r9, Reg::r0));
+        }
+    }
+    // Go Listing-1 indirect call through the +1 pointer.
+    if (is_main && spec_.goFuncPtrPlusOne) {
+        emitLoadAddr(as, Reg::r2, plusOneSlotAddr_);
+        as.emit(makeLoad(Reg::r3, Reg::r2, 0));
+        as.emit(makeMovReg(Reg::r1, Reg::r8));
+        as.emit(makeCallInd(Reg::r3));
+        as.emit(makeXor(Reg::r9, Reg::r0));
+    }
+
+    // Conditional throw on odd argument.
+    if (fs.throwsOnOdd) {
+        const auto skip = as.newLabel();
+        as.emit(makeMovReg(Reg::r7, arg));
+        emitMask(as, Reg::r7, 1);
+        as.emit(makeCmpImm(Reg::r7, 1));
+        as.emitToLabel(makeJmpCond(Cond::ne, 0), skip);
+        as.emit(makeThrow());
+        as.bind(skip);
+    }
+
+    // Accumulate and close the loop.
+    if (leaf) {
+        as.emit(makeXor(Reg::r0, Reg::r4));
+        as.emit(makeXor(Reg::r0, Reg::r5));
+    } else {
+        as.emit(makeXor(Reg::r9, Reg::r4));
+        as.emit(makeXor(Reg::r9, Reg::r5));
+    }
+    if (has_loop) {
+        as.emit(makeAddImm(Reg::r6, 1));
+        // Rematerialize the bound in r10 (caller-clobbered) so the
+        // comparison supports bounds beyond the 16-bit immediates of
+        // the fixed-length ISAs.
+        as.emitMovImm64(Reg::r10, iters);
+        as.emit(makeCmp(Reg::r6, Reg::r10));
+        as.emitToLabel(makeJmpCond(Cond::le, 0), loop_head);
+    }
+
+    if (!leaf)
+        as.emit(makeMovReg(Reg::r0, Reg::r9));
+    if (red_zone_r6)
+        as.emit(makeLoad(Reg::r6, Reg::sp, -8));
+
+    if (is_main) {
+        emitEpilogue(as, fs, leaf);
+        as.emit(makeHalt());
+        return;
+    }
+
+    if (fs.tailCallTo >= 0) {
+        emitEpilogue(as, fs, leaf);
+        as.emit(makeJmp(funcAddr(
+            static_cast<unsigned>(fs.tailCallTo))));
+        return;
+    }
+    if (fs.indirectTailCall && !fptrFuncs_.empty()) {
+        const unsigned bits =
+            log2Exact(static_cast<unsigned>(fptrFuncs_.size()));
+        as.emit(makeMovReg(Reg::r7, arg));
+        emitMask(as, Reg::r7, bits);
+        emitLoadAddr(as, Reg::r2, fptrTableAddr_);
+        as.emit(makeLoadIdx(Reg::r3, Reg::r2, Reg::r7, 8, 0, false));
+        as.emit(makeMovReg(Reg::r1, arg));
+        emitEpilogue(as, fs, leaf);
+        as.emit(makeJmpInd(Reg::r3));
+        return;
+    }
+
+    emitEpilogue(as, fs, leaf);
+    as.emit(makeRet());
+}
+
+
+void
+CompilerImpl::emitGoRuntimeFunc(Assembler &as, bool is_pcvalue)
+{
+    // Frameless leaf: Go-ABI argument on the stack.
+    const std::int64_t arg_off =
+        8 * (arch_.hasLinkRegister ? go_arg_slot_lr : go_arg_slot_x64);
+    const unsigned n = funcCount();
+
+    const auto loop = as.newLabel();
+    const auto next = as.newLabel();
+    const auto notfound = as.newLabel();
+    const auto found = as.newLabel();
+
+    as.emit(makeLoad(Reg::r1, Reg::sp, arg_off));
+    emitLoadAddr(as, Reg::r2, pcTableAddr_);
+    as.emit(makeMovImm(Reg::r3, 0));
+    as.bind(loop);
+    as.emit(makeCmpImm(Reg::r3, static_cast<std::int64_t>(n)));
+    as.emitToLabel(makeJmpCond(Cond::ge, 0), notfound);
+    as.emit(makeMovReg(Reg::r4, Reg::r3));
+    as.emit(makeShlImm(Reg::r4, 4));
+    as.emit(makeAdd(Reg::r4, Reg::r2));
+    as.emit(makeLoad(Reg::r5, Reg::r4, 0));
+    as.emit(makeCmp(Reg::r1, Reg::r5));
+    as.emitToLabel(makeJmpCond(Cond::lt, 0), next);
+    as.emit(makeLoad(Reg::r5, Reg::r4, 8));
+    as.emit(makeCmp(Reg::r1, Reg::r5));
+    as.emitToLabel(makeJmpCond(Cond::ge, 0), next);
+    as.emitToLabel(makeJmp(0), found);
+    as.bind(next);
+    as.emit(makeAddImm(Reg::r3, 1));
+    as.emitToLabel(makeJmp(0), loop);
+    as.bind(found);
+    if (is_pcvalue)
+        as.emit(makeMovImm(Reg::r0, 0));
+    else
+        as.emit(makeMovReg(Reg::r0, Reg::r3));
+    as.emit(makeRet());
+    as.bind(notfound);
+    as.emitMovImm64(Reg::r0, ~0ULL);
+    as.emit(makeRet());
+}
+
+FuncMeta
+CompilerImpl::emitFunction(unsigned idx, Addr at,
+                           std::vector<SwitchSite> *sites)
+{
+    Assembler as(arch_, at);
+    std::vector<std::array<int, 3>> try_labels;
+
+    if (isGoRuntimeFunc(idx)) {
+        emitGoRuntimeFunc(as, idx == spec_.funcs.size() + 1);
+    } else {
+        emitRegularBody(as, spec_.funcs[idx], idx, idx == 0, sites,
+                        try_labels);
+    }
+
+    const std::vector<std::uint8_t> bytes = as.finalize();
+
+    FuncMeta meta;
+    meta.addr = at;
+    meta.size = bytes.size();
+
+    if (isGoRuntimeFunc(idx)) {
+        meta.frameSize = 0;
+        meta.raOnStack = !arch_.hasLinkRegister;
+        meta.raOffset = 0;
+    } else {
+        const FuncSpec &fs = spec_.funcs[idx];
+        const bool leaf = funcIsLeaf(fs) && idx != 0;
+        if (leaf) {
+            meta.frameSize = 0;
+            meta.raOnStack = !arch_.hasLinkRegister;
+            meta.raOffset = 0;
+        } else {
+            meta.frameSize = frame_bytes;
+            meta.raOnStack = true;
+            meta.raOffset = arch_.hasLinkRegister
+                ? static_cast<std::int32_t>(frame_bytes) - 8
+                : static_cast<std::int32_t>(frame_bytes);
+        }
+        for (const auto &tl : try_labels) {
+            TryRange range;
+            range.startOff = as.labelAddr(tl[0]) - at;
+            range.endOff = as.labelAddr(tl[1]) - at;
+            range.lpOff = as.labelAddr(tl[2]) - at;
+            meta.tryRanges.push_back(range);
+        }
+    }
+
+    if (resolved_)
+        metaBytes_ = bytes;
+    return meta;
+}
+
+void
+CompilerImpl::planLayout()
+{
+    const unsigned n = funcCount();
+
+    // Address-taken functions feed the funcptr table (padded to a
+    // power of two by repetition).
+    fptrFuncs_.clear();
+    for (unsigned i = 0; i < spec_.funcs.size(); ++i) {
+        if (spec_.funcs[i].addressTaken)
+            fptrFuncs_.push_back(i);
+        if (spec_.funcs[i].name == "go.goexit")
+            goexitIdx_ = static_cast<int>(i);
+    }
+    if (!fptrFuncs_.empty()) {
+        const std::size_t orig = fptrFuncs_.size();
+        std::size_t pow2 = 1;
+        while (pow2 < orig)
+            pow2 <<= 1;
+        while (fptrFuncs_.size() < pow2)
+            fptrFuncs_.push_back(fptrFuncs_[fptrFuncs_.size() % orig]);
+    }
+    icp_assert(!spec_.goFuncPtrPlusOne || goexitIdx_ >= 0,
+               "goFuncPtrPlusOne needs a go.goexit function");
+    icp_assert(!spec_.goFuncPtrPlusOne || spec_.arch == Arch::x64,
+               "the +1 pattern is modeled on x64 only");
+
+    prefBase_ = spec_.pie ? 0x10000 : 0x400000;
+
+    // Dynamic-linking sections first (sizes depend only on counts).
+    dynsymAddr_ = prefBase_ + 0x1000;
+    dynsymSize_ = 24ULL * n + 32;
+    dynstrAddr_ = alignUp(dynsymAddr_ + dynsymSize_, 16);
+    dynstrSize_ = 0;
+    for (unsigned i = 0; i < n; ++i)
+        dynstrSize_ += funcName(i).size() + 1;
+    relaAddr_ = alignUp(dynstrAddr_ + dynstrSize_, 16);
+    std::uint64_t nrelocs = 0;
+    if (spec_.pie) {
+        nrelocs = fptrFuncs_.size() + 2ULL * n +
+                  (spec_.goVtab ? fptrFuncs_.size() : 0) +
+                  (spec_.goFuncPtrPlusOne ? 1 : 0);
+    }
+    relaSize_ = 16 * nrelocs + 16;
+
+    textBase_ = alignUp(relaAddr_ + relaSize_, 4096);
+
+    // Phase A: size every function at a dummy address.
+    resolved_ = false;
+    tocBase_ = textBase_; // dummy until rodata is placed
+    funcSizes_.assign(n, 0);
+    for (unsigned i = 0; i < n; ++i)
+        funcSizes_[i] = emitFunction(i, textBase_, nullptr).size;
+
+    // Assign final function addresses.
+    funcAddrs_.assign(n, 0);
+    Addr cursor = textBase_;
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned align = std::max<unsigned>(
+            arch_.instrAlign,
+            isGoRuntimeFunc(i) ? 16 : spec_.funcs[i].alignment);
+        cursor = alignUp(cursor, align);
+        funcAddrs_[i] = cursor;
+        cursor += funcSizes_[i];
+        if (!isGoRuntimeFunc(i))
+            cursor += spec_.funcs[i].padding;
+    }
+    textSize_ = cursor - textBase_;
+
+    // .rodata: jump tables for the table-in-rodata architectures,
+    // then the padding blob.
+    rodataBase_ = alignUp(textBase_ + textSize_, 4096);
+    Addr rocur = rodataBase_;
+    tables_.clear();
+    if (arch_.arch != Arch::ppc64le) {
+        for (unsigned i = 0; i < spec_.funcs.size(); ++i) {
+            const auto &sws = spec_.funcs[i].switches;
+            for (unsigned s = 0; s < sws.size(); ++s) {
+                unsigned esz = sws[s].entrySize;
+                if (arch_.arch == Arch::x64)
+                    esz = spec_.pie ? 4 : 8;
+                rocur = alignUp(rocur, 8);
+                tables_[{i, s}] = rocur;
+                rocur += std::uint64_t{sws[s].cases} * esz;
+            }
+        }
+    }
+    rocur = alignUp(rocur, 16);
+    rocur += spec_.rodataPadding;
+    rodataSize_ = rocur - rodataBase_;
+    if (rodataSize_ == 0)
+        rodataSize_ = 16;
+    tocBase_ = rodataBase_ + 0x8000;
+
+    // .data: funcptr table, Go pcdata, vtab(+data), +1 cell/slot.
+    dataBase_ = alignUp(rodataBase_ + rodataSize_, 4096);
+    Addr dcur = dataBase_;
+    fptrTableAddr_ = dcur;
+    dcur += 8ULL * fptrFuncs_.size();
+    pcTableAddr_ = dcur;
+    dcur += 16ULL * n;
+    if (spec_.goVtab) {
+        vtabAddr_ = dcur;
+        dcur += 8ULL * fptrFuncs_.size();
+        vtabDataAddr_ = dcur;
+        dcur += 8ULL * fptrFuncs_.size();
+    }
+    if (spec_.goFuncPtrPlusOne) {
+        plusOneCellAddr_ = dcur;
+        dcur += 8;
+        plusOneSlotAddr_ = dcur;
+        dcur += 8;
+    }
+    dcur += 64; // small globals area
+    dataSize_ = dcur - dataBase_;
+}
+
+void
+CompilerImpl::buildDataSections(BinaryImage &img)
+{
+    Section data;
+    data.name = ".data";
+    data.kind = SectionKind::data;
+    data.addr = dataBase_;
+    data.memSize = dataSize_;
+    data.writable = true;
+    data.bytes.assign(dataSize_, 0);
+
+    auto put64 = [&](Addr at, std::uint64_t v) {
+        const Offset off = at - dataBase_;
+        for (unsigned i = 0; i < 8; ++i)
+            data.bytes[off + i] =
+                static_cast<std::uint8_t>(v >> (8 * i));
+    };
+    auto pointerCell = [&](Addr at, Addr value) {
+        if (spec_.pie) {
+            img.relocs.push_back(
+                {at, static_cast<std::int64_t>(value)});
+            put64(at, value); // file content; loader overwrites
+        } else {
+            put64(at, value);
+        }
+    };
+
+    for (std::size_t i = 0; i < fptrFuncs_.size(); ++i)
+        pointerCell(fptrTableAddr_ + 8 * i, funcAddrs_[fptrFuncs_[i]]);
+
+    for (unsigned i = 0; i < funcCount(); ++i) {
+        pointerCell(pcTableAddr_ + 16ULL * i, funcAddrs_[i]);
+        pointerCell(pcTableAddr_ + 16ULL * i + 8,
+                    funcAddrs_[i] + funcSizes_[i]);
+    }
+
+    if (spec_.goVtab) {
+        for (std::size_t i = 0; i < fptrFuncs_.size(); ++i) {
+            // Obfuscated: target minus key; startup adds key back.
+            // The relocation (when present) points outside any
+            // function, so pointer analyses do not classify it.
+            pointerCell(vtabDataAddr_ + 8 * i,
+                        funcAddrs_[fptrFuncs_[i]] - vtab_key);
+        }
+    }
+    if (spec_.goFuncPtrPlusOne) {
+        pointerCell(plusOneCellAddr_,
+                    funcAddrs_[static_cast<unsigned>(goexitIdx_)]);
+    }
+
+    img.sections.push_back(std::move(data));
+}
+
+void
+CompilerImpl::fillJumpTables(BinaryImage &img)
+{
+    Section *ro = img.findSection(SectionKind::rodata);
+    icp_assert(ro, "no .rodata");
+    std::size_t site_idx = 0;
+    for (unsigned i = 0; i < spec_.funcs.size(); ++i) {
+        const auto &sws = spec_.funcs[i].switches;
+        for (unsigned s = 0; s < sws.size(); ++s) {
+            icp_assert(site_idx < allSites_.size(),
+                       "switch site bookkeeping mismatch");
+            const SwitchSite &site = allSites_[site_idx++];
+            if (arch_.arch == Arch::ppc64le)
+                continue; // embedded in code
+            const Addr table = tables_.at({i, s});
+            const Offset base_off = table - ro->addr;
+            for (std::size_t e = 0; e < site.caseAddrs.size(); ++e) {
+                std::uint64_t value;
+                if (arch_.arch == Arch::aarch64) {
+                    const std::int64_t diff =
+                        static_cast<std::int64_t>(site.caseAddrs[e]) -
+                        static_cast<std::int64_t>(site.anchorAddr);
+                    icp_assert(diff >= 0 && diff % 4 == 0,
+                               "a64 case before anchor");
+                    value = static_cast<std::uint64_t>(diff / 4);
+                    icp_assert(site.entrySize == 8 ||
+                               value < (1ULL << (8 * site.entrySize)),
+                               "a64 entry does not fit %u bytes "
+                               "(value %llu)", site.entrySize,
+                               static_cast<unsigned long long>(value));
+                } else if (site.relative) {
+                    value = static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(site.caseAddrs[e]) -
+                        static_cast<std::int64_t>(table));
+                } else {
+                    value = site.caseAddrs[e];
+                }
+                const Offset off = base_off + e * site.entrySize;
+                for (unsigned b = 0; b < site.entrySize; ++b) {
+                    ro->bytes[off + b] =
+                        static_cast<std::uint8_t>(value >> (8 * b));
+                }
+            }
+        }
+    }
+}
+
+BinaryImage
+CompilerImpl::compile()
+{
+    planLayout();
+
+    BinaryImage img;
+    img.arch = spec_.arch;
+    img.pie = spec_.pie;
+    img.prefBase = prefBase_;
+    img.tocBase = tocBase_;
+    img.features = spec_.features;
+    if (spec_.sharedObject)
+        img.soname = spec_.name + ".so";
+
+    // Phase B: final emission.
+    resolved_ = true;
+    allSites_.clear();
+    metas_.clear();
+    std::vector<std::uint8_t> text(textSize_, 0);
+    // Inter-function padding is nop bytes (scratch-space source #1).
+    {
+        Instruction nop = makeNop();
+        std::vector<std::uint8_t> nop_bytes;
+        arch_.codec->encode(nop, textBase_, nop_bytes);
+        for (std::size_t i = 0; i + nop_bytes.size() <= text.size();
+             i += nop_bytes.size()) {
+            for (std::size_t b = 0; b < nop_bytes.size(); ++b)
+                text[i + b] = nop_bytes[b];
+        }
+    }
+    std::vector<FdeRecord> fdes;
+    for (unsigned i = 0; i < funcCount(); ++i) {
+        FuncMeta meta = emitFunction(i, funcAddrs_[i], &allSites_);
+        icp_assert(meta.size == funcSizes_[i],
+                   "phase A/B size mismatch for %s: %llu vs %llu",
+                   funcName(i).c_str(),
+                   static_cast<unsigned long long>(funcSizes_[i]),
+                   static_cast<unsigned long long>(meta.size));
+        const Offset off = funcAddrs_[i] - textBase_;
+        std::copy(metaBytes_.begin(), metaBytes_.end(),
+                  text.begin() + static_cast<std::ptrdiff_t>(off));
+
+        FdeRecord fde;
+        fde.start = meta.addr;
+        fde.end = meta.addr + meta.size;
+        fde.frameSize = meta.frameSize;
+        fde.raOnStack = meta.raOnStack;
+        fde.raOffset = meta.raOffset;
+        fde.savesCalleeSaved = meta.frameSize > 0;
+        fde.tryRanges = meta.tryRanges;
+        fdes.push_back(std::move(fde));
+
+        Symbol sym;
+        sym.name = funcName(i);
+        sym.kind = Symbol::Kind::function;
+        sym.addr = meta.addr;
+        sym.size = meta.size;
+        img.symbols.push_back(std::move(sym));
+        metas_.push_back(meta);
+    }
+    img.entry = funcAddrs_[0];
+
+    // Sections.
+    {
+        Section s;
+        s.name = ".dynsym";
+        s.kind = SectionKind::dynsym;
+        s.addr = dynsymAddr_;
+        s.memSize = dynsymSize_;
+        s.bytes.assign(dynsymSize_, 0);
+        for (unsigned i = 0; i < funcCount(); ++i) {
+            // A plausible fixed-width record: addr + size + name idx.
+            std::vector<std::uint8_t> rec;
+            putU64(rec, funcAddrs_[i]);
+            putU64(rec, funcSizes_[i]);
+            putU64(rec, i);
+            std::copy(rec.begin(), rec.end(),
+                      s.bytes.begin() + 24LL * i);
+        }
+        img.sections.push_back(std::move(s));
+    }
+    {
+        Section s;
+        s.name = ".dynstr";
+        s.kind = SectionKind::dynstr;
+        s.addr = dynstrAddr_;
+        s.memSize = dynstrSize_;
+        for (unsigned i = 0; i < funcCount(); ++i) {
+            const std::string name = funcName(i);
+            s.bytes.insert(s.bytes.end(), name.begin(), name.end());
+            s.bytes.push_back(0);
+        }
+        img.sections.push_back(std::move(s));
+    }
+
+    {
+        Section s;
+        s.name = ".text";
+        s.kind = SectionKind::text;
+        s.addr = textBase_;
+        s.memSize = textSize_;
+        s.executable = true;
+        s.bytes = std::move(text);
+        img.sections.push_back(std::move(s));
+    }
+    {
+        Section s;
+        s.name = ".rodata";
+        s.kind = SectionKind::rodata;
+        s.addr = rodataBase_;
+        s.memSize = rodataSize_;
+        s.bytes.assign(rodataSize_, 0);
+        img.sections.push_back(std::move(s));
+    }
+
+    buildDataSections(img);
+    fillJumpTables(img);
+
+    // .rela.dyn mirrors img.relocs as bytes (movable blob).
+    {
+        Section s;
+        s.name = ".rela.dyn";
+        s.kind = SectionKind::relaDyn;
+        s.addr = relaAddr_;
+        for (const auto &rel : img.relocs) {
+            putU64(s.bytes, rel.site);
+            putU64(s.bytes, static_cast<std::uint64_t>(rel.addend));
+        }
+        s.bytes.resize(relaSize_, 0);
+        s.memSize = relaSize_;
+        img.sections.push_back(std::move(s));
+    }
+
+    // .eh_frame, placed after .data.
+    {
+        Section s;
+        s.name = ".eh_frame";
+        s.kind = SectionKind::ehFrame;
+        s.addr = alignUp(dataBase_ + dataSize_, 4096);
+        s.bytes = serializeEhFrame(fdes);
+        s.memSize = s.bytes.size();
+        img.sections.push_back(std::move(s));
+    }
+
+    if (spec_.emitLinkRelocs) {
+        for (unsigned i = 0; i < funcCount(); ++i)
+            img.linkRelocs.push_back({funcAddrs_[i], funcName(i), 0});
+    }
+
+    return img;
+}
+
+} // namespace
+
+BinaryImage
+compileProgram(const ProgramSpec &spec)
+{
+    icp_assert(!spec.funcs.empty(), "program needs at least main");
+    CompilerImpl impl(spec);
+    return impl.compile();
+}
+
+} // namespace icp

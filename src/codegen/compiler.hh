@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The synthetic compiler: lowers a ProgramSpec to a complete SBF
+ * binary for any of the three ISAs, reproducing the code-generation
+ * idioms the paper's analyses are built around — per-arch jump-table
+ * patterns (PIC-relative tables on x64, code-embedded tables on
+ * ppc64le, 1/2-byte anchor-relative tables on aarch64),
+ * function-pointer materialization through relocations / pc-relative
+ * addressing / code immediates, call-frame conventions with
+ * .eh_frame records, Go runtime constructs, and inter-function nop
+ * padding.
+ */
+
+#ifndef ICP_CODEGEN_COMPILER_HH
+#define ICP_CODEGEN_COMPILER_HH
+
+#include "binfmt/image.hh"
+#include "codegen/spec.hh"
+
+namespace icp
+{
+
+/** Compile @p spec into a binary image. */
+BinaryImage compileProgram(const ProgramSpec &spec);
+
+/**
+ * Calling convention constants shared with the rewriter and the
+ * machine-level verification:
+ *  - r1 carries the argument, r0 the return value;
+ *  - r8/r9 are callee-saved and spilled to the two lowest frame
+ *    slots;
+ *  - frames are frame_bytes large; x64 keeps the return address at
+ *    [sp + frame_bytes], the fixed ISAs at [sp + frame_bytes - 8].
+ */
+inline constexpr std::uint32_t frame_bytes = 48;
+
+/** Offset of the Go-ABI stack argument relative to callee-entry sp. */
+inline constexpr unsigned go_arg_slot_lr = 1;  ///< [sp + 8] (fixed)
+inline constexpr unsigned go_arg_slot_x64 = 2; ///< [sp + 16]
+
+} // namespace icp
+
+#endif // ICP_CODEGEN_COMPILER_HH

@@ -1,0 +1,403 @@
+#include "codegen/workloads.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace icp
+{
+
+namespace
+{
+
+/** Feature mix of one synthetic benchmark. */
+struct Personality
+{
+    const char *name;
+    unsigned funcs = 48;          ///< excluding main
+    double switchProb = 0.0;      ///< switch statements per function
+    unsigned switchCases = 8;
+    double hardSwitchFrac = 0.0;  ///< of switch functions, per arch
+    double indirectCallProb = 0.0;
+    double throwPairProb = 0.0;   ///< catcher+thrower pairs
+    double tailCallProb = 0.0;    ///< direct tail calls
+    double indirectTailProb = 0.0;
+    unsigned loopIters = 24;
+    unsigned computeOps = 12;
+    std::uint64_t mainIters = 600;
+    bool fortran = false;
+    bool cpp = false;
+    std::uint64_t rodataPadding = 0;
+};
+
+/**
+ * Build a ProgramSpec from a personality. The call structure is a
+ * DAG: main calls hub functions, hubs call worker functions with
+ * higher indices, workers are leaves. Throwing functions are only
+ * ever called by their paired catcher; address-taken functions never
+ * throw and make no further indirect calls (bounded recursion).
+ */
+ProgramSpec
+buildFromPersonality(const Personality &p, Arch arch, bool pie,
+                     std::uint64_t seed)
+{
+    Rng rng(seed);
+    ProgramSpec spec;
+    spec.name = p.name;
+    spec.arch = arch;
+    spec.pie = pie;
+    spec.mainIterations = p.mainIters;
+    spec.rodataPadding = p.rodataPadding;
+    spec.features.cppExceptions = p.cpp;
+    spec.features.fortranComponent = p.fortran;
+
+    const unsigned n = p.funcs;
+    const unsigned first_worker = 1 + n / 3; // [1, first_worker) hubs
+    const unsigned num_hubs = first_worker - 1;
+    // Workers [first_worker, first_free) are reserved as potential
+    // throwers so that nothing but their paired catcher ever calls
+    // them (an uncaught exception would abort the workload).
+    const unsigned first_free = first_worker + num_hubs;
+    icp_assert(first_free + 4 < n, "personality too small");
+    spec.funcs.resize(n + 1);
+
+    // Workers (leaves and near-leaves).
+    for (unsigned i = first_worker; i <= n; ++i) {
+        FuncSpec &fs = spec.funcs[i];
+        fs.name = std::string(p.name) + "_w" + std::to_string(i);
+        fs.computeOps = 4 +
+            static_cast<unsigned>(rng.range(0, p.computeOps));
+        fs.loopIters = rng.chance(0.3)
+            ? static_cast<unsigned>(rng.range(2, 1 + p.loopIters))
+            : 0;
+        fs.alignment = rng.chance(0.5) ? 16 : 32;
+        fs.padding = static_cast<unsigned>(rng.range(0, 12)) &
+                     ~3u; // keep 4-byte multiple for the fixed ISAs
+        if (rng.chance(p.switchProb)) {
+            SwitchSpec sw;
+            sw.cases = static_cast<unsigned>(
+                1u << rng.range(2, 5)); // 4..32
+            sw.entrySize = arch == Arch::aarch64
+                ? (rng.chance(0.5) ? 1 : 2)
+                : 4;
+            if (sw.cases > 16 && sw.entrySize == 1)
+                sw.entrySize = 2;
+            sw.hard = rng.chance(p.hardSwitchFrac);
+            fs.switches.push_back(sw);
+        }
+    }
+
+    // A pool of address-taken compute leaves at the end.
+    const unsigned takeable = std::max(4u, n / 8);
+    for (unsigned k = 0; k < takeable; ++k) {
+        FuncSpec &fs = spec.funcs[n - k];
+        fs.addressTaken = true;
+        fs.switches.clear();  // keep funcptr targets simple + safe
+        fs.throwsOnOdd = false;
+    }
+
+    // Hubs call workers; some catch, some tail-call, some compare
+    // function pointers.
+    unsigned thrower_cursor = first_worker;
+    for (unsigned i = 1; i < first_worker; ++i) {
+        FuncSpec &fs = spec.funcs[i];
+        fs.name = std::string(p.name) + "_h" + std::to_string(i);
+        fs.computeOps = 4 +
+            static_cast<unsigned>(rng.range(0, p.computeOps));
+        fs.loopIters = rng.chance(0.5)
+            ? static_cast<unsigned>(rng.range(2, 8))
+            : 0;
+        const unsigned ncallees = static_cast<unsigned>(
+            rng.range(1, 3));
+        for (unsigned c = 0; c < ncallees; ++c) {
+            fs.callees.push_back(static_cast<unsigned>(
+                rng.range(first_free, n)));
+        }
+        if (p.cpp && rng.chance(p.throwPairProb) &&
+            thrower_cursor < first_free) {
+            // Dedicated thrower worker, called only from here.
+            FuncSpec &thrower = spec.funcs[thrower_cursor];
+            thrower.throwsOnOdd = true;
+            thrower.loopIters = 0; // looping leaves must not throw
+            thrower.switches.clear();
+            fs.catches = true;
+            fs.callees = {thrower_cursor};
+            ++thrower_cursor;
+        }
+        if (rng.chance(p.indirectCallProb))
+            fs.indirectCalls =
+                static_cast<unsigned>(rng.range(1, 2));
+        if (p.cpp && rng.chance(0.2))
+            fs.comparesFuncPtr = true;
+        if (rng.chance(p.tailCallProb)) {
+            fs.tailCallTo = static_cast<int>(
+                rng.range(first_free, n - takeable));
+        } else if (rng.chance(p.indirectTailProb)) {
+            fs.indirectTailCall = true;
+        }
+    }
+
+    // main: calls every hub each iteration.
+    FuncSpec &fmain = spec.funcs[0];
+    fmain.name = "main";
+    fmain.computeOps = 6;
+    for (unsigned i = 1; i < first_worker; ++i)
+        fmain.callees.push_back(i);
+    if (spec.funcs[n].addressTaken)
+        fmain.indirectCalls = 1;
+
+    return spec;
+}
+
+} // namespace
+
+std::vector<std::string>
+specCpuNames()
+{
+    return {
+        "600.perlbench", "602.gcc", "603.bwaves", "605.mcf",
+        "607.cactuBSSN", "619.lbm", "620.omnetpp", "621.wrf",
+        "623.xalancbmk", "625.x264", "628.pop2", "631.deepsjeng",
+        "638.imagick", "641.leela", "644.nab", "648.exchange2",
+        "649.fotonik3d", "654.roms", "657.xz",
+    };
+}
+
+std::vector<ProgramSpec>
+specCpuSuite(Arch arch, bool pie)
+{
+    // Per-arch twists (§8.1): on ppc64le some jump tables stay
+    // unresolvable even for us (hard switches leave gaps), and one
+    // benchmark's data pushes .instr beyond the ±32 MB branch range;
+    // aarch64 has a tiny unresolvable tail plus one benchmark beyond
+    // the ±128 MB range would be impractical to simulate at full
+    // size, so its range pressure comes from the same 40 MB blob.
+    const bool is_ppc = arch == Arch::ppc64le;
+    const bool is_a64 = arch == Arch::aarch64;
+    const double hard = is_ppc ? 0.30 : (is_a64 ? 0.04 : 0.0);
+    const std::uint64_t big_ro = 40ULL * 1024 * 1024;
+
+    std::vector<Personality> ps = {
+        // name          funcs  swPr  cases hard  indir  thr   tail  itail
+        {"600.perlbench", 56, 0.45, 16, hard, 0.30, 0.15, 0.20, 0.10,
+         16, 12, 500, false, false, 0},
+        {"602.gcc", 72, 0.60, 32, hard, 0.25, 0.00, 0.25, 0.15,
+         12, 10, 400, false, false, is_ppc ? big_ro : 0},
+        {"603.bwaves", 28, 0.00, 4, 0.0, 0.00, 0.00, 0.00, 0.00,
+         48, 24, 900, true, false, 0},
+        {"605.mcf", 20, 0.10, 8, 0.0, 0.05, 0.00, 0.10, 0.00,
+         32, 16, 900, false, false, 0},
+        {"607.cactuBSSN", 40, 0.05, 4, 0.0, 0.00, 0.00, 0.00, 0.00,
+         40, 28, 700, true, false, 0},
+        {"619.lbm", 16, 0.00, 4, 0.0, 0.00, 0.00, 0.00, 0.00,
+         56, 24, 1000, false, false, 0},
+        {"620.omnetpp", 60, 0.25, 8, hard, 0.45, 0.40, 0.10, 0.10,
+         12, 10, 400, false, true, 0},
+        {"621.wrf", 64, 0.05, 4, 0.0, 0.00, 0.00, 0.05, 0.00,
+         36, 24, 500, true, false, 0},
+        {"623.xalancbmk", 64, 0.30, 16, hard, 0.50, 0.35, 0.10, 0.10,
+         12, 10, 400, false, true, is_a64 ? big_ro : 0},
+        {"625.x264", 44, 0.20, 8, 0.0, 0.40, 0.00, 0.15, 0.10,
+         24, 16, 600, false, false, 0},
+        {"628.pop2", 48, 0.05, 4, 0.0, 0.00, 0.00, 0.00, 0.00,
+         40, 24, 600, true, false, 0},
+        {"631.deepsjeng", 32, 0.25, 16, 0.0, 0.15, 0.00, 0.20, 0.05,
+         24, 14, 700, false, false, 0},
+        {"638.imagick", 40, 0.15, 8, 0.0, 0.35, 0.00, 0.10, 0.05,
+         28, 18, 600, false, false, 0},
+        {"641.leela", 36, 0.15, 8, hard, 0.30, 0.25, 0.10, 0.05,
+         20, 14, 600, false, true, 0},
+        {"644.nab", 28, 0.10, 8, 0.0, 0.10, 0.00, 0.05, 0.00,
+         36, 20, 700, false, false, 0},
+        {"648.exchange2", 24, 0.10, 8, 0.0, 0.00, 0.00, 0.00, 0.00,
+         44, 22, 800, true, false, 0},
+        {"649.fotonik3d", 28, 0.00, 4, 0.0, 0.00, 0.00, 0.00, 0.00,
+         48, 26, 800, true, false, 0},
+        {"654.roms", 36, 0.05, 4, 0.0, 0.00, 0.00, 0.00, 0.00,
+         44, 24, 700, true, false, 0},
+        {"657.xz", 24, 0.20, 8, 0.0, 0.10, 0.00, 0.15, 0.05,
+         28, 16, 800, false, false, 0},
+    };
+    icp_assert(ps.size() == 19, "suite must have 19 benchmarks");
+
+    std::vector<ProgramSpec> suite;
+    std::uint64_t seed = 0x5eed0000 + static_cast<unsigned>(arch);
+    for (const auto &p : ps)
+        suite.push_back(buildFromPersonality(p, arch, pie, seed++));
+    return suite;
+}
+
+ProgramSpec
+libxulProfile()
+{
+    Personality p;
+    p.name = "libxul";
+    p.funcs = 420;
+    p.switchProb = 0.30;
+    p.switchCases = 16;
+    p.hardSwitchFrac = 0.035; // a handful of unresolvable functions
+    p.indirectCallProb = 0.45;
+    p.throwPairProb = 0.30;
+    p.tailCallProb = 0.12;
+    p.indirectTailProb = 0.08;
+    p.loopIters = 6;
+    p.computeOps = 10;
+    p.mainIters = 120;
+    p.cpp = true;
+
+    ProgramSpec spec = buildFromPersonality(p, Arch::x64, true,
+                                            0xf12ef0c5);
+    spec.sharedObject = true;
+    spec.features.rustMetadata = true;
+    spec.features.symbolVersioning = true;
+    // A fixed handful of unresolvable dispatchers: the 0.07% of
+    // functions the paper could not instrument (99.93% coverage).
+    unsigned hardened = 0;
+    for (auto &fs : spec.funcs) {
+        if (!fs.switches.empty() && !fs.addressTaken &&
+            hardened < 2) {
+            fs.switches.front().hard = true;
+            ++hardened;
+        }
+    }
+    return spec;
+}
+
+ProgramSpec
+dockerProfile()
+{
+    Personality p;
+    p.name = "docker";
+    p.funcs = 96;
+    p.switchProb = 0.0; // Go's compiler emits no jump tables (§8.2)
+    p.indirectCallProb = 0.55;
+    p.tailCallProb = 0.05;
+    p.loopIters = 10;
+    p.computeOps = 10;
+    p.mainIters = 400;
+
+    ProgramSpec spec = buildFromPersonality(p, Arch::x64, true,
+                                            0xd0c4e2);
+    spec.features.isGo = true;
+    spec.goRuntime = true;
+    spec.goVtab = true;
+    spec.goFuncPtrPlusOne = true;
+
+    // The +1 target: a goexit-shaped function starting with a nop.
+    FuncSpec goexit;
+    goexit.name = "go.goexit";
+    goexit.leadingNop = true;
+    goexit.computeOps = 4;
+    spec.funcs.push_back(goexit);
+    return spec;
+}
+
+ProgramSpec
+libcudaProfile()
+{
+    Rng rng(0xcdcdcd);
+    ProgramSpec spec;
+    spec.name = "libcuda";
+    spec.arch = Arch::x64;
+    spec.pie = true;
+    spec.sharedObject = true;
+    spec.features.symbolVersioning = true;
+    spec.mainIterations = 250;
+
+    // Many small driver entry points; a slice of them use dense
+    // tiny-case dispatch switches that defeat naive per-block
+    // trampoline placement (§9).
+    const unsigned n = 360;
+    spec.funcs.resize(n + 1);
+    const unsigned hubs = 24;
+    for (unsigned i = hubs + 1; i <= n; ++i) {
+        FuncSpec &fs = spec.funcs[i];
+        fs.name = "cu_f" + std::to_string(i);
+        fs.computeOps = 2 +
+            static_cast<unsigned>(rng.range(0, 6));
+        fs.alignment = 16;
+        if (rng.chance(0.35)) {
+            SwitchSpec sw;
+            sw.cases = static_cast<unsigned>(1u << rng.range(3, 5));
+            sw.denseTiny = true;
+            fs.switches.push_back(sw);
+            // Driver dispatch loops: the tiny-case switch dominates
+            // the function's execution.
+            fs.loopIters = 14;
+            fs.computeOps = 2;
+        }
+        if (i > n - 8)
+            fs.addressTaken = true;
+    }
+    for (unsigned i = 1; i <= hubs; ++i) {
+        FuncSpec &fs = spec.funcs[i];
+        fs.name = "cu_api" + std::to_string(i);
+        fs.computeOps = 6;
+        fs.loopIters = 4;
+        for (unsigned c = 0; c < 3; ++c) {
+            fs.callees.push_back(static_cast<unsigned>(
+                rng.range(hubs + 1, n)));
+        }
+        if (rng.chance(0.4))
+            fs.indirectCalls = 1;
+    }
+    FuncSpec &fmain = spec.funcs[0];
+    fmain.name = "main";
+    for (unsigned i = 1; i <= hubs; ++i)
+        fmain.callees.push_back(i);
+    return spec;
+}
+
+ProgramSpec
+microProfile(Arch arch, bool pie)
+{
+    ProgramSpec spec;
+    spec.name = "micro";
+    spec.arch = arch;
+    spec.pie = pie;
+    spec.mainIterations = 40;
+    spec.features.cppExceptions = true;
+
+    spec.funcs.resize(6);
+    FuncSpec &fmain = spec.funcs[0];
+    fmain.name = "main";
+    fmain.callees = {1, 2};
+    fmain.indirectCalls = 1;
+
+    FuncSpec &sw = spec.funcs[1];
+    sw.name = "switcher";
+    sw.computeOps = 6;
+    sw.loopIters = 4;
+    sw.callees = {4};
+    SwitchSpec s;
+    s.cases = 8;
+    s.entrySize = arch == Arch::aarch64 ? 2 : 4;
+    sw.switches.push_back(s);
+
+    FuncSpec &catcher = spec.funcs[2];
+    catcher.name = "catcher";
+    catcher.catches = true;
+    catcher.callees = {3};
+    catcher.comparesFuncPtr = true;
+
+    FuncSpec &thrower = spec.funcs[3];
+    thrower.name = "thrower";
+    thrower.throwsOnOdd = true;
+    thrower.computeOps = 4;
+
+    FuncSpec &worker = spec.funcs[4];
+    worker.name = "worker";
+    worker.computeOps = 8;
+    worker.loopIters = 3;
+    worker.indirectTailCall = true;
+
+    FuncSpec &taken = spec.funcs[5];
+    taken.name = "taken";
+    taken.computeOps = 5;
+    taken.addressTaken = true;
+
+    return spec;
+}
+
+} // namespace icp

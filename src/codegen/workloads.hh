@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Workload-profile generators: deterministic ProgramSpecs whose
+ * feature mixes stand in for the paper's evaluation subjects —
+ * the 19 SPEC CPU 2017 benchmarks, Firefox's libxul.so, the Docker
+ * (Go) executable, and Nvidia's libcuda.so driver (§8, §9).
+ */
+
+#ifndef ICP_CODEGEN_WORKLOADS_HH
+#define ICP_CODEGEN_WORKLOADS_HH
+
+#include <vector>
+
+#include "codegen/spec.hh"
+
+namespace icp
+{
+
+/**
+ * The 19-benchmark SPEC-CPU-2017-like suite (627.cam4 is excluded,
+ * as in the paper). Feature mixes per benchmark: gcc-like programs
+ * are switch-heavy, C++-like ones throw and catch exceptions and
+ * make virtual-style indirect calls, Fortran-like ones are loop and
+ * arithmetic heavy with little indirect control flow.
+ *
+ * @param arch target ISA
+ * @param pie  position independent (the paper's default runs use
+ *             -no-pie; the Egalito comparison needs -pie)
+ */
+std::vector<ProgramSpec> specCpuSuite(Arch arch, bool pie);
+
+/** Names of the benchmarks in suite order. */
+std::vector<std::string> specCpuNames();
+
+/** Firefox libxul.so analog: huge shared library, Rust metadata. */
+ProgramSpec libxulProfile();
+
+/** Docker analog: Go PIE with vtab, +1 pointers, GC unwinding. */
+ProgramSpec dockerProfile();
+
+/** libcuda.so analog: many tiny functions, dense tiny switches. */
+ProgramSpec libcudaProfile();
+
+/** A small fully featured program for tests and the quickstart. */
+ProgramSpec microProfile(Arch arch, bool pie);
+
+} // namespace icp
+
+#endif // ICP_CODEGEN_WORKLOADS_HH

@@ -1,0 +1,71 @@
+#include "harness/experiment.hh"
+
+#include "rewrite/rewriter.hh"
+#include "sim/loader.hh"
+
+namespace icp
+{
+
+ToolRun
+runBlockLevelExperiment(const BinaryImage &original,
+                        RewriteOptions tool_options,
+                        Machine::Config machine_cfg)
+{
+    ToolRun run;
+
+    // Verification pass: strong test + entry counting.
+    RewriteOptions verify_opts = tool_options;
+    verify_opts.clobberOriginal = true;
+    verify_opts.instrumentation.countFunctionEntries = true;
+    verify_opts.instrumentation.countBlocks = true;
+    const RewriteResult verify_rw =
+        rewriteBinary(original, verify_opts);
+    const VerifyOutcome verified =
+        verifyRewrite(original, verify_rw, machine_cfg);
+    if (!verified.pass) {
+        run.failReason = verified.reason;
+        run.stats = verify_rw.stats;
+        run.coverage = verify_rw.stats.coverage();
+        return run;
+    }
+    run.goldenRun = verified.golden;
+
+    // Timing pass: empty instrumentation (the paper's overhead
+    // methodology), still under the strong test.
+    RewriteOptions timing_opts = tool_options;
+    timing_opts.clobberOriginal = true;
+    timing_opts.instrumentation = InstrumentationSpec{};
+    const RewriteResult timing_rw =
+        rewriteBinary(original, timing_opts);
+    if (!timing_rw.ok) {
+        run.failReason = "timing rewrite failed: " +
+                         timing_rw.failReason;
+        return run;
+    }
+
+    auto proc = loadImage(timing_rw.image);
+    RuntimeLib rt(proc->module);
+    Machine machine(*proc, machine_cfg);
+    machine.attachRuntimeLib(&rt);
+    run.rewrittenRun = machine.run();
+    if (!run.rewrittenRun.halted) {
+        run.failReason = "timing run faulted: " +
+                         run.rewrittenRun.describe();
+        return run;
+    }
+    if (run.rewrittenRun.checksum != run.goldenRun.checksum) {
+        run.failReason = "timing run checksum mismatch";
+        return run;
+    }
+
+    run.pass = true;
+    run.stats = timing_rw.stats;
+    run.coverage = timing_rw.stats.coverage();
+    run.sizeIncrease = timing_rw.stats.sizeIncrease();
+    run.overhead =
+        static_cast<double>(run.rewrittenRun.cycles) /
+            static_cast<double>(run.goldenRun.cycles) - 1.0;
+    return run;
+}
+
+} // namespace icp

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The block-level empty-instrumentation experiment of §8: rewrite a
+ * workload with a given tool configuration, verify correctness with
+ * the strong test + counting instrumentation, then measure runtime
+ * overhead with empty instrumentation, and report the Table-3 row
+ * ingredients (overhead, coverage, size increase, pass/fail).
+ */
+
+#ifndef ICP_HARNESS_EXPERIMENT_HH
+#define ICP_HARNESS_EXPERIMENT_HH
+
+#include <string>
+
+#include "harness/verify.hh"
+#include "rewrite/options.hh"
+
+namespace icp
+{
+
+struct ToolRun
+{
+    bool pass = false;
+    std::string failReason;
+
+    double overhead = 0.0;     ///< rewritten cycles / golden - 1
+    double coverage = 0.0;     ///< instrumented / total functions
+    double sizeIncrease = 0.0; ///< loaded-size growth
+
+    RewriteStats stats;
+    RunResult goldenRun;
+    RunResult rewrittenRun;
+};
+
+/**
+ * Run the full §8 protocol on @p original with @p tool_options.
+ * The harness forces block-level instrumentation: the verification
+ * pass counts function entries (checked against native counts) and
+ * clobbers original bytes; the timing pass uses empty
+ * instrumentation, as the paper does.
+ */
+ToolRun runBlockLevelExperiment(const BinaryImage &original,
+                                RewriteOptions tool_options,
+                                Machine::Config machine_cfg);
+
+} // namespace icp
+
+#endif // ICP_HARNESS_EXPERIMENT_HH

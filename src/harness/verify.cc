@@ -1,0 +1,95 @@
+#include "harness/verify.hh"
+
+#include <cstdio>
+
+#include "sim/loader.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+VerifyOutcome
+verifyRewrite(const BinaryImage &original,
+              const RewriteResult &rewritten,
+              Machine::Config machine_cfg)
+{
+    VerifyOutcome outcome;
+    if (!rewritten.ok) {
+        outcome.reason = "rewrite failed: " + rewritten.failReason;
+        return outcome;
+    }
+
+    // Golden run with native transfer recording.
+    {
+        auto proc = loadImage(original);
+        Machine::Config cfg = machine_cfg;
+        cfg.recordTransferTargets = true;
+        Machine machine(*proc, cfg);
+        outcome.golden = machine.run();
+    }
+    if (!outcome.golden.halted) {
+        outcome.reason = "golden run did not halt: " +
+                         outcome.golden.describe();
+        return outcome;
+    }
+
+    // Rewritten run with the runtime library preloaded.
+    {
+        auto proc = loadImage(rewritten.image);
+        RuntimeLib rt(proc->module);
+        Machine machine(*proc, machine_cfg);
+        machine.attachRuntimeLib(&rt);
+        outcome.rewritten = machine.run();
+    }
+    if (!outcome.rewritten.halted) {
+        outcome.reason = "rewritten run faulted: " +
+                         outcome.rewritten.describe();
+        return outcome;
+    }
+
+    if (outcome.rewritten.checksum != outcome.golden.checksum) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "checksum mismatch: golden 0x%llx vs 0x%llx",
+                      static_cast<unsigned long long>(
+                          outcome.golden.checksum),
+                      static_cast<unsigned long long>(
+                          outcome.rewritten.checksum));
+        outcome.reason = buf;
+        return outcome;
+    }
+    if (outcome.rewritten.exceptionsThrown !=
+        outcome.golden.exceptionsThrown) {
+        outcome.reason = "exception count mismatch";
+        return outcome;
+    }
+
+    // Function-entry instrumentation semantics.
+    for (const auto &[entry, id] : rewritten.entryCounters) {
+        const std::uint64_t counted =
+            id < outcome.rewritten.counters.size()
+                ? outcome.rewritten.counters[id]
+                : 0;
+        auto it = outcome.golden.transferTargets.find(entry);
+        const std::uint64_t native =
+            it == outcome.golden.transferTargets.end() ? 0
+                                                       : it->second;
+        if (counted != native) {
+            char buf[160];
+            std::snprintf(
+                buf, sizeof(buf),
+                "entry counter mismatch at 0x%llx: counted %llu, "
+                "native %llu",
+                static_cast<unsigned long long>(entry),
+                static_cast<unsigned long long>(counted),
+                static_cast<unsigned long long>(native));
+            outcome.reason = buf;
+            return outcome;
+        }
+    }
+
+    outcome.pass = true;
+    return outcome;
+}
+
+} // namespace icp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The strong correctness test of §8: run the original binary, run
+ * the rewritten binary (whose original instrumented-function bytes
+ * were clobbered with illegal opcodes except for trampolines), and
+ * compare termination, checksums, exception counts, and
+ * function-entry instrumentation counters against natively recorded
+ * control-transfer counts — the "executed once and only once when a
+ * function is called" semantics of §1.
+ */
+
+#ifndef ICP_HARNESS_VERIFY_HH
+#define ICP_HARNESS_VERIFY_HH
+
+#include <string>
+
+#include "rewrite/options.hh"
+#include "sim/machine.hh"
+
+namespace icp
+{
+
+struct VerifyOutcome
+{
+    bool pass = false;
+    std::string reason;
+    RunResult golden;
+    RunResult rewritten;
+};
+
+/**
+ * Run the golden and rewritten binaries under @p machine_cfg and
+ * compare. The rewritten image should have been produced with
+ * clobberOriginal and countFunctionEntries enabled for maximum
+ * sensitivity.
+ */
+VerifyOutcome verifyRewrite(const BinaryImage &original,
+                            const RewriteResult &rewritten,
+                            Machine::Config machine_cfg);
+
+} // namespace icp
+
+#endif // ICP_HARNESS_VERIFY_HH

@@ -1,0 +1,115 @@
+#include "isa/arch.hh"
+
+#include "isa/codec_fixed.hh"
+#include "isa/codec_x64.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+namespace
+{
+
+const CodecX64 codec_x64;
+
+const CodecFixed codec_ppc({
+    .branchRange = 32LL * 1024 * 1024, // ±32 MB
+    .hasToc = true,
+    .hasAdr = false,
+});
+
+const CodecFixed codec_a64({
+    .branchRange = 128LL * 1024 * 1024, // ±128 MB
+    .hasToc = false,
+    .hasAdr = true,
+});
+
+const ArchInfo arch_x64 = {
+    .arch = Arch::x64,
+    .name = "x86-64",
+    .fixedLength = false,
+    .instrAlign = 1,
+    .minInstrLen = 1,
+    .maxInstrLen = 10,
+    .hasLinkRegister = false,
+    .hasToc = false,
+    .hasTarReg = false,
+    .hasShortBranch = true,
+    .shortJmpRange = 127,
+    .shortJmpLen = 2,
+    .directJmpRange = (1LL << 31) - 1,
+    .directJmpLen = 5,
+    .longTrampRange = (1LL << 31) - 1,
+    .longTrampLen = 5,
+    .nopLen = 1,
+    .trapLen = 1,
+    .codec = &codec_x64,
+};
+
+const ArchInfo arch_ppc = {
+    .arch = Arch::ppc64le,
+    .name = "ppc64le",
+    .fixedLength = true,
+    .instrAlign = 4,
+    .minInstrLen = 4,
+    .maxInstrLen = 4,
+    .hasLinkRegister = true,
+    .hasToc = true,
+    .hasTarReg = true,
+    .hasShortBranch = false,
+    .shortJmpRange = 0,
+    .shortJmpLen = 0,
+    .directJmpRange = 32LL * 1024 * 1024,
+    .directJmpLen = 4,
+    // addis/addi reach ±2 GB around the TOC anchor; 4 instructions.
+    .longTrampRange = (1LL << 31) - 1,
+    .longTrampLen = 16,
+    .nopLen = 4,
+    .trapLen = 4,
+    .codec = &codec_ppc,
+};
+
+const ArchInfo arch_a64 = {
+    .arch = Arch::aarch64,
+    .name = "aarch64",
+    .fixedLength = true,
+    .instrAlign = 4,
+    .minInstrLen = 4,
+    .maxInstrLen = 4,
+    .hasLinkRegister = true,
+    .hasToc = false,
+    .hasTarReg = false,
+    .hasShortBranch = false,
+    .shortJmpRange = 0,
+    .shortJmpLen = 0,
+    // The 26-bit word field tops out one instruction short of 128MB.
+    .directJmpRange = 128LL * 1024 * 1024 - 4,
+    .directJmpLen = 4,
+    // adrp/add/br reach ±2 GB around the pc; 3 instructions.
+    .longTrampRange = (1LL << 31) - 1,
+    .longTrampLen = 12,
+    .nopLen = 4,
+    .trapLen = 4,
+    .codec = &codec_a64,
+};
+
+} // namespace
+
+const ArchInfo &
+ArchInfo::get(Arch arch)
+{
+    switch (arch) {
+      case Arch::x64: return arch_x64;
+      case Arch::ppc64le: return arch_ppc;
+      case Arch::aarch64: return arch_a64;
+    }
+    icp_panic("unknown arch %u", static_cast<unsigned>(arch));
+}
+
+const char *
+archName(Arch arch)
+{
+    return ArchInfo::get(arch).name;
+}
+
+} // namespace icp

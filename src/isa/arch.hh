@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Architecture descriptors for the three synthetic ISAs. Each ISA is
+ * modeled on one of the paper's target architectures and reproduces
+ * the encoding properties that drive the trampoline design in
+ * Table 2: instruction length regime, direct-branch reach, presence
+ * of a short branch form, link register, and TOC/tar registers.
+ */
+
+#ifndef ICP_ISA_ARCH_HH
+#define ICP_ISA_ARCH_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "support/types.hh"
+
+namespace icp
+{
+
+enum class Arch : std::uint8_t
+{
+    x64 = 0,     ///< variable-length, modeled on x86-64
+    ppc64le = 1, ///< fixed 4-byte, ±32 MB branches, TOC, tar register
+    aarch64 = 2, ///< fixed 4-byte, ±128 MB branches, adrp/add/br
+};
+
+inline constexpr std::array<Arch, 3> all_arches = {
+    Arch::x64, Arch::ppc64le, Arch::aarch64,
+};
+
+/**
+ * Byte-level encoder/decoder for one ISA. Encoding appends to the
+ * output vector and fails (returns false) when an operand does not
+ * fit the encoding — e.g. a branch displacement beyond the reach of
+ * the instruction — so callers can fall back to longer sequences.
+ */
+class Codec
+{
+  public:
+    virtual ~Codec() = default;
+
+    /**
+     * Encode @p in as placed at @p addr, appending bytes to @p out.
+     * @return false if the instruction cannot be encoded on this ISA
+     *         or an operand is out of range.
+     */
+    virtual bool encode(const Instruction &in, Addr addr,
+                        std::vector<std::uint8_t> &out) const = 0;
+
+    /**
+     * Decode one instruction at @p addr from @p bytes.
+     * On failure returns false and sets out.op = Illegal with a
+     * minimal length so disassembly can resynchronize.
+     */
+    virtual bool decode(const std::uint8_t *bytes, std::size_t avail,
+                        Addr addr, Instruction &out) const = 0;
+
+    /** Encoded length in bytes, or 0 if unencodable. */
+    virtual unsigned encodedLength(const Instruction &in) const = 0;
+};
+
+/**
+ * Static properties of one ISA. The branch-range fields are the
+ * authoritative limits used by the trampoline writer; on the fixed
+ * ISAs they are tighter than what the raw encoding field could hold
+ * (the real machines reserve encodings), and the codec enforces them.
+ */
+struct ArchInfo
+{
+    Arch arch;
+    const char *name;
+
+    bool fixedLength;        ///< all instructions 4 bytes
+    unsigned instrAlign;     ///< 1 (x64) or 4
+    unsigned minInstrLen;    ///< 1 or 4
+    unsigned maxInstrLen;    ///< 10 or 4
+
+    bool hasLinkRegister;    ///< calls write lr instead of pushing
+    bool hasToc;             ///< ppc64le TOC register (r2 analog)
+    bool hasTarReg;          ///< ppc64le branch-target special reg
+    bool hasShortBranch;     ///< x64 2-byte jump
+
+    std::int64_t shortJmpRange; ///< ± bytes for the short form (x64)
+    unsigned shortJmpLen;       ///< bytes
+
+    std::int64_t directJmpRange; ///< ± bytes for the 1-instr direct jump
+    unsigned directJmpLen;       ///< bytes
+
+    std::int64_t longTrampRange; ///< ± bytes for the multi-instr form
+    unsigned longTrampLen;       ///< bytes of the full long sequence
+
+    unsigned nopLen;         ///< length of one nop (padding granule)
+    unsigned trapLen;        ///< length of the trap instruction
+
+    const Codec *codec;
+
+    /** Global accessor for the three singleton descriptors. */
+    static const ArchInfo &get(Arch arch);
+};
+
+/** Printable architecture name ("x86-64", "ppc64le", "aarch64"). */
+const char *archName(Arch arch);
+
+} // namespace icp
+
+#endif // ICP_ISA_ARCH_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Little-endian byte packing helpers shared by the codecs and the
+ * binary-format serializers.
+ */
+
+#ifndef ICP_ISA_BYTES_HH
+#define ICP_ISA_BYTES_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace icp
+{
+
+inline void
+putU8(std::vector<std::uint8_t> &out, std::uint8_t v)
+{
+    out.push_back(v);
+}
+
+inline void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline std::uint16_t
+getU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+/** Sign-extend the low @p bits of v. */
+inline std::int64_t
+signExtend(std::uint64_t v, unsigned bits)
+{
+    const std::uint64_t m = 1ULL << (bits - 1);
+    v &= (bits == 64) ? ~0ULL : ((1ULL << bits) - 1);
+    return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+/** True iff v fits in a signed field of @p bits. */
+inline bool
+fitsSigned(std::int64_t v, unsigned bits)
+{
+    const std::int64_t lo = -(1LL << (bits - 1));
+    const std::int64_t hi = (1LL << (bits - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+} // namespace icp
+
+#endif // ICP_ISA_BYTES_HH

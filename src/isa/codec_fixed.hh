@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fixed 4-byte codec shared by the ppc64le-like and aarch64-like
+ * ISAs. The two differ in which opcodes exist (TOC/tar vs
+ * adrp/adr) and in the enforced direct-branch reach (±32 MB vs
+ * ±128 MB), both of which are constructor parameters.
+ */
+
+#ifndef ICP_ISA_CODEC_FIXED_HH
+#define ICP_ISA_CODEC_FIXED_HH
+
+#include "isa/arch.hh"
+
+namespace icp
+{
+
+class CodecFixed : public Codec
+{
+  public:
+    struct Options
+    {
+        /** Enforced ± reach of Jmp/Call, in bytes. */
+        std::int64_t branchRange;
+        /** ppc64le: AddisToc/MoveToTar/JmpTar available. */
+        bool hasToc;
+        /** aarch64: Lea (ADR) and AdrPage (ADRP) available. */
+        bool hasAdr;
+    };
+
+    explicit CodecFixed(const Options &opts) : opts_(opts) {}
+
+    bool encode(const Instruction &in, Addr addr,
+                std::vector<std::uint8_t> &out) const override;
+    bool decode(const std::uint8_t *bytes, std::size_t avail, Addr addr,
+                Instruction &out) const override;
+    unsigned encodedLength(const Instruction &in) const override;
+
+  private:
+    bool opcodeSupported(Opcode op) const;
+
+    Options opts_;
+};
+
+} // namespace icp
+
+#endif // ICP_ISA_CODEC_FIXED_HH

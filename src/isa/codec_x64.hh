@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Variable-length codec for the x64-like ISA. Instruction lengths
+ * are deterministic per opcode (1..10 bytes); direct branches come in
+ * a 2-byte short form (±127 B) and a 5-byte near form (±2 GB),
+ * mirroring the trampoline-relevant properties of x86-64.
+ */
+
+#ifndef ICP_ISA_CODEC_X64_HH
+#define ICP_ISA_CODEC_X64_HH
+
+#include "isa/arch.hh"
+
+namespace icp
+{
+
+class CodecX64 : public Codec
+{
+  public:
+    bool encode(const Instruction &in, Addr addr,
+                std::vector<std::uint8_t> &out) const override;
+    bool decode(const std::uint8_t *bytes, std::size_t avail, Addr addr,
+                Instruction &out) const override;
+    unsigned encodedLength(const Instruction &in) const override;
+};
+
+} // namespace icp
+
+#endif // ICP_ISA_CODEC_X64_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The shared semantic opcode set of the three synthetic ISAs. Each
+ * architecture encodes a subset of these opcodes with its own byte
+ * format (see the codec classes); the simulator interprets them with
+ * shared semantics.
+ */
+
+#ifndef ICP_ISA_OPCODE_HH
+#define ICP_ISA_OPCODE_HH
+
+#include <cstdint>
+
+namespace icp
+{
+
+enum class Opcode : std::uint8_t
+{
+    Illegal = 0, ///< decode failure / clobbered byte
+
+    // No-ops and machine control.
+    Nop,
+    Trap,       ///< raises a trap handled by the runtime library
+    Halt,       ///< normal program termination
+
+    // Data movement and arithmetic.
+    MovImm,     ///< rd = imm (x64: 64-bit; fixed ISAs: signed 16-bit)
+    MovHi,      ///< rd = (rd & 0xffff) | (imm16 << 16)   (fixed ISAs)
+    MovReg,     ///< rd = rs1
+    Add,        ///< rd = rd + rs1
+    Sub,        ///< rd = rd - rs1
+    Mul,        ///< rd = rd * rs1
+    Xor,        ///< rd = rd ^ rs1
+    AddImm,     ///< rd = rd + imm
+    ShlImm,     ///< rd = rd << imm
+    ShrImm,     ///< rd = rd >> imm (logical)
+    Cmp,        ///< flags = compare(rs1, rs2)
+    CmpImm,     ///< flags = compare(rs1, imm)
+
+    // Memory.
+    Load,       ///< rd = mem64[rs1 + imm]
+    Store,      ///< mem64[rs1 + imm] = rs2
+    LoadSz,     ///< rd = memN[rs1 + imm], N = memSize, zero-extended
+    LoadIdx,    ///< rd = memN[rs1 + rs2 * memSize + imm], zero-ext;
+                ///< signed when signedLoad (jump-table reads)
+    StoreSz,    ///< memN[rs1 + imm] = rs2 truncated to memSize
+
+    // Address formation.
+    Lea,        ///< rd = pc-relative address (x64 RIP-lea, a64 ADR)
+    AdrPage,    ///< rd = page(pc) + imm * 4096 (a64 ADRP)
+    AddisToc,   ///< rd = toc + (imm << 16)      (ppc64le addis rd,r2)
+
+    // Direct control flow.
+    Jmp,        ///< unconditional direct branch
+    JmpCond,    ///< conditional direct branch on cond
+    Call,       ///< direct call (x64 pushes RA; fixed ISAs set lr)
+
+    // Indirect control flow.
+    JmpInd,     ///< branch to rs1
+    CallInd,    ///< call to rs1
+    CallIndMem, ///< call to mem64[rs1 + imm]    (x64 only)
+    JmpTar,     ///< branch to tar register      (ppc64le bctar)
+    MoveToTar,  ///< tar = rs1                   (ppc64le mtspr)
+    Ret,        ///< x64: pop RA and branch; fixed ISAs: branch to lr
+
+    // Stack (x64 only; fixed ISAs use Store/Load with sp).
+    Push,       ///< sp -= 8; mem64[sp] = rs1
+    PushImm,    ///< sp -= 8; mem64[sp] = imm64 (call emulation)
+    Pop,        ///< rd = mem64[sp]; sp += 8
+
+    // Language-runtime hooks.
+    Throw,      ///< raise an exception: unwind via the FDE table
+    ThrowRa,    ///< throw whose unwind pc is the emulated return
+                ///< address (x64: popped; fixed ISAs: lr) — used by
+                ///< call-emulation rewriting
+    CallRt,     ///< call runtime-library service #imm (instrumentation,
+                ///< RA translation, counters); injected by rewriters
+
+    NumOpcodes,
+};
+
+/** Printable mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** True for Jmp/JmpCond/Call (statically-known target). */
+bool isDirectBranch(Opcode op);
+
+/** True for JmpInd/CallInd/CallIndMem/JmpTar/Ret. */
+bool isIndirectBranch(Opcode op);
+
+/** True for any control transfer including Halt/Trap/Throw. */
+bool isControlFlow(Opcode op);
+
+/** True for Call/CallInd/CallIndMem. */
+bool isCall(Opcode op);
+
+} // namespace icp
+
+#endif // ICP_ISA_OPCODE_HH

@@ -1,0 +1,122 @@
+#include "isa/reg_usage.hh"
+
+namespace icp
+{
+
+RegSet
+regsRead(const Instruction &in, const ArchInfo &arch)
+{
+    RegSet set;
+    switch (in.op) {
+      case Opcode::MovReg:
+      case Opcode::MoveToTar:
+      case Opcode::JmpInd:
+      case Opcode::CallInd:
+      case Opcode::Push:
+        set.add(in.rs1);
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Xor:
+        set.add(in.rd);
+        set.add(in.rs1);
+        break;
+      case Opcode::AddImm:
+      case Opcode::ShlImm:
+      case Opcode::ShrImm:
+        set.add(in.rd);
+        break;
+      case Opcode::MovImm:
+        if (in.movKeep)
+            set.add(in.rd);
+        break;
+      case Opcode::Cmp:
+        set.add(in.rs1);
+        set.add(in.rs2);
+        break;
+      case Opcode::CmpImm:
+      case Opcode::CallIndMem:
+      case Opcode::Load:
+      case Opcode::LoadSz:
+        set.add(in.rs1);
+        break;
+      case Opcode::LoadIdx:
+        set.add(in.rs1);
+        set.add(in.rs2);
+        break;
+      case Opcode::Store:
+      case Opcode::StoreSz:
+        set.add(in.rs1);
+        set.add(in.rs2);
+        break;
+      case Opcode::AddisToc:
+        set.add(Reg::toc);
+        break;
+      case Opcode::JmpTar:
+        set.add(Reg::tar);
+        break;
+      case Opcode::Ret:
+        if (arch.hasLinkRegister)
+            set.add(Reg::lr);
+        else
+            set.add(Reg::sp);
+        break;
+      case Opcode::Pop:
+        set.add(Reg::sp);
+        break;
+      default:
+        break;
+    }
+    if (in.op == Opcode::Push || in.op == Opcode::Pop ||
+        in.op == Opcode::PushImm) {
+        set.add(Reg::sp);
+    }
+    return set;
+}
+
+RegSet
+regsWritten(const Instruction &in, const ArchInfo &arch)
+{
+    RegSet set;
+    switch (in.op) {
+      case Opcode::MovImm:
+      case Opcode::MovReg:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Xor:
+      case Opcode::AddImm:
+      case Opcode::ShlImm:
+      case Opcode::ShrImm:
+      case Opcode::Load:
+      case Opcode::LoadSz:
+      case Opcode::LoadIdx:
+      case Opcode::Lea:
+      case Opcode::AdrPage:
+      case Opcode::AddisToc:
+      case Opcode::Pop:
+        set.add(in.rd);
+        break;
+      case Opcode::MoveToTar:
+        set.add(Reg::tar);
+        break;
+      case Opcode::Call:
+      case Opcode::CallInd:
+      case Opcode::CallIndMem:
+        if (arch.hasLinkRegister)
+            set.add(Reg::lr);
+        else
+            set.add(Reg::sp);
+        break;
+      default:
+        break;
+    }
+    if (in.op == Opcode::Push || in.op == Opcode::Pop ||
+        in.op == Opcode::Ret || in.op == Opcode::PushImm) {
+        set.add(Reg::sp);
+    }
+    return set;
+}
+
+} // namespace icp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-instruction register def/use sets, used by the liveness
+ * analysis that finds scratch registers for long trampolines.
+ */
+
+#ifndef ICP_ISA_REG_USAGE_HH
+#define ICP_ISA_REG_USAGE_HH
+
+#include <cstdint>
+
+#include "isa/arch.hh"
+#include "isa/instruction.hh"
+
+namespace icp
+{
+
+/** A small bitset over the architectural registers. */
+class RegSet
+{
+  public:
+    RegSet() = default;
+
+    void
+    add(Reg r)
+    {
+        if (r != Reg::none)
+            bits_ |= 1u << static_cast<unsigned>(r);
+    }
+
+    bool
+    contains(Reg r) const
+    {
+        return r != Reg::none &&
+               (bits_ & (1u << static_cast<unsigned>(r)));
+    }
+
+    void remove(Reg r)
+    {
+        if (r != Reg::none)
+            bits_ &= ~(1u << static_cast<unsigned>(r));
+    }
+
+    RegSet &
+    operator|=(const RegSet &o)
+    {
+        bits_ |= o.bits_;
+        return *this;
+    }
+
+    RegSet &
+    operator-=(const RegSet &o)
+    {
+        bits_ &= ~o.bits_;
+        return *this;
+    }
+
+    bool operator==(const RegSet &o) const { return bits_ == o.bits_; }
+
+    std::uint32_t raw() const { return bits_; }
+
+  private:
+    std::uint32_t bits_ = 0;
+};
+
+/** Registers read by @p in on @p arch (including implicit reads). */
+RegSet regsRead(const Instruction &in, const ArchInfo &arch);
+
+/** Registers written by @p in on @p arch (including implicit writes). */
+RegSet regsWritten(const Instruction &in, const ArchInfo &arch);
+
+} // namespace icp
+
+#endif // ICP_ISA_REG_USAGE_HH

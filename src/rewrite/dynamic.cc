@@ -1,0 +1,99 @@
+#include "rewrite/dynamic.hh"
+
+#include <algorithm>
+
+#include "rewrite/rewriter.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+RewriteResult
+attachAndPatch(Process &process, const BinaryImage &original,
+               RewriteOptions options)
+{
+    icp_assert(process.module.image == &original,
+               "process was not loaded from this image");
+
+    // In-flight pcs and stack return addresses keep pointing at
+    // original code; it must stay executable.
+    options.clobberOriginal = false;
+
+    RewriteResult result = rewriteBinary(original, options);
+    if (!result.ok)
+        return result;
+
+    // Map the new sections (.instr, .newrodata, .ra_map, .trap_map,
+    // moved dynamic sections) into the live process, and apply only
+    // the bytes the rewriter changed in pre-existing sections
+    // (trampolines, patched pointer cells). Blanket copies would
+    // clobber runtime state — relocated pointer values and data the
+    // program has written since startup.
+    for (const auto &sec : result.image.sections) {
+        if (!sec.loadable)
+            continue;
+        const Section *before = nullptr;
+        for (const auto &orig : original.sections) {
+            if (orig.name == sec.name && orig.addr == sec.addr) {
+                before = &orig;
+                break;
+            }
+        }
+        const Addr base = process.module.toLoaded(sec.addr);
+        if (!before) {
+            process.mem.map(base, sec.memSize);
+            if (!sec.bytes.empty())
+                process.mem.writeBlock(base, sec.bytes);
+            continue;
+        }
+        const std::size_t n =
+            std::min(sec.bytes.size(), before->bytes.size());
+        std::size_t i = 0;
+        while (i < n) {
+            if (sec.bytes[i] == before->bytes[i]) {
+                ++i;
+                continue;
+            }
+            std::size_t j = i;
+            while (j < n && sec.bytes[j] != before->bytes[j])
+                ++j;
+            process.mem.writeBlock(
+                base + i,
+                {sec.bytes.begin() + static_cast<std::ptrdiff_t>(i),
+                 sec.bytes.begin() + static_cast<std::ptrdiff_t>(j)});
+            i = j;
+        }
+        if (sec.bytes.size() > before->bytes.size()) {
+            process.mem.writeBlock(
+                base + n,
+                {sec.bytes.begin() + static_cast<std::ptrdiff_t>(n),
+                 sec.bytes.end()});
+        }
+    }
+
+    // PIE: apply the relocations of the rewritten image that changed
+    // (func-ptr mode rewrites addends). Re-applying all of them is
+    // idempotent for the unchanged ones but would clobber values the
+    // running program may have overwritten; only pointer cells the
+    // rewriter owns are refreshed.
+    if (options.mode == RewriteMode::funcPtr) {
+        for (std::size_t i = 0; i < result.image.relocs.size() &&
+                                i < original.relocs.size();
+             ++i) {
+            const auto &now = result.image.relocs[i];
+            const auto &before = original.relocs[i];
+            if (now.site != before.site ||
+                now.addend == before.addend)
+                continue;
+            const Addr site = process.module.toLoaded(now.site);
+            process.mem.write(
+                site, 8,
+                static_cast<std::uint64_t>(now.addend +
+                                           process.module.slide));
+        }
+    }
+
+    return result;
+}
+
+} // namespace icp

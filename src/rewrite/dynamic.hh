@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Dynamic binary instrumentation (§10): attach the rewriter to an
+ * already-running process. All static-mode techniques apply
+ * unchanged; the differences the paper names are reproduced:
+ * no byte clobbering (original code keeps executing until control
+ * migrates through trampolines), and the runtime library attaches
+ * directly instead of via LD_PRELOAD (the .got-wrapping analog).
+ *
+ * Control flow already in flight — the current pc and the return
+ * addresses on the stack — keeps running original code; the next
+ * transfer through a patched CFL block migrates execution into the
+ * instrumented copy. That graceful migration is exactly the
+ * incremental-patching generality argument.
+ *
+ * Limitation (matching §10's scope, which extends dynamic support
+ * to C++ exceptions only): code pointers the program has already
+ * *derived* into mutable state before the attach — e.g. Go's
+ * startup-computed goexit+1 value — cannot be fixed by rewriting
+ * their definition sites, so Go binaries are not supported
+ * dynamically.
+ */
+
+#ifndef ICP_REWRITE_DYNAMIC_HH
+#define ICP_REWRITE_DYNAMIC_HH
+
+#include "rewrite/options.hh"
+#include "sim/loader.hh"
+
+namespace icp
+{
+
+/**
+ * Rewrite @p original under @p options and patch the live
+ * @p process: map the new sections into its memory and overwrite
+ * the trampoline bytes in the mapped .text. clobberOriginal is
+ * forcibly disabled (in-flight control flow must keep working).
+ *
+ * The caller must flush the executing Machine's decode cache
+ * afterwards and attach a RuntimeLib built from the returned image.
+ */
+RewriteResult attachAndPatch(Process &process,
+                             const BinaryImage &original,
+                             RewriteOptions options);
+
+} // namespace icp
+
+#endif // ICP_REWRITE_DYNAMIC_HH

@@ -1,0 +1,555 @@
+#include "rewrite/engine.hh"
+
+#include <algorithm>
+
+#include "isa/assembler.hh"
+#include "isa/bytes.hh"
+#include "codegen/compiler.hh"
+#include "sim/runtime_lib.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+namespace
+{
+
+/** How a relocated instruction's address operand is substituted. */
+struct Subst
+{
+    enum class Role : std::uint8_t
+    {
+        whole,  ///< Lea/MovImm: replace the full target
+        hi,     ///< AddisToc / AdrPage half of a pair
+        lo,     ///< AddImm half of a pair
+    };
+    Role role = Role::whole;
+    Addr newTarget = 0;
+};
+
+class Engine
+{
+  public:
+    Engine(const CfgModule &cfg, const std::set<Addr> &instrumented,
+           const EngineConfig &config)
+        : cfg_(cfg), image_(*cfg.image),
+          arch_(cfg.image->archInfo()), instrumented_(instrumented),
+          cfg_opts_(config)
+    {
+    }
+
+    EngineResult run();
+
+  private:
+    void planClones();
+    void emitFunction(Assembler &as, const Function &func);
+    void emitBlock(Assembler &as, const Function &func,
+                   const Block &block, Addr fallthrough_next);
+    void emitTranslated(Assembler &as, const Function &func,
+                        const Instruction &in);
+    void fillClones();
+
+    Assembler::Label
+    labelFor(Addr block_start)
+    {
+        auto it = blockLabels_.find(block_start);
+        icp_assert(it != blockLabels_.end(),
+                   "no label for block 0x%llx",
+                   static_cast<unsigned long long>(block_start));
+        return it->second;
+    }
+
+    bool
+    isRelocatedBlock(Addr a) const
+    {
+        return blockLabels_.count(a) > 0;
+    }
+
+    const CfgModule &cfg_;
+    const BinaryImage &image_;
+    const ArchInfo &arch_;
+    const std::set<Addr> &instrumented_;
+    EngineConfig cfg_opts_;
+
+    EngineResult result_;
+    std::map<Addr, Assembler::Label> blockLabels_;
+    std::map<Addr, Subst> substs_;      ///< per base-def instruction
+    std::map<Addr, const JumpTable *> widenLoads_;
+    std::uint32_t nextCounter_ = 0;
+    Assembler *as_ = nullptr;
+};
+
+void
+Engine::planClones()
+{
+    if (cfg_opts_.mode == RewriteMode::dir)
+        return;
+    Addr cursor = cfg_opts_.newRodataBase;
+    for (const auto &[entry, func] : cfg_.functions) {
+        if (!instrumented_.count(entry))
+            continue;
+        for (const auto &jt : func.jumpTables) {
+            TableClone clone;
+            clone.source = &jt;
+            // Anchor-relative sub-word entries must widen to 4 bytes
+            // because relocated distances can exceed (and precede)
+            // the original ones (§5.1).
+            clone.widened = jt.entrySize < 4;
+            clone.entrySize = clone.widened ? 4 : jt.entrySize;
+            cursor = (cursor + 7) & ~Addr{7};
+            clone.cloneAddr = cursor;
+            cursor += std::uint64_t{jt.entryCount} * clone.entrySize;
+            result_.clones.push_back(clone);
+
+            // Substitutions for the base-forming instructions.
+            if (jt.base && *jt.base != jt.tableAddr) {
+                // Anchor-relative: the anchor is code and relocates
+                // with the function; only the table address changes.
+            }
+            const auto &defs = jt.baseDefAddrs;
+            if (defs.size() == 1) {
+                substs_[defs[0]] = {Subst::Role::whole,
+                                    clone.cloneAddr};
+            } else if (defs.size() >= 2) {
+                substs_[defs[0]] = {Subst::Role::hi, clone.cloneAddr};
+                substs_[defs[1]] = {Subst::Role::lo, clone.cloneAddr};
+            }
+            if (clone.widened)
+                widenLoads_[jt.loadAddr] = &jt;
+        }
+    }
+}
+
+void
+Engine::emitTranslated(Assembler &as, const Function &func,
+                       const Instruction &in)
+{
+    const Addr orig_next = in.addr + in.length;
+
+    // Jump-table base substitution (jt/func-ptr modes).
+    auto subst = substs_.find(in.addr);
+    if (subst != substs_.end() &&
+        cfg_opts_.mode != RewriteMode::dir) {
+        Instruction patched = in;
+        const Addr target = subst->second.newTarget;
+        switch (subst->second.role) {
+          case Subst::Role::whole:
+            if (in.op == Opcode::MovImm) {
+                patched.imm = static_cast<std::int64_t>(target);
+            } else {
+                patched.target = target;
+            }
+            break;
+          case Subst::Role::hi:
+            if (in.op == Opcode::AddisToc) {
+                const std::int64_t off =
+                    static_cast<std::int64_t>(target) -
+                    static_cast<std::int64_t>(image_.tocBase);
+                patched.imm = (off + 0x8000) >> 16;
+            } else { // AdrPage
+                patched.op = Opcode::AdrPage;
+                patched.target = target;
+            }
+            break;
+          case Subst::Role::lo: {
+            std::int64_t lo;
+            if (arch_.hasToc) {
+                const std::int64_t off =
+                    static_cast<std::int64_t>(target) -
+                    static_cast<std::int64_t>(image_.tocBase);
+                lo = signExtend(static_cast<std::uint64_t>(off), 16);
+            } else {
+                const Addr page = ((target + 0x8000) >> 16) << 16;
+                lo = static_cast<std::int64_t>(target) -
+                     static_cast<std::int64_t>(page);
+            }
+            patched.imm = lo;
+            break;
+          }
+        }
+        as.emit(patched);
+        return;
+    }
+
+    // Widened jump-table entry loads (a64 1/2-byte -> 4-byte read).
+    auto widen = widenLoads_.find(in.addr);
+    if (widen != widenLoads_.end() &&
+        cfg_opts_.mode != RewriteMode::dir) {
+        Instruction patched = in;
+        patched.memSize = 4;
+        patched.signedLoad = true;
+        as.emit(patched);
+        return;
+    }
+
+    // Materialize an original-space code address into a register in
+    // a position-correct way (pc-relative / TOC-relative), as call
+    // emulation must on position independent code.
+    auto emitMaterializeAddr = [&](Reg rd, Addr target) {
+        if (arch_.arch == Arch::x64) {
+            as.emit(makeLea(rd, target));
+        } else if (arch_.hasToc) {
+            const std::int64_t off =
+                static_cast<std::int64_t>(target) -
+                static_cast<std::int64_t>(image_.tocBase);
+            as.emit(makeAddisToc(rd, static_cast<std::int32_t>(
+                                         (off + 0x8000) >> 16)));
+            as.emit(makeAddImm(
+                rd, signExtend(static_cast<std::uint64_t>(off), 16)));
+        } else {
+            as.emit(makeAdrPage(rd, target));
+            const Addr page = ((target + 0x8000) >> 16) << 16;
+            as.emit(makeAddImm(rd,
+                               static_cast<std::int64_t>(target) -
+                                   static_cast<std::int64_t>(page)));
+        }
+    };
+    auto emitEmulatedRa = [&](Addr orig_ra) {
+        if (arch_.hasLinkRegister) {
+            emitMaterializeAddr(Reg::lr, orig_ra);
+        } else {
+            emitMaterializeAddr(Reg::r13, orig_ra);
+            as.emit(makePush(Reg::r13));
+        }
+    };
+
+    // Branches from .instr back into original space can exceed the
+    // fixed-ISA direct reach (e.g. ppc64le ±32 MB with large data
+    // sections); emit a veneer through r13, which the synthetic ABI
+    // reserves for the rewriter.
+    auto needsVeneer = [&](Addr target) {
+        if (!arch_.fixedLength)
+            return false;
+        const std::int64_t d = static_cast<std::int64_t>(target) -
+                               static_cast<std::int64_t>(as.here());
+        return d < -arch_.directJmpRange + 64 ||
+               d > arch_.directJmpRange - 64;
+    };
+    auto emitVeneerTarget = [&](Addr target) {
+        if (arch_.hasToc) {
+            const std::int64_t off =
+                static_cast<std::int64_t>(target) -
+                static_cast<std::int64_t>(image_.tocBase);
+            as.emit(makeAddisToc(
+                Reg::r13,
+                static_cast<std::int32_t>((off + 0x8000) >> 16)));
+            as.emit(makeAddImm(
+                Reg::r13,
+                signExtend(static_cast<std::uint64_t>(off), 16)));
+        } else {
+            as.emit(makeAdrPage(Reg::r13, target));
+            const Addr page = ((target + 0x8000) >> 16) << 16;
+            as.emit(makeAddImm(Reg::r13,
+                               static_cast<std::int64_t>(target) -
+                                   static_cast<std::int64_t>(page)));
+        }
+    };
+
+    switch (in.op) {
+      case Opcode::Jmp: {
+        if (isRelocatedBlock(in.target)) {
+            as.emitToLabel(makeJmp(0), labelFor(in.target));
+        } else if (needsVeneer(in.target)) {
+            emitVeneerTarget(in.target);
+            as.emit(makeJmpInd(Reg::r13));
+        } else {
+            as.emit(makeJmp(in.target)); // stays in original space
+        }
+        return;
+      }
+      case Opcode::JmpCond: {
+        if (isRelocatedBlock(in.target)) {
+            Instruction jcc = makeJmpCond(in.cond, 0);
+            as.emitToLabel(jcc, labelFor(in.target));
+        } else {
+            as.emit(makeJmpCond(in.cond, in.target));
+        }
+        return;
+      }
+      case Opcode::Call: {
+        if (cfg_opts_.callEmulation) {
+            // Call emulation: materialize the ORIGINAL return
+            // address, then branch. Returns land in original code
+            // (the fall-through CFL block's trampoline bounces).
+            emitEmulatedRa(orig_next);
+            if (isRelocatedBlock(in.target)) {
+                as.emitToLabel(makeJmp(0), labelFor(in.target));
+            } else if (needsVeneer(in.target)) {
+                emitVeneerTarget(in.target);
+                as.emit(makeJmpInd(Reg::r13));
+            } else {
+                as.emit(makeJmp(in.target));
+            }
+        } else {
+            if (isRelocatedBlock(in.target)) {
+                as.emitToLabel(makeCall(0), labelFor(in.target));
+            } else if (needsVeneer(in.target)) {
+                emitVeneerTarget(in.target);
+                as.emit(makeCallInd(Reg::r13));
+            } else {
+                as.emit(makeCall(in.target));
+            }
+            result_.raPairs.emplace_back(as.here(), orig_next);
+        }
+        return;
+      }
+      case Opcode::CallInd: {
+        if (cfg_opts_.callEmulation) {
+            emitEmulatedRa(orig_next);
+            as.emit(makeJmpInd(in.rs1));
+        } else {
+            as.emit(in);
+            result_.raPairs.emplace_back(as.here(), orig_next);
+        }
+        return;
+      }
+      case Opcode::CallIndMem: {
+        if (cfg_opts_.callEmulation) {
+            // Dyninst-10.2's x64 bug reproduced (§8.1): the pushed
+            // return address shifts sp, so sp-relative operands read
+            // the wrong slot.
+            emitEmulatedRa(orig_next);
+            as.emit(makeLoad(Reg::r12, in.rs1, in.imm));
+            as.emit(makeJmpInd(Reg::r12));
+        } else {
+            as.emit(in);
+            result_.raPairs.emplace_back(as.here(), orig_next);
+        }
+        return;
+      }
+      case Opcode::Throw: {
+        if (cfg_opts_.callEmulation) {
+            // Emulate the call into the throw runtime: materialize
+            // the original throw address for the unwinder.
+            if (arch_.hasLinkRegister) {
+                emitMaterializeAddr(Reg::r13, in.addr);
+            } else {
+                emitMaterializeAddr(Reg::r13, in.addr);
+                as.emit(makePush(Reg::r13));
+            }
+            as.emit(makeThrowRa());
+            return;
+        }
+        // The unwinder's innermost frame pc is the throw site
+        // itself; map it back like a return address so the FDE
+        // lookup sees original coordinates (§6).
+        result_.raPairs.emplace_back(as.here(), in.addr);
+        as.emit(in);
+        return;
+      }
+      case Opcode::Lea: {
+        // An intra-function Lea of a block start is a jump-table
+        // anchor: it must track the relocated code in jt/func-ptr
+        // modes so anchor-relative clones stay consistent.
+        if (cfg_opts_.mode != RewriteMode::dir &&
+            in.target >= func.entry && in.target < func.end &&
+            isRelocatedBlock(in.target)) {
+            as.emitToLabel(makeLea(in.rd, 0), labelFor(in.target));
+            return;
+        }
+        // The short-range ADR form cannot reach original space from
+        // .instr; widen to the adrp/add pair (same absolute value).
+        {
+            std::vector<std::uint8_t> scratch;
+            if (!arch_.codec->encode(in, as.here(), scratch)) {
+                as.emit(makeAdrPage(in.rd, in.target));
+                const Addr page = ((in.target + 0x8000) >> 16) << 16;
+                as.emit(makeAddImm(
+                    in.rd, static_cast<std::int64_t>(in.target) -
+                               static_cast<std::int64_t>(page)));
+                return;
+            }
+        }
+        as.emit(in);
+        return;
+      }
+      default:
+        as.emit(in);
+        return;
+    }
+}
+
+void
+Engine::emitBlock(Assembler &as, const Function &func,
+                  const Block &block, Addr fallthrough_next)
+{
+    as.bind(labelFor(block.start));
+    result_.blockMap[block.start] = as.here();
+
+    // Instrumentation snippets.
+    const bool is_entry = block.start == func.entry;
+    if (is_entry && cfg_opts_.goRaTranslation &&
+        (func.name == "runtime.findfunc" ||
+         func.name == "runtime.pcvalue")) {
+        const unsigned slot = arch_.hasLinkRegister ? go_arg_slot_lr
+                                                    : go_arg_slot_x64;
+        as.emit(makeCallRt(
+            rtServiceImm(RtService::raXlatStackSlot, slot)));
+    }
+    if (is_entry && cfg_opts_.instrumentation.countFunctionEntries) {
+        const std::uint32_t id = nextCounter_++;
+        result_.entryCounters[func.entry] = id;
+        as.emit(makeCallRt(rtServiceImm(RtService::count, id)));
+    }
+    if (cfg_opts_.instrumentation.instrumentsBlock(block.start)) {
+        const std::uint32_t id = nextCounter_++;
+        result_.blockCounters[block.start] = id;
+        as.emit(makeCallRt(rtServiceImm(RtService::count, id)));
+    }
+
+    for (const auto &in : block.insns) {
+        result_.insnMap[in.addr] = as.here();
+        emitTranslated(as, func, in);
+    }
+
+    // Preserve fall-through semantics when the next emitted block is
+    // not the layout successor (block reordering, function ends).
+    const Instruction &last = block.last();
+    const bool falls = !isControlFlow(last.op) ||
+                       last.op == Opcode::JmpCond ||
+                       isCall(last.op);
+    if (falls) {
+        const Addr ft = block.end;
+        if (ft != fallthrough_next) {
+            if (isRelocatedBlock(ft))
+                as.emitToLabel(makeJmp(0), labelFor(ft));
+            else
+                as.emit(makeJmp(ft));
+        }
+    }
+}
+
+void
+Engine::emitFunction(Assembler &as, const Function &func)
+{
+    std::vector<const Block *> order;
+    order.reserve(func.blocks.size());
+    for (const auto &[start, block] : func.blocks)
+        order.push_back(&block);
+    if (cfg_opts_.blockOrder == OrderPolicy::reversed) {
+        // Keep the entry block first (callers land there), reverse
+        // the rest.
+        std::reverse(order.begin(), order.end());
+        auto it = std::find_if(order.begin(), order.end(),
+                               [&](const Block *b) {
+                                   return b->start == func.entry;
+                               });
+        if (it != order.end()) {
+            const Block *entry = *it;
+            order.erase(it);
+            order.insert(order.begin(), entry);
+        }
+    }
+
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const Addr next =
+            i + 1 < order.size() ? order[i + 1]->start : invalid_addr;
+        emitBlock(as, func, *order[i], next);
+    }
+}
+
+void
+Engine::fillClones()
+{
+    for (const auto &clone : result_.clones) {
+        const JumpTable &jt = *clone.source;
+        for (unsigned i = 0; i < jt.entryCount; ++i) {
+            std::uint64_t value = 0;
+            const Addr orig_target =
+                i < jt.targets.size() ? jt.targets[i] : 0;
+            auto relocated = result_.blockMap.find(orig_target);
+            if (relocated != result_.blockMap.end()) {
+                const Addr tnew = relocated->second;
+                if (!jt.base) {
+                    value = tnew;
+                } else {
+                    Addr base_new;
+                    if (*jt.base == jt.tableAddr) {
+                        base_new = clone.cloneAddr;
+                    } else {
+                        // Anchor-relative: the anchor moved with the
+                        // code.
+                        auto anchor =
+                            result_.blockMap.find(*jt.base);
+                        icp_assert(anchor != result_.blockMap.end(),
+                                   "anchor 0x%llx not relocated",
+                                   static_cast<unsigned long long>(
+                                       *jt.base));
+                        base_new = anchor->second;
+                    }
+                    const std::int64_t diff =
+                        static_cast<std::int64_t>(tnew) -
+                        static_cast<std::int64_t>(base_new);
+                    icp_assert((diff &
+                                ((1LL << jt.shift) - 1)) == 0,
+                               "clone entry not aligned");
+                    const std::int64_t entry = diff >> jt.shift;
+                    icp_assert(
+                        clone.entrySize == 8 ||
+                            fitsSigned(entry, clone.entrySize * 8),
+                        "clone entry does not fit");
+                    value = static_cast<std::uint64_t>(entry);
+                }
+            }
+            // Over-approximated garbage entries keep zero; they are
+            // never dereferenced at runtime (§5.1, Failure 3).
+            const Offset off =
+                clone.cloneAddr - cfg_opts_.newRodataBase +
+                std::uint64_t{i} * clone.entrySize;
+            if (result_.newRodataBytes.size() <
+                off + clone.entrySize) {
+                result_.newRodataBytes.resize(off + clone.entrySize,
+                                              0);
+            }
+            for (unsigned b = 0; b < clone.entrySize; ++b) {
+                result_.newRodataBytes[off + b] =
+                    static_cast<std::uint8_t>(value >> (8 * b));
+            }
+        }
+    }
+}
+
+EngineResult
+Engine::run()
+{
+    planClones();
+
+    Assembler as(arch_, cfg_opts_.instrBase);
+    as_ = &as;
+
+    // Labels for every block of every instrumented function.
+    std::vector<const Function *> funcs;
+    for (const auto &[entry, func] : cfg_.functions) {
+        if (!instrumented_.count(entry))
+            continue;
+        funcs.push_back(&func);
+        for (const auto &[start, block] : func.blocks)
+            blockLabels_[start] = as.newLabel();
+    }
+    if (cfg_opts_.functionOrder == OrderPolicy::reversed)
+        std::reverse(funcs.begin(), funcs.end());
+
+    for (const Function *func : funcs) {
+        as.alignTo(std::max(cfg_opts_.functionAlign,
+                            arch_.instrAlign));
+        emitFunction(as, *func);
+    }
+
+    result_.instrBytes = as.finalize();
+    fillClones();
+    as_ = nullptr;
+    return result_;
+}
+
+} // namespace
+
+EngineResult
+relocateFunctions(const CfgModule &cfg,
+                  const std::set<Addr> &instrumented,
+                  const EngineConfig &config)
+{
+    Engine engine(cfg, instrumented, config);
+    return engine.run();
+}
+
+} // namespace icp

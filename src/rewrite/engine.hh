@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The code-relocation engine: translates instrumented functions into
+ * the .instr section, inserting instrumentation snippets, rewriting
+ * direct control flow, cloning jump tables, recording the RA map,
+ * and optionally emulating calls or permuting function/block order
+ * (for the baselines and the BOLT comparison).
+ */
+
+#ifndef ICP_REWRITE_ENGINE_HH
+#define ICP_REWRITE_ENGINE_HH
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "rewrite/options.hh"
+
+namespace icp
+{
+
+/** Placement of one cloned jump table in .newrodata. */
+struct TableClone
+{
+    const JumpTable *source = nullptr;
+    Addr cloneAddr = 0;
+    unsigned entrySize = 0; ///< possibly widened (a64 1/2 -> 4)
+    bool widened = false;
+};
+
+struct EngineConfig
+{
+    RewriteMode mode = RewriteMode::funcPtr;
+    bool callEmulation = false;
+    InstrumentationSpec instrumentation;
+    OrderPolicy functionOrder = OrderPolicy::original;
+    OrderPolicy blockOrder = OrderPolicy::original;
+
+    Addr instrBase = 0;
+    Addr newRodataBase = 0;
+
+    /** Instrument findfunc/pcvalue entries with RA translation. */
+    bool goRaTranslation = false;
+
+    /** Relocated function alignment (IR lowering compacts to 4). */
+    unsigned functionAlign = 16;
+};
+
+struct EngineResult
+{
+    std::vector<std::uint8_t> instrBytes;
+    std::vector<std::uint8_t> newRodataBytes;
+
+    /** Original block start -> relocated address. */
+    std::map<Addr, Addr> blockMap;
+
+    /** Original instruction -> relocated address. */
+    std::map<Addr, Addr> insnMap;
+
+    /** (relocated return address -> original return address). */
+    std::vector<std::pair<Addr, Addr>> raPairs;
+
+    std::vector<TableClone> clones;
+
+    std::map<Addr, std::uint32_t> blockCounters;
+    std::map<Addr, std::uint32_t> entryCounters;
+};
+
+/**
+ * Relocate @p instrumented functions of @p cfg. The caller supplies
+ * final section base addresses in @p cfg_in so all cross references
+ * encode directly.
+ */
+EngineResult relocateFunctions(const CfgModule &cfg,
+                               const std::set<Addr> &instrumented,
+                               const EngineConfig &config);
+
+} // namespace icp
+
+#endif // ICP_REWRITE_ENGINE_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Options and result types of the incremental-CFG-patching rewriter.
+ * The three modes of §3 (dir / jt / func-ptr) plus the knobs that
+ * the baselines and ablation benchmarks toggle: trampoline placement
+ * analysis, multi-hop trampolines, RA translation vs call emulation,
+ * and the strong-test byte clobbering of §8.
+ */
+
+#ifndef ICP_REWRITE_OPTIONS_HH
+#define ICP_REWRITE_OPTIONS_HH
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/builder.hh"
+#include "binfmt/image.hh"
+
+namespace icp
+{
+
+/** Binary rewriting modes (§3): which control flow is rewritten. */
+enum class RewriteMode : std::uint8_t
+{
+    dir,     ///< direct control flow only
+    jt,      ///< + jump tables (cloned)
+    funcPtr, ///< + function-pointer definitions
+};
+
+const char *rewriteModeName(RewriteMode mode);
+
+/** Layout permutations for the BOLT comparison (§8.3). */
+enum class OrderPolicy : std::uint8_t
+{
+    original,
+    reversed,
+};
+
+/** What snippets the instrumenter inserts. */
+struct InstrumentationSpec
+{
+    /** CallRt counter at the top of every relocated basic block. */
+    bool countBlocks = false;
+
+    /** CallRt counter at function entry blocks only. */
+    bool countFunctionEntries = false;
+
+    /**
+     * Selective instrumentation (the Dyninst "instrumentation
+     * point" model, §8): when non-empty, countBlocks applies only
+     * to these block start addresses.
+     */
+    std::set<Addr> onlyBlocks;
+
+    bool
+    empty() const
+    {
+        return !countBlocks && !countFunctionEntries;
+    }
+
+    bool
+    instrumentsBlock(Addr block) const
+    {
+        return countBlocks &&
+               (onlyBlocks.empty() || onlyBlocks.count(block));
+    }
+};
+
+struct RewriteOptions
+{
+    RewriteMode mode = RewriteMode::funcPtr;
+
+    /**
+     * §4: install trampolines only at CFL blocks and extend them
+     * into trampoline superblocks. When off, every block gets a
+     * trampoline in place (SRBI-style placement).
+     */
+    bool trampolinePlacement = true;
+
+    /**
+     * §7: when a block is too small for a sufficient-range
+     * trampoline, chain a short branch through scratch space
+     * (padding bytes, scratch blocks, retired dynamic-linking
+     * sections) instead of trapping.
+     */
+    bool multiHop = true;
+
+    /**
+     * §6: runtime RA translation (emit .ra_map; the preloaded
+     * runtime library translates during unwinding). When off, calls
+     * are emulated (original return address materialized; call
+     * fall-through blocks become CFL blocks).
+     */
+    bool raTranslation = true;
+
+    /**
+     * §8's strong test: overwrite every instrumented-function byte
+     * that is not a trampoline (or embedded table data) with an
+     * illegal opcode, so any missed control flow faults immediately.
+     */
+    bool clobberOriginal = false;
+
+    InstrumentationSpec instrumentation;
+
+    /**
+     * The §4.2 extension: skip trampolines at CFL blocks from which
+     * no instrumented block is reachable in the CFG. Sound only
+     * without byte clobbering (skipped paths execute original
+     * code), so it is rejected when combined with clobberOriginal.
+     */
+    bool reachabilityPruning = false;
+
+    AnalysisOptions analysis;
+
+    /** Partial instrumentation: restrict to these names (§9). */
+    std::set<std::string> onlyFunctions;
+
+    /** Layout permutations (BOLT comparison). */
+    OrderPolicy functionOrder = OrderPolicy::original;
+    OrderPolicy blockOrder = OrderPolicy::original;
+};
+
+struct RewriteStats
+{
+    unsigned totalFunctions = 0;
+    unsigned instrumentableFunctions = 0;
+    unsigned instrumentedFunctions = 0;
+
+    std::uint64_t cflBlocks = 0;
+    std::uint64_t totalBlocks = 0;
+    std::uint64_t trampolines = 0;
+    std::uint64_t directTramps = 0;  ///< single-branch form
+    std::uint64_t longTramps = 0;    ///< multi-instruction form
+    std::uint64_t multiHopTramps = 0;
+    std::uint64_t trapTramps = 0;
+    std::uint64_t raMapEntries = 0;
+    std::uint64_t clonedTables = 0;
+    std::uint64_t rewrittenFuncPtrs = 0;
+
+    std::uint64_t originalLoadedSize = 0;
+    std::uint64_t rewrittenLoadedSize = 0;
+
+    double
+    sizeIncrease() const
+    {
+        return originalLoadedSize == 0
+            ? 0.0
+            : static_cast<double>(rewrittenLoadedSize) /
+                  static_cast<double>(originalLoadedSize) - 1.0;
+    }
+
+    double
+    coverage() const
+    {
+        return totalFunctions == 0
+            ? 0.0
+            : static_cast<double>(instrumentedFunctions) /
+                  static_cast<double>(totalFunctions);
+    }
+};
+
+struct RewriteResult
+{
+    bool ok = false;
+    std::string failReason;
+
+    BinaryImage image;
+    RewriteStats stats;
+
+    /** Counter-id maps for verification (block/entry -> CallRt id). */
+    std::map<Addr, std::uint32_t> blockCounters;
+    std::map<Addr, std::uint32_t> entryCounters;
+};
+
+} // namespace icp
+
+#endif // ICP_REWRITE_OPTIONS_HH

@@ -1,0 +1,692 @@
+#include "rewrite/rewriter.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "analysis/funcptr.hh"
+#include "analysis/liveness.hh"
+#include "isa/bytes.hh"
+#include "binfmt/addr_map.hh"
+#include "rewrite/engine.hh"
+#include "rewrite/trampoline.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+const char *
+rewriteModeName(RewriteMode mode)
+{
+    switch (mode) {
+      case RewriteMode::dir: return "dir";
+      case RewriteMode::jt: return "jt";
+      case RewriteMode::funcPtr: return "func-ptr";
+    }
+    return "?";
+}
+
+namespace
+{
+
+Addr
+alignUp(Addr v, Addr align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Mutable working copy of the output image under construction. */
+class Rewriter
+{
+  public:
+    Rewriter(const BinaryImage &input, const RewriteOptions &opts)
+        : input_(input), opts_(opts), arch_(input.archInfo())
+    {
+    }
+
+    RewriteResult run();
+
+  private:
+    std::set<Addr> chooseInstrumented();
+    std::set<Addr> cflBlocks(const Function &func) const;
+    std::set<Addr> blocksReachingInstrumentation(
+        const Function &func) const;
+    void donateScratch(ScratchPool &pool) const;
+    void installTrampolines(const EngineResult &engine);
+    void rewriteFuncPtrs(const EngineResult &engine);
+    void patchCodeDef(const FuncPtrDef &def, Addr new_target,
+                      const EngineResult &engine);
+    bool patchInstructionAt(std::vector<std::uint8_t> &bytes,
+                            Addr section_base, Addr at,
+                            const std::function<void(Instruction &)>
+                                &mutate);
+    void clobberOriginal();
+    void addCodeSections(const EngineResult &engine);
+    void buildSections(const EngineResult &engine);
+
+    const BinaryImage &input_;
+    const RewriteOptions &opts_;
+    const ArchInfo &arch_;
+
+    CfgModule cfg_;
+    FuncPtrAnalysisResult funcPtrs_;
+    std::set<Addr> instrumented_;
+
+    RewriteResult result_;
+    BinaryImage out_;
+
+    Addr instrBase_ = 0;
+    Addr newRodataBase_ = 0;
+
+    std::vector<std::pair<Addr, Addr>> trapEntries_;
+
+    /** Bytes a trampoline occupies (kept during clobbering). */
+    std::vector<std::pair<Addr, Addr>> keepRanges_;
+};
+
+std::set<Addr>
+Rewriter::chooseInstrumented()
+{
+    std::set<Addr> chosen;
+    for (const auto &[entry, func] : cfg_.functions) {
+        if (!func.instrumentable())
+            continue;
+        if (!opts_.onlyFunctions.empty() &&
+            !opts_.onlyFunctions.count(func.name))
+            continue;
+        chosen.insert(entry);
+    }
+    return chosen;
+}
+
+std::set<Addr>
+Rewriter::cflBlocks(const Function &func) const
+{
+    std::set<Addr> cfl;
+    if (!opts_.trampolinePlacement) {
+        // SRBI-style: every basic block gets a trampoline.
+        for (const auto &[start, block] : func.blocks)
+            cfl.insert(start);
+        return cfl;
+    }
+
+    // Function entry blocks: always CFL — entries of instrumented
+    // functions keep a trampoline so calls from uninstrumented code
+    // (and unrewritten pointers) stay correct (§4.3).
+    cfl.insert(func.entry);
+
+    // Landing pads: the unwinder resumes at original addresses.
+    for (Addr lp : func.landingPads) {
+        if (func.blocks.count(lp))
+            cfl.insert(lp);
+    }
+
+    // Jump-table targets: CFL only when tables are not cloned.
+    if (opts_.mode == RewriteMode::dir) {
+        for (Addr t : func.jumpTableTargets())
+            cfl.insert(t);
+    }
+
+    // Call fall-through blocks: CFL under call emulation only;
+    // runtime RA translation removes them (§6).
+    if (!opts_.raTranslation) {
+        for (const auto &[start, block] : func.blocks) {
+            for (const auto &edge : block.succs) {
+                if (edge.kind == EdgeKind::callFallthrough &&
+                    func.blocks.count(edge.target)) {
+                    cfl.insert(edge.target);
+                }
+            }
+        }
+    }
+
+    // The §4.2 extension: drop trampolines at CFL blocks that
+    // cannot reach any instrumented block — control flow landing
+    // there may keep running original code (which is why this is
+    // incompatible with clobbering).
+    if (opts_.reachabilityPruning) {
+        const std::set<Addr> keep =
+            blocksReachingInstrumentation(func);
+        for (auto it = cfl.begin(); it != cfl.end();) {
+            if (keep.count(*it))
+                ++it;
+            else
+                it = cfl.erase(it);
+        }
+    }
+    return cfl;
+}
+
+std::set<Addr>
+Rewriter::blocksReachingInstrumentation(const Function &func) const
+{
+    // Instrumentation sites in this function. Calls to other
+    // instrumented functions are covered by the callees' own entry
+    // trampolines, so local reachability suffices.
+    std::set<Addr> inst;
+    if (opts_.instrumentation.countFunctionEntries)
+        inst.insert(func.entry);
+    if (opts_.raTranslation && input_.features.isGo &&
+        (func.name == "runtime.findfunc" ||
+         func.name == "runtime.pcvalue")) {
+        inst.insert(func.entry);
+    }
+    for (const auto &[start, block] : func.blocks) {
+        if (opts_.instrumentation.instrumentsBlock(start))
+            inst.insert(start);
+    }
+
+    // Backward reachability over intra-procedural edges.
+    std::map<Addr, std::vector<Addr>> preds;
+    for (const auto &[start, block] : func.blocks) {
+        for (const auto &edge : block.succs)
+            preds[edge.target].push_back(start);
+    }
+    std::set<Addr> keep = inst;
+    std::vector<Addr> work(inst.begin(), inst.end());
+    while (!work.empty()) {
+        const Addr cur = work.back();
+        work.pop_back();
+        auto it = preds.find(cur);
+        if (it == preds.end())
+            continue;
+        for (Addr p : it->second) {
+            if (keep.insert(p).second)
+                work.push_back(p);
+        }
+    }
+    return keep;
+}
+
+void
+Rewriter::donateScratch(ScratchPool &pool) const
+{
+    // Source 1: inter-function nop padding in .text.
+    const auto funcs = input_.functionSymbols();
+    const Section *text = input_.findSection(SectionKind::text);
+    if (text) {
+        Addr cursor = text->addr;
+        for (const Symbol *sym : funcs) {
+            if (sym->addr > cursor)
+                pool.donate(cursor, sym->addr - cursor,
+                            arch_.instrAlign);
+            cursor = std::max(cursor, sym->addr + sym->size);
+        }
+        if (text->end() > cursor)
+            pool.donate(cursor, text->end() - cursor,
+                        arch_.instrAlign);
+    }
+
+    // Source 3: the retired dynamic-linking sections (§3). (Source
+    // 2, unused scratch-block bytes, is consumed in place through
+    // trampoline superblock extension.)
+    for (const auto kind : {SectionKind::dynsym, SectionKind::dynstr,
+                            SectionKind::relaDyn}) {
+        if (const Section *s = input_.findSection(kind))
+            pool.donate(s->addr, s->memSize, arch_.instrAlign);
+    }
+}
+
+void
+Rewriter::installTrampolines(const EngineResult &engine)
+{
+    ScratchPool pool;
+    donateScratch(pool);
+    TrampolineWriter writer(arch_, input_.tocBase, pool,
+                            opts_.multiHop);
+
+    struct Pending
+    {
+        TrampolineRequest req;
+        Addr superEnd;
+    };
+    std::vector<Pending> pending;
+
+    auto account = [&](const TrampolineOut &installed) {
+        result_.stats.trampolines++;
+        switch (installed.kind) {
+          case TrampolineKind::direct:
+            result_.stats.directTramps++;
+            break;
+          case TrampolineKind::longForm:
+          case TrampolineKind::longFormSpill:
+            result_.stats.longTramps++;
+            break;
+          case TrampolineKind::multiHop:
+            result_.stats.multiHopTramps++;
+            break;
+          case TrampolineKind::trap:
+            result_.stats.trapTramps++;
+            break;
+        }
+        for (const auto &write : installed.writes) {
+            const bool ok = out_.writeBytes(write.at, write.bytes);
+            icp_assert(ok, "trampoline write failed at 0x%llx",
+                       static_cast<unsigned long long>(write.at));
+            keepRanges_.emplace_back(
+                write.at, write.at + write.bytes.size());
+        }
+        for (const auto &entry2 : installed.trapEntries)
+            trapEntries_.push_back(entry2);
+    };
+
+    // Phase 1: in-place installs; unused superblock bytes (source 2
+    // of §7's scratch space) are donated to the pool for phase 2.
+    for (const auto &[entry, func] : cfg_.functions) {
+        if (!instrumented_.count(entry))
+            continue;
+        const std::set<Addr> cfl = cflBlocks(func);
+        result_.stats.cflBlocks += cfl.size();
+        result_.stats.totalBlocks += func.blocks.size();
+
+        LivenessResult live;
+        if (arch_.fixedLength)
+            live = computeLiveness(func, arch_);
+
+        // Embedded jump-table data must never be overwritten.
+        std::vector<std::pair<Addr, Addr>> protect;
+        for (const auto &jt : func.jumpTables) {
+            if (jt.embeddedInCode) {
+                protect.emplace_back(
+                    jt.tableAddr,
+                    jt.tableAddr +
+                        std::uint64_t{jt.entryCount} * jt.entrySize);
+                keepRanges_.emplace_back(protect.back());
+            }
+        }
+
+        for (Addr start : cfl) {
+            auto bit = func.blocks.find(start);
+            if (bit == func.blocks.end())
+                continue;
+            // Trampoline superblock: extend across address-adjacent
+            // scratch (non-CFL) blocks (§4.1).
+            Addr se = bit->second.end;
+            if (opts_.trampolinePlacement) {
+                auto next = std::next(bit);
+                while (next != func.blocks.end() &&
+                       next->first == se && !cfl.count(next->first)) {
+                    se = next->second.end;
+                    ++next;
+                }
+            }
+            // Never extend over embedded table data.
+            for (const auto &[lo, hi] : protect) {
+                if (lo >= start && lo < se)
+                    se = lo;
+            }
+
+            TrampolineRequest req;
+            req.at = start;
+            req.space = se - start;
+            auto target = engine.blockMap.find(start);
+            icp_assert(target != engine.blockMap.end(),
+                       "CFL block 0x%llx not relocated",
+                       static_cast<unsigned long long>(start));
+            req.target = target->second;
+            req.scratchReg = arch_.fixedLength
+                ? live.deadRegAt(start)
+                : Reg::none;
+
+            if (auto in_place = writer.installInPlace(req)) {
+                account(*in_place);
+                std::uint64_t used = 0;
+                for (const auto &write : in_place->writes) {
+                    if (write.at == start)
+                        used = write.bytes.size();
+                }
+                if (opts_.trampolinePlacement && start + used < se) {
+                    pool.donate(start + used, se - (start + used),
+                                arch_.instrAlign);
+                }
+            } else {
+                pending.push_back({req, se});
+            }
+        }
+    }
+
+    // Donate the tails of still-pending superblocks (the first-hop
+    // branch needs only the head), then resolve them.
+    const std::uint64_t head = arch_.fixedLength
+        ? arch_.directJmpLen
+        : arch_.shortJmpLen;
+    if (opts_.trampolinePlacement) {
+        for (const auto &p : pending) {
+            if (p.req.at + head < p.superEnd) {
+                pool.donate(p.req.at + head,
+                            p.superEnd - (p.req.at + head),
+                            arch_.instrAlign);
+            }
+        }
+    }
+    for (const auto &p : pending)
+        account(writer.installWithFallback(p.req));
+}
+
+bool
+Rewriter::patchInstructionAt(std::vector<std::uint8_t> &bytes,
+                             Addr section_base, Addr at,
+                             const std::function<void(Instruction &)>
+                                 &mutate)
+{
+    const Offset off = at - section_base;
+    if (off >= bytes.size())
+        return false;
+    Instruction in;
+    if (!arch_.codec->decode(bytes.data() + off, bytes.size() - off,
+                             at, in)) {
+        return false;
+    }
+    const unsigned old_len = in.length;
+    mutate(in);
+    std::vector<std::uint8_t> enc;
+    if (!arch_.codec->encode(in, at, enc) || enc.size() != old_len)
+        return false;
+    std::copy(enc.begin(), enc.end(),
+              bytes.begin() + static_cast<std::ptrdiff_t>(off));
+    return true;
+}
+
+void
+Rewriter::patchCodeDef(const FuncPtrDef &def, Addr new_target,
+                       const EngineResult &engine)
+{
+    // Decide where the defining instructions live now: inside
+    // relocated code (.instr) for instrumented functions, in the
+    // original .text otherwise.
+    Section *instr = out_.findSection(SectionKind::instr);
+    Section *text = out_.findSection(SectionKind::text);
+    icp_assert(instr && text, "sections missing");
+
+    for (std::size_t i = 0; i < def.defAddrs.size(); ++i) {
+        const Addr orig = def.defAddrs[i];
+        Addr at = orig;
+        Section *sec = text;
+        auto relocated = engine.insnMap.find(orig);
+        if (relocated != engine.insnMap.end()) {
+            at = relocated->second;
+            sec = instr;
+        }
+        const bool first = i == 0;
+        const bool ok = patchInstructionAt(
+            sec->bytes, sec->addr, at, [&](Instruction &in) {
+                switch (in.op) {
+                  case Opcode::MovImm:
+                    if (arch_.fixedLength) {
+                        in.imm = static_cast<std::int64_t>(
+                            (new_target >> in.movShift) & 0xffff);
+                    } else {
+                        in.imm =
+                            static_cast<std::int64_t>(new_target);
+                    }
+                    break;
+                  case Opcode::Lea:
+                  case Opcode::AdrPage:
+                    in.target = new_target;
+                    break;
+                  case Opcode::AddisToc: {
+                    const std::int64_t off =
+                        static_cast<std::int64_t>(new_target) -
+                        static_cast<std::int64_t>(input_.tocBase);
+                    in.imm = (off + 0x8000) >> 16;
+                    break;
+                  }
+                  case Opcode::AddImm: {
+                    std::int64_t lo;
+                    if (arch_.hasToc) {
+                        const std::int64_t off =
+                            static_cast<std::int64_t>(new_target) -
+                            static_cast<std::int64_t>(input_.tocBase);
+                        lo = signExtend(
+                            static_cast<std::uint64_t>(off), 16);
+                    } else {
+                        const Addr page =
+                            ((new_target + 0x8000) >> 16) << 16;
+                        lo = static_cast<std::int64_t>(new_target) -
+                             static_cast<std::int64_t>(page);
+                    }
+                    in.imm = lo;
+                    break;
+                  }
+                  default:
+                    break;
+                }
+                (void)first;
+            });
+        icp_assert(ok, "func-ptr code patch failed at 0x%llx",
+                   static_cast<unsigned long long>(at));
+    }
+}
+
+void
+Rewriter::rewriteFuncPtrs(const EngineResult &engine)
+{
+    for (const auto &def : funcPtrs_.defs) {
+        // Displaced pointers (Listing 1's entry+1) land inside the
+        // entry trampoline and are therefore rewritten in every
+        // mode; exact entry pointers only in func-ptr mode.
+        if (opts_.mode != RewriteMode::funcPtr && def.delta == 0)
+            continue;
+        Addr new_value;
+        if (def.delta == 0) {
+            // Point at the relocated block start so entry
+            // instrumentation still runs.
+            auto relocated = engine.blockMap.find(def.funcEntry);
+            if (relocated == engine.blockMap.end())
+                continue; // not relocated; pointer stays valid
+            new_value = relocated->second;
+        } else {
+            const Addr use_point = def.funcEntry +
+                                   static_cast<Addr>(def.delta);
+            auto relocated = engine.insnMap.find(use_point);
+            if (relocated == engine.insnMap.end())
+                continue;
+            new_value = relocated->second -
+                        static_cast<Addr>(def.delta);
+        }
+
+        if (def.kind == FuncPtrDef::Kind::dataCell) {
+            // Update the relocation addend and the initialized
+            // bytes.
+            for (auto &rel : out_.relocs) {
+                if (rel.site == def.site) {
+                    rel.addend = static_cast<std::int64_t>(new_value);
+                }
+            }
+            std::vector<std::uint8_t> raw;
+            for (unsigned b = 0; b < 8; ++b)
+                raw.push_back(
+                    static_cast<std::uint8_t>(new_value >> (8 * b)));
+            out_.writeBytes(def.site, raw);
+            result_.stats.rewrittenFuncPtrs++;
+        } else {
+            patchCodeDef(def, new_value, engine);
+            result_.stats.rewrittenFuncPtrs++;
+        }
+    }
+}
+
+void
+Rewriter::clobberOriginal()
+{
+    Section *text = out_.findSection(SectionKind::text);
+    icp_assert(text, "no .text");
+    std::sort(keepRanges_.begin(), keepRanges_.end());
+
+    auto isKept = [&](Addr a) {
+        auto it = std::upper_bound(
+            keepRanges_.begin(), keepRanges_.end(),
+            std::make_pair(a, ~Addr{0}));
+        if (it == keepRanges_.begin())
+            return false;
+        --it;
+        return a >= it->first && a < it->second;
+    };
+
+    // Illegal filler: 0x00 never decodes.
+    for (const auto &[entry, func] : cfg_.functions) {
+        if (!instrumented_.count(entry))
+            continue;
+        for (Addr a = func.entry; a < func.end; ++a) {
+            if (isKept(a))
+                continue;
+            const Offset off = a - text->addr;
+            if (off < text->bytes.size())
+                text->bytes[off] = 0x00;
+        }
+    }
+}
+
+void
+Rewriter::addCodeSections(const EngineResult &engine)
+{
+    Section instr;
+    instr.name = ".instr";
+    instr.kind = SectionKind::instr;
+    instr.addr = instrBase_;
+    instr.bytes = engine.instrBytes;
+    instr.memSize = instr.bytes.size();
+    instr.executable = true;
+    out_.addSection(std::move(instr));
+
+    if (!engine.newRodataBytes.empty()) {
+        Section ro;
+        ro.name = ".newrodata";
+        ro.kind = SectionKind::newRodata;
+        ro.addr = newRodataBase_;
+        ro.bytes = engine.newRodataBytes;
+        ro.memSize = ro.bytes.size();
+        out_.addSection(std::move(ro));
+    }
+}
+
+void
+Rewriter::buildSections(const EngineResult &engine)
+{
+    Addr cursor = alignUp(
+        std::max(newRodataBase_ + engine.newRodataBytes.size(),
+                 instrBase_ + engine.instrBytes.size()),
+        4096);
+
+    // .ra_map
+    if (opts_.raTranslation) {
+        AddrPairMap ra_map(engine.raPairs);
+        Section s;
+        s.name = ".ra_map";
+        s.kind = SectionKind::raMap;
+        s.addr = cursor;
+        s.bytes = ra_map.serialize();
+        s.memSize = s.bytes.size();
+        cursor = alignUp(cursor + s.memSize, 4096);
+        out_.addSection(std::move(s));
+        result_.stats.raMapEntries = ra_map.size();
+    }
+
+    // .trap_map
+    {
+        AddrPairMap trap_map(trapEntries_);
+        Section s;
+        s.name = ".trap_map";
+        s.kind = SectionKind::trapMap;
+        s.addr = cursor;
+        s.bytes = trap_map.serialize();
+        s.memSize = s.bytes.size();
+        cursor = alignUp(cursor + s.memSize, 4096);
+        out_.addSection(std::move(s));
+    }
+
+    // Move the dynamic-linking sections; retire the old copies as
+    // executable scratch (they already hold multi-hop trampolines).
+    for (const auto kind : {SectionKind::dynsym, SectionKind::dynstr,
+                            SectionKind::relaDyn}) {
+        Section *old_sec = out_.findSection(kind);
+        if (!old_sec)
+            continue;
+        Section moved = *old_sec;
+        moved.addr = cursor;
+        // Extra room for new dynamic symbols/strings/relocations —
+        // what makes calls into external instrumentation libraries
+        // linkable (§3).
+        moved.memSize += 256;
+        cursor = alignUp(cursor + moved.memSize, 16);
+        old_sec->name += ".old";
+        old_sec->kind = SectionKind::other;
+        old_sec->executable = true;
+        out_.addSection(std::move(moved));
+    }
+}
+
+RewriteResult
+Rewriter::run()
+{
+    if (opts_.reachabilityPruning && opts_.clobberOriginal) {
+        result_.failReason = "reachability pruning lets original "
+                             "code execute; it cannot be combined "
+                             "with clobbering";
+        return result_;
+    }
+    cfg_ = buildCfg(input_, opts_.analysis);
+    // Function-pointer analysis runs in every mode: even dir/jt
+    // need the forward-sliced displaced pointers (§5.2).
+    funcPtrs_ = analyzeFuncPtrs(cfg_);
+
+    instrumented_ = chooseInstrumented();
+    result_.stats.totalFunctions = cfg_.totalFunctions();
+    result_.stats.instrumentableFunctions =
+        cfg_.instrumentableFunctions();
+    result_.stats.instrumentedFunctions =
+        static_cast<unsigned>(instrumented_.size());
+    result_.stats.originalLoadedSize = input_.loadedSize();
+
+    out_ = input_;
+
+    instrBase_ = input_.highWaterMark(4096);
+    // Reserve a generous window for .instr; clones follow.
+    EngineConfig config;
+    config.mode = opts_.mode;
+    config.callEmulation = !opts_.raTranslation;
+    config.instrumentation = opts_.instrumentation;
+    config.functionOrder = opts_.functionOrder;
+    config.blockOrder = opts_.blockOrder;
+    config.instrBase = instrBase_;
+    config.goRaTranslation =
+        opts_.raTranslation && input_.features.isGo;
+
+    // Estimate .instr extent to place .newrodata after it: snippets
+    // and veneers expand code; 4x the original text is a safe bound.
+    const Section *text = input_.findSection(SectionKind::text);
+    icp_assert(text, "input has no .text");
+    newRodataBase_ =
+        alignUp(instrBase_ + text->memSize * 4 + 0x10000, 4096);
+    config.newRodataBase = newRodataBase_;
+
+    EngineResult engine =
+        relocateFunctions(cfg_, instrumented_, config);
+    icp_assert(instrBase_ + engine.instrBytes.size() <= newRodataBase_,
+               ".instr overflowed its window");
+
+    addCodeSections(engine);
+    installTrampolines(engine);
+    rewriteFuncPtrs(engine);
+    if (opts_.clobberOriginal)
+        clobberOriginal();
+
+    buildSections(engine);
+    result_.stats.clonedTables = engine.clones.size();
+    result_.stats.rewrittenLoadedSize = out_.loadedSize();
+    result_.blockCounters = engine.blockCounters;
+    result_.entryCounters = engine.entryCounters;
+    result_.image = std::move(out_);
+    result_.ok = true;
+    return result_;
+}
+
+} // namespace
+
+RewriteResult
+rewriteBinary(const BinaryImage &input, const RewriteOptions &options)
+{
+    Rewriter rewriter(input, options);
+    return rewriter.run();
+}
+
+} // namespace icp

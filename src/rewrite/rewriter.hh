@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Incremental CFG patching (§3): the top-level rewriter. Analyzes
+ * the input binary, relocates instrumentable functions into .instr,
+ * computes CFL blocks, runs trampoline placement analysis, installs
+ * Table-2 trampolines (with multi-hop chaining and trap fallback),
+ * clones jump tables, rewrites function pointers, emits the .ra_map
+ * and .trap_map sections, moves the dynamic-linking sections and
+ * reuses the retired ones as scratch space, and optionally clobbers
+ * the original bytes for the strong correctness test of §8.
+ */
+
+#ifndef ICP_REWRITE_REWRITER_HH
+#define ICP_REWRITE_REWRITER_HH
+
+#include "rewrite/options.hh"
+
+namespace icp
+{
+
+/** Rewrite @p input under @p options. Never throws; check result.ok. */
+RewriteResult rewriteBinary(const BinaryImage &input,
+                            const RewriteOptions &options);
+
+} // namespace icp
+
+#endif // ICP_REWRITE_REWRITER_HH

@@ -1,0 +1,211 @@
+#include "rewrite/trampoline.hh"
+
+#include "isa/bytes.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+TrampolineWriter::TrampolineWriter(const ArchInfo &arch, Addr toc_base,
+                                   ScratchPool &pool, bool multi_hop)
+    : arch_(arch), tocBase_(toc_base), pool_(pool),
+      multiHop_(multi_hop)
+{
+}
+
+unsigned
+TrampolineWriter::longFormLen() const
+{
+    return arch_.longTrampLen;
+}
+
+bool
+TrampolineWriter::encodeDirect(Addr at, Addr target,
+                               std::vector<std::uint8_t> &out) const
+{
+    Instruction jmp = makeJmp(target);
+    return arch_.codec->encode(jmp, at, out);
+}
+
+bool
+TrampolineWriter::encodeShort(Addr at, Addr target,
+                              std::vector<std::uint8_t> &out) const
+{
+    if (!arch_.hasShortBranch)
+        return false;
+    Instruction jmp = makeJmp(target);
+    jmp.formHint = 1;
+    return arch_.codec->encode(jmp, at, out);
+}
+
+std::vector<std::uint8_t>
+TrampolineWriter::encodeLongForm(Addr at, Addr target, Reg scratch,
+                                 bool spill) const
+{
+    std::vector<std::uint8_t> out;
+    Addr cur = at;
+    auto emit = [&](Instruction in) {
+        const bool ok = arch_.codec->encode(in, cur, out);
+        icp_assert(ok, "long trampoline encode failed (%s)",
+                   in.toString().c_str());
+        cur = at + out.size();
+    };
+
+    switch (arch_.arch) {
+      case Arch::x64:
+        // The near branch already spans ±2 GB; no long form.
+        icp_panic("x64 has no long trampoline form");
+      case Arch::ppc64le: {
+        const Reg reg = spill ? Reg::r0 : scratch;
+        icp_assert(reg != Reg::none, "ppc long form needs a register");
+        const std::int64_t off =
+            static_cast<std::int64_t>(target) -
+            static_cast<std::int64_t>(tocBase_);
+        icp_assert(fitsSigned((off + 0x8000) >> 16, 16),
+                   "target beyond TOC reach");
+        if (spill)
+            emit(makeStore(Reg::sp, -8, reg));
+        emit(makeAddisToc(reg, static_cast<std::int32_t>(
+                                   (off + 0x8000) >> 16)));
+        emit(makeAddImm(reg, signExtend(
+                                 static_cast<std::uint64_t>(off), 16)));
+        emit(makeMoveToTar(reg));
+        if (spill)
+            emit(makeLoad(reg, Reg::sp, -8));
+        emit(makeJmpTar());
+        return out;
+      }
+      case Arch::aarch64: {
+        icp_assert(scratch != Reg::none && !spill,
+                   "a64 long form needs a dead register");
+        emit(makeAdrPage(scratch, target));
+        const Addr page = ((target + 0x8000) >> 16) << 16;
+        emit(makeAddImm(scratch,
+                        static_cast<std::int64_t>(target) -
+                            static_cast<std::int64_t>(page)));
+        emit(makeJmpInd(scratch));
+        return out;
+      }
+    }
+    icp_panic("unreachable");
+}
+
+std::optional<TrampolineOut>
+TrampolineWriter::installInPlace(const TrampolineRequest &req)
+{
+    TrampolineOut out;
+    const std::int64_t delta = static_cast<std::int64_t>(req.target) -
+                               static_cast<std::int64_t>(req.at);
+
+    if (!arch_.fixedLength) {
+        std::vector<std::uint8_t> direct;
+        if (req.space >= arch_.directJmpLen &&
+            encodeDirect(req.at, req.target, direct)) {
+            out.kind = TrampolineKind::direct;
+            out.writes.push_back({req.at, std::move(direct)});
+            return out;
+        }
+        return std::nullopt;
+    }
+
+    const bool direct_reaches =
+        delta >= -arch_.directJmpRange && delta <= arch_.directJmpRange;
+    if (direct_reaches) {
+        std::vector<std::uint8_t> direct;
+        if (encodeDirect(req.at, req.target, direct)) {
+            out.kind = TrampolineKind::direct;
+            out.writes.push_back({req.at, std::move(direct)});
+            return out;
+        }
+    }
+
+    const bool has_scratch_reg = req.scratchReg != Reg::none;
+    const unsigned long_len = arch_.longTrampLen;
+    const unsigned spill_len = long_len + 8; // store + reload
+
+    if (has_scratch_reg && req.space >= long_len) {
+        out.kind = TrampolineKind::longForm;
+        out.writes.push_back(
+            {req.at, encodeLongForm(req.at, req.target,
+                                    req.scratchReg, false)});
+        return out;
+    }
+    if (arch_.hasTarReg && req.space >= spill_len) {
+        out.kind = TrampolineKind::longFormSpill;
+        out.writes.push_back(
+            {req.at,
+             encodeLongForm(req.at, req.target, Reg::none, true)});
+        return out;
+    }
+    return std::nullopt;
+}
+
+TrampolineOut
+TrampolineWriter::installWithFallback(const TrampolineRequest &req)
+{
+    TrampolineOut out;
+
+    if (!arch_.fixedLength) {
+        if (multiHop_ && req.space >= arch_.shortJmpLen) {
+            // Short branch reaches ±127 bytes from its end; a hop
+            // chunk there holds the near branch.
+            auto hop = pool_.allocate(arch_.directJmpLen,
+                                      req.at + arch_.shortJmpLen,
+                                      arch_.shortJmpRange -
+                                          arch_.directJmpLen,
+                                      1);
+            if (hop) {
+                std::vector<std::uint8_t> first;
+                std::vector<std::uint8_t> second;
+                if (encodeShort(req.at, *hop, first) &&
+                    encodeDirect(*hop, req.target, second)) {
+                    out.kind = TrampolineKind::multiHop;
+                    out.writes.push_back({req.at, std::move(first)});
+                    out.writes.push_back({*hop, std::move(second)});
+                    return out;
+                }
+            }
+        }
+    } else {
+        const bool has_scratch_reg = req.scratchReg != Reg::none;
+        const unsigned long_len = arch_.longTrampLen;
+        const unsigned spill_len = long_len + 8;
+        if (multiHop_ && req.space >= arch_.directJmpLen &&
+            (has_scratch_reg || arch_.hasTarReg)) {
+            const bool hop_spill = !has_scratch_reg;
+            const unsigned hop_len = hop_spill ? spill_len : long_len;
+            auto hop = pool_.allocate(hop_len, req.at,
+                                      arch_.directJmpRange - hop_len,
+                                      arch_.instrAlign);
+            if (hop) {
+                std::vector<std::uint8_t> first;
+                if (encodeDirect(req.at, *hop, first)) {
+                    out.kind = TrampolineKind::multiHop;
+                    out.writes.push_back({req.at, std::move(first)});
+                    out.writes.push_back(
+                        {*hop, encodeLongForm(*hop, req.target,
+                                              req.scratchReg,
+                                              hop_spill)});
+                    return out;
+                }
+            }
+        }
+    }
+
+    std::vector<std::uint8_t> trap;
+    arch_.codec->encode(makeTrap(), req.at, trap);
+    out.kind = TrampolineKind::trap;
+    out.trapEntries.emplace_back(req.at, req.target);
+    out.writes.push_back({req.at, std::move(trap)});
+    return out;
+}
+
+TrampolineOut
+TrampolineWriter::install(const TrampolineRequest &req)
+{
+    if (auto in_place = installInPlace(req))
+        return *in_place;
+    return installWithFallback(req);
+}
+
+} // namespace icp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Trampoline instruction-sequence writer (§7, Table 2). Picks, per
+ * CFL block, the cheapest sequence that fits the available
+ * superblock space and reaches the relocated code:
+ *
+ *   x86-64:  5-byte near branch (±2 GB); 2-byte short branch
+ *            chained through scratch space; trap.
+ *   ppc64le: b (±32 MB); addis/addi/mtspr tar/bctar (TOC ±2 GB,
+ *            4 instructions, or 6 with a stack spill when no dead
+ *            register exists); chained through scratch; trap.
+ *   aarch64: b (±128 MB); adrp/add/br (±2 GB, 3 instructions,
+ *            requires a dead register); chained through scratch;
+ *            trap.
+ */
+
+#ifndef ICP_REWRITE_TRAMPOLINE_HH
+#define ICP_REWRITE_TRAMPOLINE_HH
+
+#include <optional>
+#include <vector>
+
+#include "isa/arch.hh"
+#include "rewrite/scratch.hh"
+
+namespace icp
+{
+
+enum class TrampolineKind : std::uint8_t
+{
+    direct,        ///< single branch in place
+    longForm,      ///< multi-instruction long-range form in place
+    longFormSpill, ///< ppc64le long form with register spill
+    multiHop,      ///< short/limited branch into scratch space
+    trap,          ///< trap instruction; runtime library redirects
+};
+
+struct TrampolineRequest
+{
+    Addr at = 0;            ///< CFL block start
+    std::uint64_t space = 0;///< superblock bytes available at @c at
+    Addr target = 0;        ///< relocated destination
+    Reg scratchReg = Reg::none; ///< dead register (liveness)
+};
+
+struct TrampolineWrite
+{
+    Addr at;
+    std::vector<std::uint8_t> bytes;
+};
+
+struct TrampolineOut
+{
+    TrampolineKind kind = TrampolineKind::trap;
+    std::vector<TrampolineWrite> writes;
+    /** Trap-map entries (site -> relocated target). */
+    std::vector<std::pair<Addr, Addr>> trapEntries;
+};
+
+class TrampolineWriter
+{
+  public:
+    TrampolineWriter(const ArchInfo &arch, Addr toc_base,
+                     ScratchPool &pool, bool multi_hop);
+
+    /**
+     * Phase 1: try the in-place forms only (direct branch, long
+     * form, ppc spill form). nullopt when the block needs scratch
+     * space or a trap; the caller can then donate the block's
+     * unused superblock bytes to the pool before phase 2.
+     */
+    std::optional<TrampolineOut>
+    installInPlace(const TrampolineRequest &req);
+
+    /** Phase 2: multi-hop through the pool, then trap fallback. */
+    TrampolineOut installWithFallback(const TrampolineRequest &req);
+
+    /** Convenience: phase 1 then phase 2. */
+    TrampolineOut install(const TrampolineRequest &req);
+
+    /** Length of the in-place long form (Table 2's Len column). */
+    unsigned longFormLen() const;
+
+  private:
+    bool encodeDirect(Addr at, Addr target,
+                      std::vector<std::uint8_t> &out) const;
+    bool encodeShort(Addr at, Addr target,
+                     std::vector<std::uint8_t> &out) const;
+    std::vector<std::uint8_t> encodeLongForm(Addr at, Addr target,
+                                             Reg scratch,
+                                             bool spill) const;
+
+    const ArchInfo &arch_;
+    Addr tocBase_;
+    ScratchPool &pool_;
+    bool multiHop_;
+};
+
+} // namespace icp
+
+#endif // ICP_REWRITE_TRAMPOLINE_HH

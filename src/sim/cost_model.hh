@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The cycle cost model. Absolute values are a model, not a claim
+ * about real hardware; what matters for reproducing the paper is the
+ * *relative* expense of the mechanisms: a trap is thousands of times
+ * a plain instruction (signal delivery), an unwind step is tens of
+ * instructions (DWARF recipe lookup), an icache miss is tens of
+ * cycles, and everything else is small.
+ */
+
+#ifndef ICP_SIM_COST_MODEL_HH
+#define ICP_SIM_COST_MODEL_HH
+
+#include "support/types.hh"
+
+namespace icp
+{
+
+struct CostModel
+{
+    Cycles base = 1;          ///< every instruction
+    Cycles takenBranch = 1;   ///< extra for a taken branch
+    Cycles callExtra = 2;
+    Cycles retExtra = 2;
+    Cycles memExtra = 2;      ///< extra for a memory access
+    Cycles mulExtra = 3;
+    Cycles icacheMiss = 30;
+    Cycles trap = 5000;       ///< signal delivery + handler + return
+    Cycles rtService = 12;    ///< call into the runtime library
+    Cycles unwindStep = 80;   ///< one frame step (FDE lookup + recipe)
+    /**
+     * frdwarf-style compiled unwinding (§2.3): unwind recipes
+     * pre-compiled to straight code, ~10x cheaper per frame. RA
+     * translation composes with it unchanged, unlike
+     * DWARF-rewriting approaches.
+     */
+    Cycles unwindStepCompiled = 8;
+    Cycles raTranslate = 8;   ///< one .ra_map binary search
+};
+
+} // namespace icp
+
+#endif // ICP_SIM_COST_MODEL_HH

@@ -1,0 +1,67 @@
+#include "sim/icache.hh"
+
+#include "support/logging.hh"
+
+namespace icp
+{
+
+namespace
+{
+
+unsigned
+log2u(unsigned v)
+{
+    unsigned r = 0;
+    while ((1u << r) < v)
+        ++r;
+    icp_assert((1u << r) == v, "icache geometry must be power of two");
+    return r;
+}
+
+} // namespace
+
+ICache::ICache(const Config &cfg)
+    : cfg_(cfg)
+{
+    numSets_ = cfg_.sizeBytes / (cfg_.lineBytes * cfg_.ways);
+    icp_assert(numSets_ > 0, "icache too small");
+    log2u(numSets_); // geometry check
+    lineShift_ = log2u(cfg_.lineBytes);
+    ways_.assign(static_cast<std::size_t>(numSets_) * cfg_.ways, Way{});
+}
+
+bool
+ICache::access(Addr addr)
+{
+    ++accesses_;
+    ++tick_;
+    const std::uint64_t line = addr >> lineShift_;
+    const unsigned set = static_cast<unsigned>(line % numSets_);
+    Way *base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+
+    Way *lru = base;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (base[w].tag == line) {
+            base[w].lastUse = tick_;
+            return false;
+        }
+        if (base[w].lastUse < lru->lastUse)
+            lru = &base[w];
+    }
+    ++misses_;
+    lru->tag = line;
+    lru->lastUse = tick_;
+    return true;
+}
+
+void
+ICache::reset()
+{
+    for (auto &w : ways_)
+        w = Way{};
+    tick_ = 0;
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+} // namespace icp

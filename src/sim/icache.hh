@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A small set-associative instruction-cache model. Its only job is
+ * to make the ping-pong between original code (.text trampolines)
+ * and relocated code (.instr) cost real cycles, which is the
+ * dominant overhead source for patching-based rewriting (§3).
+ */
+
+#ifndef ICP_SIM_ICACHE_HH
+#define ICP_SIM_ICACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace icp
+{
+
+class ICache
+{
+  public:
+    struct Config
+    {
+        unsigned sizeBytes = 32 * 1024;
+        unsigned lineBytes = 64;
+        unsigned ways = 4;
+    };
+
+    explicit ICache(const Config &cfg);
+
+    /** Touch the line containing @p addr; true on miss. */
+    bool access(Addr addr);
+
+    void reset();
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = ~0ULL;
+        std::uint64_t lastUse = 0;
+    };
+
+    Config cfg_;
+    unsigned numSets_;
+    unsigned lineShift_;
+    std::vector<Way> ways_; // numSets_ * cfg_.ways
+    std::uint64_t tick_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace icp
+
+#endif // ICP_SIM_ICACHE_HH

@@ -1,0 +1,811 @@
+#include "sim/machine.hh"
+
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace icp
+{
+
+namespace
+{
+
+constexpr unsigned decode_cache_slots = 1u << 16;
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::none: return "none";
+      case FaultKind::illegalInstr: return "illegal-instruction";
+      case FaultKind::badFetch: return "bad-fetch";
+      case FaultKind::badMemory: return "bad-memory";
+      case FaultKind::badJump: return "bad-jump";
+      case FaultKind::uncaughtException: return "uncaught-exception";
+      case FaultKind::unwindFailure: return "unwind-failure";
+      case FaultKind::goUnwindFailure: return "go-unwind-failure";
+      case FaultKind::trapUnmapped: return "trap-unmapped";
+      case FaultKind::stepLimit: return "step-limit";
+      case FaultKind::stackOverflow: return "stack-overflow";
+    }
+    return "?";
+}
+
+std::string
+RunResult::describe() const
+{
+    char buf[256];
+    if (halted) {
+        std::snprintf(buf, sizeof(buf),
+            "halted: %llu instrs, %llu cycles, %llu traps, checksum "
+            "0x%llx",
+            static_cast<unsigned long long>(instructions),
+            static_cast<unsigned long long>(cycles),
+            static_cast<unsigned long long>(traps),
+            static_cast<unsigned long long>(checksum));
+    } else {
+        std::snprintf(buf, sizeof(buf),
+            "fault %s at 0x%llx after %llu instrs",
+            faultKindName(fault),
+            static_cast<unsigned long long>(faultPc),
+            static_cast<unsigned long long>(instructions));
+    }
+    return buf;
+}
+
+Machine::Machine(Process &proc, const Config &cfg)
+    : proc_(proc), cfg_(cfg),
+      fdeIndex_(proc.module.image->fdeRecords()),
+      icache_(cfg.icache)
+{
+    decodeCache_.resize(decode_cache_slots);
+    for (const auto &sym : proc.module.image->symbols) {
+        if (sym.kind != Symbol::Kind::function)
+            continue;
+        if (sym.name == "runtime.findfunc")
+            findfuncEntry_ = proc.module.toLoaded(sym.addr);
+        else if (sym.name == "runtime.pcvalue")
+            pcvalueEntry_ = proc.module.toLoaded(sym.addr);
+    }
+}
+
+void
+Machine::reset()
+{
+    for (auto &r : regs_)
+        r = 0;
+    flags_ = 0;
+    steps_ = 0;
+    callsSinceGc_ = 0;
+    subroutineDepth_ = 0;
+    icache_.reset();
+    result_ = RunResult();
+
+    const auto &mod = proc_.module;
+    regs_[static_cast<unsigned>(Reg::sp)] = proc_.stackTop - 64;
+    if (mod.image->archInfo().hasToc) {
+        regs_[static_cast<unsigned>(Reg::toc)] =
+            mod.toLoaded(mod.image->tocBase);
+    }
+    pc_ = mod.toLoaded(mod.image->entry);
+    if (cfg_.recordTransferTargets)
+        result_.transferTargets[mod.image->entry]++;
+    if (mod.image->archInfo().hasLinkRegister) {
+        regs_[static_cast<unsigned>(Reg::lr)] = magic_exit;
+    } else {
+        regs_[static_cast<unsigned>(Reg::sp)] -= 8;
+        proc_.mem.write(regs_[static_cast<unsigned>(Reg::sp)], 8,
+                        magic_exit);
+    }
+    running_ = true;
+}
+
+Addr
+Machine::translatedPrefPc(Addr loadedPc) const
+{
+    const Addr pref = proc_.module.toPref(loadedPc);
+    return rt_ ? rt_->translateRaPref(pref) : pref;
+}
+
+bool
+Machine::fetch(Addr pc, Instruction &in)
+{
+    DecodeSlot &slot = decodeCache_[(pc >> 0) & (decode_cache_slots - 1)];
+    if (slot.addr == pc) {
+        in = slot.in;
+        return true;
+    }
+    std::size_t avail = 0;
+    const std::uint8_t *bytes = proc_.mem.peek(pc, avail);
+    if (!bytes)
+        return false;
+    const auto &arch = proc_.module.image->archInfo();
+    std::uint8_t buf[16];
+    if (avail < arch.maxInstrLen) {
+        // Instruction may span a page boundary; copy through.
+        std::vector<std::uint8_t> tmp;
+        if (!proc_.mem.readBlock(pc, arch.maxInstrLen, tmp)) {
+            // Partial page at the very end of mappings: try what we
+            // have.
+            for (std::size_t i = 0; i < avail; ++i)
+                buf[i] = bytes[i];
+            if (!arch.codec->decode(buf, avail, pc, in))
+                return in.op != Opcode::Illegal;
+            slot.addr = pc;
+            slot.in = in;
+            return true;
+        }
+        for (unsigned i = 0; i < arch.maxInstrLen; ++i)
+            buf[i] = tmp[i];
+        bytes = buf;
+        avail = arch.maxInstrLen;
+    }
+    if (!arch.codec->decode(bytes, avail, pc, in))
+        return false;
+    slot.addr = pc;
+    slot.in = in;
+    return true;
+}
+
+void
+Machine::fault(FaultKind kind, Addr pc)
+{
+    if (subroutineDepth_ > 0) {
+        // Subroutine faults are reported to the GC walker, which
+        // turns them into goUnwindFailure at its own level.
+        running_ = false;
+        result_.fault = kind;
+        result_.faultPc = pc;
+        return;
+    }
+    running_ = false;
+    result_.halted = false;
+    result_.fault = kind;
+    result_.faultPc = pc;
+}
+
+bool
+Machine::evalCond(Cond cond) const
+{
+    switch (cond) {
+      case Cond::eq: return flags_ == 0;
+      case Cond::ne: return flags_ != 0;
+      case Cond::lt: return flags_ < 0;
+      case Cond::le: return flags_ <= 0;
+      case Cond::gt: return flags_ > 0;
+      case Cond::ge: return flags_ >= 0;
+      default: icp_panic("bad condition");
+    }
+}
+
+void
+Machine::doBranchTo(Addr target)
+{
+    pc_ = target;
+    result_.cycles += cfg_.cost.takenBranch;
+    if (cfg_.recordTransferTargets)
+        result_.transferTargets[proc_.module.toPref(target)]++;
+}
+
+void
+Machine::doCall(Addr target, Addr returnAddr)
+{
+    // Go safepoint: the GC stack walk happens at the call site,
+    // while the caller's frame is fully formed.
+    if (cfg_.goGcEveryCalls != 0 && subroutineDepth_ == 0 &&
+        ++callsSinceGc_ >= cfg_.goGcEveryCalls) {
+        callsSinceGc_ = 0;
+        gcWalk();
+        if (!running_)
+            return;
+    }
+    const auto &arch = proc_.module.image->archInfo();
+    if (arch.hasLinkRegister) {
+        regs_[static_cast<unsigned>(Reg::lr)] = returnAddr;
+    } else {
+        auto &sp = regs_[static_cast<unsigned>(Reg::sp)];
+        sp -= 8;
+        if (sp < proc_.stackLimit) {
+            fault(FaultKind::stackOverflow, pc_);
+            return;
+        }
+        if (!proc_.mem.write(sp, 8, returnAddr)) {
+            fault(FaultKind::badMemory, pc_);
+            return;
+        }
+    }
+    result_.cycles += cfg_.cost.callExtra;
+    pc_ = target;
+    if (cfg_.recordTransferTargets)
+        result_.transferTargets[proc_.module.toPref(target)]++;
+}
+
+void
+Machine::doRet()
+{
+    const auto &arch = proc_.module.image->archInfo();
+    Addr target;
+    if (arch.hasLinkRegister) {
+        target = regs_[static_cast<unsigned>(Reg::lr)];
+    } else {
+        auto &sp = regs_[static_cast<unsigned>(Reg::sp)];
+        std::uint64_t v;
+        if (!proc_.mem.read(sp, 8, v)) {
+            fault(FaultKind::badMemory, pc_);
+            return;
+        }
+        sp += 8;
+        target = v;
+    }
+    result_.cycles += cfg_.cost.retExtra;
+    pc_ = target;
+}
+
+void
+Machine::doTrap(Addr pc)
+{
+    result_.traps++;
+    result_.cycles += cfg_.cost.trap;
+    if (!rt_) {
+        fault(FaultKind::trapUnmapped, pc);
+        return;
+    }
+    const Addr pref = proc_.module.toPref(pc);
+    if (auto target = rt_->trapTarget(pref)) {
+        pc_ = proc_.module.toLoaded(*target);
+        return;
+    }
+    fault(FaultKind::trapUnmapped, pc);
+}
+
+bool
+Machine::unwindStep(Frame &frame, Addr &raOut, const FdeRecord *&fde)
+{
+    const Addr prefPc = translatedPrefPc(frame.pc);
+    result_.unwindSteps++;
+    result_.cycles += cfg_.compiledUnwinding
+        ? cfg_.cost.unwindStepCompiled
+        : cfg_.cost.unwindStep;
+    if (rt_ && rt_->hasRaMap())
+        result_.cycles += cfg_.cost.raTranslate;
+
+    fde = fdeIndex_.find(prefPc);
+    if (!fde)
+        return false;
+
+    const auto &arch = proc_.module.image->archInfo();
+    if (fde->raOnStack) {
+        std::uint64_t ra;
+        if (!proc_.mem.read(frame.sp + static_cast<std::uint64_t>(
+                                fde->raOffset), 8, ra)) {
+            return false;
+        }
+        raOut = ra;
+        frame.sp += fde->frameSize + (arch.hasLinkRegister ? 0 : 8);
+    } else {
+        // Leaf frame: RA still in the link register. Only valid for
+        // the innermost frame; the caller enforces this.
+        raOut = regs_[static_cast<unsigned>(Reg::lr)];
+    }
+    return true;
+}
+
+void
+Machine::doThrow(Addr pc)
+{
+    result_.exceptionsThrown++;
+    Frame frame{pc, regs_[static_cast<unsigned>(Reg::sp)]};
+    unsigned depth = 0;
+
+    while (true) {
+        const Addr prefPc = translatedPrefPc(frame.pc);
+        const FdeRecord *fde = fdeIndex_.find(prefPc);
+        result_.unwindSteps++;
+        result_.cycles += cfg_.compiledUnwinding
+            ? cfg_.cost.unwindStepCompiled
+            : cfg_.cost.unwindStep;
+        if (rt_ && rt_->hasRaMap())
+            result_.cycles += cfg_.cost.raTranslate;
+        if (!fde) {
+            fault(FaultKind::unwindFailure, frame.pc);
+            return;
+        }
+        // For outer frames the frame pc is a return address, which
+        // points just past the call; probe the call site itself.
+        const Offset off = prefPc - fde->start - (depth > 0 ? 1 : 0);
+        if (auto lp = fde->landingPadFor(off)) {
+            // Resume at the original landing pad: in a rewritten
+            // binary this block carries a trampoline (catch blocks
+            // are CFL blocks).
+            regs_[static_cast<unsigned>(Reg::sp)] = frame.sp;
+            regs_[static_cast<unsigned>(Reg::r1)] = 1; // exception obj
+            pc_ = proc_.module.toLoaded(fde->start + *lp);
+            flags_ = 0;
+            return;
+        }
+        // Pop this frame, restoring callee-saved registers as DWARF
+        // CFI would.
+        const auto &arch = proc_.module.image->archInfo();
+        if (fde->savesCalleeSaved) {
+            std::uint64_t v;
+            if (proc_.mem.read(frame.sp + 0, 8, v))
+                regs_[static_cast<unsigned>(Reg::r8)] = v;
+            if (proc_.mem.read(frame.sp + 8, 8, v))
+                regs_[static_cast<unsigned>(Reg::r9)] = v;
+            if (proc_.mem.read(frame.sp + 16, 8, v))
+                regs_[static_cast<unsigned>(Reg::r6)] = v;
+        }
+        Addr ra;
+        if (fde->raOnStack) {
+            std::uint64_t v;
+            if (!proc_.mem.read(frame.sp + static_cast<std::uint64_t>(
+                                    fde->raOffset), 8, v)) {
+                fault(FaultKind::unwindFailure, frame.pc);
+                return;
+            }
+            ra = v;
+            frame.sp += fde->frameSize + (arch.hasLinkRegister ? 0 : 8);
+        } else {
+            if (depth > 0) {
+                fault(FaultKind::unwindFailure, frame.pc);
+                return;
+            }
+            ra = regs_[static_cast<unsigned>(Reg::lr)];
+        }
+        if (ra == magic_exit) {
+            fault(FaultKind::uncaughtException, pc);
+            return;
+        }
+        frame.pc = ra;
+        ++depth;
+    }
+}
+
+std::optional<std::uint64_t>
+Machine::runSubroutine(Addr entryLoaded, std::uint64_t arg)
+{
+    // Snapshot register state; the subroutine runs on a scratch area
+    // below the current stack pointer.
+    std::uint64_t savedRegs[num_regs];
+    for (unsigned i = 0; i < num_regs; ++i)
+        savedRegs[i] = regs_[i];
+    const int savedFlags = flags_;
+    const Addr savedPc = pc_;
+    const bool savedRunning = running_;
+    const FaultKind savedFault = result_.fault;
+    const Addr savedFaultPc = result_.faultPc;
+
+    const auto &arch = proc_.module.image->archInfo();
+    Addr sp = (regs_[static_cast<unsigned>(Reg::sp)] - 512) &
+              ~static_cast<Addr>(15);
+    // Go-ABI analog: argument on the stack.
+    if (!proc_.mem.write(sp + 8, 8, arg))
+        return std::nullopt;
+    if (arch.hasLinkRegister) {
+        regs_[static_cast<unsigned>(Reg::lr)] = magic_subret;
+    } else {
+        sp -= 8;
+        if (!proc_.mem.write(sp, 8, magic_subret))
+            return std::nullopt;
+    }
+    regs_[static_cast<unsigned>(Reg::sp)] = sp;
+    pc_ = entryLoaded;
+    if (cfg_.recordTransferTargets)
+        result_.transferTargets[proc_.module.toPref(entryLoaded)]++;
+    running_ = true;
+    ++subroutineDepth_;
+
+    std::optional<std::uint64_t> ret;
+    std::uint64_t subSteps = 0;
+    constexpr std::uint64_t max_sub_steps = 2'000'000;
+    while (running_) {
+        if (pc_ == magic_subret) {
+            ret = regs_[static_cast<unsigned>(Reg::r0)];
+            break;
+        }
+        if (++subSteps > max_sub_steps)
+            break;
+        Instruction in;
+        if (!fetch(pc_, in)) {
+            break;
+        }
+        if (icache_.access(pc_))
+            result_.cycles += cfg_.cost.icacheMiss;
+        result_.instructions++;
+        result_.cycles += cfg_.cost.base;
+        execute(in);
+    }
+
+    --subroutineDepth_;
+    for (unsigned i = 0; i < num_regs; ++i)
+        regs_[i] = savedRegs[i];
+    flags_ = savedFlags;
+    pc_ = savedPc;
+    running_ = savedRunning;
+    result_.fault = savedFault;
+    result_.faultPc = savedFaultPc;
+    return ret;
+}
+
+void
+Machine::gcWalk()
+{
+    result_.gcWalks++;
+    if (findfuncEntry_ == invalid_addr)
+        return;
+
+    Frame frame{pc_, regs_[static_cast<unsigned>(Reg::sp)]};
+    unsigned depth = 0;
+    while (true) {
+        // The Go runtime consults findfunc/pcvalue with the raw frame
+        // pc; in a rewritten binary these point into .instr and the
+        // instrumented findfunc entry must translate them.
+        auto found = runSubroutine(findfuncEntry_, frame.pc);
+        if (!found || *found == ~0ULL) {
+            fault(FaultKind::goUnwindFailure, frame.pc);
+            return;
+        }
+        if (pcvalueEntry_ != invalid_addr) {
+            auto pcv = runSubroutine(pcvalueEntry_, frame.pc);
+            if (!pcv || *pcv == ~0ULL) {
+                fault(FaultKind::goUnwindFailure, frame.pc);
+                return;
+            }
+        }
+
+        // Pop the frame (native walker with RA translation).
+        Addr ra;
+        const FdeRecord *fde;
+        Frame next = frame;
+        if (!unwindStep(next, ra, fde)) {
+            fault(FaultKind::goUnwindFailure, frame.pc);
+            return;
+        }
+        if (!fde->raOnStack && depth > 0) {
+            fault(FaultKind::goUnwindFailure, frame.pc);
+            return;
+        }
+        if (ra == magic_exit)
+            return; // reached the bottom
+        next.pc = ra;
+        frame = next;
+        ++depth;
+        if (depth > 4096) {
+            fault(FaultKind::goUnwindFailure, frame.pc);
+            return;
+        }
+    }
+}
+
+void
+Machine::doCallRt(const Instruction &in)
+{
+    result_.rtCalls++;
+    result_.cycles += cfg_.cost.rtService;
+    const auto imm = static_cast<std::uint32_t>(in.imm);
+    switch (rtServiceOf(imm)) {
+      case RtService::nop:
+        break;
+      case RtService::count: {
+        const std::uint32_t idx = rtServiceArg(imm);
+        if (result_.counters.size() <= idx)
+            result_.counters.resize(idx + 1, 0);
+        result_.counters[idx]++;
+        break;
+      }
+      case RtService::raXlatStackSlot: {
+        const std::uint32_t slot = rtServiceArg(imm);
+        const Addr addr = regs_[static_cast<unsigned>(Reg::sp)] +
+                          std::uint64_t{slot} * 8;
+        std::uint64_t v;
+        if (!proc_.mem.read(addr, 8, v)) {
+            fault(FaultKind::badMemory, in.addr);
+            return;
+        }
+        if (rt_) {
+            const Addr pref = proc_.module.toPref(v);
+            const Addr xlat = rt_->translateRaPref(pref);
+            v = proc_.module.toLoaded(xlat);
+            result_.cycles += cfg_.cost.raTranslate;
+        }
+        if (!proc_.mem.write(addr, 8, v)) {
+            fault(FaultKind::badMemory, in.addr);
+            return;
+        }
+        break;
+      }
+      default:
+        fault(FaultKind::illegalInstr, in.addr);
+        break;
+    }
+}
+
+void
+Machine::execute(const Instruction &in)
+{
+    auto &regs = regs_;
+    auto reg = [&](Reg r) -> std::uint64_t & {
+        return regs[static_cast<unsigned>(r)];
+    };
+    const Addr next = in.addr + in.length;
+    pc_ = next; // default fall-through
+
+    switch (in.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Trap:
+        doTrap(in.addr);
+        break;
+      case Opcode::Halt:
+        running_ = false;
+        result_.halted = true;
+        result_.checksum = reg(Reg::r0);
+        break;
+
+      case Opcode::MovImm:
+        if (proc_.module.image->archInfo().fixedLength) {
+            const std::uint64_t chunk =
+                static_cast<std::uint64_t>(in.imm & 0xffff)
+                << in.movShift;
+            if (in.movKeep) {
+                reg(in.rd) = (reg(in.rd) &
+                              ~(0xffffULL << in.movShift)) | chunk;
+            } else {
+                reg(in.rd) = chunk;
+            }
+        } else {
+            reg(in.rd) = static_cast<std::uint64_t>(in.imm);
+        }
+        break;
+      case Opcode::MovReg: reg(in.rd) = reg(in.rs1); break;
+      case Opcode::Add: reg(in.rd) += reg(in.rs1); break;
+      case Opcode::Sub: reg(in.rd) -= reg(in.rs1); break;
+      case Opcode::Mul:
+        reg(in.rd) *= reg(in.rs1);
+        result_.cycles += cfg_.cost.mulExtra;
+        break;
+      case Opcode::Xor: reg(in.rd) ^= reg(in.rs1); break;
+      case Opcode::AddImm:
+        reg(in.rd) += static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::ShlImm:
+        reg(in.rd) <<= (in.imm & 63);
+        break;
+      case Opcode::ShrImm:
+        reg(in.rd) >>= (in.imm & 63);
+        break;
+      case Opcode::Cmp: {
+        const auto a = static_cast<std::int64_t>(reg(in.rs1));
+        const auto b = static_cast<std::int64_t>(reg(in.rs2));
+        flags_ = a < b ? -1 : (a == b ? 0 : 1);
+        break;
+      }
+      case Opcode::CmpImm: {
+        const auto a = static_cast<std::int64_t>(reg(in.rs1));
+        flags_ = a < in.imm ? -1 : (a == in.imm ? 0 : 1);
+        break;
+      }
+
+      case Opcode::Load:
+      case Opcode::LoadSz: {
+        const Addr ea = reg(in.rs1) + static_cast<std::uint64_t>(in.imm);
+        const unsigned size = in.op == Opcode::Load ? 8 : in.memSize;
+        std::uint64_t v;
+        if (!proc_.mem.read(ea, size, v)) {
+            fault(FaultKind::badMemory, in.addr);
+            return;
+        }
+        if (in.op == Opcode::LoadSz && in.signedLoad && size < 8) {
+            const std::uint64_t m = 1ULL << (size * 8 - 1);
+            v = (v ^ m) - m;
+        }
+        reg(in.rd) = v;
+        result_.cycles += cfg_.cost.memExtra;
+        break;
+      }
+      case Opcode::LoadIdx: {
+        const Addr ea = reg(in.rs1) + reg(in.rs2) * in.memSize +
+                        static_cast<std::uint64_t>(in.imm);
+        std::uint64_t v;
+        if (!proc_.mem.read(ea, in.memSize, v)) {
+            fault(FaultKind::badMemory, in.addr);
+            return;
+        }
+        if (in.signedLoad && in.memSize < 8) {
+            const std::uint64_t m = 1ULL << (in.memSize * 8 - 1);
+            v = (v ^ m) - m;
+        }
+        reg(in.rd) = v;
+        result_.cycles += cfg_.cost.memExtra;
+        break;
+      }
+      case Opcode::Store:
+      case Opcode::StoreSz: {
+        const Addr ea = reg(in.rs1) + static_cast<std::uint64_t>(in.imm);
+        const unsigned size = in.op == Opcode::Store ? 8 : in.memSize;
+        if (!proc_.mem.write(ea, size, reg(in.rs2))) {
+            fault(FaultKind::badMemory, in.addr);
+            return;
+        }
+        result_.cycles += cfg_.cost.memExtra;
+        break;
+      }
+
+      case Opcode::Lea:
+      case Opcode::AdrPage:
+        reg(in.rd) = in.target;
+        break;
+      case Opcode::AddisToc:
+        reg(in.rd) = reg(Reg::toc) +
+                     (static_cast<std::uint64_t>(in.imm) << 16);
+        break;
+
+      case Opcode::Jmp:
+        doBranchTo(in.target);
+        break;
+      case Opcode::JmpCond:
+        if (evalCond(in.cond))
+            doBranchTo(in.target);
+        break;
+      case Opcode::Call:
+        doCall(in.target, next);
+        break;
+      case Opcode::JmpInd:
+        doBranchTo(reg(in.rs1));
+        break;
+      case Opcode::JmpTar:
+        doBranchTo(reg(Reg::tar));
+        break;
+      case Opcode::MoveToTar:
+        reg(Reg::tar) = reg(in.rs1);
+        break;
+      case Opcode::CallInd:
+        doCall(reg(in.rs1), next);
+        break;
+      case Opcode::CallIndMem: {
+        const Addr ea = reg(in.rs1) + static_cast<std::uint64_t>(in.imm);
+        std::uint64_t v;
+        if (!proc_.mem.read(ea, 8, v)) {
+            fault(FaultKind::badMemory, in.addr);
+            return;
+        }
+        result_.cycles += cfg_.cost.memExtra;
+        doCall(v, next);
+        break;
+      }
+      case Opcode::Ret:
+        doRet();
+        break;
+
+      case Opcode::PushImm: {
+        auto &sp = reg(Reg::sp);
+        sp -= 8;
+        if (sp < proc_.stackLimit) {
+            fault(FaultKind::stackOverflow, in.addr);
+            return;
+        }
+        if (!proc_.mem.write(sp, 8,
+                             static_cast<std::uint64_t>(in.imm))) {
+            fault(FaultKind::badMemory, in.addr);
+            return;
+        }
+        result_.cycles += cfg_.cost.memExtra;
+        break;
+      }
+      case Opcode::Push: {
+        auto &sp = reg(Reg::sp);
+        sp -= 8;
+        if (sp < proc_.stackLimit) {
+            fault(FaultKind::stackOverflow, in.addr);
+            return;
+        }
+        if (!proc_.mem.write(sp, 8, reg(in.rs1))) {
+            fault(FaultKind::badMemory, in.addr);
+            return;
+        }
+        result_.cycles += cfg_.cost.memExtra;
+        break;
+      }
+      case Opcode::Pop: {
+        auto &sp = reg(Reg::sp);
+        std::uint64_t v;
+        if (!proc_.mem.read(sp, 8, v)) {
+            fault(FaultKind::badMemory, in.addr);
+            return;
+        }
+        sp += 8;
+        reg(in.rd) = v;
+        result_.cycles += cfg_.cost.memExtra;
+        break;
+      }
+
+      case Opcode::Throw:
+        doThrow(in.addr);
+        break;
+      case Opcode::ThrowRa: {
+        // Call-emulation throw: the unwind pc was materialized
+        // position-correctly (x64: pushed; fixed ISAs: r13).
+        std::uint64_t pc0;
+        if (proc_.module.image->archInfo().hasLinkRegister) {
+            pc0 = reg(Reg::r13);
+        } else {
+            auto &sp = reg(Reg::sp);
+            if (!proc_.mem.read(sp, 8, pc0)) {
+                fault(FaultKind::badMemory, in.addr);
+                return;
+            }
+            sp += 8;
+        }
+        doThrow(pc0);
+        break;
+      }
+      case Opcode::CallRt:
+        doCallRt(in);
+        break;
+
+      case Opcode::Illegal:
+      default:
+        fault(FaultKind::illegalInstr, in.addr);
+        break;
+    }
+}
+
+void
+Machine::start()
+{
+    reset();
+}
+
+void
+Machine::flushDecodeCache()
+{
+    for (auto &slot : decodeCache_)
+        slot.addr = invalid_addr;
+    icache_.reset();
+}
+
+RunResult
+Machine::runFor(std::uint64_t steps)
+{
+    std::uint64_t executed = 0;
+    while (running_ && executed < steps) {
+        if (pc_ == magic_exit) {
+            running_ = false;
+            result_.halted = true;
+            result_.checksum = regs_[static_cast<unsigned>(Reg::r0)];
+            break;
+        }
+        if (++steps_ > cfg_.maxSteps) {
+            fault(FaultKind::stepLimit, pc_);
+            break;
+        }
+        Instruction in;
+        if (!fetch(pc_, in)) {
+            fault(in.valid() ? FaultKind::badFetch
+                             : FaultKind::illegalInstr, pc_);
+            break;
+        }
+        if (icache_.access(pc_))
+            result_.cycles += cfg_.cost.icacheMiss;
+        result_.instructions++;
+        result_.cycles += cfg_.cost.base;
+        if (cfg_.traceHook)
+            cfg_.traceHook(in);
+        execute(in);
+        ++executed;
+    }
+    result_.icacheAccesses = icache_.accesses();
+    result_.icacheMisses = icache_.misses();
+    return result_;
+}
+
+RunResult
+Machine::run()
+{
+    start();
+    return runFor(~std::uint64_t{0});
+}
+
+} // namespace icp

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The instruction-level simulator. Executes a loaded process under
+ * the cycle cost model, dispatches traps to the runtime library,
+ * performs DWARF-analog exception unwinding with optional RA
+ * translation, and models the Go runtime's GC stack walks through
+ * the binary's own findfunc/pcvalue functions.
+ */
+
+#ifndef ICP_SIM_MACHINE_HH
+#define ICP_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "binfmt/ehframe.hh"
+#include "sim/cost_model.hh"
+#include "sim/icache.hh"
+#include "sim/loader.hh"
+#include "sim/runtime_lib.hh"
+
+namespace icp
+{
+
+enum class FaultKind : std::uint8_t
+{
+    none = 0,
+    illegalInstr,
+    badFetch,
+    badMemory,
+    badJump,
+    uncaughtException,
+    unwindFailure,
+    goUnwindFailure,
+    trapUnmapped,
+    stepLimit,
+    stackOverflow,
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** Everything an experiment needs to know about one run. */
+struct RunResult
+{
+    bool halted = false;
+    FaultKind fault = FaultKind::none;
+    Addr faultPc = 0;
+
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0;
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t traps = 0;
+    std::uint64_t rtCalls = 0;
+    std::uint64_t unwindSteps = 0;
+    std::uint64_t gcWalks = 0;
+    std::uint64_t exceptionsThrown = 0;
+
+    /** Program checksum (r0 at halt). */
+    std::uint64_t checksum = 0;
+
+    /** Instrumentation counters (CallRt count service). */
+    std::vector<std::uint64_t> counters;
+
+    /**
+     * Control-transfer target counts (preferred-base addresses),
+     * recorded when Config::recordTransferTargets is set. Used by
+     * the verification harness to check function-entry
+     * instrumentation semantics against an uninstrumented run.
+     */
+    std::map<Addr, std::uint64_t> transferTargets;
+
+    std::string describe() const;
+};
+
+class Machine
+{
+  public:
+    struct Config
+    {
+        CostModel cost;
+        ICache::Config icache;
+        std::uint64_t maxSteps = 400'000'000;
+
+        /**
+         * Go-runtime modeling: every N calls the simulator performs
+         * a GC safepoint stack walk that consults the binary's own
+         * runtime.findfunc / runtime.pcvalue. 0 disables.
+         */
+        std::uint64_t goGcEveryCalls = 0;
+
+        /** Record every control-transfer target (golden runs). */
+        bool recordTransferTargets = false;
+
+        /**
+         * Use frdwarf-style compiled unwinding instead of per-frame
+         * DWARF recipe interpretation (§2.3).
+         */
+        bool compiledUnwinding = false;
+
+        /**
+         * Trace-based debugging: invoked before each executed
+         * instruction (outside findfunc/pcvalue subroutine runs).
+         * Leave empty for full-speed simulation.
+         */
+        std::function<void(const Instruction &)> traceHook;
+    };
+
+    Machine(Process &proc, const Config &cfg);
+
+    /** Attach the LD_PRELOAD-analog runtime library. */
+    void attachRuntimeLib(const RuntimeLib *rt) { rt_ = rt; }
+
+    /** Execute from the image entry point to completion. */
+    RunResult run();
+
+    /**
+     * Resumable execution for dynamic instrumentation (§10): start()
+     * resets to the entry point; runFor() executes up to @p steps
+     * more instructions and returns the accumulated result so far;
+     * finished() reports whether the program halted or faulted.
+     */
+    void start();
+    RunResult runFor(std::uint64_t steps);
+    bool finished() const { return !running_; }
+
+    /**
+     * Drop cached decodes after code bytes changed underneath a
+     * running process (the icache-flush a dynamic instrumenter must
+     * perform).
+     */
+    void flushDecodeCache();
+
+  private:
+    static constexpr Addr magic_exit = 0xfee1dead0000ULL;
+    static constexpr Addr magic_subret = 0xfee1dead1000ULL;
+
+    struct Frame
+    {
+        Addr pc;  ///< loaded-space pc of the active location
+        Addr sp;
+    };
+
+    void reset();
+    bool fetch(Addr pc, Instruction &in);
+    void fault(FaultKind kind, Addr pc);
+    void execute(const Instruction &in);
+    bool evalCond(Cond cond) const;
+
+    void doBranchTo(Addr target);
+    void doCall(Addr target, Addr returnAddr);
+    void doRet();
+    void doTrap(Addr pc);
+    void doThrow(Addr pc);
+    void doCallRt(const Instruction &in);
+
+    /** Go GC safepoint: walk the stack via findfunc/pcvalue. */
+    void gcWalk();
+
+    /**
+     * Run a subroutine of the target binary synchronously (used for
+     * findfunc/pcvalue during GC walks). Returns r0, or nullopt on
+     * fault inside the subroutine.
+     */
+    std::optional<std::uint64_t> runSubroutine(Addr entryLoaded,
+                                               std::uint64_t arg);
+
+    /** Unwinder frame step; false when the stack is exhausted. */
+    bool unwindStep(Frame &frame, Addr &raOut, const FdeRecord *&fde);
+
+    Addr translatedPrefPc(Addr loadedPc) const;
+
+    Process &proc_;
+    Config cfg_;
+    const RuntimeLib *rt_ = nullptr;
+
+    FdeIndex fdeIndex_;
+    Addr findfuncEntry_ = invalid_addr;
+    Addr pcvalueEntry_ = invalid_addr;
+
+    // Machine state.
+    std::uint64_t regs_[num_regs] = {};
+    int flags_ = 0;
+    Addr pc_ = 0;
+    bool running_ = false;
+
+    std::uint64_t callsSinceGc_ = 0;
+    std::uint64_t steps_ = 0;
+    unsigned subroutineDepth_ = 0;
+
+    ICache icache_;
+    RunResult result_;
+
+    // Direct-mapped decode cache (software front cache).
+    struct DecodeSlot
+    {
+        Addr addr = invalid_addr;
+        Instruction in;
+    };
+    std::vector<DecodeSlot> decodeCache_;
+};
+
+} // namespace icp
+
+#endif // ICP_SIM_MACHINE_HH

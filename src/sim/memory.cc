@@ -1,0 +1,132 @@
+#include "sim/memory.hh"
+
+#include "support/logging.hh"
+
+namespace icp
+{
+
+Memory::Page *
+Memory::pageFor(Addr addr, bool create)
+{
+    const std::uint64_t key = addr >> page_shift;
+    auto it = pages_.find(key);
+    if (it != pages_.end())
+        return &it->second;
+    if (!create)
+        return nullptr;
+    auto [ins, ok] = pages_.emplace(key, Page(page_size, 0));
+    (void)ok;
+    return &ins->second;
+}
+
+const Memory::Page *
+Memory::pageFor(Addr addr) const
+{
+    const std::uint64_t key = addr >> page_shift;
+    auto it = pages_.find(key);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+void
+Memory::map(Addr addr, std::uint64_t len)
+{
+    if (len == 0)
+        return;
+    const Addr first = addr >> page_shift;
+    const Addr last = (addr + len - 1) >> page_shift;
+    for (Addr p = first; p <= last; ++p)
+        pageFor(p << page_shift, true);
+}
+
+bool
+Memory::isMapped(Addr addr) const
+{
+    return pageFor(addr) != nullptr;
+}
+
+bool
+Memory::read(Addr addr, unsigned size, std::uint64_t &value) const
+{
+    // Fast path: within one page.
+    const std::size_t off = addr & (page_size - 1);
+    const Page *page = pageFor(addr);
+    if (!page)
+        return false;
+    value = 0;
+    if (off + size <= page_size) {
+        for (unsigned i = 0; i < size; ++i)
+            value |= static_cast<std::uint64_t>((*page)[off + i])
+                     << (8 * i);
+        return true;
+    }
+    for (unsigned i = 0; i < size; ++i) {
+        const Page *p = pageFor(addr + i);
+        if (!p)
+            return false;
+        value |= static_cast<std::uint64_t>(
+                     (*p)[(addr + i) & (page_size - 1)])
+                 << (8 * i);
+    }
+    return true;
+}
+
+bool
+Memory::write(Addr addr, unsigned size, std::uint64_t value)
+{
+    const std::size_t off = addr & (page_size - 1);
+    Page *page = pageFor(addr, false);
+    if (!page)
+        return false;
+    if (off + size <= page_size) {
+        for (unsigned i = 0; i < size; ++i)
+            (*page)[off + i] =
+                static_cast<std::uint8_t>(value >> (8 * i));
+        return true;
+    }
+    for (unsigned i = 0; i < size; ++i) {
+        Page *p = pageFor(addr + i, false);
+        if (!p)
+            return false;
+        (*p)[(addr + i) & (page_size - 1)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+    return true;
+}
+
+void
+Memory::writeBlock(Addr addr, const std::vector<std::uint8_t> &bytes)
+{
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        Page *page = pageFor(addr + i, true);
+        (*page)[(addr + i) & (page_size - 1)] = bytes[i];
+    }
+}
+
+bool
+Memory::readBlock(Addr addr, std::size_t len,
+                  std::vector<std::uint8_t> &out) const
+{
+    out.resize(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        const Page *page = pageFor(addr + i);
+        if (!page)
+            return false;
+        out[i] = (*page)[(addr + i) & (page_size - 1)];
+    }
+    return true;
+}
+
+const std::uint8_t *
+Memory::peek(Addr addr, std::size_t &avail) const
+{
+    const Page *page = pageFor(addr);
+    if (!page) {
+        avail = 0;
+        return nullptr;
+    }
+    const std::size_t off = addr & (page_size - 1);
+    avail = page_size - off;
+    return page->data() + off;
+}
+
+} // namespace icp

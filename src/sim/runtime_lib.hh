@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The injected runtime library — the LD_PRELOAD analog. It parses
+ * the .trap_map and .ra_map sections out of the rewritten binary and
+ * provides the trap-signal handler and the return-address
+ * translation routine (RATranslation, §6) that the simulator invokes
+ * on traps and during stack unwinding.
+ */
+
+#ifndef ICP_SIM_RUNTIME_LIB_HH
+#define ICP_SIM_RUNTIME_LIB_HH
+
+#include <optional>
+
+#include "binfmt/addr_map.hh"
+#include "sim/loader.hh"
+
+namespace icp
+{
+
+/** Runtime-library service numbers used by CallRt instructions. */
+enum class RtService : std::uint8_t
+{
+    nop = 0,
+    /** Increment instrumentation counter #arg. */
+    count = 1,
+    /**
+     * Translate the code pointer stored at [sp + arg*8] from
+     * relocated space to original space (Go findfunc/pcvalue entry
+     * instrumentation, §6.2).
+     */
+    raXlatStackSlot = 2,
+};
+
+/** Pack a CallRt immediate: 4-bit service, 20-bit argument. */
+inline std::uint32_t
+rtServiceImm(RtService svc, std::uint32_t arg)
+{
+    return (static_cast<std::uint32_t>(svc) << 20) | (arg & 0xfffff);
+}
+
+inline RtService
+rtServiceOf(std::uint32_t imm)
+{
+    return static_cast<RtService>(imm >> 20);
+}
+
+inline std::uint32_t
+rtServiceArg(std::uint32_t imm)
+{
+    return imm & 0xfffff;
+}
+
+class RuntimeLib
+{
+  public:
+    /** Extract maps from the loaded module's rewritten image. */
+    explicit RuntimeLib(const LoadedModule &mod);
+
+    /**
+     * Dynamic-attach form (§10): extract maps straight from a
+     * rewritten image patched into an already-running process whose
+     * module descriptor still names the original image.
+     */
+    explicit RuntimeLib(const BinaryImage &rewritten);
+
+    bool hasTrapMap() const { return !trapMap_.empty(); }
+    bool hasRaMap() const { return !raMap_.empty(); }
+
+    /**
+     * Trap-signal handler: map a trap site (preferred-base address)
+     * to the relocated-code target. nullopt means the trap was not
+     * planted by the rewriter — a genuine crash.
+     */
+    std::optional<Addr> trapTarget(Addr prefPc) const;
+
+    /**
+     * RATranslation: translate a relocated return address back to
+     * the original call site. Unknown addresses pass through, which
+     * is the defined behaviour when unwinding through uninstrumented
+     * code (§6).
+     */
+    Addr translateRaPref(Addr prefPc) const;
+
+  private:
+    AddrPairMap trapMap_;
+    AddrPairMap raMap_;
+};
+
+} // namespace icp
+
+#endif // ICP_SIM_RUNTIME_LIB_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * An interval map keyed by half-open address ranges [start, end).
+ * Used for block lookup by address, jump-table extents, scratch-space
+ * bookkeeping, and the runtime return-address map.
+ */
+
+#ifndef ICP_SUPPORT_INTERVAL_MAP_HH
+#define ICP_SUPPORT_INTERVAL_MAP_HH
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace icp
+{
+
+/**
+ * Maps disjoint half-open intervals [start, end) to values of type T.
+ * Insertion of an overlapping interval is an error; the container is
+ * intended for structures (basic blocks, sections, tables) that are
+ * disjoint by construction.
+ */
+template <typename T>
+class IntervalMap
+{
+  public:
+    struct Entry
+    {
+        Addr start;
+        Addr end;
+        T value;
+    };
+
+    /** Insert [start, end) -> value. Returns false on overlap. */
+    bool
+    insert(Addr start, Addr end, T value)
+    {
+        icp_assert(start < end, "IntervalMap: empty interval");
+        auto it = map_.upper_bound(start);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end > start)
+                return false;
+        }
+        if (it != map_.end() && it->first < end)
+            return false;
+        map_.emplace(start, Node{end, std::move(value)});
+        return true;
+    }
+
+    /** Find the entry containing addr, if any. */
+    const T *
+    find(Addr addr) const
+    {
+        auto it = map_.upper_bound(addr);
+        if (it == map_.begin())
+            return nullptr;
+        --it;
+        if (addr < it->second.end)
+            return &it->second.value;
+        return nullptr;
+    }
+
+    T *
+    find(Addr addr)
+    {
+        return const_cast<T *>(std::as_const(*this).find(addr));
+    }
+
+    /** Interval bounds of the entry containing addr. */
+    std::optional<std::pair<Addr, Addr>>
+    bounds(Addr addr) const
+    {
+        auto it = map_.upper_bound(addr);
+        if (it == map_.begin())
+            return std::nullopt;
+        --it;
+        if (addr < it->second.end)
+            return std::make_pair(it->first, it->second.end);
+        return std::nullopt;
+    }
+
+    /** First interval starting at or after addr, if any. */
+    std::optional<Entry>
+    nextAtOrAfter(Addr addr) const
+    {
+        auto it = map_.lower_bound(addr);
+        if (it == map_.end())
+            return std::nullopt;
+        return Entry{it->first, it->second.end, it->second.value};
+    }
+
+    /** Remove the interval that starts exactly at start. */
+    bool
+    eraseAt(Addr start)
+    {
+        return map_.erase(start) > 0;
+    }
+
+    std::size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+    void clear() { map_.clear(); }
+
+    /** Iterate entries in address order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[start, node] : map_)
+            fn(start, node.end, node.value);
+    }
+
+  private:
+    struct Node
+    {
+        Addr end;
+        T value;
+    };
+
+    std::map<Addr, Node> map_;
+};
+
+} // namespace icp
+
+#endif // ICP_SUPPORT_INTERVAL_MAP_HH

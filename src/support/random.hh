@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload
+ * synthesis. A fixed algorithm (splitmix64 seeding + xoshiro256**)
+ * guarantees the generated binaries are bit-identical across
+ * platforms and standard-library versions, which std::mt19937
+ * distributions do not.
+ */
+
+#ifndef ICP_SUPPORT_RANDOM_HH
+#define ICP_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace icp
+{
+
+/**
+ * Deterministic random source. All workload generators take one of
+ * these so that every experiment is reproducible from a seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /** Pick an index in [0, weights.size()) with the given weights. */
+    std::size_t weightedPick(const std::vector<double> &weights);
+
+    /** Fork an independent stream (for per-function decisions). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace icp
+
+#endif // ICP_SUPPORT_RANDOM_HH

@@ -1,0 +1,73 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace icp
+{
+
+void
+SampleStats::add(double v)
+{
+    samples_.push_back(v);
+}
+
+double
+SampleStats::min() const
+{
+    icp_assert(!samples_.empty(), "SampleStats::min on empty set");
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleStats::max() const
+{
+    icp_assert(!samples_.empty(), "SampleStats::max on empty set");
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleStats::mean() const
+{
+    icp_assert(!samples_.empty(), "SampleStats::mean on empty set");
+    double total = 0;
+    for (double v : samples_)
+        total += v;
+    return total / static_cast<double>(samples_.size());
+}
+
+double
+SampleStats::percentile(double p) const
+{
+    icp_assert(!samples_.empty(), "SampleStats::percentile on empty set");
+    icp_assert(p >= 0 && p <= 100, "percentile out of range");
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string
+formatPercent(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, v * 100.0);
+    return buf;
+}
+
+double
+relativeDelta(double a, double b)
+{
+    icp_assert(a != 0, "relativeDelta: zero base");
+    return (b - a) / a;
+}
+
+} // namespace icp

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small statistics helpers used by the experiment harness: min, max,
+ * mean, and percentile over sample vectors, plus percent formatting.
+ */
+
+#ifndef ICP_SUPPORT_STATS_HH
+#define ICP_SUPPORT_STATS_HH
+
+#include <string>
+#include <vector>
+
+namespace icp
+{
+
+/** Accumulates double samples and reports summary statistics. */
+class SampleStats
+{
+  public:
+    void add(double v);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double min() const;
+    double max() const;
+    double mean() const;
+    /** p in [0, 100]; linear interpolation between order statistics. */
+    double percentile(double p) const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+/** Render v (e.g. 0.0123) as a percent string "1.23%". */
+std::string formatPercent(double v, int decimals = 2);
+
+/** Relative difference (b - a) / a. */
+double relativeDelta(double a, double b);
+
+} // namespace icp
+
+#endif // ICP_SUPPORT_STATS_HH

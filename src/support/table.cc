@@ -1,0 +1,72 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace icp
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    icp_assert(!header_.empty(), "TextTable: empty header");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    icp_assert(cells.size() == header_.size(),
+               "TextTable: row width %zu != header width %zu",
+               cells.size(), header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto rule = [&] {
+        std::string s = "+";
+        for (auto w : widths)
+            s += std::string(w + 2, '-') + "+";
+        s += "\n";
+        return s;
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::string s = "|";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &v = cells[c];
+            s += " " + v + std::string(widths[c] - v.size(), ' ') + " |";
+        }
+        s += "\n";
+        return s;
+    };
+
+    std::ostringstream out;
+    out << rule() << line(header_) << rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out << rule();
+        else
+            out << line(row);
+    }
+    out << rule();
+    return out.str();
+}
+
+} // namespace icp

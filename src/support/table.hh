@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table renderer used by the benchmark harness to print
+ * paper-style result tables to the console.
+ */
+
+#ifndef ICP_SUPPORT_TABLE_HH
+#define ICP_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace icp
+{
+
+/**
+ * A simple left-padded text table. Columns are sized to the widest
+ * cell; the first row added is the header.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render to a string with column separators and a header rule. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    // A row with no cells encodes a separator.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace icp
+
+#endif // ICP_SUPPORT_TABLE_HH

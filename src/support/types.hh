@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every icp module.
+ */
+
+#ifndef ICP_SUPPORT_TYPES_HH
+#define ICP_SUPPORT_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace icp
+{
+
+/** A simulated virtual address inside an SBF image. */
+using Addr = std::uint64_t;
+
+/** A byte offset within a section or image. */
+using Offset = std::uint64_t;
+
+/** Simulated machine cycles, the unit of all overhead measurements. */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr invalid_addr = ~static_cast<Addr>(0);
+
+} // namespace icp
+
+#endif // ICP_SUPPORT_TYPES_HH

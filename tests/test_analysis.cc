@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests of the binary-analysis layer: CFG construction, jump-table
+ * resolution on all three per-arch idioms, the gap-decoding tail
+ * call heuristic, failure injection, liveness, and function-pointer
+ * identification (including the Listing-1 +1 pattern).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/builder.hh"
+#include "analysis/funcptr.hh"
+#include "analysis/liveness.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+
+using namespace icp;
+
+namespace
+{
+
+const Function &
+funcByName(const CfgModule &cfg, const std::string &name)
+{
+    for (const auto &[entry, func] : cfg.functions) {
+        if (func.name == name)
+            return func;
+    }
+    ADD_FAILURE() << "no function " << name;
+    static Function dummy;
+    return dummy;
+}
+
+class CfgPerArch : public ::testing::TestWithParam<Arch>
+{
+};
+
+std::string
+archOnly(const ::testing::TestParamInfo<Arch> &info)
+{
+    switch (info.param) {
+      case Arch::x64: return "x64";
+      case Arch::ppc64le: return "ppc64le";
+      case Arch::aarch64: return "aarch64";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+TEST_P(CfgPerArch, MicroCfgResolvesJumpTables)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(GetParam(), false));
+    const CfgModule cfg = buildCfg(img);
+    ASSERT_EQ(cfg.totalFunctions(), 6u);
+    EXPECT_EQ(cfg.instrumentableFunctions(), 6u);
+
+    const Function &sw = funcByName(cfg, "switcher");
+    ASSERT_EQ(sw.jumpTables.size(), 1u);
+    const JumpTable &jt = sw.jumpTables.front();
+    EXPECT_EQ(jt.entryCount, 8u);
+    EXPECT_EQ(jt.targets.size(), 8u);
+    // Every target is a block inside the function.
+    for (Addr t : jt.targets) {
+        EXPECT_GE(t, sw.entry);
+        EXPECT_LT(t, sw.end);
+        EXPECT_TRUE(sw.blocks.count(t)) << std::hex << t;
+    }
+    if (GetParam() == Arch::ppc64le)
+        EXPECT_TRUE(jt.embeddedInCode);
+    else
+        EXPECT_FALSE(jt.embeddedInCode);
+    EXPECT_FALSE(jt.baseDefAddrs.empty());
+}
+
+TEST_P(CfgPerArch, IndirectTailCallHeuristic)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(GetParam(), false));
+
+    // With the heuristic, the tail-calling worker is instrumentable.
+    const CfgModule ours = buildCfg(img);
+    const Function &worker = funcByName(ours, "worker");
+    EXPECT_TRUE(worker.instrumentable());
+    EXPECT_EQ(worker.indirectTailCalls.size(), 1u);
+
+    // SRBI (no heuristic) marks it uninstrumentable.
+    AnalysisOptions srbi;
+    srbi.tailCallHeuristic = false;
+    const CfgModule theirs = buildCfg(img, srbi);
+    EXPECT_FALSE(funcByName(theirs, "worker").instrumentable());
+}
+
+TEST_P(CfgPerArch, LandingPadsAreBlocks)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(GetParam(), false));
+    const CfgModule cfg = buildCfg(img);
+    const Function &catcher = funcByName(cfg, "catcher");
+    ASSERT_EQ(catcher.landingPads.size(), 1u);
+    for (Addr lp : catcher.landingPads)
+        EXPECT_TRUE(catcher.blocks.count(lp));
+}
+
+TEST_P(CfgPerArch, LivenessFindsScratchSomewhere)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(GetParam(), false));
+    const CfgModule cfg = buildCfg(img);
+    const auto &arch = ArchInfo::get(GetParam());
+    unsigned with_dead = 0, total = 0;
+    for (const auto &[entry, func] : cfg.functions) {
+        const LivenessResult live = computeLiveness(func, arch);
+        for (const auto &[start, block] : func.blocks) {
+            ++total;
+            if (live.deadRegAt(start) != Reg::none)
+                ++with_dead;
+        }
+    }
+    EXPECT_GT(total, 10u);
+    EXPECT_GT(with_dead, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArches, CfgPerArch,
+                         ::testing::Values(Arch::x64, Arch::ppc64le,
+                                           Arch::aarch64),
+                         archOnly);
+
+TEST(JumpTableFailures, HardSwitchFailsAnalysis)
+{
+    auto spec = microProfile(Arch::x64, false);
+    spec.funcs[1].switches[0].hard = true;
+    const BinaryImage img = compileProgram(spec);
+    const CfgModule cfg = buildCfg(img);
+    const Function &sw = funcByName(cfg, "switcher");
+    EXPECT_FALSE(sw.instrumentable());
+    EXPECT_EQ(sw.failure, AnalysisFailure::gapsWithRealCode);
+    EXPECT_TRUE(sw.jumpTables.empty());
+}
+
+TEST(JumpTableFailures, InjectedFailureReducesCoverage)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, false));
+    AnalysisOptions opts;
+    opts.inject.failProb = 1.0;
+    const CfgModule cfg = buildCfg(img, opts);
+    EXPECT_LT(cfg.instrumentableFunctions(), cfg.totalFunctions());
+}
+
+TEST(JumpTableFailures, OverApproxClampedAtSectionEnd)
+{
+    // With no slack after the table, Assumption-2 trimming absorbs
+    // the injected over-approximation entirely.
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, false));
+    AnalysisOptions opts;
+    opts.inject.overProb = 1.0;
+    opts.inject.overExtra = 64;
+    const CfgModule over = buildCfg(img, opts);
+    const auto &jt = funcByName(over, "switcher").jumpTables.front();
+    EXPECT_EQ(jt.entryCount, 8u);
+}
+
+TEST(JumpTableFailures, InjectedOverApproxAddsTargets)
+{
+    auto spec = microProfile(Arch::x64, false);
+    spec.rodataPadding = 4096; // slack the trimming cannot use
+    const BinaryImage img = compileProgram(spec);
+    AnalysisOptions opts;
+    opts.inject.overProb = 1.0;
+    opts.inject.overExtra = 4;
+    const CfgModule over = buildCfg(img, opts);
+    const CfgModule base = buildCfg(img);
+    const auto &jt_over =
+        funcByName(over, "switcher").jumpTables.front();
+    const auto &jt_base =
+        funcByName(base, "switcher").jumpTables.front();
+    EXPECT_GT(jt_over.entryCount, jt_base.entryCount);
+    // Still instrumentable: over-approximation is tolerated.
+    EXPECT_TRUE(funcByName(over, "switcher").instrumentable());
+}
+
+TEST(JumpTableFailures, InjectedUnderApproxDropsTargets)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, false));
+    AnalysisOptions opts;
+    opts.inject.underProb = 1.0;
+    opts.inject.underCut = 3;
+    const CfgModule under = buildCfg(img, opts);
+    const auto &jt = funcByName(under, "switcher").jumpTables.front();
+    EXPECT_EQ(jt.entryCount, 5u);
+}
+
+TEST(FuncPtrAnalysis, FindsTableCellsAndCompares)
+{
+    // Non-PIE: absolute data cells + code immediates.
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, false));
+    const CfgModule cfg = buildCfg(img);
+    const auto fp = analyzeFuncPtrs(cfg);
+    unsigned cells = 0, imms = 0;
+    for (const auto &def : fp.defs) {
+        if (def.kind == FuncPtrDef::Kind::dataCell)
+            ++cells;
+        else
+            ++imms;
+    }
+    EXPECT_GT(cells, 0u);
+    EXPECT_GT(imms, 0u); // the x == &f comparison's immediate
+}
+
+TEST(FuncPtrAnalysis, PieUsesRelocsAndPcRel)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, true));
+    const CfgModule cfg = buildCfg(img);
+    const auto fp = analyzeFuncPtrs(cfg);
+    bool any_reloc = false, any_pcrel = false;
+    for (const auto &def : fp.defs) {
+        if (def.hasReloc)
+            any_reloc = true;
+        if (def.kind == FuncPtrDef::Kind::codePcRel)
+            any_pcrel = true;
+    }
+    EXPECT_TRUE(any_reloc);
+    EXPECT_TRUE(any_pcrel);
+}
+
+TEST(FuncPtrAnalysis, ListingOnePlusOneDelta)
+{
+    const BinaryImage img = compileProgram(dockerProfile());
+    const CfgModule cfg = buildCfg(img);
+    const auto fp = analyzeFuncPtrs(cfg);
+    bool found_plus_one = false;
+    for (const auto &def : fp.defs) {
+        if (def.delta == 1)
+            found_plus_one = true;
+    }
+    EXPECT_TRUE(found_plus_one);
+    // Go vtab cells stay unclassified (the func-ptr-mode hazard).
+    EXPECT_GT(fp.unclassifiedRelocs, 0u);
+}
+
+TEST(CfgSuite, SpecSuiteCoverageShape)
+{
+    // x64: everything instrumentable with our heuristic; SRBI loses
+    // tail-call functions. ppc64le: hard switches stay failed.
+    for (Arch arch : {Arch::x64, Arch::ppc64le}) {
+        unsigned ours_fail = 0, srbi_fail = 0, total = 0;
+        for (const auto &spec : specCpuSuite(arch, false)) {
+            const BinaryImage img = compileProgram(spec);
+            const CfgModule ours = buildCfg(img);
+            AnalysisOptions srbi_opts;
+            srbi_opts.tailCallHeuristic = false;
+            const CfgModule srbi = buildCfg(img, srbi_opts);
+            total += ours.totalFunctions();
+            ours_fail +=
+                ours.totalFunctions() - ours.instrumentableFunctions();
+            srbi_fail +=
+                srbi.totalFunctions() - srbi.instrumentableFunctions();
+        }
+        EXPECT_GE(srbi_fail, ours_fail) << archName(arch);
+        if (arch == Arch::x64) {
+            EXPECT_EQ(ours_fail, 0u);
+            EXPECT_GT(srbi_fail, 0u);
+        } else {
+            EXPECT_GT(ours_fail, 0u);
+        }
+        EXPECT_GT(total, 500u);
+    }
+}

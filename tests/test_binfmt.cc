@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Binary-format tests: SBF serialization round trips, .eh_frame
+ * record encoding, FDE lookup, landing-pad resolution, address-map
+ * properties against a reference map, and image accessors.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "binfmt/addr_map.hh"
+#include "binfmt/ehframe.hh"
+#include "binfmt/image.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "support/random.hh"
+
+using namespace icp;
+
+TEST(AddrPairMap, MatchesReferenceMap)
+{
+    Rng rng(123);
+    std::map<Addr, Addr> reference;
+    std::vector<std::pair<Addr, Addr>> pairs;
+    for (int i = 0; i < 3000; ++i) {
+        const Addr key = rng.range(0, 1 << 24);
+        if (reference.count(key))
+            continue;
+        const Addr value = rng.next();
+        reference[key] = value;
+        pairs.emplace_back(key, value);
+    }
+    const AddrPairMap map(pairs);
+    EXPECT_EQ(map.size(), reference.size());
+    for (int i = 0; i < 5000; ++i) {
+        const Addr probe = rng.range(0, 1 << 24);
+        auto expect = reference.find(probe);
+        auto got = map.lookup(probe);
+        if (expect == reference.end()) {
+            EXPECT_FALSE(got.has_value());
+        } else {
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(*got, expect->second);
+        }
+    }
+}
+
+TEST(AddrPairMap, SerializationRoundTrip)
+{
+    std::vector<std::pair<Addr, Addr>> pairs = {
+        {0x1000, 0x2000}, {0x1008, 0x2040}, {0xffffffffffULL, 7},
+    };
+    const AddrPairMap map(pairs);
+    const AddrPairMap back = AddrPairMap::parse(map.serialize());
+    EXPECT_EQ(back.pairs(), map.pairs());
+}
+
+TEST(EhFrame, RecordsRoundTrip)
+{
+    std::vector<FdeRecord> fdes(2);
+    fdes[0].start = 0x1000;
+    fdes[0].end = 0x1100;
+    fdes[0].frameSize = 48;
+    fdes[0].raOnStack = true;
+    fdes[0].raOffset = 40;
+    fdes[0].savesCalleeSaved = true;
+    fdes[0].tryRanges = {{0x10, 0x30, 0x80}};
+    fdes[1].start = 0x1100;
+    fdes[1].end = 0x1180;
+    fdes[1].raOnStack = false;
+
+    const auto bytes = serializeEhFrame(fdes);
+    const auto back = parseEhFrame(bytes);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].start, fdes[0].start);
+    EXPECT_EQ(back[0].frameSize, 48u);
+    EXPECT_TRUE(back[0].savesCalleeSaved);
+    ASSERT_EQ(back[0].tryRanges.size(), 1u);
+    EXPECT_EQ(back[0].tryRanges[0].lpOff, 0x80u);
+    EXPECT_FALSE(back[1].raOnStack);
+    EXPECT_FALSE(back[1].savesCalleeSaved);
+}
+
+TEST(EhFrame, IndexLookupAndLandingPads)
+{
+    std::vector<FdeRecord> fdes(3);
+    for (int i = 0; i < 3; ++i) {
+        fdes[i].start = 0x1000 + 0x100 * i;
+        fdes[i].end = fdes[i].start + 0x100;
+    }
+    fdes[1].tryRanges = {{0x20, 0x40, 0x90}};
+    const FdeIndex index(fdes);
+
+    EXPECT_EQ(index.find(0xfff), nullptr);
+    ASSERT_NE(index.find(0x1000), nullptr);
+    EXPECT_EQ(index.find(0x10ff)->start, 0x1000u);
+    EXPECT_EQ(index.find(0x1100)->start, 0x1100u);
+    EXPECT_EQ(index.find(0x1300), nullptr);
+
+    const FdeRecord *mid = index.find(0x1120);
+    ASSERT_NE(mid, nullptr);
+    EXPECT_TRUE(mid->landingPadFor(0x20).has_value());
+    EXPECT_EQ(*mid->landingPadFor(0x3f), 0x90u);
+    EXPECT_FALSE(mid->landingPadFor(0x40).has_value());
+    EXPECT_FALSE(mid->landingPadFor(0x10).has_value());
+}
+
+TEST(Image, SerializeRoundTripOnRealWorkload)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::ppc64le, true));
+    const BinaryImage back =
+        BinaryImage::deserialize(img.serialize());
+    EXPECT_EQ(back.arch, img.arch);
+    EXPECT_EQ(back.pie, img.pie);
+    EXPECT_EQ(back.entry, img.entry);
+    EXPECT_EQ(back.tocBase, img.tocBase);
+    EXPECT_EQ(back.sections.size(), img.sections.size());
+    EXPECT_EQ(back.symbols.size(), img.symbols.size());
+    EXPECT_EQ(back.relocs.size(), img.relocs.size());
+    EXPECT_EQ(back.loadedSize(), img.loadedSize());
+    EXPECT_EQ(back.serialize(), img.serialize());
+}
+
+TEST(Image, SectionAndSymbolAccessors)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, false));
+    const Section *text = img.findSection(SectionKind::text);
+    ASSERT_NE(text, nullptr);
+    EXPECT_TRUE(text->executable);
+    EXPECT_EQ(img.sectionAt(text->addr + 1), text);
+    EXPECT_EQ(img.sectionAt(0x1), nullptr);
+
+    const auto funcs = img.functionSymbols();
+    ASSERT_FALSE(funcs.empty());
+    for (std::size_t i = 1; i < funcs.size(); ++i)
+        EXPECT_GT(funcs[i]->addr, funcs[i - 1]->addr);
+    const Symbol *inside =
+        img.functionContaining(funcs[0]->addr + 2);
+    ASSERT_NE(inside, nullptr);
+    EXPECT_EQ(inside->addr, funcs[0]->addr);
+}
+
+TEST(Image, ReadWriteBytesAndValues)
+{
+    BinaryImage img = compileProgram(microProfile(Arch::x64, false));
+    Section *data = img.findSection(SectionKind::data);
+    ASSERT_NE(data, nullptr);
+    const Addr at = data->addr + 8;
+    ASSERT_TRUE(img.writeBytes(at, {1, 2, 3, 4}));
+    auto v = img.readValue(at, 4);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 0x04030201u);
+    std::vector<std::uint8_t> raw;
+    EXPECT_FALSE(img.readBytes(0x1, 4, raw)); // unmapped
+}
+
+TEST(Image, HighWaterMarkIsAboveEverySection)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::aarch64, false));
+    const Addr top = img.highWaterMark();
+    EXPECT_EQ(top % 4096, 0u);
+    for (const auto &sec : img.sections)
+        EXPECT_LE(sec.end(), top);
+}

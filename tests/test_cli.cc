@@ -1,0 +1,116 @@
+/**
+ * @file
+ * End-to-end tests of the `icp` command-line tool, driving the real
+ * binary through compile → rewrite → run → inspect round trips.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef ICP_CLI_PATH
+#error "ICP_CLI_PATH must be defined by the build"
+#endif
+
+namespace
+{
+
+int
+run(const std::string &args)
+{
+    const std::string cmd =
+        std::string(ICP_CLI_PATH) + " " + args + " > /dev/null 2>&1";
+    return std::system(cmd.c_str());
+}
+
+std::string
+capture(const std::string &args)
+{
+    const std::string cmd = std::string(ICP_CLI_PATH) + " " + args +
+                            " 2>/dev/null";
+    std::string out;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe)
+        return out;
+    char buf[512];
+    while (fgets(buf, sizeof(buf), pipe))
+        out += buf;
+    pclose(pipe);
+    return out;
+}
+
+} // namespace
+
+TEST(Cli, CompileRewriteRunRoundTrip)
+{
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_a.sbf"), 0);
+    ASSERT_EQ(run("rewrite /tmp/icp_cli_a.sbf /tmp/icp_cli_b.sbf "
+                  "--mode jt --count-blocks --clobber"),
+              0);
+    // Both images run; the original halts, the rewritten halts with
+    // counters.
+    EXPECT_EQ(run("run /tmp/icp_cli_a.sbf"), 0);
+    const std::string out = capture("run /tmp/icp_cli_b.sbf");
+    EXPECT_NE(out.find("halted"), std::string::npos);
+    EXPECT_NE(out.find("instrumentation counters"),
+              std::string::npos);
+}
+
+TEST(Cli, ChecksumsMatchAcrossRewrite)
+{
+    ASSERT_EQ(run("compile spec3 /tmp/icp_cli_c.sbf"), 0);
+    ASSERT_EQ(run("rewrite /tmp/icp_cli_c.sbf /tmp/icp_cli_d.sbf "
+                  "--mode func-ptr --clobber"),
+              0);
+    const std::string a = capture("run /tmp/icp_cli_c.sbf");
+    const std::string b = capture("run /tmp/icp_cli_d.sbf");
+    const auto checksum = [](const std::string &s) {
+        const auto pos = s.find("checksum");
+        return pos == std::string::npos ? std::string()
+                                        : s.substr(pos, 28);
+    };
+    ASSERT_FALSE(checksum(a).empty());
+    EXPECT_EQ(checksum(a), checksum(b));
+}
+
+TEST(Cli, PartialRewriteViaOnly)
+{
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_e.sbf"), 0);
+    const std::string out =
+        capture("rewrite /tmp/icp_cli_e.sbf /tmp/icp_cli_f.sbf "
+                "--mode jt --only switcher,worker");
+    EXPECT_NE(out.find("2/6 functions"), std::string::npos) << out;
+    EXPECT_EQ(run("run /tmp/icp_cli_f.sbf"), 0);
+}
+
+TEST(Cli, InspectShowsSectionsAndDisassembly)
+{
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_g.sbf"), 0);
+    const std::string out =
+        capture("inspect /tmp/icp_cli_g.sbf switcher");
+    EXPECT_NE(out.find(".text"), std::string::npos);
+    EXPECT_NE(out.find("<switcher>"), std::string::npos);
+    EXPECT_NE(out.find("jmpind"), std::string::npos);
+}
+
+TEST(Cli, GoProfileRunsWithGc)
+{
+    ASSERT_EQ(run("compile docker /tmp/icp_cli_h.sbf"), 0);
+    ASSERT_EQ(run("rewrite /tmp/icp_cli_h.sbf /tmp/icp_cli_i.sbf "
+                  "--mode jt --clobber"),
+              0);
+    const std::string out =
+        capture("run /tmp/icp_cli_i.sbf --gc 64");
+    EXPECT_NE(out.find("halted"), std::string::npos);
+    EXPECT_NE(out.find("gc walks"), std::string::npos);
+}
+
+TEST(Cli, BadUsageFailsCleanly)
+{
+    EXPECT_NE(run(""), 0);
+    EXPECT_NE(run("frobnicate"), 0);
+    EXPECT_NE(run("compile nosuchprofile /tmp/x.sbf"), 0);
+    EXPECT_NE(run("run /tmp/definitely_missing.sbf"), 0);
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Death tests for the internal-invariant machinery: icp_assert /
+ * icp_panic abort with a diagnostic, and the library's precondition
+ * checks fire on misuse (duplicate map keys, overlapping sections,
+ * double finalize, unbound labels).
+ */
+
+#include <gtest/gtest.h>
+
+#include "binfmt/addr_map.hh"
+#include "binfmt/image.hh"
+#include "isa/assembler.hh"
+#include "support/logging.hh"
+
+using namespace icp;
+
+TEST(DeathTests, AssertAbortsWithMessage)
+{
+    EXPECT_DEATH(icp_assert(1 == 2, "math broke: %d", 42),
+                 "math broke: 42");
+}
+
+TEST(DeathTests, PanicAborts)
+{
+    EXPECT_DEATH(icp_panic("internal bug %s", "here"),
+                 "internal bug here");
+}
+
+TEST(DeathTests, DuplicateAddrMapKeys)
+{
+    std::vector<std::pair<Addr, Addr>> pairs = {{1, 2}, {1, 3}};
+    EXPECT_DEATH(AddrPairMap{pairs}, "duplicate key");
+}
+
+TEST(DeathTests, OverlappingSectionsRejected)
+{
+    BinaryImage img;
+    Section a;
+    a.name = ".a";
+    a.addr = 0x1000;
+    a.memSize = 0x100;
+    img.addSection(a);
+    Section b;
+    b.name = ".b";
+    b.addr = 0x1080;
+    b.memSize = 0x100;
+    EXPECT_DEATH(img.addSection(b), "overlaps");
+}
+
+TEST(DeathTests, AssemblerMisuse)
+{
+    const auto &arch = ArchInfo::get(Arch::x64);
+    {
+        Assembler as(arch, 0x1000);
+        as.emit(makeNop());
+        as.finalize();
+        EXPECT_DEATH(as.finalize(), "finalize called twice");
+    }
+    {
+        Assembler as(arch, 0x1000);
+        const auto label = as.newLabel();
+        as.emitToLabel(makeJmp(0), label);
+        EXPECT_DEATH(as.finalize(), "unbound");
+    }
+    {
+        Assembler as(arch, 0x1000);
+        const auto label = as.newLabel();
+        as.bind(label);
+        EXPECT_DEATH(as.bind(label), "already bound");
+    }
+}
+
+TEST(DeathTests, FixedCodecRejectsMisalignedEncode)
+{
+    const auto &arch = ArchInfo::get(Arch::ppc64le);
+    std::vector<std::uint8_t> out;
+    EXPECT_DEATH(arch.codec->encode(makeNop(), 0x1001, out),
+                 "misaligned");
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Function-pointer analysis unit tests (§5.2): definition-site
+ * classification across relocation-backed cells, non-PIE data
+ * scans, code immediates and pc-relative pairs; the forward-sliced
+ * +delta tracking of Listing 1; and the deliberate non-
+ * classification of pointer-shaped values that are not function
+ * entries (the precision/safety requirement).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/builder.hh"
+#include "analysis/funcptr.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+
+using namespace icp;
+
+namespace
+{
+
+const FuncPtrDef *
+defAt(const FuncPtrAnalysisResult &result, Addr site)
+{
+    for (const auto &def : result.defs) {
+        if (def.site == site)
+            return &def;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+TEST(FuncPtrUnit, RelocCellsPointAtExactEntries)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, true));
+    const CfgModule cfg = buildCfg(img, AnalysisOptions{});
+    const auto result = analyzeFuncPtrs(cfg);
+
+    // Every reloc whose addend is a function entry is classified.
+    unsigned expected = 0;
+    for (const auto &rel : img.relocs) {
+        const Symbol *sym = img.functionContaining(
+            static_cast<Addr>(rel.addend));
+        if (sym && sym->addr == static_cast<Addr>(rel.addend)) {
+            ++expected;
+            const FuncPtrDef *def = defAt(result, rel.site);
+            ASSERT_NE(def, nullptr) << std::hex << rel.site;
+            EXPECT_TRUE(def->hasReloc);
+            EXPECT_EQ(def->funcEntry,
+                      static_cast<Addr>(rel.addend));
+        }
+    }
+    EXPECT_GT(expected, 0u);
+}
+
+TEST(FuncPtrUnit, NonPieScanFindsDataCells)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, false));
+    const CfgModule cfg = buildCfg(img, AnalysisOptions{});
+    const auto result = analyzeFuncPtrs(cfg);
+
+    unsigned data_cells = 0;
+    for (const auto &def : result.defs) {
+        if (def.kind == FuncPtrDef::Kind::dataCell) {
+            ++data_cells;
+            EXPECT_FALSE(def.hasReloc);
+            const Symbol *sym = img.functionContaining(def.funcEntry);
+            ASSERT_NE(sym, nullptr);
+            EXPECT_EQ(sym->addr, def.funcEntry);
+        }
+    }
+    EXPECT_GT(data_cells, 0u);
+}
+
+TEST(FuncPtrUnit, FixedIsaPairsClassifyAsPcRel)
+{
+    for (Arch arch : {Arch::ppc64le, Arch::aarch64}) {
+        const BinaryImage img =
+            compileProgram(microProfile(arch, false));
+        const CfgModule cfg = buildCfg(img, AnalysisOptions{});
+        const auto result = analyzeFuncPtrs(cfg);
+        bool pair = false;
+        for (const auto &def : result.defs) {
+            if (def.kind == FuncPtrDef::Kind::codePcRel) {
+                pair = true;
+                // The pair's instructions both live in code.
+                EXPECT_GE(def.defAddrs.size(), 2u);
+            }
+        }
+        EXPECT_TRUE(pair) << archName(arch);
+    }
+}
+
+TEST(FuncPtrUnit, DeltaTrackedOnlyWhereArithmeticHappens)
+{
+    const BinaryImage img = compileProgram(dockerProfile());
+    const CfgModule cfg = buildCfg(img, AnalysisOptions{});
+    const auto result = analyzeFuncPtrs(cfg);
+
+    unsigned with_delta = 0;
+    for (const auto &def : result.defs) {
+        if (def.delta != 0) {
+            ++with_delta;
+            EXPECT_EQ(def.delta, 1); // the goexit+1 idiom
+            EXPECT_TRUE(def.hasReloc);
+            const Symbol *sym = img.functionContaining(def.funcEntry);
+            ASSERT_NE(sym, nullptr);
+            EXPECT_EQ(sym->name, "go.goexit");
+        }
+    }
+    EXPECT_EQ(with_delta, 1u);
+}
+
+TEST(FuncPtrUnit, ObfuscatedVtabValuesStayUnclassified)
+{
+    // The Go vtab cells hold entry-minus-key values: relocation-
+    // backed but pointing at no function. Classifying them would
+    // violate the precision requirement; they must be counted as
+    // unclassified instead.
+    const BinaryImage img = compileProgram(dockerProfile());
+    const CfgModule cfg = buildCfg(img, AnalysisOptions{});
+    const auto result = analyzeFuncPtrs(cfg);
+    EXPECT_GT(result.unclassifiedRelocs, 0u);
+
+    for (const auto &def : result.defs) {
+        const Symbol *sym = img.functionContaining(def.funcEntry);
+        ASSERT_NE(sym, nullptr) << "classified a non-function value";
+    }
+}
+
+TEST(FuncPtrUnit, MidFunctionValuesAreNotDefs)
+{
+    // A data word equal to entry+8 (inside a function, not its
+    // entry) must not be classified by the non-PIE scan — rewriting
+    // it would change comparison semantics (§5.2).
+    ProgramSpec spec = microProfile(Arch::x64, false);
+    const BinaryImage base = compileProgram(spec);
+    BinaryImage img = base;
+    const Symbol *victim = img.functionSymbols()[2];
+    Section *data = img.findSection(SectionKind::data);
+    ASSERT_NE(data, nullptr);
+    const Addr planted = data->addr + data->memSize - 16;
+    std::vector<std::uint8_t> raw;
+    const Addr value = victim->addr + 8;
+    for (unsigned i = 0; i < 8; ++i)
+        raw.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    ASSERT_TRUE(img.writeBytes(planted, raw));
+
+    const CfgModule cfg = buildCfg(img, AnalysisOptions{});
+    const auto result = analyzeFuncPtrs(cfg);
+    EXPECT_EQ(defAt(result, planted), nullptr);
+}

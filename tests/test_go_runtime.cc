@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Go-runtime modeling tests (§6.2): GC stack walks through the
+ * binary's own runtime.findfunc/runtime.pcvalue, the necessity of
+ * the runtime library for rewritten binaries, and the RA-translation
+ * snippet at the runtime functions' entries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "rewrite/rewriter.hh"
+#include "sim/loader.hh"
+#include "sim/machine.hh"
+
+using namespace icp;
+
+namespace
+{
+
+Machine::Config
+goConfig(std::uint64_t every)
+{
+    Machine::Config cfg;
+    cfg.goGcEveryCalls = every;
+    return cfg;
+}
+
+} // namespace
+
+TEST(GoRuntime, OriginalBinaryWalksCleanly)
+{
+    const BinaryImage img = compileProgram(dockerProfile());
+    auto proc = loadImage(img);
+    Machine machine(*proc, goConfig(32));
+    const RunResult r = machine.run();
+    ASSERT_TRUE(r.halted) << r.describe();
+    EXPECT_GT(r.gcWalks, 100u);
+}
+
+TEST(GoRuntime, GcCadenceScalesWalks)
+{
+    const BinaryImage img = compileProgram(dockerProfile());
+    std::uint64_t walks_fast, walks_slow;
+    {
+        auto proc = loadImage(img);
+        Machine machine(*proc, goConfig(32));
+        walks_fast = machine.run().gcWalks;
+    }
+    {
+        auto proc = loadImage(img);
+        Machine machine(*proc, goConfig(512));
+        walks_slow = machine.run().gcWalks;
+    }
+    EXPECT_GT(walks_fast, walks_slow * 8);
+}
+
+TEST(GoRuntime, RewrittenWithoutRuntimeLibDies)
+{
+    // The LD_PRELOAD library is load-bearing: without it the first
+    // GC walk sees untranslated .instr return addresses.
+    const BinaryImage img = compileProgram(dockerProfile());
+    RewriteOptions opts;
+    opts.mode = RewriteMode::jt;
+    opts.clobberOriginal = true;
+    const RewriteResult rw = rewriteBinary(img, opts);
+    ASSERT_TRUE(rw.ok);
+
+    auto proc = loadImage(rw.image);
+    Machine machine(*proc, goConfig(64)); // no runtime lib attached
+    const RunResult r = machine.run();
+    EXPECT_FALSE(r.halted);
+}
+
+TEST(GoRuntime, XlatSnippetsFirePerWalk)
+{
+    const BinaryImage img = compileProgram(dockerProfile());
+    RewriteOptions opts;
+    opts.mode = RewriteMode::jt;
+    opts.clobberOriginal = true;
+    const RewriteResult rw = rewriteBinary(img, opts);
+    ASSERT_TRUE(rw.ok);
+
+    auto proc = loadImage(rw.image);
+    RuntimeLib rt(proc->module);
+    Machine machine(*proc, goConfig(64));
+    machine.attachRuntimeLib(&rt);
+    const RunResult r = machine.run();
+    ASSERT_TRUE(r.halted) << r.describe();
+    EXPECT_GT(r.gcWalks, 0u);
+    // findfunc + pcvalue are called per frame per walk; each entry
+    // runs one raXlatStackSlot service call.
+    EXPECT_GE(r.rtCalls, 2 * r.gcWalks);
+}
+
+TEST(GoRuntime, NoGcMeansGoIsJustACBinary)
+{
+    // With GC disabled the rewritten Go binary runs even without
+    // translation support for the walker (the unwinder is never
+    // consulted).
+    const BinaryImage img = compileProgram(dockerProfile());
+    RewriteOptions opts;
+    opts.mode = RewriteMode::jt;
+    opts.clobberOriginal = true;
+    const RewriteResult rw = rewriteBinary(img, opts);
+    ASSERT_TRUE(rw.ok);
+
+    auto golden_proc = loadImage(img);
+    Machine golden(*golden_proc, Machine::Config{});
+    const RunResult g = golden.run();
+
+    auto proc = loadImage(rw.image);
+    RuntimeLib rt(proc->module);
+    Machine machine(*proc, Machine::Config{});
+    machine.attachRuntimeLib(&rt);
+    const RunResult r = machine.run();
+    ASSERT_TRUE(r.halted) << r.describe();
+    EXPECT_EQ(r.checksum, g.checksum);
+    EXPECT_EQ(r.gcWalks, 0u);
+}

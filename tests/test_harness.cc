@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Harness self-tests: the block-level experiment protocol produces
+ * sane rows, golden-run faults are reported (not masked), and the
+ * SRBI signal-bug helper thresholds correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/srbi.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "harness/experiment.hh"
+#include "rewrite/rewriter.hh"
+
+using namespace icp;
+
+TEST(Harness, BlockLevelExperimentRowIsSane)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, false));
+    RewriteOptions opts;
+    opts.mode = RewriteMode::jt;
+    const ToolRun run =
+        runBlockLevelExperiment(img, opts, Machine::Config{});
+    ASSERT_TRUE(run.pass) << run.failReason;
+    EXPECT_DOUBLE_EQ(run.coverage, 1.0);
+    EXPECT_GT(run.sizeIncrease, 0.0);
+    EXPECT_GT(run.overhead, -0.5);
+    EXPECT_LT(run.overhead, 5.0);
+    EXPECT_GT(run.goldenRun.instructions, 0u);
+    EXPECT_GT(run.rewrittenRun.instructions,
+              run.goldenRun.instructions);
+}
+
+TEST(Harness, GoldenFaultIsReportedNotMasked)
+{
+    // A thrower without a catcher: the *golden* run aborts with an
+    // uncaught exception, and the harness must say so instead of
+    // blaming the rewrite.
+    ProgramSpec spec = microProfile(Arch::x64, false);
+    spec.funcs[2].catches = false;
+    const BinaryImage img = compileProgram(spec);
+    RewriteOptions opts;
+    opts.mode = RewriteMode::jt;
+    const ToolRun run =
+        runBlockLevelExperiment(img, opts, Machine::Config{});
+    EXPECT_FALSE(run.pass);
+    EXPECT_NE(run.failReason.find("golden"), std::string::npos)
+        << run.failReason;
+}
+
+TEST(Harness, TimingPassUsesEmptyInstrumentation)
+{
+    // The timing run's overhead must not include counter costs:
+    // compare against a manual counting run.
+    const BinaryImage img =
+        compileProgram(specCpuSuite(Arch::x64, false)[5]);
+    RewriteOptions opts;
+    opts.mode = RewriteMode::funcPtr;
+    const ToolRun run =
+        runBlockLevelExperiment(img, opts, Machine::Config{});
+    ASSERT_TRUE(run.pass) << run.failReason;
+    // Empty instrumentation: no runtime-library counter calls in
+    // the timing pass.
+    EXPECT_EQ(run.rewrittenRun.rtCalls, 0u);
+}
+
+TEST(Harness, SrbiSignalBugThreshold)
+{
+    EXPECT_FALSE(srbiSignalBugTriggered(0));
+    EXPECT_FALSE(srbiSignalBugTriggered(srbi_signal_bug_traps));
+    EXPECT_TRUE(srbiSignalBugTriggered(srbi_signal_bug_traps + 1));
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Loader and module tests: PIE slides with relocation application,
+ * address translation round trips, stack placement, and the
+ * non-PIE/slide precondition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "sim/loader.hh"
+#include "sim/machine.hh"
+
+using namespace icp;
+
+TEST(Loader, NonPieLoadsAtPreferredBase)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, false));
+    auto proc = loadImage(img);
+    EXPECT_EQ(proc->module.slide, 0);
+    EXPECT_EQ(proc->module.toLoaded(img.entry), img.entry);
+    for (const auto &sec : img.sections) {
+        if (sec.loadable && sec.memSize > 0) {
+            EXPECT_TRUE(proc->mem.isMapped(sec.addr));
+        }
+    }
+}
+
+TEST(Loader, PieSlideTranslationRoundTrips)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, true));
+    auto proc = loadImage(img);
+    EXPECT_EQ(proc->module.slide, default_pie_slide);
+    const Addr loaded = proc->module.toLoaded(img.entry);
+    EXPECT_EQ(loaded, img.entry +
+                          static_cast<Addr>(default_pie_slide));
+    EXPECT_EQ(proc->module.toPref(loaded), img.entry);
+}
+
+TEST(Loader, RelocationsAreSlidden)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, true));
+    ASSERT_FALSE(img.relocs.empty());
+    auto proc = loadImage(img);
+    for (const auto &rel : img.relocs) {
+        std::uint64_t value = 0;
+        ASSERT_TRUE(proc->mem.read(proc->module.toLoaded(rel.site),
+                                   8, value));
+        EXPECT_EQ(value,
+                  static_cast<std::uint64_t>(rel.addend +
+                                             proc->module.slide));
+    }
+}
+
+TEST(Loader, CustomSlideHonored)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, true));
+    auto proc = loadImage(img, 0x40000000);
+    EXPECT_EQ(proc->module.slide, 0x40000000);
+    Machine machine(*proc, Machine::Config{});
+    const RunResult r = machine.run();
+    EXPECT_TRUE(r.halted) << r.describe();
+}
+
+TEST(Loader, StackIsAboveTheImageAndMapped)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::ppc64le, false));
+    auto proc = loadImage(img);
+    EXPECT_GT(proc->stackLimit, img.highWaterMark() - 4096);
+    EXPECT_GT(proc->stackTop, proc->stackLimit);
+    EXPECT_TRUE(proc->mem.isMapped(proc->stackLimit));
+    EXPECT_TRUE(proc->mem.isMapped(proc->stackTop - 1));
+}
+
+TEST(Loader, SameChecksumAtAnySlide)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::aarch64, true));
+    std::uint64_t checksum = 0;
+    for (std::int64_t slide : {std::int64_t{0}, default_pie_slide,
+                               std::int64_t{0x75610000}}) {
+        auto proc = loadImage(img, slide);
+        Machine machine(*proc, Machine::Config{});
+        const RunResult r = machine.run();
+        ASSERT_TRUE(r.halted) << "slide " << slide;
+        if (checksum == 0)
+            checksum = r.checksum;
+        else
+            EXPECT_EQ(r.checksum, checksum) << "slide " << slide;
+    }
+}
+
+TEST(LoaderDeath, NonPieWithSlideRejected)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, false));
+    EXPECT_DEATH(loadImage(img, 0x1000), "non-PIE");
+}

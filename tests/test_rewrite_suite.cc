@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The full evaluation matrix as a test suite: every SPEC-like
+ * benchmark × every ISA × every rewriting mode runs the strong test
+ * (clobbered originals + entry-counter verification against native
+ * transfer counts). 171 distinct workload/mode combinations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "harness/verify.hh"
+#include "rewrite/rewriter.hh"
+
+using namespace icp;
+
+namespace
+{
+
+struct SweepParam
+{
+    Arch arch;
+    unsigned benchmark;
+    RewriteMode mode;
+};
+
+class SuiteSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+std::string
+sweepName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    std::string s;
+    switch (info.param.arch) {
+      case Arch::x64: s = "x64_"; break;
+      case Arch::ppc64le: s = "ppc64le_"; break;
+      case Arch::aarch64: s = "aarch64_"; break;
+    }
+    std::string name = specCpuNames()[info.param.benchmark];
+    for (char &c : name) {
+        if (c == '.')
+            c = '_';
+    }
+    s += name + "_";
+    switch (info.param.mode) {
+      case RewriteMode::dir: s += "dir"; break;
+      case RewriteMode::jt: s += "jt"; break;
+      case RewriteMode::funcPtr: s += "funcptr"; break;
+    }
+    return s;
+}
+
+std::vector<SweepParam>
+allParams()
+{
+    std::vector<SweepParam> params;
+    for (Arch arch : all_arches) {
+        for (unsigned b = 0; b < 19; ++b) {
+            for (RewriteMode mode :
+                 {RewriteMode::dir, RewriteMode::jt,
+                  RewriteMode::funcPtr}) {
+                params.push_back({arch, b, mode});
+            }
+        }
+    }
+    return params;
+}
+
+} // namespace
+
+TEST_P(SuiteSweep, StrongTestPasses)
+{
+    const SweepParam param = GetParam();
+    const auto suite = specCpuSuite(param.arch, false);
+    const BinaryImage img = compileProgram(suite[param.benchmark]);
+
+    RewriteOptions opts;
+    opts.mode = param.mode;
+    opts.clobberOriginal = true;
+    opts.instrumentation.countFunctionEntries = true;
+    const RewriteResult rw = rewriteBinary(img, opts);
+    ASSERT_TRUE(rw.ok) << rw.failReason;
+    EXPECT_GE(rw.stats.coverage(), 0.9);
+
+    const VerifyOutcome outcome =
+        verifyRewrite(img, rw, Machine::Config{});
+    EXPECT_TRUE(outcome.pass) << outcome.reason;
+
+    // Mode invariants.
+    if (param.mode == RewriteMode::dir) {
+        EXPECT_EQ(rw.stats.clonedTables, 0u);
+    }
+    if (param.mode != RewriteMode::dir &&
+        rw.stats.clonedTables > 0) {
+        // Cloning removed jump-table-target CFL blocks.
+        RewriteOptions dir_opts = opts;
+        dir_opts.mode = RewriteMode::dir;
+        const RewriteResult dir_rw = rewriteBinary(img, dir_opts);
+        EXPECT_LE(rw.stats.cflBlocks, dir_rw.stats.cflBlocks);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FullMatrix, SuiteSweep,
+                         ::testing::ValuesIn(allParams()), sweepName);

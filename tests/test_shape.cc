@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Performance-shape regression tests: the paper's headline orderings
+ * captured as assertions over the deterministic cycle model, on a
+ * small slice of the suite so they run fast under ctest.
+ *
+ *   dir >= jt >= func-ptr overhead (Table 3);
+ *   placement analysis never increases trampolines;
+ *   jt removes the switch-target bouncing on switch-heavy code;
+ *   the Diogenes speedup direction (mainstream per-block >> ours).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/srbi.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "harness/experiment.hh"
+#include "rewrite/rewriter.hh"
+
+using namespace icp;
+
+namespace
+{
+
+double
+overheadOf(const BinaryImage &img, RewriteMode mode)
+{
+    RewriteOptions opts;
+    opts.mode = mode;
+    const ToolRun run =
+        runBlockLevelExperiment(img, opts, Machine::Config{});
+    EXPECT_TRUE(run.pass) << run.failReason;
+    return run.overhead;
+}
+
+} // namespace
+
+TEST(Shape, ModeStaircaseOnSwitchHeavyCode)
+{
+    // 602.gcc-like: dense switch usage makes the staircase visible.
+    const BinaryImage img =
+        compileProgram(specCpuSuite(Arch::x64, false)[1]);
+    const double dir = overheadOf(img, RewriteMode::dir);
+    const double jt = overheadOf(img, RewriteMode::jt);
+    const double fp = overheadOf(img, RewriteMode::funcPtr);
+    EXPECT_GT(dir, jt);
+    EXPECT_GE(jt, fp);
+    EXPECT_LT(fp, 0.02); // func-ptr near zero
+    EXPECT_GT(dir, 0.005); // dir pays for switch bouncing
+}
+
+TEST(Shape, IndirectCallHeavyCodeNeedsFuncPtrMode)
+{
+    // 623.xalancbmk-like: many indirect calls; jt still bounces at
+    // function entries, func-ptr does not.
+    const BinaryImage img =
+        compileProgram(specCpuSuite(Arch::x64, false)[8]);
+    const double jt = overheadOf(img, RewriteMode::jt);
+    const double fp = overheadOf(img, RewriteMode::funcPtr);
+    EXPECT_GT(jt, fp);
+}
+
+TEST(Shape, SrbiCostsMoreThanDirEverywhereItWorks)
+{
+    const BinaryImage img =
+        compileProgram(specCpuSuite(Arch::x64, false)[3]); // mcf
+    ASSERT_FALSE(srbiRefuses(img).has_value());
+    const ToolRun srbi = runBlockLevelExperiment(
+        img, srbiOptions(), Machine::Config{});
+    ASSERT_TRUE(srbi.pass) << srbi.failReason;
+    RewriteOptions dir_opts;
+    dir_opts.mode = RewriteMode::dir;
+    const ToolRun dir = runBlockLevelExperiment(
+        img, dir_opts, Machine::Config{});
+    ASSERT_TRUE(dir.pass);
+    EXPECT_GT(srbi.overhead, dir.overhead);
+    EXPECT_GT(srbi.stats.trampolines, dir.stats.trampolines);
+}
+
+TEST(Shape, PpcRangePressureIsMultiHopNotTrap)
+{
+    // The 40 MB-rodata gcc workload on ppc64le: our dir mode chains
+    // through scratch space rather than trapping.
+    const auto suite = specCpuSuite(Arch::ppc64le, false);
+    const BinaryImage img = compileProgram(suite[1]);
+    RewriteOptions opts;
+    opts.mode = RewriteMode::dir;
+    const ToolRun run =
+        runBlockLevelExperiment(img, opts, Machine::Config{});
+    ASSERT_TRUE(run.pass) << run.failReason;
+    EXPECT_GT(run.stats.multiHopTramps, 50u);
+    EXPECT_EQ(run.stats.trapTramps, 0u);
+    EXPECT_LT(run.overhead, 0.20);
+}
+
+TEST(Shape, DiogenesDirectionHolds)
+{
+    const BinaryImage img = compileProgram(libcudaProfile());
+    std::set<std::string> subset;
+    for (const Symbol *sym : img.functionSymbols()) {
+        if (sym->name.rfind("cu_api", 0) == 0)
+            subset.insert(sym->name);
+        else if (sym->name.rfind("cu_f", 0) == 0 &&
+                 std::stoul(sym->name.substr(4)) < 170)
+            subset.insert(sym->name);
+    }
+
+    RewriteOptions mainstream = srbiOptions();
+    mainstream.onlyFunctions = subset;
+    const RewriteResult main_rw = rewriteBinary(img, mainstream);
+    ASSERT_TRUE(main_rw.ok);
+
+    RewriteOptions ours;
+    ours.mode = RewriteMode::jt;
+    ours.onlyFunctions = subset;
+    const RewriteResult ours_rw = rewriteBinary(img, ours);
+    ASSERT_TRUE(ours_rw.ok);
+
+    // Trap trampolines are the mechanism (§9).
+    EXPECT_GT(main_rw.stats.trapTramps, 100u);
+    EXPECT_EQ(ours_rw.stats.trapTramps, 0u);
+}

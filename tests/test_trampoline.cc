@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests of the trampoline writer and the scratch pool: form
+ * selection per space/range/register availability, byte-level
+ * verification of emitted sequences, multi-hop chaining through the
+ * pool, trap fallback, and pool allocation properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rewrite/scratch.hh"
+#include "rewrite/trampoline.hh"
+
+using namespace icp;
+
+namespace
+{
+
+Instruction
+decodeAt(const ArchInfo &arch, const std::vector<std::uint8_t> &bytes,
+         Addr at)
+{
+    Instruction in;
+    EXPECT_TRUE(
+        arch.codec->decode(bytes.data(), bytes.size(), at, in));
+    return in;
+}
+
+} // namespace
+
+TEST(ScratchPool, DonateAllocateAndRanges)
+{
+    ScratchPool pool;
+    pool.donate(0x1000, 64);
+    pool.donate(0x9000, 32);
+    EXPECT_EQ(pool.bytesFree(), 96u);
+
+    // Range-restricted allocation must pick the nearby chunk.
+    auto near = pool.allocate(16, 0x9100, 0x400, 1);
+    ASSERT_TRUE(near.has_value());
+    EXPECT_GE(*near, 0x9000u);
+    EXPECT_LT(*near, 0x9020u);
+
+    // Exhaust the nearby chunk; next request falls out of range.
+    auto second = pool.allocate(16, 0x9100, 0x400, 1);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_FALSE(pool.allocate(16, 0x9100, 0x400, 1).has_value());
+
+    // Unrestricted allocation succeeds from the far chunk.
+    EXPECT_TRUE(pool.allocate(16, 0x9100, 0, 1).has_value());
+}
+
+TEST(ScratchPool, AlignmentCarvesPadding)
+{
+    ScratchPool pool;
+    pool.donate(0x1001, 64, 1);
+    auto aligned = pool.allocate(8, 0, 0, 16);
+    ASSERT_TRUE(aligned.has_value());
+    EXPECT_EQ(*aligned % 16, 0u);
+    // The pre-padding bytes remain available.
+    auto rest = pool.allocate(1, 0, 0, 1);
+    ASSERT_TRUE(rest.has_value());
+}
+
+TEST(Trampoline, X64DirectWhenSpaceAllows)
+{
+    const auto &arch = ArchInfo::get(Arch::x64);
+    ScratchPool pool;
+    TrampolineWriter writer(arch, 0, pool, true);
+    TrampolineRequest req;
+    req.at = 0x401000;
+    req.space = 16;
+    req.target = 0x900000;
+    const TrampolineOut out = writer.install(req);
+    EXPECT_EQ(out.kind, TrampolineKind::direct);
+    ASSERT_EQ(out.writes.size(), 1u);
+    const Instruction in =
+        decodeAt(arch, out.writes[0].bytes, req.at);
+    EXPECT_EQ(in.op, Opcode::Jmp);
+    EXPECT_EQ(in.target, req.target);
+    EXPECT_EQ(in.length, 5u);
+}
+
+TEST(Trampoline, X64MultiHopThroughNearbyScratch)
+{
+    const auto &arch = ArchInfo::get(Arch::x64);
+    ScratchPool pool;
+    pool.donate(0x401040, 32); // within short-branch reach
+    TrampolineWriter writer(arch, 0, pool, true);
+    TrampolineRequest req;
+    req.at = 0x401000;
+    req.space = 3; // too small for the 5-byte near form
+    req.target = 0x900000;
+    const TrampolineOut out = writer.install(req);
+    ASSERT_EQ(out.kind, TrampolineKind::multiHop);
+    ASSERT_EQ(out.writes.size(), 2u);
+    const Instruction hop =
+        decodeAt(arch, out.writes[0].bytes, req.at);
+    EXPECT_EQ(hop.length, 2u);
+    EXPECT_EQ(hop.target, out.writes[1].at);
+    const Instruction far =
+        decodeAt(arch, out.writes[1].bytes, out.writes[1].at);
+    EXPECT_EQ(far.target, req.target);
+}
+
+TEST(Trampoline, X64TrapWhenNoScratchInReach)
+{
+    const auto &arch = ArchInfo::get(Arch::x64);
+    ScratchPool pool;
+    pool.donate(0x500000, 64); // far beyond ±127 bytes
+    TrampolineWriter writer(arch, 0, pool, true);
+    TrampolineRequest req;
+    req.at = 0x401000;
+    req.space = 3;
+    req.target = 0x900000;
+    const TrampolineOut out = writer.install(req);
+    EXPECT_EQ(out.kind, TrampolineKind::trap);
+    ASSERT_EQ(out.trapEntries.size(), 1u);
+    EXPECT_EQ(out.trapEntries[0].first, req.at);
+    EXPECT_EQ(out.trapEntries[0].second, req.target);
+    EXPECT_EQ(out.writes[0].bytes.size(), arch.trapLen);
+}
+
+TEST(Trampoline, PpcFormsByDistanceAndRegister)
+{
+    const auto &arch = ArchInfo::get(Arch::ppc64le);
+    ScratchPool pool;
+    TrampolineWriter writer(arch, /*toc=*/0x500000, pool, true);
+
+    // In range: single b.
+    TrampolineRequest near_req;
+    near_req.at = 0x401000;
+    near_req.space = 4;
+    near_req.target = 0x401000 + (1 << 20);
+    near_req.scratchReg = Reg::r5;
+    EXPECT_EQ(writer.install(near_req).kind,
+              TrampolineKind::direct);
+
+    // Out of range with a dead register and 16 bytes: long form.
+    TrampolineRequest far_req = near_req;
+    far_req.space = 16;
+    far_req.target = 0x401000 + (1LL << 30);
+    const TrampolineOut long_form = writer.install(far_req);
+    EXPECT_EQ(long_form.kind, TrampolineKind::longForm);
+    EXPECT_EQ(long_form.writes[0].bytes.size(), 16u);
+
+    // No dead register but 24 bytes: spill form.
+    TrampolineRequest spill_req = far_req;
+    spill_req.space = 24;
+    spill_req.scratchReg = Reg::none;
+    EXPECT_EQ(writer.install(spill_req).kind,
+              TrampolineKind::longFormSpill);
+
+    // Small block, no register: chained through the pool.
+    pool.donate(0x402000, 64, 4);
+    TrampolineRequest tiny = far_req;
+    tiny.space = 4;
+    tiny.scratchReg = Reg::none;
+    EXPECT_EQ(writer.install(tiny).kind, TrampolineKind::multiHop);
+}
+
+TEST(Trampoline, A64TrapsWithoutDeadRegister)
+{
+    const auto &arch = ArchInfo::get(Arch::aarch64);
+    ScratchPool pool;
+    TrampolineWriter writer(arch, 0, pool, true);
+    TrampolineRequest req;
+    req.at = 0x401000;
+    req.space = 64;
+    req.target = 0x401000 + (1LL << 30); // beyond ±128MB
+    req.scratchReg = Reg::none;
+    EXPECT_EQ(writer.install(req).kind, TrampolineKind::trap);
+
+    req.scratchReg = Reg::r7;
+    const TrampolineOut out = writer.install(req);
+    EXPECT_EQ(out.kind, TrampolineKind::longForm);
+    EXPECT_EQ(out.writes[0].bytes.size(), 12u);
+}
+
+TEST(Trampoline, InPlacePhaseRefusesWhatFallbackHandles)
+{
+    const auto &arch = ArchInfo::get(Arch::x64);
+    ScratchPool pool;
+    pool.donate(0x401040, 32);
+    TrampolineWriter writer(arch, 0, pool, true);
+    TrampolineRequest req;
+    req.at = 0x401000;
+    req.space = 3;
+    req.target = 0x900000;
+    EXPECT_FALSE(writer.installInPlace(req).has_value());
+    EXPECT_EQ(writer.installWithFallback(req).kind,
+              TrampolineKind::multiHop);
+}
+
+TEST(Trampoline, MultiHopDisabledMeansTrap)
+{
+    const auto &arch = ArchInfo::get(Arch::x64);
+    ScratchPool pool;
+    pool.donate(0x401040, 32);
+    TrampolineWriter writer(arch, 0, pool, /*multi_hop=*/false);
+    TrampolineRequest req;
+    req.at = 0x401000;
+    req.space = 3;
+    req.target = 0x900000;
+    EXPECT_EQ(writer.install(req).kind, TrampolineKind::trap);
+}

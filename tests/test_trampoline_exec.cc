@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Runtime execution tests of every trampoline form: build a tiny
+ * image, install the form under test at its entry with the real
+ * TrampolineWriter, and run it in the simulator — including the
+ * ppc64le spill form's register preservation and the trap path
+ * through the runtime library.
+ */
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "binfmt/addr_map.hh"
+#include "isa/assembler.hh"
+#include "rewrite/scratch.hh"
+#include "rewrite/trampoline.hh"
+#include "sim/loader.hh"
+#include "sim/machine.hh"
+
+using namespace icp;
+
+namespace
+{
+
+constexpr Addr text_base = 0x401000;
+constexpr Addr pad_base = 0x402000;   // in-image scratch
+constexpr Addr far_base = 0x20000000; // "relocated" destination
+
+/**
+ * An image with a nop-sled entry (trampoline canvas), a scratch
+ * area, and a far destination that moves r0 into the checksum.
+ */
+BinaryImage
+makeCanvas(Arch arch, std::uint64_t marker)
+{
+    const ArchInfo &arch_info = ArchInfo::get(arch);
+    BinaryImage img;
+    img.arch = arch;
+    img.prefBase = 0x400000;
+    img.entry = text_base;
+    img.tocBase = 0x500000;
+
+    Section text;
+    text.name = ".text";
+    text.kind = SectionKind::text;
+    text.addr = text_base;
+    {
+        Assembler as(arch_info, text_base);
+        for (int i = 0; i < 32; ++i)
+            as.emit(makeNop());
+        as.emit(makeHalt()); // reaching this means no trampoline ran
+        text.bytes = as.finalize();
+    }
+    text.memSize = 0x2000; // covers the pad area too
+    text.executable = true;
+    img.sections.push_back(std::move(text));
+
+    Section dest;
+    dest.name = ".instr";
+    dest.kind = SectionKind::instr;
+    dest.addr = far_base;
+    {
+        Assembler as(arch_info, far_base);
+        as.emit(makeAddImm(Reg::r0,
+                           static_cast<std::int64_t>(marker)));
+        as.emit(makeHalt());
+        dest.bytes = as.finalize();
+    }
+    dest.memSize = dest.bytes.size();
+    dest.executable = true;
+    img.sections.push_back(std::move(dest));
+
+    Section eh;
+    eh.name = ".eh_frame";
+    eh.kind = SectionKind::ehFrame;
+    eh.addr = 0x600000;
+    eh.bytes = serializeEhFrame({});
+    eh.memSize = eh.bytes.size();
+    img.sections.push_back(std::move(eh));
+
+    Symbol sym;
+    sym.name = "main";
+    sym.addr = text_base;
+    sym.size = 0x2000;
+    img.symbols.push_back(sym);
+    return img;
+}
+
+RunResult
+runCanvas(BinaryImage &img, const TrampolineOut &installed)
+{
+    for (const auto &write : installed.writes)
+        EXPECT_TRUE(img.writeBytes(write.at, write.bytes));
+    if (!installed.trapEntries.empty()) {
+        AddrPairMap trap_map(installed.trapEntries);
+        Section s;
+        s.name = ".trap_map";
+        s.kind = SectionKind::trapMap;
+        s.addr = 0x700000;
+        s.bytes = trap_map.serialize();
+        s.memSize = s.bytes.size();
+        img.sections.push_back(std::move(s));
+    }
+    auto proc = loadImage(img);
+    RuntimeLib rt(proc->module);
+    Machine machine(*proc, Machine::Config{});
+    machine.attachRuntimeLib(&rt);
+    return machine.run();
+}
+
+} // namespace
+
+TEST(TrampolineExec, X64Direct)
+{
+    BinaryImage img = makeCanvas(Arch::x64, 7);
+    ScratchPool pool;
+    TrampolineWriter writer(ArchInfo::get(Arch::x64), img.tocBase,
+                            pool, true);
+    const TrampolineOut out =
+        writer.install({text_base, 32, far_base, Reg::none});
+    ASSERT_EQ(out.kind, TrampolineKind::direct);
+    const RunResult r = runCanvas(img, out);
+    ASSERT_TRUE(r.halted) << r.describe();
+    EXPECT_EQ(r.checksum, 7u);
+}
+
+TEST(TrampolineExec, X64MultiHopRuntime)
+{
+    BinaryImage img = makeCanvas(Arch::x64, 8);
+    ScratchPool pool;
+    pool.donate(pad_base, 64);
+    // pad_base is ~4KB away: outside the ±127B short reach, so keep
+    // scratch close instead.
+    pool.donate(text_base + 0x40, 32);
+    TrampolineWriter writer(ArchInfo::get(Arch::x64), img.tocBase,
+                            pool, true);
+    const TrampolineOut out =
+        writer.install({text_base, 3, far_base, Reg::none});
+    ASSERT_EQ(out.kind, TrampolineKind::multiHop);
+    const RunResult r = runCanvas(img, out);
+    ASSERT_TRUE(r.halted) << r.describe();
+    EXPECT_EQ(r.checksum, 8u);
+}
+
+TEST(TrampolineExec, X64TrapRuntime)
+{
+    BinaryImage img = makeCanvas(Arch::x64, 9);
+    ScratchPool pool; // empty: force the trap
+    TrampolineWriter writer(ArchInfo::get(Arch::x64), img.tocBase,
+                            pool, true);
+    const TrampolineOut out =
+        writer.install({text_base, 3, far_base, Reg::none});
+    ASSERT_EQ(out.kind, TrampolineKind::trap);
+    const RunResult r = runCanvas(img, out);
+    ASSERT_TRUE(r.halted) << r.describe();
+    EXPECT_EQ(r.checksum, 9u);
+    EXPECT_EQ(r.traps, 1u);
+}
+
+TEST(TrampolineExec, PpcLongFormRuntime)
+{
+    BinaryImage img = makeCanvas(Arch::ppc64le, 11);
+    ScratchPool pool;
+    TrampolineWriter writer(ArchInfo::get(Arch::ppc64le),
+                            img.tocBase, pool, true);
+    const TrampolineOut out =
+        writer.install({text_base, 16, far_base, Reg::r5});
+    ASSERT_EQ(out.kind, TrampolineKind::longForm);
+    const RunResult r = runCanvas(img, out);
+    ASSERT_TRUE(r.halted) << r.describe();
+    EXPECT_EQ(r.checksum, 11u);
+}
+
+TEST(TrampolineExec, PpcSpillFormPreservesRegister)
+{
+    // The destination adds r0 to the marker: if the spill form
+    // failed to restore r0 (clobbered by addis/addi), the checksum
+    // would be wrong.
+    BinaryImage img = makeCanvas(Arch::ppc64le, 13);
+    ScratchPool pool;
+    TrampolineWriter writer(ArchInfo::get(Arch::ppc64le),
+                            img.tocBase, pool, true);
+    const TrampolineOut out =
+        writer.install({text_base, 24, far_base, Reg::none});
+    ASSERT_EQ(out.kind, TrampolineKind::longFormSpill);
+    // r0 starts at 0 in the machine; the spill form must leave it 0
+    // so the destination's AddImm produces exactly the marker.
+    const RunResult r = runCanvas(img, out);
+    ASSERT_TRUE(r.halted) << r.describe();
+    EXPECT_EQ(r.checksum, 13u);
+}
+
+TEST(TrampolineExec, PpcMultiHopRuntime)
+{
+    BinaryImage img = makeCanvas(Arch::ppc64le, 15);
+    ScratchPool pool;
+    pool.donate(pad_base, 64, 4);
+    TrampolineWriter writer(ArchInfo::get(Arch::ppc64le),
+                            img.tocBase, pool, true);
+    const TrampolineOut out =
+        writer.install({text_base, 4, far_base, Reg::r5});
+    ASSERT_EQ(out.kind, TrampolineKind::multiHop);
+    const RunResult r = runCanvas(img, out);
+    ASSERT_TRUE(r.halted) << r.describe();
+    EXPECT_EQ(r.checksum, 15u);
+}
+
+TEST(TrampolineExec, A64LongFormRuntime)
+{
+    BinaryImage img = makeCanvas(Arch::aarch64, 17);
+    ScratchPool pool;
+    TrampolineWriter writer(ArchInfo::get(Arch::aarch64),
+                            img.tocBase, pool, true);
+    const TrampolineOut out =
+        writer.install({text_base, 12, far_base, Reg::r4});
+    ASSERT_EQ(out.kind, TrampolineKind::longForm);
+    const RunResult r = runCanvas(img, out);
+    ASSERT_TRUE(r.halted) << r.describe();
+    EXPECT_EQ(r.checksum, 17u);
+}
+
+TEST(TrampolineExec, A64TrapRuntime)
+{
+    BinaryImage img = makeCanvas(Arch::aarch64, 19);
+    ScratchPool pool;
+    TrampolineWriter writer(ArchInfo::get(Arch::aarch64),
+                            img.tocBase, pool, true);
+    const TrampolineOut out =
+        writer.install({text_base, 4, far_base, Reg::none});
+    ASSERT_EQ(out.kind, TrampolineKind::trap);
+    const RunResult r = runCanvas(img, out);
+    ASSERT_TRUE(r.halted) << r.describe();
+    EXPECT_EQ(r.checksum, 19u);
+    EXPECT_EQ(r.traps, 1u);
+}

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * The `icp` command-line tool: compile workload profiles to SBF
+ * files, rewrite them with incremental CFG patching, run them in
+ * the simulator, and inspect their contents.
+ *
+ *   icp compile <profile> <out.sbf> [--arch A] [--pie]
+ *   icp rewrite <in.sbf> <out.sbf> [--mode M] [--clobber]
+ *               [--count-blocks] [--count-entries] [--only f1,f2]
+ *               [--no-placement] [--no-multihop] [--call-emulation]
+ *   icp run     <in.sbf> [--gc N]
+ *   icp inspect <in.sbf> [function]
+ *
+ * Profiles: micro, spec0..spec18, libxul, docker, libcuda.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/builder.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "rewrite/rewriter.hh"
+#include "sim/loader.hh"
+#include "sim/machine.hh"
+
+using namespace icp;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: icp compile <profile> <out.sbf> "
+                 "[--arch x64|ppc64le|aarch64] [--pie]\n"
+                 "       icp rewrite <in.sbf> <out.sbf> "
+                 "[--mode dir|jt|func-ptr] [--clobber]\n"
+                 "                   [--count-blocks] "
+                 "[--count-entries] [--only f1,f2,...]\n"
+                 "                   [--no-placement] "
+                 "[--no-multihop] [--call-emulation]\n"
+                 "       icp run <in.sbf> [--gc N]\n"
+                 "       icp inspect <in.sbf> [function]\n");
+    return 2;
+}
+
+bool
+writeFile(const std::string &path,
+          const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(out);
+}
+
+bool
+readFile(const std::string &path, std::vector<std::uint8_t> &bytes)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    return true;
+}
+
+int
+cmdCompile(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string profile = argv[0];
+    const std::string out_path = argv[1];
+    Arch arch = Arch::x64;
+    bool pie = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--pie") {
+            pie = true;
+        } else if (arg == "--arch" && i + 1 < argc) {
+            const std::string a = argv[++i];
+            if (a == "x64")
+                arch = Arch::x64;
+            else if (a == "ppc64le")
+                arch = Arch::ppc64le;
+            else if (a == "aarch64")
+                arch = Arch::aarch64;
+            else
+                return usage();
+        } else {
+            return usage();
+        }
+    }
+
+    ProgramSpec spec;
+    if (profile == "micro") {
+        spec = microProfile(arch, pie);
+    } else if (profile == "libxul") {
+        spec = libxulProfile();
+    } else if (profile == "docker") {
+        spec = dockerProfile();
+    } else if (profile == "libcuda") {
+        spec = libcudaProfile();
+    } else if (profile.rfind("spec", 0) == 0) {
+        const unsigned idx =
+            static_cast<unsigned>(std::atoi(profile.c_str() + 4));
+        const auto suite = specCpuSuite(arch, pie);
+        if (idx >= suite.size()) {
+            std::fprintf(stderr, "spec index out of range\n");
+            return 1;
+        }
+        spec = suite[idx];
+    } else {
+        std::fprintf(stderr, "unknown profile %s\n",
+                     profile.c_str());
+        return 1;
+    }
+
+    const BinaryImage img = compileProgram(spec);
+    if (!writeFile(out_path, img.serialize())) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::printf("%s: %s %s, %zu functions, %llu bytes loaded\n",
+                out_path.c_str(), archName(img.arch),
+                img.pie ? "PIE" : "no-PIE",
+                img.functionSymbols().size(),
+                static_cast<unsigned long long>(img.loadedSize()));
+    return 0;
+}
+
+int
+cmdRewrite(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::vector<std::uint8_t> raw;
+    if (!readFile(argv[0], raw)) {
+        std::fprintf(stderr, "cannot read %s\n", argv[0]);
+        return 1;
+    }
+    const BinaryImage img = BinaryImage::deserialize(raw);
+
+    RewriteOptions opts;
+    opts.mode = RewriteMode::jt;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--mode" && i + 1 < argc) {
+            const std::string m = argv[++i];
+            if (m == "dir")
+                opts.mode = RewriteMode::dir;
+            else if (m == "jt")
+                opts.mode = RewriteMode::jt;
+            else if (m == "func-ptr")
+                opts.mode = RewriteMode::funcPtr;
+            else
+                return usage();
+        } else if (arg == "--clobber") {
+            opts.clobberOriginal = true;
+        } else if (arg == "--count-blocks") {
+            opts.instrumentation.countBlocks = true;
+        } else if (arg == "--count-entries") {
+            opts.instrumentation.countFunctionEntries = true;
+        } else if (arg == "--no-placement") {
+            opts.trampolinePlacement = false;
+        } else if (arg == "--no-multihop") {
+            opts.multiHop = false;
+        } else if (arg == "--call-emulation") {
+            opts.raTranslation = false;
+        } else if (arg == "--only" && i + 1 < argc) {
+            std::string list = argv[++i];
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = list.find(',', pos);
+                opts.onlyFunctions.insert(
+                    list.substr(pos, comma == std::string::npos
+                                         ? comma
+                                         : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else {
+            return usage();
+        }
+    }
+
+    const RewriteResult rw = rewriteBinary(img, opts);
+    if (!rw.ok) {
+        std::fprintf(stderr, "rewrite failed: %s\n",
+                     rw.failReason.c_str());
+        return 1;
+    }
+    if (!writeFile(argv[1], rw.image.serialize())) {
+        std::fprintf(stderr, "cannot write %s\n", argv[1]);
+        return 1;
+    }
+    std::printf("mode %s: %u/%u functions, %llu trampolines "
+                "(%llu direct, %llu long, %llu multi-hop, %llu "
+                "trap), %llu cloned tables, %llu funcptrs, %llu "
+                "RA-map entries, size %+.2f%%\n",
+                rewriteModeName(opts.mode),
+                rw.stats.instrumentedFunctions,
+                rw.stats.totalFunctions,
+                static_cast<unsigned long long>(
+                    rw.stats.trampolines),
+                static_cast<unsigned long long>(
+                    rw.stats.directTramps),
+                static_cast<unsigned long long>(rw.stats.longTramps),
+                static_cast<unsigned long long>(
+                    rw.stats.multiHopTramps),
+                static_cast<unsigned long long>(rw.stats.trapTramps),
+                static_cast<unsigned long long>(
+                    rw.stats.clonedTables),
+                static_cast<unsigned long long>(
+                    rw.stats.rewrittenFuncPtrs),
+                static_cast<unsigned long long>(
+                    rw.stats.raMapEntries),
+                rw.stats.sizeIncrease() * 100.0);
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    std::vector<std::uint8_t> raw;
+    if (!readFile(argv[0], raw)) {
+        std::fprintf(stderr, "cannot read %s\n", argv[0]);
+        return 1;
+    }
+    const BinaryImage img = BinaryImage::deserialize(raw);
+
+    Machine::Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--gc") == 0 && i + 1 < argc)
+            cfg.goGcEveryCalls =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        else
+            return usage();
+    }
+    if (cfg.goGcEveryCalls == 0 && img.features.isGo)
+        cfg.goGcEveryCalls = 64;
+
+    auto proc = loadImage(img);
+    RuntimeLib rt(proc->module);
+    Machine machine(*proc, cfg);
+    if (rt.hasRaMap() || rt.hasTrapMap())
+        machine.attachRuntimeLib(&rt);
+    const RunResult result = machine.run();
+    std::printf("%s\n", result.describe().c_str());
+    std::printf("icache: %llu accesses, %llu misses; rt calls %llu; "
+                "unwind steps %llu; gc walks %llu\n",
+                static_cast<unsigned long long>(
+                    result.icacheAccesses),
+                static_cast<unsigned long long>(result.icacheMisses),
+                static_cast<unsigned long long>(result.rtCalls),
+                static_cast<unsigned long long>(result.unwindSteps),
+                static_cast<unsigned long long>(result.gcWalks));
+    std::uint64_t counted = 0;
+    for (std::uint64_t c : result.counters)
+        counted += c;
+    if (counted > 0) {
+        std::printf("instrumentation counters: %llu increments over "
+                    "%zu counters\n",
+                    static_cast<unsigned long long>(counted),
+                    result.counters.size());
+    }
+    return result.halted ? 0 : 1;
+}
+
+int
+cmdInspect(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    std::vector<std::uint8_t> raw;
+    if (!readFile(argv[0], raw)) {
+        std::fprintf(stderr, "cannot read %s\n", argv[0]);
+        return 1;
+    }
+    const BinaryImage img = BinaryImage::deserialize(raw);
+
+    std::printf("%s %s entry=0x%llx loaded=%llu bytes\n",
+                archName(img.arch), img.pie ? "PIE" : "no-PIE",
+                static_cast<unsigned long long>(img.entry),
+                static_cast<unsigned long long>(img.loadedSize()));
+    for (const auto &sec : img.sections) {
+        std::printf("  %-14s 0x%09llx %9llu %s%s%s\n",
+                    sec.name.c_str(),
+                    static_cast<unsigned long long>(sec.addr),
+                    static_cast<unsigned long long>(sec.memSize),
+                    sec.loadable ? "L" : "-",
+                    sec.executable ? "X" : "-",
+                    sec.writable ? "W" : "-");
+    }
+
+    if (argc >= 2) {
+        const CfgModule cfg = buildCfg(img, AnalysisOptions{});
+        for (const auto &[entry, func] : cfg.functions) {
+            if (func.name != argv[1])
+                continue;
+            std::printf("\n<%s>:\n", func.name.c_str());
+            for (const auto &[start, block] : func.blocks) {
+                for (const auto &in : block.insns) {
+                    std::printf("  %08llx  %s\n",
+                                static_cast<unsigned long long>(
+                                    in.addr),
+                                in.toString().c_str());
+                }
+            }
+            return 0;
+        }
+        std::fprintf(stderr, "no function %s\n", argv[1]);
+        return 1;
+    }
+    std::printf("%zu function symbols, %zu runtime relocations\n",
+                img.functionSymbols().size(), img.relocs.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "compile")
+        return cmdCompile(argc - 2, argv + 2);
+    if (cmd == "rewrite")
+        return cmdRewrite(argc - 2, argv + 2);
+    if (cmd == "run")
+        return cmdRun(argc - 2, argv + 2);
+    if (cmd == "inspect")
+        return cmdInspect(argc - 2, argv + 2);
+    return usage();
+}
