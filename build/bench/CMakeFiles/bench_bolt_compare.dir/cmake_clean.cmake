@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bolt_compare.dir/bench_bolt_compare.cc.o"
+  "CMakeFiles/bench_bolt_compare.dir/bench_bolt_compare.cc.o.d"
+  "bench_bolt_compare"
+  "bench_bolt_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bolt_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diogenes.dir/bench_diogenes.cc.o"
+  "CMakeFiles/bench_diogenes.dir/bench_diogenes.cc.o.d"
+  "bench_diogenes"
+  "bench_diogenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diogenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_docker.dir/bench_docker.cc.o"
+  "CMakeFiles/bench_docker.dir/bench_docker.cc.o.d"
+  "bench_docker"
+  "bench_docker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_docker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_firefox.dir/bench_firefox.cc.o"
+  "CMakeFiles/bench_firefox.dir/bench_firefox.cc.o.d"
+  "bench_firefox"
+  "bench_firefox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_firefox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

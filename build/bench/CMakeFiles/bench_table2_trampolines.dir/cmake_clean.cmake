@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_trampolines.dir/bench_table2_trampolines.cc.o"
+  "CMakeFiles/bench_table2_trampolines.dir/bench_table2_trampolines.cc.o.d"
+  "bench_table2_trampolines"
+  "bench_table2_trampolines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_trampolines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

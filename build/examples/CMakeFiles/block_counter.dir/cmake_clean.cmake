@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_counter.dir/block_counter.cpp.o"
+  "CMakeFiles/block_counter.dir/block_counter.cpp.o.d"
+  "block_counter"
+  "block_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_attach.dir/dynamic_attach.cpp.o"
+  "CMakeFiles/dynamic_attach.dir/dynamic_attach.cpp.o.d"
+  "dynamic_attach"
+  "dynamic_attach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

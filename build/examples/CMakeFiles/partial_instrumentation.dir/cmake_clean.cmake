@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_instrumentation.dir/partial_instrumentation.cpp.o"
+  "CMakeFiles/partial_instrumentation.dir/partial_instrumentation.cpp.o.d"
+  "partial_instrumentation"
+  "partial_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_layout.dir/reorder_layout.cpp.o"
+  "CMakeFiles/reorder_layout.dir/reorder_layout.cpp.o.d"
+  "reorder_layout"
+  "reorder_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbf_inspect.dir/sbf_inspect.cpp.o"
+  "CMakeFiles/sbf_inspect.dir/sbf_inspect.cpp.o.d"
+  "sbf_inspect"
+  "sbf_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbf_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/builder.cc" "src/analysis/CMakeFiles/icp_analysis.dir/builder.cc.o" "gcc" "src/analysis/CMakeFiles/icp_analysis.dir/builder.cc.o.d"
+  "/root/repo/src/analysis/cfg.cc" "src/analysis/CMakeFiles/icp_analysis.dir/cfg.cc.o" "gcc" "src/analysis/CMakeFiles/icp_analysis.dir/cfg.cc.o.d"
+  "/root/repo/src/analysis/funcptr.cc" "src/analysis/CMakeFiles/icp_analysis.dir/funcptr.cc.o" "gcc" "src/analysis/CMakeFiles/icp_analysis.dir/funcptr.cc.o.d"
+  "/root/repo/src/analysis/jump_table.cc" "src/analysis/CMakeFiles/icp_analysis.dir/jump_table.cc.o" "gcc" "src/analysis/CMakeFiles/icp_analysis.dir/jump_table.cc.o.d"
+  "/root/repo/src/analysis/liveness.cc" "src/analysis/CMakeFiles/icp_analysis.dir/liveness.cc.o" "gcc" "src/analysis/CMakeFiles/icp_analysis.dir/liveness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binfmt/CMakeFiles/icp_binfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/icp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

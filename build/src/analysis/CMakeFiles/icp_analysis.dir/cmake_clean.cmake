@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icp_analysis.dir/builder.cc.o"
+  "CMakeFiles/icp_analysis.dir/builder.cc.o.d"
+  "CMakeFiles/icp_analysis.dir/cfg.cc.o"
+  "CMakeFiles/icp_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/icp_analysis.dir/funcptr.cc.o"
+  "CMakeFiles/icp_analysis.dir/funcptr.cc.o.d"
+  "CMakeFiles/icp_analysis.dir/jump_table.cc.o"
+  "CMakeFiles/icp_analysis.dir/jump_table.cc.o.d"
+  "CMakeFiles/icp_analysis.dir/liveness.cc.o"
+  "CMakeFiles/icp_analysis.dir/liveness.cc.o.d"
+  "libicp_analysis.a"
+  "libicp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

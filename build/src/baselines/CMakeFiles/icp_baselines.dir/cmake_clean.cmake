@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icp_baselines.dir/boltlike.cc.o"
+  "CMakeFiles/icp_baselines.dir/boltlike.cc.o.d"
+  "CMakeFiles/icp_baselines.dir/instpatch.cc.o"
+  "CMakeFiles/icp_baselines.dir/instpatch.cc.o.d"
+  "CMakeFiles/icp_baselines.dir/irlower.cc.o"
+  "CMakeFiles/icp_baselines.dir/irlower.cc.o.d"
+  "CMakeFiles/icp_baselines.dir/regen_util.cc.o"
+  "CMakeFiles/icp_baselines.dir/regen_util.cc.o.d"
+  "CMakeFiles/icp_baselines.dir/srbi.cc.o"
+  "CMakeFiles/icp_baselines.dir/srbi.cc.o.d"
+  "libicp_baselines.a"
+  "libicp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

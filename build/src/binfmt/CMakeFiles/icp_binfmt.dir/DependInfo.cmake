@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binfmt/addr_map.cc" "src/binfmt/CMakeFiles/icp_binfmt.dir/addr_map.cc.o" "gcc" "src/binfmt/CMakeFiles/icp_binfmt.dir/addr_map.cc.o.d"
+  "/root/repo/src/binfmt/ehframe.cc" "src/binfmt/CMakeFiles/icp_binfmt.dir/ehframe.cc.o" "gcc" "src/binfmt/CMakeFiles/icp_binfmt.dir/ehframe.cc.o.d"
+  "/root/repo/src/binfmt/image.cc" "src/binfmt/CMakeFiles/icp_binfmt.dir/image.cc.o" "gcc" "src/binfmt/CMakeFiles/icp_binfmt.dir/image.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/icp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icp_binfmt.dir/addr_map.cc.o"
+  "CMakeFiles/icp_binfmt.dir/addr_map.cc.o.d"
+  "CMakeFiles/icp_binfmt.dir/ehframe.cc.o"
+  "CMakeFiles/icp_binfmt.dir/ehframe.cc.o.d"
+  "CMakeFiles/icp_binfmt.dir/image.cc.o"
+  "CMakeFiles/icp_binfmt.dir/image.cc.o.d"
+  "libicp_binfmt.a"
+  "libicp_binfmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icp_binfmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for icp_binfmt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icp_codegen.dir/compiler.cc.o"
+  "CMakeFiles/icp_codegen.dir/compiler.cc.o.d"
+  "CMakeFiles/icp_codegen.dir/workloads.cc.o"
+  "CMakeFiles/icp_codegen.dir/workloads.cc.o.d"
+  "libicp_codegen.a"
+  "libicp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

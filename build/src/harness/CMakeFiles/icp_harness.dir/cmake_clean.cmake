@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icp_harness.dir/experiment.cc.o"
+  "CMakeFiles/icp_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/icp_harness.dir/verify.cc.o"
+  "CMakeFiles/icp_harness.dir/verify.cc.o.d"
+  "libicp_harness.a"
+  "libicp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

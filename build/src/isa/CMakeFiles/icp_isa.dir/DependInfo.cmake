@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/arch.cc" "src/isa/CMakeFiles/icp_isa.dir/arch.cc.o" "gcc" "src/isa/CMakeFiles/icp_isa.dir/arch.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/isa/CMakeFiles/icp_isa.dir/assembler.cc.o" "gcc" "src/isa/CMakeFiles/icp_isa.dir/assembler.cc.o.d"
+  "/root/repo/src/isa/codec_fixed.cc" "src/isa/CMakeFiles/icp_isa.dir/codec_fixed.cc.o" "gcc" "src/isa/CMakeFiles/icp_isa.dir/codec_fixed.cc.o.d"
+  "/root/repo/src/isa/codec_x64.cc" "src/isa/CMakeFiles/icp_isa.dir/codec_x64.cc.o" "gcc" "src/isa/CMakeFiles/icp_isa.dir/codec_x64.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/isa/CMakeFiles/icp_isa.dir/instruction.cc.o" "gcc" "src/isa/CMakeFiles/icp_isa.dir/instruction.cc.o.d"
+  "/root/repo/src/isa/reg_usage.cc" "src/isa/CMakeFiles/icp_isa.dir/reg_usage.cc.o" "gcc" "src/isa/CMakeFiles/icp_isa.dir/reg_usage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

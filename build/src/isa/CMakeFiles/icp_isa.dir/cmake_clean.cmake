@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icp_isa.dir/arch.cc.o"
+  "CMakeFiles/icp_isa.dir/arch.cc.o.d"
+  "CMakeFiles/icp_isa.dir/assembler.cc.o"
+  "CMakeFiles/icp_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/icp_isa.dir/codec_fixed.cc.o"
+  "CMakeFiles/icp_isa.dir/codec_fixed.cc.o.d"
+  "CMakeFiles/icp_isa.dir/codec_x64.cc.o"
+  "CMakeFiles/icp_isa.dir/codec_x64.cc.o.d"
+  "CMakeFiles/icp_isa.dir/instruction.cc.o"
+  "CMakeFiles/icp_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/icp_isa.dir/reg_usage.cc.o"
+  "CMakeFiles/icp_isa.dir/reg_usage.cc.o.d"
+  "libicp_isa.a"
+  "libicp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/dynamic.cc" "src/rewrite/CMakeFiles/icp_rewrite.dir/dynamic.cc.o" "gcc" "src/rewrite/CMakeFiles/icp_rewrite.dir/dynamic.cc.o.d"
+  "/root/repo/src/rewrite/engine.cc" "src/rewrite/CMakeFiles/icp_rewrite.dir/engine.cc.o" "gcc" "src/rewrite/CMakeFiles/icp_rewrite.dir/engine.cc.o.d"
+  "/root/repo/src/rewrite/rewriter.cc" "src/rewrite/CMakeFiles/icp_rewrite.dir/rewriter.cc.o" "gcc" "src/rewrite/CMakeFiles/icp_rewrite.dir/rewriter.cc.o.d"
+  "/root/repo/src/rewrite/scratch.cc" "src/rewrite/CMakeFiles/icp_rewrite.dir/scratch.cc.o" "gcc" "src/rewrite/CMakeFiles/icp_rewrite.dir/scratch.cc.o.d"
+  "/root/repo/src/rewrite/trampoline.cc" "src/rewrite/CMakeFiles/icp_rewrite.dir/trampoline.cc.o" "gcc" "src/rewrite/CMakeFiles/icp_rewrite.dir/trampoline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/icp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/binfmt/CMakeFiles/icp_binfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/icp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/icp_codegen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

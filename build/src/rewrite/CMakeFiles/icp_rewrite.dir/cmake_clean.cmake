@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icp_rewrite.dir/dynamic.cc.o"
+  "CMakeFiles/icp_rewrite.dir/dynamic.cc.o.d"
+  "CMakeFiles/icp_rewrite.dir/engine.cc.o"
+  "CMakeFiles/icp_rewrite.dir/engine.cc.o.d"
+  "CMakeFiles/icp_rewrite.dir/rewriter.cc.o"
+  "CMakeFiles/icp_rewrite.dir/rewriter.cc.o.d"
+  "CMakeFiles/icp_rewrite.dir/scratch.cc.o"
+  "CMakeFiles/icp_rewrite.dir/scratch.cc.o.d"
+  "CMakeFiles/icp_rewrite.dir/trampoline.cc.o"
+  "CMakeFiles/icp_rewrite.dir/trampoline.cc.o.d"
+  "libicp_rewrite.a"
+  "libicp_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icp_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

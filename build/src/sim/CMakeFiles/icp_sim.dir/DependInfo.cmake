@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/icache.cc" "src/sim/CMakeFiles/icp_sim.dir/icache.cc.o" "gcc" "src/sim/CMakeFiles/icp_sim.dir/icache.cc.o.d"
+  "/root/repo/src/sim/loader.cc" "src/sim/CMakeFiles/icp_sim.dir/loader.cc.o" "gcc" "src/sim/CMakeFiles/icp_sim.dir/loader.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/icp_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/icp_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/icp_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/icp_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/runtime_lib.cc" "src/sim/CMakeFiles/icp_sim.dir/runtime_lib.cc.o" "gcc" "src/sim/CMakeFiles/icp_sim.dir/runtime_lib.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binfmt/CMakeFiles/icp_binfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/icp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icp_sim.dir/icache.cc.o"
+  "CMakeFiles/icp_sim.dir/icache.cc.o.d"
+  "CMakeFiles/icp_sim.dir/loader.cc.o"
+  "CMakeFiles/icp_sim.dir/loader.cc.o.d"
+  "CMakeFiles/icp_sim.dir/machine.cc.o"
+  "CMakeFiles/icp_sim.dir/machine.cc.o.d"
+  "CMakeFiles/icp_sim.dir/memory.cc.o"
+  "CMakeFiles/icp_sim.dir/memory.cc.o.d"
+  "CMakeFiles/icp_sim.dir/runtime_lib.cc.o"
+  "CMakeFiles/icp_sim.dir/runtime_lib.cc.o.d"
+  "libicp_sim.a"
+  "libicp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

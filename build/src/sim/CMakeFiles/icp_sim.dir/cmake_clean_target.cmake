@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicp_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icp_support.dir/logging.cc.o"
+  "CMakeFiles/icp_support.dir/logging.cc.o.d"
+  "CMakeFiles/icp_support.dir/random.cc.o"
+  "CMakeFiles/icp_support.dir/random.cc.o.d"
+  "CMakeFiles/icp_support.dir/stats.cc.o"
+  "CMakeFiles/icp_support.dir/stats.cc.o.d"
+  "CMakeFiles/icp_support.dir/table.cc.o"
+  "CMakeFiles/icp_support.dir/table.cc.o.d"
+  "libicp_support.a"
+  "libicp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

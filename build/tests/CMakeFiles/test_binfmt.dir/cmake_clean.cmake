@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binfmt.dir/test_binfmt.cc.o"
+  "CMakeFiles/test_binfmt.dir/test_binfmt.cc.o.d"
+  "test_binfmt"
+  "test_binfmt.pdb"
+  "test_binfmt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binfmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfg_properties.dir/test_cfg_properties.cc.o"
+  "CMakeFiles/test_cfg_properties.dir/test_cfg_properties.cc.o.d"
+  "test_cfg_properties"
+  "test_cfg_properties.pdb"
+  "test_cfg_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfg_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_death.dir/test_death.cc.o"
+  "CMakeFiles/test_death.dir/test_death.cc.o.d"
+  "test_death"
+  "test_death.pdb"
+  "test_death[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_death.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_funcptr_unit.dir/test_funcptr_unit.cc.o"
+  "CMakeFiles/test_funcptr_unit.dir/test_funcptr_unit.cc.o.d"
+  "test_funcptr_unit"
+  "test_funcptr_unit.pdb"
+  "test_funcptr_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_funcptr_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

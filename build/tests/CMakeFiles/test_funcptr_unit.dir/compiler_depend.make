@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_funcptr_unit.
+# This may be replaced when dependencies are built.

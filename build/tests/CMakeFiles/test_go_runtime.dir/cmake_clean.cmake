@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_go_runtime.dir/test_go_runtime.cc.o"
+  "CMakeFiles/test_go_runtime.dir/test_go_runtime.cc.o.d"
+  "test_go_runtime"
+  "test_go_runtime.pdb"
+  "test_go_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_go_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_jump_table_unit.cc" "tests/CMakeFiles/test_jump_table_unit.dir/test_jump_table_unit.cc.o" "gcc" "tests/CMakeFiles/test_jump_table_unit.dir/test_jump_table_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/icp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/icp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/icp_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/icp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/icp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/binfmt/CMakeFiles/icp_binfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/icp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jump_table_unit.dir/test_jump_table_unit.cc.o"
+  "CMakeFiles/test_jump_table_unit.dir/test_jump_table_unit.cc.o.d"
+  "test_jump_table_unit"
+  "test_jump_table_unit.pdb"
+  "test_jump_table_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jump_table_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rewrite_suite.dir/test_rewrite_suite.cc.o"
+  "CMakeFiles/test_rewrite_suite.dir/test_rewrite_suite.cc.o.d"
+  "test_rewrite_suite"
+  "test_rewrite_suite.pdb"
+  "test_rewrite_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rewrite_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

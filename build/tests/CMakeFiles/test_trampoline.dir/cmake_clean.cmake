@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trampoline.dir/test_trampoline.cc.o"
+  "CMakeFiles/test_trampoline.dir/test_trampoline.cc.o.d"
+  "test_trampoline"
+  "test_trampoline.pdb"
+  "test_trampoline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trampoline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

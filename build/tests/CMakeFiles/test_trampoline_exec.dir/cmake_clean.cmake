@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trampoline_exec.dir/test_trampoline_exec.cc.o"
+  "CMakeFiles/test_trampoline_exec.dir/test_trampoline_exec.cc.o.d"
+  "test_trampoline_exec"
+  "test_trampoline_exec.pdb"
+  "test_trampoline_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trampoline_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

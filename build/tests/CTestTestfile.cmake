@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_binfmt[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_rewrite[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic[1]_include.cmake")
+include("/root/repo/build/tests/test_trampoline[1]_include.cmake")
+include("/root/repo/build/tests/test_selective[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_trampoline_exec[1]_include.cmake")
+include("/root/repo/build/tests/test_go_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_shape[1]_include.cmake")
+include("/root/repo/build/tests/test_cfg_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_jump_table_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_funcptr_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_death[1]_include.cmake")
+include("/root/repo/build/tests/test_loader[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_rewrite_suite[1]_include.cmake")

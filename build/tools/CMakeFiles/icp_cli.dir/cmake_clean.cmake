@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icp_cli.dir/icp.cc.o"
+  "CMakeFiles/icp_cli.dir/icp.cc.o.d"
+  "icp"
+  "icp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
