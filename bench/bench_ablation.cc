@@ -21,6 +21,7 @@
 #include "sim/loader.hh"
 #include "rewrite/rewriter.hh"
 #include "support/stats.hh"
+#include "bench_main.hh"
 #include "support/table.hh"
 
 using namespace icp;
@@ -49,9 +50,10 @@ callHeavySpec()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const Machine::Config mc{};
+    icp::bench::JsonSections sections;
 
     std::printf("Ablation (a): call emulation vs runtime RA "
                 "translation (call-heavy C++ workload)\n\n");
@@ -73,6 +75,7 @@ main()
                           std::to_string(run.stats.raMapEntries)});
         }
         std::printf("%s\n", table.render().c_str());
+        sections.add("a_unwinding", table.json());
         std::printf("Paper: call emulation alone costs over 30%% on "
                     "call-heavy code; RA translation\nremoves call "
                     "fall-through CFL blocks and the emulation "
@@ -108,6 +111,7 @@ main()
                           std::to_string(traps)});
         }
         std::printf("%s\n", table.render().c_str());
+        sections.add("b_placement", table.json());
     }
 
     std::printf("Ablation (c): multi-hop trampolines under range "
@@ -131,6 +135,7 @@ main()
                           std::to_string(run.stats.trapTramps)});
         }
         std::printf("%s\n", table.render().c_str());
+        sections.add("c_multihop", table.json());
         std::printf("The .instr section sits beyond the ±32 MB "
                     "branch range; without chaining\nthrough scratch "
                     "space every out-of-range CFL block needs a trap "
@@ -159,6 +164,7 @@ main()
                               run.rewrittenRun.unwindSteps)});
         }
         std::printf("%s\n", table.render().c_str());
+        sections.add("d_unwinder", table.json());
         std::printf("Runtime RA translation composes with non-DWARF "
                     "unwinders unchanged — the\nmapping is looked up "
                     "before the recipe, however the recipe is "
@@ -217,9 +223,13 @@ main()
                           : "fail"});
         }
         std::printf("%s\n", table.render().c_str());
+        sections.add("e_pruning", table.json());
         std::printf("With two instrumented blocks, pruning keeps "
                     "only the trampolines on paths\nthat can reach "
                     "them (S4.2's suggested refinement).\n");
     }
+    if (!icp::bench::writeJsonIfRequested(argc, argv,
+                                          sections.str()))
+        return 1;
     return 0;
 }

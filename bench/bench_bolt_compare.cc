@@ -18,6 +18,7 @@
 #include "rewrite/rewriter.hh"
 #include "sim/loader.hh"
 #include "support/stats.hh"
+#include "bench_main.hh"
 #include "support/table.hh"
 
 using namespace icp;
@@ -46,7 +47,7 @@ runsCorrectly(const BinaryImage &original, const BinaryImage &image)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("BOLT comparison (§8.3): function and block "
                 "reordering, x86-64 SPEC-like suite\n\n");
@@ -132,5 +133,8 @@ main()
                 "reordering succeeded for 9/19 and corrupted 10;\n"
                 "BOLT size overhead 11%% mean / 33%% max; our work "
                 "handles 19/19 for both.\n");
+    if (!icp::bench::writeJsonIfRequested(argc, argv,
+                                          table.json()))
+        return 1;
     return 0;
 }

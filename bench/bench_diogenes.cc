@@ -20,6 +20,7 @@
 #include "harness/verify.hh"
 #include "rewrite/rewriter.hh"
 #include "sim/loader.hh"
+#include "bench_main.hh"
 #include "support/table.hh"
 
 using namespace icp;
@@ -40,7 +41,7 @@ runImage(const BinaryImage &img)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Diogenes case study (§9): partial instrumentation "
                 "of the libcuda.so analog\n\n");
@@ -116,5 +117,8 @@ main()
                 "the other %zu functions\n(Egalito could not rewrite "
                 "the library at all: symbol versioning).\n",
                 total - subset.size());
+    if (!icp::bench::writeJsonIfRequested(argc, argv,
+                                          table.json()))
+        return 1;
     return 0;
 }

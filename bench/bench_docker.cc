@@ -18,12 +18,13 @@
 #include "harness/experiment.hh"
 #include "rewrite/rewriter.hh"
 #include "support/stats.hh"
+#include "bench_main.hh"
 #include "support/table.hh"
 
 using namespace icp;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Docker experiment: Go binary analog (§8.2)\n\n");
     const BinaryImage img = compileProgram(dockerProfile());
@@ -83,5 +84,8 @@ main()
         "jump tables);\nfunc-ptr fails on Go's function tables; "
         "6.98%% average / 16.27%% max\noverhead across 13 commands; "
         "+69.28%% size; Egalito cannot rewrite Go.\n");
+    if (!icp::bench::writeJsonIfRequested(argc, argv,
+                                          table.json()))
+        return 1;
     return 0;
 }

@@ -20,6 +20,7 @@
 #include "harness/verify.hh"
 #include "rewrite/rewriter.hh"
 #include "support/stats.hh"
+#include "bench_main.hh"
 #include "support/table.hh"
 
 using namespace icp;
@@ -61,7 +62,7 @@ runWithPlan(const BinaryImage &img, const JumpTableFailurePlan &plan,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Figure 2: failure modes of binary analysis and "
                 "their impact on rewriting\n(switch-heavy workload, "
@@ -133,5 +134,11 @@ main()
                 "the original table is\nleft unchanged and garbage "
                 "clone entries are never dereferenced (S5.1,\n"
                 "Failure 3).\n");
+    icp::bench::JsonSections sections;
+    sections.add("dir", table.json());
+    sections.add("jt", jt_table.json());
+    if (!icp::bench::writeJsonIfRequested(argc, argv,
+                                          sections.str()))
+        return 1;
     return 0;
 }

@@ -16,12 +16,13 @@
 #include "harness/experiment.hh"
 #include "rewrite/rewriter.hh"
 #include "support/stats.hh"
+#include "bench_main.hh"
 #include "support/table.hh"
 
 using namespace icp;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Firefox experiment: libxul.so analog (§8.2)\n\n");
     const BinaryImage img = compileProgram(libxulProfile());
@@ -80,5 +81,8 @@ main()
                 "2.31%%; JetStream2 score\nreductions 2.08%% / "
                 "0.20%%; coverage 99.93%%; size +82.83%%; Egalito "
                 "segfaults\non Rust meta-data.\n");
+    if (!icp::bench::writeJsonIfRequested(argc, argv,
+                                          table.json()))
+        return 1;
     return 0;
 }

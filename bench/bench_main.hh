@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shared command-line handling for the benchmark executables. Every
+ * bench accepts `--json <path>` (or `--json=<path>`) and writes its
+ * machine-readable results there in addition to the console tables.
+ *
+ * Handwritten benches call writeJsonIfRequested() with a JSON string
+ * (usually TextTable::json()); google-benchmark benches use
+ * ICP_BENCH_MAIN(), which translates --json into the library's
+ * --benchmark_out/--benchmark_out_format flags before Initialize().
+ */
+
+#ifndef ICP_BENCH_BENCH_MAIN_HH
+#define ICP_BENCH_BENCH_MAIN_HH
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace icp::bench
+{
+
+/** The --json argument's path, or "" when absent. */
+inline std::string
+jsonPathFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc)
+            return argv[i + 1];
+        if (arg.rfind("--json=", 0) == 0)
+            return arg.substr(7);
+    }
+    return {};
+}
+
+/**
+ * Write @p json to the --json path when one was given. Returns
+ * false only on a write failure (no --json is success).
+ */
+inline bool
+writeJsonIfRequested(int argc, char **argv, const std::string &json)
+{
+    const std::string path = jsonPathFromArgs(argc, argv);
+    if (path.empty())
+        return true;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    out << json;
+    return static_cast<bool>(out);
+}
+
+/**
+ * Rewrite argv for google-benchmark: --json <path> becomes
+ * --benchmark_out=<path> --benchmark_out_format=json. @p storage
+ * owns the strings the returned pointers reference.
+ */
+inline std::vector<char *>
+translateJsonArgs(int argc, char **argv,
+                  std::vector<std::string> &storage)
+{
+    storage.clear();
+    storage.reserve(static_cast<std::size_t>(argc) + 1);
+    storage.emplace_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string path;
+        if (arg == "--json" && i + 1 < argc)
+            path = argv[++i];
+        else if (arg.rfind("--json=", 0) == 0)
+            path = arg.substr(7);
+        if (!path.empty()) {
+            storage.push_back("--benchmark_out=" + path);
+            storage.emplace_back("--benchmark_out_format=json");
+        } else {
+            storage.push_back(arg);
+        }
+    }
+    std::vector<char *> out;
+    out.reserve(storage.size());
+    for (std::string &s : storage)
+        out.push_back(s.data());
+    return out;
+}
+
+/** Builds `{"name": <value>, ...}` from pre-rendered JSON values. */
+class JsonSections
+{
+  public:
+    void
+    add(const std::string &name, const std::string &json_value)
+    {
+        if (!body_.empty())
+            body_ += ",\n";
+        body_ += "\"" + name + "\": " + json_value;
+    }
+
+    std::string
+    str() const
+    {
+        return "{\n" + body_ + "}\n";
+    }
+
+  private:
+    std::string body_;
+};
+
+} // namespace icp::bench
+
+/** Drop-in BENCHMARK_MAIN() replacement that understands --json. */
+#define ICP_BENCH_MAIN()                                             \
+    int main(int argc, char **argv)                                  \
+    {                                                                \
+        std::vector<std::string> storage;                            \
+        std::vector<char *> args =                                   \
+            ::icp::bench::translateJsonArgs(argc, argv, storage);    \
+        int n = static_cast<int>(args.size());                       \
+        ::benchmark::Initialize(&n, args.data());                    \
+        if (::benchmark::ReportUnrecognizedArguments(n,              \
+                                                     args.data()))   \
+            return 1;                                                \
+        ::benchmark::RunSpecifiedBenchmarks();                       \
+        ::benchmark::Shutdown();                                     \
+        return 0;                                                    \
+    }                                                                \
+    int main(int, char **)
+
+#endif // ICP_BENCH_BENCH_MAIN_HH

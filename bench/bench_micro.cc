@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hh"
+
 #include "analysis/builder.hh"
 #include "binfmt/addr_map.hh"
 #include "codegen/compiler.hh"
@@ -138,4 +140,4 @@ BENCHMARK(BM_CompileWorkload);
 
 } // namespace
 
-BENCHMARK_MAIN();
+ICP_BENCH_MAIN();

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Scaling benchmark of the parallel per-function pipeline: full
+ * rewrites of the two largest workloads at 1/2/4/8 threads, each
+ * with a cold and a warm analysis cache, reporting wall time and the
+ * per-stage timer breakdown. `--json <path>` writes the results
+ * (BENCH_parallel.json in the repository is a committed baseline).
+ *
+ * Speedups are whatever the host delivers: on a single-core
+ * container the thread counts verify determinism and overhead
+ * rather than demonstrating parallel speedup.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/cache.hh"
+#include "bench_main.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "rewrite/rewriter.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace icp;
+
+namespace
+{
+
+constexpr unsigned reps = 3;
+
+double
+rewriteWallMs(const BinaryImage &img, unsigned threads, bool cache)
+{
+    RewriteOptions opts;
+    opts.mode = RewriteMode::funcPtr;
+    opts.instrumentation.countFunctionEntries = true;
+    opts.threads = threads;
+    opts.useAnalysisCache = cache;
+    const auto t0 = std::chrono::steady_clock::now();
+    const RewriteResult rw = rewriteBinary(img, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!rw.ok) {
+        std::fprintf(stderr, "rewrite failed: %s\n",
+                     rw.failReason.c_str());
+        std::exit(1);
+    }
+    return std::chrono::duration<double, std::milli>(t1 - t0)
+        .count();
+}
+
+struct Run
+{
+    unsigned threads = 0;
+    bool warm = false;
+    double wallMs = 0.0;
+    std::string stages; ///< StageTimers JSON of the best rep
+};
+
+/**
+ * Best-of-reps wall time. Cold runs clear the cache before every
+ * rep; warm runs prime it once and keep it.
+ */
+Run
+measure(const BinaryImage &img, unsigned threads, bool warm)
+{
+    Run run;
+    run.threads = threads;
+    run.warm = warm;
+    run.wallMs = 0.0;
+    if (warm) {
+        AnalysisCache::global().clear();
+        rewriteWallMs(img, threads, true);
+    }
+    for (unsigned r = 0; r < reps; ++r) {
+        if (!warm)
+            AnalysisCache::global().clear();
+        StageTimers::global().reset();
+        const double ms = rewriteWallMs(img, threads, true);
+        if (r == 0 || ms < run.wallMs) {
+            run.wallMs = ms;
+            run.stages = StageTimers::global().json();
+        }
+    }
+    return run;
+}
+
+std::string
+runsJson(const std::vector<Run> &runs)
+{
+    std::ostringstream out;
+    out << "[";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Run &r = runs[i];
+        out << (i ? ",\n" : "\n")
+            << "    {\"threads\": " << r.threads << ", \"cache\": \""
+            << (r.warm ? "warm" : "cold") << "\", \"wall_ms\": "
+            << r.wallMs << ", \"stages\": " << r.stages << "}";
+    }
+    out << "\n  ]";
+    return out.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("Parallel pipeline scaling (hardware concurrency: "
+                "%u)\n\n",
+                std::thread::hardware_concurrency());
+
+    struct Workload
+    {
+        const char *name;
+        BinaryImage img;
+    };
+    std::vector<Workload> workloads;
+    workloads.push_back({"libxul", compileProgram(libxulProfile())});
+    workloads.push_back(
+        {"spec_gcc_aarch64",
+         compileProgram(specCpuSuite(Arch::aarch64, true)[1])});
+
+    icp::bench::JsonSections sections;
+    {
+        std::ostringstream hw;
+        hw << std::thread::hardware_concurrency();
+        sections.add("hardware_concurrency", hw.str());
+    }
+
+    for (Workload &w : workloads) {
+        TextTable table({"Threads", "Cache", "Wall ms", "Speedup",
+                         "vs cold"});
+        std::vector<Run> runs;
+        double base_cold = 0.0;
+        for (unsigned threads : {1u, 2u, 4u, 8u}) {
+            double cold_ms = 0.0;
+            for (bool warm : {false, true}) {
+                Run run = measure(w.img, threads, warm);
+                if (!warm) {
+                    cold_ms = run.wallMs;
+                    if (threads == 1)
+                        base_cold = run.wallMs;
+                }
+                char speedup[32], vs_cold[32];
+                std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                              base_cold / run.wallMs);
+                std::snprintf(vs_cold, sizeof(vs_cold), "%.2fx",
+                              cold_ms / run.wallMs);
+                table.addRow({std::to_string(threads),
+                              warm ? "warm" : "cold",
+                              std::to_string(run.wallMs),
+                              speedup, warm ? vs_cold : "-"});
+                runs.push_back(std::move(run));
+            }
+        }
+        std::printf("%s: %zu functions\n%s\n", w.name,
+                    w.img.functionSymbols().size(),
+                    table.render().c_str());
+        sections.add(w.name, runsJson(runs));
+    }
+
+    if (!icp::bench::writeJsonIfRequested(argc, argv,
+                                          sections.str()))
+        return 1;
+    return 0;
+}

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_main.hh"
 #include "baselines/boltlike.hh"
 #include "baselines/irlower.hh"
 #include "baselines/srbi.hh"
@@ -20,7 +21,7 @@
 using namespace icp;
 
 int
-main()
+main(int argc, char **argv)
 {
     TextTable table({"Approach", "Rewrites", "Relocation use",
                      "Unmodified flow", "Stack unwinding"});
@@ -76,5 +77,8 @@ main()
     std::printf("Table 1: comparison of binary rewriting "
                 "approaches\n\n%s\n",
                 table.render().c_str());
+    if (!icp::bench::writeJsonIfRequested(argc, argv,
+                                          table.json()))
+        return 1;
     return 0;
 }

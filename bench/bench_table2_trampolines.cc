@@ -14,6 +14,7 @@
 #include "rewrite/scratch.hh"
 #include "rewrite/trampoline.hh"
 #include "support/logging.hh"
+#include "bench_main.hh"
 #include "support/table.hh"
 
 using namespace icp;
@@ -49,7 +50,7 @@ encodesAt(const ArchInfo &arch, Addr at, Addr target,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     TextTable table({"Arch", "Sequence", "Range (+/-)", "Len"});
 
@@ -152,5 +153,8 @@ main()
                 "TOC anchor (ppc64le)\nor the pc (aarch64); the "
                 "paper reports the same 4-instruction/3-instruction\n"
                 "sequences with 2GB/4GB spans.\n");
+    if (!icp::bench::writeJsonIfRequested(argc, argv,
+                                          table.json()))
+        return 1;
     return 0;
 }

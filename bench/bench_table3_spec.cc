@@ -22,6 +22,7 @@
 #include "rewrite/rewriter.hh"
 #include "sim/loader.hh"
 #include "support/stats.hh"
+#include "bench_main.hh"
 #include "support/table.hh"
 
 using namespace icp;
@@ -66,8 +67,9 @@ modeOptions(RewriteMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    icp::bench::JsonSections sections;
     std::printf("Table 3: block-level empty instrumentation "
                 "(SPEC-CPU-2017-like suite, 19 benchmarks)\n\n");
 
@@ -209,6 +211,7 @@ main()
         }
 
         std::printf("%s\n", table.render().c_str());
+        sections.add(archName(arch), table.json());
     }
 
     std::printf(
@@ -216,5 +219,8 @@ main()
         "dir > jt > func-ptr in overhead with func-ptr near zero;\n"
         "IR lowering near/below zero but fails C++ exceptions;\n"
         "patching size increase ~60-105%%, IR lowering far smaller.\n");
+    if (!icp::bench::writeJsonIfRequested(argc, argv,
+                                          sections.str()))
+        return 1;
     return 0;
 }

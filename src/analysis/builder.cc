@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <deque>
 
+#include "analysis/cache.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/thread_pool.hh"
 
 namespace icp
 {
@@ -126,6 +129,7 @@ FunctionBuilder::traverseFrom(Addr start)
 void
 FunctionBuilder::formBlocks()
 {
+    StageTimer timer(Stage::cfg);
     func_.blocks.clear();
     // Drop leaders that fall mid-instruction inside already decoded
     // code (misaligned over-approximated edges are infeasible).
@@ -236,6 +240,7 @@ FunctionBuilder::resolveIndirectJumps()
                 if (before.end == start)
                     pred = &before;
             }
+            StageTimer timer(Stage::jumpTable);
             auto jt = analyzer_.analyze(block, pred);
             if (!jt) {
                 unresolved_.push_back(jump_addr);
@@ -258,10 +263,13 @@ FunctionBuilder::resolveIndirectJumps()
             }
             func_.jumpTables.push_back(std::move(*jt));
         }
-        while (!work_.empty()) {
-            const Addr a = work_.front();
-            work_.pop_front();
-            traverseFrom(a);
+        {
+            StageTimer timer(Stage::disasm);
+            while (!work_.empty()) {
+                const Addr a = work_.front();
+                work_.pop_front();
+                traverseFrom(a);
+            }
         }
         if (!discovered && round > 0)
             break;
@@ -349,13 +357,19 @@ FunctionBuilder::build()
         leaders_.insert(lp);
         work_.push_back(lp);
     }
-    while (!work_.empty()) {
-        const Addr a = work_.front();
-        work_.pop_front();
-        traverseFrom(a);
+    {
+        StageTimer timer(Stage::disasm);
+        while (!work_.empty()) {
+            const Addr a = work_.front();
+            work_.pop_front();
+            traverseFrom(a);
+        }
     }
     resolveIndirectJumps();
-    classifyGaps();
+    {
+        StageTimer timer(Stage::cfg);
+        classifyGaps();
+    }
     return func_;
 }
 
@@ -374,13 +388,41 @@ buildCfg(const BinaryImage &image, const AnalysisOptions &opts)
             tries[fde.start] = fde.tryRanges;
     }
 
-    for (const Symbol *sym : image.functionSymbols()) {
-        auto it = tries.find(sym->addr);
-        static const std::vector<TryRange> none;
-        FunctionBuilder builder(image, opts, *sym,
-                                it == tries.end() ? none : it->second);
-        mod.functions.emplace(sym->addr, builder.build());
-    }
+    const std::uint64_t seed =
+        opts.useCache ? imageCacheSeed(image, opts) : 0;
+
+    // Functions are analyzed independently; build (or fetch) each
+    // one in parallel into an index-addressed slot, then insert in
+    // address order so the module is identical for any thread count.
+    const std::vector<const Symbol *> syms = image.functionSymbols();
+    std::vector<Function> built(syms.size());
+    ThreadPool::shared().parallelFor(
+        syms.size(), effectiveThreads(opts.threads),
+        [&](std::size_t i) {
+            const Symbol &sym = *syms[i];
+            auto it = tries.find(sym.addr);
+            static const std::vector<TryRange> none;
+            const std::vector<TryRange> &try_ranges =
+                it == tries.end() ? none : it->second;
+
+            std::uint64_t key = 0;
+            if (opts.useCache) {
+                key = functionCacheKey(image, sym, try_ranges, seed);
+                if (auto hit =
+                        AnalysisCache::global().findFunction(key)) {
+                    built[i] = *hit;
+                    return;
+                }
+            }
+            FunctionBuilder builder(image, opts, sym, try_ranges);
+            built[i] = builder.build();
+            built[i].cacheKey = key;
+            if (opts.useCache)
+                AnalysisCache::global().storeFunction(key, built[i]);
+        });
+
+    for (std::size_t i = 0; i < syms.size(); ++i)
+        mod.functions.emplace(syms[i]->addr, std::move(built[i]));
     return mod;
 }
 

@@ -29,6 +29,20 @@ struct AnalysisOptions
     bool tailCallHeuristic = true;
 
     JumpTableFailurePlan inject;
+
+    /**
+     * Worker threads for per-function CFG construction. 0 means one
+     * per hardware thread; 1 builds serially on the caller. Results
+     * are identical for any value (functions are independent).
+     */
+    unsigned threads = 1;
+
+    /**
+     * Consult/populate the process-wide AnalysisCache so repeat
+     * rewrites of an unchanged image skip re-analysis. Not part of
+     * the cache key; hits are bit-identical to fresh results.
+     */
+    bool useCache = true;
 };
 
 /** Build the module CFG for every function symbol in @p image. */

@@ -1,0 +1,163 @@
+#include "analysis/cache.hh"
+
+namespace icp
+{
+
+std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t hash)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= p[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+namespace
+{
+
+std::uint64_t
+fnvValue(std::uint64_t v, std::uint64_t hash)
+{
+    std::uint8_t raw[8];
+    for (unsigned i = 0; i < 8; ++i)
+        raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return fnv1a(raw, sizeof(raw), hash);
+}
+
+std::uint64_t
+fnvDouble(double v, std::uint64_t hash)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return fnvValue(bits, hash);
+}
+
+} // namespace
+
+std::uint64_t
+imageCacheSeed(const BinaryImage &image, const AnalysisOptions &opts)
+{
+    std::uint64_t h = fnvValue(
+        static_cast<std::uint64_t>(image.arch), 0xcbf29ce484222325ULL);
+    h = fnvValue(image.pie ? 1 : 0, h);
+    h = fnvValue(image.tocBase, h);
+    h = fnvValue(opts.resolveJumpTables ? 1 : 0, h);
+    h = fnvValue(opts.tailCallHeuristic ? 1 : 0, h);
+    h = fnvDouble(opts.inject.failProb, h);
+    h = fnvDouble(opts.inject.overProb, h);
+    h = fnvDouble(opts.inject.underProb, h);
+    h = fnvValue(opts.inject.overExtra, h);
+    h = fnvValue(opts.inject.underCut, h);
+    h = fnvValue(opts.inject.seed, h);
+
+    // Jump-table analysis dereferences table bytes that live outside
+    // the function's own range (.rodata, .data); fold every
+    // non-executable loadable section in so data edits can never
+    // serve stale targets.
+    for (const Section &sec : image.sections) {
+        if (!sec.loadable || sec.executable)
+            continue;
+        h = fnvValue(sec.addr, h);
+        h = fnvValue(sec.memSize, h);
+        h = fnv1a(sec.bytes.data(), sec.bytes.size(), h);
+    }
+    return h;
+}
+
+std::uint64_t
+functionCacheKey(const BinaryImage &image, const Symbol &sym,
+                 const std::vector<TryRange> &tries,
+                 std::uint64_t seed)
+{
+    std::uint64_t h = fnvValue(sym.addr, seed);
+    h = fnvValue(sym.size, h);
+    h = fnv1a(sym.name.data(), sym.name.size(), h);
+    for (const TryRange &range : tries) {
+        h = fnvValue(range.startOff, h);
+        h = fnvValue(range.endOff, h);
+        h = fnvValue(range.lpOff, h);
+    }
+    std::vector<std::uint8_t> bytes;
+    if (image.readBytes(sym.addr, sym.size, bytes))
+        h = fnv1a(bytes.data(), bytes.size(), h);
+    return h;
+}
+
+AnalysisCache &
+AnalysisCache::global()
+{
+    static AnalysisCache cache;
+    return cache;
+}
+
+std::shared_ptr<const Function>
+AnalysisCache::findFunction(std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = functions_.find(key);
+    if (it == functions_.end()) {
+        stats_.functionMisses++;
+        return nullptr;
+    }
+    stats_.functionHits++;
+    return it->second;
+}
+
+void
+AnalysisCache::storeFunction(std::uint64_t key, Function func)
+{
+    auto value =
+        std::make_shared<const Function>(std::move(func));
+    std::lock_guard<std::mutex> lock(mu_);
+    functions_[key] = std::move(value);
+}
+
+std::shared_ptr<const LivenessResult>
+AnalysisCache::findLiveness(std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = liveness_.find(key);
+    if (it == liveness_.end()) {
+        stats_.livenessMisses++;
+        return nullptr;
+    }
+    stats_.livenessHits++;
+    return it->second;
+}
+
+void
+AnalysisCache::storeLiveness(std::uint64_t key, LivenessResult live)
+{
+    auto value =
+        std::make_shared<const LivenessResult>(std::move(live));
+    std::lock_guard<std::mutex> lock(mu_);
+    liveness_[key] = std::move(value);
+}
+
+AnalysisCache::Stats
+AnalysisCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::size_t
+AnalysisCache::entryCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return functions_.size() + liveness_.size();
+}
+
+void
+AnalysisCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    functions_.clear();
+    liveness_.clear();
+    stats_ = Stats{};
+}
+
+} // namespace icp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The incremental analysis cache: the "incremental" in incremental
+ * CFG patching applied to analysis time. Per-function analysis
+ * results (CFG with jump tables, liveness summaries) are memoized
+ * under an FNV-1a key of the function's byte range, entry address,
+ * architecture, and analysis options, so re-rewriting an unchanged
+ * (or slightly changed) binary skips almost all analysis work: only
+ * functions whose bytes actually changed are re-analyzed.
+ *
+ * Keying caveat: the key covers the function's own bytes plus every
+ * non-executable loadable section (jump-table data may live in
+ * .rodata), hashed once per image. Changing any data section
+ * therefore invalidates the whole image's entries — conservative,
+ * but never stale for the supported scenario.
+ */
+
+#ifndef ICP_ANALYSIS_CACHE_HH
+#define ICP_ANALYSIS_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "analysis/builder.hh"
+#include "analysis/liveness.hh"
+
+namespace icp
+{
+
+/** Incremental FNV-1a (64-bit). */
+std::uint64_t fnv1a(const void *data, std::size_t len,
+                    std::uint64_t hash = 0xcbf29ce484222325ULL);
+
+/**
+ * Image-wide key component: architecture, PIE-ness, analysis
+ * options, and all non-executable loadable bytes. Computed once per
+ * buildCfg call and folded into every function key.
+ */
+std::uint64_t imageCacheSeed(const BinaryImage &image,
+                             const AnalysisOptions &opts);
+
+/**
+ * Key of one function's analysis results under @p seed: its entry,
+ * size, name, landing-pad layout, and code bytes.
+ */
+std::uint64_t functionCacheKey(const BinaryImage &image,
+                               const Symbol &sym,
+                               const std::vector<TryRange> &tries,
+                               std::uint64_t seed);
+
+/**
+ * Process-wide memo of per-function analysis results. Thread-safe;
+ * entries are shared immutable snapshots. Consulted by buildCfg
+ * (function CFGs) and the rewriter (liveness), so the second
+ * rewrite of the same image reuses >= 95% of analysis work.
+ */
+class AnalysisCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t functionHits = 0;
+        std::uint64_t functionMisses = 0;
+        std::uint64_t livenessHits = 0;
+        std::uint64_t livenessMisses = 0;
+
+        std::uint64_t
+        hits() const
+        {
+            return functionHits + livenessHits;
+        }
+
+        std::uint64_t
+        misses() const
+        {
+            return functionMisses + livenessMisses;
+        }
+    };
+
+    static AnalysisCache &global();
+
+    /** nullptr on miss. Counts a hit/miss either way. */
+    std::shared_ptr<const Function> findFunction(std::uint64_t key);
+    void storeFunction(std::uint64_t key, Function func);
+
+    std::shared_ptr<const LivenessResult>
+    findLiveness(std::uint64_t key);
+    void storeLiveness(std::uint64_t key, LivenessResult live);
+
+    Stats stats() const;
+    std::size_t entryCount() const;
+    void clear();
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const Function>>
+        functions_;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const LivenessResult>>
+        liveness_;
+    Stats stats_;
+};
+
+} // namespace icp
+
+#endif // ICP_ANALYSIS_CACHE_HH

@@ -118,6 +118,13 @@ struct Function
     /** Landing-pad block starts (from .eh_frame try ranges). */
     std::set<Addr> landingPads;
 
+    /**
+     * Analysis-cache key this function was built (or found) under;
+     * 0 when caching was disabled. Derived analyses (liveness) are
+     * memoized under the same key.
+     */
+    std::uint64_t cacheKey = 0;
+
     bool instrumentable() const
     {
         return failure == AnalysisFailure::none;

@@ -32,6 +32,38 @@ Assembler::bind(Label label)
     labels_[label] = here();
 }
 
+void
+Assembler::bindAt(Label label, Addr addr)
+{
+    icp_assert(label >= 0 &&
+               static_cast<std::size_t>(label) < labels_.size(),
+               "bindAt: bad label %d", label);
+    icp_assert(labels_[label] == invalid_addr,
+               "bindAt: label %d already bound", label);
+    labels_[label] = addr;
+}
+
+void
+Assembler::rebase(Addr new_start)
+{
+    icp_assert(!finalized_, "rebase after finalize");
+    icp_assert(new_start % arch_.instrAlign == 0,
+               "rebase target 0x%llx misaligned",
+               static_cast<unsigned long long>(new_start));
+    const std::int64_t delta =
+        static_cast<std::int64_t>(new_start) -
+        static_cast<std::int64_t>(start_);
+    if (delta == 0)
+        return;
+    start_ = new_start;
+    for (Addr &label : labels_) {
+        if (label != invalid_addr) {
+            label = static_cast<Addr>(
+                static_cast<std::int64_t>(label) + delta);
+        }
+    }
+}
+
 unsigned
 Assembler::itemLength(const Item &item) const
 {

@@ -39,6 +39,22 @@ class Assembler
     /** Bind @p label to the current position. */
     void bind(Label label);
 
+    /**
+     * Bind @p label to an arbitrary absolute address — used for
+     * cross-function targets whose final addresses the parallel
+     * relocation pipeline only knows after layout.
+     */
+    void bindAt(Label label, Addr addr);
+
+    /**
+     * Move the whole stream to @p new_start before finalize().
+     * Encoded lengths are address-independent, so only the start
+     * address and every already-bound label shift; instructions with
+     * absolute targets re-encode against the new addresses during
+     * finalize(). Labels bound later via bindAt() are unaffected.
+     */
+    void rebase(Addr new_start);
+
     /** Append one instruction with operands fully resolved. */
     void emit(const Instruction &in);
 

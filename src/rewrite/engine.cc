@@ -1,12 +1,15 @@
 #include "rewrite/engine.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "isa/assembler.hh"
 #include "isa/bytes.hh"
 #include "codegen/compiler.hh"
 #include "sim/runtime_lib.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/thread_pool.hh"
 
 namespace icp
 {
@@ -27,6 +30,29 @@ struct Subst
     Addr newTarget = 0;
 };
 
+Addr
+alignUpAddr(Addr v, Addr align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/**
+ * Whether a branch from relocated address @p at back into original
+ * space at @p target needs an indirect veneer. Pure in (arch, at,
+ * target) so the parallel pipeline can re-check a recorded decision
+ * once the final layout is known.
+ */
+bool
+veneerNeeded(const ArchInfo &arch, Addr at, Addr target)
+{
+    if (!arch.fixedLength)
+        return false;
+    const std::int64_t d = static_cast<std::int64_t>(target) -
+                           static_cast<std::int64_t>(at);
+    return d < -arch.directJmpRange + 64 ||
+           d > arch.directJmpRange - 64;
+}
+
 class Engine
 {
   public:
@@ -41,28 +67,89 @@ class Engine
     EngineResult run();
 
   private:
+    /**
+     * One function's relocated code under construction. Each stream
+     * has its own assembler, so streams build concurrently; every
+     * recorded address is an offset from the stream start until the
+     * layout pass assigns the final base.
+     */
+    struct FuncStream
+    {
+        const Function *func = nullptr;
+        std::unique_ptr<Assembler> as;
+        Addr base = 0;
+
+        /** Labels of this function's own blocks (bound at emit). */
+        std::map<Addr, Assembler::Label> ownLabels;
+
+        /** Labels of other functions' blocks (bound after layout). */
+        std::map<Addr, Assembler::Label> externalLabels;
+
+        /** (original block start, stream offset), emission order. */
+        std::vector<std::pair<Addr, Offset>> blockOffsets;
+
+        /** (original insn address, stream offset), emission order. */
+        std::vector<std::pair<Addr, Offset>> insnOffsets;
+
+        /** (stream offset, original RA), emission order. */
+        std::vector<std::pair<Offset, Addr>> raOffsets;
+
+        /**
+         * Address-dependent instruction selections made during
+         * emission (veneer-or-direct, ADR-reaches-or-widen). When
+         * every decision re-validates at the final base, the stream
+         * is position-correct after a plain rebase; otherwise the
+         * function re-emits at its exact base.
+         */
+        struct Decision
+        {
+            bool isVeneer = false; ///< else: Lea encode check
+            Offset off = 0;
+            Addr target = 0;
+            Instruction in;
+            bool taken = false;
+        };
+        std::vector<Decision> decisions;
+
+        std::uint64_t size = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+
     void planClones();
-    void emitFunction(Assembler &as, const Function &func);
-    void emitBlock(Assembler &as, const Function &func,
+    std::vector<const Block *>
+    blockEmitOrder(const Function &func) const;
+    void assignCounters(const std::vector<const Function *> &funcs);
+    FuncStream emitFunctionStream(const Function &func, Addr base);
+    bool decisionsHold(const FuncStream &fs, Addr base) const;
+    void emitFunction(FuncStream &fs, const Function &func);
+    void emitBlock(FuncStream &fs, const Function &func,
                    const Block &block, Addr fallthrough_next);
-    void emitTranslated(Assembler &as, const Function &func,
+    void emitTranslated(FuncStream &fs, const Function &func,
                         const Instruction &in);
+    void appendAlignment(std::vector<std::uint8_t> &out, Addr &addr,
+                         Addr target) const;
     void fillClones();
 
     Assembler::Label
-    labelFor(Addr block_start)
+    labelFor(FuncStream &fs, Addr block_start)
     {
-        auto it = blockLabels_.find(block_start);
-        icp_assert(it != blockLabels_.end(),
+        auto own = fs.ownLabels.find(block_start);
+        if (own != fs.ownLabels.end())
+            return own->second;
+        icp_assert(isRelocatedBlock(block_start),
                    "no label for block 0x%llx",
                    static_cast<unsigned long long>(block_start));
+        auto [it, inserted] =
+            fs.externalLabels.try_emplace(block_start, -1);
+        if (inserted)
+            it->second = fs.as->newLabel();
         return it->second;
     }
 
     bool
     isRelocatedBlock(Addr a) const
     {
-        return blockLabels_.count(a) > 0;
+        return relocatedBlocks_.count(a) > 0;
     }
 
     const CfgModule &cfg_;
@@ -72,11 +159,9 @@ class Engine
     EngineConfig cfg_opts_;
 
     EngineResult result_;
-    std::map<Addr, Assembler::Label> blockLabels_;
+    std::set<Addr> relocatedBlocks_;
     std::map<Addr, Subst> substs_;      ///< per base-def instruction
     std::map<Addr, const JumpTable *> widenLoads_;
-    std::uint32_t nextCounter_ = 0;
-    Assembler *as_ = nullptr;
 };
 
 void
@@ -121,9 +206,10 @@ Engine::planClones()
 }
 
 void
-Engine::emitTranslated(Assembler &as, const Function &func,
+Engine::emitTranslated(FuncStream &fs, const Function &func,
                        const Instruction &in)
 {
+    Assembler &as = *fs.as;
     const Addr orig_next = in.addr + in.length;
 
     // Jump-table base substitution (jt/func-ptr modes).
@@ -216,14 +302,17 @@ Engine::emitTranslated(Assembler &as, const Function &func,
     // Branches from .instr back into original space can exceed the
     // fixed-ISA direct reach (e.g. ppc64le ±32 MB with large data
     // sections); emit a veneer through r13, which the synthetic ABI
-    // reserves for the rewriter.
+    // reserves for the rewriter. The decision depends on the
+    // instruction's final address, so it is recorded for the layout
+    // pass to re-validate.
     auto needsVeneer = [&](Addr target) {
-        if (!arch_.fixedLength)
-            return false;
-        const std::int64_t d = static_cast<std::int64_t>(target) -
-                               static_cast<std::int64_t>(as.here());
-        return d < -arch_.directJmpRange + 64 ||
-               d > arch_.directJmpRange - 64;
+        FuncStream::Decision d;
+        d.isVeneer = true;
+        d.off = static_cast<Offset>(as.here() - as.startAddr());
+        d.target = target;
+        d.taken = veneerNeeded(arch_, as.here(), target);
+        fs.decisions.push_back(d);
+        return d.taken;
     };
     auto emitVeneerTarget = [&](Addr target) {
         if (arch_.hasToc) {
@@ -248,7 +337,7 @@ Engine::emitTranslated(Assembler &as, const Function &func,
     switch (in.op) {
       case Opcode::Jmp: {
         if (isRelocatedBlock(in.target)) {
-            as.emitToLabel(makeJmp(0), labelFor(in.target));
+            as.emitToLabel(makeJmp(0), labelFor(fs, in.target));
         } else if (needsVeneer(in.target)) {
             emitVeneerTarget(in.target);
             as.emit(makeJmpInd(Reg::r13));
@@ -260,7 +349,7 @@ Engine::emitTranslated(Assembler &as, const Function &func,
       case Opcode::JmpCond: {
         if (isRelocatedBlock(in.target)) {
             Instruction jcc = makeJmpCond(in.cond, 0);
-            as.emitToLabel(jcc, labelFor(in.target));
+            as.emitToLabel(jcc, labelFor(fs, in.target));
         } else {
             as.emit(makeJmpCond(in.cond, in.target));
         }
@@ -273,7 +362,7 @@ Engine::emitTranslated(Assembler &as, const Function &func,
             // (the fall-through CFL block's trampoline bounces).
             emitEmulatedRa(orig_next);
             if (isRelocatedBlock(in.target)) {
-                as.emitToLabel(makeJmp(0), labelFor(in.target));
+                as.emitToLabel(makeJmp(0), labelFor(fs, in.target));
             } else if (needsVeneer(in.target)) {
                 emitVeneerTarget(in.target);
                 as.emit(makeJmpInd(Reg::r13));
@@ -282,14 +371,16 @@ Engine::emitTranslated(Assembler &as, const Function &func,
             }
         } else {
             if (isRelocatedBlock(in.target)) {
-                as.emitToLabel(makeCall(0), labelFor(in.target));
+                as.emitToLabel(makeCall(0), labelFor(fs, in.target));
             } else if (needsVeneer(in.target)) {
                 emitVeneerTarget(in.target);
                 as.emit(makeCallInd(Reg::r13));
             } else {
                 as.emit(makeCall(in.target));
             }
-            result_.raPairs.emplace_back(as.here(), orig_next);
+            fs.raOffsets.emplace_back(
+                static_cast<Offset>(as.here() - as.startAddr()),
+                orig_next);
         }
         return;
       }
@@ -299,7 +390,9 @@ Engine::emitTranslated(Assembler &as, const Function &func,
             as.emit(makeJmpInd(in.rs1));
         } else {
             as.emit(in);
-            result_.raPairs.emplace_back(as.here(), orig_next);
+            fs.raOffsets.emplace_back(
+                static_cast<Offset>(as.here() - as.startAddr()),
+                orig_next);
         }
         return;
       }
@@ -313,7 +406,9 @@ Engine::emitTranslated(Assembler &as, const Function &func,
             as.emit(makeJmpInd(Reg::r12));
         } else {
             as.emit(in);
-            result_.raPairs.emplace_back(as.here(), orig_next);
+            fs.raOffsets.emplace_back(
+                static_cast<Offset>(as.here() - as.startAddr()),
+                orig_next);
         }
         return;
       }
@@ -333,7 +428,9 @@ Engine::emitTranslated(Assembler &as, const Function &func,
         // The unwinder's innermost frame pc is the throw site
         // itself; map it back like a return address so the FDE
         // lookup sees original coordinates (§6).
-        result_.raPairs.emplace_back(as.here(), in.addr);
+        fs.raOffsets.emplace_back(
+            static_cast<Offset>(as.here() - as.startAddr()),
+            in.addr);
         as.emit(in);
         return;
       }
@@ -344,14 +441,21 @@ Engine::emitTranslated(Assembler &as, const Function &func,
         if (cfg_opts_.mode != RewriteMode::dir &&
             in.target >= func.entry && in.target < func.end &&
             isRelocatedBlock(in.target)) {
-            as.emitToLabel(makeLea(in.rd, 0), labelFor(in.target));
+            as.emitToLabel(makeLea(in.rd, 0),
+                           labelFor(fs, in.target));
             return;
         }
         // The short-range ADR form cannot reach original space from
         // .instr; widen to the adrp/add pair (same absolute value).
+        // Reachability depends on the final address: recorded.
         {
             std::vector<std::uint8_t> scratch;
-            if (!arch_.codec->encode(in, as.here(), scratch)) {
+            FuncStream::Decision d;
+            d.off = static_cast<Offset>(as.here() - as.startAddr());
+            d.in = in;
+            d.taken = arch_.codec->encode(in, as.here(), scratch);
+            fs.decisions.push_back(d);
+            if (!d.taken) {
                 as.emit(makeAdrPage(in.rd, in.target));
                 const Addr page = ((in.target + 0x8000) >> 16) << 16;
                 as.emit(makeAddImm(
@@ -370,13 +474,17 @@ Engine::emitTranslated(Assembler &as, const Function &func,
 }
 
 void
-Engine::emitBlock(Assembler &as, const Function &func,
+Engine::emitBlock(FuncStream &fs, const Function &func,
                   const Block &block, Addr fallthrough_next)
 {
-    as.bind(labelFor(block.start));
-    result_.blockMap[block.start] = as.here();
+    Assembler &as = *fs.as;
+    as.bind(fs.ownLabels.at(block.start));
+    fs.blockOffsets.emplace_back(
+        block.start, static_cast<Offset>(as.here() - as.startAddr()));
 
-    // Instrumentation snippets.
+    // Instrumentation snippets (counter ids pre-assigned in
+    // emission order by assignCounters so streams can emit
+    // concurrently).
     const bool is_entry = block.start == func.entry;
     if (is_entry && cfg_opts_.goRaTranslation &&
         (func.name == "runtime.findfunc" ||
@@ -387,19 +495,24 @@ Engine::emitBlock(Assembler &as, const Function &func,
             rtServiceImm(RtService::raXlatStackSlot, slot)));
     }
     if (is_entry && cfg_opts_.instrumentation.countFunctionEntries) {
-        const std::uint32_t id = nextCounter_++;
-        result_.entryCounters[func.entry] = id;
-        as.emit(makeCallRt(rtServiceImm(RtService::count, id)));
+        auto id = result_.entryCounters.find(func.entry);
+        icp_assert(id != result_.entryCounters.end(),
+                   "entry counter not pre-assigned");
+        as.emit(makeCallRt(
+            rtServiceImm(RtService::count, id->second)));
     }
     if (cfg_opts_.instrumentation.instrumentsBlock(block.start)) {
-        const std::uint32_t id = nextCounter_++;
-        result_.blockCounters[block.start] = id;
-        as.emit(makeCallRt(rtServiceImm(RtService::count, id)));
+        auto id = result_.blockCounters.find(block.start);
+        icp_assert(id != result_.blockCounters.end(),
+                   "block counter not pre-assigned");
+        as.emit(makeCallRt(
+            rtServiceImm(RtService::count, id->second)));
     }
 
     for (const auto &in : block.insns) {
-        result_.insnMap[in.addr] = as.here();
-        emitTranslated(as, func, in);
+        fs.insnOffsets.emplace_back(
+            in.addr, static_cast<Offset>(as.here() - as.startAddr()));
+        emitTranslated(fs, func, in);
     }
 
     // Preserve fall-through semantics when the next emitted block is
@@ -412,15 +525,15 @@ Engine::emitBlock(Assembler &as, const Function &func,
         const Addr ft = block.end;
         if (ft != fallthrough_next) {
             if (isRelocatedBlock(ft))
-                as.emitToLabel(makeJmp(0), labelFor(ft));
+                as.emitToLabel(makeJmp(0), labelFor(fs, ft));
             else
                 as.emit(makeJmp(ft));
         }
     }
 }
 
-void
-Engine::emitFunction(Assembler &as, const Function &func)
+std::vector<const Block *>
+Engine::blockEmitOrder(const Function &func) const
 {
     std::vector<const Block *> order;
     order.reserve(func.blocks.size());
@@ -440,12 +553,65 @@ Engine::emitFunction(Assembler &as, const Function &func)
             order.insert(order.begin(), entry);
         }
     }
+    return order;
+}
 
+void
+Engine::emitFunction(FuncStream &fs, const Function &func)
+{
+    const std::vector<const Block *> order = blockEmitOrder(func);
     for (std::size_t i = 0; i < order.size(); ++i) {
         const Addr next =
             i + 1 < order.size() ? order[i + 1]->start : invalid_addr;
-        emitBlock(as, func, *order[i], next);
+        emitBlock(fs, func, *order[i], next);
     }
+}
+
+Engine::FuncStream
+Engine::emitFunctionStream(const Function &func, Addr base)
+{
+    FuncStream fs;
+    fs.func = &func;
+    fs.base = base;
+    fs.as = std::make_unique<Assembler>(arch_, base);
+    for (const auto &[start, block] : func.blocks)
+        fs.ownLabels.emplace(start, fs.as->newLabel());
+    emitFunction(fs, func);
+    fs.size = fs.as->here() - fs.as->startAddr();
+    return fs;
+}
+
+bool
+Engine::decisionsHold(const FuncStream &fs, Addr base) const
+{
+    for (const auto &d : fs.decisions) {
+        if (d.isVeneer) {
+            if (veneerNeeded(arch_, base + d.off, d.target) !=
+                d.taken) {
+                return false;
+            }
+        } else {
+            std::vector<std::uint8_t> scratch;
+            if (arch_.codec->encode(d.in, base + d.off, scratch) !=
+                d.taken) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void
+Engine::appendAlignment(std::vector<std::uint8_t> &out, Addr &addr,
+                        Addr target) const
+{
+    // The same bytes Assembler::alignTo produces: encoded nops.
+    while (addr < target) {
+        const bool ok = arch_.codec->encode(makeNop(), addr, out);
+        icp_assert(ok, "nop encode failed");
+        addr = cfg_opts_.instrBase + out.size();
+    }
+    icp_assert(addr == target, "alignment overshot");
 }
 
 void
@@ -509,35 +675,123 @@ Engine::fillClones()
     }
 }
 
+void
+Engine::assignCounters(const std::vector<const Function *> &funcs)
+{
+    std::uint32_t next = 0;
+    for (const Function *func : funcs) {
+        for (const Block *block : blockEmitOrder(*func)) {
+            if (block->start == func->entry &&
+                cfg_opts_.instrumentation.countFunctionEntries) {
+                result_.entryCounters[func->entry] = next++;
+            }
+            if (cfg_opts_.instrumentation.instrumentsBlock(
+                    block->start)) {
+                result_.blockCounters[block->start] = next++;
+            }
+        }
+    }
+}
+
 EngineResult
 Engine::run()
 {
     planClones();
 
-    Assembler as(arch_, cfg_opts_.instrBase);
-    as_ = &as;
-
-    // Labels for every block of every instrumented function.
+    // Emission order and the set of relocated blocks.
     std::vector<const Function *> funcs;
     for (const auto &[entry, func] : cfg_.functions) {
         if (!instrumented_.count(entry))
             continue;
         funcs.push_back(&func);
         for (const auto &[start, block] : func.blocks)
-            blockLabels_[start] = as.newLabel();
+            relocatedBlocks_.insert(start);
     }
     if (cfg_opts_.functionOrder == OrderPolicy::reversed)
         std::reverse(funcs.begin(), funcs.end());
 
-    for (const Function *func : funcs) {
-        as.alignTo(std::max(cfg_opts_.functionAlign,
-                            arch_.instrAlign));
-        emitFunction(as, *func);
+    assignCounters(funcs);
+
+    const Addr align =
+        std::max(cfg_opts_.functionAlign, arch_.instrAlign);
+    const unsigned threads = effectiveThreads(cfg_opts_.threads);
+    std::vector<FuncStream> streams(funcs.size());
+
+    if (threads <= 1 || funcs.size() <= 1) {
+        // Sequential: every function emits at its exact final base,
+        // so address-dependent selections match the historical
+        // single-assembler layout by construction.
+        Addr cursor = cfg_opts_.instrBase;
+        for (std::size_t i = 0; i < funcs.size(); ++i) {
+            const Addr base = alignUpAddr(cursor, align);
+            streams[i] = emitFunctionStream(*funcs[i], base);
+            cursor = base + streams[i].size;
+        }
+    } else {
+        // Parallel: emit every function speculatively at the window
+        // base, then lay out in order, re-validating each stream's
+        // recorded address-dependent decisions against its final
+        // base. A stream whose decisions all hold is position-
+        // correct after a rebase (lengths are address-independent);
+        // a flipped decision — only possible within ±window of a
+        // direct-branch range boundary — re-emits that one function
+        // at its exact base. Output is bit-identical to sequential.
+        ThreadPool::shared().parallelFor(
+            funcs.size(), threads, [&](std::size_t i) {
+                streams[i] = emitFunctionStream(
+                    *funcs[i], cfg_opts_.instrBase);
+            });
+        Addr cursor = cfg_opts_.instrBase;
+        for (std::size_t i = 0; i < funcs.size(); ++i) {
+            const Addr base = alignUpAddr(cursor, align);
+            if (decisionsHold(streams[i], base)) {
+                streams[i].as->rebase(base);
+                streams[i].base = base;
+            } else {
+                streams[i] = emitFunctionStream(*funcs[i], base);
+            }
+            cursor = base + streams[i].size;
+        }
     }
 
-    result_.instrBytes = as.finalize();
+    // Deterministic fixup: final addresses for every block and
+    // instruction, RA pairs in emission order.
+    for (const FuncStream &fs : streams) {
+        for (const auto &[orig, off] : fs.blockOffsets)
+            result_.blockMap[orig] = fs.base + off;
+        for (const auto &[orig, off] : fs.insnOffsets)
+            result_.insnMap[orig] = fs.base + off;
+        for (const auto &[off, orig] : fs.raOffsets)
+            result_.raPairs.emplace_back(fs.base + off, orig);
+    }
+
+    // Patch cross-function branches (bind external labels to final
+    // addresses) and encode each stream; streams are independent.
+    ThreadPool::shared().parallelFor(
+        streams.size(), threads, [&](std::size_t i) {
+            FuncStream &fs = streams[i];
+            for (const auto &[addr, label] : fs.externalLabels) {
+                auto target = result_.blockMap.find(addr);
+                icp_assert(target != result_.blockMap.end(),
+                           "external block 0x%llx not relocated",
+                           static_cast<unsigned long long>(addr));
+                fs.as->bindAt(label, target->second);
+            }
+            fs.bytes = fs.as->finalize();
+        });
+
+    // Concatenate with the same inter-function nop padding the
+    // single-assembler alignTo() produced.
+    std::vector<std::uint8_t> out;
+    Addr addr = cfg_opts_.instrBase;
+    for (const FuncStream &fs : streams) {
+        appendAlignment(out, addr, fs.base);
+        out.insert(out.end(), fs.bytes.begin(), fs.bytes.end());
+        addr += fs.bytes.size();
+    }
+    result_.instrBytes = std::move(out);
+
     fillClones();
-    as_ = nullptr;
     return result_;
 }
 
@@ -548,6 +802,7 @@ relocateFunctions(const CfgModule &cfg,
                   const std::set<Addr> &instrumented,
                   const EngineConfig &config)
 {
+    StageTimer timer(Stage::relocate);
     Engine engine(cfg, instrumented, config);
     return engine.run();
 }

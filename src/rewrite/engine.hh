@@ -45,6 +45,14 @@ struct EngineConfig
 
     /** Relocated function alignment (IR lowering compacts to 4). */
     unsigned functionAlign = 16;
+
+    /**
+     * Worker threads for per-function emission (0 = hardware
+     * concurrency, 1 = sequential). Output bytes are identical for
+     * every value; 1 additionally skips the speculative-emission
+     * machinery and emits each function directly at its final base.
+     */
+    unsigned threads = 1;
 };
 
 struct EngineResult

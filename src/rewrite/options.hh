@@ -119,6 +119,20 @@ struct RewriteOptions
     /** Layout permutations (BOLT comparison). */
     OrderPolicy functionOrder = OrderPolicy::original;
     OrderPolicy blockOrder = OrderPolicy::original;
+
+    /**
+     * Worker threads for the per-function analysis and relocation
+     * pipeline: 0 = hardware concurrency, 1 = fully sequential.
+     * Results are bit-identical for every value.
+     */
+    unsigned threads = 0;
+
+    /**
+     * Consult the process-wide AnalysisCache so repeated rewrites of
+     * an unchanged binary reuse per-function CFGs, jump tables, and
+     * liveness instead of recomputing them.
+     */
+    bool useAnalysisCache = true;
 };
 
 struct RewriteStats

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "analysis/cache.hh"
 #include "analysis/funcptr.hh"
 #include "analysis/liveness.hh"
 #include "isa/bytes.hh"
@@ -10,6 +11,8 @@
 #include "rewrite/engine.hh"
 #include "rewrite/trampoline.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/thread_pool.hh"
 
 namespace icp
 {
@@ -269,18 +272,60 @@ Rewriter::installTrampolines(const EngineResult &engine)
             trapEntries_.push_back(entry2);
     };
 
+    // Per-function trampoline inputs — CFL block sets and (on the
+    // fixed ISAs) liveness — are independent across functions:
+    // precompute them in parallel, with liveness memoized in the
+    // analysis cache under the function's CFG key. The serial
+    // install below then only does the order-sensitive pool work.
+    struct FuncPre
+    {
+        const Function *func = nullptr;
+        std::set<Addr> cfl;
+        std::shared_ptr<const LivenessResult> live;
+    };
+    std::vector<const Function *> funcs;
+    for (const auto &[entry, func] : cfg_.functions) {
+        if (instrumented_.count(entry))
+            funcs.push_back(&func);
+    }
+    std::vector<FuncPre> pre(funcs.size());
+    {
+        StageTimer timer(Stage::liveness);
+        ThreadPool::shared().parallelFor(
+            funcs.size(), effectiveThreads(opts_.threads),
+            [&](std::size_t i) {
+                const Function &func = *funcs[i];
+                pre[i].func = &func;
+                pre[i].cfl = cflBlocks(func);
+                if (!arch_.fixedLength)
+                    return;
+                const bool cached =
+                    opts_.useAnalysisCache && func.cacheKey != 0;
+                if (cached) {
+                    if (auto hit = AnalysisCache::global()
+                                       .findLiveness(func.cacheKey)) {
+                        pre[i].live = hit;
+                        return;
+                    }
+                }
+                pre[i].live = std::make_shared<LivenessResult>(
+                    computeLiveness(func, arch_));
+                if (cached) {
+                    AnalysisCache::global().storeLiveness(
+                        func.cacheKey, *pre[i].live);
+                }
+            });
+    }
+
+    StageTimer timer(Stage::trampoline);
+
     // Phase 1: in-place installs; unused superblock bytes (source 2
     // of §7's scratch space) are donated to the pool for phase 2.
-    for (const auto &[entry, func] : cfg_.functions) {
-        if (!instrumented_.count(entry))
-            continue;
-        const std::set<Addr> cfl = cflBlocks(func);
+    for (const FuncPre &p : pre) {
+        const Function &func = *p.func;
+        const std::set<Addr> &cfl = p.cfl;
         result_.stats.cflBlocks += cfl.size();
         result_.stats.totalBlocks += func.blocks.size();
-
-        LivenessResult live;
-        if (arch_.fixedLength)
-            live = computeLiveness(func, arch_);
 
         // Embedded jump-table data must never be overwritten.
         std::vector<std::pair<Addr, Addr>> protect;
@@ -324,7 +369,7 @@ Rewriter::installTrampolines(const EngineResult &engine)
                        static_cast<unsigned long long>(start));
             req.target = target->second;
             req.scratchReg = arch_.fixedLength
-                ? live.deadRegAt(start)
+                ? p.live->deadRegAt(start)
                 : Reg::none;
 
             if (auto in_place = writer.installInPlace(req)) {
@@ -624,10 +669,16 @@ Rewriter::run()
                              "with clobbering";
         return result_;
     }
-    cfg_ = buildCfg(input_, opts_.analysis);
+    AnalysisOptions analysis = opts_.analysis;
+    analysis.threads = opts_.threads;
+    analysis.useCache = opts_.useAnalysisCache;
+    cfg_ = buildCfg(input_, analysis);
     // Function-pointer analysis runs in every mode: even dir/jt
     // need the forward-sliced displaced pointers (§5.2).
-    funcPtrs_ = analyzeFuncPtrs(cfg_);
+    {
+        StageTimer timer(Stage::funcPtr);
+        funcPtrs_ = analyzeFuncPtrs(cfg_);
+    }
 
     instrumented_ = chooseInstrumented();
     result_.stats.totalFunctions = cfg_.totalFunctions();
@@ -650,6 +701,7 @@ Rewriter::run()
     config.instrBase = instrBase_;
     config.goRaTranslation =
         opts_.raTranslation && input_.features.isGo;
+    config.threads = opts_.threads;
 
     // Estimate .instr extent to place .newrodata after it: snippets
     // and veneers expand code; 4x the original text is a safe bound.
@@ -670,7 +722,10 @@ Rewriter::run()
     if (opts_.clobberOriginal)
         clobberOriginal();
 
-    buildSections(engine);
+    {
+        StageTimer timer(Stage::output);
+        buildSections(engine);
+    }
     result_.stats.clonedTables = engine.clones.size();
     result_.stats.rewrittenLoadedSize = out_.loadedSize();
     result_.blockCounters = engine.blockCounters;

@@ -55,6 +55,84 @@ SampleStats::percentile(double p) const
     return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::disasm: return "disasm";
+      case Stage::cfg: return "cfg";
+      case Stage::jumpTable: return "jump-table";
+      case Stage::liveness: return "liveness";
+      case Stage::funcPtr: return "func-ptr";
+      case Stage::relocate: return "relocation";
+      case Stage::trampoline: return "trampoline";
+      case Stage::output: return "output";
+      case Stage::count_: break;
+    }
+    return "?";
+}
+
+StageTimers &
+StageTimers::global()
+{
+    static StageTimers timers;
+    return timers;
+}
+
+void
+StageTimers::add(Stage stage, std::uint64_t nanos)
+{
+    nanos_[static_cast<unsigned>(stage)].fetch_add(
+        nanos, std::memory_order_relaxed);
+}
+
+std::uint64_t
+StageTimers::nanos(Stage stage) const
+{
+    return nanos_[static_cast<unsigned>(stage)].load(
+        std::memory_order_relaxed);
+}
+
+void
+StageTimers::reset()
+{
+    for (auto &n : nanos_)
+        n.store(0, std::memory_order_relaxed);
+}
+
+std::string
+StageTimers::table() const
+{
+    std::string out;
+    char line[96];
+    for (unsigned s = 0; s < static_cast<unsigned>(Stage::count_);
+         ++s) {
+        const auto stage = static_cast<Stage>(s);
+        std::snprintf(line, sizeof(line), "  %-12s %10.3f ms\n",
+                      stageName(stage),
+                      static_cast<double>(nanos(stage)) / 1e6);
+        out += line;
+    }
+    return out;
+}
+
+std::string
+StageTimers::json() const
+{
+    std::string out = "{";
+    char item[96];
+    for (unsigned s = 0; s < static_cast<unsigned>(Stage::count_);
+         ++s) {
+        const auto stage = static_cast<Stage>(s);
+        std::snprintf(item, sizeof(item), "%s\"%s_ms\": %.3f",
+                      s == 0 ? "" : ", ", stageName(stage),
+                      static_cast<double>(nanos(stage)) / 1e6);
+        out += item;
+    }
+    out += "}";
+    return out;
+}
+
 std::string
 formatPercent(double v, int decimals)
 {

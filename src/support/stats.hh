@@ -1,12 +1,18 @@
 /**
  * @file
  * Small statistics helpers used by the experiment harness: min, max,
- * mean, and percentile over sample vectors, plus percent formatting.
+ * mean, and percentile over sample vectors, plus percent formatting,
+ * and the per-stage pipeline timers the CLI's --timing flag and the
+ * scaling benchmark report.
  */
 
 #ifndef ICP_SUPPORT_STATS_HH
 #define ICP_SUPPORT_STATS_HH
 
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,6 +38,78 @@ class SampleStats
 
   private:
     std::vector<double> samples_;
+};
+
+/** Pipeline stages with dedicated wall-clock accumulators. */
+enum class Stage : unsigned
+{
+    disasm,     ///< instruction decoding during CFG traversal
+    cfg,        ///< block formation, edges, gap classification
+    jumpTable,  ///< backward-slicing jump-table analysis
+    liveness,   ///< register liveness fixpoints
+    funcPtr,    ///< function-pointer analysis + rewriting
+    relocate,   ///< per-function relocation/codegen + fixup
+    trampoline, ///< trampoline placement + installation
+    output,     ///< section assembly / maps / clobbering
+    count_      ///< number of stages (not a stage)
+};
+
+const char *stageName(Stage stage);
+
+/**
+ * Process-wide per-stage time accumulators. Workers on any thread
+ * add to the same atomic counters, so under parallel execution a
+ * stage's total is summed CPU time across threads (it can exceed
+ * wall time); with one thread it is plain wall time. Reset between
+ * runs to scope a measurement.
+ */
+class StageTimers
+{
+  public:
+    static StageTimers &global();
+
+    void add(Stage stage, std::uint64_t nanos);
+    std::uint64_t nanos(Stage stage) const;
+    void reset();
+
+    /** Human-readable two-column table (for --timing). */
+    std::string table() const;
+
+    /** One flat JSON object: {"disasm_ms": 1.23, ...}. */
+    std::string json() const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>,
+               static_cast<unsigned>(Stage::count_)>
+        nanos_{};
+};
+
+/** RAII accumulator: adds the scope's duration to one stage. */
+class StageTimer
+{
+  public:
+    explicit StageTimer(Stage stage)
+        : stage_(stage), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~StageTimer()
+    {
+        const auto end = std::chrono::steady_clock::now();
+        StageTimers::global().add(
+            stage_,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    end - start_)
+                    .count()));
+    }
+
+    StageTimer(const StageTimer &) = delete;
+    StageTimer &operator=(const StageTimer &) = delete;
+
+  private:
+    Stage stage_;
+    std::chrono::steady_clock::time_point start_;
 };
 
 /** Render v (e.g. 0.0123) as a percent string "1.23%". */

@@ -1,6 +1,7 @@
 #include "table.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "logging.hh"
@@ -66,6 +67,56 @@ TextTable::render() const
             out << line(row);
     }
     out << rule();
+    return out.str();
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+TextTable::json() const
+{
+    std::ostringstream out;
+    out << "[";
+    bool first_row = true;
+    for (const auto &row : rows_) {
+        if (row.empty())
+            continue; // separator
+        out << (first_row ? "\n" : ",\n") << "  {";
+        first_row = false;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c ? ", " : "") << "\"" << jsonEscape(header_[c])
+                << "\": \"" << jsonEscape(row[c]) << "\"";
+        }
+        out << "}";
+    }
+    out << "\n]\n";
     return out.str();
 }
 

@@ -30,6 +30,13 @@ class TextTable
     /** Render to a string with column separators and a header rule. */
     std::string render() const;
 
+    /**
+     * Render as a JSON array of row objects keyed by the header
+     * cells (separators are skipped) — machine-readable form of the
+     * same data for the benches' --json output.
+     */
+    std::string json() const;
+
   private:
     std::vector<std::string> header_;
     // A row with no cells encodes a separator.

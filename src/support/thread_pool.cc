@@ -1,0 +1,157 @@
+#include "support/thread_pool.hh"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+
+namespace icp
+{
+
+unsigned
+effectiveThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+/**
+ * One parallelFor invocation. Indices are claimed from an atomic
+ * counter by every participating thread (self-scheduling); the last
+ * finisher wakes the caller. Kept alive by shared_ptr so stray
+ * helper tasks that wake after completion see n exhausted and
+ * return without touching freed state.
+ */
+struct ThreadPool::Job
+{
+    Job(std::size_t count, const std::function<void(std::size_t)> *f)
+        : n(count), fn(f), errors(count)
+    {
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t n;
+    const std::function<void(std::size_t)> *fn;
+    std::vector<std::exception_ptr> errors;
+    std::mutex mu;
+    std::condition_variable cv;
+
+    void
+    runLoop()
+    {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+            if (done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                n) {
+                std::lock_guard<std::mutex> lock(mu);
+                cv.notify_all();
+            }
+        }
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] {
+            return done.load(std::memory_order_acquire) == n;
+        });
+    }
+
+    void
+    rethrowFirst()
+    {
+        for (auto &e : errors) {
+            if (e)
+                std::rethrow_exception(e);
+        }
+    }
+};
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    // One worker per hardware thread; the caller participating in
+    // parallelFor briefly oversubscribes by one, which is harmless.
+    // At least one worker even on single-core hosts so the parallel
+    // code paths genuinely run concurrently (and TSan sees them).
+    static ThreadPool pool(std::max(1u, effectiveThreads(0)));
+    return pool;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n, unsigned max_parallel,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    const unsigned par = static_cast<unsigned>(std::min<std::size_t>(
+        n, std::max(1u, max_parallel)));
+    if (par <= 1 || workers_.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    auto job = std::make_shared<Job>(n, &fn);
+    const unsigned helpers = std::min(par - 1, workerCount());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (unsigned h = 0; h < helpers; ++h)
+            queue_.emplace_back([job] { job->runLoop(); });
+    }
+    cv_.notify_all();
+
+    // The caller is a full participant: even if every worker is
+    // busy with other jobs, all indices complete on this thread.
+    job->runLoop();
+    job->wait();
+    job->rethrowFirst();
+}
+
+} // namespace icp

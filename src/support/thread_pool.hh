@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A work-stealing-lite thread pool for the per-function pipeline
+ * stages. Fixed worker count, a shared task queue, and self-
+ * scheduling parallelFor/parallelMap helpers: workers (and the
+ * calling thread, which always participates) claim indices from an
+ * atomic counter, so load balances like work stealing without
+ * per-worker deques. Results land in index-addressed slots, making
+ * output ordering deterministic regardless of which thread ran
+ * which index; the first exception (by index) is rethrown on the
+ * caller.
+ */
+
+#ifndef ICP_SUPPORT_THREAD_POOL_HH
+#define ICP_SUPPORT_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace icp
+{
+
+/**
+ * Resolve a user-facing thread-count option: 0 means "one per
+ * hardware thread", anything else is taken literally.
+ */
+unsigned effectiveThreads(unsigned requested);
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers persistent worker threads (may be 0). */
+    explicit ThreadPool(unsigned workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * The process-wide pool used by the rewriting pipeline. Sized to
+     * the hardware; per-call parallelism is capped by the
+     * @c max_parallel argument of parallelFor, so a stage requesting
+     * fewer threads never fans out wider.
+     */
+    static ThreadPool &shared();
+
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Run fn(0) .. fn(n-1), at most @p max_parallel indices in
+     * flight. The caller participates, so max_parallel = 1 (or an
+     * empty pool) degenerates to a plain serial loop on the calling
+     * thread — the exact pre-pool behavior. Blocks until every
+     * index completed; rethrows the lowest-index exception.
+     */
+    void parallelFor(std::size_t n, unsigned max_parallel,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * parallelFor producing one R per index, in index order. R must
+     * be default-constructible and movable.
+     */
+    template <typename R>
+    std::vector<R>
+    parallelMap(std::size_t n, unsigned max_parallel,
+                const std::function<R(std::size_t)> &fn)
+    {
+        std::vector<R> out(n);
+        parallelFor(n, max_parallel, [&](std::size_t i) {
+            out[i] = fn(i);
+        });
+        return out;
+    }
+
+  private:
+    struct Job;
+
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace icp
+
+#endif // ICP_SUPPORT_THREAD_POOL_HH

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Full pre-merge check: a ThreadSanitizer build running the parallel
+# determinism tests (the pipeline's concurrency is only exercised
+# with >= 2 requested threads, which TSan then observes), followed by
+# a plain release build running the complete test suite.
+#
+# Usage: tools/check.sh [jobs]    (default: nproc)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+echo "== ThreadSanitizer build (build-tsan/) =="
+cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j "$jobs" --target test_parallel
+
+echo "== TSan: parallel pipeline tests =="
+./build-tsan/tests/test_parallel
+
+echo "== Release build (build/) =="
+cmake -B build -S .
+cmake --build build -j "$jobs"
+
+echo "== Release: full test suite =="
+cd build
+ctest --output-on-failure -j "$jobs"
+
+echo "== check.sh: all green =="

@@ -8,6 +8,7 @@
  *   icp rewrite <in.sbf> <out.sbf> [--mode M] [--clobber]
  *               [--count-blocks] [--count-entries] [--only f1,f2]
  *               [--no-placement] [--no-multihop] [--call-emulation]
+ *               [--threads N] [--no-cache] [--timing]
  *   icp run     <in.sbf> [--gc N]
  *   icp inspect <in.sbf> [function]
  *
@@ -26,6 +27,7 @@
 #include "rewrite/rewriter.hh"
 #include "sim/loader.hh"
 #include "sim/machine.hh"
+#include "support/stats.hh"
 
 using namespace icp;
 
@@ -44,6 +46,8 @@ usage()
                  "[--count-entries] [--only f1,f2,...]\n"
                  "                   [--no-placement] "
                  "[--no-multihop] [--call-emulation]\n"
+                 "                   [--threads N] [--no-cache] "
+                 "[--timing]\n"
                  "       icp run <in.sbf> [--gc N]\n"
                  "       icp inspect <in.sbf> [function]\n");
     return 2;
@@ -151,6 +155,7 @@ cmdRewrite(int argc, char **argv)
 
     RewriteOptions opts;
     opts.mode = RewriteMode::jt;
+    bool timing = false;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--mode" && i + 1 < argc) {
@@ -175,6 +180,13 @@ cmdRewrite(int argc, char **argv)
             opts.multiHop = false;
         } else if (arg == "--call-emulation") {
             opts.raTranslation = false;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            opts.threads =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--no-cache") {
+            opts.useAnalysisCache = false;
+        } else if (arg == "--timing") {
+            timing = true;
         } else if (arg == "--only" && i + 1 < argc) {
             std::string list = argv[++i];
             std::size_t pos = 0;
@@ -191,6 +203,8 @@ cmdRewrite(int argc, char **argv)
         }
     }
 
+    if (timing)
+        StageTimers::global().reset();
     const RewriteResult rw = rewriteBinary(img, opts);
     if (!rw.ok) {
         std::fprintf(stderr, "rewrite failed: %s\n",
@@ -223,6 +237,8 @@ cmdRewrite(int argc, char **argv)
                 static_cast<unsigned long long>(
                     rw.stats.raMapEntries),
                 rw.stats.sizeIncrease() * 100.0);
+    if (timing)
+        std::printf("%s", StageTimers::global().table().c_str());
     return 0;
 }
 
