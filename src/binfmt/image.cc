@@ -215,43 +215,98 @@ putString(std::vector<std::uint8_t> &out, const std::string &s)
     out.insert(out.end(), s.begin(), s.end());
 }
 
-std::string
-getString(const std::vector<std::uint8_t> &raw, std::size_t &pos)
+/**
+ * Bounds-checked sequential reader over the raw blob. The first
+ * out-of-range read records an sbf-truncated issue and latches the
+ * failed state; subsequent reads return zeros so the caller can
+ * bail out at the next checkpoint without testing every field.
+ */
+class SbfReader
 {
-    icp_assert(pos + 4 <= raw.size(), "SBF truncated");
-    const std::uint32_t len = getU32(raw.data() + pos);
-    pos += 4;
-    icp_assert(pos + len <= raw.size(), "SBF truncated");
-    std::string s(raw.begin() + static_cast<std::ptrdiff_t>(pos),
-                  raw.begin() + static_cast<std::ptrdiff_t>(pos + len));
-    pos += len;
-    return s;
-}
+  public:
+    SbfReader(const std::vector<std::uint8_t> &raw,
+              std::vector<SbfIssue> &issues)
+        : raw_(raw), issues_(issues)
+    {
+    }
 
-std::uint64_t
-getU64At(const std::vector<std::uint8_t> &raw, std::size_t &pos)
-{
-    icp_assert(pos + 8 <= raw.size(), "SBF truncated");
-    const std::uint64_t v = getU64(raw.data() + pos);
-    pos += 8;
-    return v;
-}
+    bool failed() const { return failed_; }
+    std::size_t pos() const { return pos_; }
 
-std::uint32_t
-getU32At(const std::vector<std::uint8_t> &raw, std::size_t &pos)
-{
-    icp_assert(pos + 4 <= raw.size(), "SBF truncated");
-    const std::uint32_t v = getU32(raw.data() + pos);
-    pos += 4;
-    return v;
-}
+    std::uint8_t
+    u8()
+    {
+        if (!need(1, "1-byte field"))
+            return 0;
+        return raw_[pos_++];
+    }
 
-std::uint8_t
-getU8At(const std::vector<std::uint8_t> &raw, std::size_t &pos)
-{
-    icp_assert(pos + 1 <= raw.size(), "SBF truncated");
-    return raw[pos++];
-}
+    std::uint32_t
+    u32()
+    {
+        if (!need(4, "4-byte field"))
+            return 0;
+        const std::uint32_t v = getU32(raw_.data() + pos_);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8, "8-byte field"))
+            return 0;
+        const std::uint64_t v = getU64(raw_.data() + pos_);
+        pos_ += 8;
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        if (!need(len, "string payload"))
+            return {};
+        std::string s(
+            raw_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            raw_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+        pos_ += len;
+        return s;
+    }
+
+    std::vector<std::uint8_t>
+    blob(std::uint32_t len)
+    {
+        if (!need(len, "section payload"))
+            return {};
+        std::vector<std::uint8_t> bytes(
+            raw_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            raw_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+        pos_ += len;
+        return bytes;
+    }
+
+  private:
+    bool
+    need(std::uint64_t len, const char *what)
+    {
+        if (failed_)
+            return false;
+        if (pos_ + len > raw_.size()) {
+            failed_ = true;
+            issues_.push_back(
+                {"sbf-truncated", pos_,
+                 std::string(what) + " runs past end of container"});
+            return false;
+        }
+        return true;
+    }
+
+    const std::vector<std::uint8_t> &raw_;
+    std::vector<SbfIssue> &issues_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
 
 } // namespace
 
@@ -308,71 +363,115 @@ BinaryImage::serialize() const
     return out;
 }
 
-BinaryImage
-BinaryImage::deserialize(const std::vector<std::uint8_t> &raw)
+std::optional<BinaryImage>
+BinaryImage::tryDeserialize(const std::vector<std::uint8_t> &raw,
+                            std::vector<SbfIssue> &issues)
 {
     BinaryImage img;
-    std::size_t pos = 0;
-    icp_assert(getU32At(raw, pos) == sbf_magic, "bad SBF magic");
-    img.arch = static_cast<Arch>(getU8At(raw, pos));
-    img.pie = getU8At(raw, pos) != 0;
-    img.prefBase = getU64At(raw, pos);
-    img.entry = getU64At(raw, pos);
-    img.tocBase = getU64At(raw, pos);
-    img.soname = getString(raw, pos);
-    img.features.cppExceptions = getU8At(raw, pos);
-    img.features.isGo = getU8At(raw, pos);
-    img.features.rustMetadata = getU8At(raw, pos);
-    img.features.symbolVersioning = getU8At(raw, pos);
-    img.features.fortranComponent = getU8At(raw, pos);
+    SbfReader rd(raw, issues);
 
-    const std::uint32_t nsec = getU32At(raw, pos);
-    for (std::uint32_t i = 0; i < nsec; ++i) {
+    const std::size_t magic_at = rd.pos();
+    if (rd.u32() != sbf_magic) {
+        if (!rd.failed()) {
+            issues.push_back({"sbf-magic", magic_at,
+                              "container does not start with SBF1"});
+        }
+        return std::nullopt;
+    }
+    img.arch = static_cast<Arch>(rd.u8());
+    img.pie = rd.u8() != 0;
+    img.prefBase = rd.u64();
+    img.entry = rd.u64();
+    img.tocBase = rd.u64();
+    img.soname = rd.str();
+    img.features.cppExceptions = rd.u8();
+    img.features.isGo = rd.u8();
+    img.features.rustMetadata = rd.u8();
+    img.features.symbolVersioning = rd.u8();
+    img.features.fortranComponent = rd.u8();
+
+    const std::uint32_t nsec = rd.u32();
+    for (std::uint32_t i = 0; i < nsec && !rd.failed(); ++i) {
         Section s;
-        s.name = getString(raw, pos);
-        s.kind = static_cast<SectionKind>(getU8At(raw, pos));
-        s.addr = getU64At(raw, pos);
-        s.memSize = getU64At(raw, pos);
-        const std::uint8_t flags = getU8At(raw, pos);
+        const std::size_t at = rd.pos();
+        s.name = rd.str();
+        s.kind = static_cast<SectionKind>(rd.u8());
+        s.addr = rd.u64();
+        s.memSize = rd.u64();
+        const std::uint8_t flags = rd.u8();
         s.loadable = flags & 1;
         s.executable = flags & 2;
         s.writable = flags & 4;
-        const std::uint32_t len = getU32At(raw, pos);
-        icp_assert(pos + len <= raw.size(), "SBF truncated");
-        s.bytes.assign(raw.begin() + static_cast<std::ptrdiff_t>(pos),
-                       raw.begin() +
-                           static_cast<std::ptrdiff_t>(pos + len));
-        pos += len;
+        s.bytes = rd.blob(rd.u32());
+        if (rd.failed())
+            break;
+        if (s.addr + s.memSize < s.addr) {
+            issues.push_back({"sbf-section-bounds", at,
+                              "section " + s.name +
+                                  " address range wraps"});
+        } else if (s.bytes.size() > s.memSize) {
+            issues.push_back({"sbf-section-bounds", at,
+                              "section " + s.name +
+                                  " payload exceeds its memory size"});
+        }
+        for (const auto &prev : img.sections) {
+            const bool overlap = s.addr < prev.end() &&
+                                 prev.addr < s.addr + s.memSize;
+            if (overlap) {
+                issues.push_back({"sbf-section-overlap", at,
+                                  "section " + s.name + " overlaps " +
+                                      prev.name});
+            }
+        }
         img.sections.push_back(std::move(s));
     }
 
-    const std::uint32_t nsym = getU32At(raw, pos);
-    for (std::uint32_t i = 0; i < nsym; ++i) {
+    const std::uint32_t nsym = rd.u32();
+    for (std::uint32_t i = 0; i < nsym && !rd.failed(); ++i) {
         Symbol sym;
-        sym.name = getString(raw, pos);
-        sym.kind = static_cast<Symbol::Kind>(getU8At(raw, pos));
-        sym.addr = getU64At(raw, pos);
-        sym.size = getU64At(raw, pos);
+        sym.name = rd.str();
+        sym.kind = static_cast<Symbol::Kind>(rd.u8());
+        sym.addr = rd.u64();
+        sym.size = rd.u64();
         img.symbols.push_back(std::move(sym));
     }
 
-    const std::uint32_t nrel = getU32At(raw, pos);
-    for (std::uint32_t i = 0; i < nrel; ++i) {
+    const std::uint32_t nrel = rd.u32();
+    for (std::uint32_t i = 0; i < nrel && !rd.failed(); ++i) {
         Relocation rel;
-        rel.site = getU64At(raw, pos);
-        rel.addend = static_cast<std::int64_t>(getU64At(raw, pos));
+        rel.site = rd.u64();
+        rel.addend = static_cast<std::int64_t>(rd.u64());
         img.relocs.push_back(rel);
     }
 
-    const std::uint32_t nlrel = getU32At(raw, pos);
-    for (std::uint32_t i = 0; i < nlrel; ++i) {
+    const std::uint32_t nlrel = rd.u32();
+    for (std::uint32_t i = 0; i < nlrel && !rd.failed(); ++i) {
         LinkReloc rel;
-        rel.site = getU64At(raw, pos);
-        rel.symbol = getString(raw, pos);
-        rel.addend = static_cast<std::int64_t>(getU64At(raw, pos));
+        rel.site = rd.u64();
+        rel.symbol = rd.str();
+        rel.addend = static_cast<std::int64_t>(rd.u64());
         img.linkRelocs.push_back(std::move(rel));
     }
+
+    if (rd.failed() || !issues.empty())
+        return std::nullopt;
     return img;
+}
+
+BinaryImage
+BinaryImage::deserialize(const std::vector<std::uint8_t> &raw)
+{
+    std::vector<SbfIssue> issues;
+    auto img = tryDeserialize(raw, issues);
+    if (!img) {
+        if (issues.empty())
+            issues.push_back({"sbf-truncated", 0, "empty container"});
+        const SbfIssue &first = issues.front();
+        icp_fatal("SBF load failed: [%s] %s (offset %zu)",
+                  first.rule.c_str(), first.message.c_str(),
+                  first.offset);
+    }
+    return std::move(*img);
 }
 
 } // namespace icp

@@ -36,6 +36,20 @@ struct LangFeatures
 };
 
 /**
+ * A structured finding from SBF container validation. Rule ids:
+ * "sbf-magic" (bad magic), "sbf-truncated" (field or payload runs
+ * past the end of the blob), "sbf-section-bounds" (section payload
+ * larger than its memory size, or address range wraps), and
+ * "sbf-section-overlap" (two sections share addresses).
+ */
+struct SbfIssue
+{
+    std::string rule;
+    std::size_t offset = 0; ///< byte offset into the raw blob
+    std::string message;
+};
+
+/**
  * A complete binary: sections, symbols, relocations, unwind records,
  * and metadata. All addresses are at the preferred base; PIE images
  * may be loaded at a different base with runtime relocations applied.
@@ -113,7 +127,18 @@ class BinaryImage
     // --- serialization ---------------------------------------------------
 
     std::vector<std::uint8_t> serialize() const;
+
+    /** Deserialize or die (icp_fatal) naming the violated rule. */
     static BinaryImage deserialize(const std::vector<std::uint8_t> &raw);
+
+    /**
+     * Validating deserialization: malformed containers produce
+     * structured SbfIssue diagnostics instead of aborting. Returns
+     * nullopt (with at least one issue appended) on any violation.
+     */
+    static std::optional<BinaryImage>
+    tryDeserialize(const std::vector<std::uint8_t> &raw,
+                   std::vector<SbfIssue> &issues);
 
     const ArchInfo &archInfo() const { return ArchInfo::get(arch); }
 };

@@ -58,6 +58,20 @@ class Codec
     virtual bool decode(const std::uint8_t *bytes, std::size_t avail,
                         Addr addr, Instruction &out) const = 0;
 
+    /**
+     * Like encode, but skipping the ISA's *policy* range limits
+     * (e.g. the fixed codecs' enforced branch reach) while keeping
+     * the hard field-width limits. Exists only so fault injection
+     * can craft out-of-range encodings the normal encoder refuses;
+     * the default forwards to encode.
+     */
+    virtual bool
+    encodeUnchecked(const Instruction &in, Addr addr,
+                    std::vector<std::uint8_t> &out) const
+    {
+        return encode(in, addr, out);
+    }
+
     /** Encoded length in bytes, or 0 if unencodable. */
     virtual unsigned encodedLength(const Instruction &in) const = 0;
 };

@@ -83,6 +83,21 @@ bool
 CodecFixed::encode(const Instruction &in, Addr addr,
                    std::vector<std::uint8_t> &out) const
 {
+    return encodeImpl(in, addr, out, true);
+}
+
+bool
+CodecFixed::encodeUnchecked(const Instruction &in, Addr addr,
+                            std::vector<std::uint8_t> &out) const
+{
+    return encodeImpl(in, addr, out, false);
+}
+
+bool
+CodecFixed::encodeImpl(const Instruction &in, Addr addr,
+                       std::vector<std::uint8_t> &out,
+                       bool enforce_range) const
+{
     if (!opcodeSupported(in.op))
         return false;
     icp_assert(addr % 4 == 0, "fixed codec: misaligned encode at 0x%llx",
@@ -231,7 +246,8 @@ CodecFixed::encode(const Instruction &in, Addr addr,
                                static_cast<std::int64_t>(addr);
         if (d % 4 != 0)
             return false;
-        if (d < -opts_.branchRange || d > opts_.branchRange)
+        if (enforce_range &&
+            (d < -opts_.branchRange || d > opts_.branchRange))
             return false;
         const std::int64_t words = d / 4;
         if (!fitsSigned(words, 26))

@@ -35,7 +35,18 @@ class CodecFixed : public Codec
                 Instruction &out) const override;
     unsigned encodedLength(const Instruction &in) const override;
 
+    /**
+     * Encode ignoring the enforced branchRange (the 26-bit word
+     * displacement field still limits the reach). Only used by
+     * fault injection to plant out-of-range branches.
+     */
+    bool encodeUnchecked(const Instruction &in, Addr addr,
+                         std::vector<std::uint8_t> &out) const override;
+
   private:
+    bool encodeImpl(const Instruction &in, Addr addr,
+                    std::vector<std::uint8_t> &out,
+                    bool enforce_range) const;
     bool opcodeSupported(Opcode op) const;
 
     Options opts_;

@@ -11,11 +11,13 @@
 #define ICP_REWRITE_OPTIONS_HH
 
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 
 #include "analysis/builder.hh"
 #include "binfmt/image.hh"
+#include "rewrite/manifest.hh"
 
 namespace icp
 {
@@ -36,6 +38,32 @@ enum class OrderPolicy : std::uint8_t
     original,
     reversed,
 };
+
+/**
+ * Fault-injection selector for the static verifier's self test:
+ * each value plants exactly one defect in an emitted artifact, and
+ * the manifest records the single lint rule that must flag it.
+ */
+enum class InjectDefect : std::uint8_t
+{
+    none = 0,
+    trampTarget,    ///< retarget a trampoline into unmapped space
+    trampRange,     ///< encode a branch beyond the ISA's reach
+    trampChain,     ///< make a trampoline chain loop on itself
+    liveScratch,    ///< long form using a live scratch register
+    tocScratch,     ///< ppc long form clobbering the TOC register
+    staleCloneEntry,///< skip one cloned jump-table entry fixup
+    cloneBounds,    ///< shrink .newrodata under a clone's extent
+    doublePatch,    ///< record two overlapping trampoline patches
+    raMapEntry,     ///< corrupt one .ra_map pair
+    dropFde,        ///< drop the FDE covering a relocated function
+    funcPtrStale,   ///< restore a rewritten pointer cell
+};
+
+const char *injectDefectName(InjectDefect defect);
+
+/** Parse an --inject argument; nullopt on unknown names. */
+std::optional<InjectDefect> parseInjectDefect(const std::string &name);
 
 /** What snippets the instrumenter inserts. */
 struct InstrumentationSpec
@@ -133,6 +161,16 @@ struct RewriteOptions
      * liveness instead of recomputing them.
      */
     bool useAnalysisCache = true;
+
+    /**
+     * Record the RewriteManifest on the result so the static
+     * soundness verifier (lintRewrite in src/verify/) can check the
+     * rewritten image against what the rewriter intended to emit.
+     */
+    bool lint = true;
+
+    /** Plant one defect for the verifier's self test (tests only). */
+    InjectDefect injectDefect = InjectDefect::none;
 };
 
 struct RewriteStats
@@ -185,6 +223,9 @@ struct RewriteResult
     /** Counter-id maps for verification (block/entry -> CallRt id). */
     std::map<Addr, std::uint32_t> blockCounters;
     std::map<Addr, std::uint32_t> entryCounters;
+
+    /** What was emitted where; input to the static verifier. */
+    RewriteManifest manifest;
 };
 
 } // namespace icp

@@ -28,6 +28,38 @@ rewriteModeName(RewriteMode mode)
     return "?";
 }
 
+const char *
+injectDefectName(InjectDefect defect)
+{
+    switch (defect) {
+      case InjectDefect::none: return "none";
+      case InjectDefect::trampTarget: return "tramp-target";
+      case InjectDefect::trampRange: return "tramp-range";
+      case InjectDefect::trampChain: return "tramp-chain";
+      case InjectDefect::liveScratch: return "live-scratch";
+      case InjectDefect::tocScratch: return "toc-scratch";
+      case InjectDefect::staleCloneEntry: return "stale-clone-entry";
+      case InjectDefect::cloneBounds: return "clone-bounds";
+      case InjectDefect::doublePatch: return "double-patch";
+      case InjectDefect::raMapEntry: return "ra-map-entry";
+      case InjectDefect::dropFde: return "drop-fde";
+      case InjectDefect::funcPtrStale: return "func-ptr-stale";
+    }
+    return "?";
+}
+
+std::optional<InjectDefect>
+parseInjectDefect(const std::string &name)
+{
+    for (unsigned v = 0;
+         v <= static_cast<unsigned>(InjectDefect::funcPtrStale); ++v) {
+        const auto defect = static_cast<InjectDefect>(v);
+        if (name == injectDefectName(defect))
+            return defect;
+    }
+    return std::nullopt;
+}
+
 namespace
 {
 
@@ -53,7 +85,11 @@ class Rewriter
     std::set<Addr> cflBlocks(const Function &func) const;
     std::set<Addr> blocksReachingInstrumentation(
         const Function &func) const;
-    void donateScratch(ScratchPool &pool) const;
+    void donateScratch(ScratchPool &pool);
+    void recordDonation(Addr addr, std::uint64_t len);
+    Addr funcEntryOf(Addr a) const;
+    void fillManifest(const EngineResult &engine);
+    void injectByteDefect();
     void installTrampolines(const EngineResult &engine);
     void rewriteFuncPtrs(const EngineResult &engine);
     void patchCodeDef(const FuncPtrDef &def, Addr new_target,
@@ -201,8 +237,19 @@ Rewriter::blocksReachingInstrumentation(const Function &func) const
 }
 
 void
-Rewriter::donateScratch(ScratchPool &pool) const
+Rewriter::recordDonation(Addr addr, std::uint64_t len)
 {
+    result_.manifest.scratchRanges.emplace_back(addr, len);
+}
+
+void
+Rewriter::donateScratch(ScratchPool &pool)
+{
+    auto donate = [&](Addr addr, std::uint64_t len) {
+        pool.donate(addr, len, arch_.instrAlign);
+        recordDonation(addr, len);
+    };
+
     // Source 1: inter-function nop padding in .text.
     const auto funcs = input_.functionSymbols();
     const Section *text = input_.findSection(SectionKind::text);
@@ -210,13 +257,11 @@ Rewriter::donateScratch(ScratchPool &pool) const
         Addr cursor = text->addr;
         for (const Symbol *sym : funcs) {
             if (sym->addr > cursor)
-                pool.donate(cursor, sym->addr - cursor,
-                            arch_.instrAlign);
+                donate(cursor, sym->addr - cursor);
             cursor = std::max(cursor, sym->addr + sym->size);
         }
         if (text->end() > cursor)
-            pool.donate(cursor, text->end() - cursor,
-                        arch_.instrAlign);
+            donate(cursor, text->end() - cursor);
     }
 
     // Source 3: the retired dynamic-linking sections (§3). (Source
@@ -225,7 +270,7 @@ Rewriter::donateScratch(ScratchPool &pool) const
     for (const auto kind : {SectionKind::dynsym, SectionKind::dynstr,
                             SectionKind::relaDyn}) {
         if (const Section *s = input_.findSection(kind))
-            pool.donate(s->addr, s->memSize, arch_.instrAlign);
+            donate(s->addr, s->memSize);
     }
 }
 
@@ -241,10 +286,12 @@ Rewriter::installTrampolines(const EngineResult &engine)
     {
         TrampolineRequest req;
         Addr superEnd;
+        Addr funcEntry;
     };
     std::vector<Pending> pending;
 
-    auto account = [&](const TrampolineOut &installed) {
+    auto account = [&](const TrampolineRequest &req, Addr func_entry,
+                       const TrampolineOut &installed) {
         result_.stats.trampolines++;
         switch (installed.kind) {
           case TrampolineKind::direct:
@@ -261,13 +308,22 @@ Rewriter::installTrampolines(const EngineResult &engine)
             result_.stats.trapTramps++;
             break;
         }
+        TrampolinePatch patch;
+        patch.site = req.at;
+        patch.funcEntry = func_entry;
+        patch.target = req.target;
+        patch.kind = installed.kind;
+        patch.scratchReg = req.scratchReg;
+        patch.space = req.space;
         for (const auto &write : installed.writes) {
             const bool ok = out_.writeBytes(write.at, write.bytes);
             icp_assert(ok, "trampoline write failed at 0x%llx",
                        static_cast<unsigned long long>(write.at));
             keepRanges_.emplace_back(
                 write.at, write.at + write.bytes.size());
+            patch.writes.emplace_back(write.at, write.bytes.size());
         }
+        result_.manifest.trampolines.push_back(std::move(patch));
         for (const auto &entry2 : installed.trapEntries)
             trapEntries_.push_back(entry2);
     };
@@ -336,6 +392,8 @@ Rewriter::installTrampolines(const EngineResult &engine)
                     jt.tableAddr +
                         std::uint64_t{jt.entryCount} * jt.entrySize);
                 keepRanges_.emplace_back(protect.back());
+                result_.manifest.protectedRanges.push_back(
+                    protect.back());
             }
         }
 
@@ -372,8 +430,43 @@ Rewriter::installTrampolines(const EngineResult &engine)
                 ? p.live->deadRegAt(start)
                 : Reg::none;
 
-            if (auto in_place = writer.installInPlace(req)) {
-                account(*in_place);
+            // Fault injection (register defects): force a long form
+            // whose scratch register the verifier must reject. Only
+            // the first applicable site is corrupted.
+            std::optional<TrampolineOut> in_place;
+            const bool want_reg_defect = opts_.lint &&
+                (opts_.injectDefect == InjectDefect::liveScratch ||
+                 opts_.injectDefect == InjectDefect::tocScratch) &&
+                result_.manifest.injectedRule.empty();
+            if (want_reg_defect && arch_.fixedLength &&
+                req.space >= writer.longFormLen()) {
+                Reg bad = Reg::none;
+                if (opts_.injectDefect == InjectDefect::tocScratch) {
+                    if (arch_.hasToc)
+                        bad = Reg::toc;
+                } else {
+                    const RegSet live = p.live->liveAtBlockStart(start);
+                    for (unsigned r = 0; r < num_gp_regs; ++r) {
+                        if (live.contains(static_cast<Reg>(r))) {
+                            bad = static_cast<Reg>(r);
+                            break;
+                        }
+                    }
+                }
+                if (bad != Reg::none) {
+                    req.scratchReg = bad;
+                    in_place = writer.installForcedLongForm(req);
+                    result_.manifest.injectedRule =
+                        opts_.injectDefect == InjectDefect::tocScratch
+                            ? "toc-preserved"
+                            : "tramp-scratch-live";
+                }
+            }
+            if (!in_place)
+                in_place = writer.installInPlace(req);
+
+            if (in_place) {
+                account(req, func.entry, *in_place);
                 std::uint64_t used = 0;
                 for (const auto &write : in_place->writes) {
                     if (write.at == start)
@@ -382,9 +475,10 @@ Rewriter::installTrampolines(const EngineResult &engine)
                 if (opts_.trampolinePlacement && start + used < se) {
                     pool.donate(start + used, se - (start + used),
                                 arch_.instrAlign);
+                    recordDonation(start + used, se - (start + used));
                 }
             } else {
-                pending.push_back({req, se});
+                pending.push_back({req, se, func.entry});
             }
         }
     }
@@ -400,11 +494,13 @@ Rewriter::installTrampolines(const EngineResult &engine)
                 pool.donate(p.req.at + head,
                             p.superEnd - (p.req.at + head),
                             arch_.instrAlign);
+                recordDonation(p.req.at + head,
+                               p.superEnd - (p.req.at + head));
             }
         }
     }
     for (const auto &p : pending)
-        account(writer.installWithFallback(p.req));
+        account(p.req, p.funcEntry, writer.installWithFallback(p.req));
 }
 
 bool
@@ -529,6 +625,12 @@ Rewriter::rewriteFuncPtrs(const EngineResult &engine)
                         static_cast<Addr>(def.delta);
         }
 
+        FuncPtrPatch patch;
+        patch.site = def.site;
+        patch.funcEntry = def.funcEntry;
+        patch.delta = def.delta;
+        patch.newValue = new_value;
+
         if (def.kind == FuncPtrDef::Kind::dataCell) {
             // Update the relocation addend and the initialized
             // bytes.
@@ -543,10 +645,13 @@ Rewriter::rewriteFuncPtrs(const EngineResult &engine)
                     static_cast<std::uint8_t>(new_value >> (8 * b)));
             out_.writeBytes(def.site, raw);
             result_.stats.rewrittenFuncPtrs++;
+            patch.kind = FuncPtrPatch::Kind::dataCell;
         } else {
             patchCodeDef(def, new_value, engine);
             result_.stats.rewrittenFuncPtrs++;
+            patch.kind = FuncPtrPatch::Kind::codeDef;
         }
+        result_.manifest.funcPtrs.push_back(patch);
     }
 }
 
@@ -660,6 +765,238 @@ Rewriter::buildSections(const EngineResult &engine)
     }
 }
 
+Addr
+Rewriter::funcEntryOf(Addr a) const
+{
+    auto it = cfg_.functions.upper_bound(a);
+    if (it == cfg_.functions.begin())
+        return 0;
+    --it;
+    return (a >= it->second.entry && a < it->second.end) ? it->first
+                                                         : 0;
+}
+
+void
+Rewriter::fillManifest(const EngineResult &engine)
+{
+    RewriteManifest &m = result_.manifest;
+    m.populated = true;
+    m.blockMap = engine.blockMap;
+    m.insnMap = engine.insnMap;
+    m.raPairs = engine.raPairs;
+    m.instrumented = instrumented_;
+    for (const auto &clone : engine.clones) {
+        const JumpTable &jt = *clone.source;
+        JumpTableClonePatch p;
+        p.jumpAddr = jt.jumpAddr;
+        p.funcEntry = funcEntryOf(jt.jumpAddr);
+        p.cloneAddr = clone.cloneAddr;
+        p.entrySize = clone.entrySize;
+        p.entryCount = jt.entryCount;
+        p.shift = jt.shift;
+        p.widened = clone.widened;
+        p.origBase = jt.base;
+        p.origTableAddr = jt.tableAddr;
+        p.origTargets = jt.targets;
+        m.clones.push_back(std::move(p));
+    }
+}
+
+/**
+ * Plant the post-emission defects of InjectDefect: each corrupts
+ * exactly one emitted artifact after the rewrite completed, leaving
+ * the manifest describing the *intended* output, so exactly one
+ * verifier rule must fire. Register defects (liveScratch /
+ * tocScratch) are planted during trampoline installation instead.
+ */
+void
+Rewriter::injectByteDefect()
+{
+    RewriteManifest &m = result_.manifest;
+    if (!m.injectedRule.empty())
+        return; // a register defect was already planted
+
+    switch (opts_.injectDefect) {
+      case InjectDefect::trampTarget: {
+        // Retarget a direct trampoline at an unmapped address that
+        // the branch can still encode.
+        const Addr bogus = out_.highWaterMark(4096) + 0x10000;
+        for (const auto &p : m.trampolines) {
+            if (p.kind != TrampolineKind::direct)
+                continue;
+            std::vector<std::uint8_t> enc;
+            if (!arch_.codec->encode(makeJmp(bogus), p.site, enc))
+                continue;
+            if (p.writes.empty() || enc.size() != p.writes[0].second)
+                continue;
+            icp_assert(out_.writeBytes(p.site, enc),
+                       "defect write failed");
+            m.injectedRule = "tramp-target";
+            return;
+        }
+        return;
+      }
+
+      case InjectDefect::trampRange: {
+        // Encode a branch past the ISA's enforced reach. Only the
+        // ppc-like ISA has headroom between the enforced ±32 MB and
+        // the 26-bit displacement field (±128 MB in 4-byte words).
+        if (!arch_.fixedLength)
+            return;
+        for (const auto &p : m.trampolines) {
+            if (p.kind != TrampolineKind::direct)
+                continue;
+            const Addr far = p.site + 2 *
+                static_cast<Addr>(arch_.directJmpRange);
+            std::vector<std::uint8_t> enc;
+            if (!arch_.codec->encodeUnchecked(makeJmp(far), p.site,
+                                              enc)) {
+                continue;
+            }
+            icp_assert(out_.writeBytes(p.site, enc),
+                       "defect write failed");
+            m.injectedRule = "tramp-range";
+            return;
+        }
+        return;
+      }
+
+      case InjectDefect::trampChain: {
+        // A trampoline branching to its own site: the chain walker
+        // must detect the cycle.
+        for (const auto &p : m.trampolines) {
+            if (p.kind != TrampolineKind::direct)
+                continue;
+            std::vector<std::uint8_t> enc;
+            if (!arch_.codec->encode(makeJmp(p.site), p.site, enc))
+                continue;
+            if (p.writes.empty() || enc.size() != p.writes[0].second)
+                continue;
+            icp_assert(out_.writeBytes(p.site, enc),
+                       "defect write failed");
+            m.injectedRule = "tramp-chain";
+            return;
+        }
+        return;
+      }
+
+      case InjectDefect::staleCloneEntry: {
+        // Zero one clone entry whose correct value is nonzero —
+        // the "skipped fixup" of §5.1.
+        for (const auto &c : m.clones) {
+            for (unsigned i = 0; i < c.entryCount; ++i) {
+                const Addr orig =
+                    i < c.origTargets.size() ? c.origTargets[i] : 0;
+                if (!m.blockMap.count(orig))
+                    continue;
+                const Addr at =
+                    c.cloneAddr + std::uint64_t{i} * c.entrySize;
+                const auto cur = out_.readValue(at, c.entrySize);
+                if (!cur || *cur == 0)
+                    continue;
+                out_.writeBytes(
+                    at, std::vector<std::uint8_t>(c.entrySize, 0));
+                m.injectedRule = "jt-clone-target";
+                return;
+            }
+        }
+        return;
+      }
+
+      case InjectDefect::cloneBounds: {
+        // Shrink .newrodata so a clone's last entry sticks out.
+        Section *ro = out_.findSection(SectionKind::newRodata);
+        if (!ro || m.clones.empty())
+            return;
+        const JumpTableClonePatch *last = nullptr;
+        for (const auto &c : m.clones) {
+            if (!last || c.cloneAddr > last->cloneAddr)
+                last = &c;
+        }
+        const Addr end = last->cloneAddr +
+            std::uint64_t{last->entryCount} * last->entrySize;
+        if (end <= ro->addr + 1)
+            return;
+        ro->memSize = end - 1 - ro->addr;
+        if (ro->bytes.size() > ro->memSize)
+            ro->bytes.resize(ro->memSize);
+        m.injectedRule = "jt-clone-bounds";
+        return;
+      }
+
+      case InjectDefect::doublePatch: {
+        // Duplicate one patch record: two installs claiming the
+        // same byte extent.
+        if (m.trampolines.empty())
+            return;
+        m.trampolines.push_back(m.trampolines.front());
+        m.injectedRule = "patch-overlap";
+        return;
+      }
+
+      case InjectDefect::raMapEntry: {
+        Section *s = out_.findSection(SectionKind::raMap);
+        if (!s || s->bytes.empty())
+            return;
+        AddrPairMap parsed = AddrPairMap::parse(s->bytes);
+        if (parsed.empty())
+            return;
+        auto pairs = parsed.pairs();
+        pairs[0].second += 4;
+        s->bytes = AddrPairMap(pairs).serialize();
+        s->memSize = s->bytes.size();
+        m.injectedRule = "addr-map-round-trip";
+        return;
+      }
+
+      case InjectDefect::dropFde: {
+        auto fdes = out_.fdeRecords();
+        for (auto it = fdes.begin(); it != fdes.end(); ++it) {
+            if (!m.instrumented.count(it->start))
+                continue;
+            fdes.erase(it);
+            out_.setFdeRecords(fdes);
+            m.injectedRule = "eh-frame-cover";
+            return;
+        }
+        return;
+      }
+
+      case InjectDefect::funcPtrStale: {
+        // Restore a rewritten pointer cell (bytes and relocation)
+        // to its original value.
+        for (const auto &p : m.funcPtrs) {
+            if (p.kind != FuncPtrPatch::Kind::dataCell)
+                continue;
+            const auto orig = input_.readValue(p.site, 8);
+            if (!orig)
+                continue;
+            std::vector<std::uint8_t> raw;
+            for (unsigned b = 0; b < 8; ++b)
+                raw.push_back(
+                    static_cast<std::uint8_t>(*orig >> (8 * b)));
+            out_.writeBytes(p.site, raw);
+            for (const auto &in_rel : input_.relocs) {
+                if (in_rel.site != p.site)
+                    continue;
+                for (auto &rel : out_.relocs) {
+                    if (rel.site == p.site)
+                        rel.addend = in_rel.addend;
+                }
+            }
+            m.injectedRule = "func-ptr-target";
+            return;
+        }
+        return;
+      }
+
+      case InjectDefect::none:
+      case InjectDefect::liveScratch:
+      case InjectDefect::tocScratch:
+        return;
+    }
+}
+
 RewriteResult
 Rewriter::run()
 {
@@ -725,6 +1062,13 @@ Rewriter::run()
     {
         StageTimer timer(Stage::output);
         buildSections(engine);
+    }
+    if (opts_.lint) {
+        fillManifest(engine);
+        if (opts_.injectDefect != InjectDefect::none)
+            injectByteDefect();
+    } else {
+        result_.manifest = RewriteManifest{};
     }
     result_.stats.clonedTables = engine.clones.size();
     result_.stats.rewrittenLoadedSize = out_.loadedSize();

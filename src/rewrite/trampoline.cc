@@ -208,4 +208,17 @@ TrampolineWriter::install(const TrampolineRequest &req)
     return installWithFallback(req);
 }
 
+TrampolineOut
+TrampolineWriter::installForcedLongForm(const TrampolineRequest &req)
+{
+    icp_assert(arch_.fixedLength && req.space >= arch_.longTrampLen,
+               "forced long form needs a fixed ISA and space");
+    TrampolineOut out;
+    out.kind = TrampolineKind::longForm;
+    out.writes.push_back(
+        {req.at,
+         encodeLongForm(req.at, req.target, req.scratchReg, false)});
+    return out;
+}
+
 } // namespace icp

@@ -78,6 +78,15 @@ class TrampolineWriter
     /** Convenience: phase 1 then phase 2. */
     TrampolineOut install(const TrampolineRequest &req);
 
+    /**
+     * Force the in-place long form with req.scratchReg even when a
+     * direct branch would reach (fixed ISAs only; the caller must
+     * guarantee the space). Exists for fault injection: planting a
+     * long form with a deliberately live (or TOC) scratch register
+     * exercises the verifier's register rules.
+     */
+    TrampolineOut installForcedLongForm(const TrampolineRequest &req);
+
     /** Length of the in-place long form (Table 2's Len column). */
     unsigned longFormLen() const;
 

@@ -67,6 +67,7 @@ stageName(Stage stage)
       case Stage::relocate: return "relocation";
       case Stage::trampoline: return "trampoline";
       case Stage::output: return "output";
+      case Stage::lint: return "lint";
       case Stage::count_: break;
     }
     return "?";

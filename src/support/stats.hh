@@ -51,6 +51,7 @@ enum class Stage : unsigned
     relocate,   ///< per-function relocation/codegen + fixup
     trampoline, ///< trampoline placement + installation
     output,     ///< section assembly / maps / clobbering
+    lint,       ///< static soundness verification
     count_      ///< number of stages (not a stage)
 };
 

@@ -1,0 +1,836 @@
+#include "verify/lint.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "analysis/builder.hh"
+#include "analysis/liveness.hh"
+#include "binfmt/addr_map.hh"
+#include "binfmt/ehframe.hh"
+#include "isa/bytes.hh"
+#include "isa/reg_usage.hh"
+#include "sim/loader.hh"
+#include "support/stats.hh"
+
+namespace icp
+{
+
+namespace
+{
+
+std::string
+hex(Addr a)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(a));
+    return buf;
+}
+
+/**
+ * The rule checker. Walks the rewritten image against the manifest;
+ * each check() method appends at most a small number of findings so
+ * a single planted defect yields a focused report instead of a
+ * cascade.
+ */
+class Checker
+{
+  public:
+    Checker(const BinaryImage &orig, const BinaryImage &rew,
+            const RewriteManifest &m, const LintOptions &opts)
+        : orig_(orig),
+          rew_(rew),
+          m_(m),
+          opts_(opts),
+          arch_(rew.archInfo()),
+          instr_(rew.findSection(SectionKind::instr))
+    {
+        for (const auto &kv : m_.blockMap)
+            boundaries_.insert(kv.second);
+        for (const auto &kv : m_.insnMap)
+            boundaries_.insert(kv.second);
+    }
+
+    std::vector<Diagnostic>
+    run()
+    {
+        checkTrampolines();
+        checkScratchRegs();
+        checkTocPreserved();
+        checkClones();
+        checkOverlaps();
+        checkAddrMaps();
+        checkEhFrames();
+        if (opts_.checkLoadedImage)
+            checkFuncPtrs();
+        return std::move(findings_);
+    }
+
+  private:
+    // --- reporting -------------------------------------------------------
+
+    void
+    report(const char *rule, Severity sev, Addr orig_addr,
+           Addr new_addr, Addr func_entry, std::string msg)
+    {
+        Diagnostic d;
+        d.rule = rule;
+        d.severity = sev;
+        d.origAddr = orig_addr;
+        d.newAddr = new_addr;
+        if (const Symbol *s = orig_.functionContaining(func_entry))
+            d.function = s->name;
+        d.message = std::move(msg);
+        findings_.push_back(std::move(d));
+    }
+
+    // --- shared helpers --------------------------------------------------
+
+    bool
+    decodeAt(Addr a, Instruction &in) const
+    {
+        const Section *sec = rew_.sectionAt(a);
+        if (!sec)
+            return false;
+        const std::uint64_t avail = std::min<std::uint64_t>(
+            arch_.maxInstrLen, sec->end() - a);
+        std::vector<std::uint8_t> buf;
+        if (!rew_.readBytes(a, static_cast<std::size_t>(avail), buf))
+            return false;
+        return arch_.codec->decode(buf.data(), buf.size(), a, in) &&
+               in.valid();
+    }
+
+    const Function *
+    functionAt(Addr entry)
+    {
+        if (!cfgBuilt_) {
+            cfg_ = buildCfg(orig_);
+            cfgBuilt_ = true;
+        }
+        return cfg_.functionAt(entry);
+    }
+
+    const LivenessResult *
+    livenessAt(Addr entry)
+    {
+        auto it = liveness_.find(entry);
+        if (it != liveness_.end())
+            return &it->second;
+        const Function *fn = functionAt(entry);
+        if (!fn)
+            return nullptr;
+        return &liveness_.emplace(entry, computeLiveness(*fn, arch_))
+                    .first->second;
+    }
+
+    // --- R1/R2/R3/R12: trampoline chain walking --------------------------
+
+    /**
+     * Symbolically execute one trampoline chain: follow direct
+     * branches, evaluate the long-form address-materialization
+     * sequences (addis/addi/mtspr-tar/bctar, adrp/add/br, lea/jmp),
+     * and require the chain to terminate on a relocated instruction
+     * boundary equal to the manifest target. Emits at most one
+     * finding per trampoline, classified range -> chain -> target.
+     */
+    void
+    walkChain(const TrampolinePatch &p)
+    {
+        Addr addr = p.site;
+        std::set<Addr> visited;
+        std::map<Reg, Addr> vals;
+        bool tar_known = false;
+        Addr tar = 0;
+        unsigned steps = 0;
+
+        while (true) {
+            if (instr_ && instr_->contains(addr)) {
+                if (!boundaries_.count(addr)) {
+                    report("tramp-target", Severity::error, p.site,
+                           addr, p.funcEntry,
+                           "chain lands inside relocated code at " +
+                               hex(addr) +
+                               ", not on an instruction boundary");
+                } else if (addr != p.target) {
+                    report("tramp-target", Severity::error, p.site,
+                           addr, p.funcEntry,
+                           "chain reaches " + hex(addr) +
+                               " but the manifest target is " +
+                               hex(p.target));
+                }
+                return;
+            }
+            if (++steps > max_chain_steps) {
+                report("tramp-chain", Severity::error, p.site, addr,
+                       p.funcEntry,
+                       "chain executes more than 64 instructions "
+                       "without reaching relocated code");
+                return;
+            }
+            const Section *sec = rew_.sectionAt(addr);
+            if (!sec) {
+                report("tramp-target", Severity::error, p.site, addr,
+                       p.funcEntry,
+                       "chain escapes to unmapped address " +
+                           hex(addr));
+                return;
+            }
+            if (!sec->executable) {
+                report("tramp-target", Severity::error, p.site, addr,
+                       p.funcEntry,
+                       "chain enters non-executable section " +
+                           sec->name);
+                return;
+            }
+            Instruction in;
+            if (!decodeAt(addr, in)) {
+                report("tramp-target", Severity::error, p.site, addr,
+                       p.funcEntry,
+                       "undecodable instruction at " + hex(addr));
+                return;
+            }
+
+            switch (in.op) {
+              case Opcode::Jmp: {
+                const auto delta =
+                    static_cast<std::int64_t>(in.target) -
+                    static_cast<std::int64_t>(addr);
+                std::int64_t limit = arch_.directJmpRange;
+                if (!arch_.fixedLength &&
+                    in.length == arch_.shortJmpLen)
+                    limit = arch_.shortJmpRange;
+                if (delta < -limit || delta > limit) {
+                    report("tramp-range", Severity::error, p.site,
+                           addr, p.funcEntry,
+                           "branch at " + hex(addr) + " spans " +
+                               std::to_string(delta) +
+                               " bytes, beyond the ISA limit of +/-" +
+                               std::to_string(limit));
+                    return;
+                }
+                if (!visited.insert(addr).second) {
+                    report("tramp-chain", Severity::error, p.site,
+                           addr, p.funcEntry,
+                           "chain loops back through " + hex(addr));
+                    return;
+                }
+                addr = in.target;
+                continue;
+              }
+              case Opcode::Trap:
+                if (p.kind == TrampolineKind::trap) {
+                    report("tramp-trap", Severity::warning, p.site,
+                           p.target, p.funcEntry,
+                           "trap fallback at " + hex(p.site) +
+                               "; control reaches " + hex(p.target) +
+                               " only via runtime redirection");
+                } else {
+                    report("tramp-target", Severity::error, p.site,
+                           addr, p.funcEntry,
+                           "non-trap trampoline runs into a trap "
+                           "instruction at " +
+                               hex(addr));
+                }
+                return;
+              case Opcode::Store:
+                break; // scratch spill to the stack (ppc spill form)
+              case Opcode::Load:
+                vals.erase(in.rd); // spill restore
+                break;
+              case Opcode::AddisToc:
+                vals[in.rd] = static_cast<Addr>(
+                    static_cast<std::int64_t>(rew_.tocBase) +
+                    (in.imm << 16));
+                break;
+              case Opcode::AddImm: {
+                auto it = vals.find(in.rd);
+                if (it == vals.end()) {
+                    reportUnresolved(p, addr, in);
+                    return;
+                }
+                it->second = static_cast<Addr>(
+                    static_cast<std::int64_t>(it->second) + in.imm);
+                break;
+              }
+              case Opcode::Lea:
+              case Opcode::AdrPage:
+                vals[in.rd] = in.target;
+                break;
+              case Opcode::MovImm:
+                if (!in.movKeep) {
+                    vals[in.rd] = static_cast<Addr>(
+                        static_cast<std::uint64_t>(in.imm)
+                        << in.movShift);
+                } else {
+                    auto it = vals.find(in.rd);
+                    if (it == vals.end()) {
+                        reportUnresolved(p, addr, in);
+                        return;
+                    }
+                    it->second |=
+                        (static_cast<std::uint64_t>(in.imm) & 0xffff)
+                        << in.movShift;
+                }
+                break;
+              case Opcode::MovHi: {
+                auto it = vals.find(in.rd);
+                if (it == vals.end()) {
+                    reportUnresolved(p, addr, in);
+                    return;
+                }
+                it->second =
+                    (it->second & 0xffff) |
+                    ((static_cast<std::uint64_t>(in.imm) & 0xffff)
+                     << 16);
+                break;
+              }
+              case Opcode::MoveToTar: {
+                auto it = vals.find(in.rs1);
+                if (it == vals.end()) {
+                    reportUnresolved(p, addr, in);
+                    return;
+                }
+                tar = it->second;
+                tar_known = true;
+                break;
+              }
+              case Opcode::JmpTar:
+                if (!tar_known) {
+                    reportUnresolved(p, addr, in);
+                    return;
+                }
+                if (!visited.insert(addr).second) {
+                    report("tramp-chain", Severity::error, p.site,
+                           addr, p.funcEntry,
+                           "chain loops back through " + hex(addr));
+                    return;
+                }
+                addr = tar;
+                continue;
+              case Opcode::JmpInd: {
+                auto it = vals.find(in.rs1);
+                if (it == vals.end()) {
+                    reportUnresolved(p, addr, in);
+                    return;
+                }
+                if (!visited.insert(addr).second) {
+                    report("tramp-chain", Severity::error, p.site,
+                           addr, p.funcEntry,
+                           "chain loops back through " + hex(addr));
+                    return;
+                }
+                addr = it->second;
+                continue;
+              }
+              default:
+                report("tramp-target", Severity::error, p.site, addr,
+                       p.funcEntry,
+                       "unexpected instruction '" + in.toString() +
+                           "' in trampoline chain");
+                return;
+            }
+            addr += in.length;
+        }
+    }
+
+    void
+    reportUnresolved(const TrampolinePatch &p, Addr addr,
+                     const Instruction &in)
+    {
+        report("tramp-target", Severity::error, p.site, addr,
+               p.funcEntry,
+               "cannot resolve the branch target: '" + in.toString() +
+                   "' uses a register with no known value");
+    }
+
+    void
+    checkTrampolines()
+    {
+        for (const TrampolinePatch &p : m_.trampolines)
+            walkChain(p);
+    }
+
+    // --- R4: scratch-register liveness -----------------------------------
+
+    void
+    checkScratchRegs()
+    {
+        for (const TrampolinePatch &p : m_.trampolines) {
+            if (p.kind != TrampolineKind::longForm &&
+                p.kind != TrampolineKind::multiHop)
+                continue;
+            if (p.scratchReg == Reg::none ||
+                static_cast<unsigned>(p.scratchReg) >= num_gp_regs)
+                continue;
+            const LivenessResult *live = livenessAt(p.funcEntry);
+            if (!live)
+                continue;
+            if (live->liveAtBlockStart(p.site).contains(p.scratchReg))
+                report("tramp-scratch-live", Severity::error, p.site,
+                       p.target, p.funcEntry,
+                       std::string("long form clobbers ") +
+                           regName(p.scratchReg) +
+                           ", which is live at " + hex(p.site));
+        }
+    }
+
+    // --- R5: ppc64le TOC preservation ------------------------------------
+
+    void
+    checkTocPreserved()
+    {
+        if (!arch_.hasToc)
+            return;
+        for (const TrampolinePatch &p : m_.trampolines) {
+            bool flagged = false;
+            for (const auto &w : p.writes) {
+                for (Addr a = w.first;
+                     !flagged && a < w.first + w.second;) {
+                    Instruction in;
+                    if (!decodeAt(a, in))
+                        break; // the chain walker reports this
+                    if (regsWritten(in, arch_).contains(Reg::toc)) {
+                        report("toc-preserved", Severity::error,
+                               p.site, a, p.funcEntry,
+                               "trampoline instruction '" +
+                                   in.toString() +
+                                   "' clobbers the TOC register");
+                        flagged = true;
+                    }
+                    a += in.length;
+                }
+                if (flagged)
+                    break;
+            }
+        }
+    }
+
+    // --- R6/R7: cloned jump tables ---------------------------------------
+
+    void
+    checkClones()
+    {
+        const Section *ro = rew_.findSection(SectionKind::newRodata);
+        for (const JumpTableClonePatch &p : m_.clones) {
+            const Addr lo = p.cloneAddr;
+            const Addr hi = p.cloneAddr +
+                            static_cast<Addr>(p.entryCount) *
+                                p.entrySize;
+            if (!ro || lo < ro->addr || hi > ro->end()) {
+                report("jt-clone-bounds", Severity::error, p.jumpAddr,
+                       lo, p.funcEntry,
+                       "clone [" + hex(lo) + ", " + hex(hi) +
+                           ") escapes .newrodata" +
+                           (ro ? " [" + hex(ro->addr) + ", " +
+                                     hex(ro->end()) + ")"
+                               : " (section missing)"));
+                continue;
+            }
+            checkCloneEntries(p);
+        }
+    }
+
+    /**
+     * Re-derive each entry's branch destination exactly as the
+     * rewritten dispatch would: absolute entries hold the target;
+     * relative entries are sign-extended, scaled by the table's
+     * shift, and added to the relocated base anchor (the clone
+     * itself for table-relative bases, the base block's relocated
+     * address otherwise). Entries whose original target was not
+     * relocated are dispatch-unreachable garbage and stay zero.
+     */
+    void
+    checkCloneEntries(const JumpTableClonePatch &p)
+    {
+        Addr base_new = 0;
+        if (p.origBase) {
+            if (*p.origBase == p.origTableAddr) {
+                base_new = p.cloneAddr;
+            } else {
+                auto bb = m_.blockMap.find(*p.origBase);
+                if (bb == m_.blockMap.end()) {
+                    report("jt-clone-target", Severity::error,
+                           p.jumpAddr, p.cloneAddr, p.funcEntry,
+                           "table base anchor " + hex(*p.origBase) +
+                               " was not relocated");
+                    return;
+                }
+                base_new = bb->second;
+            }
+        }
+        const unsigned n = std::min<unsigned>(
+            p.entryCount,
+            static_cast<unsigned>(p.origTargets.size()));
+        for (unsigned i = 0; i < n; ++i) {
+            auto ti = m_.blockMap.find(p.origTargets[i]);
+            if (ti == m_.blockMap.end())
+                continue;
+            const Addr at = p.cloneAddr +
+                            static_cast<Addr>(i) * p.entrySize;
+            const auto value = rew_.readValue(at, p.entrySize);
+            ++checkedCloneEntries_;
+            if (!value) {
+                report("jt-clone-target", Severity::error,
+                       p.origTargets[i], at, p.funcEntry,
+                       "clone entry " + std::to_string(i) +
+                           " is unreadable");
+                return;
+            }
+            Addr actual;
+            if (!p.origBase)
+                actual = *value;
+            else
+                actual = static_cast<Addr>(
+                    static_cast<std::int64_t>(base_new) +
+                    (signExtend(*value, p.entrySize * 8)
+                     << p.shift));
+            if (actual != ti->second) {
+                report("jt-clone-target", Severity::error,
+                       p.origTargets[i], at, p.funcEntry,
+                       "clone entry " + std::to_string(i) +
+                           " decodes to " + hex(actual) +
+                           ", expected relocated block " +
+                           hex(ti->second));
+                return; // one finding per clone
+            }
+        }
+    }
+
+    // --- R8: patch overlap and placement ---------------------------------
+
+    void
+    checkOverlaps()
+    {
+        struct Ext
+        {
+            Addr lo, hi, site;
+        };
+        std::vector<Ext> exts;
+        for (const TrampolinePatch &p : m_.trampolines)
+            for (const auto &w : p.writes)
+                exts.push_back({w.first, w.first + w.second, p.site});
+
+        for (const Ext &e : exts) {
+            const Section *sec = rew_.sectionAt(e.lo);
+            if (!sec || !sec->executable || e.hi > sec->end()) {
+                report("patch-overlap", Severity::error, e.site, e.lo,
+                       e.site,
+                       "patch bytes [" + hex(e.lo) + ", " +
+                           hex(e.hi) +
+                           ") fall outside executable sections");
+                continue;
+            }
+            if (sec->kind == SectionKind::instr ||
+                sec->kind == SectionKind::newRodata)
+                report("patch-overlap", Severity::error, e.site, e.lo,
+                       e.site,
+                       "patch bytes land in generated section " +
+                           sec->name);
+            for (const auto &pr : m_.protectedRanges)
+                if (e.lo < pr.second && pr.first < e.hi)
+                    report("patch-overlap", Severity::error, e.site,
+                           e.lo, e.site,
+                           "patch bytes [" + hex(e.lo) + ", " +
+                               hex(e.hi) +
+                               ") overwrite protected table data [" +
+                               hex(pr.first) + ", " +
+                               hex(pr.second) + ")");
+        }
+
+        std::sort(exts.begin(), exts.end(),
+                  [](const Ext &a, const Ext &b) {
+                      return a.lo < b.lo ||
+                             (a.lo == b.lo && a.hi < b.hi);
+                  });
+        for (std::size_t i = 1; i < exts.size(); ++i)
+            if (exts[i].lo < exts[i - 1].hi)
+                report("patch-overlap", Severity::error,
+                       exts[i].site, exts[i].lo, exts[i].site,
+                       "patch bytes at " + hex(exts[i].lo) +
+                           " overlap the patch at " +
+                           hex(exts[i - 1].lo) + " (site " +
+                           hex(exts[i - 1].site) + ")");
+    }
+
+    // --- R9: address-map consistency -------------------------------------
+
+    void
+    checkAddrMaps()
+    {
+        checkMapInto("block map", m_.blockMap);
+        checkMapInto("instruction map", m_.insnMap);
+
+        // .ra_map must round-trip to the manifest's pairs.
+        const Section *ra = rew_.findSection(SectionKind::raMap);
+        std::vector<std::pair<Addr, Addr>> stored;
+        if (ra)
+            stored = AddrPairMap::parse(ra->bytes).pairs();
+        std::vector<std::pair<Addr, Addr>> expect =
+            AddrPairMap(m_.raPairs).pairs();
+        checkedRaPairs_ = expect.size();
+        comparePairs("'.ra_map'", stored, expect);
+
+        // .trap_map must hold exactly the trap trampolines.
+        const Section *tm = rew_.findSection(SectionKind::trapMap);
+        std::vector<std::pair<Addr, Addr>> traps;
+        if (tm)
+            traps = AddrPairMap::parse(tm->bytes).pairs();
+        std::vector<std::pair<Addr, Addr>> expect_traps;
+        for (const TrampolinePatch &p : m_.trampolines)
+            if (p.kind == TrampolineKind::trap)
+                expect_traps.emplace_back(p.site, p.target);
+        std::sort(expect_traps.begin(), expect_traps.end());
+        comparePairs("'.trap_map'", traps, expect_traps);
+    }
+
+    void
+    checkMapInto(const char *what, const std::map<Addr, Addr> &map)
+    {
+        std::map<Addr, Addr> reverse;
+        for (const auto &[o, n] : map) {
+            if (!instr_ || !instr_->contains(n)) {
+                report("addr-map-round-trip", Severity::error, o, n,
+                       o,
+                       std::string(what) + " sends " + hex(o) +
+                           " to " + hex(n) + ", outside .instr");
+                return;
+            }
+            if (!reverse.emplace(n, o).second) {
+                report("addr-map-round-trip", Severity::error, o, n,
+                       o,
+                       std::string(what) + " is not injective: " +
+                           hex(reverse[n]) + " and " + hex(o) +
+                           " both map to " + hex(n));
+                return;
+            }
+        }
+    }
+
+    void
+    comparePairs(const char *what,
+                 const std::vector<std::pair<Addr, Addr>> &stored,
+                 const std::vector<std::pair<Addr, Addr>> &expect)
+    {
+        if (stored == expect)
+            return;
+        Addr where = invalid_addr;
+        const std::size_t n = std::min(stored.size(), expect.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            if (stored[i] != expect[i]) {
+                where = stored[i].first;
+                break;
+            }
+        }
+        report("addr-map-round-trip", Severity::error, invalid_addr,
+               where, invalid_addr,
+               std::string(what) + " does not round-trip: section "
+                   "stores " + std::to_string(stored.size()) +
+                   " pairs, manifest has " +
+                   std::to_string(expect.size()) +
+                   (where == invalid_addr
+                        ? std::string()
+                        : ", first mismatch at key " + hex(where)));
+    }
+
+    // --- R10: unwind coverage --------------------------------------------
+
+    void
+    checkEhFrames()
+    {
+        if (m_.instrumented.empty())
+            return;
+        const FdeIndex orig_idx(orig_.fdeRecords());
+        const FdeIndex new_idx(rew_.fdeRecords());
+        for (Addr entry : m_.instrumented) {
+            const FdeRecord *of = orig_idx.find(entry);
+            if (!of)
+                continue;
+            ++checkedFdes_;
+            const FdeRecord *nf = new_idx.find(entry);
+            if (!nf || nf->start != of->start || nf->end != of->end)
+                report("eh-frame-cover", Severity::error, entry,
+                       invalid_addr, entry,
+                       "FDE [" + hex(of->start) + ", " +
+                           hex(of->end) +
+                           ") no longer covers the instrumented "
+                           "function");
+        }
+    }
+
+    // --- R11: function-pointer cells under the loader ---------------------
+
+    void
+    checkFuncPtrs()
+    {
+        bool any = false;
+        for (const FuncPtrPatch &p : m_.funcPtrs)
+            any |= p.kind == FuncPtrPatch::Kind::dataCell;
+        if (!any)
+            return;
+        const auto proc = loadImage(rew_);
+        for (const FuncPtrPatch &p : m_.funcPtrs) {
+            if (p.kind != FuncPtrPatch::Kind::dataCell)
+                continue;
+            ++checkedFuncPtrs_;
+            std::uint64_t value = 0;
+            const Addr cell = proc->module.toLoaded(p.site);
+            if (!proc->mem.read(cell, 8, value)) {
+                report("func-ptr-target", Severity::error, p.site,
+                       invalid_addr, p.funcEntry,
+                       "pointer cell at " + hex(p.site) +
+                           " is unmapped after loading");
+                continue;
+            }
+            const Addr expect = proc->module.toLoaded(p.newValue);
+            if (value != expect)
+                report("func-ptr-target", Severity::error, p.site,
+                       p.newValue, p.funcEntry,
+                       "loaded cell holds " + hex(value) +
+                           ", expected " + hex(expect) +
+                           " (relocated target " + hex(p.newValue) +
+                           ")");
+        }
+    }
+
+  public:
+    std::uint64_t checkedCloneEntries_ = 0;
+    std::uint64_t checkedFuncPtrs_ = 0;
+    std::uint64_t checkedRaPairs_ = 0;
+    std::uint64_t checkedFdes_ = 0;
+
+  private:
+    static constexpr unsigned max_chain_steps = 64;
+
+    const BinaryImage &orig_;
+    const BinaryImage &rew_;
+    const RewriteManifest &m_;
+    const LintOptions &opts_;
+    const ArchInfo &arch_;
+    const Section *instr_;
+
+    std::set<Addr> boundaries_; ///< valid relocated landing points
+    std::vector<Diagnostic> findings_;
+
+    bool cfgBuilt_ = false;
+    CfgModule cfg_;
+    std::map<Addr, LivenessResult> liveness_;
+};
+
+} // namespace
+
+LintReport
+lintRewrite(const BinaryImage &original, const RewriteResult &rw,
+            const LintOptions &opts)
+{
+    const StageTimer timer(Stage::lint);
+    LintReport rep;
+    if (!rw.ok) {
+        Diagnostic d;
+        d.rule = "lint-input";
+        d.message = "rewrite failed: " + rw.failReason;
+        rep.findings.push_back(std::move(d));
+        return rep;
+    }
+    if (!rw.manifest.populated) {
+        Diagnostic d;
+        d.rule = "lint-manifest";
+        d.message = "rewrite ran with RewriteOptions::lint off; no "
+                    "manifest to verify against";
+        rep.findings.push_back(std::move(d));
+        return rep;
+    }
+    Checker checker(original, rw.image, rw.manifest, opts);
+    rep.findings = checker.run();
+    rep.checkedTrampolines = rw.manifest.trampolines.size();
+    rep.checkedCloneEntries = checker.checkedCloneEntries_;
+    rep.checkedFuncPtrs = checker.checkedFuncPtrs_;
+    rep.checkedRaPairs = checker.checkedRaPairs_;
+    rep.checkedFdes = checker.checkedFdes_;
+    return rep;
+}
+
+std::vector<Diagnostic>
+diagnosticsFromSbfIssues(const std::vector<SbfIssue> &issues)
+{
+    std::vector<Diagnostic> out;
+    out.reserve(issues.size());
+    for (const SbfIssue &issue : issues) {
+        Diagnostic d;
+        d.rule = issue.rule;
+        d.severity = Severity::error;
+        d.message = issue.message + " (container offset " +
+                    std::to_string(issue.offset) + ")";
+        out.push_back(std::move(d));
+    }
+    return out;
+}
+
+std::string
+LintReport::renderText() const
+{
+    std::string out;
+    if (!findings.empty())
+        out += renderDiagnosticsText(findings);
+    char line[192];
+    std::snprintf(
+        line, sizeof(line),
+        "lint: %s (%u errors, %u warnings, %u notes)\n",
+        countAtLeast(Severity::error) ? "FAIL"
+        : findings.empty()            ? "clean"
+                                      : "clean with warnings",
+        countAtLeast(Severity::error),
+        countAtLeast(Severity::warning) -
+            countAtLeast(Severity::error),
+        static_cast<unsigned>(findings.size()) -
+            countAtLeast(Severity::warning));
+    out += line;
+    std::snprintf(
+        line, sizeof(line),
+        "checked: %llu trampolines, %llu clone entries, %llu "
+        "func-ptr cells, %llu ra-map pairs, %llu FDEs\n",
+        static_cast<unsigned long long>(checkedTrampolines),
+        static_cast<unsigned long long>(checkedCloneEntries),
+        static_cast<unsigned long long>(checkedFuncPtrs),
+        static_cast<unsigned long long>(checkedRaPairs),
+        static_cast<unsigned long long>(checkedFdes));
+    out += line;
+    return out;
+}
+
+std::string
+LintReport::renderJson() const
+{
+    const unsigned errors = countAtLeast(Severity::error);
+    const unsigned warnings =
+        countAtLeast(Severity::warning) - errors;
+    const unsigned notes =
+        static_cast<unsigned>(findings.size()) - errors - warnings;
+    std::string out = "{";
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"clean\": %s, \"errors\": %u, \"warnings\": %u, "
+        "\"notes\": %u, ",
+        findings.empty() ? "true" : "false", errors, warnings,
+        notes);
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"checked\": {\"trampolines\": %llu, \"clone_entries\": "
+        "%llu, \"func_ptrs\": %llu, \"ra_pairs\": %llu, \"fdes\": "
+        "%llu}, ",
+        static_cast<unsigned long long>(checkedTrampolines),
+        static_cast<unsigned long long>(checkedCloneEntries),
+        static_cast<unsigned long long>(checkedFuncPtrs),
+        static_cast<unsigned long long>(checkedRaPairs),
+        static_cast<unsigned long long>(checkedFdes));
+    out += buf;
+    out += "\"findings\": " + renderDiagnosticsJson(findings);
+    out += "}";
+    return out;
+}
+
+} // namespace icp

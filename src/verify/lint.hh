@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Static soundness verifier ("icp lint") for rewritten SBF images.
+ * Takes the original image and a RewriteResult (whose manifest
+ * records what the rewriter intended to emit) and checks, without
+ * executing anything, that the rewritten artifacts uphold the
+ * invariants the paper's design depends on: trampoline chains land
+ * on relocated instruction boundaries (§3), displacements respect
+ * each ISA's reach (Table 2), scratch registers are genuinely dead
+ * (§7), cloned jump tables stay in bounds and decode to relocated
+ * block heads (§5), address maps round-trip (§6), unwind coverage
+ * survives, and rewritten function-pointer cells load to their
+ * relocated targets (§5.2).
+ */
+
+#ifndef ICP_VERIFY_LINT_HH
+#define ICP_VERIFY_LINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "binfmt/image.hh"
+#include "rewrite/options.hh"
+#include "verify/diagnostics.hh"
+
+namespace icp
+{
+
+struct LintOptions
+{
+    /** Findings at or above this severity fail the lint. */
+    Severity failOn = Severity::error;
+
+    /**
+     * Run the loader-backed function-pointer rule (maps the image
+     * into simulated memory and applies runtime relocations).
+     */
+    bool checkLoadedImage = true;
+};
+
+struct LintReport
+{
+    std::vector<Diagnostic> findings;
+
+    // What was examined (for reporting; zero when skipped).
+    std::uint64_t checkedTrampolines = 0;
+    std::uint64_t checkedCloneEntries = 0;
+    std::uint64_t checkedFuncPtrs = 0;
+    std::uint64_t checkedRaPairs = 0;
+    std::uint64_t checkedFdes = 0;
+
+    bool clean() const { return findings.empty(); }
+
+    unsigned
+    countAtLeast(Severity floor) const
+    {
+        return icp::countAtLeast(findings, floor);
+    }
+
+    /** True when the report should fail a --fail-on=@p floor run. */
+    bool failed(Severity floor) const
+    {
+        return countAtLeast(floor) > 0;
+    }
+
+    /** Findings table plus a one-line summary and checked counts. */
+    std::string renderText() const;
+
+    /** Machine-readable report: summary, counts, findings array. */
+    std::string renderJson() const;
+};
+
+/**
+ * Verify @p rw (produced by rewriting @p original) against its
+ * manifest. The rewrite must have run with RewriteOptions::lint so
+ * the manifest is populated; otherwise a single "lint-manifest"
+ * finding is returned.
+ */
+LintReport lintRewrite(const BinaryImage &original,
+                       const RewriteResult &rw,
+                       const LintOptions &opts = LintOptions{});
+
+/** Convert SBF container issues into lint diagnostics. */
+std::vector<Diagnostic>
+diagnosticsFromSbfIssues(const std::vector<SbfIssue> &issues);
+
+} // namespace icp
+
+#endif // ICP_VERIFY_LINT_HH

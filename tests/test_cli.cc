@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <string>
 
+#include <sys/wait.h>
+
 #include <gtest/gtest.h>
 
 #ifndef ICP_CLI_PATH
@@ -23,6 +25,14 @@ run(const std::string &args)
     const std::string cmd =
         std::string(ICP_CLI_PATH) + " " + args + " > /dev/null 2>&1";
     return std::system(cmd.c_str());
+}
+
+/** The tool's actual exit code (run() returns the wait status). */
+int
+exitCode(const std::string &args)
+{
+    const int status = run(args);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
 std::string
@@ -113,4 +123,95 @@ TEST(Cli, BadUsageFailsCleanly)
     EXPECT_NE(run("frobnicate"), 0);
     EXPECT_NE(run("compile nosuchprofile /tmp/x.sbf"), 0);
     EXPECT_NE(run("run /tmp/definitely_missing.sbf"), 0);
+}
+
+TEST(Cli, LintCleanImageExitsZero)
+{
+    // Each lint test compiles to its own path: ctest runs these in
+    // parallel, and sharing a file races lint against recompilation.
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_lint_a.sbf --pie"), 0);
+    EXPECT_EQ(exitCode("lint /tmp/icp_cli_lint_a.sbf --mode func-ptr "
+                       "--count-blocks"),
+              0);
+    const std::string out =
+        capture("lint /tmp/icp_cli_lint_a.sbf --mode func-ptr");
+    EXPECT_NE(out.find("lint: clean"), std::string::npos) << out;
+    EXPECT_NE(out.find("checked:"), std::string::npos);
+}
+
+TEST(Cli, LintInjectedDefectExitsTwo)
+{
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_lint_b.sbf --pie"), 0);
+    EXPECT_EQ(exitCode("lint /tmp/icp_cli_lint_b.sbf --mode func-ptr "
+                       "--inject tramp-target"),
+              2);
+    const std::string out =
+        capture("lint /tmp/icp_cli_lint_b.sbf --mode func-ptr "
+                "--inject tramp-target");
+    EXPECT_NE(out.find("tramp-target"), std::string::npos) << out;
+    EXPECT_NE(out.find("lint: FAIL"), std::string::npos);
+}
+
+TEST(Cli, LintJsonIsMachineReadable)
+{
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_lint_c.sbf --pie"), 0);
+    const std::string clean =
+        capture("lint /tmp/icp_cli_lint_c.sbf --mode jt --json");
+    EXPECT_NE(clean.find("\"clean\": true"), std::string::npos)
+        << clean;
+    EXPECT_NE(clean.find("\"findings\": ["), std::string::npos);
+
+    const std::string dirty =
+        capture("lint /tmp/icp_cli_lint_c.sbf --mode jt --json "
+                "--inject double-patch");
+    EXPECT_NE(dirty.find("\"clean\": false"), std::string::npos);
+    EXPECT_NE(dirty.find("\"rule\": \"patch-overlap\""),
+              std::string::npos);
+}
+
+TEST(Cli, LintFailOnThreshold)
+{
+    // Trap-producing config: warnings only, so the default error
+    // threshold passes and --fail-on warning fails.
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_trap.sbf "
+                  "--arch x64 --pie"),
+              0);
+    const std::string args = "lint /tmp/icp_cli_trap.sbf --mode jt "
+                             "--no-placement --no-multihop";
+    EXPECT_EQ(exitCode(args), 0);
+    EXPECT_EQ(exitCode(args + " --fail-on warning"), 2);
+}
+
+TEST(Cli, LintMalformedContainerReportsRule)
+{
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_m.sbf"), 0);
+    ASSERT_EQ(std::system("head -c 50 /tmp/icp_cli_m.sbf > "
+                          "/tmp/icp_cli_trunc.sbf"),
+              0);
+    EXPECT_EQ(exitCode("lint /tmp/icp_cli_trunc.sbf"), 2);
+    const std::string out = capture("lint /tmp/icp_cli_trunc.sbf");
+    EXPECT_NE(out.find("sbf-truncated"), std::string::npos) << out;
+
+    // Non-lint commands fail with the same structured rule id.
+    EXPECT_EQ(exitCode("inspect /tmp/icp_cli_trunc.sbf"), 1);
+}
+
+TEST(Cli, RewriteWithLintGate)
+{
+    ASSERT_EQ(run("compile spec1 /tmp/icp_cli_rl.sbf"), 0);
+    EXPECT_EQ(exitCode("rewrite /tmp/icp_cli_rl.sbf "
+                       "/tmp/icp_cli_rl_out.sbf --mode jt --lint"),
+              0);
+    const std::string out =
+        capture("rewrite /tmp/icp_cli_rl.sbf /tmp/icp_cli_rl_out.sbf "
+                "--mode jt --lint");
+    EXPECT_NE(out.find("lint: clean"), std::string::npos) << out;
+}
+
+TEST(Cli, LintRulesListsRegistry)
+{
+    const std::string out = capture("lint --rules");
+    EXPECT_NE(out.find("tramp-target"), std::string::npos);
+    EXPECT_NE(out.find("jt-clone-bounds"), std::string::npos);
+    EXPECT_NE(out.find("addr-map-round-trip"), std::string::npos);
 }

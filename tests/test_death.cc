@@ -10,6 +10,8 @@
 
 #include "binfmt/addr_map.hh"
 #include "binfmt/image.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
 #include "isa/assembler.hh"
 #include "support/logging.hh"
 
@@ -77,4 +79,98 @@ TEST(DeathTests, FixedCodecRejectsMisalignedEncode)
     std::vector<std::uint8_t> out;
     EXPECT_DEATH(arch.codec->encode(makeNop(), 0x1001, out),
                  "misaligned");
+}
+
+// --- malformed SBF containers ---------------------------------------------
+//
+// The aborting deserialize() names the violated validation rule, and
+// the validating tryDeserialize() reports the same rule as a
+// structured issue instead of dying.
+
+TEST(DeathTests, DeserializeNamesTruncationRule)
+{
+    auto raw = compileProgram(microProfile(Arch::x64, false))
+                   .serialize();
+    raw.resize(raw.size() / 2);
+    EXPECT_DEATH(BinaryImage::deserialize(raw), "sbf-truncated");
+}
+
+TEST(DeathTests, DeserializeNamesMagicRule)
+{
+    auto raw = compileProgram(microProfile(Arch::x64, false))
+                   .serialize();
+    raw[0] ^= 0xff;
+    EXPECT_DEATH(BinaryImage::deserialize(raw), "sbf-magic");
+}
+
+TEST(SbfValidation, TryDeserializeReportsTruncation)
+{
+    auto raw = compileProgram(microProfile(Arch::x64, false))
+                   .serialize();
+    raw.resize(raw.size() / 2);
+    std::vector<SbfIssue> issues;
+    EXPECT_FALSE(BinaryImage::tryDeserialize(raw, issues));
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].rule, "sbf-truncated");
+    EXPECT_GT(issues[0].offset, 0u);
+}
+
+TEST(SbfValidation, TryDeserializeReportsBadMagic)
+{
+    auto raw = compileProgram(microProfile(Arch::x64, false))
+                   .serialize();
+    raw[1] ^= 0xff;
+    std::vector<SbfIssue> issues;
+    EXPECT_FALSE(BinaryImage::tryDeserialize(raw, issues));
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].rule, "sbf-magic");
+}
+
+TEST(SbfValidation, TryDeserializeReportsSectionOverlap)
+{
+    // Bypass addSection's overlap assertion to craft a container
+    // whose sections collide, as a corrupted file would.
+    BinaryImage img;
+    Section a;
+    a.name = ".a";
+    a.addr = 0x1000;
+    a.memSize = 0x100;
+    img.sections.push_back(a);
+    Section b;
+    b.name = ".b";
+    b.addr = 0x1080;
+    b.memSize = 0x100;
+    img.sections.push_back(b);
+    std::vector<SbfIssue> issues;
+    EXPECT_FALSE(BinaryImage::tryDeserialize(img.serialize(), issues));
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].rule, "sbf-section-overlap");
+}
+
+TEST(SbfValidation, TryDeserializeReportsPayloadOverflow)
+{
+    BinaryImage img;
+    Section a;
+    a.name = ".a";
+    a.addr = 0x1000;
+    a.memSize = 0x10;
+    a.bytes.assign(0x20, 0xab); // payload larger than memSize
+    img.sections.push_back(a);
+    std::vector<SbfIssue> issues;
+    EXPECT_FALSE(BinaryImage::tryDeserialize(img.serialize(), issues));
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].rule, "sbf-section-bounds");
+}
+
+TEST(SbfValidation, TryDeserializeRoundTripsValidImage)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::aarch64, true));
+    std::vector<SbfIssue> issues;
+    const auto parsed =
+        BinaryImage::tryDeserialize(img.serialize(), issues);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(issues.empty());
+    EXPECT_EQ(parsed->arch, img.arch);
+    EXPECT_EQ(parsed->sections.size(), img.sections.size());
 }

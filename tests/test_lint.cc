@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the static soundness verifier: the standard corpus must
+ * lint clean for every ISA × mode × placement/multi-hop knob combo,
+ * and each fault-injection defect must trip exactly the lint rule
+ * the manifest records — the verifier's self test.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "rewrite/rewriter.hh"
+#include "verify/lint.hh"
+
+using namespace icp;
+
+namespace
+{
+
+BinaryImage
+compileMicro(Arch arch, bool pie = true)
+{
+    return compileProgram(microProfile(arch, pie));
+}
+
+/** Errors only; tramp-trap warnings are expected on tight configs. */
+unsigned
+errorCount(const LintReport &rep)
+{
+    return rep.countAtLeast(Severity::error);
+}
+
+} // namespace
+
+// --- lint-clean matrix ----------------------------------------------------
+
+struct CleanParam
+{
+    Arch arch;
+    RewriteMode mode;
+};
+
+class LintClean : public ::testing::TestWithParam<CleanParam>
+{
+};
+
+std::string
+cleanName(const ::testing::TestParamInfo<CleanParam> &info)
+{
+    std::string s = std::string(archName(info.param.arch)) + "_" +
+                    rewriteModeName(info.param.mode);
+    for (char &c : s)
+        if (c == '-')
+            c = '_';
+    return s;
+}
+
+TEST_P(LintClean, StandardCorpusIsClean)
+{
+    const auto [arch, mode] = GetParam();
+    const BinaryImage img = compileMicro(arch);
+    for (const bool placement : {true, false}) {
+        for (const bool multihop : {true, false}) {
+            RewriteOptions opts;
+            opts.mode = mode;
+            opts.trampolinePlacement = placement;
+            opts.multiHop = multihop;
+            opts.instrumentation.countBlocks = true;
+            const RewriteResult rw = rewriteBinary(img, opts);
+            ASSERT_TRUE(rw.ok) << rw.failReason;
+            ASSERT_TRUE(rw.manifest.populated);
+            const LintReport rep = lintRewrite(img, rw);
+            EXPECT_EQ(errorCount(rep), 0u)
+                << "placement=" << placement
+                << " multihop=" << multihop << "\n"
+                << rep.renderText();
+            EXPECT_GT(rep.checkedTrampolines, 0u);
+        }
+    }
+}
+
+TEST_P(LintClean, SpecWorkloadIsClean)
+{
+    const auto [arch, mode] = GetParam();
+    const auto suite = specCpuSuite(arch, false);
+    const BinaryImage img = compileProgram(suite[3]);
+    RewriteOptions opts;
+    opts.mode = mode;
+    opts.clobberOriginal = true;
+    opts.instrumentation.countFunctionEntries = true;
+    const RewriteResult rw = rewriteBinary(img, opts);
+    ASSERT_TRUE(rw.ok) << rw.failReason;
+    const LintReport rep = lintRewrite(img, rw);
+    EXPECT_EQ(errorCount(rep), 0u) << rep.renderText();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, LintClean,
+    ::testing::Values(
+        CleanParam{Arch::x64, RewriteMode::dir},
+        CleanParam{Arch::x64, RewriteMode::jt},
+        CleanParam{Arch::x64, RewriteMode::funcPtr},
+        CleanParam{Arch::ppc64le, RewriteMode::dir},
+        CleanParam{Arch::ppc64le, RewriteMode::jt},
+        CleanParam{Arch::ppc64le, RewriteMode::funcPtr},
+        CleanParam{Arch::aarch64, RewriteMode::dir},
+        CleanParam{Arch::aarch64, RewriteMode::jt},
+        CleanParam{Arch::aarch64, RewriteMode::funcPtr}),
+    cleanName);
+
+// --- fault injection: each defect trips exactly its rule ------------------
+
+struct InjectParam
+{
+    Arch arch;
+    InjectDefect defect;
+};
+
+class LintInjection : public ::testing::TestWithParam<InjectParam>
+{
+};
+
+std::string
+injectName(const ::testing::TestParamInfo<InjectParam> &info)
+{
+    std::string s = archName(info.param.arch);
+    for (char &c : s)
+        if (c == '-')
+            c = '_';
+    std::string d = injectDefectName(info.param.defect);
+    for (char &c : d)
+        if (c == '-')
+            c = '_';
+    return s + "_" + d;
+}
+
+TEST_P(LintInjection, DefectTripsExactlyItsRule)
+{
+    const auto [arch, defect] = GetParam();
+    const BinaryImage img = compileMicro(arch);
+    RewriteOptions opts;
+    opts.mode = RewriteMode::funcPtr;
+    opts.instrumentation.countBlocks = true;
+    opts.injectDefect = defect;
+    const RewriteResult rw = rewriteBinary(img, opts);
+    ASSERT_TRUE(rw.ok) << rw.failReason;
+
+    if (rw.manifest.injectedRule.empty())
+        GTEST_SKIP() << "defect " << injectDefectName(defect)
+                     << " not applicable on " << archName(arch);
+
+    const LintReport rep = lintRewrite(img, rw);
+    EXPECT_GE(errorCount(rep), 1u)
+        << "planted defect went undetected: "
+        << rw.manifest.injectedRule;
+    for (const Diagnostic &d : rep.findings) {
+        if (d.severity < Severity::error)
+            continue;
+        EXPECT_EQ(d.rule, rw.manifest.injectedRule)
+            << "defect " << injectDefectName(defect)
+            << " tripped a different rule:\n"
+            << rep.renderText();
+    }
+
+    // The same config without injection is clean — the finding is
+    // attributable to the planted defect alone.
+    opts.injectDefect = InjectDefect::none;
+    const RewriteResult clean_rw = rewriteBinary(img, opts);
+    ASSERT_TRUE(clean_rw.ok);
+    EXPECT_EQ(errorCount(lintRewrite(img, clean_rw)), 0u);
+}
+
+std::vector<InjectParam>
+allInjections()
+{
+    std::vector<InjectParam> params;
+    for (Arch arch : all_arches) {
+        for (auto d = static_cast<unsigned>(InjectDefect::trampTarget);
+             d <= static_cast<unsigned>(InjectDefect::funcPtrStale);
+             ++d)
+            params.push_back({arch, static_cast<InjectDefect>(d)});
+    }
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDefects, LintInjection,
+                         ::testing::ValuesIn(allInjections()),
+                         injectName);
+
+// --- injection applicability ----------------------------------------------
+
+TEST(LintInjectionCoverage, EveryDefectFiresOnSomeArch)
+{
+    // Each defect must be plantable on at least one ISA, so every
+    // rule's detection path is genuinely exercised by the matrix.
+    for (auto d = static_cast<unsigned>(InjectDefect::trampTarget);
+         d <= static_cast<unsigned>(InjectDefect::funcPtrStale);
+         ++d) {
+        const auto defect = static_cast<InjectDefect>(d);
+        bool fired = false;
+        for (Arch arch : all_arches) {
+            RewriteOptions opts;
+            opts.mode = RewriteMode::funcPtr;
+            opts.instrumentation.countBlocks = true;
+            opts.injectDefect = defect;
+            const RewriteResult rw =
+                rewriteBinary(compileMicro(arch), opts);
+            ASSERT_TRUE(rw.ok);
+            fired |= !rw.manifest.injectedRule.empty();
+        }
+        EXPECT_TRUE(fired) << "defect " << injectDefectName(defect)
+                           << " never applicable";
+    }
+}
+
+// --- severity model and fail-on thresholds --------------------------------
+
+TEST(LintSeverity, TrapTrampolinesAreWarningsNotErrors)
+{
+    // SRBI-style placement without multi-hop forces trap fallbacks
+    // on x64: blocks shorter than the 5-byte near branch cannot
+    // reach .instr with the 2-byte short form.
+    const BinaryImage img = compileMicro(Arch::x64);
+    RewriteOptions opts;
+    opts.mode = RewriteMode::jt;
+    opts.trampolinePlacement = false;
+    opts.multiHop = false;
+    opts.instrumentation.countBlocks = true;
+    const RewriteResult rw = rewriteBinary(img, opts);
+    ASSERT_TRUE(rw.ok) << rw.failReason;
+    if (rw.stats.trapTramps == 0)
+        GTEST_SKIP() << "config produced no trap trampolines";
+
+    const LintReport rep = lintRewrite(img, rw);
+    EXPECT_EQ(rep.countAtLeast(Severity::error), 0u)
+        << rep.renderText();
+    EXPECT_GE(rep.countAtLeast(Severity::warning),
+              rw.stats.trapTramps);
+    EXPECT_FALSE(rep.failed(Severity::error));
+    EXPECT_TRUE(rep.failed(Severity::warning));
+    EXPECT_FALSE(rep.clean());
+}
+
+TEST(LintSeverity, ParseAndName)
+{
+    EXPECT_EQ(parseSeverity("error"), Severity::error);
+    EXPECT_EQ(parseSeverity("warning"), Severity::warning);
+    EXPECT_EQ(parseSeverity("info"), Severity::info);
+    EXPECT_FALSE(parseSeverity("fatal").has_value());
+    EXPECT_STREQ(severityName(Severity::warning), "warning");
+}
+
+// --- report plumbing ------------------------------------------------------
+
+TEST(LintReportTest, ManifestOffYieldsSingleFinding)
+{
+    const BinaryImage img = compileMicro(Arch::x64);
+    RewriteOptions opts;
+    opts.lint = false;
+    const RewriteResult rw = rewriteBinary(img, opts);
+    ASSERT_TRUE(rw.ok);
+    EXPECT_FALSE(rw.manifest.populated);
+    const LintReport rep = lintRewrite(img, rw);
+    ASSERT_EQ(rep.findings.size(), 1u);
+    EXPECT_EQ(rep.findings[0].rule, "lint-manifest");
+}
+
+TEST(LintReportTest, FailedRewriteYieldsLintInput)
+{
+    const BinaryImage img = compileMicro(Arch::x64);
+    RewriteOptions opts;
+    // Reachability pruning under byte clobbering is rejected.
+    opts.reachabilityPruning = true;
+    opts.clobberOriginal = true;
+    const RewriteResult rw = rewriteBinary(img, opts);
+    ASSERT_FALSE(rw.ok);
+    const LintReport rep = lintRewrite(img, rw);
+    ASSERT_EQ(rep.findings.size(), 1u);
+    EXPECT_EQ(rep.findings[0].rule, "lint-input");
+}
+
+TEST(LintReportTest, RendersTextAndJson)
+{
+    const BinaryImage img = compileMicro(Arch::x64);
+    RewriteOptions opts;
+    opts.mode = RewriteMode::funcPtr;
+    opts.injectDefect = InjectDefect::doublePatch;
+    const RewriteResult rw = rewriteBinary(img, opts);
+    ASSERT_TRUE(rw.ok);
+    const LintReport rep = lintRewrite(img, rw);
+    ASSERT_FALSE(rep.clean());
+
+    const std::string text = rep.renderText();
+    EXPECT_NE(text.find("patch-overlap"), std::string::npos);
+    EXPECT_NE(text.find("lint: FAIL"), std::string::npos);
+
+    const std::string json = rep.renderJson();
+    EXPECT_NE(json.find("\"clean\": false"), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"patch-overlap\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"checked\""), std::string::npos);
+}
+
+TEST(LintReportTest, SbfIssuesConvertToDiagnostics)
+{
+    std::vector<SbfIssue> issues = {
+        {"sbf-magic", 0, "container does not start with SBF1"},
+        {"sbf-truncated", 17, "section payload runs past end"},
+    };
+    const auto diags = diagnosticsFromSbfIssues(issues);
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].rule, "sbf-magic");
+    EXPECT_EQ(diags[0].severity, Severity::error);
+    EXPECT_NE(diags[1].message.find("offset 17"), std::string::npos);
+}
+
+TEST(LintReportTest, RuleRegistryCoversEmittedRules)
+{
+    std::set<std::string> registered;
+    for (const LintRuleInfo &r : lintRules())
+        registered.insert(r.id);
+    // Every rule the fault injector can name is registered.
+    for (auto d = static_cast<unsigned>(InjectDefect::trampTarget);
+         d <= static_cast<unsigned>(InjectDefect::funcPtrStale);
+         ++d) {
+        for (Arch arch : all_arches) {
+            RewriteOptions opts;
+            opts.mode = RewriteMode::funcPtr;
+            opts.injectDefect = static_cast<InjectDefect>(d);
+            const RewriteResult rw =
+                rewriteBinary(compileMicro(arch), opts);
+            if (!rw.manifest.injectedRule.empty()) {
+                EXPECT_TRUE(
+                    registered.count(rw.manifest.injectedRule))
+                    << rw.manifest.injectedRule;
+            }
+        }
+    }
+}

@@ -12,6 +12,7 @@
 #include "codegen/workloads.hh"
 #include "harness/verify.hh"
 #include "rewrite/rewriter.hh"
+#include "verify/lint.hh"
 
 using namespace icp;
 
@@ -87,6 +88,12 @@ TEST_P(SuiteSweep, StrongTestPasses)
     const VerifyOutcome outcome =
         verifyRewrite(img, rw, Machine::Config{});
     EXPECT_TRUE(outcome.pass) << outcome.reason;
+
+    // The static soundness verifier is a property oracle over the
+    // whole matrix: no combination may produce an error finding.
+    const LintReport lint = lintRewrite(img, rw);
+    EXPECT_EQ(lint.countAtLeast(Severity::error), 0u)
+        << lint.renderText();
 
     // Mode invariants.
     if (param.mode == RewriteMode::dir) {

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Full pre-merge check: a ThreadSanitizer build running the parallel
 # determinism tests (the pipeline's concurrency is only exercised
-# with >= 2 requested threads, which TSan then observes), followed by
-# a plain release build running the complete test suite.
+# with >= 2 requested threads, which TSan then observes), an
+# Address+UBSanitizer build running the memory-heavy suites (the
+# rewriter, the verifier, and the binary-format validator do the
+# bulk of the byte-level pointer work), followed by a plain release
+# build running the complete test suite.
 #
 # Usage: tools/check.sh [jobs]    (default: nproc)
 
@@ -20,6 +23,20 @@ cmake --build build-tsan -j "$jobs" --target test_parallel
 
 echo "== TSan: parallel pipeline tests =="
 ./build-tsan/tests/test_parallel
+
+echo "== Address+UBSanitizer build (build-asan/) =="
+cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j "$jobs" \
+    --target test_lint test_rewrite test_binfmt test_engine
+
+echo "== ASan+UBSan: rewriter / verifier / binfmt tests =="
+./build-asan/tests/test_lint
+./build-asan/tests/test_rewrite
+./build-asan/tests/test_binfmt
+./build-asan/tests/test_engine
 
 echo "== Release build (build/) =="
 cmake -B build -S .

@@ -9,15 +9,25 @@
  *               [--count-blocks] [--count-entries] [--only f1,f2]
  *               [--no-placement] [--no-multihop] [--call-emulation]
  *               [--threads N] [--no-cache] [--timing]
+ *               [--lint] [--fail-on S]
+ *   icp lint    <in.sbf> [rewrite options] [--json]
+ *               [--fail-on info|warning|error] [--inject DEFECT]
+ *               [--no-load-check] [--rules]
  *   icp run     <in.sbf> [--gc N]
  *   icp inspect <in.sbf> [function]
  *
  * Profiles: micro, spec0..spec18, libxul, docker, libcuda.
+ *
+ * `icp lint` rewrites the input in memory and runs the static
+ * soundness verifier over the result. Exit codes: 0 when no finding
+ * reaches --fail-on (default error), 2 when findings do, 1 on
+ * operational errors (unreadable file).
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +38,7 @@
 #include "sim/loader.hh"
 #include "sim/machine.hh"
 #include "support/stats.hh"
+#include "verify/lint.hh"
 
 using namespace icp;
 
@@ -47,7 +58,11 @@ usage()
                  "                   [--no-placement] "
                  "[--no-multihop] [--call-emulation]\n"
                  "                   [--threads N] [--no-cache] "
-                 "[--timing]\n"
+                 "[--timing] [--lint] [--fail-on S]\n"
+                 "       icp lint <in.sbf> [rewrite options] "
+                 "[--json] [--fail-on info|warning|error]\n"
+                 "                [--inject DEFECT] "
+                 "[--no-load-check] [--rules]\n"
                  "       icp run <in.sbf> [--gc N]\n"
                  "       icp inspect <in.sbf> [function]\n");
     return 2;
@@ -73,6 +88,84 @@ readFile(const std::string &path, std::vector<std::uint8_t> &bytes)
         return false;
     bytes.assign(std::istreambuf_iterator<char>(in),
                  std::istreambuf_iterator<char>());
+    return true;
+}
+
+/**
+ * Read and validate an SBF file. Malformed containers produce the
+ * validator's structured diagnostics on stderr (rule id + message)
+ * instead of an abort.
+ */
+std::optional<BinaryImage>
+loadSbf(const char *path)
+{
+    std::vector<std::uint8_t> raw;
+    if (!readFile(path, raw)) {
+        std::fprintf(stderr, "cannot read %s\n", path);
+        return std::nullopt;
+    }
+    std::vector<SbfIssue> issues;
+    auto img = BinaryImage::tryDeserialize(raw, issues);
+    if (!img) {
+        for (const SbfIssue &issue : issues)
+            std::fprintf(stderr, "%s: [%s] %s (offset %zu)\n", path,
+                         issue.rule.c_str(), issue.message.c_str(),
+                         issue.offset);
+        return std::nullopt;
+    }
+    return img;
+}
+
+/**
+ * Parse one rewrite-option flag at argv[i], advancing i past any
+ * value. Returns false when argv[i] is not a rewrite option; sets
+ * *bad when the flag is recognized but malformed.
+ */
+bool
+parseRewriteFlag(RewriteOptions &opts, int argc, char **argv, int &i,
+                 bool *bad)
+{
+    const std::string arg = argv[i];
+    if (arg == "--mode" && i + 1 < argc) {
+        const std::string m = argv[++i];
+        if (m == "dir")
+            opts.mode = RewriteMode::dir;
+        else if (m == "jt")
+            opts.mode = RewriteMode::jt;
+        else if (m == "func-ptr")
+            opts.mode = RewriteMode::funcPtr;
+        else
+            *bad = true;
+    } else if (arg == "--clobber") {
+        opts.clobberOriginal = true;
+    } else if (arg == "--count-blocks") {
+        opts.instrumentation.countBlocks = true;
+    } else if (arg == "--count-entries") {
+        opts.instrumentation.countFunctionEntries = true;
+    } else if (arg == "--no-placement") {
+        opts.trampolinePlacement = false;
+    } else if (arg == "--no-multihop") {
+        opts.multiHop = false;
+    } else if (arg == "--call-emulation") {
+        opts.raTranslation = false;
+    } else if (arg == "--threads" && i + 1 < argc) {
+        opts.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--no-cache") {
+        opts.useAnalysisCache = false;
+    } else if (arg == "--only" && i + 1 < argc) {
+        std::string list = argv[++i];
+        std::size_t pos = 0;
+        while (pos != std::string::npos) {
+            const std::size_t comma = list.find(',', pos);
+            opts.onlyFunctions.insert(
+                list.substr(pos, comma == std::string::npos
+                                     ? comma
+                                     : comma - pos));
+            pos = comma == std::string::npos ? comma : comma + 1;
+        }
+    } else {
+        return false;
+    }
     return true;
 }
 
@@ -146,58 +239,32 @@ cmdRewrite(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
-    std::vector<std::uint8_t> raw;
-    if (!readFile(argv[0], raw)) {
-        std::fprintf(stderr, "cannot read %s\n", argv[0]);
+    const auto img_opt = loadSbf(argv[0]);
+    if (!img_opt)
         return 1;
-    }
-    const BinaryImage img = BinaryImage::deserialize(raw);
+    const BinaryImage &img = *img_opt;
 
     RewriteOptions opts;
     opts.mode = RewriteMode::jt;
     bool timing = false;
+    bool lint = false;
+    Severity fail_on = Severity::error;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--mode" && i + 1 < argc) {
-            const std::string m = argv[++i];
-            if (m == "dir")
-                opts.mode = RewriteMode::dir;
-            else if (m == "jt")
-                opts.mode = RewriteMode::jt;
-            else if (m == "func-ptr")
-                opts.mode = RewriteMode::funcPtr;
-            else
+        bool bad = false;
+        if (parseRewriteFlag(opts, argc, argv, i, &bad)) {
+            if (bad)
                 return usage();
-        } else if (arg == "--clobber") {
-            opts.clobberOriginal = true;
-        } else if (arg == "--count-blocks") {
-            opts.instrumentation.countBlocks = true;
-        } else if (arg == "--count-entries") {
-            opts.instrumentation.countFunctionEntries = true;
-        } else if (arg == "--no-placement") {
-            opts.trampolinePlacement = false;
-        } else if (arg == "--no-multihop") {
-            opts.multiHop = false;
-        } else if (arg == "--call-emulation") {
-            opts.raTranslation = false;
-        } else if (arg == "--threads" && i + 1 < argc) {
-            opts.threads =
-                static_cast<unsigned>(std::atoi(argv[++i]));
-        } else if (arg == "--no-cache") {
-            opts.useAnalysisCache = false;
         } else if (arg == "--timing") {
             timing = true;
-        } else if (arg == "--only" && i + 1 < argc) {
-            std::string list = argv[++i];
-            std::size_t pos = 0;
-            while (pos != std::string::npos) {
-                const std::size_t comma = list.find(',', pos);
-                opts.onlyFunctions.insert(
-                    list.substr(pos, comma == std::string::npos
-                                         ? comma
-                                         : comma - pos));
-                pos = comma == std::string::npos ? comma : comma + 1;
-            }
+        } else if (arg == "--lint") {
+            lint = true;
+        } else if (arg == "--fail-on" && i + 1 < argc) {
+            const auto sev = parseSeverity(argv[++i]);
+            if (!sev)
+                return usage();
+            fail_on = *sev;
+            lint = true;
         } else {
             return usage();
         }
@@ -239,7 +306,89 @@ cmdRewrite(int argc, char **argv)
                 rw.stats.sizeIncrease() * 100.0);
     if (timing)
         std::printf("%s", StageTimers::global().table().c_str());
+    if (lint) {
+        const LintReport report = lintRewrite(img, rw);
+        std::printf("%s", report.renderText().c_str());
+        if (report.failed(fail_on))
+            return 2;
+    }
     return 0;
+}
+
+int
+cmdLint(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    if (std::strcmp(argv[0], "--rules") == 0) {
+        for (const LintRuleInfo &r : lintRules())
+            std::printf("%-20s %-8s %s\n", r.id,
+                        severityName(r.severity), r.summary);
+        return 0;
+    }
+
+    RewriteOptions opts;
+    opts.mode = RewriteMode::jt;
+    opts.lint = true;
+    LintOptions lopts;
+    bool json = false;
+    bool show_injected = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        bool bad = false;
+        if (parseRewriteFlag(opts, argc, argv, i, &bad)) {
+            if (bad)
+                return usage();
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--no-load-check") {
+            lopts.checkLoadedImage = false;
+        } else if (arg == "--fail-on" && i + 1 < argc) {
+            const auto sev = parseSeverity(argv[++i]);
+            if (!sev)
+                return usage();
+            lopts.failOn = *sev;
+        } else if (arg == "--inject" && i + 1 < argc) {
+            const auto defect = parseInjectDefect(argv[++i]);
+            if (!defect)
+                return usage();
+            opts.injectDefect = *defect;
+            show_injected = true;
+        } else {
+            return usage();
+        }
+    }
+
+    std::vector<std::uint8_t> raw;
+    if (!readFile(argv[0], raw)) {
+        std::fprintf(stderr, "cannot read %s\n", argv[0]);
+        return 1;
+    }
+    std::vector<SbfIssue> issues;
+    const auto img = BinaryImage::tryDeserialize(raw, issues);
+    if (!img) {
+        LintReport rep;
+        rep.findings = diagnosticsFromSbfIssues(issues);
+        std::printf("%s", json ? rep.renderJson().c_str()
+                               : rep.renderText().c_str());
+        if (json)
+            std::printf("\n");
+        return rep.failed(lopts.failOn) ? 2 : 0;
+    }
+
+    const RewriteResult rw = rewriteBinary(*img, opts);
+    const LintReport report = lintRewrite(*img, rw, lopts);
+    if (json) {
+        std::printf("%s\n", report.renderJson().c_str());
+    } else {
+        if (show_injected)
+            std::printf("injected rule: %s\n",
+                        rw.manifest.injectedRule.empty()
+                            ? "(none; defect not applicable)"
+                            : rw.manifest.injectedRule.c_str());
+        std::printf("%s", report.renderText().c_str());
+    }
+    return report.failed(lopts.failOn) ? 2 : 0;
 }
 
 int
@@ -247,12 +396,10 @@ cmdRun(int argc, char **argv)
 {
     if (argc < 1)
         return usage();
-    std::vector<std::uint8_t> raw;
-    if (!readFile(argv[0], raw)) {
-        std::fprintf(stderr, "cannot read %s\n", argv[0]);
+    const auto img_opt = loadSbf(argv[0]);
+    if (!img_opt)
         return 1;
-    }
-    const BinaryImage img = BinaryImage::deserialize(raw);
+    const BinaryImage &img = *img_opt;
 
     Machine::Config cfg;
     for (int i = 1; i < argc; ++i) {
@@ -297,12 +444,10 @@ cmdInspect(int argc, char **argv)
 {
     if (argc < 1)
         return usage();
-    std::vector<std::uint8_t> raw;
-    if (!readFile(argv[0], raw)) {
-        std::fprintf(stderr, "cannot read %s\n", argv[0]);
+    const auto img_opt = loadSbf(argv[0]);
+    if (!img_opt)
         return 1;
-    }
-    const BinaryImage img = BinaryImage::deserialize(raw);
+    const BinaryImage &img = *img_opt;
 
     std::printf("%s %s entry=0x%llx loaded=%llu bytes\n",
                 archName(img.arch), img.pie ? "PIE" : "no-PIE",
@@ -354,6 +499,8 @@ main(int argc, char **argv)
         return cmdCompile(argc - 2, argv + 2);
     if (cmd == "rewrite")
         return cmdRewrite(argc - 2, argv + 2);
+    if (cmd == "lint")
+        return cmdLint(argc - 2, argv + 2);
     if (cmd == "run")
         return cmdRun(argc - 2, argv + 2);
     if (cmd == "inspect")
