@@ -37,6 +37,13 @@ struct ToolAgg
     SampleStats size;
     unsigned pass = 0;
     unsigned attempted = 0;
+
+    /**
+     * Summed static-verifier error findings over the tool's timing
+     * artifacts ("lint err" column); -1 when the tool bypasses the
+     * harness and is never linted (E9Patch/Egalito-style rows).
+     */
+    long lintErrors = -1;
 };
 
 void
@@ -52,6 +59,7 @@ addRow(TextTable &table, const std::string &name, const ToolAgg &agg,
         agg.coverage.empty() ? "-" : pct(agg.coverage.mean()),
         agg.size.empty() ? "-" : pct(agg.size.max()),
         agg.size.empty() ? "-" : pct(agg.size.mean()),
+        agg.lintErrors < 0 ? "-" : std::to_string(agg.lintErrors),
         std::to_string(agg.pass) + "/" + std::to_string(total),
     });
 }
@@ -80,10 +88,11 @@ main(int argc, char **argv)
 
         TextTable table({archName(arch), "time max", "time mean",
                          "cov min", "cov mean", "size max",
-                         "size mean", "pass"});
+                         "size mean", "lint err", "pass"});
 
         // SRBI / Dyninst-10.2.
         ToolAgg srbi;
+        srbi.lintErrors = 0;
         for (const auto &spec : suite) {
             const BinaryImage img = compileProgram(spec);
             if (srbiRefuses(img)) {
@@ -93,6 +102,7 @@ main(int argc, char **argv)
             const ToolRun run =
                 runBlockLevelExperiment(img, srbiOptions(), mc);
             srbi.coverage.add(run.coverage);
+            srbi.lintErrors += run.lintErrors;
             if (!run.pass)
                 continue;
             if (srbiSignalBugTriggered(run.rewrittenRun.traps)) {
@@ -116,12 +126,14 @@ main(int argc, char **argv)
              {RewriteMode::dir, RewriteMode::jt,
               RewriteMode::funcPtr}) {
             ToolAgg agg;
+            agg.lintErrors = 0;
             for (const auto &spec : suite) {
                 const BinaryImage img = compileProgram(spec);
                 ++agg.attempted;
                 const ToolRun run = runBlockLevelExperiment(
                     img, modeOptions(mode), mc);
                 agg.coverage.add(run.coverage);
+                agg.lintErrors += run.lintErrors;
                 if (!run.pass) {
                     std::fprintf(stderr, "  %s %s %s FAILED: %s\n",
                                  archName(arch),

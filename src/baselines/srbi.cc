@@ -15,6 +15,24 @@ srbiOptions()
     return opts;
 }
 
+const std::vector<SrbiDocumentedBug> &
+srbiDocumentedBugs()
+{
+    // §8.1's engineering-gap catalog, keyed to the fault-injection
+    // defect that reproduces each bug in an emitted artifact.
+    static const std::vector<SrbiDocumentedBug> bugs = {
+        {"clobbered-branch-target", InjectDefect::trampTarget,
+         "tramp-target"},
+        {"trampoline-chain-cycle", InjectDefect::trampChain,
+         "tramp-chain"},
+        {"overlapping-block-patches", InjectDefect::doublePatch,
+         "patch-overlap"},
+        {"dropped-unwind-entry", InjectDefect::dropFde,
+         "eh-frame-cover"},
+    };
+    return bugs;
+}
+
 std::optional<std::string>
 srbiRefuses(const BinaryImage &image)
 {

@@ -13,6 +13,7 @@
 #define ICP_BASELINES_SRBI_HH
 
 #include <optional>
+#include <vector>
 
 #include "rewrite/options.hh"
 
@@ -27,6 +28,24 @@ RewriteOptions srbiOptions();
  * the reason it refuses (the paper's "failed benchmarks").
  */
 std::optional<std::string> srbiRefuses(const BinaryImage &image);
+
+/**
+ * One of SRBI / Dyninst-10.2's documented engineering bugs (§8.1),
+ * expressed as the fault-injection defect that reproduces it and the
+ * single lint rule the planted defect must trip. The static verifier
+ * self-test runs every baseline through these: rewriting with
+ * srbiOptions() plus @c defect must yield a report whose only error
+ * rule is @c rule.
+ */
+struct SrbiDocumentedBug
+{
+    const char *name;    ///< short bug label (for test output)
+    InjectDefect defect; ///< fault injection reproducing it
+    const char *rule;    ///< lint rule id that must flag it
+};
+
+/** The §8.1 bug catalog used by the baseline fault-injection test. */
+const std::vector<SrbiDocumentedBug> &srbiDocumentedBugs();
 
 /**
  * Dyninst-10.2's signal-delivery bug (§8.1: "over 100%% runtime

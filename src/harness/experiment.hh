@@ -27,6 +27,15 @@ struct ToolRun
     double coverage = 0.0;     ///< instrumented / total functions
     double sizeIncrease = 0.0; ///< loaded-size growth
 
+    /**
+     * Static soundness findings in the timing-pass artifact (the
+     * "lint err" Table-3 column): with fault injection enabled on a
+     * baseline, its documented bug shows up here as a nonzero error
+     * count even when the dynamic strong test happens to pass.
+     */
+    unsigned lintErrors = 0;
+    unsigned lintWarnings = 0;
+
     RewriteStats stats;
     RunResult goldenRun;
     RunResult rewrittenRun;

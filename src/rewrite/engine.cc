@@ -116,6 +116,7 @@ class Engine
     };
 
     void planClones();
+    bool tryReuseRun(const std::vector<const Function *> &funcs);
     std::vector<const Block *>
     blockEmitOrder(const Function &func) const;
     void assignCounters(const std::vector<const Function *> &funcs);
@@ -693,6 +694,120 @@ Engine::assignCounters(const std::vector<const Function *> &funcs)
     }
 }
 
+/**
+ * Selective re-rewrite: re-emit only the dirty functions at the
+ * bases the previous pass recorded, splicing their bytes into a copy
+ * of the previous .instr payload; every other function's bytes,
+ * block/insn map entries, and RA pairs carry over verbatim. Returns
+ * false (leaving result_ untouched except clones/counters, which the
+ * caller's full run path recomputes identically) whenever the
+ * previous layout cannot be reproduced exactly — the caller then
+ * falls back to a full emission.
+ */
+bool
+Engine::tryReuseRun(const std::vector<const Function *> &funcs)
+{
+    const EngineReuse &ru = cfg_opts_.reuse;
+    const RewriteManifest &prev = *ru.manifest;
+    const std::vector<FuncSpan> &spans = prev.funcSpans;
+    if (spans.size() != funcs.size())
+        return false;
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+        if (spans[i].entry != funcs[i]->entry)
+            return false;
+    }
+
+    // Re-emit each dirty function at its exact previous base. A size
+    // change would shift every later function: bail to a full run.
+    std::vector<FuncStream> streams(funcs.size());
+    std::vector<bool> emitted(funcs.size(), false);
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+        if (!ru.dirty->count(funcs[i]->entry))
+            continue;
+        streams[i] = emitFunctionStream(*funcs[i], spans[i].base);
+        if (streams[i].size != spans[i].size)
+            return false;
+        emitted[i] = true;
+    }
+
+    // Final addresses: dirty functions from their fresh streams,
+    // reused functions from the previous manifest's maps.
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+        const Function &func = *funcs[i];
+        if (emitted[i]) {
+            const FuncStream &fs = streams[i];
+            for (const auto &[orig, off] : fs.blockOffsets)
+                result_.blockMap[orig] = fs.base + off;
+            for (const auto &[orig, off] : fs.insnOffsets)
+                result_.insnMap[orig] = fs.base + off;
+            continue;
+        }
+        for (const auto &[start, block] : func.blocks) {
+            auto b = prev.blockMap.find(start);
+            if (b == prev.blockMap.end())
+                return false;
+            result_.blockMap[start] = b->second;
+            for (const auto &in : block.insns) {
+                auto m = prev.insnMap.find(in.addr);
+                if (m == prev.insnMap.end())
+                    return false;
+                result_.insnMap[in.addr] = m->second;
+            }
+        }
+    }
+
+    // RA pairs in emission order: the previous pass appended them
+    // stream by stream, so a reused function's pairs are exactly the
+    // previous pairs whose relocated address falls in its span.
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+        if (emitted[i]) {
+            const FuncStream &fs = streams[i];
+            for (const auto &[off, orig] : fs.raOffsets)
+                result_.raPairs.emplace_back(fs.base + off, orig);
+            continue;
+        }
+        const Addr lo = spans[i].base;
+        const Addr hi = spans[i].base + spans[i].size;
+        for (const auto &[ra, orig] : prev.raPairs) {
+            if (ra >= lo && ra < hi)
+                result_.raPairs.emplace_back(ra, orig);
+        }
+    }
+
+    // Splice the dirty functions' finalized bytes into a copy of the
+    // previous payload; everything else is byte-identical.
+    std::vector<std::uint8_t> out = *ru.instrBytes;
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+        if (!emitted[i])
+            continue;
+        FuncStream &fs = streams[i];
+        for (const auto &[addr, label] : fs.externalLabels) {
+            auto target = result_.blockMap.find(addr);
+            icp_assert(target != result_.blockMap.end(),
+                       "external block 0x%llx not relocated",
+                       static_cast<unsigned long long>(addr));
+            fs.as->bindAt(label, target->second);
+        }
+        fs.bytes = fs.as->finalize();
+        const Offset off = fs.base - cfg_opts_.instrBase;
+        if (off + fs.bytes.size() > out.size())
+            return false;
+        std::copy(fs.bytes.begin(), fs.bytes.end(),
+                  out.begin() + off);
+    }
+    result_.instrBytes = std::move(out);
+
+    result_.funcSpans = spans;
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+        if (emitted[i])
+            ++result_.emittedFunctions;
+        else
+            ++result_.reusedFunctions;
+    }
+    fillClones();
+    return true;
+}
+
 EngineResult
 Engine::run()
 {
@@ -711,6 +826,17 @@ Engine::run()
         std::reverse(funcs.begin(), funcs.end());
 
     assignCounters(funcs);
+
+    if (cfg_opts_.reuse.valid()) {
+        if (tryReuseRun(funcs))
+            return result_;
+        // Fall back to a full emission; discard partial state.
+        EngineResult fresh;
+        fresh.clones = std::move(result_.clones);
+        fresh.blockCounters = std::move(result_.blockCounters);
+        fresh.entryCounters = std::move(result_.entryCounters);
+        result_ = std::move(fresh);
+    }
 
     const Addr align =
         std::max(cfg_opts_.functionAlign, arch_.instrAlign);
@@ -757,6 +883,8 @@ Engine::run()
     // Deterministic fixup: final addresses for every block and
     // instruction, RA pairs in emission order.
     for (const FuncStream &fs : streams) {
+        result_.funcSpans.push_back(
+            {fs.func->entry, fs.base, fs.size});
         for (const auto &[orig, off] : fs.blockOffsets)
             result_.blockMap[orig] = fs.base + off;
         for (const auto &[orig, off] : fs.insnOffsets)
@@ -790,6 +918,8 @@ Engine::run()
         addr += fs.bytes.size();
     }
     result_.instrBytes = std::move(out);
+    result_.emittedFunctions =
+        static_cast<unsigned>(streams.size());
 
     fillClones();
     return result_;

@@ -29,6 +29,28 @@ struct TableClone
     bool widened = false;
 };
 
+/**
+ * Previous-pass artifacts for a selective re-rewrite
+ * (RewriteSession::repair): the prior manifest's function spans and
+ * .instr bytes, plus the set of dirty function entries that must
+ * re-emit. Functions outside the dirty set splice their previous
+ * bytes verbatim; the engine falls back to a full run whenever the
+ * previous layout cannot be reproduced exactly.
+ */
+struct EngineReuse
+{
+    const RewriteManifest *manifest = nullptr;
+    const std::vector<std::uint8_t> *instrBytes = nullptr;
+    const std::set<Addr> *dirty = nullptr;
+
+    bool
+    valid() const
+    {
+        return manifest && manifest->populated && instrBytes &&
+               dirty && !manifest->funcSpans.empty();
+    }
+};
+
 struct EngineConfig
 {
     RewriteMode mode = RewriteMode::funcPtr;
@@ -53,6 +75,9 @@ struct EngineConfig
      * machinery and emits each function directly at its final base.
      */
     unsigned threads = 1;
+
+    /** When valid(), attempt the selective re-rewrite fast path. */
+    EngineReuse reuse;
 };
 
 struct EngineResult
@@ -73,6 +98,13 @@ struct EngineResult
 
     std::map<Addr, std::uint32_t> blockCounters;
     std::map<Addr, std::uint32_t> entryCounters;
+
+    /** Per-function extents in emission order (for later reuse). */
+    std::vector<FuncSpan> funcSpans;
+
+    /** Functions re-emitted this pass vs. spliced from reuse. */
+    unsigned emittedFunctions = 0;
+    unsigned reusedFunctions = 0;
 };
 
 /**

@@ -71,6 +71,20 @@ struct FuncPtrPatch
     Addr newValue = 0;  ///< rewritten pointer value
 };
 
+/**
+ * One relocated function's extent inside .instr: where the engine
+ * placed it and how many bytes it emitted (excluding the alignment
+ * padding that follows). Recorded so a later selective re-rewrite
+ * (RewriteSession::repair) can splice a re-emitted function into the
+ * previous layout and reuse every other function's bytes verbatim.
+ */
+struct FuncSpan
+{
+    Addr entry = 0;          ///< original function entry
+    Addr base = 0;           ///< relocated base inside .instr
+    std::uint64_t size = 0;  ///< emitted bytes (without padding)
+};
+
 struct RewriteManifest
 {
     /** False when the rewrite ran with RewriteOptions::lint off. */
@@ -88,6 +102,9 @@ struct RewriteManifest
     std::vector<TrampolinePatch> trampolines;
     std::vector<JumpTableClonePatch> clones;
     std::vector<FuncPtrPatch> funcPtrs;
+
+    /** Relocated function extents in emission order (§3 reuse). */
+    std::vector<FuncSpan> funcSpans;
 
     /** Scratch ranges donated to the multi-hop pool (addr, len). */
     std::vector<std::pair<Addr, std::uint64_t>> scratchRanges;

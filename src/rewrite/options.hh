@@ -144,6 +144,23 @@ struct RewriteOptions
     /** Partial instrumentation: restrict to these names (§9). */
     std::set<std::string> onlyFunctions;
 
+    /**
+     * Demote every trampoline in these functions to a trap
+     * trampoline. RewriteSession::repair adds a function here when a
+     * targeted re-rewrite failed to clear its lint findings twice:
+     * traps are the always-sound fallback (§4.3), at runtime cost.
+     */
+    std::set<std::string> forceTrapFunctions;
+
+    /**
+     * Restrict fault injection (injectDefect) to sites inside this
+     * function. Used by the repair-convergence tests to model a
+     * persistent per-function defect. Does not apply to the
+     * section-level defects (raMapEntry, cloneBounds), which corrupt
+     * a section rather than a function-local site.
+     */
+    std::string injectOnlyFunction;
+
     /** Layout permutations (BOLT comparison). */
     OrderPolicy functionOrder = OrderPolicy::original;
     OrderPolicy blockOrder = OrderPolicy::original;
@@ -189,6 +206,15 @@ struct RewriteStats
     std::uint64_t raMapEntries = 0;
     std::uint64_t clonedTables = 0;
     std::uint64_t rewrittenFuncPtrs = 0;
+
+    /**
+     * Selective re-rewrite accounting: how many instrumented
+     * functions the engine re-emitted this pass vs. spliced verbatim
+     * from a previous pass's bytes (RewriteSession::repair).
+     * A from-scratch rewrite emits every function and reuses none.
+     */
+    unsigned relocEmittedFunctions = 0;
+    unsigned relocReusedFunctions = 0;
 
     std::uint64_t originalLoadedSize = 0;
     std::uint64_t rewrittenLoadedSize = 0;

@@ -73,8 +73,10 @@ alignUp(Addr v, Addr align)
 class Rewriter
 {
   public:
-    Rewriter(const BinaryImage &input, const RewriteOptions &opts)
-        : input_(input), opts_(opts), arch_(input.archInfo())
+    Rewriter(const BinaryImage &input, const RewriteOptions &opts,
+             const RewritePass &pass)
+        : input_(input), opts_(opts), pass_(pass),
+          arch_(input.archInfo())
     {
     }
 
@@ -88,6 +90,7 @@ class Rewriter
     void donateScratch(ScratchPool &pool);
     void recordDonation(Addr addr, std::uint64_t len);
     Addr funcEntryOf(Addr a) const;
+    bool injectSiteAllowed(Addr func_entry) const;
     void fillManifest(const EngineResult &engine);
     void injectByteDefect();
     void installTrampolines(const EngineResult &engine);
@@ -104,9 +107,12 @@ class Rewriter
 
     const BinaryImage &input_;
     const RewriteOptions &opts_;
+    const RewritePass &pass_;
     const ArchInfo &arch_;
 
-    CfgModule cfg_;
+    /** Built here, or borrowed from pass_.cfg (session reuse). */
+    CfgModule ownCfg_;
+    const CfgModule *cfg_ = nullptr;
     FuncPtrAnalysisResult funcPtrs_;
     std::set<Addr> instrumented_;
 
@@ -126,7 +132,7 @@ std::set<Addr>
 Rewriter::chooseInstrumented()
 {
     std::set<Addr> chosen;
-    for (const auto &[entry, func] : cfg_.functions) {
+    for (const auto &[entry, func] : cfg_->functions) {
         if (!func.instrumentable())
             continue;
         if (!opts_.onlyFunctions.empty() &&
@@ -340,7 +346,7 @@ Rewriter::installTrampolines(const EngineResult &engine)
         std::shared_ptr<const LivenessResult> live;
     };
     std::vector<const Function *> funcs;
-    for (const auto &[entry, func] : cfg_.functions) {
+    for (const auto &[entry, func] : cfg_->functions) {
         if (instrumented_.count(entry))
             funcs.push_back(&func);
     }
@@ -382,6 +388,11 @@ Rewriter::installTrampolines(const EngineResult &engine)
         const std::set<Addr> &cfl = p.cfl;
         result_.stats.cflBlocks += cfl.size();
         result_.stats.totalBlocks += func.blocks.size();
+
+        // Repair demotion: every trampoline in this function becomes
+        // a trap — the always-sound §4.3 fallback.
+        const bool force_trap =
+            opts_.forceTrapFunctions.count(func.name) > 0;
 
         // Embedded jump-table data must never be overwritten.
         std::vector<std::pair<Addr, Addr>> protect;
@@ -430,6 +441,21 @@ Rewriter::installTrampolines(const EngineResult &engine)
                 ? p.live->deadRegAt(start)
                 : Reg::none;
 
+            if (force_trap) {
+                const TrampolineOut trapped = writer.installTrap(req);
+                const std::uint64_t used =
+                    trapped.writes.empty()
+                        ? 0
+                        : trapped.writes[0].bytes.size();
+                account(req, func.entry, trapped);
+                if (opts_.trampolinePlacement && start + used < se) {
+                    pool.donate(start + used, se - (start + used),
+                                arch_.instrAlign);
+                    recordDonation(start + used, se - (start + used));
+                }
+                continue;
+            }
+
             // Fault injection (register defects): force a long form
             // whose scratch register the verifier must reject. Only
             // the first applicable site is corrupted.
@@ -437,7 +463,9 @@ Rewriter::installTrampolines(const EngineResult &engine)
             const bool want_reg_defect = opts_.lint &&
                 (opts_.injectDefect == InjectDefect::liveScratch ||
                  opts_.injectDefect == InjectDefect::tocScratch) &&
-                result_.manifest.injectedRule.empty();
+                result_.manifest.injectedRule.empty() &&
+                (opts_.injectOnlyFunction.empty() ||
+                 func.name == opts_.injectOnlyFunction);
             if (want_reg_defect && arch_.fixedLength &&
                 req.space >= writer.longFormLen()) {
                 Reg bad = Reg::none;
@@ -673,7 +701,7 @@ Rewriter::clobberOriginal()
     };
 
     // Illegal filler: 0x00 never decodes.
-    for (const auto &[entry, func] : cfg_.functions) {
+    for (const auto &[entry, func] : cfg_->functions) {
         if (!instrumented_.count(entry))
             continue;
         for (Addr a = func.entry; a < func.end; ++a) {
@@ -768,12 +796,22 @@ Rewriter::buildSections(const EngineResult &engine)
 Addr
 Rewriter::funcEntryOf(Addr a) const
 {
-    auto it = cfg_.functions.upper_bound(a);
-    if (it == cfg_.functions.begin())
+    auto it = cfg_->functions.upper_bound(a);
+    if (it == cfg_->functions.begin())
         return 0;
     --it;
     return (a >= it->second.entry && a < it->second.end) ? it->first
                                                          : 0;
+}
+
+bool
+Rewriter::injectSiteAllowed(Addr func_entry) const
+{
+    if (opts_.injectOnlyFunction.empty())
+        return true;
+    auto it = cfg_->functions.find(func_entry);
+    return it != cfg_->functions.end() &&
+           it->second.name == opts_.injectOnlyFunction;
 }
 
 void
@@ -784,6 +822,7 @@ Rewriter::fillManifest(const EngineResult &engine)
     m.blockMap = engine.blockMap;
     m.insnMap = engine.insnMap;
     m.raPairs = engine.raPairs;
+    m.funcSpans = engine.funcSpans;
     m.instrumented = instrumented_;
     for (const auto &clone : engine.clones) {
         const JumpTable &jt = *clone.source;
@@ -822,7 +861,8 @@ Rewriter::injectByteDefect()
         // the branch can still encode.
         const Addr bogus = out_.highWaterMark(4096) + 0x10000;
         for (const auto &p : m.trampolines) {
-            if (p.kind != TrampolineKind::direct)
+            if (p.kind != TrampolineKind::direct ||
+                !injectSiteAllowed(p.funcEntry))
                 continue;
             std::vector<std::uint8_t> enc;
             if (!arch_.codec->encode(makeJmp(bogus), p.site, enc))
@@ -844,7 +884,8 @@ Rewriter::injectByteDefect()
         if (!arch_.fixedLength)
             return;
         for (const auto &p : m.trampolines) {
-            if (p.kind != TrampolineKind::direct)
+            if (p.kind != TrampolineKind::direct ||
+                !injectSiteAllowed(p.funcEntry))
                 continue;
             const Addr far = p.site + 2 *
                 static_cast<Addr>(arch_.directJmpRange);
@@ -865,7 +906,8 @@ Rewriter::injectByteDefect()
         // A trampoline branching to its own site: the chain walker
         // must detect the cycle.
         for (const auto &p : m.trampolines) {
-            if (p.kind != TrampolineKind::direct)
+            if (p.kind != TrampolineKind::direct ||
+                !injectSiteAllowed(p.funcEntry))
                 continue;
             std::vector<std::uint8_t> enc;
             if (!arch_.codec->encode(makeJmp(p.site), p.site, enc))
@@ -884,6 +926,8 @@ Rewriter::injectByteDefect()
         // Zero one clone entry whose correct value is nonzero —
         // the "skipped fixup" of §5.1.
         for (const auto &c : m.clones) {
+            if (!injectSiteAllowed(c.funcEntry))
+                continue;
             for (unsigned i = 0; i < c.entryCount; ++i) {
                 const Addr orig =
                     i < c.origTargets.size() ? c.origTargets[i] : 0;
@@ -927,10 +971,13 @@ Rewriter::injectByteDefect()
       case InjectDefect::doublePatch: {
         // Duplicate one patch record: two installs claiming the
         // same byte extent.
-        if (m.trampolines.empty())
+        for (const auto &p : m.trampolines) {
+            if (!injectSiteAllowed(p.funcEntry))
+                continue;
+            m.trampolines.push_back(p);
+            m.injectedRule = "patch-overlap";
             return;
-        m.trampolines.push_back(m.trampolines.front());
-        m.injectedRule = "patch-overlap";
+        }
         return;
       }
 
@@ -952,7 +999,8 @@ Rewriter::injectByteDefect()
       case InjectDefect::dropFde: {
         auto fdes = out_.fdeRecords();
         for (auto it = fdes.begin(); it != fdes.end(); ++it) {
-            if (!m.instrumented.count(it->start))
+            if (!m.instrumented.count(it->start) ||
+                !injectSiteAllowed(it->start))
                 continue;
             fdes.erase(it);
             out_.setFdeRecords(fdes);
@@ -966,7 +1014,8 @@ Rewriter::injectByteDefect()
         // Restore a rewritten pointer cell (bytes and relocation)
         // to its original value.
         for (const auto &p : m.funcPtrs) {
-            if (p.kind != FuncPtrPatch::Kind::dataCell)
+            if (p.kind != FuncPtrPatch::Kind::dataCell ||
+                !injectSiteAllowed(p.funcEntry))
                 continue;
             const auto orig = input_.readValue(p.site, 8);
             if (!orig)
@@ -1006,21 +1055,28 @@ Rewriter::run()
                              "with clobbering";
         return result_;
     }
-    AnalysisOptions analysis = opts_.analysis;
-    analysis.threads = opts_.threads;
-    analysis.useCache = opts_.useAnalysisCache;
-    cfg_ = buildCfg(input_, analysis);
+    if (pass_.cfg) {
+        // Session reuse: the caller's analysis artifacts are
+        // authoritative; skip CFG construction entirely.
+        cfg_ = pass_.cfg;
+    } else {
+        AnalysisOptions analysis = opts_.analysis;
+        analysis.threads = opts_.threads;
+        analysis.useCache = opts_.useAnalysisCache;
+        ownCfg_ = buildCfg(input_, analysis);
+        cfg_ = &ownCfg_;
+    }
     // Function-pointer analysis runs in every mode: even dir/jt
     // need the forward-sliced displaced pointers (§5.2).
     {
         StageTimer timer(Stage::funcPtr);
-        funcPtrs_ = analyzeFuncPtrs(cfg_);
+        funcPtrs_ = analyzeFuncPtrs(*cfg_);
     }
 
     instrumented_ = chooseInstrumented();
-    result_.stats.totalFunctions = cfg_.totalFunctions();
+    result_.stats.totalFunctions = cfg_->totalFunctions();
     result_.stats.instrumentableFunctions =
-        cfg_.instrumentableFunctions();
+        cfg_->instrumentableFunctions();
     result_.stats.instrumentedFunctions =
         static_cast<unsigned>(instrumented_.size());
     result_.stats.originalLoadedSize = input_.loadedSize();
@@ -1040,6 +1096,19 @@ Rewriter::run()
         opts_.raTranslation && input_.features.isGo;
     config.threads = opts_.threads;
 
+    // Selective re-rewrite: hand the engine the previous pass's
+    // layout and bytes so only pass_.dirtyFunctions re-emit.
+    if (pass_.previous && pass_.previous->ok &&
+        pass_.previous->manifest.populated) {
+        const Section *prev_instr =
+            pass_.previous->image.findSection(SectionKind::instr);
+        if (prev_instr) {
+            config.reuse.manifest = &pass_.previous->manifest;
+            config.reuse.instrBytes = &prev_instr->bytes;
+            config.reuse.dirty = &pass_.dirtyFunctions;
+        }
+    }
+
     // Estimate .instr extent to place .newrodata after it: snippets
     // and veneers expand code; 4x the original text is a safe bound.
     const Section *text = input_.findSection(SectionKind::text);
@@ -1049,7 +1118,9 @@ Rewriter::run()
     config.newRodataBase = newRodataBase_;
 
     EngineResult engine =
-        relocateFunctions(cfg_, instrumented_, config);
+        relocateFunctions(*cfg_, instrumented_, config);
+    result_.stats.relocEmittedFunctions = engine.emittedFunctions;
+    result_.stats.relocReusedFunctions = engine.reusedFunctions;
     icp_assert(instrBase_ + engine.instrBytes.size() <= newRodataBase_,
                ".instr overflowed its window");
 
@@ -1084,7 +1155,16 @@ Rewriter::run()
 RewriteResult
 rewriteBinary(const BinaryImage &input, const RewriteOptions &options)
 {
-    Rewriter rewriter(input, options);
+    const RewritePass pass;
+    Rewriter rewriter(input, options, pass);
+    return rewriter.run();
+}
+
+RewriteResult
+rewriteBinary(const BinaryImage &input, const RewriteOptions &options,
+              const RewritePass &pass)
+{
+    Rewriter rewriter(input, options, pass);
     return rewriter.run();
 }
 

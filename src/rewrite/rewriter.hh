@@ -13,14 +13,37 @@
 #ifndef ICP_REWRITE_REWRITER_HH
 #define ICP_REWRITE_REWRITER_HH
 
+#include "analysis/cfg.hh"
 #include "rewrite/options.hh"
 
 namespace icp
 {
 
+/**
+ * Cross-pass context for an incremental re-rewrite. All pointers are
+ * borrowed and must outlive the rewriteBinary call. With @c cfg set,
+ * the rewriter skips its own CFG construction; with @c previous set,
+ * the relocation engine re-emits only @c dirtyFunctions (entries)
+ * and splices every other function's bytes from the previous pass,
+ * falling back to a full emission when the layout cannot be
+ * reproduced. RewriteSession owns the lifecycle; plain callers use
+ * the two-argument overload.
+ */
+struct RewritePass
+{
+    const CfgModule *cfg = nullptr;
+    const RewriteResult *previous = nullptr;
+    std::set<Addr> dirtyFunctions;
+};
+
 /** Rewrite @p input under @p options. Never throws; check result.ok. */
 RewriteResult rewriteBinary(const BinaryImage &input,
                             const RewriteOptions &options);
+
+/** Incremental form: reuse analysis and prior output via @p pass. */
+RewriteResult rewriteBinary(const BinaryImage &input,
+                            const RewriteOptions &options,
+                            const RewritePass &pass);
 
 } // namespace icp
 

@@ -1,0 +1,229 @@
+#include "rewrite/session.hh"
+
+#include <utility>
+
+#include "analysis/builder.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+namespace
+{
+
+/**
+ * Analysis settings that change the shape of the built CFG. Thread
+ * count and cache use are excluded: results are bit-identical for
+ * every value, so a cached CFG stays valid across them.
+ */
+bool
+sameCfgShape(const AnalysisOptions &a, const AnalysisOptions &b)
+{
+    return a.resolveJumpTables == b.resolveJumpTables &&
+           a.tailCallHeuristic == b.tailCallHeuristic &&
+           a.inject.failProb == b.inject.failProb &&
+           a.inject.overProb == b.inject.overProb &&
+           a.inject.underProb == b.inject.underProb &&
+           a.inject.overExtra == b.inject.overExtra &&
+           a.inject.underCut == b.inject.underCut &&
+           a.inject.seed == b.inject.seed;
+}
+
+/**
+ * Rules whose findings attach to a single function, plus the global
+ * overlap rule (cheap, and a re-rewrite can move any patch). The
+ * selective re-lint runs exactly these; addr-map round-trips are the
+ * one omission — their findings are never function-attributable, so
+ * any such error already forced the full-rewrite fallback.
+ */
+const std::set<std::string> &
+selectiveLintRules()
+{
+    static const std::set<std::string> rules = {
+        "tramp-target",  "tramp-range",      "tramp-chain",
+        "tramp-trap",    "tramp-scratch-live", "toc-preserved",
+        "jt-clone-bounds", "jt-clone-target", "patch-overlap",
+        "eh-frame-cover", "func-ptr-target",
+    };
+    return rules;
+}
+
+} // namespace
+
+void
+RewriteSession::ensureCfg()
+{
+    AnalysisOptions aopts = opts_.analysis;
+    aopts.threads = opts_.threads;
+    aopts.useCache = opts_.useAnalysisCache;
+    if (cfgBuilt_ && sameCfgShape(aopts, cfgOpts_)) {
+        cfgOpts_ = aopts;
+        return;
+    }
+    cfg_ = buildCfg(*input_, aopts);
+    cfgBuilt_ = true;
+    cfgOpts_ = aopts;
+}
+
+const CfgModule &
+RewriteSession::analyze()
+{
+    ensureCfg();
+    return cfg_;
+}
+
+RewriteResult &
+RewriteSession::rewrite(const RewriteOptions &options)
+{
+    opts_ = options;
+    ensureCfg();
+
+    RewritePass pass;
+    pass.cfg = &cfg_;
+    RewriteResult next = rewriteBinary(*input_, opts_, pass);
+    result_ = std::move(next);
+    hasResult_ = true;
+
+    // A fresh rewrite invalidates the previous report and resets the
+    // repair history: the functions start with a clean slate.
+    report_ = LintReport{};
+    hasReport_ = false;
+    failCounts_.clear();
+    return result_;
+}
+
+LintReport &
+RewriteSession::lint(const LintOptions &options)
+{
+    icp_assert(hasResult_, "RewriteSession::lint() before rewrite()");
+    ensureCfg();
+    lintOpts_ = options;
+
+    LintOptions effective = options;
+    effective.originalCfg = &cfg_;
+    report_ = lintRewrite(*input_, result_, effective);
+    hasReport_ = true;
+    return report_;
+}
+
+RewriteSession::RepairOutcome
+RewriteSession::repair(const LintReport &report,
+                       const RepairPolicy &policy)
+{
+    icp_assert(hasResult_, "RewriteSession::repair() before rewrite()");
+    icp_assert(hasReport_, "RewriteSession::repair() before lint()");
+
+    RepairOutcome out;
+
+    // Attribute every error finding to its owning function.
+    std::set<std::string> names;
+    bool unattributed = false;
+    for (const Diagnostic &d : report.findings) {
+        if (d.severity < Severity::error)
+            continue;
+        if (d.function.empty())
+            unattributed = true;
+        else
+            names.insert(d.function);
+    }
+    if (names.empty() && !unattributed) {
+        out.converged = !report_.failed(lintOpts_.failOn);
+        return out;
+    }
+
+    out.iterations = 1;
+    out.repairedFunctions = names;
+
+    // Second failed targeted attempt -> demote to trap trampolines.
+    for (const std::string &name : names) {
+        const unsigned fails = ++failCounts_[name];
+        if (policy.demoteToTrapOnSecondFailure && fails >= 2) {
+            opts_.forceTrapFunctions.insert(name);
+            out.demotedFunctions.insert(name);
+        }
+    }
+    if (policy.clearInjectedDefect)
+        opts_.injectDefect = InjectDefect::none;
+
+    // Map names back to CFG entries; a name that resolves to no
+    // entry (stripped or renamed) forces the full fallback.
+    std::set<Addr> dirty;
+    std::set<std::string> resolved;
+    for (const auto &[entry, func] : cfg_.functions) {
+        if (names.count(func.name)) {
+            dirty.insert(entry);
+            resolved.insert(func.name);
+        }
+    }
+    const bool selective =
+        !unattributed && resolved.size() == names.size();
+    out.fullRewriteFallback = !selective;
+
+    RewritePass pass;
+    pass.cfg = &cfg_;
+    if (selective) {
+        pass.previous = &result_;
+        pass.dirtyFunctions = dirty;
+    }
+    // result_ stays alive (and unmoved) for the whole call: the pass
+    // borrows the previous image's .instr bytes and manifest.
+    RewriteResult next = rewriteBinary(*input_, opts_, pass);
+    result_ = std::move(next);
+
+    LintOptions relint = lintOpts_;
+    relint.originalCfg = &cfg_;
+    if (selective) {
+        // Incremental re-lint: only the re-emitted functions' sites
+        // (every other function's bytes were spliced verbatim), plus
+        // the global overlap rule. Findings for untouched functions
+        // carry over from the previous report.
+        relint.onlyFunctions = dirty;
+        relint.onlyRules = selectiveLintRules();
+        LintReport partial = lintRewrite(*input_, result_, relint);
+        for (const Diagnostic &d : report_.findings) {
+            if (names.count(d.function))
+                continue; // re-checked above
+            if (d.rule == "patch-overlap")
+                continue; // re-checked globally above
+            partial.findings.push_back(d);
+        }
+        report_ = std::move(partial);
+    } else {
+        report_ = lintRewrite(*input_, result_, relint);
+    }
+    hasReport_ = true;
+
+    out.converged = !report_.failed(lintOpts_.failOn);
+    return out;
+}
+
+RewriteSession::RepairOutcome
+RewriteSession::repairToFixedPoint(unsigned max_iterations,
+                                   const RepairPolicy &policy)
+{
+    icp_assert(hasResult_,
+               "RewriteSession::repairToFixedPoint() before rewrite()");
+    if (!hasReport_)
+        lint(lintOpts_);
+
+    RepairOutcome total;
+    while (total.iterations < max_iterations) {
+        if (!report_.failed(lintOpts_.failOn)) {
+            total.converged = true;
+            return total;
+        }
+        RepairOutcome step = repair(report_, policy);
+        total.iterations += step.iterations;
+        total.repairedFunctions.insert(step.repairedFunctions.begin(),
+                                       step.repairedFunctions.end());
+        total.demotedFunctions.insert(step.demotedFunctions.begin(),
+                                      step.demotedFunctions.end());
+        total.fullRewriteFallback |= step.fullRewriteFallback;
+        if (step.iterations == 0)
+            break; // nothing attributable left to repair
+    }
+    total.converged = !report_.failed(lintOpts_.failOn);
+    return total;
+}
+
+} // namespace icp

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * RewriteSession: the stateful rewrite -> lint -> repair API. The
+ * paper's pitch is *incremental* patching (§3, §9): reuse analysis
+ * and touch only what changed. A session owns the input image, the
+ * per-function analysis artifacts (CFGs, jump tables, liveness —
+ * seeded from and into the process-wide AnalysisCache), the last
+ * RewriteResult, and the last LintReport, so lint findings can feed
+ * back into a targeted re-rewrite instead of a full redo:
+ *
+ *   analyze() ──> rewrite(opts) ──> lint(rules) ──> repair(report)
+ *                      ^                                  │
+ *                      └──── selective re-rewrite ────────┘
+ *
+ * repair() maps each error-severity finding to its owning function,
+ * re-emits only those functions (splicing every other function's
+ * bytes from the previous pass), demotes a function to trap
+ * trampolines when a second targeted attempt still fails, and
+ * re-lints only the touched rules/sites against the session's
+ * cached CFG. rewriteBinary() remains as a thin one-shot wrapper.
+ */
+
+#ifndef ICP_REWRITE_SESSION_HH
+#define ICP_REWRITE_SESSION_HH
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/cfg.hh"
+#include "rewrite/rewriter.hh"
+#include "verify/lint.hh"
+
+namespace icp
+{
+
+class RewriteSession
+{
+  public:
+    /** Borrow @p input; it must outlive the session. */
+    explicit RewriteSession(const BinaryImage &input)
+        : input_(&input)
+    {
+    }
+
+    /** Take ownership of @p input. */
+    explicit RewriteSession(BinaryImage &&input)
+        : owned_(std::move(input)), input_(&owned_)
+    {
+    }
+
+    RewriteSession(const RewriteSession &) = delete;
+    RewriteSession &operator=(const RewriteSession &) = delete;
+
+    /** How repair() treats functions whose findings persist. */
+    struct RepairPolicy
+    {
+        /**
+         * After a function's second failed targeted re-rewrite,
+         * demote every trampoline in it to a trap — the
+         * always-sound §4.3 fallback, at runtime cost.
+         */
+        bool demoteToTrapOnSecondFailure = true;
+
+        /**
+         * Clear RewriteOptions::injectDefect before re-rewriting,
+         * modeling a transient defect that one repair pass fixes.
+         * Tests set this false (with injectOnlyFunction) to model a
+         * persistent per-function defect that only trap demotion
+         * can contain.
+         */
+        bool clearInjectedDefect = true;
+    };
+
+    struct RepairOutcome
+    {
+        unsigned iterations = 0;
+        bool converged = false; ///< final report passes failOn
+
+        /** Functions targeted for re-rewrite (by name). */
+        std::set<std::string> repairedFunctions;
+
+        /** Functions demoted to trap trampolines (by name). */
+        std::set<std::string> demotedFunctions;
+
+        /**
+         * True when a finding could not be attributed to a function
+         * (image-global rules) and the pass fell back to a full
+         * re-rewrite and full re-lint.
+         */
+        bool fullRewriteFallback = false;
+    };
+
+    /**
+     * Build (or return the cached) original-image CFG under the
+     * current options' analysis settings.
+     */
+    const CfgModule &analyze();
+
+    /**
+     * Rewrite the input under @p options, reusing the session's CFG
+     * (rebuilt only when analysis-relevant options changed). The
+     * returned reference lives until the next rewrite()/repair().
+     */
+    RewriteResult &rewrite(const RewriteOptions &options);
+
+    /**
+     * Lint the last rewrite against the session's cached CFG (the
+     * verifier never rebuilds the original CFG through this path).
+     * @p options' originalCfg field is overridden by the session.
+     */
+    LintReport &lint(const LintOptions &options = LintOptions{});
+
+    /**
+     * One repair pass driven by @p report: re-rewrite the functions
+     * owning its error findings (selectively when every finding is
+     * attributable), then incrementally re-lint. Requires rewrite()
+     * and lint() to have run. Updates lastResult()/lastReport().
+     */
+    RepairOutcome repair(const LintReport &report,
+                         const RepairPolicy &policy);
+
+    RepairOutcome
+    repair(const LintReport &report)
+    {
+        return repair(report, RepairPolicy{});
+    }
+
+    /**
+     * Loop lint -> repair until the report passes the configured
+     * fail-on severity or @p max_iterations repair passes ran.
+     */
+    RepairOutcome repairToFixedPoint(unsigned max_iterations,
+                                     const RepairPolicy &policy);
+
+    RepairOutcome
+    repairToFixedPoint(unsigned max_iterations = 2)
+    {
+        return repairToFixedPoint(max_iterations, RepairPolicy{});
+    }
+
+    const BinaryImage &input() const { return *input_; }
+    bool hasResult() const { return hasResult_; }
+    bool hasReport() const { return hasReport_; }
+    const RewriteResult &lastResult() const { return result_; }
+    const LintReport &lastReport() const { return report_; }
+
+    /** Options as amended by repair (defect cleared, demotions). */
+    const RewriteOptions &options() const { return opts_; }
+
+  private:
+    void ensureCfg();
+
+    BinaryImage owned_;
+    const BinaryImage *input_;
+
+    RewriteOptions opts_;
+    LintOptions lintOpts_;
+
+    CfgModule cfg_;
+    bool cfgBuilt_ = false;
+    AnalysisOptions cfgOpts_; ///< options cfg_ was built under
+
+    RewriteResult result_;
+    LintReport report_;
+    bool hasResult_ = false;
+    bool hasReport_ = false;
+
+    /** Failed targeted re-rewrites per function name. */
+    std::map<std::string, unsigned> failCounts_;
+};
+
+} // namespace icp
+
+#endif // ICP_REWRITE_SESSION_HH

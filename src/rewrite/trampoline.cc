@@ -209,6 +209,18 @@ TrampolineWriter::install(const TrampolineRequest &req)
 }
 
 TrampolineOut
+TrampolineWriter::installTrap(const TrampolineRequest &req)
+{
+    TrampolineOut out;
+    std::vector<std::uint8_t> trap;
+    arch_.codec->encode(makeTrap(), req.at, trap);
+    out.kind = TrampolineKind::trap;
+    out.trapEntries.emplace_back(req.at, req.target);
+    out.writes.push_back({req.at, std::move(trap)});
+    return out;
+}
+
+TrampolineOut
 TrampolineWriter::installForcedLongForm(const TrampolineRequest &req)
 {
     icp_assert(arch_.fixedLength && req.space >= arch_.longTrampLen,

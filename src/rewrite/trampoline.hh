@@ -87,6 +87,14 @@ class TrampolineWriter
      */
     TrampolineOut installForcedLongForm(const TrampolineRequest &req);
 
+    /**
+     * Force a trap trampoline regardless of what would fit. The
+     * always-sound fallback (§4.3): RewriteSession::repair demotes a
+     * function here when targeted re-rewrites failed to clear its
+     * lint findings.
+     */
+    TrampolineOut installTrap(const TrampolineRequest &req);
+
     /** Length of the in-place long form (Table 2's Len column). */
     unsigned longFormLen() const;
 

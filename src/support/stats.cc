@@ -68,6 +68,9 @@ stageName(Stage stage)
       case Stage::trampoline: return "trampoline";
       case Stage::output: return "output";
       case Stage::lint: return "lint";
+      case Stage::lintChains: return "lint.chains";
+      case Stage::lintClones: return "lint.clones";
+      case Stage::lintPtrs: return "lint.ptrs";
       case Stage::count_: break;
     }
     return "?";

@@ -52,6 +52,9 @@ enum class Stage : unsigned
     trampoline, ///< trampoline placement + installation
     output,     ///< section assembly / maps / clobbering
     lint,       ///< static soundness verification
+    lintChains, ///< lint: trampoline-chain walking
+    lintClones, ///< lint: jump-table clone re-solving
+    lintPtrs,   ///< lint: loaded function-pointer cells
     count_      ///< number of stages (not a stage)
 };
 

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "analysis/builder.hh"
+#include "analysis/cache.hh"
 #include "analysis/liveness.hh"
 #include "binfmt/addr_map.hh"
 #include "binfmt/ehframe.hh"
@@ -13,6 +14,7 @@
 #include "isa/reg_usage.hh"
 #include "sim/loader.hh"
 #include "support/stats.hh"
+#include "support/thread_pool.hh"
 
 namespace icp
 {
@@ -71,9 +73,10 @@ class Checker
   private:
     // --- reporting -------------------------------------------------------
 
-    void
-    report(const char *rule, Severity sev, Addr orig_addr,
-           Addr new_addr, Addr func_entry, std::string msg)
+    /** Build one finding (const: safe from parallel workers). */
+    Diagnostic
+    diag(const char *rule, Severity sev, Addr orig_addr,
+         Addr new_addr, Addr func_entry, std::string msg) const
     {
         Diagnostic d;
         d.rule = rule;
@@ -83,7 +86,41 @@ class Checker
         if (const Symbol *s = orig_.functionContaining(func_entry))
             d.function = s->name;
         d.message = std::move(msg);
-        findings_.push_back(std::move(d));
+        return d;
+    }
+
+    void
+    report(const char *rule, Severity sev, Addr orig_addr,
+           Addr new_addr, Addr func_entry, std::string msg)
+    {
+        findings_.push_back(diag(rule, sev, orig_addr, new_addr,
+                                 func_entry, std::move(msg)));
+    }
+
+    // --- incremental-lint filters ----------------------------------------
+
+    bool
+    ruleEnabled(const char *rule) const
+    {
+        return opts_.onlyRules.empty() ||
+               opts_.onlyRules.count(rule) > 0;
+    }
+
+    bool
+    anyRuleEnabled(std::initializer_list<const char *> rules) const
+    {
+        for (const char *r : rules) {
+            if (ruleEnabled(r))
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    siteEnabled(Addr func_entry) const
+    {
+        return opts_.onlyFunctions.empty() ||
+               opts_.onlyFunctions.count(func_entry) > 0;
     }
 
     // --- shared helpers --------------------------------------------------
@@ -106,9 +143,12 @@ class Checker
     const Function *
     functionAt(Addr entry)
     {
+        if (opts_.originalCfg)
+            return opts_.originalCfg->functionAt(entry);
         if (!cfgBuilt_) {
             cfg_ = buildCfg(orig_);
             cfgBuilt_ = true;
+            rebuiltOriginalCfg_ = true;
         }
         return cfg_.functionAt(entry);
     }
@@ -118,12 +158,29 @@ class Checker
     {
         auto it = liveness_.find(entry);
         if (it != liveness_.end())
-            return &it->second;
+            return it->second.get();
         const Function *fn = functionAt(entry);
         if (!fn)
             return nullptr;
-        return &liveness_.emplace(entry, computeLiveness(*fn, arch_))
-                    .first->second;
+        const bool cached =
+            opts_.useAnalysisCache && fn->cacheKey != 0;
+        if (cached) {
+            if (auto hit = AnalysisCache::global().findLiveness(
+                    fn->cacheKey)) {
+                ++livenessCacheHits_;
+                return liveness_.emplace(entry, std::move(hit))
+                    .first->second.get();
+            }
+        }
+        ++livenessCacheMisses_;
+        auto fresh = std::make_shared<LivenessResult>(
+            computeLiveness(*fn, arch_));
+        if (cached) {
+            AnalysisCache::global().storeLiveness(fn->cacheKey,
+                                                  *fresh);
+        }
+        return liveness_.emplace(entry, std::move(fresh))
+            .first->second.get();
     }
 
     // --- R1/R2/R3/R12: trampoline chain walking --------------------------
@@ -137,8 +194,17 @@ class Checker
      * finding per trampoline, classified range -> chain -> target.
      */
     void
-    walkChain(const TrampolinePatch &p)
+    walkChain(const TrampolinePatch &p,
+              std::vector<Diagnostic> &out) const
     {
+        // Shadows the serial member: chain walking runs on pool
+        // workers, so findings collect into a per-site vector.
+        auto report = [&](const char *rule, Severity sev,
+                          Addr orig_addr, Addr new_addr,
+                          Addr func_entry, std::string msg) {
+            out.push_back(diag(rule, sev, orig_addr, new_addr,
+                               func_entry, std::move(msg)));
+        };
         Addr addr = p.site;
         std::set<Addr> visited;
         std::map<Reg, Addr> vals;
@@ -248,7 +314,7 @@ class Checker
               case Opcode::AddImm: {
                 auto it = vals.find(in.rd);
                 if (it == vals.end()) {
-                    reportUnresolved(p, addr, in);
+                    reportUnresolved(p, addr, in, out);
                     return;
                 }
                 it->second = static_cast<Addr>(
@@ -267,7 +333,7 @@ class Checker
                 } else {
                     auto it = vals.find(in.rd);
                     if (it == vals.end()) {
-                        reportUnresolved(p, addr, in);
+                        reportUnresolved(p, addr, in, out);
                         return;
                     }
                     it->second |=
@@ -278,7 +344,7 @@ class Checker
               case Opcode::MovHi: {
                 auto it = vals.find(in.rd);
                 if (it == vals.end()) {
-                    reportUnresolved(p, addr, in);
+                    reportUnresolved(p, addr, in, out);
                     return;
                 }
                 it->second =
@@ -290,7 +356,7 @@ class Checker
               case Opcode::MoveToTar: {
                 auto it = vals.find(in.rs1);
                 if (it == vals.end()) {
-                    reportUnresolved(p, addr, in);
+                    reportUnresolved(p, addr, in, out);
                     return;
                 }
                 tar = it->second;
@@ -299,7 +365,7 @@ class Checker
               }
               case Opcode::JmpTar:
                 if (!tar_known) {
-                    reportUnresolved(p, addr, in);
+                    reportUnresolved(p, addr, in, out);
                     return;
                 }
                 if (!visited.insert(addr).second) {
@@ -313,7 +379,7 @@ class Checker
               case Opcode::JmpInd: {
                 auto it = vals.find(in.rs1);
                 if (it == vals.end()) {
-                    reportUnresolved(p, addr, in);
+                    reportUnresolved(p, addr, in, out);
                     return;
                 }
                 if (!visited.insert(addr).second) {
@@ -338,19 +404,44 @@ class Checker
 
     void
     reportUnresolved(const TrampolinePatch &p, Addr addr,
-                     const Instruction &in)
+                     const Instruction &in,
+                     std::vector<Diagnostic> &out) const
     {
-        report("tramp-target", Severity::error, p.site, addr,
-               p.funcEntry,
-               "cannot resolve the branch target: '" + in.toString() +
-                   "' uses a register with no known value");
+        out.push_back(diag(
+            "tramp-target", Severity::error, p.site, addr,
+            p.funcEntry,
+            "cannot resolve the branch target: '" + in.toString() +
+                "' uses a register with no known value"));
     }
 
     void
     checkTrampolines()
     {
-        for (const TrampolinePatch &p : m_.trampolines)
-            walkChain(p);
+        if (!anyRuleEnabled({"tramp-target", "tramp-range",
+                             "tramp-chain", "tramp-trap"}))
+            return;
+        const StageTimer timer(Stage::lintChains);
+        std::vector<const TrampolinePatch *> sites;
+        for (const TrampolinePatch &p : m_.trampolines) {
+            if (siteEnabled(p.funcEntry))
+                sites.push_back(&p);
+        }
+        checkedTrampolines_ = sites.size();
+        // Per-site chain walks are independent and read-only; the
+        // index-slot results keep finding order deterministic for
+        // every thread count.
+        auto results =
+            ThreadPool::shared().parallelMap<std::vector<Diagnostic>>(
+                sites.size(), effectiveThreads(opts_.threads),
+                [&](std::size_t i) {
+                    std::vector<Diagnostic> out;
+                    walkChain(*sites[i], out);
+                    return out;
+                });
+        for (auto &site_findings : results) {
+            for (auto &d : site_findings)
+                findings_.push_back(std::move(d));
+        }
     }
 
     // --- R4: scratch-register liveness -----------------------------------
@@ -358,7 +449,11 @@ class Checker
     void
     checkScratchRegs()
     {
+        if (!ruleEnabled("tramp-scratch-live"))
+            return;
         for (const TrampolinePatch &p : m_.trampolines) {
+            if (!siteEnabled(p.funcEntry))
+                continue;
             if (p.kind != TrampolineKind::longForm &&
                 p.kind != TrampolineKind::multiHop)
                 continue;
@@ -382,9 +477,11 @@ class Checker
     void
     checkTocPreserved()
     {
-        if (!arch_.hasToc)
+        if (!arch_.hasToc || !ruleEnabled("toc-preserved"))
             return;
         for (const TrampolinePatch &p : m_.trampolines) {
+            if (!siteEnabled(p.funcEntry))
+                continue;
             bool flagged = false;
             for (const auto &w : p.writes) {
                 for (Addr a = w.first;
@@ -413,23 +510,48 @@ class Checker
     void
     checkClones()
     {
+        if (!anyRuleEnabled({"jt-clone-bounds", "jt-clone-target"}))
+            return;
+        const StageTimer timer(Stage::lintClones);
         const Section *ro = rew_.findSection(SectionKind::newRodata);
+        std::vector<const JumpTableClonePatch *> clones;
         for (const JumpTableClonePatch &p : m_.clones) {
-            const Addr lo = p.cloneAddr;
-            const Addr hi = p.cloneAddr +
-                            static_cast<Addr>(p.entryCount) *
-                                p.entrySize;
-            if (!ro || lo < ro->addr || hi > ro->end()) {
-                report("jt-clone-bounds", Severity::error, p.jumpAddr,
-                       lo, p.funcEntry,
-                       "clone [" + hex(lo) + ", " + hex(hi) +
-                           ") escapes .newrodata" +
-                           (ro ? " [" + hex(ro->addr) + ", " +
-                                     hex(ro->end()) + ")"
-                               : " (section missing)"));
-                continue;
-            }
-            checkCloneEntries(p);
+            if (siteEnabled(p.funcEntry))
+                clones.push_back(&p);
+        }
+
+        struct CloneOut
+        {
+            std::vector<Diagnostic> findings;
+            std::uint64_t checked = 0;
+        };
+        auto results = ThreadPool::shared().parallelMap<CloneOut>(
+            clones.size(), effectiveThreads(opts_.threads),
+            [&](std::size_t i) {
+                const JumpTableClonePatch &p = *clones[i];
+                CloneOut out;
+                const Addr lo = p.cloneAddr;
+                const Addr hi = p.cloneAddr +
+                                static_cast<Addr>(p.entryCount) *
+                                    p.entrySize;
+                if (!ro || lo < ro->addr || hi > ro->end()) {
+                    out.findings.push_back(diag(
+                        "jt-clone-bounds", Severity::error,
+                        p.jumpAddr, lo, p.funcEntry,
+                        "clone [" + hex(lo) + ", " + hex(hi) +
+                            ") escapes .newrodata" +
+                            (ro ? " [" + hex(ro->addr) + ", " +
+                                      hex(ro->end()) + ")"
+                                : " (section missing)")));
+                    return out;
+                }
+                checkCloneEntries(p, out.findings, out.checked);
+                return out;
+            });
+        for (auto &r : results) {
+            checkedCloneEntries_ += r.checked;
+            for (auto &d : r.findings)
+                findings_.push_back(std::move(d));
         }
     }
 
@@ -443,8 +565,16 @@ class Checker
      * relocated are dispatch-unreachable garbage and stay zero.
      */
     void
-    checkCloneEntries(const JumpTableClonePatch &p)
+    checkCloneEntries(const JumpTableClonePatch &p,
+                      std::vector<Diagnostic> &out,
+                      std::uint64_t &checked) const
     {
+        auto report = [&](const char *rule, Severity sev,
+                          Addr orig_addr, Addr new_addr,
+                          Addr func_entry, std::string msg) {
+            out.push_back(diag(rule, sev, orig_addr, new_addr,
+                               func_entry, std::move(msg)));
+        };
         Addr base_new = 0;
         if (p.origBase) {
             if (*p.origBase == p.origTableAddr) {
@@ -471,7 +601,7 @@ class Checker
             const Addr at = p.cloneAddr +
                             static_cast<Addr>(i) * p.entrySize;
             const auto value = rew_.readValue(at, p.entrySize);
-            ++checkedCloneEntries_;
+            ++checked;
             if (!value) {
                 report("jt-clone-target", Severity::error,
                        p.origTargets[i], at, p.funcEntry,
@@ -504,6 +634,8 @@ class Checker
     void
     checkOverlaps()
     {
+        if (!ruleEnabled("patch-overlap"))
+            return;
         struct Ext
         {
             Addr lo, hi, site;
@@ -560,6 +692,8 @@ class Checker
     void
     checkAddrMaps()
     {
+        if (!ruleEnabled("addr-map-round-trip"))
+            return;
         checkMapInto("block map", m_.blockMap);
         checkMapInto("instruction map", m_.insnMap);
 
@@ -640,11 +774,14 @@ class Checker
     void
     checkEhFrames()
     {
-        if (m_.instrumented.empty())
+        if (m_.instrumented.empty() ||
+            !ruleEnabled("eh-frame-cover"))
             return;
         const FdeIndex orig_idx(orig_.fdeRecords());
         const FdeIndex new_idx(rew_.fdeRecords());
         for (Addr entry : m_.instrumented) {
+            if (!siteEnabled(entry))
+                continue;
             const FdeRecord *of = orig_idx.find(entry);
             if (!of)
                 continue;
@@ -665,41 +802,65 @@ class Checker
     void
     checkFuncPtrs()
     {
-        bool any = false;
-        for (const FuncPtrPatch &p : m_.funcPtrs)
-            any |= p.kind == FuncPtrPatch::Kind::dataCell;
-        if (!any)
+        if (!ruleEnabled("func-ptr-target"))
             return;
-        const auto proc = loadImage(rew_);
+        std::vector<const FuncPtrPatch *> cells;
         for (const FuncPtrPatch &p : m_.funcPtrs) {
-            if (p.kind != FuncPtrPatch::Kind::dataCell)
-                continue;
-            ++checkedFuncPtrs_;
-            std::uint64_t value = 0;
-            const Addr cell = proc->module.toLoaded(p.site);
-            if (!proc->mem.read(cell, 8, value)) {
-                report("func-ptr-target", Severity::error, p.site,
-                       invalid_addr, p.funcEntry,
-                       "pointer cell at " + hex(p.site) +
-                           " is unmapped after loading");
-                continue;
-            }
-            const Addr expect = proc->module.toLoaded(p.newValue);
-            if (value != expect)
-                report("func-ptr-target", Severity::error, p.site,
-                       p.newValue, p.funcEntry,
-                       "loaded cell holds " + hex(value) +
-                           ", expected " + hex(expect) +
-                           " (relocated target " + hex(p.newValue) +
-                           ")");
+            if (p.kind == FuncPtrPatch::Kind::dataCell &&
+                siteEnabled(p.funcEntry))
+                cells.push_back(&p);
+        }
+        if (cells.empty())
+            return;
+        const StageTimer timer(Stage::lintPtrs);
+        // Loading is serial; the per-cell reads afterwards touch the
+        // loaded memory read-only and are independent.
+        const auto proc = loadImage(rew_);
+        checkedFuncPtrs_ = cells.size();
+        auto results =
+            ThreadPool::shared().parallelMap<std::vector<Diagnostic>>(
+                cells.size(), effectiveThreads(opts_.threads),
+                [&](std::size_t i) {
+                    const FuncPtrPatch &p = *cells[i];
+                    std::vector<Diagnostic> out;
+                    std::uint64_t value = 0;
+                    const Addr cell = proc->module.toLoaded(p.site);
+                    if (!proc->mem.read(cell, 8, value)) {
+                        out.push_back(diag(
+                            "func-ptr-target", Severity::error,
+                            p.site, invalid_addr, p.funcEntry,
+                            "pointer cell at " + hex(p.site) +
+                                " is unmapped after loading"));
+                        return out;
+                    }
+                    const Addr expect =
+                        proc->module.toLoaded(p.newValue);
+                    if (value != expect) {
+                        out.push_back(diag(
+                            "func-ptr-target", Severity::error,
+                            p.site, p.newValue, p.funcEntry,
+                            "loaded cell holds " + hex(value) +
+                                ", expected " + hex(expect) +
+                                " (relocated target " +
+                                hex(p.newValue) + ")"));
+                    }
+                    return out;
+                });
+        for (auto &cell_findings : results) {
+            for (auto &d : cell_findings)
+                findings_.push_back(std::move(d));
         }
     }
 
   public:
+    std::uint64_t checkedTrampolines_ = 0;
     std::uint64_t checkedCloneEntries_ = 0;
     std::uint64_t checkedFuncPtrs_ = 0;
     std::uint64_t checkedRaPairs_ = 0;
     std::uint64_t checkedFdes_ = 0;
+    bool rebuiltOriginalCfg_ = false;
+    std::uint64_t livenessCacheHits_ = 0;
+    std::uint64_t livenessCacheMisses_ = 0;
 
   private:
     static constexpr unsigned max_chain_steps = 64;
@@ -716,7 +877,7 @@ class Checker
 
     bool cfgBuilt_ = false;
     CfgModule cfg_;
-    std::map<Addr, LivenessResult> liveness_;
+    std::map<Addr, std::shared_ptr<const LivenessResult>> liveness_;
 };
 
 } // namespace
@@ -744,11 +905,14 @@ lintRewrite(const BinaryImage &original, const RewriteResult &rw,
     }
     Checker checker(original, rw.image, rw.manifest, opts);
     rep.findings = checker.run();
-    rep.checkedTrampolines = rw.manifest.trampolines.size();
+    rep.checkedTrampolines = checker.checkedTrampolines_;
     rep.checkedCloneEntries = checker.checkedCloneEntries_;
     rep.checkedFuncPtrs = checker.checkedFuncPtrs_;
     rep.checkedRaPairs = checker.checkedRaPairs_;
     rep.checkedFdes = checker.checkedFdes_;
+    rep.rebuiltOriginalCfg = checker.rebuiltOriginalCfg_;
+    rep.livenessCacheHits = checker.livenessCacheHits_;
+    rep.livenessCacheMisses = checker.livenessCacheMisses_;
     return rep;
 }
 
@@ -797,6 +961,124 @@ LintReport::renderText() const
         static_cast<unsigned long long>(checkedRaPairs),
         static_cast<unsigned long long>(checkedFdes));
     out += line;
+    return out;
+}
+
+LintDiff
+diffReports(const LintReport &before, const LintReport &after)
+{
+    // Match findings by (function, rule, severity) with
+    // multiplicity; addresses differ between any two binaries and
+    // do not participate.
+    auto key = [](const Diagnostic &d) {
+        return d.function + '\x1f' + d.rule + '\x1f' +
+               static_cast<char>('0' +
+                                 static_cast<unsigned>(d.severity));
+    };
+
+    LintDiff diff;
+    std::map<std::string, LintDiff::FuncDelta> by_func;
+    auto tally = [](const Diagnostic &d, unsigned &err,
+                    unsigned &warn, unsigned &note) {
+        switch (d.severity) {
+          case Severity::error: ++err; break;
+          case Severity::warning: ++warn; break;
+          case Severity::info: ++note; break;
+        }
+    };
+
+    std::map<std::string, int> baseline;
+    for (const Diagnostic &d : before.findings)
+        ++baseline[key(d)];
+    for (const Diagnostic &d : after.findings) {
+        auto it = baseline.find(key(d));
+        if (it != baseline.end() && it->second > 0) {
+            --it->second;
+            continue;
+        }
+        by_func[d.function].regressions.push_back(d);
+        tally(d, diff.newErrors, diff.newWarnings, diff.newNotes);
+    }
+
+    std::map<std::string, int> current;
+    for (const Diagnostic &d : after.findings)
+        ++current[key(d)];
+    for (const Diagnostic &d : before.findings) {
+        auto it = current.find(key(d));
+        if (it != current.end() && it->second > 0) {
+            --it->second;
+            continue;
+        }
+        by_func[d.function].resolved.push_back(d);
+        tally(d, diff.resolvedErrors, diff.resolvedWarnings,
+              diff.resolvedNotes);
+    }
+
+    for (auto &[name, delta] : by_func) {
+        delta.function = name;
+        diff.functions.push_back(std::move(delta));
+    }
+    return diff;
+}
+
+std::string
+LintDiff::renderText() const
+{
+    std::string out;
+    for (const FuncDelta &f : functions) {
+        out += "function " +
+               (f.function.empty() ? std::string("<image>")
+                                   : f.function) +
+               ":\n";
+        for (const Diagnostic &d : f.regressions) {
+            out += "  + [" +
+                   std::string(severityName(d.severity)) + "] " +
+                   d.rule + ": " + d.message + "\n";
+        }
+        for (const Diagnostic &d : f.resolved) {
+            out += "  - [" +
+                   std::string(severityName(d.severity)) + "] " +
+                   d.rule + ": " + d.message + "\n";
+        }
+    }
+    char line[160];
+    std::snprintf(
+        line, sizeof(line),
+        "lint-diff: %u new (%u errors, %u warnings), %u resolved "
+        "(%u errors, %u warnings)\n",
+        newErrors + newWarnings + newNotes, newErrors, newWarnings,
+        resolvedErrors + resolvedWarnings + resolvedNotes,
+        resolvedErrors, resolvedWarnings);
+    out += line;
+    return out;
+}
+
+std::string
+LintDiff::renderJson() const
+{
+    std::string out = "{";
+    char buf[192];
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"new_errors\": %u, \"new_warnings\": %u, "
+        "\"new_notes\": %u, \"resolved_errors\": %u, "
+        "\"resolved_warnings\": %u, \"resolved_notes\": %u, "
+        "\"functions\": [",
+        newErrors, newWarnings, newNotes, resolvedErrors,
+        resolvedWarnings, resolvedNotes);
+    out += buf;
+    bool first = true;
+    for (const FuncDelta &f : functions) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "{\"function\": \"" + f.function + "\", ";
+        out += "\"regressions\": " +
+               renderDiagnosticsJson(f.regressions) + ", ";
+        out += "\"resolved\": " +
+               renderDiagnosticsJson(f.resolved) + "}";
+    }
+    out += "]}";
     return out;
 }
 

@@ -17,9 +17,11 @@
 #define ICP_VERIFY_LINT_HH
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "analysis/cfg.hh"
 #include "binfmt/image.hh"
 #include "rewrite/options.hh"
 #include "verify/diagnostics.hh"
@@ -37,6 +39,39 @@ struct LintOptions
      * into simulated memory and applies runtime relocations).
      */
     bool checkLoadedImage = true;
+
+    /**
+     * Worker threads for the per-site rule checkers (trampoline
+     * chains, clone entries, func-ptr cells): 0 = hardware
+     * concurrency, 1 = serial. Findings are reported in the same
+     * deterministic order for every value.
+     */
+    unsigned threads = 1;
+
+    /** When non-empty, run only these rule ids (incremental lint). */
+    std::set<std::string> onlyRules;
+
+    /**
+     * When non-empty, check only sites owned by these function
+     * entries. Image-global rules (patch-overlap, addr-map
+     * round-trips) ignore this filter.
+     */
+    std::set<Addr> onlyFunctions;
+
+    /**
+     * Original-image CFG to use for the liveness-backed rules
+     * instead of the verifier's lazy rebuild. Borrowed; must outlive
+     * the lint call. RewriteSession passes its own analysis here so
+     * repeat lints never re-disassemble the original image.
+     */
+    const CfgModule *originalCfg = nullptr;
+
+    /**
+     * Consult the process-wide AnalysisCache for per-function
+     * liveness (keyed like the rewriter's), so lint after rewrite
+     * reuses the same fixpoints.
+     */
+    bool useAnalysisCache = true;
 };
 
 struct LintReport
@@ -49,6 +84,17 @@ struct LintReport
     std::uint64_t checkedFuncPtrs = 0;
     std::uint64_t checkedRaPairs = 0;
     std::uint64_t checkedFdes = 0;
+
+    /**
+     * True when the checker had to rebuild the original CFG itself
+     * (LintOptions::originalCfg unset and a liveness-backed rule
+     * ran). Incremental lint asserts this stays false.
+     */
+    bool rebuiltOriginalCfg = false;
+
+    /** AnalysisCache liveness traffic from this lint run. */
+    std::uint64_t livenessCacheHits = 0;
+    std::uint64_t livenessCacheMisses = 0;
 
     bool clean() const { return findings.empty(); }
 
@@ -84,6 +130,53 @@ LintReport lintRewrite(const BinaryImage &original,
 /** Convert SBF container issues into lint diagnostics. */
 std::vector<Diagnostic>
 diagnosticsFromSbfIssues(const std::vector<SbfIssue> &issues);
+
+/**
+ * Per-function delta between two lint reports ("icp lint --diff"):
+ * which findings are new in the second report (regressions) and
+ * which disappeared (resolved). Findings match by (function, rule,
+ * severity) with multiplicity — addresses differ between any two
+ * binaries, so they do not participate in matching.
+ */
+struct LintDiff
+{
+    struct FuncDelta
+    {
+        std::string function; ///< empty = image-global findings
+        std::vector<Diagnostic> regressions;
+        std::vector<Diagnostic> resolved;
+    };
+
+    std::vector<FuncDelta> functions; ///< sorted by function name
+
+    unsigned newErrors = 0;
+    unsigned newWarnings = 0;
+    unsigned newNotes = 0;
+    unsigned resolvedErrors = 0;
+    unsigned resolvedWarnings = 0;
+    unsigned resolvedNotes = 0;
+
+    bool
+    hasRegressions(Severity floor) const
+    {
+        switch (floor) {
+          case Severity::info:
+            return newErrors + newWarnings + newNotes > 0;
+          case Severity::warning:
+            return newErrors + newWarnings > 0;
+          case Severity::error:
+            return newErrors > 0;
+        }
+        return false;
+    }
+
+    std::string renderText() const;
+    std::string renderJson() const;
+};
+
+/** Compare two lint reports; @p before is the baseline. */
+LintDiff diffReports(const LintReport &before,
+                     const LintReport &after);
 
 } // namespace icp
 

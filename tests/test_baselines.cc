@@ -15,9 +15,11 @@
 #include "baselines/srbi.hh"
 #include "codegen/compiler.hh"
 #include "codegen/workloads.hh"
+#include "harness/experiment.hh"
 #include "harness/verify.hh"
 #include "rewrite/rewriter.hh"
 #include "sim/machine.hh"
+#include "verify/lint.hh"
 
 using namespace icp;
 
@@ -123,6 +125,66 @@ TEST(Srbi, CallEmulationSupportsExceptionsOnX64)
         verifyRewrite(img, srbi, Machine::Config{});
     EXPECT_TRUE(outcome.pass) << outcome.reason;
     EXPECT_GT(outcome.rewritten.exceptionsThrown, 0u);
+}
+
+TEST(Srbi, DocumentedBugsTripExactlyTheirLintRules)
+{
+    // §8.1's bug catalog under fault injection: each documented SRBI
+    // bug, planted in an SRBI-configured rewrite, must be flagged by
+    // exactly the lint rule the catalog names — on every ISA where
+    // the defect is plantable.
+    for (const SrbiDocumentedBug &bug : srbiDocumentedBugs()) {
+        bool fired = false;
+        for (Arch arch : all_arches) {
+            const BinaryImage img =
+                compileProgram(plainSpec(arch, false));
+            if (srbiRefuses(img))
+                continue;
+            RewriteOptions opts = srbiOptions();
+            opts.instrumentation.countBlocks = true;
+            opts.injectDefect = bug.defect;
+            const RewriteResult rw = rewriteBinary(img, opts);
+            ASSERT_TRUE(rw.ok) << bug.name << ": " << rw.failReason;
+            if (rw.manifest.injectedRule.empty())
+                continue;
+            fired = true;
+            EXPECT_EQ(rw.manifest.injectedRule, bug.rule)
+                << bug.name;
+            const LintReport rep = lintRewrite(img, rw);
+            ASSERT_GE(rep.countAtLeast(Severity::error), 1u)
+                << bug.name << " went undetected on "
+                << archName(arch);
+            for (const Diagnostic &d : rep.findings) {
+                if (d.severity < Severity::error)
+                    continue;
+                EXPECT_EQ(d.rule, bug.rule)
+                    << bug.name << " tripped a different rule:\n"
+                    << rep.renderText();
+            }
+        }
+        EXPECT_TRUE(fired)
+            << bug.name << " never applicable under SRBI options";
+    }
+}
+
+TEST(Srbi, DocumentedBugSurfacesInLintErrColumn)
+{
+    // The Table-3 harness lints every artifact, so a planted baseline
+    // bug shows up as a nonzero "lint err" count even though the
+    // defective run fails (or sneaks past) the dynamic strong test.
+    const BinaryImage img = compileProgram(plainSpec(Arch::x64,
+                                                     false));
+    ASSERT_FALSE(srbiRefuses(img));
+    RewriteOptions opts = srbiOptions();
+    opts.injectDefect = InjectDefect::trampTarget;
+    const ToolRun run =
+        runBlockLevelExperiment(img, opts, Machine::Config{});
+    EXPECT_GE(run.lintErrors, 1u) << run.failReason;
+
+    // Without injection the artifact is lint-clean.
+    const ToolRun clean = runBlockLevelExperiment(img, srbiOptions(),
+                                                  Machine::Config{});
+    EXPECT_EQ(clean.lintErrors, 0u) << clean.failReason;
 }
 
 TEST(IrLower, MetadataRefusals)

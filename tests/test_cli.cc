@@ -215,3 +215,60 @@ TEST(Cli, LintRulesListsRegistry)
     EXPECT_NE(out.find("jt-clone-bounds"), std::string::npos);
     EXPECT_NE(out.find("addr-map-round-trip"), std::string::npos);
 }
+
+TEST(Cli, RewriteRepairFixesInjectedDefect)
+{
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_rep.sbf --pie"), 0);
+    // Without repair, the injected defect gates the rewrite.
+    EXPECT_EQ(exitCode("rewrite /tmp/icp_cli_rep.sbf "
+                       "/tmp/icp_cli_rep_out.sbf --mode func-ptr "
+                       "--count-blocks --inject tramp-chain --lint"),
+              2);
+    // --repair loops rewrite -> lint -> repair to a clean image.
+    const std::string args =
+        "rewrite /tmp/icp_cli_rep.sbf /tmp/icp_cli_rep_out.sbf "
+        "--mode func-ptr --count-blocks --inject tramp-chain "
+        "--lint --repair";
+    EXPECT_EQ(exitCode(args), 0);
+    const std::string out = capture(args);
+    EXPECT_NE(out.find("repair:"), std::string::npos) << out;
+    EXPECT_NE(out.find("converged"), std::string::npos) << out;
+    EXPECT_NE(out.find("lint: clean"), std::string::npos) << out;
+    // The repaired output lints clean through the session path too.
+    EXPECT_EQ(exitCode("rewrite /tmp/icp_cli_rep.sbf "
+                       "/tmp/icp_cli_rep2_out.sbf --mode func-ptr "
+                       "--count-blocks --repair=3"),
+              0);
+}
+
+TEST(Cli, LintDiffReportsRegressions)
+{
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_diff_a.sbf --pie"), 0);
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_diff_b.sbf --pie"), 0);
+    // Identical inputs diff clean, text and JSON.
+    const std::string args = "lint --diff /tmp/icp_cli_diff_a.sbf "
+                             "/tmp/icp_cli_diff_b.sbf --mode jt";
+    EXPECT_EQ(exitCode(args), 0);
+    const std::string out = capture(args);
+    EXPECT_NE(out.find("lint-diff: 0 new"), std::string::npos)
+        << out;
+    const std::string json = capture(args + " --json");
+    EXPECT_NE(json.find("\"new_errors\": 0"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"functions\": ["), std::string::npos);
+
+    // Unreadable inputs are operational errors, not findings.
+    EXPECT_EQ(exitCode("lint --diff /tmp/icp_cli_diff_a.sbf "
+                       "/tmp/icp_cli_nonexistent.sbf"),
+              1);
+}
+
+TEST(Cli, LintTimingShowsStageSplit)
+{
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_lt.sbf --pie"), 0);
+    const std::string out = capture(
+        "lint /tmp/icp_cli_lt.sbf --mode func-ptr --count-blocks "
+        "--threads 2 --timing");
+    EXPECT_NE(out.find("lint.chains"), std::string::npos) << out;
+    EXPECT_NE(out.find("lint.ptrs"), std::string::npos) << out;
+}

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Tests for the stateful RewriteSession API: the rewrite -> lint ->
+ * repair loop must fix (or trap-demote) every function-local injected
+ * defect within two repair iterations on all three ISAs, re-rewriting
+ * only the defective function, re-linting without rebuilding the
+ * original CFG, and producing a final image that is byte-identical
+ * across thread counts — and identical to a defect-free rewrite.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "rewrite/session.hh"
+#include "verify/lint.hh"
+
+using namespace icp;
+
+namespace
+{
+
+BinaryImage
+compileMicro(Arch arch, bool pie = true)
+{
+    return compileProgram(microProfile(arch, pie));
+}
+
+unsigned
+errorCount(const LintReport &rep)
+{
+    return rep.countAtLeast(Severity::error);
+}
+
+RewriteOptions
+baseOptions(InjectDefect defect = InjectDefect::none)
+{
+    RewriteOptions opts;
+    opts.mode = RewriteMode::funcPtr;
+    opts.instrumentation.countBlocks = true;
+    opts.injectDefect = defect;
+    return opts;
+}
+
+std::string
+sanitize(std::string s)
+{
+    for (char &c : s)
+        if (c == '-')
+            c = '_';
+    return s;
+}
+
+} // namespace
+
+// --- basic lifecycle ------------------------------------------------------
+
+TEST(RewriteSession, AnalyzeRewriteLintLifecycle)
+{
+    const BinaryImage img = compileMicro(Arch::x64);
+    RewriteSession session(img);
+
+    const CfgModule &cfg = session.analyze();
+    EXPECT_FALSE(cfg.functions.empty());
+    EXPECT_FALSE(session.hasResult());
+
+    const RewriteResult &rw = session.rewrite(baseOptions());
+    ASSERT_TRUE(rw.ok) << rw.failReason;
+    EXPECT_TRUE(session.hasResult());
+    // A from-scratch rewrite emits everything and reuses nothing.
+    EXPECT_EQ(rw.stats.relocReusedFunctions, 0u);
+    EXPECT_EQ(rw.stats.relocEmittedFunctions,
+              rw.stats.instrumentedFunctions);
+    EXPECT_FALSE(rw.manifest.funcSpans.empty());
+
+    const LintReport &rep = session.lint();
+    EXPECT_EQ(errorCount(rep), 0u) << rep.renderText();
+    // The session supplied its cached CFG; the verifier never
+    // rebuilt the original analysis.
+    EXPECT_FALSE(rep.rebuiltOriginalCfg);
+}
+
+TEST(RewriteSession, ThinWrapperMatchesSession)
+{
+    const BinaryImage img = compileMicro(Arch::aarch64);
+    const RewriteResult via_free = rewriteBinary(img, baseOptions());
+    RewriteSession session(img);
+    const RewriteResult &via_session = session.rewrite(baseOptions());
+    ASSERT_TRUE(via_free.ok);
+    ASSERT_TRUE(via_session.ok);
+    EXPECT_EQ(via_free.image.serialize(),
+              via_session.image.serialize());
+}
+
+// --- repair convergence matrix: arch x function-local defect --------------
+
+struct RepairParam
+{
+    Arch arch;
+    InjectDefect defect;
+};
+
+class SessionRepair : public ::testing::TestWithParam<RepairParam>
+{
+};
+
+std::string
+repairName(const ::testing::TestParamInfo<RepairParam> &info)
+{
+    return sanitize(std::string(archName(info.param.arch)) + "_" +
+                    injectDefectName(info.param.defect));
+}
+
+TEST_P(SessionRepair, ConvergesWithinTwoIterations)
+{
+    const auto [arch, defect] = GetParam();
+    const BinaryImage img = compileMicro(arch);
+
+    RewriteSession session(img);
+    const RewriteResult &rw = session.rewrite(baseOptions(defect));
+    ASSERT_TRUE(rw.ok) << rw.failReason;
+    if (rw.manifest.injectedRule.empty())
+        GTEST_SKIP() << "defect " << injectDefectName(defect)
+                     << " not applicable on " << archName(arch);
+
+    const LintReport &before = session.lint();
+    ASSERT_GE(errorCount(before), 1u)
+        << "planted defect went undetected";
+
+    const auto outcome = session.repairToFixedPoint(2);
+    EXPECT_TRUE(outcome.converged)
+        << session.lastReport().renderText();
+    EXPECT_EQ(errorCount(session.lastReport()), 0u)
+        << session.lastReport().renderText();
+    EXPECT_GE(outcome.iterations, 1u);
+    EXPECT_LE(outcome.iterations, 2u);
+    // One pass clears a transient defect; nothing gets demoted.
+    EXPECT_TRUE(outcome.demotedFunctions.empty());
+
+    const RewriteStats &stats = session.lastResult().stats;
+    if (!outcome.fullRewriteFallback) {
+        // Selective re-rewrite: only the defective functions were
+        // re-emitted; everything else was spliced from the previous
+        // pass's bytes.
+        EXPECT_FALSE(outcome.repairedFunctions.empty());
+        EXPECT_EQ(stats.relocEmittedFunctions,
+                  outcome.repairedFunctions.size());
+        EXPECT_GT(stats.relocReusedFunctions, 0u);
+        // The incremental re-lint ran against the session's cached
+        // CFG, never the verifier's lazy rebuild.
+        EXPECT_FALSE(session.lastReport().rebuiltOriginalCfg);
+    }
+
+    // The repaired image is exactly what a defect-free rewrite
+    // produces: splicing reused bytes loses nothing.
+    RewriteSession clean(img);
+    const RewriteResult &clean_rw = clean.rewrite(baseOptions());
+    ASSERT_TRUE(clean_rw.ok);
+    EXPECT_EQ(session.lastResult().image.serialize(),
+              clean_rw.image.serialize())
+        << "repaired image diverges from a clean rewrite";
+}
+
+std::vector<RepairParam>
+functionLocalDefects()
+{
+    // raMapEntry and cloneBounds corrupt whole sections rather than a
+    // function-local site; raMapEntry is covered by the fallback test
+    // below.
+    static const InjectDefect defects[] = {
+        InjectDefect::trampTarget,    InjectDefect::trampRange,
+        InjectDefect::trampChain,     InjectDefect::liveScratch,
+        InjectDefect::tocScratch,     InjectDefect::staleCloneEntry,
+        InjectDefect::doublePatch,    InjectDefect::dropFde,
+        InjectDefect::funcPtrStale,
+    };
+    std::vector<RepairParam> params;
+    for (Arch arch : all_arches)
+        for (InjectDefect d : defects)
+            params.push_back({arch, d});
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(FunctionLocalDefects, SessionRepair,
+                         ::testing::ValuesIn(functionLocalDefects()),
+                         repairName);
+
+// --- unattributable findings fall back to a full re-rewrite ---------------
+
+TEST(SessionRepairFallback, RaMapDefectTriggersFullRewrite)
+{
+    const BinaryImage img = compileMicro(Arch::x64);
+    RewriteSession session(img);
+    const RewriteResult &rw =
+        session.rewrite(baseOptions(InjectDefect::raMapEntry));
+    ASSERT_TRUE(rw.ok);
+    if (rw.manifest.injectedRule.empty())
+        GTEST_SKIP() << "raMapEntry not applicable";
+    ASSERT_GE(errorCount(session.lint()), 1u);
+
+    const auto outcome = session.repairToFixedPoint(2);
+    EXPECT_TRUE(outcome.converged)
+        << session.lastReport().renderText();
+    EXPECT_TRUE(outcome.fullRewriteFallback);
+    // The fallback pass re-emits everything.
+    EXPECT_EQ(session.lastResult().stats.relocReusedFunctions, 0u);
+}
+
+// --- persistent defects: trap demotion contains the function --------------
+
+class SessionDemotion : public ::testing::TestWithParam<RepairParam>
+{
+};
+
+TEST_P(SessionDemotion, PersistentDefectIsTrapDemoted)
+{
+    const auto [arch, defect] = GetParam();
+    const BinaryImage img = compileMicro(arch);
+
+    // First find a victim function the defect applies to.
+    RewriteSession session(img);
+    const RewriteResult &probe = session.rewrite(baseOptions(defect));
+    ASSERT_TRUE(probe.ok);
+    if (probe.manifest.injectedRule.empty())
+        GTEST_SKIP() << "defect " << injectDefectName(defect)
+                     << " not applicable on " << archName(arch);
+    std::string victim;
+    for (const Diagnostic &d : session.lint().findings) {
+        if (d.severity >= Severity::error && !d.function.empty()) {
+            victim = d.function;
+            break;
+        }
+    }
+    ASSERT_FALSE(victim.empty());
+
+    // Re-plant the defect restricted to the victim and keep it
+    // planted across repairs: only trap demotion can converge.
+    RewriteOptions opts = baseOptions(defect);
+    opts.injectOnlyFunction = victim;
+    const RewriteResult &rw = session.rewrite(opts);
+    ASSERT_TRUE(rw.ok);
+    if (rw.manifest.injectedRule.empty())
+        GTEST_SKIP() << "defect not plantable when restricted to "
+                     << victim;
+    ASSERT_GE(errorCount(session.lint()), 1u);
+
+    RewriteSession::RepairPolicy policy;
+    policy.clearInjectedDefect = false;
+    const auto outcome = session.repairToFixedPoint(2, policy);
+    EXPECT_TRUE(outcome.converged)
+        << session.lastReport().renderText();
+    EXPECT_EQ(errorCount(session.lastReport()), 0u);
+    EXPECT_EQ(outcome.iterations, 2u);
+    ASSERT_EQ(outcome.demotedFunctions.size(), 1u);
+    EXPECT_EQ(*outcome.demotedFunctions.begin(), victim);
+    // The demoted function runs on always-sound trap trampolines.
+    EXPECT_GT(session.lastResult().stats.trapTramps, 0u);
+    EXPECT_EQ(session.options().forceTrapFunctions.count(victim), 1u);
+}
+
+std::vector<RepairParam>
+persistentDefects()
+{
+    // Byte defects on direct trampolines: plantable on every ISA and
+    // neutralized by trap demotion (traps are not direct branches).
+    std::vector<RepairParam> params;
+    for (Arch arch : all_arches) {
+        params.push_back({arch, InjectDefect::trampTarget});
+        params.push_back({arch, InjectDefect::trampChain});
+    }
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(PersistentDefects, SessionDemotion,
+                         ::testing::ValuesIn(persistentDefects()),
+                         repairName);
+
+// --- determinism across thread counts -------------------------------------
+
+TEST(SessionDeterminism, RepairedImageIdenticalAcrossThreads)
+{
+    for (Arch arch : all_arches) {
+        const BinaryImage img = compileMicro(arch);
+        std::vector<std::uint8_t> first;
+        std::string first_report;
+        for (const unsigned threads : {1u, 4u}) {
+            RewriteOptions opts =
+                baseOptions(InjectDefect::trampTarget);
+            opts.threads = threads;
+            RewriteSession session(img);
+            const RewriteResult &rw = session.rewrite(opts);
+            ASSERT_TRUE(rw.ok);
+            if (rw.manifest.injectedRule.empty())
+                break; // defect not applicable on this arch
+            LintOptions lopts;
+            lopts.threads = threads;
+            session.lint(lopts);
+            const auto outcome = session.repairToFixedPoint(2);
+            ASSERT_TRUE(outcome.converged);
+            const auto bytes = session.lastResult().image.serialize();
+            const std::string report =
+                session.lastReport().renderText();
+            if (threads == 1) {
+                first = bytes;
+                first_report = report;
+            } else {
+                EXPECT_EQ(first, bytes)
+                    << archName(arch)
+                    << ": repaired image differs across threads";
+                EXPECT_EQ(first_report, report) << archName(arch);
+            }
+        }
+    }
+}
+
+// --- lint report diffing ---------------------------------------------------
+
+namespace
+{
+
+Diagnostic
+mkDiag(const char *rule, Severity sev, const std::string &func)
+{
+    Diagnostic d;
+    d.rule = rule;
+    d.severity = sev;
+    d.function = func;
+    d.message = "synthetic";
+    return d;
+}
+
+} // namespace
+
+TEST(LintDiffTest, RegressionsAndResolutionsPerFunction)
+{
+    LintReport before;
+    before.findings.push_back(
+        mkDiag("tramp-target", Severity::error, "f1"));
+    before.findings.push_back(
+        mkDiag("tramp-trap", Severity::warning, "f2"));
+
+    LintReport after;
+    after.findings.push_back(
+        mkDiag("tramp-trap", Severity::warning, "f2"));
+    after.findings.push_back(
+        mkDiag("tramp-trap", Severity::warning, "f2"));
+    after.findings.push_back(
+        mkDiag("jt-clone-target", Severity::error, "f3"));
+
+    const LintDiff diff = diffReports(before, after);
+    EXPECT_EQ(diff.newErrors, 1u);   // f3's clone error
+    EXPECT_EQ(diff.newWarnings, 1u); // f2's second trap warning
+    EXPECT_EQ(diff.resolvedErrors, 1u); // f1's target error
+    EXPECT_EQ(diff.resolvedWarnings, 0u);
+    EXPECT_TRUE(diff.hasRegressions(Severity::error));
+
+    // Per-function grouping covers every touched function.
+    std::set<std::string> funcs;
+    for (const auto &fd : diff.functions)
+        funcs.insert(fd.function);
+    EXPECT_EQ(funcs, (std::set<std::string>{"f1", "f2", "f3"}));
+
+    const std::string text = diff.renderText();
+    EXPECT_NE(text.find("lint-diff: 2 new"), std::string::npos)
+        << text;
+    const std::string json = diff.renderJson();
+    EXPECT_NE(json.find("\"new_errors\": 1"), std::string::npos)
+        << json;
+}
+
+TEST(LintDiffTest, IdenticalReportsDiffEmpty)
+{
+    LintReport rep;
+    rep.findings.push_back(
+        mkDiag("tramp-trap", Severity::warning, "f1"));
+    const LintDiff diff = diffReports(rep, rep);
+    EXPECT_TRUE(diff.functions.empty());
+    EXPECT_FALSE(diff.hasRegressions(Severity::info));
+    EXPECT_EQ(diff.newWarnings + diff.resolvedWarnings, 0u);
+}

@@ -30,13 +30,23 @@ cmake -B build-asan -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j "$jobs" \
-    --target test_lint test_rewrite test_binfmt test_engine
+    --target test_lint test_rewrite test_binfmt test_engine \
+             test_session icp_cli
 
-echo "== ASan+UBSan: rewriter / verifier / binfmt tests =="
+echo "== ASan+UBSan: rewriter / verifier / binfmt / session tests =="
 ./build-asan/tests/test_lint
 ./build-asan/tests/test_rewrite
 ./build-asan/tests/test_binfmt
 ./build-asan/tests/test_engine
+./build-asan/tests/test_session
+
+echo "== ASan+UBSan: repair-loop smoke (inject -> repair -> lint) =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./build-asan/tools/icp compile micro "$smoke_dir/in.sbf" --pie
+./build-asan/tools/icp rewrite "$smoke_dir/in.sbf" \
+    "$smoke_dir/out.sbf" --mode func-ptr --count-blocks \
+    --inject tramp-chain --lint --repair
 
 echo "== Release build (build/) =="
 cmake -B build -S .

@@ -9,10 +9,13 @@
  *               [--count-blocks] [--count-entries] [--only f1,f2]
  *               [--no-placement] [--no-multihop] [--call-emulation]
  *               [--threads N] [--no-cache] [--timing]
- *               [--lint] [--fail-on S]
- *   icp lint    <in.sbf> [rewrite options] [--json]
+ *               [--lint] [--fail-on S] [--inject DEFECT]
+ *               [--repair[=N]]
+ *   icp lint    <in.sbf> [rewrite options] [--json] [--timing]
  *               [--fail-on info|warning|error] [--inject DEFECT]
  *               [--no-load-check] [--rules]
+ *   icp lint    --diff <a.sbf> <b.sbf> [rewrite options] [--json]
+ *               [--fail-on S]
  *   icp run     <in.sbf> [--gc N]
  *   icp inspect <in.sbf> [function]
  *
@@ -21,7 +24,15 @@
  * `icp lint` rewrites the input in memory and runs the static
  * soundness verifier over the result. Exit codes: 0 when no finding
  * reaches --fail-on (default error), 2 when findings do, 1 on
- * operational errors (unreadable file).
+ * operational errors (unreadable file). `icp lint --diff` rewrites
+ * and lints two inputs under the same options and reports the
+ * per-function finding regressions/resolutions of the second
+ * relative to the first; exit 2 when a regression reaches --fail-on.
+ * `icp rewrite --repair[=N]` (implies --lint) runs the stateful
+ * RewriteSession loop — rewrite, lint, selectively re-rewrite the
+ * functions owning error findings — up to N (default 2) repair
+ * passes, writing the repaired image; exit 0 when the final report
+ * is clean at --fail-on, 2 otherwise.
  */
 
 #include <cstdio>
@@ -35,6 +46,7 @@
 #include "codegen/compiler.hh"
 #include "codegen/workloads.hh"
 #include "rewrite/rewriter.hh"
+#include "rewrite/session.hh"
 #include "sim/loader.hh"
 #include "sim/machine.hh"
 #include "support/stats.hh"
@@ -59,10 +71,14 @@ usage()
                  "[--no-multihop] [--call-emulation]\n"
                  "                   [--threads N] [--no-cache] "
                  "[--timing] [--lint] [--fail-on S]\n"
+                 "                   [--inject DEFECT] "
+                 "[--repair[=N]]\n"
                  "       icp lint <in.sbf> [rewrite options] "
                  "[--json] [--fail-on info|warning|error]\n"
                  "                [--inject DEFECT] "
-                 "[--no-load-check] [--rules]\n"
+                 "[--no-load-check] [--timing] [--rules]\n"
+                 "       icp lint --diff <a.sbf> <b.sbf> "
+                 "[rewrite options] [--json] [--fail-on S]\n"
                  "       icp run <in.sbf> [--gc N]\n"
                  "       icp inspect <in.sbf> [function]\n");
     return 2;
@@ -152,6 +168,12 @@ parseRewriteFlag(RewriteOptions &opts, int argc, char **argv, int &i,
         opts.threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (arg == "--no-cache") {
         opts.useAnalysisCache = false;
+    } else if (arg == "--inject" && i + 1 < argc) {
+        const auto defect = parseInjectDefect(argv[++i]);
+        if (!defect)
+            *bad = true;
+        else
+            opts.injectDefect = *defect;
     } else if (arg == "--only" && i + 1 < argc) {
         std::string list = argv[++i];
         std::size_t pos = 0;
@@ -248,6 +270,8 @@ cmdRewrite(int argc, char **argv)
     opts.mode = RewriteMode::jt;
     bool timing = false;
     bool lint = false;
+    bool repair = false;
+    unsigned repair_iters = 2;
     Severity fail_on = Severity::error;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -259,6 +283,16 @@ cmdRewrite(int argc, char **argv)
             timing = true;
         } else if (arg == "--lint") {
             lint = true;
+        } else if (arg == "--repair" ||
+                   arg.rfind("--repair=", 0) == 0) {
+            repair = true;
+            lint = true;
+            if (arg.size() > std::strlen("--repair=")) {
+                repair_iters = static_cast<unsigned>(
+                    std::atoi(arg.c_str() + std::strlen("--repair=")));
+                if (repair_iters == 0)
+                    return usage();
+            }
         } else if (arg == "--fail-on" && i + 1 < argc) {
             const auto sev = parseSeverity(argv[++i]);
             if (!sev)
@@ -272,7 +306,33 @@ cmdRewrite(int argc, char **argv)
 
     if (timing)
         StageTimers::global().reset();
-    const RewriteResult rw = rewriteBinary(img, opts);
+    RewriteSession session(img);
+    {
+        const RewriteResult &first = session.rewrite(opts);
+        if (!first.ok) {
+            std::fprintf(stderr, "rewrite failed: %s\n",
+                         first.failReason.c_str());
+            return 1;
+        }
+    }
+    if (repair) {
+        LintOptions lopts;
+        lopts.failOn = fail_on;
+        lopts.threads = opts.threads;
+        session.lint(lopts);
+        const auto outcome = session.repairToFixedPoint(repair_iters);
+        std::printf("repair: %u iteration(s), %zu function(s) "
+                    "re-rewritten, %zu demoted to trap%s%s\n",
+                    outcome.iterations,
+                    outcome.repairedFunctions.size(),
+                    outcome.demotedFunctions.size(),
+                    outcome.fullRewriteFallback
+                        ? ", full-rewrite fallback"
+                        : "",
+                    outcome.converged ? ", converged"
+                                      : ", NOT converged");
+    }
+    const RewriteResult &rw = session.lastResult();
     if (!rw.ok) {
         std::fprintf(stderr, "rewrite failed: %s\n",
                      rw.failReason.c_str());
@@ -307,7 +367,11 @@ cmdRewrite(int argc, char **argv)
     if (timing)
         std::printf("%s", StageTimers::global().table().c_str());
     if (lint) {
-        const LintReport report = lintRewrite(img, rw);
+        LintOptions lopts;
+        lopts.failOn = fail_on;
+        lopts.threads = opts.threads;
+        const LintReport &report =
+            repair ? session.lastReport() : session.lint(lopts);
         std::printf("%s", report.renderText().c_str());
         if (report.failed(fail_on))
             return 2;
@@ -315,25 +379,23 @@ cmdRewrite(int argc, char **argv)
     return 0;
 }
 
+/**
+ * `icp lint --diff a.sbf b.sbf`: rewrite and lint both inputs under
+ * the same options, then report b's per-function finding regressions
+ * and resolutions relative to a.
+ */
 int
-cmdLint(int argc, char **argv)
+cmdLintDiff(int argc, char **argv)
 {
-    if (argc < 1)
+    if (argc < 3)
         return usage();
-    if (std::strcmp(argv[0], "--rules") == 0) {
-        for (const LintRuleInfo &r : lintRules())
-            std::printf("%-20s %-8s %s\n", r.id,
-                        severityName(r.severity), r.summary);
-        return 0;
-    }
 
     RewriteOptions opts;
     opts.mode = RewriteMode::jt;
     opts.lint = true;
     LintOptions lopts;
     bool json = false;
-    bool show_injected = false;
-    for (int i = 1; i < argc; ++i) {
+    for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         bool bad = false;
         if (parseRewriteFlag(opts, argc, argv, i, &bad)) {
@@ -348,16 +410,73 @@ cmdLint(int argc, char **argv)
             if (!sev)
                 return usage();
             lopts.failOn = *sev;
-        } else if (arg == "--inject" && i + 1 < argc) {
-            const auto defect = parseInjectDefect(argv[++i]);
-            if (!defect)
-                return usage();
-            opts.injectDefect = *defect;
-            show_injected = true;
         } else {
             return usage();
         }
     }
+    lopts.threads = opts.threads;
+
+    const auto before_img = loadSbf(argv[1]);
+    const auto after_img = loadSbf(argv[2]);
+    if (!before_img || !after_img)
+        return 1;
+
+    RewriteSession before(*before_img);
+    RewriteSession after(*after_img);
+    before.rewrite(opts);
+    after.rewrite(opts);
+    const LintDiff diff =
+        diffReports(before.lint(lopts), after.lint(lopts));
+    if (json)
+        std::printf("%s\n", diff.renderJson().c_str());
+    else
+        std::printf("%s", diff.renderText().c_str());
+    return diff.hasRegressions(lopts.failOn) ? 2 : 0;
+}
+
+int
+cmdLint(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    if (std::strcmp(argv[0], "--rules") == 0) {
+        for (const LintRuleInfo &r : lintRules())
+            std::printf("%-20s %-8s %s\n", r.id,
+                        severityName(r.severity), r.summary);
+        return 0;
+    }
+    if (std::strcmp(argv[0], "--diff") == 0)
+        return cmdLintDiff(argc, argv);
+
+    RewriteOptions opts;
+    opts.mode = RewriteMode::jt;
+    opts.lint = true;
+    LintOptions lopts;
+    bool json = false;
+    bool timing = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        bool bad = false;
+        if (parseRewriteFlag(opts, argc, argv, i, &bad)) {
+            if (bad)
+                return usage();
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--timing") {
+            timing = true;
+        } else if (arg == "--no-load-check") {
+            lopts.checkLoadedImage = false;
+        } else if (arg == "--fail-on" && i + 1 < argc) {
+            const auto sev = parseSeverity(argv[++i]);
+            if (!sev)
+                return usage();
+            lopts.failOn = *sev;
+        } else {
+            return usage();
+        }
+    }
+    const bool show_injected = opts.injectDefect != InjectDefect::none;
+    lopts.threads = opts.threads;
 
     std::vector<std::uint8_t> raw;
     if (!readFile(argv[0], raw)) {
@@ -376,8 +495,11 @@ cmdLint(int argc, char **argv)
         return rep.failed(lopts.failOn) ? 2 : 0;
     }
 
-    const RewriteResult rw = rewriteBinary(*img, opts);
-    const LintReport report = lintRewrite(*img, rw, lopts);
+    if (timing)
+        StageTimers::global().reset();
+    RewriteSession session(*img);
+    const RewriteResult &rw = session.rewrite(opts);
+    const LintReport &report = session.lint(lopts);
     if (json) {
         std::printf("%s\n", report.renderJson().c_str());
     } else {
@@ -387,6 +509,9 @@ cmdLint(int argc, char **argv)
                             ? "(none; defect not applicable)"
                             : rw.manifest.injectedRule.c_str());
         std::printf("%s", report.renderText().c_str());
+        if (timing)
+            std::printf("%s",
+                        StageTimers::global().table().c_str());
     }
     return report.failed(lopts.failOn) ? 2 : 0;
 }
