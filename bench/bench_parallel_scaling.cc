@@ -2,9 +2,15 @@
  * @file
  * Scaling benchmark of the parallel per-function pipeline: full
  * rewrites of the two largest workloads at 1/2/4/8 threads, each
- * with a cold and a warm analysis cache, reporting wall time and the
- * per-stage timer breakdown. `--json <path>` writes the results
- * (BENCH_parallel.json in the repository is a committed baseline).
+ * under four cache regimes — cold (no prior state), warm-memory
+ * (in-process AnalysisCache primed), cold-disk (--cache-file set but
+ * the file does not exist yet: pays the save), and warm-disk (fresh
+ * process, populated cache file: pays load + save, reuses analysis)
+ * — reporting wall time and the per-stage timer breakdown, including
+ * the cache.load/cache.save stages. `--json <path>` writes the
+ * results (BENCH_parallel.json in the repository is a committed
+ * baseline); `--cache-file <path>` relocates the disk regimes'
+ * cache file from its /tmp default.
  *
  * Speedups are whatever the host delivers: on a single-core
  * container the thread counts verify determinism and overhead
@@ -33,14 +39,18 @@ namespace
 
 constexpr unsigned reps = 3;
 
+/** The disk-regime cache file; overridable with --cache-file. */
+std::string cache_file = "/tmp/icp_bench_parallel.icpc";
+
 double
-rewriteWallMs(const BinaryImage &img, unsigned threads, bool cache)
+rewriteWallMs(const BinaryImage &img, unsigned threads,
+              const std::string &cache_path = "")
 {
     RewriteOptions opts;
     opts.mode = RewriteMode::funcPtr;
     opts.instrumentation.countFunctionEntries = true;
     opts.threads = threads;
-    opts.useAnalysisCache = cache;
+    opts.cachePath = cache_path;
     const auto t0 = std::chrono::steady_clock::now();
     const RewriteResult rw = rewriteBinary(img, opts);
     const auto t1 = std::chrono::steady_clock::now();
@@ -53,34 +63,64 @@ rewriteWallMs(const BinaryImage &img, unsigned threads, bool cache)
         .count();
 }
 
+enum class CacheMode
+{
+    cold,       ///< no prior state at all
+    warmMemory, ///< in-process AnalysisCache primed
+    coldDisk,   ///< --cache-file set, file absent (pays the save)
+    warmDisk,   ///< fresh process + populated file (load + reuse)
+};
+
+const char *
+cacheModeName(CacheMode mode)
+{
+    switch (mode) {
+      case CacheMode::cold: return "cold";
+      case CacheMode::warmMemory: return "warm-memory";
+      case CacheMode::coldDisk: return "cold-disk";
+      case CacheMode::warmDisk: return "warm-disk";
+    }
+    return "?";
+}
+
 struct Run
 {
     unsigned threads = 0;
-    bool warm = false;
+    CacheMode mode = CacheMode::cold;
     double wallMs = 0.0;
     std::string stages; ///< StageTimers JSON of the best rep
 };
 
 /**
- * Best-of-reps wall time. Cold runs clear the cache before every
- * rep; warm runs prime it once and keep it.
+ * Best-of-reps wall time. The disk modes clear the in-memory cache
+ * before every rep (each rep models a fresh process); warm-memory
+ * primes once and keeps it; cold clears everything every rep.
  */
 Run
-measure(const BinaryImage &img, unsigned threads, bool warm)
+measure(const BinaryImage &img, unsigned threads, CacheMode mode)
 {
     Run run;
     run.threads = threads;
-    run.warm = warm;
-    run.wallMs = 0.0;
-    if (warm) {
+    run.mode = mode;
+    if (mode == CacheMode::warmMemory) {
         AnalysisCache::global().clear();
-        rewriteWallMs(img, threads, true);
+        rewriteWallMs(img, threads);
     }
+    if (mode == CacheMode::warmDisk) {
+        AnalysisCache::global().clear();
+        std::remove(cache_file.c_str());
+        rewriteWallMs(img, threads, cache_file); // populate the file
+    }
+    const bool disk = mode == CacheMode::coldDisk ||
+                      mode == CacheMode::warmDisk;
     for (unsigned r = 0; r < reps; ++r) {
-        if (!warm)
+        if (mode != CacheMode::warmMemory)
             AnalysisCache::global().clear();
+        if (mode == CacheMode::coldDisk)
+            std::remove(cache_file.c_str());
         StageTimers::global().reset();
-        const double ms = rewriteWallMs(img, threads, true);
+        const double ms =
+            rewriteWallMs(img, threads, disk ? cache_file : "");
         if (r == 0 || ms < run.wallMs) {
             run.wallMs = ms;
             run.stages = StageTimers::global().json();
@@ -98,7 +138,7 @@ runsJson(const std::vector<Run> &runs)
         const Run &r = runs[i];
         out << (i ? ",\n" : "\n")
             << "    {\"threads\": " << r.threads << ", \"cache\": \""
-            << (r.warm ? "warm" : "cold") << "\", \"wall_ms\": "
+            << cacheModeName(r.mode) << "\", \"wall_ms\": "
             << r.wallMs << ", \"stages\": " << r.stages << "}";
     }
     out << "\n  ]";
@@ -110,6 +150,14 @@ runsJson(const std::vector<Run> &runs)
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--cache-file" && i + 1 < argc)
+            cache_file = argv[++i];
+        else if (arg.rfind("--cache-file=", 0) == 0)
+            cache_file = arg.substr(13);
+    }
+
     std::printf("Parallel pipeline scaling (hardware concurrency: "
                 "%u)\n\n",
                 std::thread::hardware_concurrency());
@@ -139,9 +187,11 @@ main(int argc, char **argv)
         double base_cold = 0.0;
         for (unsigned threads : {1u, 2u, 4u, 8u}) {
             double cold_ms = 0.0;
-            for (bool warm : {false, true}) {
-                Run run = measure(w.img, threads, warm);
-                if (!warm) {
+            for (CacheMode mode :
+                 {CacheMode::cold, CacheMode::warmMemory,
+                  CacheMode::coldDisk, CacheMode::warmDisk}) {
+                Run run = measure(w.img, threads, mode);
+                if (mode == CacheMode::cold) {
                     cold_ms = run.wallMs;
                     if (threads == 1)
                         base_cold = run.wallMs;
@@ -152,9 +202,10 @@ main(int argc, char **argv)
                 std::snprintf(vs_cold, sizeof(vs_cold), "%.2fx",
                               cold_ms / run.wallMs);
                 table.addRow({std::to_string(threads),
-                              warm ? "warm" : "cold",
-                              std::to_string(run.wallMs),
-                              speedup, warm ? vs_cold : "-"});
+                              cacheModeName(run.mode),
+                              std::to_string(run.wallMs), speedup,
+                              mode == CacheMode::cold ? "-"
+                                                      : vs_cold});
                 runs.push_back(std::move(run));
             }
         }
@@ -163,6 +214,7 @@ main(int argc, char **argv)
                     table.render().c_str());
         sections.add(w.name, runsJson(runs));
     }
+    std::remove(cache_file.c_str());
 
     if (!icp::bench::writeJsonIfRequested(argc, argv,
                                           sections.str()))

@@ -418,7 +418,8 @@ buildCfg(const BinaryImage &image, const AnalysisOptions &opts)
             built[i] = builder.build();
             built[i].cacheKey = key;
             if (opts.useCache)
-                AnalysisCache::global().storeFunction(key, built[i]);
+                AnalysisCache::global().storeFunction(
+                    key, image.arch, built[i]);
         });
 
     for (std::size_t i = 0; i < syms.size(); ++i)

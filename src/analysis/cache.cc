@@ -103,16 +103,17 @@ AnalysisCache::findFunction(std::uint64_t key)
         return nullptr;
     }
     stats_.functionHits++;
-    return it->second;
+    return it->second.value;
 }
 
 void
-AnalysisCache::storeFunction(std::uint64_t key, Function func)
+AnalysisCache::storeFunction(std::uint64_t key, Arch arch,
+                             Function func)
 {
     auto value =
         std::make_shared<const Function>(std::move(func));
     std::lock_guard<std::mutex> lock(mu_);
-    functions_[key] = std::move(value);
+    functions_[key] = {arch, std::move(value)};
 }
 
 std::shared_ptr<const LivenessResult>
@@ -125,16 +126,17 @@ AnalysisCache::findLiveness(std::uint64_t key)
         return nullptr;
     }
     stats_.livenessHits++;
-    return it->second;
+    return it->second.value;
 }
 
 void
-AnalysisCache::storeLiveness(std::uint64_t key, LivenessResult live)
+AnalysisCache::storeLiveness(std::uint64_t key, Arch arch,
+                             LivenessResult live)
 {
     auto value =
         std::make_shared<const LivenessResult>(std::move(live));
     std::lock_guard<std::mutex> lock(mu_);
-    liveness_[key] = std::move(value);
+    liveness_[key] = {arch, std::move(value)};
 }
 
 AnalysisCache::Stats

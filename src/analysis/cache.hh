@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "analysis/builder.hh"
@@ -28,6 +30,8 @@
 
 namespace icp
 {
+
+struct CacheLoadReport; // analysis/cache_store.hh
 
 /** Incremental FNV-1a (64-bit). */
 std::uint64_t fnv1a(const void *data, std::size_t len,
@@ -83,23 +87,50 @@ class AnalysisCache
 
     /** nullptr on miss. Counts a hit/miss either way. */
     std::shared_ptr<const Function> findFunction(std::uint64_t key);
-    void storeFunction(std::uint64_t key, Function func);
+    void storeFunction(std::uint64_t key, Arch arch, Function func);
 
     std::shared_ptr<const LivenessResult>
     findLiveness(std::uint64_t key);
-    void storeLiveness(std::uint64_t key, LivenessResult live);
+    void storeLiveness(std::uint64_t key, Arch arch,
+                       LivenessResult live);
 
     Stats stats() const;
     std::size_t entryCount() const;
     void clear();
 
+    // --- on-disk persistence (implemented in cache_store.cc) -----------
+
+    /**
+     * Serialize every entry to @p path in the versioned, per-entry
+     * checksummed cache-file format of analysis/cache_store.hh.
+     * Returns false when the file cannot be written.
+     */
+    bool save(const std::string &path) const;
+
+    /**
+     * Merge entries from @p path. Tolerant by construction: a
+     * missing file, a bad magic/version, and corrupt or truncated
+     * entries load as empty-or-partial, each recorded as a
+     * structured cache-* issue on the report — never a crash. When
+     * @p expect_arch is set, entries tagged with any other ISA are
+     * dropped (their keys could never be looked up, but dropping
+     * keeps the merge bounded and reports the mismatch). Existing
+     * in-memory entries win over file entries with the same key.
+     */
+    CacheLoadReport load(const std::string &path,
+                         std::optional<Arch> expect_arch = {});
+
   private:
+    /** One memoized result, tagged with the ISA it was built for. */
+    template <typename T> struct Entry
+    {
+        Arch arch = Arch::x64;
+        std::shared_ptr<const T> value;
+    };
+
     mutable std::mutex mu_;
-    std::unordered_map<std::uint64_t,
-                       std::shared_ptr<const Function>>
-        functions_;
-    std::unordered_map<std::uint64_t,
-                       std::shared_ptr<const LivenessResult>>
+    std::unordered_map<std::uint64_t, Entry<Function>> functions_;
+    std::unordered_map<std::uint64_t, Entry<LivenessResult>>
         liveness_;
     Stats stats_;
 };

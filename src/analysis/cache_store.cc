@@ -1,0 +1,571 @@
+/**
+ * @file
+ * AnalysisCache::save()/load(): the cache-file format documented in
+ * cache_store.hh. Entries serialize through an append-only byte
+ * writer and decode through a bounds-latched reader; every decode
+ * path validates enum ranges so a corrupt payload can only ever drop
+ * its own entry, never read out of bounds or poison the cache.
+ */
+
+#include "analysis/cache_store.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "analysis/cache.hh"
+#include "isa/bytes.hh"
+
+namespace icp
+{
+
+namespace
+{
+
+// --- low-level byte IO ----------------------------------------------------
+
+void
+putString(std::vector<std::uint8_t> &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+/**
+ * Bounds-latched sequential reader: the first out-of-range read
+ * flips failed() and every later read returns zeros, so decoders can
+ * run straight through and check once at the end.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    bool failed() const { return failed_; }
+    std::size_t pos() const { return pos_; }
+    std::size_t remaining() const { return size_ - pos_; }
+
+    std::uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return data_[pos_++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        const std::uint32_t v = getU32(data_ + pos_);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        const std::uint64_t v = getU64(data_ + pos_);
+        pos_ += 8;
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        if (!need(len))
+            return {};
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      len);
+        pos_ += len;
+        return s;
+    }
+
+    const std::uint8_t *
+    blob(std::size_t len)
+    {
+        if (!need(len))
+            return nullptr;
+        const std::uint8_t *p = data_ + pos_;
+        pos_ += len;
+        return p;
+    }
+
+  private:
+    bool
+    need(std::uint64_t len)
+    {
+        if (failed_ || pos_ + len > size_) {
+            failed_ = true;
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+// --- payload encoders -----------------------------------------------------
+
+void
+encodeInstruction(std::vector<std::uint8_t> &out,
+                  const Instruction &in)
+{
+    putU8(out, static_cast<std::uint8_t>(in.op));
+    putU8(out, static_cast<std::uint8_t>(in.rd));
+    putU8(out, static_cast<std::uint8_t>(in.rs1));
+    putU8(out, static_cast<std::uint8_t>(in.rs2));
+    putU8(out, static_cast<std::uint8_t>(in.cond));
+    putU8(out, in.memSize);
+    putU8(out, in.signedLoad ? 1 : 0);
+    putU8(out, in.movShift);
+    putU8(out, in.movKeep ? 1 : 0);
+    putU8(out, in.formHint);
+    putU64(out, static_cast<std::uint64_t>(in.imm));
+    putU64(out, in.target);
+    putU64(out, in.addr);
+    putU32(out, in.length);
+}
+
+void
+encodeJumpTable(std::vector<std::uint8_t> &out, const JumpTable &jt)
+{
+    putU64(out, jt.jumpAddr);
+    putU64(out, jt.tableAddr);
+    putU32(out, jt.entrySize);
+    putU8(out, jt.signedEntries ? 1 : 0);
+    putU32(out, jt.shift);
+    putU8(out, jt.base.has_value() ? 1 : 0);
+    putU64(out, jt.base.value_or(0));
+    putU32(out, static_cast<std::uint32_t>(jt.baseDefAddrs.size()));
+    for (Addr a : jt.baseDefAddrs)
+        putU64(out, a);
+    putU64(out, jt.loadAddr);
+    putU32(out, jt.entryCount);
+    putU32(out, static_cast<std::uint32_t>(jt.targets.size()));
+    for (Addr a : jt.targets)
+        putU64(out, a);
+    putU8(out, jt.embeddedInCode ? 1 : 0);
+}
+
+void
+encodeBlock(std::vector<std::uint8_t> &out, const Block &block)
+{
+    putU64(out, block.start);
+    putU64(out, block.end);
+    std::uint8_t flags = 0;
+    if (block.endsInUnresolvedIndirect)
+        flags |= 1;
+    if (block.endsFunction)
+        flags |= 2;
+    if (block.callTarget.has_value())
+        flags |= 4;
+    putU8(out, flags);
+    putU64(out, block.callTarget.value_or(0));
+    putU32(out, static_cast<std::uint32_t>(block.insns.size()));
+    for (const Instruction &in : block.insns)
+        encodeInstruction(out, in);
+    putU32(out, static_cast<std::uint32_t>(block.succs.size()));
+    for (const Edge &e : block.succs) {
+        putU64(out, e.target);
+        putU8(out, static_cast<std::uint8_t>(e.kind));
+    }
+}
+
+std::vector<std::uint8_t>
+encodeFunction(const Function &func)
+{
+    std::vector<std::uint8_t> out;
+    putString(out, func.name);
+    putU64(out, func.entry);
+    putU64(out, func.end);
+    putU8(out, static_cast<std::uint8_t>(func.failure));
+    putU32(out, static_cast<std::uint32_t>(func.landingPads.size()));
+    for (Addr a : func.landingPads)
+        putU64(out, a);
+    putU32(out, static_cast<std::uint32_t>(
+                    func.indirectTailCalls.size()));
+    for (Addr a : func.indirectTailCalls)
+        putU64(out, a);
+    putU32(out, static_cast<std::uint32_t>(func.jumpTables.size()));
+    for (const JumpTable &jt : func.jumpTables)
+        encodeJumpTable(out, jt);
+    putU32(out, static_cast<std::uint32_t>(func.blocks.size()));
+    for (const auto &[start, block] : func.blocks)
+        encodeBlock(out, block);
+    return out;
+}
+
+std::vector<std::uint8_t>
+encodeLiveness(const LivenessResult &live)
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, static_cast<std::uint32_t>(live.liveIn.size()));
+    for (const auto &[addr, regs] : live.liveIn) {
+        putU64(out, addr);
+        putU32(out, regs.raw());
+    }
+    return out;
+}
+
+// --- payload decoders -----------------------------------------------------
+
+bool
+validReg(std::uint8_t v)
+{
+    return v < num_regs || v == static_cast<std::uint8_t>(Reg::none);
+}
+
+bool
+decodeInstruction(ByteReader &rd, Instruction &in)
+{
+    const std::uint8_t op = rd.u8();
+    const std::uint8_t vrd = rd.u8();
+    const std::uint8_t rs1 = rd.u8();
+    const std::uint8_t rs2 = rd.u8();
+    const std::uint8_t cond = rd.u8();
+    in.memSize = rd.u8();
+    in.signedLoad = rd.u8() != 0;
+    in.movShift = rd.u8();
+    in.movKeep = rd.u8() != 0;
+    in.formHint = rd.u8();
+    in.imm = static_cast<std::int64_t>(rd.u64());
+    in.target = rd.u64();
+    in.addr = rd.u64();
+    in.length = rd.u32();
+    if (rd.failed())
+        return false;
+    if (op >= static_cast<std::uint8_t>(Opcode::NumOpcodes))
+        return false;
+    if (!validReg(vrd) || !validReg(rs1) || !validReg(rs2))
+        return false;
+    if (cond > static_cast<std::uint8_t>(Cond::ge) &&
+        cond != static_cast<std::uint8_t>(Cond::none))
+        return false;
+    in.op = static_cast<Opcode>(op);
+    in.rd = static_cast<Reg>(vrd);
+    in.rs1 = static_cast<Reg>(rs1);
+    in.rs2 = static_cast<Reg>(rs2);
+    in.cond = static_cast<Cond>(cond);
+    return true;
+}
+
+bool
+decodeJumpTable(ByteReader &rd, JumpTable &jt)
+{
+    jt.jumpAddr = rd.u64();
+    jt.tableAddr = rd.u64();
+    jt.entrySize = rd.u32();
+    jt.signedEntries = rd.u8() != 0;
+    jt.shift = rd.u32();
+    const bool has_base = rd.u8() != 0;
+    const Addr base = rd.u64();
+    if (has_base)
+        jt.base = base;
+    const std::uint32_t ndefs = rd.u32();
+    if (ndefs > rd.remaining() / 8)
+        return false;
+    jt.baseDefAddrs.reserve(ndefs);
+    for (std::uint32_t i = 0; i < ndefs; ++i)
+        jt.baseDefAddrs.push_back(rd.u64());
+    jt.loadAddr = rd.u64();
+    jt.entryCount = rd.u32();
+    const std::uint32_t ntargets = rd.u32();
+    if (ntargets > rd.remaining() / 8)
+        return false;
+    jt.targets.reserve(ntargets);
+    for (std::uint32_t i = 0; i < ntargets; ++i)
+        jt.targets.push_back(rd.u64());
+    jt.embeddedInCode = rd.u8() != 0;
+    return !rd.failed();
+}
+
+bool
+decodeBlock(ByteReader &rd, Block &block)
+{
+    block.start = rd.u64();
+    block.end = rd.u64();
+    const std::uint8_t flags = rd.u8();
+    if (flags > 7)
+        return false;
+    block.endsInUnresolvedIndirect = (flags & 1) != 0;
+    block.endsFunction = (flags & 2) != 0;
+    const Addr call_target = rd.u64();
+    if (flags & 4)
+        block.callTarget = call_target;
+    const std::uint32_t ninsns = rd.u32();
+    if (ninsns > rd.remaining() / 38) // encoded instruction size
+        return false;
+    block.insns.resize(ninsns);
+    for (Instruction &in : block.insns) {
+        if (!decodeInstruction(rd, in))
+            return false;
+    }
+    const std::uint32_t nsuccs = rd.u32();
+    if (nsuccs > rd.remaining() / 9)
+        return false;
+    block.succs.resize(nsuccs);
+    for (Edge &e : block.succs) {
+        e.target = rd.u64();
+        const std::uint8_t kind = rd.u8();
+        if (kind > static_cast<std::uint8_t>(EdgeKind::jumpTable))
+            return false;
+        e.kind = static_cast<EdgeKind>(kind);
+    }
+    return !rd.failed();
+}
+
+bool
+decodeFunction(ByteReader &rd, Function &func)
+{
+    func.name = rd.str();
+    func.entry = rd.u64();
+    func.end = rd.u64();
+    const std::uint8_t failure = rd.u8();
+    if (failure >
+        static_cast<std::uint8_t>(AnalysisFailure::gapsWithRealCode))
+        return false;
+    func.failure = static_cast<AnalysisFailure>(failure);
+    const std::uint32_t npads = rd.u32();
+    if (npads > rd.remaining() / 8)
+        return false;
+    for (std::uint32_t i = 0; i < npads; ++i)
+        func.landingPads.insert(rd.u64());
+    const std::uint32_t ntails = rd.u32();
+    if (ntails > rd.remaining() / 8)
+        return false;
+    for (std::uint32_t i = 0; i < ntails; ++i)
+        func.indirectTailCalls.push_back(rd.u64());
+    const std::uint32_t njts = rd.u32();
+    if (njts > rd.remaining() / 46) // minimum encoded table size
+        return false;
+    func.jumpTables.resize(njts);
+    for (JumpTable &jt : func.jumpTables) {
+        if (!decodeJumpTable(rd, jt))
+            return false;
+    }
+    const std::uint32_t nblocks = rd.u32();
+    if (nblocks > rd.remaining() / 33) // minimum encoded block size
+        return false;
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+        Block block;
+        if (!decodeBlock(rd, block))
+            return false;
+        func.blocks.emplace(block.start, std::move(block));
+    }
+    // Trailing garbage means the payload was not written by this
+    // encoder: reject rather than guess.
+    return !rd.failed() && rd.remaining() == 0;
+}
+
+bool
+decodeLiveness(ByteReader &rd, LivenessResult &live)
+{
+    const std::uint32_t n = rd.u32();
+    if (n > rd.remaining() / 12)
+        return false;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const Addr addr = rd.u64();
+        live.liveIn.emplace(addr, RegSet::fromRaw(rd.u32()));
+    }
+    return !rd.failed() && rd.remaining() == 0;
+}
+
+constexpr std::uint8_t entry_kind_function = 1;
+constexpr std::uint8_t entry_kind_liveness = 2;
+
+void
+appendEntry(std::vector<std::uint8_t> &out, std::uint8_t kind,
+            Arch arch, std::uint64_t key,
+            const std::vector<std::uint8_t> &payload)
+{
+    putU8(out, kind);
+    putU8(out, static_cast<std::uint8_t>(arch));
+    putU64(out, key);
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    putU64(out, fnv1a(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+} // namespace
+
+bool
+AnalysisCache::save(const std::string &path) const
+{
+    // Snapshot under the lock, serialize outside it. Ordered maps
+    // keep the file byte-stable for identical contents.
+    std::map<std::uint64_t, Entry<Function>> functions;
+    std::map<std::uint64_t, Entry<LivenessResult>> liveness;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        functions.insert(functions_.begin(), functions_.end());
+        liveness.insert(liveness_.begin(), liveness_.end());
+    }
+
+    std::vector<std::uint8_t> out;
+    putU32(out, cache_file_magic);
+    putU32(out, cache_file_version);
+    putU32(out,
+           static_cast<std::uint32_t>(functions.size() +
+                                      liveness.size()));
+    for (const auto &[key, entry] : functions) {
+        appendEntry(out, entry_kind_function, entry.arch, key,
+                    encodeFunction(*entry.value));
+    }
+    for (const auto &[key, entry] : liveness) {
+        appendEntry(out, entry_kind_liveness, entry.arch, key,
+                    encodeLiveness(*entry.value));
+    }
+
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file)
+        return false;
+    file.write(reinterpret_cast<const char *>(out.data()),
+               static_cast<std::streamsize>(out.size()));
+    return static_cast<bool>(file);
+}
+
+CacheLoadReport
+AnalysisCache::load(const std::string &path,
+                    std::optional<Arch> expect_arch)
+{
+    CacheLoadReport report;
+
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        return report; // absent file: cold start, not an error
+    std::vector<std::uint8_t> raw(
+        (std::istreambuf_iterator<char>(file)),
+        std::istreambuf_iterator<char>());
+    report.fileRead = true;
+
+    ByteReader rd(raw.data(), raw.size());
+    const std::uint32_t magic = rd.u32();
+    if (rd.failed() || magic != cache_file_magic) {
+        report.issues.push_back(
+            {"cache-magic", 0,
+             "file does not start with the ICPC cache magic"});
+        return report;
+    }
+    const std::uint32_t version = rd.u32();
+    if (version != cache_file_version) {
+        char msg[96];
+        std::snprintf(msg, sizeof(msg),
+                      "format version %u (this build reads %u); "
+                      "file ignored",
+                      version, cache_file_version);
+        report.issues.push_back({"cache-version", 4, msg});
+        return report;
+    }
+    const std::uint32_t count = rd.u32();
+
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::size_t entry_off = rd.pos();
+        const std::uint8_t kind = rd.u8();
+        const std::uint8_t arch = rd.u8();
+        const std::uint64_t key = rd.u64();
+        const std::uint32_t payload_len = rd.u32();
+        const std::uint64_t payload_hash = rd.u64();
+        const std::uint8_t *payload = rd.blob(payload_len);
+        if (rd.failed()) {
+            char msg[96];
+            std::snprintf(msg, sizeof(msg),
+                          "entry %u of %u runs past end of file; "
+                          "remaining entries dropped",
+                          i + 1, count);
+            report.issues.push_back(
+                {"cache-truncated", entry_off, msg});
+            report.droppedEntries += count - i;
+            return report;
+        }
+        if (fnv1a(payload, payload_len) != payload_hash) {
+            report.issues.push_back(
+                {"cache-checksum", entry_off,
+                 "payload checksum mismatch; entry dropped"});
+            ++report.droppedEntries;
+            continue;
+        }
+        if (arch > static_cast<std::uint8_t>(Arch::aarch64)) {
+            report.issues.push_back(
+                {"cache-entry", entry_off,
+                 "unknown ISA tag; entry dropped"});
+            ++report.droppedEntries;
+            continue;
+        }
+        if (expect_arch &&
+            static_cast<Arch>(arch) != *expect_arch) {
+            char msg[96];
+            std::snprintf(msg, sizeof(msg),
+                          "entry built for %s, image is %s; "
+                          "entry dropped",
+                          archName(static_cast<Arch>(arch)),
+                          archName(*expect_arch));
+            report.issues.push_back({"cache-arch", entry_off, msg});
+            ++report.droppedEntries;
+            continue;
+        }
+
+        ByteReader payload_rd(payload, payload_len);
+        if (kind == entry_kind_function) {
+            Function func;
+            if (!decodeFunction(payload_rd, func)) {
+                report.issues.push_back(
+                    {"cache-entry", entry_off,
+                     "malformed function payload; entry dropped"});
+                ++report.droppedEntries;
+                continue;
+            }
+            func.cacheKey = key;
+            auto value =
+                std::make_shared<const Function>(std::move(func));
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!functions_
+                     .emplace(key, Entry<Function>{
+                                       static_cast<Arch>(arch),
+                                       std::move(value)})
+                     .second)
+                ++report.skippedExisting;
+            else
+                ++report.loadedFunctions;
+        } else if (kind == entry_kind_liveness) {
+            LivenessResult live;
+            if (!decodeLiveness(payload_rd, live)) {
+                report.issues.push_back(
+                    {"cache-entry", entry_off,
+                     "malformed liveness payload; entry dropped"});
+                ++report.droppedEntries;
+                continue;
+            }
+            auto value = std::make_shared<const LivenessResult>(
+                std::move(live));
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!liveness_
+                     .emplace(key, Entry<LivenessResult>{
+                                       static_cast<Arch>(arch),
+                                       std::move(value)})
+                     .second)
+                ++report.skippedExisting;
+            else
+                ++report.loadedLiveness;
+        } else {
+            report.issues.push_back(
+                {"cache-entry", entry_off,
+                 "unknown entry kind; entry dropped"});
+            ++report.droppedEntries;
+        }
+    }
+    return report;
+}
+
+} // namespace icp

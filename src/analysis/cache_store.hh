@@ -1,0 +1,89 @@
+/**
+ * @file
+ * On-disk persistence of the AnalysisCache: a versioned, per-entry
+ * checksummed binary serialization of memoized per-function analysis
+ * results (CFG blocks/edges with decoded instructions, jump-table
+ * solutions, liveness summaries), keyed by Function::cacheKey and
+ * tagged with the ISA they were built for. This turns the warm-cache
+ * speedup of repeat rewrites into a cross-invocation property — the
+ * same shape as Dyninst's serialized parse data — and gives CI a
+ * stable artifact to cache between runs.
+ *
+ * Robustness contract: loading never crashes. A missing file, a
+ * foreign magic, a version mismatch, a flipped payload byte, a
+ * truncated tail, or a wrong-ISA entry each degrade to an empty or
+ * partial load, with one structured cache-* issue per problem (the
+ * same shape as the SBF container's sbf-* diagnostics). Cache keys
+ * are content hashes, so a surviving entry is usable by construction
+ * and a dropped entry only costs re-analysis.
+ *
+ * File layout (all integers little-endian):
+ *
+ *   u32 magic   "ICPC"
+ *   u32 version cache_file_version (bump on any shape change)
+ *   u32 entryCount
+ *   entryCount x {
+ *     u8  kind      1 = function CFG, 2 = liveness summary
+ *     u8  arch      Arch enum value
+ *     u64 key       Function::cacheKey the entry memoizes
+ *     u32 payloadLen
+ *     u64 payloadHash   FNV-1a over the payload bytes
+ *     u8  payload[payloadLen]
+ *   }
+ *
+ * Invalidation needs no explicit rule: the key already covers the
+ * function bytes, the analysis options, and every non-executable
+ * loadable section (see imageCacheSeed), so a stale entry's key is
+ * simply never looked up again.
+ */
+
+#ifndef ICP_ANALYSIS_CACHE_STORE_HH
+#define ICP_ANALYSIS_CACHE_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icp
+{
+
+constexpr std::uint32_t cache_file_magic = 0x43504349; // "ICPC"
+constexpr std::uint32_t cache_file_version = 1;
+
+/** One structured problem found while loading a cache file. */
+struct CacheFileIssue
+{
+    std::string rule;       ///< "cache-magic", "cache-version", ...
+    std::size_t offset = 0; ///< byte offset into the file
+    std::string message;
+};
+
+/** Outcome of AnalysisCache::load(): what survived, what did not. */
+struct CacheLoadReport
+{
+    /** File existed and was readable (false is not an error). */
+    bool fileRead = false;
+
+    unsigned loadedFunctions = 0;
+    unsigned loadedLiveness = 0;
+
+    /** Entries present in the file but rejected (one issue each). */
+    unsigned droppedEntries = 0;
+
+    /** Keys already in memory; the in-memory entry won. */
+    unsigned skippedExisting = 0;
+
+    std::vector<CacheFileIssue> issues;
+
+    bool clean() const { return issues.empty(); }
+
+    unsigned
+    loadedEntries() const
+    {
+        return loadedFunctions + loadedLiveness;
+    }
+};
+
+} // namespace icp
+
+#endif // ICP_ANALYSIS_CACHE_STORE_HH

@@ -59,6 +59,15 @@ class RegSet
 
     std::uint32_t raw() const { return bits_; }
 
+    /** Rebuild from a raw() value (cache-file deserialization). */
+    static RegSet
+    fromRaw(std::uint32_t bits)
+    {
+        RegSet s;
+        s.bits_ = bits;
+        return s;
+    }
+
   private:
     std::uint32_t bits_ = 0;
 };

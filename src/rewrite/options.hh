@@ -16,6 +16,7 @@
 #include <string>
 
 #include "analysis/builder.hh"
+#include "analysis/cache_store.hh"
 #include "binfmt/image.hh"
 #include "rewrite/manifest.hh"
 
@@ -180,6 +181,16 @@ struct RewriteOptions
     bool useAnalysisCache = true;
 
     /**
+     * On-disk AnalysisCache file (CLI --cache-file). When non-empty
+     * (and useAnalysisCache is on), the rewrite merges the file into
+     * the process-wide cache before analysis and saves the cache
+     * back on success, making warm-cache reuse a cross-invocation
+     * property. Corrupt or mismatched files degrade to a cold run
+     * with structured cache-* issues on RewriteResult::cacheLoad.
+     */
+    std::string cachePath;
+
+    /**
      * Record the RewriteManifest on the result so the static
      * soundness verifier (lintRewrite in src/verify/) can check the
      * rewritten image against what the rewriter intended to emit.
@@ -252,6 +263,13 @@ struct RewriteResult
 
     /** What was emitted where; input to the static verifier. */
     RewriteManifest manifest;
+
+    /**
+     * Outcome of loading RewriteOptions::cachePath (default-empty
+     * when no cache file was configured). Lint folds its issues into
+     * the report as cache-* warnings.
+     */
+    CacheLoadReport cacheLoad;
 };
 
 } // namespace icp

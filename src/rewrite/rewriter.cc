@@ -374,7 +374,7 @@ Rewriter::installTrampolines(const EngineResult &engine)
                     computeLiveness(func, arch_));
                 if (cached) {
                     AnalysisCache::global().storeLiveness(
-                        func.cacheKey, *pre[i].live);
+                        func.cacheKey, input_.arch, *pre[i].live);
                 }
             });
     }
@@ -1156,16 +1156,35 @@ RewriteResult
 rewriteBinary(const BinaryImage &input, const RewriteOptions &options)
 {
     const RewritePass pass;
-    Rewriter rewriter(input, options, pass);
-    return rewriter.run();
+    return rewriteBinary(input, options, pass);
 }
 
 RewriteResult
 rewriteBinary(const BinaryImage &input, const RewriteOptions &options,
               const RewritePass &pass)
 {
+    // Cross-invocation persistence: merge the on-disk cache before
+    // analysis runs, write it back after a successful rewrite. Both
+    // directions are best-effort — a corrupt or unwritable file can
+    // only cost analysis reuse, never correctness.
+    const bool persist =
+        !options.cachePath.empty() && options.useAnalysisCache;
+    CacheLoadReport cache_load;
+    if (persist) {
+        StageTimer timer(Stage::cacheLoad);
+        cache_load = AnalysisCache::global().load(options.cachePath,
+                                                  input.arch);
+    }
+
     Rewriter rewriter(input, options, pass);
-    return rewriter.run();
+    RewriteResult result = rewriter.run();
+    result.cacheLoad = std::move(cache_load);
+
+    if (persist && result.ok) {
+        StageTimer timer(Stage::cacheSave);
+        AnalysisCache::global().save(options.cachePath);
+    }
+    return result;
 }
 
 } // namespace icp

@@ -1,9 +1,13 @@
 #include "rewrite/session.hh"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "analysis/builder.hh"
+#include "analysis/cache.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace icp
 {
@@ -48,7 +52,169 @@ selectiveLintRules()
     return rules;
 }
 
+/**
+ * Sorted function spans of @p image for attributing changed bytes.
+ */
+struct DiffSpan
+{
+    Addr lo = 0;
+    Addr hi = 0;
+    std::string name;
+};
+
+std::vector<DiffSpan>
+functionSpans(const BinaryImage &image)
+{
+    std::vector<DiffSpan> spans;
+    for (const Symbol *sym : image.functionSymbols())
+        spans.push_back({sym->addr, sym->addr + sym->size, sym->name});
+    return spans; // functionSymbols() is already address-sorted
+}
+
+/** The span containing @p a, or nullptr. */
+const DiffSpan *
+spanContaining(const std::vector<DiffSpan> &spans, Addr a)
+{
+    auto it = std::upper_bound(
+        spans.begin(), spans.end(), a,
+        [](Addr v, const DiffSpan &s) { return v < s.lo; });
+    if (it == spans.begin())
+        return nullptr;
+    --it;
+    return a < it->hi ? &*it : nullptr;
+}
+
 } // namespace
+
+RewriteSession::LoadOutcome
+RewriteSession::loadInput(BinaryImage newImage)
+{
+    LoadOutcome out;
+
+    // Diffable only against a completed rewrite of a same-shaped
+    // binary: same arch, same section layout, same function symbols.
+    bool comparable = hasResult_ && result_.ok &&
+                      newImage.arch == input_->arch &&
+                      newImage.pie == input_->pie &&
+                      newImage.sections.size() ==
+                          input_->sections.size();
+    if (comparable) {
+        const auto olds = input_->functionSymbols();
+        const auto news = newImage.functionSymbols();
+        comparable = olds.size() == news.size();
+        for (std::size_t i = 0; comparable && i < olds.size(); ++i)
+            comparable = olds[i]->addr == news[i]->addr &&
+                         olds[i]->size == news[i]->size &&
+                         olds[i]->name == news[i]->name;
+    }
+
+    std::set<Addr> dirty;
+    if (comparable) {
+        const std::vector<DiffSpan> spans = functionSpans(*input_);
+        for (std::size_t i = 0; i < input_->sections.size(); ++i) {
+            const Section &os = input_->sections[i];
+            const Section &ns = newImage.sections[i];
+            if (os.name != ns.name || os.addr != ns.addr ||
+                os.bytes.size() != ns.bytes.size()) {
+                comparable = false; // layout changed
+                break;
+            }
+            if (os.bytes == ns.bytes)
+                continue;
+            if (!os.executable) {
+                // Data bytes feed jump-table analysis and are cloned
+                // into the output; a data edit invalidates splicing.
+                comparable = false;
+                break;
+            }
+            for (std::size_t b = 0; b < os.bytes.size(); ++b) {
+                if (os.bytes[b] == ns.bytes[b])
+                    continue;
+                const DiffSpan *span = spanContaining(
+                    spans, os.addr + static_cast<Addr>(b));
+                if (span == nullptr) {
+                    // Changed bytes outside any function (padding,
+                    // scratch space): not attributable.
+                    comparable = false;
+                    break;
+                }
+                dirty.insert(span->lo);
+                out.dirtyNames.insert(span->name);
+            }
+            if (!comparable)
+                break;
+        }
+        if (comparable)
+            out.unchangedFunctions = static_cast<unsigned>(
+                spans.size() - dirty.size());
+    }
+
+    // Adopt the new image; the old CFG described the old bytes.
+    owned_ = std::move(newImage);
+    input_ = &owned_;
+    cfgBuilt_ = false;
+
+    if (!comparable) {
+        // Unrelated input: behave like a fresh session.
+        result_ = RewriteResult{};
+        hasResult_ = false;
+        report_ = LintReport{};
+        hasReport_ = false;
+        failCounts_.clear();
+        out.dirtyNames.clear();
+        return out;
+    }
+
+    // Rebuild the CFG on the new bytes. Unchanged functions hit the
+    // AnalysisCache by content key, so only the dirty bodies (plus
+    // any cold-cache remainder) actually re-analyze.
+    const CacheLoadReport cache_load = mergeDiskCache();
+    ensureCfg();
+
+    out.incremental = true;
+    out.dirtyFunctions = dirty;
+
+    if (dirty.empty())
+        return out; // byte-identical input: previous result stands
+
+    // Selective re-rewrite: re-emit only the changed functions,
+    // splice everything else from the previous pass (PR 3's repair
+    // path). result_ stays alive and unmoved during the call.
+    RewritePass pass;
+    pass.cfg = &cfg_;
+    pass.previous = &result_;
+    pass.dirtyFunctions = dirty;
+    RewriteOptions inner = opts_;
+    inner.cachePath.clear(); // persistence handled here
+    RewriteResult next = rewriteBinary(*input_, inner, pass);
+    next.cacheLoad = cache_load;
+    saveDiskCache(next);
+    result_ = std::move(next);
+    hasResult_ = true;
+    report_ = LintReport{};
+    hasReport_ = false;
+    return out;
+}
+
+CacheLoadReport
+RewriteSession::mergeDiskCache()
+{
+    if (opts_.cachePath.empty() || !opts_.useAnalysisCache)
+        return CacheLoadReport{};
+    StageTimer timer(Stage::cacheLoad);
+    return AnalysisCache::global().load(opts_.cachePath,
+                                        input_->arch);
+}
+
+void
+RewriteSession::saveDiskCache(const RewriteResult &result)
+{
+    if (opts_.cachePath.empty() || !opts_.useAnalysisCache ||
+        !result.ok)
+        return;
+    StageTimer timer(Stage::cacheSave);
+    AnalysisCache::global().save(opts_.cachePath);
+}
 
 void
 RewriteSession::ensureCfg()
@@ -76,11 +242,19 @@ RewriteResult &
 RewriteSession::rewrite(const RewriteOptions &options)
 {
     opts_ = options;
+    // Merge the on-disk cache before the CFG build — the session
+    // analyzes during ensureCfg(), so loading inside rewriteBinary
+    // (as the one-shot path does) would come too late to seed it.
+    const CacheLoadReport cache_load = mergeDiskCache();
     ensureCfg();
 
     RewritePass pass;
     pass.cfg = &cfg_;
-    RewriteResult next = rewriteBinary(*input_, opts_, pass);
+    RewriteOptions inner = opts_;
+    inner.cachePath.clear(); // persistence handled here
+    RewriteResult next = rewriteBinary(*input_, inner, pass);
+    next.cacheLoad = cache_load;
+    saveDiskCache(next);
     result_ = std::move(next);
     hasResult_ = true;
 

@@ -92,6 +92,48 @@ class RewriteSession
     };
 
     /**
+     * Outcome of loadInput(): how much of the previous session state
+     * survived the input swap.
+     */
+    struct LoadOutcome
+    {
+        /**
+         * True when the new input was diffable against the old one
+         * (same arch, same layout, same function symbols) and the
+         * previous rewrite was reused selectively: only changed
+         * functions were re-analyzed and re-emitted, everything else
+         * was spliced from the previous pass's bytes.
+         */
+        bool incremental = false;
+
+        /** Entries of functions whose bodies changed. */
+        std::set<Addr> dirtyFunctions;
+
+        /** Names of those functions. */
+        std::set<std::string> dirtyNames;
+
+        /** Function symbols whose bodies were byte-identical. */
+        unsigned unchangedFunctions = 0;
+    };
+
+    /**
+     * Replace the session's input with @p newImage (a new build of
+     * the same binary). Diffs the new image's function bodies against
+     * the current input: functions whose bytes changed are marked
+     * dirty, the CFG is rebuilt (unchanged functions hit the
+     * AnalysisCache by content key), and — when a previous rewrite
+     * exists under compatible layout — only the dirty functions are
+     * re-rewritten via the selective re-rewrite path; every other
+     * function's bytes are spliced from the previous result.
+     *
+     * When the images are not diffable (different arch, section
+     * layout, symbol set, or data-section bytes changed — cloned
+     * jump tables copy data, so a data edit invalidates splicing),
+     * the session resets to a fresh state on the new input.
+     */
+    LoadOutcome loadInput(BinaryImage newImage);
+
+    /**
      * Build (or return the cached) original-image CFG under the
      * current options' analysis settings.
      */
@@ -150,6 +192,14 @@ class RewriteSession
 
   private:
     void ensureCfg();
+
+    /** Merge opts_.cachePath into the AnalysisCache (no-op when
+     *  unset); must run before ensureCfg() to seed the CFG build. */
+    CacheLoadReport mergeDiskCache();
+
+    /** Save the AnalysisCache to opts_.cachePath after a successful
+     *  rewrite (no-op when unset or @p result failed). */
+    void saveDiskCache(const RewriteResult &result);
 
     BinaryImage owned_;
     const BinaryImage *input_;

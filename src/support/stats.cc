@@ -71,6 +71,8 @@ stageName(Stage stage)
       case Stage::lintChains: return "lint.chains";
       case Stage::lintClones: return "lint.clones";
       case Stage::lintPtrs: return "lint.ptrs";
+      case Stage::cacheLoad: return "cache.load";
+      case Stage::cacheSave: return "cache.save";
       case Stage::count_: break;
     }
     return "?";

@@ -55,6 +55,8 @@ enum class Stage : unsigned
     lintChains, ///< lint: trampoline-chain walking
     lintClones, ///< lint: jump-table clone re-solving
     lintPtrs,   ///< lint: loaded function-pointer cells
+    cacheLoad,  ///< on-disk AnalysisCache deserialization
+    cacheSave,  ///< on-disk AnalysisCache serialization
     count_      ///< number of stages (not a stage)
 };
 

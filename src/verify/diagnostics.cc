@@ -74,6 +74,18 @@ lintRules()
          "section payload exceeds its memory size or wraps"},
         {"sbf-section-overlap", Severity::error,
          "two sections share addresses"},
+        {"cache-magic", Severity::warning,
+         "analysis-cache file does not start with the ICPC magic"},
+        {"cache-version", Severity::warning,
+         "analysis-cache file has an unsupported format version"},
+        {"cache-truncated", Severity::warning,
+         "analysis-cache entry runs past the end of the file"},
+        {"cache-checksum", Severity::warning,
+         "analysis-cache entry payload fails its checksum"},
+        {"cache-entry", Severity::warning,
+         "analysis-cache entry payload does not decode"},
+        {"cache-arch", Severity::warning,
+         "analysis-cache entry was produced for a different ISA"},
     };
     return rules;
 }

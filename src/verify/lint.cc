@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <set>
 
@@ -176,8 +177,8 @@ class Checker
         auto fresh = std::make_shared<LivenessResult>(
             computeLiveness(*fn, arch_));
         if (cached) {
-            AnalysisCache::global().storeLiveness(fn->cacheKey,
-                                                  *fresh);
+            AnalysisCache::global().storeLiveness(
+                fn->cacheKey, orig_.arch, *fresh);
         }
         return liveness_.emplace(entry, std::move(fresh))
             .first->second.get();
@@ -905,6 +906,19 @@ lintRewrite(const BinaryImage &original, const RewriteResult &rw,
     }
     Checker checker(original, rw.image, rw.manifest, opts);
     rep.findings = checker.run();
+    // Surface persistent-cache degradation alongside the soundness
+    // findings: a dropped or rejected cache entry never affects the
+    // output bytes (analysis simply re-runs), so these are warnings,
+    // but CI's --fail-on=warning gate still notices a rotting
+    // artifact.
+    if (!rw.cacheLoad.clean() &&
+        (opts.onlyRules.empty() ||
+         opts.onlyRules.count("cache-file"))) {
+        auto cache_diags =
+            diagnosticsFromCacheIssues(rw.cacheLoad.issues);
+        rep.findings.insert(rep.findings.end(),
+                            cache_diags.begin(), cache_diags.end());
+    }
     rep.checkedTrampolines = checker.checkedTrampolines_;
     rep.checkedCloneEntries = checker.checkedCloneEntries_;
     rep.checkedFuncPtrs = checker.checkedFuncPtrs_;
@@ -914,6 +928,22 @@ lintRewrite(const BinaryImage &original, const RewriteResult &rw,
     rep.livenessCacheHits = checker.livenessCacheHits_;
     rep.livenessCacheMisses = checker.livenessCacheMisses_;
     return rep;
+}
+
+std::vector<Diagnostic>
+diagnosticsFromCacheIssues(const std::vector<CacheFileIssue> &issues)
+{
+    std::vector<Diagnostic> out;
+    out.reserve(issues.size());
+    for (const CacheFileIssue &issue : issues) {
+        Diagnostic d;
+        d.rule = issue.rule;
+        d.severity = Severity::warning;
+        d.message = issue.message + " (cache-file offset " +
+                    std::to_string(issue.offset) + ")";
+        out.push_back(std::move(d));
+    }
+    return out;
 }
 
 std::vector<Diagnostic>
@@ -930,6 +960,245 @@ diagnosticsFromSbfIssues(const std::vector<SbfIssue> &issues)
         out.push_back(std::move(d));
     }
     return out;
+}
+
+namespace
+{
+
+/**
+ * Minimal scanner for the JSON that LintReport::renderJson() emits:
+ * a top-level object whose "findings" member is an array of flat
+ * objects with string values. Tolerant of whitespace and member
+ * order; anything structurally different fails the parse.
+ */
+class ReportJsonScanner
+{
+  public:
+    explicit ReportJsonScanner(const std::string &text)
+        : s_(text)
+    {
+    }
+
+    bool
+    parse(LintReport &out)
+    {
+        skipWs();
+        if (!eat('{'))
+            return false;
+        // Scan top-level members; only "findings" matters.
+        bool first = true;
+        while (true) {
+            skipWs();
+            if (eat('}'))
+                return sawFindings_;
+            if (!first && !eat(','))
+                return false;
+            first = false;
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return false;
+            skipWs();
+            if (key == "findings") {
+                if (!parseFindings(out))
+                    return false;
+                sawFindings_ = true;
+            } else if (!skipValue()) {
+                return false;
+            }
+        }
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r' || s_[pos_] == '\t'))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!eat('"'))
+            return false;
+        out.clear();
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                return false;
+            const char esc = s_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    return false;
+                const unsigned v = static_cast<unsigned>(std::strtoul(
+                    s_.substr(pos_, 4).c_str(), nullptr, 16));
+                pos_ += 4;
+                out += static_cast<char>(v & 0xff);
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false;
+    }
+
+    /** Skip any scalar / object / array value (no capture). */
+    bool
+    skipValue()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        const char c = s_[pos_];
+        if (c == '"') {
+            std::string scratch;
+            return parseString(scratch);
+        }
+        if (c == '{' || c == '[') {
+            const char close = c == '{' ? '}' : ']';
+            ++pos_;
+            skipWs();
+            if (eat(close))
+                return true;
+            while (true) {
+                if (!skipValue())
+                    return false;
+                skipWs();
+                if (eat(close))
+                    return true;
+                if (eat(',')) {
+                    skipWs();
+                    // Object members: "key": value.
+                    if (close == '}' ) {
+                        std::string key;
+                        if (!parseString(key))
+                            return false;
+                        skipWs();
+                        if (!eat(':'))
+                            return false;
+                    }
+                    continue;
+                }
+                if (eat(':')) // first member of an object
+                    continue;
+                return false;
+            }
+        }
+        // Bare scalar: number / true / false / null.
+        const std::size_t start = pos_;
+        while (pos_ < s_.size() && s_[pos_] != ',' &&
+               s_[pos_] != '}' && s_[pos_] != ']' &&
+               s_[pos_] != ' ' && s_[pos_] != '\n')
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    parseFindings(LintReport &out)
+    {
+        if (!eat('['))
+            return false;
+        skipWs();
+        if (eat(']'))
+            return true;
+        while (true) {
+            skipWs();
+            if (!eat('{'))
+                return false;
+            Diagnostic d;
+            bool first = true;
+            while (true) {
+                skipWs();
+                if (eat('}'))
+                    break;
+                if (!first && !eat(','))
+                    return false;
+                first = false;
+                skipWs();
+                std::string key, value;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!eat(':'))
+                    return false;
+                skipWs();
+                if (!parseString(value))
+                    return false;
+                if (key == "rule") {
+                    d.rule = value;
+                } else if (key == "severity") {
+                    const auto sev = parseSeverity(value);
+                    if (!sev)
+                        return false;
+                    d.severity = *sev;
+                } else if (key == "function") {
+                    d.function = value == "-" ? "" : value;
+                } else if (key == "orig" || key == "new") {
+                    Addr addr = invalid_addr;
+                    if (value.rfind("0x", 0) == 0)
+                        addr = std::strtoull(value.c_str(), nullptr,
+                                             16);
+                    (key == "orig" ? d.origAddr : d.newAddr) = addr;
+                } else if (key == "message") {
+                    d.message = value;
+                }
+            }
+            if (d.rule.empty())
+                return false;
+            out.findings.push_back(std::move(d));
+            skipWs();
+            if (eat(']'))
+                return true;
+            if (!eat(','))
+                return false;
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    bool sawFindings_ = false;
+};
+
+} // namespace
+
+std::optional<LintReport>
+parseLintReportJson(const std::string &text)
+{
+    LintReport report;
+    ReportJsonScanner scanner(text);
+    if (!scanner.parse(report))
+        return std::nullopt;
+    return report;
 }
 
 std::string

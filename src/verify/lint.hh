@@ -17,6 +17,7 @@
 #define ICP_VERIFY_LINT_HH
 
 #include <cstdint>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -130,6 +131,24 @@ LintReport lintRewrite(const BinaryImage &original,
 /** Convert SBF container issues into lint diagnostics. */
 std::vector<Diagnostic>
 diagnosticsFromSbfIssues(const std::vector<SbfIssue> &issues);
+
+/**
+ * Convert on-disk AnalysisCache loading issues into warning-level
+ * lint diagnostics. lintRewrite appends these automatically when the
+ * rewrite was run with RewriteOptions::cachePath set.
+ */
+std::vector<Diagnostic>
+diagnosticsFromCacheIssues(const std::vector<CacheFileIssue> &issues);
+
+/**
+ * Parse a report previously rendered with LintReport::renderJson()
+ * (the "icp lint --json" output). Only the fields that participate
+ * in diffReports matching — rule, severity, function — are required;
+ * addresses and messages are carried when present. Returns nullopt
+ * when the text is not such a report.
+ */
+std::optional<LintReport>
+parseLintReportJson(const std::string &text);
 
 /**
  * Per-function delta between two lint reports ("icp lint --diff"):

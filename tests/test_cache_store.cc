@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests for the on-disk AnalysisCache (analysis/cache_store.hh):
+ * save/load round-trips restore every entry; a simulated process
+ * restart (clear + load) reuses >= 95% of function analyses and
+ * rewrites byte-identically; and every corruption mode — missing
+ * file, foreign magic, wrong version, truncated tail, flipped
+ * payload byte, wrong-ISA entries — loads as empty-or-partial with
+ * one structured cache-* issue per problem, never a crash, and never
+ * a different rewrite output.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/cache.hh"
+#include "analysis/cache_store.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "isa/bytes.hh"
+#include "rewrite/rewriter.hh"
+
+using namespace icp;
+
+namespace
+{
+
+BinaryImage
+compileMicro(Arch arch, bool pie = true)
+{
+    return compileProgram(microProfile(arch, pie));
+}
+
+RewriteOptions
+baseOptions(const std::string &cache_path = "")
+{
+    RewriteOptions opts;
+    opts.mode = RewriteMode::funcPtr;
+    opts.instrumentation.countBlocks = true;
+    opts.cachePath = cache_path;
+    return opts;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return "/tmp/icp_cache_store_" + name + ".icpc";
+}
+
+std::vector<std::uint8_t>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string &path,
+         const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << path;
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+bool
+hasIssue(const CacheLoadReport &rep, const std::string &rule)
+{
+    for (const CacheFileIssue &issue : rep.issues)
+        if (issue.rule == rule)
+            return true;
+    return false;
+}
+
+/**
+ * Cold rewrite that also populates the cache file at @p path:
+ * returns the serialized output for byte-comparisons.
+ */
+std::vector<std::uint8_t>
+coldRewrite(const BinaryImage &img, const std::string &path)
+{
+    AnalysisCache::global().clear();
+    std::remove(path.c_str());
+    const RewriteResult rw = rewriteBinary(img, baseOptions(path));
+    EXPECT_TRUE(rw.ok) << rw.failReason;
+    EXPECT_TRUE(rw.cacheLoad.clean());
+    return rw.image.serialize();
+}
+
+} // namespace
+
+// --- round trip across a simulated process restart ------------------------
+
+class CacheStoreArch : public ::testing::TestWithParam<Arch>
+{
+};
+
+TEST_P(CacheStoreArch, RestartReusesAnalysesAndMatchesBytes)
+{
+    const Arch arch = GetParam();
+    const BinaryImage img = compileMicro(arch);
+    const std::string path =
+        tmpPath(std::string("restart_") + archName(arch));
+
+    const std::vector<std::uint8_t> cold = coldRewrite(img, path);
+
+    // "Process restart": the in-memory cache is gone, only the file
+    // remains.
+    AnalysisCache::global().clear();
+    const RewriteResult warm = rewriteBinary(img, baseOptions(path));
+    ASSERT_TRUE(warm.ok) << warm.failReason;
+    EXPECT_TRUE(warm.cacheLoad.clean());
+    EXPECT_GT(warm.cacheLoad.loadedFunctions, 0u);
+
+    const auto stats = AnalysisCache::global().stats();
+    const std::uint64_t lookups =
+        stats.functionHits + stats.functionMisses;
+    ASSERT_GT(lookups, 0u);
+    // The acceptance bar: >= 95% of function analyses reused from
+    // the file. (Identical input means 100% here.)
+    EXPECT_GE(static_cast<double>(stats.functionHits),
+              0.95 * static_cast<double>(lookups))
+        << stats.functionHits << "/" << lookups;
+
+    EXPECT_EQ(warm.image.serialize(), cold);
+}
+
+TEST_P(CacheStoreArch, SaveLoadRestoresEveryEntry)
+{
+    const Arch arch = GetParam();
+    const BinaryImage img = compileMicro(arch);
+    const std::string path =
+        tmpPath(std::string("roundtrip_") + archName(arch));
+
+    coldRewrite(img, path);
+    const std::size_t entries = AnalysisCache::global().entryCount();
+    ASSERT_GT(entries, 0u);
+
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep =
+        AnalysisCache::global().load(path, arch);
+    EXPECT_TRUE(rep.fileRead);
+    EXPECT_TRUE(rep.clean())
+        << (rep.issues.empty() ? "" : rep.issues.front().message);
+    EXPECT_EQ(rep.loadedEntries(), entries);
+    EXPECT_EQ(rep.droppedEntries, 0u);
+    EXPECT_EQ(AnalysisCache::global().entryCount(), entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchs, CacheStoreArch,
+    ::testing::Values(Arch::x64, Arch::ppc64le, Arch::aarch64),
+    [](const ::testing::TestParamInfo<Arch> &info) {
+        std::string name = archName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+// --- corruption tolerance -------------------------------------------------
+
+namespace
+{
+
+/** A populated, valid cache file for mutation tests (x64 micro). */
+std::vector<std::uint8_t>
+validCacheFile(const std::string &path)
+{
+    const BinaryImage img = compileMicro(Arch::x64);
+    coldRewrite(img, path);
+    return readAll(path);
+}
+
+} // namespace
+
+TEST(CacheStore, MissingFileIsEmptyAndClean)
+{
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep = AnalysisCache::global().load(
+        "/tmp/icp_cache_store_definitely_missing.icpc");
+    EXPECT_FALSE(rep.fileRead);
+    EXPECT_TRUE(rep.clean());
+    EXPECT_EQ(rep.loadedEntries(), 0u);
+    EXPECT_EQ(AnalysisCache::global().entryCount(), 0u);
+}
+
+TEST(CacheStore, ForeignMagicLoadsEmptyWithIssue)
+{
+    const std::string path = tmpPath("magic");
+    std::vector<std::uint8_t> raw = validCacheFile(path);
+    raw[0] ^= 0xff;
+    writeAll(path, raw);
+
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep = AnalysisCache::global().load(path);
+    EXPECT_TRUE(rep.fileRead);
+    EXPECT_TRUE(hasIssue(rep, "cache-magic"));
+    EXPECT_EQ(rep.loadedEntries(), 0u);
+    EXPECT_EQ(AnalysisCache::global().entryCount(), 0u);
+}
+
+TEST(CacheStore, WrongVersionLoadsEmptyWithIssue)
+{
+    const std::string path = tmpPath("version");
+    std::vector<std::uint8_t> raw = validCacheFile(path);
+    // Version is the u32 after the magic.
+    raw[4] = static_cast<std::uint8_t>(cache_file_version + 1);
+    writeAll(path, raw);
+
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep = AnalysisCache::global().load(path);
+    EXPECT_TRUE(hasIssue(rep, "cache-version"));
+    EXPECT_EQ(rep.loadedEntries(), 0u);
+    EXPECT_EQ(AnalysisCache::global().entryCount(), 0u);
+}
+
+TEST(CacheStore, TruncatedFileLoadsPartialWithIssue)
+{
+    const std::string path = tmpPath("truncated");
+    std::vector<std::uint8_t> raw = validCacheFile(path);
+    const std::size_t total = raw.size();
+    // Cut the file mid-way through the entry list: a strict prefix
+    // of entries survives, the rest is reported, nothing crashes.
+    raw.resize(total / 2);
+    writeAll(path, raw);
+
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep = AnalysisCache::global().load(path);
+    EXPECT_TRUE(rep.fileRead);
+    EXPECT_TRUE(hasIssue(rep, "cache-truncated"));
+    EXPECT_GE(rep.droppedEntries, 1u);
+    EXPECT_EQ(AnalysisCache::global().entryCount(),
+              rep.loadedEntries());
+}
+
+TEST(CacheStore, FlippedPayloadByteDropsOnlyThatEntry)
+{
+    const std::string path = tmpPath("checksum");
+    std::vector<std::uint8_t> raw = validCacheFile(path);
+    AnalysisCache::global().clear();
+    const CacheLoadReport clean_rep =
+        AnalysisCache::global().load(path);
+    const unsigned total = clean_rep.loadedEntries();
+    ASSERT_GE(total, 2u);
+
+    // First entry starts right after the 12-byte header; its payload
+    // starts 22 bytes further (kind u8 + arch u8 + key u64 +
+    // payloadLen u32 + payloadHash u64). Flip the payload's first
+    // byte so only the checksum rule can catch it.
+    const std::size_t payload0 = 12 + 22;
+    ASSERT_LT(payload0, raw.size());
+    raw[payload0] ^= 0x01;
+    writeAll(path, raw);
+
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep = AnalysisCache::global().load(path);
+    EXPECT_TRUE(hasIssue(rep, "cache-checksum"));
+    EXPECT_EQ(rep.droppedEntries, 1u);
+    EXPECT_EQ(rep.loadedEntries(), total - 1);
+}
+
+TEST(CacheStore, WrongIsaEntriesAreDroppedWithIssue)
+{
+    const std::string path = tmpPath("wrong_isa");
+    // Populate the file from a ppc64le rewrite...
+    const BinaryImage img = compileMicro(Arch::ppc64le);
+    coldRewrite(img, path);
+
+    // ...then load it expecting x64: every entry is foreign.
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep =
+        AnalysisCache::global().load(path, Arch::x64);
+    EXPECT_TRUE(rep.fileRead);
+    EXPECT_TRUE(hasIssue(rep, "cache-arch"));
+    EXPECT_EQ(rep.loadedEntries(), 0u);
+    EXPECT_GE(rep.droppedEntries, 1u);
+    EXPECT_EQ(AnalysisCache::global().entryCount(), 0u);
+}
+
+TEST(CacheStore, InMemoryEntriesWinOverFileEntries)
+{
+    const std::string path = tmpPath("merge");
+    const BinaryImage img = compileMicro(Arch::x64);
+    coldRewrite(img, path);
+    const std::size_t entries = AnalysisCache::global().entryCount();
+
+    // Load on top of the same in-memory state: nothing new.
+    const CacheLoadReport rep =
+        AnalysisCache::global().load(path, Arch::x64);
+    EXPECT_TRUE(rep.clean());
+    EXPECT_EQ(rep.loadedEntries(), 0u);
+    EXPECT_EQ(rep.skippedExisting, entries);
+    EXPECT_EQ(AnalysisCache::global().entryCount(), entries);
+}
+
+// --- corrupt cache never changes the rewrite ------------------------------
+
+class CacheCorruptionRewrite : public ::testing::TestWithParam<Arch>
+{
+};
+
+TEST_P(CacheCorruptionRewrite, RewriteAfterBadLoadIsByteIdentical)
+{
+    const Arch arch = GetParam();
+    const BinaryImage img = compileMicro(arch);
+    const std::string path =
+        tmpPath(std::string("corrupt_") + archName(arch));
+
+    const std::vector<std::uint8_t> cold = coldRewrite(img, path);
+    std::vector<std::uint8_t> raw = readAll(path);
+
+    // Corrupt every fourth byte after the header: a mix of checksum
+    // failures, undecodable entries, and truncation.
+    for (std::size_t i = 12; i < raw.size(); i += 4)
+        raw[i] ^= 0xa5;
+    writeAll(path, raw);
+
+    AnalysisCache::global().clear();
+    const RewriteResult rw = rewriteBinary(img, baseOptions(path));
+    ASSERT_TRUE(rw.ok) << rw.failReason;
+    EXPECT_TRUE(rw.cacheLoad.fileRead);
+    EXPECT_FALSE(rw.cacheLoad.clean());
+    EXPECT_EQ(rw.image.serialize(), cold);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchs, CacheCorruptionRewrite,
+    ::testing::Values(Arch::x64, Arch::ppc64le, Arch::aarch64),
+    [](const ::testing::TestParamInfo<Arch> &info) {
+        std::string name = archName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });

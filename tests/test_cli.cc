@@ -272,3 +272,79 @@ TEST(Cli, LintTimingShowsStageSplit)
     EXPECT_NE(out.find("lint.chains"), std::string::npos) << out;
     EXPECT_NE(out.find("lint.ptrs"), std::string::npos) << out;
 }
+
+TEST(CliCacheFile, WarmRunReportsReuseAndMatchesColdOutput)
+{
+    std::remove("/tmp/icp_cli_cache.icpc");
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_cf.sbf"), 0);
+    const std::string cold = capture(
+        "rewrite /tmp/icp_cli_cf.sbf /tmp/icp_cli_cf_out1.sbf "
+        "--cache-file /tmp/icp_cli_cache.icpc");
+    EXPECT_NE(cold.find("analysis cache:"), std::string::npos)
+        << cold;
+
+    // Second invocation = fresh process: everything reused from disk.
+    const std::string warm = capture(
+        "rewrite /tmp/icp_cli_cf.sbf /tmp/icp_cli_cf_out2.sbf "
+        "--cache-file=/tmp/icp_cli_cache.icpc");
+    EXPECT_NE(warm.find(" reused (100.0%)"), std::string::npos)
+        << warm;
+
+    EXPECT_EQ(exitCode("run /tmp/icp_cli_cf_out1.sbf"), 0);
+    const int cmp = std::system(
+        "cmp -s /tmp/icp_cli_cf_out1.sbf /tmp/icp_cli_cf_out2.sbf");
+    EXPECT_EQ(WEXITSTATUS(cmp), 0)
+        << "warm-cache rewrite output differs from cold";
+}
+
+TEST(CliCacheFile, CorruptCacheFileDegradesToColdRun)
+{
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_cc.sbf"), 0);
+    ASSERT_EQ(std::system("head -c 200 /dev/urandom > "
+                          "/tmp/icp_cli_corrupt.icpc"),
+              0);
+    EXPECT_EQ(exitCode("rewrite /tmp/icp_cli_cc.sbf "
+                       "/tmp/icp_cli_cc_out.sbf "
+                       "--cache-file /tmp/icp_cli_corrupt.icpc"),
+              0);
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_cc2.sbf"), 0);
+    ASSERT_EQ(run("rewrite /tmp/icp_cli_cc2.sbf "
+                  "/tmp/icp_cli_cc_ref.sbf"),
+              0);
+    const int cmp = std::system(
+        "cmp -s /tmp/icp_cli_cc_out.sbf /tmp/icp_cli_cc_ref.sbf");
+    EXPECT_EQ(WEXITSTATUS(cmp), 0)
+        << "corrupt cache changed the rewrite output";
+}
+
+TEST(CliLintBaseline, DiffAgainstSavedJsonReport)
+{
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_lb.sbf"), 0);
+    const std::string report =
+        capture("lint /tmp/icp_cli_lb.sbf --json");
+    ASSERT_FALSE(report.empty());
+    {
+        FILE *f = fopen("/tmp/icp_cli_lb_baseline.json", "w");
+        ASSERT_NE(f, nullptr);
+        fputs(report.c_str(), f);
+        fclose(f);
+    }
+
+    // Same input vs its own saved report: no regressions, exit 0.
+    EXPECT_EQ(exitCode("lint --diff /tmp/icp_cli_lb_baseline.json "
+                       "/tmp/icp_cli_lb.sbf"),
+              0);
+
+    // A planted defect must regress against the baseline: exit 2.
+    EXPECT_EQ(exitCode("lint --diff /tmp/icp_cli_lb_baseline.json "
+                       "/tmp/icp_cli_lb.sbf --inject tramp-target"),
+              2);
+
+    // Garbage baseline is an operational error: exit 1.
+    ASSERT_EQ(std::system("echo '{\"nope\": 1}' > "
+                          "/tmp/icp_cli_lb_bad.json"),
+              0);
+    EXPECT_EQ(exitCode("lint --diff /tmp/icp_cli_lb_bad.json "
+                       "/tmp/icp_cli_lb.sbf"),
+              1);
+}

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/cache.hh"
 #include "codegen/compiler.hh"
 #include "codegen/workloads.hh"
 #include "rewrite/session.hh"
@@ -380,4 +381,228 @@ TEST(LintDiffTest, IdenticalReportsDiffEmpty)
     EXPECT_TRUE(diff.functions.empty());
     EXPECT_FALSE(diff.hasRegressions(Severity::info));
     EXPECT_EQ(diff.newWarnings + diff.resolvedWarnings, 0u);
+}
+
+// --- loadInput: input-diff dirty seeding ----------------------------------
+
+namespace
+{
+
+/**
+ * Deterministically mutate one instruction immediate in place (same
+ * encoded length) inside some function of @p img, returning the
+ * victim's name. The micro profile is deterministic, so calling this
+ * on two separately compiled copies yields identical images.
+ */
+std::string
+mutateOneImmediate(BinaryImage &img)
+{
+    const Codec &codec = *img.archInfo().codec;
+    for (const Symbol *sym : img.functionSymbols()) {
+        std::vector<std::uint8_t> body;
+        if (!img.readBytes(sym->addr, sym->size, body))
+            continue;
+        Addr addr = sym->addr;
+        std::size_t off = 0;
+        while (off < body.size()) {
+            Instruction in;
+            if (!codec.decode(body.data() + off, body.size() - off,
+                              addr, in) ||
+                in.length == 0)
+                break;
+            if (in.op == Opcode::AddImm && in.imm > 1) {
+                Instruction edit = in;
+                edit.imm = in.imm ^ 1;
+                std::vector<std::uint8_t> enc;
+                if (codec.encode(edit, addr, enc) &&
+                    enc.size() == in.length) {
+                    EXPECT_TRUE(img.writeBytes(addr, enc));
+                    return sym->name;
+                }
+            }
+            off += in.length;
+            addr += in.length;
+        }
+    }
+    return "";
+}
+
+} // namespace
+
+class SessionLoadInput : public ::testing::TestWithParam<Arch>
+{
+};
+
+TEST_P(SessionLoadInput, UnchangedInputKeepsPreviousResult)
+{
+    const Arch arch = GetParam();
+    AnalysisCache::global().clear();
+    RewriteSession session(compileMicro(arch));
+    const RewriteResult &first = session.rewrite(baseOptions());
+    ASSERT_TRUE(first.ok) << first.failReason;
+    const std::vector<std::uint8_t> bytes = first.image.serialize();
+
+    // A byte-identical new build: nothing is dirty, the previous
+    // result stands untouched.
+    const auto out = session.loadInput(compileMicro(arch));
+    EXPECT_TRUE(out.incremental);
+    EXPECT_TRUE(out.dirtyFunctions.empty());
+    EXPECT_GT(out.unchangedFunctions, 0u);
+    ASSERT_TRUE(session.hasResult());
+    EXPECT_EQ(session.lastResult().image.serialize(), bytes);
+}
+
+TEST_P(SessionLoadInput, OneFunctionEditReanalyzesOnlyThatFunction)
+{
+    const Arch arch = GetParam();
+    AnalysisCache::global().clear();
+
+    RewriteSession session(compileMicro(arch));
+    const RewriteResult &first = session.rewrite(baseOptions());
+    ASSERT_TRUE(first.ok) << first.failReason;
+    const unsigned instrumented = first.stats.instrumentedFunctions;
+    const std::size_t total =
+        session.input().functionSymbols().size();
+
+    BinaryImage edited = compileMicro(arch);
+    const std::string victim = mutateOneImmediate(edited);
+    ASSERT_FALSE(victim.empty())
+        << "no in-place-mutable immediate found";
+
+    const auto pre = AnalysisCache::global().stats();
+    const auto out = session.loadInput(std::move(edited));
+    const auto post = AnalysisCache::global().stats();
+
+    EXPECT_TRUE(out.incremental);
+    ASSERT_EQ(out.dirtyNames.size(), 1u);
+    EXPECT_EQ(*out.dirtyNames.begin(), victim);
+    EXPECT_EQ(out.unchangedFunctions,
+              static_cast<unsigned>(total - 1));
+
+    // Analysis-reuse: exactly the edited function's CFG was rebuilt;
+    // every other function hit the AnalysisCache by content key.
+    EXPECT_EQ(post.functionMisses - pre.functionMisses, 1u);
+    EXPECT_GE(post.functionHits - pre.functionHits, total - 1);
+
+    // Selective re-rewrite: one function re-emitted, the rest
+    // spliced verbatim from the previous pass.
+    const RewriteStats &stats = session.lastResult().stats;
+    EXPECT_EQ(stats.relocEmittedFunctions, 1u);
+    EXPECT_EQ(stats.relocReusedFunctions, instrumented - 1);
+
+    // The incremental result is byte-identical to a cold rewrite of
+    // the edited input.
+    BinaryImage edited_again = compileMicro(arch);
+    ASSERT_EQ(mutateOneImmediate(edited_again), victim);
+    RewriteSession cold(std::move(edited_again));
+    const RewriteResult &cold_rw = cold.rewrite(baseOptions());
+    ASSERT_TRUE(cold_rw.ok);
+    EXPECT_EQ(session.lastResult().image.serialize(),
+              cold_rw.image.serialize());
+
+    // And it still lints clean against the rebuilt CFG.
+    EXPECT_EQ(errorCount(session.lint()), 0u)
+        << session.lastReport().renderText();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchs, SessionLoadInput,
+    ::testing::Values(Arch::x64, Arch::ppc64le, Arch::aarch64),
+    [](const ::testing::TestParamInfo<Arch> &info) {
+        return sanitize(archName(info.param));
+    });
+
+TEST(SessionLoadInputFallback, DifferentArchResetsSession)
+{
+    RewriteSession session(compileMicro(Arch::x64));
+    ASSERT_TRUE(session.rewrite(baseOptions()).ok);
+
+    const auto out = session.loadInput(compileMicro(Arch::aarch64));
+    EXPECT_FALSE(out.incremental);
+    EXPECT_FALSE(session.hasResult());
+
+    // The session stays usable as if freshly constructed.
+    const RewriteResult &rw = session.rewrite(baseOptions());
+    EXPECT_TRUE(rw.ok) << rw.failReason;
+    EXPECT_EQ(rw.stats.relocReusedFunctions, 0u);
+}
+
+TEST(SessionLoadInputFallback, DataSectionEditForcesFullRewrite)
+{
+    RewriteSession session(compileMicro(Arch::x64));
+    ASSERT_TRUE(session.rewrite(baseOptions()).ok);
+
+    // Flip one byte of a non-executable section: jump-table data
+    // feeds analysis and cloning, so splicing would be unsound.
+    BinaryImage edited = compileMicro(Arch::x64);
+    bool flipped = false;
+    for (Section &sec : edited.sections) {
+        if (!sec.executable && !sec.bytes.empty()) {
+            sec.bytes[0] ^= 0x01;
+            flipped = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(flipped);
+
+    const auto out = session.loadInput(std::move(edited));
+    EXPECT_FALSE(out.incremental);
+    EXPECT_FALSE(session.hasResult());
+}
+
+// --- lint report JSON round trip ------------------------------------------
+
+TEST(LintReportJson, RenderParseRoundTripsForDiffing)
+{
+    const BinaryImage img = compileMicro(Arch::x64);
+    RewriteSession session(img);
+    ASSERT_TRUE(session.rewrite(baseOptions()).ok);
+    const LintReport &report = session.lint();
+
+    const auto parsed = parseLintReportJson(report.renderJson());
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->findings.size(), report.findings.size());
+    for (std::size_t i = 0; i < report.findings.size(); ++i) {
+        EXPECT_EQ(parsed->findings[i].rule, report.findings[i].rule);
+        EXPECT_EQ(parsed->findings[i].severity,
+                  report.findings[i].severity);
+        EXPECT_EQ(parsed->findings[i].function,
+                  report.findings[i].function);
+    }
+
+    // The parsed report is diff-equivalent to the original.
+    const LintDiff diff = diffReports(*parsed, report);
+    EXPECT_FALSE(diff.hasRegressions(Severity::info));
+    EXPECT_TRUE(diff.functions.empty());
+}
+
+TEST(LintReportJson, SyntheticFindingsSurviveRoundTrip)
+{
+    LintReport report;
+    Diagnostic d;
+    d.rule = "tramp-target";
+    d.severity = Severity::error;
+    d.function = "needs \"escaping\"\n";
+    d.origAddr = 0x401000;
+    d.message = "path\\with\\backslashes\tand tabs";
+    report.findings.push_back(d);
+
+    const auto parsed = parseLintReportJson(report.renderJson());
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->findings.size(), 1u);
+    EXPECT_EQ(parsed->findings[0].rule, "tramp-target");
+    EXPECT_EQ(parsed->findings[0].function, d.function);
+    EXPECT_EQ(parsed->findings[0].origAddr, 0x401000u);
+    EXPECT_EQ(parsed->findings[0].message, d.message);
+}
+
+TEST(LintReportJson, RejectsNonReportText)
+{
+    EXPECT_FALSE(parseLintReportJson("").has_value());
+    EXPECT_FALSE(parseLintReportJson("not json").has_value());
+    EXPECT_FALSE(parseLintReportJson("[1, 2, 3]").has_value());
+    EXPECT_FALSE(parseLintReportJson("{\"clean\": true}").has_value());
+    EXPECT_FALSE(
+        parseLintReportJson("{\"findings\": [{\"rule\": ")
+            .has_value());
 }

@@ -1,59 +1,166 @@
 #!/bin/sh
-# Full pre-merge check: a ThreadSanitizer build running the parallel
-# determinism tests (the pipeline's concurrency is only exercised
-# with >= 2 requested threads, which TSan then observes), an
-# Address+UBSanitizer build running the memory-heavy suites (the
-# rewriter, the verifier, and the binary-format validator do the
-# bulk of the byte-level pointer work), followed by a plain release
-# build running the complete test suite.
+# Full pre-merge check, split into named legs:
 #
-# Usage: tools/check.sh [jobs]    (default: nproc)
+#   tsan           ThreadSanitizer build + parallel determinism tests
+#                  (the pipeline's concurrency is only exercised with
+#                  >= 2 requested threads, which TSan then observes)
+#   asan           Address+UBSanitizer build + the memory-heavy suites
+#                  (rewriter, verifier, binfmt, engine, session, cache
+#                  store) and the repair-loop CLI smoke
+#   release        plain release build + the complete ctest suite
+#   lint-baseline  lint the canonical input against the checked-in
+#                  report (tests/data/lint_baseline.json): any new
+#                  finding fails with exit 2
+#   warm-cache     two rewrites sharing an on-disk AnalysisCache
+#                  (--cache-file): the second, fresh-process run must
+#                  reuse 100% of function analyses and produce
+#                  byte-identical output
+#
+# Unlike a `set -e` script, every requested leg runs even when an
+# earlier one fails; the per-leg PASS/FAIL summary and the aggregate
+# exit code report all of them.
+#
+# Usage: tools/check.sh [jobs] [leg...]   (default: nproc, all legs)
+# The ICP_CACHE_FILE env var relocates the warm-cache leg's cache
+# file (CI points it into the actions-cache directory).
 
-set -eu
+set -u
 
 cd "$(dirname "$0")/.."
-jobs="${1:-$(nproc)}"
 
-echo "== ThreadSanitizer build (build-tsan/) =="
-cmake -B build-tsan -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "$jobs" --target test_parallel
+jobs=""
+legs=""
+for arg in "$@"; do
+    case "$arg" in
+        [0-9]*) jobs="$arg" ;;
+        *) legs="$legs $arg" ;;
+    esac
+done
+jobs="${jobs:-$(nproc)}"
+legs="${legs:-tsan asan release lint-baseline warm-cache}"
 
-echo "== TSan: parallel pipeline tests =="
-./build-tsan/tests/test_parallel
+# Compiler launcher: use ccache when available (CI restores its
+# directory between runs), invisible otherwise.
+launcher=""
+if command -v ccache >/dev/null 2>&1; then
+    launcher="-DCMAKE_CXX_COMPILER_LAUNCHER=ccache"
+fi
 
-echo "== Address+UBSanitizer build (build-asan/) =="
-cmake -B build-asan -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build build-asan -j "$jobs" \
-    --target test_lint test_rewrite test_binfmt test_engine \
-             test_session icp_cli
+leg_tsan() {
+    echo "== ThreadSanitizer build (build-tsan/) =="
+    cmake -B build-tsan -S . $launcher \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" &&
+    cmake --build build-tsan -j "$jobs" --target test_parallel &&
+    echo "== TSan: parallel pipeline tests ==" &&
+    ./build-tsan/tests/test_parallel
+}
 
-echo "== ASan+UBSan: rewriter / verifier / binfmt / session tests =="
-./build-asan/tests/test_lint
-./build-asan/tests/test_rewrite
-./build-asan/tests/test_binfmt
-./build-asan/tests/test_engine
-./build-asan/tests/test_session
+leg_asan() {
+    echo "== Address+UBSanitizer build (build-asan/) =="
+    cmake -B build-asan -S . $launcher \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" &&
+    cmake --build build-asan -j "$jobs" \
+        --target test_lint test_rewrite test_binfmt test_engine \
+                 test_session test_cache_store icp_cli &&
+    echo "== ASan+UBSan: rewriter / verifier / binfmt / session / cache tests ==" &&
+    ./build-asan/tests/test_lint &&
+    ./build-asan/tests/test_rewrite &&
+    ./build-asan/tests/test_binfmt &&
+    ./build-asan/tests/test_engine &&
+    ./build-asan/tests/test_session &&
+    ./build-asan/tests/test_cache_store &&
+    echo "== ASan+UBSan: repair-loop smoke (inject -> repair -> lint) ==" &&
+    smoke_dir="$(mktemp -d)" &&
+    ./build-asan/tools/icp compile micro "$smoke_dir/in.sbf" --pie &&
+    ./build-asan/tools/icp rewrite "$smoke_dir/in.sbf" \
+        "$smoke_dir/out.sbf" --mode func-ptr --count-blocks \
+        --inject tramp-chain --lint --repair
+    status=$?
+    rm -rf "${smoke_dir:-}"
+    return $status
+}
 
-echo "== ASan+UBSan: repair-loop smoke (inject -> repair -> lint) =="
-smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
-./build-asan/tools/icp compile micro "$smoke_dir/in.sbf" --pie
-./build-asan/tools/icp rewrite "$smoke_dir/in.sbf" \
-    "$smoke_dir/out.sbf" --mode func-ptr --count-blocks \
-    --inject tramp-chain --lint --repair
+leg_release() {
+    echo "== Release build (build/) =="
+    cmake -B build -S . $launcher &&
+    cmake --build build -j "$jobs" &&
+    echo "== Release: full test suite ==" &&
+    (cd build && ctest --output-on-failure -j "$jobs")
+}
 
-echo "== Release build (build/) =="
-cmake -B build -S .
-cmake --build build -j "$jobs"
+build_cli() {
+    cmake -B build -S . $launcher >/dev/null &&
+    cmake --build build -j "$jobs" --target icp_cli >/dev/null
+}
 
-echo "== Release: full test suite =="
-cd build
-ctest --output-on-failure -j "$jobs"
+leg_lint_baseline() {
+    echo "== Lint baseline gate (tests/data/lint_baseline.json) =="
+    build_cli || return 1
+    dir="$(mktemp -d)"
+    ./build/tools/icp compile micro "$dir/micro.sbf" --pie &&
+    ./build/tools/icp lint --diff tests/data/lint_baseline.json \
+        "$dir/micro.sbf" --mode func-ptr --count-blocks \
+        --fail-on info
+    status=$?
+    rm -rf "$dir"
+    if [ $status -eq 2 ]; then
+        echo "lint regressions against the saved baseline" \
+             "(regenerate with tools/ci.sh regen-lint-baseline" \
+             "if intended)"
+    fi
+    return $status
+}
 
+leg_warm_cache() {
+    echo "== Warm-cache smoke (--cache-file round trip) =="
+    build_cli || return 1
+    dir="$(mktemp -d)"
+    cache="${ICP_CACHE_FILE:-$dir/analysis-cache.icpc}"
+    mkdir -p "$(dirname "$cache")" &&
+    ./build/tools/icp compile micro "$dir/in.sbf" --pie &&
+    ./build/tools/icp rewrite "$dir/in.sbf" "$dir/cold.sbf" \
+        --cache-file "$cache" &&
+    ./build/tools/icp rewrite "$dir/in.sbf" "$dir/warm.sbf" \
+        --cache-file "$cache" | tee "$dir/warm.log" &&
+    grep -q " reused (100.0%)" "$dir/warm.log" &&
+    cmp "$dir/cold.sbf" "$dir/warm.sbf" &&
+    echo "warm run: full reuse, byte-identical output"
+    status=$?
+    rm -rf "$dir"
+    return $status
+}
+
+summary=""
+failed=0
+for leg in $legs; do
+    fn="leg_$(echo "$leg" | tr - _)"
+    if ! command -v "$fn" >/dev/null 2>&1 && ! type "$fn" >/dev/null 2>&1; then
+        echo "check.sh: unknown leg '$leg'" >&2
+        summary="$summary
+  $leg: UNKNOWN"
+        failed=1
+        continue
+    fi
+    echo ""
+    echo "=== leg: $leg ==="
+    if "$fn"; then
+        summary="$summary
+  $leg: PASS"
+    else
+        summary="$summary
+  $leg: FAIL"
+        failed=1
+    fi
+done
+
+echo ""
+echo "== check.sh summary ==$summary"
+if [ $failed -ne 0 ]; then
+    echo "== check.sh: FAILURES =="
+    exit 1
+fi
 echo "== check.sh: all green =="

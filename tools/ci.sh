@@ -1,0 +1,57 @@
+#!/bin/sh
+# CI entry point: maps one workflow job onto the matching
+# tools/check.sh leg(s), so the GitHub matrix and a local
+# `tools/check.sh` run exercise byte-for-byte the same commands.
+#
+#   tools/ci.sh release        release build + full ctest
+#   tools/ci.sh asan           ASan+UBSan suites + repair smoke
+#   tools/ci.sh tsan           TSan parallel-pipeline tests
+#   tools/ci.sh lint-baseline  lint --diff against the saved baseline
+#   tools/ci.sh warm-cache     on-disk AnalysisCache round-trip smoke
+#   tools/ci.sh all            every leg (what check.sh runs bare)
+#
+#   tools/ci.sh regen-lint-baseline
+#       rebuild tests/data/lint_baseline.json from the current tree
+#       (run after intentionally changing lint findings, then commit)
+#
+# ICP_CI_JOBS overrides the parallelism (default: nproc).
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+job="${1:-all}"
+jobs="${ICP_CI_JOBS:-$(nproc)}"
+
+regen_lint_baseline() {
+    cmake -B build -S . >/dev/null &&
+    cmake --build build -j "$jobs" --target icp_cli >/dev/null ||
+        return 1
+    dir="$(mktemp -d)"
+    ./build/tools/icp compile micro "$dir/micro.sbf" --pie &&
+    ./build/tools/icp lint "$dir/micro.sbf" \
+        --mode func-ptr --count-blocks --json \
+        > tests/data/lint_baseline.json
+    status=$?
+    rm -rf "$dir"
+    [ $status -eq 0 ] && echo "wrote tests/data/lint_baseline.json"
+    return $status
+}
+
+case "$job" in
+    release|asan|tsan|lint-baseline|warm-cache)
+        exec tools/check.sh "$jobs" "$job"
+        ;;
+    all)
+        exec tools/check.sh "$jobs"
+        ;;
+    regen-lint-baseline)
+        regen_lint_baseline
+        ;;
+    *)
+        echo "ci.sh: unknown job '$job'" >&2
+        echo "jobs: release asan tsan lint-baseline warm-cache all" \
+             "regen-lint-baseline" >&2
+        exit 64
+        ;;
+esac

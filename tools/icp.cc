@@ -9,13 +9,13 @@
  *               [--count-blocks] [--count-entries] [--only f1,f2]
  *               [--no-placement] [--no-multihop] [--call-emulation]
  *               [--threads N] [--no-cache] [--timing]
- *               [--lint] [--fail-on S] [--inject DEFECT]
- *               [--repair[=N]]
+ *               [--cache-file PATH] [--lint] [--fail-on S]
+ *               [--inject DEFECT] [--repair[=N]]
  *   icp lint    <in.sbf> [rewrite options] [--json] [--timing]
  *               [--fail-on info|warning|error] [--inject DEFECT]
  *               [--no-load-check] [--rules]
- *   icp lint    --diff <a.sbf> <b.sbf> [rewrite options] [--json]
- *               [--fail-on S]
+ *   icp lint    --diff <a.sbf|baseline.json> <b.sbf>
+ *               [rewrite options] [--json] [--fail-on S]
  *   icp run     <in.sbf> [--gc N]
  *   icp inspect <in.sbf> [function]
  *
@@ -28,6 +28,10 @@
  * and lints two inputs under the same options and reports the
  * per-function finding regressions/resolutions of the second
  * relative to the first; exit 2 when a regression reaches --fail-on.
+ * The first operand may instead be a saved `icp lint --json` report
+ * (the CI lint-baseline gate). `--cache-file PATH` persists the
+ * AnalysisCache across invocations: it is merged before analysis and
+ * saved back after a successful rewrite.
  * `icp rewrite --repair[=N]` (implies --lint) runs the stateful
  * RewriteSession loop — rewrite, lint, selectively re-rewrite the
  * functions owning error findings — up to N (default 2) repair
@@ -43,6 +47,7 @@
 #include <vector>
 
 #include "analysis/builder.hh"
+#include "analysis/cache.hh"
 #include "codegen/compiler.hh"
 #include "codegen/workloads.hh"
 #include "rewrite/rewriter.hh"
@@ -71,14 +76,14 @@ usage()
                  "[--no-multihop] [--call-emulation]\n"
                  "                   [--threads N] [--no-cache] "
                  "[--timing] [--lint] [--fail-on S]\n"
-                 "                   [--inject DEFECT] "
-                 "[--repair[=N]]\n"
+                 "                   [--cache-file PATH] "
+                 "[--inject DEFECT] [--repair[=N]]\n"
                  "       icp lint <in.sbf> [rewrite options] "
                  "[--json] [--fail-on info|warning|error]\n"
                  "                [--inject DEFECT] "
                  "[--no-load-check] [--timing] [--rules]\n"
-                 "       icp lint --diff <a.sbf> <b.sbf> "
-                 "[rewrite options] [--json] [--fail-on S]\n"
+                 "       icp lint --diff <a.sbf|baseline.json> "
+                 "<b.sbf> [rewrite options] [--json] [--fail-on S]\n"
                  "       icp run <in.sbf> [--gc N]\n"
                  "       icp inspect <in.sbf> [function]\n");
     return 2;
@@ -168,6 +173,12 @@ parseRewriteFlag(RewriteOptions &opts, int argc, char **argv, int &i,
         opts.threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (arg == "--no-cache") {
         opts.useAnalysisCache = false;
+    } else if (arg == "--cache-file" && i + 1 < argc) {
+        opts.cachePath = argv[++i];
+    } else if (arg.rfind("--cache-file=", 0) == 0) {
+        opts.cachePath = arg.substr(std::strlen("--cache-file="));
+        if (opts.cachePath.empty())
+            *bad = true;
     } else if (arg == "--inject" && i + 1 < argc) {
         const auto defect = parseInjectDefect(argv[++i]);
         if (!defect)
@@ -364,6 +375,27 @@ cmdRewrite(int argc, char **argv)
                 static_cast<unsigned long long>(
                     rw.stats.raMapEntries),
                 rw.stats.sizeIncrease() * 100.0);
+    if (!opts.cachePath.empty()) {
+        // Cross-invocation reuse report (the CLI process starts with
+        // an empty in-memory cache, so the stats are this run's).
+        const auto cstats = AnalysisCache::global().stats();
+        const std::uint64_t lookups =
+            cstats.functionHits + cstats.functionMisses;
+        std::printf("analysis cache: %llu/%llu function analyses "
+                    "reused (%.1f%%), %u entries loaded from %s "
+                    "(%u dropped)\n",
+                    static_cast<unsigned long long>(
+                        cstats.functionHits),
+                    static_cast<unsigned long long>(lookups),
+                    lookups == 0 ? 0.0
+                                 : 100.0 *
+                                       static_cast<double>(
+                                           cstats.functionHits) /
+                                       static_cast<double>(lookups),
+                    rw.cacheLoad.loadedEntries(),
+                    opts.cachePath.c_str(),
+                    rw.cacheLoad.droppedEntries);
+    }
     if (timing)
         std::printf("%s", StageTimers::global().table().c_str());
     if (lint) {
@@ -380,9 +412,11 @@ cmdRewrite(int argc, char **argv)
 }
 
 /**
- * `icp lint --diff a.sbf b.sbf`: rewrite and lint both inputs under
- * the same options, then report b's per-function finding regressions
- * and resolutions relative to a.
+ * `icp lint --diff a b.sbf`: rewrite and lint both inputs under the
+ * same options, then report b's per-function finding regressions and
+ * resolutions relative to a. When a is a saved `icp lint --json`
+ * report rather than an SBF image, it is used as the baseline
+ * directly — the CI lint-baseline gate.
  */
 int
 cmdLintDiff(int argc, char **argv)
@@ -416,17 +450,48 @@ cmdLintDiff(int argc, char **argv)
     }
     lopts.threads = opts.threads;
 
-    const auto before_img = loadSbf(argv[1]);
-    const auto after_img = loadSbf(argv[2]);
-    if (!before_img || !after_img)
+    // The baseline may be a saved `icp lint --json` report instead
+    // of an SBF image ("lint-baseline gate": CI diffs the current
+    // tree's lint findings against a checked-in report).
+    LintReport baseline_report;
+    std::vector<std::uint8_t> baseline_raw;
+    if (!readFile(argv[1], baseline_raw)) {
+        std::fprintf(stderr, "cannot read %s\n", argv[1]);
         return 1;
+    }
+    std::size_t skip = 0;
+    while (skip < baseline_raw.size() &&
+           (baseline_raw[skip] == ' ' || baseline_raw[skip] == '\n' ||
+            baseline_raw[skip] == '\r' || baseline_raw[skip] == '\t'))
+        ++skip;
+    if (skip < baseline_raw.size() && baseline_raw[skip] == '{') {
+        const std::string text(baseline_raw.begin(),
+                               baseline_raw.end());
+        const auto parsed = parseLintReportJson(text);
+        if (!parsed) {
+            std::fprintf(stderr,
+                         "%s: not a lint report (expected the "
+                         "output of `icp lint --json`)\n",
+                         argv[1]);
+            return 1;
+        }
+        baseline_report = *parsed;
+    } else {
+        const auto before_img = loadSbf(argv[1]);
+        if (!before_img)
+            return 1;
+        RewriteSession before(*before_img);
+        before.rewrite(opts);
+        baseline_report = before.lint(lopts);
+    }
 
-    RewriteSession before(*before_img);
+    const auto after_img = loadSbf(argv[2]);
+    if (!after_img)
+        return 1;
     RewriteSession after(*after_img);
-    before.rewrite(opts);
     after.rewrite(opts);
     const LintDiff diff =
-        diffReports(before.lint(lopts), after.lint(lopts));
+        diffReports(baseline_report, after.lint(lopts));
     if (json)
         std::printf("%s\n", diff.renderJson().c_str());
     else
