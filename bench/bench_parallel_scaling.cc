@@ -2,13 +2,16 @@
  * @file
  * Scaling benchmark of the parallel per-function pipeline: full
  * rewrites of the two largest workloads at 1/2/4/8 threads, each
- * under four cache regimes — cold (no prior state), warm-memory
+ * under five cache regimes — cold (no prior state), warm-memory
  * (in-process AnalysisCache primed), cold-disk (--cache-file set but
- * the file does not exist yet: pays the save), and warm-disk (fresh
- * process, populated cache file: pays load + save, reuses analysis)
- * — reporting wall time and the per-stage timer breakdown, including
- * the cache.load/cache.save stages. `--json <path>` writes the
- * results (BENCH_parallel.json in the repository is a committed
+ * the file does not exist yet: pays the save), warm-disk (fresh
+ * process, populated cache file: pays load + save, reuses analysis),
+ * and warm-disk-delta (fresh process, file primed from a
+ * one-instruction-edited binary: one analysis miss, one-entry delta
+ * append — the paper's incremental steady state) — reporting wall
+ * time, the cache file size, and the per-stage timer breakdown,
+ * including the cache.load/cache.save stages. `--json <path>` writes
+ * the results (BENCH_parallel.json in the repository is a committed
  * baseline); `--cache-file <path>` relocates the disk regimes'
  * cache file from its /tmp default.
  *
@@ -18,7 +21,9 @@
  */
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -69,6 +74,10 @@ enum class CacheMode
     warmMemory, ///< in-process AnalysisCache primed
     coldDisk,   ///< --cache-file set, file absent (pays the save)
     warmDisk,   ///< fresh process + populated file (load + reuse)
+    /** Fresh process + file primed from a one-instruction-edited
+     *  binary: one analysis miss, one-entry delta append — the
+     *  incremental-patching steady state. */
+    warmDiskDelta,
 };
 
 const char *
@@ -79,8 +88,52 @@ cacheModeName(CacheMode mode)
       case CacheMode::warmMemory: return "warm-memory";
       case CacheMode::coldDisk: return "cold-disk";
       case CacheMode::warmDisk: return "warm-disk";
+      case CacheMode::warmDiskDelta: return "warm-disk-delta";
     }
     return "?";
+}
+
+std::uint64_t
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    return in ? static_cast<std::uint64_t>(in.tellg()) : 0;
+}
+
+/**
+ * Flip the low bit of one AddImm immediate, in place (same encoded
+ * length), so exactly one function's cache key changes. Mirrors the
+ * dirty-function probe in test_session.cc.
+ */
+bool
+mutateOneImmediate(BinaryImage &img)
+{
+    const Codec &codec = *img.archInfo().codec;
+    for (const Symbol *sym : img.functionSymbols()) {
+        std::vector<std::uint8_t> body;
+        if (!img.readBytes(sym->addr, sym->size, body))
+            continue;
+        Addr addr = sym->addr;
+        std::size_t off = 0;
+        while (off < body.size()) {
+            Instruction in;
+            if (!codec.decode(body.data() + off, body.size() - off,
+                              addr, in) ||
+                in.length == 0)
+                break;
+            if (in.op == Opcode::AddImm && in.imm > 1) {
+                Instruction edit = in;
+                edit.imm = in.imm ^ 1;
+                std::vector<std::uint8_t> enc;
+                if (codec.encode(edit, addr, enc) &&
+                    enc.size() == in.length)
+                    return img.writeBytes(addr, enc);
+            }
+            off += in.length;
+            addr += in.length;
+        }
+    }
+    return false;
 }
 
 struct Run
@@ -89,6 +142,7 @@ struct Run
     CacheMode mode = CacheMode::cold;
     double wallMs = 0.0;
     std::string stages; ///< StageTimers JSON of the best rep
+    std::uint64_t cacheFileBytes = 0; ///< file size after the run
 };
 
 /**
@@ -111,9 +165,27 @@ measure(const BinaryImage &img, unsigned threads, CacheMode mode)
         std::remove(cache_file.c_str());
         rewriteWallMs(img, threads, cache_file); // populate the file
     }
+    BinaryImage edited;
+    if (mode == CacheMode::warmDiskDelta) {
+        edited = img;
+        if (!mutateOneImmediate(edited)) {
+            std::fprintf(stderr,
+                         "no in-place-mutable immediate found\n");
+            std::exit(1);
+        }
+    }
     const bool disk = mode == CacheMode::coldDisk ||
-                      mode == CacheMode::warmDisk;
+                      mode == CacheMode::warmDisk ||
+                      mode == CacheMode::warmDiskDelta;
     for (unsigned r = 0; r < reps; ++r) {
+        if (mode == CacheMode::warmDiskDelta) {
+            // Re-prime from the edited binary every rep so the timed
+            // run always sees exactly one stale entry (its own delta
+            // append would otherwise warm the file fully).
+            AnalysisCache::global().clear();
+            std::remove(cache_file.c_str());
+            rewriteWallMs(edited, threads, cache_file);
+        }
         if (mode != CacheMode::warmMemory)
             AnalysisCache::global().clear();
         if (mode == CacheMode::coldDisk)
@@ -124,6 +196,7 @@ measure(const BinaryImage &img, unsigned threads, CacheMode mode)
         if (r == 0 || ms < run.wallMs) {
             run.wallMs = ms;
             run.stages = StageTimers::global().json();
+            run.cacheFileBytes = disk ? fileBytes(cache_file) : 0;
         }
     }
     return run;
@@ -139,7 +212,9 @@ runsJson(const std::vector<Run> &runs)
         out << (i ? ",\n" : "\n")
             << "    {\"threads\": " << r.threads << ", \"cache\": \""
             << cacheModeName(r.mode) << "\", \"wall_ms\": "
-            << r.wallMs << ", \"stages\": " << r.stages << "}";
+            << r.wallMs
+            << ", \"cache_file_bytes\": " << r.cacheFileBytes
+            << ", \"stages\": " << r.stages << "}";
     }
     out << "\n  ]";
     return out.str();
@@ -189,7 +264,8 @@ main(int argc, char **argv)
             double cold_ms = 0.0;
             for (CacheMode mode :
                  {CacheMode::cold, CacheMode::warmMemory,
-                  CacheMode::coldDisk, CacheMode::warmDisk}) {
+                  CacheMode::coldDisk, CacheMode::warmDisk,
+                  CacheMode::warmDiskDelta}) {
                 Run run = measure(w.img, threads, mode);
                 if (mode == CacheMode::cold) {
                     cold_ms = run.wallMs;

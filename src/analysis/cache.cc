@@ -93,18 +93,10 @@ AnalysisCache::global()
     return cache;
 }
 
-std::shared_ptr<const Function>
-AnalysisCache::findFunction(std::uint64_t key)
-{
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = functions_.find(key);
-    if (it == functions_.end()) {
-        stats_.functionMisses++;
-        return nullptr;
-    }
-    stats_.functionHits++;
-    return it->second.value;
-}
+// findFunction/findLiveness live in cache_store.cc: a lookup that
+// misses the decoded maps may have to deserialize a lazily-indexed
+// entry from a mapped cache file, and the payload decoders are
+// private to the store.
 
 void
 AnalysisCache::storeFunction(std::uint64_t key, Arch arch,
@@ -113,20 +105,8 @@ AnalysisCache::storeFunction(std::uint64_t key, Arch arch,
     auto value =
         std::make_shared<const Function>(std::move(func));
     std::lock_guard<std::mutex> lock(mu_);
+    pendingFunctions_.erase(key);
     functions_[key] = {arch, std::move(value)};
-}
-
-std::shared_ptr<const LivenessResult>
-AnalysisCache::findLiveness(std::uint64_t key)
-{
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = liveness_.find(key);
-    if (it == liveness_.end()) {
-        stats_.livenessMisses++;
-        return nullptr;
-    }
-    stats_.livenessHits++;
-    return it->second.value;
 }
 
 void
@@ -136,6 +116,7 @@ AnalysisCache::storeLiveness(std::uint64_t key, Arch arch,
     auto value =
         std::make_shared<const LivenessResult>(std::move(live));
     std::lock_guard<std::mutex> lock(mu_);
+    pendingLiveness_.erase(key);
     liveness_[key] = {arch, std::move(value)};
 }
 
@@ -150,7 +131,8 @@ std::size_t
 AnalysisCache::entryCount() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return functions_.size() + liveness_.size();
+    return functions_.size() + liveness_.size() +
+           pendingFunctions_.size() + pendingLiveness_.size();
 }
 
 void
@@ -159,6 +141,8 @@ AnalysisCache::clear()
     std::lock_guard<std::mutex> lock(mu_);
     functions_.clear();
     liveness_.clear();
+    pendingFunctions_.clear();
+    pendingLiveness_.clear();
     stats_ = Stats{};
 }
 

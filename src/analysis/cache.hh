@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "analysis/builder.hh"
 #include "analysis/liveness.hh"
@@ -32,6 +33,37 @@ namespace icp
 {
 
 struct CacheLoadReport; // analysis/cache_store.hh
+
+/**
+ * A read-only mapping of a cache file (mmap with a heap-buffer
+ * fallback), shared by every lazy entry indexed from it so the bytes
+ * stay addressable for the process lifetime of those entries.
+ * Appends to the file never move the mapped prefix, and full
+ * rewrites go through rename (new inode), so a mapping can never be
+ * invalidated behind its holders' backs.
+ */
+class MappedCacheFile
+{
+  public:
+    /** nullptr when the file does not exist or cannot be read. */
+    static std::shared_ptr<MappedCacheFile>
+    open(const std::string &path);
+
+    ~MappedCacheFile();
+    MappedCacheFile(const MappedCacheFile &) = delete;
+    MappedCacheFile &operator=(const MappedCacheFile &) = delete;
+
+    const std::uint8_t *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    MappedCacheFile() = default;
+
+    const std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+    void *map_ = nullptr;              ///< munmap target (or null)
+    std::vector<std::uint8_t> buffer_; ///< read() fallback storage
+};
 
 /** Incremental FNV-1a (64-bit). */
 std::uint64_t fnv1a(const void *data, std::size_t len,
@@ -85,7 +117,13 @@ class AnalysisCache
 
     static AnalysisCache &global();
 
-    /** nullptr on miss. Counts a hit/miss either way. */
+    /**
+     * nullptr on miss. Counts a hit/miss either way. An entry
+     * indexed lazily from a mapped cache file is checksum-verified
+     * and deserialized on its first lookup here (and only then) — a
+     * corrupt or malformed payload degrades to a miss and the
+     * function simply re-analyzes.
+     */
     std::shared_ptr<const Function> findFunction(std::uint64_t key);
     void storeFunction(std::uint64_t key, Arch arch, Function func);
 
@@ -95,27 +133,44 @@ class AnalysisCache
                        LivenessResult live);
 
     Stats stats() const;
+
+    /** Decoded plus lazily-indexed entries. */
     std::size_t entryCount() const;
     void clear();
 
     // --- on-disk persistence (implemented in cache_store.cc) -----------
 
     /**
-     * Serialize every entry to @p path in the versioned, per-entry
-     * checksummed cache-file format of analysis/cache_store.hh.
-     * Returns false when the file cannot be written.
+     * Persist the cache to @p path in the v2 format of
+     * analysis/cache_store.hh. Delta save: under the advisory
+     * `<path>.lock` flock, the file's existing key set is re-scanned
+     * (merging segments appended by concurrent writers) and only
+     * entries the file lacks are appended as one new segment — when
+     * nothing is missing the file is not touched at all. A v1,
+     * torn-tailed, or unreadable target falls back to a full atomic
+     * rewrite (tmp + rename). When @p max_bytes is non-zero and the
+     * file ends up larger, it is compacted in place under the same
+     * lock (newest-generation entries survive). Returns false when
+     * the file cannot be written.
      */
-    bool save(const std::string &path) const;
+    bool save(const std::string &path,
+              std::uint64_t max_bytes = 0) const;
 
     /**
-     * Merge entries from @p path. Tolerant by construction: a
-     * missing file, a bad magic/version, and corrupt or truncated
-     * entries load as empty-or-partial, each recorded as a
-     * structured cache-* issue on the report — never a crash. When
-     * @p expect_arch is set, entries tagged with any other ISA are
-     * dropped (their keys could never be looked up, but dropping
-     * keeps the merge bounded and reports the mismatch). Existing
-     * in-memory entries win over file entries with the same key.
+     * Merge entries from @p path. The file is mapped, file/segment/
+     * entry headers are verified, and surviving entries are indexed
+     * for lazy deserialization — no payload byte is read here
+     * (checksum verification and decode happen on first lookup; a
+     * corrupt payload degrades to a miss there). Tolerant by
+     * construction: a missing file, a bad magic or future version,
+     * truncated or torn segments load as empty-or-partial, each
+     * recorded as a structured cache-* issue on the report — never a
+     * crash. A v1 file loads read-only with a single `cache-migrated`
+     * info issue. When @p expect_arch is set, entries tagged with any
+     * other ISA are dropped (their keys could never be looked up, but
+     * dropping keeps the merge bounded and reports the mismatch).
+     * Existing in-memory entries win over file entries with the same
+     * key.
      */
     CacheLoadReport load(const std::string &path,
                          std::optional<Arch> expect_arch = {});
@@ -128,10 +183,28 @@ class AnalysisCache
         std::shared_ptr<const T> value;
     };
 
+    /**
+     * One not-yet-decoded entry pointing into a mapped cache file.
+     * Checksum verification and decode both happen on first lookup
+     * (keeping load() free of any per-byte work). The shared mapping
+     * keeps the bytes alive.
+     */
+    struct PendingEntry
+    {
+        Arch arch = Arch::x64;
+        const std::uint8_t *payload = nullptr;
+        std::uint32_t payloadLen = 0;
+        std::uint64_t payloadHash = 0;
+        std::shared_ptr<MappedCacheFile> file;
+    };
+
     mutable std::mutex mu_;
     std::unordered_map<std::uint64_t, Entry<Function>> functions_;
     std::unordered_map<std::uint64_t, Entry<LivenessResult>>
         liveness_;
+    std::unordered_map<std::uint64_t, PendingEntry>
+        pendingFunctions_;
+    std::unordered_map<std::uint64_t, PendingEntry> pendingLiveness_;
     Stats stats_;
 };
 

@@ -1,10 +1,23 @@
 /**
  * @file
- * AnalysisCache::save()/load(): the cache-file format documented in
- * cache_store.hh. Entries serialize through an append-only byte
- * writer and decode through a bounds-latched reader; every decode
- * path validates enum ranges so a corrupt payload can only ever drop
- * its own entry, never read out of bounds or poison the cache.
+ * AnalysisCache::save()/load() and the `icp cache` helpers: the v2
+ * segmented cache-file format documented in cache_store.hh.
+ *
+ * Layered like the SBF container code: a bounds-latched ByteReader
+ * and kind-specific payload encoders/decoders at the bottom; a
+ * header-walking scanner shared by every consumer (load, save's
+ * merge step, inspect, verify, compact) in the middle; and the
+ * public operations on top. Every decode path validates enum ranges
+ * so a corrupt payload can only ever drop its own entry, never read
+ * out of bounds or poison the cache.
+ *
+ * Concurrency: writers (save, compact) serialize on an advisory
+ * flock over `<path>.lock`. Readers never lock — the format is
+ * append-only, so a reader sees a valid prefix plus at most one
+ * torn tail, which the scanner salvages entry-by-entry. Full
+ * rewrites (v1 migration, torn-tail repair, compaction) write a
+ * temp file and rename it into place, which keeps existing mmaps
+ * valid on the old inode.
  */
 
 #include "analysis/cache_store.hh"
@@ -13,9 +26,17 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <unordered_set>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "analysis/cache.hh"
 #include "isa/bytes.hh"
+#include "support/stats.hh"
 
 namespace icp
 {
@@ -388,53 +409,532 @@ constexpr std::uint8_t entry_kind_liveness = 2;
 void
 appendEntry(std::vector<std::uint8_t> &out, std::uint8_t kind,
             Arch arch, std::uint64_t key,
-            const std::vector<std::uint8_t> &payload)
+            const std::uint8_t *payload, std::size_t payload_len,
+            std::uint64_t payload_hash)
 {
     putU8(out, kind);
     putU8(out, static_cast<std::uint8_t>(arch));
     putU64(out, key);
-    putU32(out, static_cast<std::uint32_t>(payload.size()));
-    putU64(out, fnv1a(payload.data(), payload.size()));
-    out.insert(out.end(), payload.begin(), payload.end());
+    putU32(out, static_cast<std::uint32_t>(payload_len));
+    putU64(out, payload_hash);
+    out.insert(out.end(), payload, payload + payload_len);
+}
+
+void
+appendEntry(std::vector<std::uint8_t> &out, std::uint8_t kind,
+            Arch arch, std::uint64_t key,
+            const std::vector<std::uint8_t> &payload)
+{
+    appendEntry(out, kind, arch, key, payload.data(), payload.size(),
+                fnv1a(payload.data(), payload.size()));
+}
+
+// --- advisory file lock ---------------------------------------------------
+
+/**
+ * RAII flock over `<path>.lock`. Best effort: when the lock file
+ * cannot even be created (read-only directory), writers proceed
+ * unlocked — exactly as unsafe as v1 was, never less available.
+ */
+class CacheFileLock
+{
+  public:
+    explicit CacheFileLock(const std::string &cache_path)
+    {
+        const std::string lock_path = cache_path + ".lock";
+        fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0666);
+        if (fd_ >= 0)
+            ::flock(fd_, LOCK_EX);
+    }
+
+    ~CacheFileLock()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+
+    CacheFileLock(const CacheFileLock &) = delete;
+    CacheFileLock &operator=(const CacheFileLock &) = delete;
+
+  private:
+    int fd_ = -1;
+};
+
+// --- header-walking scanner -----------------------------------------------
+
+/** One structurally-intact entry located in the file (not decoded,
+ *  checksum not yet verified). */
+struct RawEntry
+{
+    std::uint8_t kind = 0;
+    std::uint8_t arch = 0;
+    std::uint64_t key = 0;
+    const std::uint8_t *payload = nullptr;
+    std::uint32_t payloadLen = 0;
+    std::uint64_t payloadHash = 0;
+    std::uint64_t generation = 0;
+    std::size_t offset = 0; ///< entry header offset in the file
+    /** Entry lives in a fully-intact segment (false: salvaged from
+     *  a torn tail — present in memory but not durably on disk). */
+    bool completeSegment = true;
+};
+
+struct ScanResult
+{
+    std::uint32_t version = 0;
+    std::uint64_t headerGeneration = 0;
+    std::uint64_t maxGeneration = 0;
+    unsigned segments = 0;       ///< complete segments
+    std::size_t validBytes = 0;  ///< prefix ending after last one
+    bool torn = false;           ///< trailing torn/garbage segment
+    unsigned droppedEntries = 0; ///< structurally lost entries
+    std::vector<RawEntry> entries;
+    std::vector<CacheFileIssue> issues;
+
+    bool usableV2() const { return version == cache_file_version; }
+};
+
+/**
+ * Walk @p data's headers without decoding or checksumming payloads.
+ * Understands v1 (single implicit whole-file segment) and v2
+ * (segment chain); anything else yields issues and no entries.
+ */
+ScanResult
+scanBuffer(const std::uint8_t *data, std::size_t size)
+{
+    ScanResult scan;
+
+    ByteReader rd(data, size);
+    const std::uint32_t magic = rd.u32();
+    if (rd.failed() || magic != cache_file_magic) {
+        scan.issues.push_back(
+            {"cache-magic", 0,
+             "file does not start with the ICPC cache magic"});
+        return scan;
+    }
+    const std::uint32_t version = rd.u32();
+    scan.version = version;
+
+    if (version != 1 && version != cache_file_version) {
+        char msg[96];
+        std::snprintf(msg, sizeof(msg),
+                      "format version %u (this build reads 1..%u); "
+                      "file ignored",
+                      version, cache_file_version);
+        scan.issues.push_back({"cache-version", 4, msg});
+        return scan;
+    }
+
+    if (version == 1) {
+        // v1: u32 entryCount, then entries to end of file. Loaded
+        // read-only; the next save migrates the file to v2.
+        scan.issues.push_back(
+            {"cache-migrated", 4,
+             "version-1 cache file loaded read-only; the next save "
+             "rewrites it as version 2"});
+        const std::uint32_t count = rd.u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            RawEntry e;
+            e.offset = rd.pos();
+            e.kind = rd.u8();
+            e.arch = rd.u8();
+            e.key = rd.u64();
+            e.payloadLen = rd.u32();
+            e.payloadHash = rd.u64();
+            e.payload = rd.blob(e.payloadLen);
+            e.generation = 1;
+            if (rd.failed()) {
+                char msg[96];
+                std::snprintf(msg, sizeof(msg),
+                              "entry %u of %u runs past end of file; "
+                              "remaining entries dropped",
+                              i + 1, count);
+                scan.issues.push_back(
+                    {"cache-truncated", e.offset, msg});
+                scan.droppedEntries += count - i;
+                return scan;
+            }
+            scan.entries.push_back(e);
+        }
+        return scan;
+    }
+
+    // v2: u64 file generation, then the segment chain.
+    scan.headerGeneration = rd.u64();
+    scan.validBytes = rd.pos();
+    while (!rd.failed() && rd.remaining() > 0) {
+        const std::size_t seg_off = rd.pos();
+        if (rd.remaining() < cache_segment_header_bytes) {
+            char msg[96];
+            std::snprintf(msg, sizeof(msg),
+                          "trailing %zu bytes are not a complete "
+                          "segment header; tail dropped",
+                          rd.remaining());
+            scan.issues.push_back({"cache-torn", seg_off, msg});
+            scan.torn = true;
+            return scan;
+        }
+        const std::uint32_t seg_magic = rd.u32();
+        const std::uint32_t count = rd.u32();
+        const std::uint64_t body_bytes = rd.u64();
+        const std::uint64_t generation = rd.u64();
+        const std::uint64_t header_hash = rd.u64();
+        if (seg_magic != cache_segment_magic ||
+            header_hash != fnv1a(data + seg_off, 24)) {
+            scan.issues.push_back(
+                {"cache-torn", seg_off,
+                 "segment header corrupt (bad magic or header "
+                 "checksum); tail dropped"});
+            scan.torn = true;
+            return scan;
+        }
+
+        // Walk the segment's entries. A complete segment must
+        // contain exactly `count` entries in `body_bytes`; a torn
+        // final segment salvages the prefix that survived.
+        const bool complete = body_bytes <= rd.remaining();
+        const std::size_t body_limit =
+            seg_off + cache_segment_header_bytes +
+            static_cast<std::size_t>(
+                std::min<std::uint64_t>(body_bytes, rd.remaining()));
+        std::uint32_t salvaged = 0;
+        bool inconsistent = false;
+        for (std::uint32_t i = 0; i < count; ++i) {
+            RawEntry e;
+            e.offset = rd.pos();
+            if (body_limit - e.offset < cache_entry_header_bytes) {
+                inconsistent = true;
+                break;
+            }
+            e.kind = rd.u8();
+            e.arch = rd.u8();
+            e.key = rd.u64();
+            e.payloadLen = rd.u32();
+            e.payloadHash = rd.u64();
+            if (e.payloadLen > body_limit - rd.pos()) {
+                inconsistent = true;
+                break;
+            }
+            e.payload = rd.blob(e.payloadLen);
+            e.generation = generation;
+            e.completeSegment = complete;
+            scan.entries.push_back(e);
+            ++salvaged;
+        }
+        if (!complete || inconsistent || rd.pos() != body_limit) {
+            // Torn append (writer died mid-write) or a lying
+            // header: keep what was salvaged, drop the rest of the
+            // file. Salvaged entries are marked not-durable so the
+            // next save re-appends them.
+            char msg[96];
+            std::snprintf(msg, sizeof(msg),
+                          "segment torn at offset %zu; %u of %u "
+                          "entries salvaged, tail dropped",
+                          seg_off, salvaged, count);
+            scan.issues.push_back({"cache-torn", seg_off, msg});
+            scan.torn = true;
+            scan.droppedEntries += count - salvaged;
+            for (std::size_t i = scan.entries.size() - salvaged;
+                 i < scan.entries.size(); ++i)
+                scan.entries[i].completeSegment = false;
+            return scan;
+        }
+        ++scan.segments;
+        scan.maxGeneration =
+            std::max(scan.maxGeneration, generation);
+        scan.validBytes = rd.pos();
+    }
+    return scan;
+}
+
+ScanResult
+scanFile(const std::shared_ptr<MappedCacheFile> &file)
+{
+    return scanBuffer(file->data(), file->size());
+}
+
+// --- serialization of headers/segments ------------------------------------
+
+std::vector<std::uint8_t>
+fileHeader(std::uint64_t generation)
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, cache_file_magic);
+    putU32(out, cache_file_version);
+    putU64(out, generation);
+    return out;
+}
+
+/** Wrap @p body (concatenated entries) into a framed segment. */
+std::vector<std::uint8_t>
+segmentBytes(std::uint32_t entry_count,
+             const std::vector<std::uint8_t> &body,
+             std::uint64_t generation)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(cache_segment_header_bytes + body.size());
+    putU32(out, cache_segment_magic);
+    putU32(out, entry_count);
+    putU64(out, body.size());
+    putU64(out, generation);
+    putU64(out, fnv1a(out.data(), 24));
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+bool
+writeFileAtomic(const std::string &path,
+                const std::vector<std::uint8_t> &bytes)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out)
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::uint64_t
+fileSizeOf(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+/**
+ * Compaction body, caller holds the file lock. Rewrites @p path as
+ * one deduplicated segment, newest-generation entries first up to
+ * @p max_bytes (0 = keep everything that verifies).
+ */
+bool
+compactLocked(const std::string &path, std::uint64_t max_bytes,
+              CacheCompactionResult &out)
+{
+    auto file = MappedCacheFile::open(path);
+    if (!file)
+        return false;
+    out.bytesBefore = file->size();
+    const ScanResult scan = scanFile(file);
+    if (!scan.issues.empty() && scan.version == 0)
+        return false; // not a cache file; refuse to clobber it
+
+    // Deduplicate by key (last occurrence wins: it is the newest
+    // append) and heal silently-corrupt payloads by verifying each
+    // checksum here — compaction is the slow, thorough path.
+    std::map<std::uint64_t, const RawEntry *> by_key;
+    for (const RawEntry &e : scan.entries) {
+        if (fnv1a(e.payload, e.payloadLen) != e.payloadHash)
+            continue;
+        by_key[e.key] = &e;
+    }
+    out.entriesBefore = static_cast<unsigned>(scan.entries.size());
+
+    // Keep newest generations first until the byte cap.
+    std::vector<const RawEntry *> candidates;
+    candidates.reserve(by_key.size());
+    for (const auto &[key, e] : by_key)
+        candidates.push_back(e);
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const RawEntry *a, const RawEntry *b) {
+                         if (a->generation != b->generation)
+                             return a->generation > b->generation;
+                         return a->offset < b->offset;
+                     });
+    std::uint64_t used =
+        cache_file_header_bytes + cache_segment_header_bytes;
+    std::vector<const RawEntry *> kept;
+    for (const RawEntry *e : candidates) {
+        const std::uint64_t cost =
+            cache_entry_header_bytes + e->payloadLen;
+        if (max_bytes != 0 && used + cost > max_bytes &&
+            !kept.empty())
+            break;
+        if (max_bytes != 0 && used + cost > max_bytes)
+            break; // even the newest entry alone exceeds the cap
+        used += cost;
+        kept.push_back(e);
+    }
+
+    // Deterministic output order: by key.
+    std::sort(kept.begin(), kept.end(),
+              [](const RawEntry *a, const RawEntry *b) {
+                  if (a->kind != b->kind)
+                      return a->kind < b->kind;
+                  return a->key < b->key;
+              });
+
+    const std::uint64_t generation = scan.maxGeneration + 1;
+    std::vector<std::uint8_t> body;
+    for (const RawEntry *e : kept)
+        appendEntry(body, e->kind, static_cast<Arch>(e->arch),
+                    e->key, e->payload, e->payloadLen,
+                    e->payloadHash);
+    std::vector<std::uint8_t> bytes = fileHeader(generation);
+    const std::vector<std::uint8_t> seg = segmentBytes(
+        static_cast<std::uint32_t>(kept.size()), body, generation);
+    bytes.insert(bytes.end(), seg.begin(), seg.end());
+
+    if (!writeFileAtomic(path, bytes))
+        return false;
+    out.performed = true;
+    out.entriesKept = static_cast<unsigned>(kept.size());
+    out.entriesEvicted = static_cast<unsigned>(
+        by_key.size() - kept.size());
+    out.bytesAfter = bytes.size();
+    return true;
 }
 
 } // namespace
 
-bool
-AnalysisCache::save(const std::string &path) const
+// --- MappedCacheFile ------------------------------------------------------
+
+std::shared_ptr<MappedCacheFile>
+MappedCacheFile::open(const std::string &path)
 {
-    // Snapshot under the lock, serialize outside it. Ordered maps
-    // keep the file byte-stable for identical contents.
-    std::map<std::uint64_t, Entry<Function>> functions;
-    std::map<std::uint64_t, Entry<LivenessResult>> liveness;
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        functions.insert(functions_.begin(), functions_.end());
-        liveness.insert(liveness_.begin(), liveness_.end());
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return nullptr;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        return nullptr;
     }
-
-    std::vector<std::uint8_t> out;
-    putU32(out, cache_file_magic);
-    putU32(out, cache_file_version);
-    putU32(out,
-           static_cast<std::uint32_t>(functions.size() +
-                                      liveness.size()));
-    for (const auto &[key, entry] : functions) {
-        appendEntry(out, entry_kind_function, entry.arch, key,
-                    encodeFunction(*entry.value));
+    auto file = std::shared_ptr<MappedCacheFile>(
+        new MappedCacheFile());
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+        ::close(fd);
+        return file; // empty file: valid mapping of zero bytes
     }
-    for (const auto &[key, entry] : liveness) {
-        appendEntry(out, entry_kind_liveness, entry.arch, key,
-                    encodeLiveness(*entry.value));
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+        file->map_ = map;
+        file->data_ = static_cast<const std::uint8_t *>(map);
+        file->size_ = size;
+        ::close(fd);
+        return file;
     }
-
-    std::ofstream file(path, std::ios::binary | std::ios::trunc);
-    if (!file)
-        return false;
-    file.write(reinterpret_cast<const char *>(out.data()),
-               static_cast<std::streamsize>(out.size()));
-    return static_cast<bool>(file);
+    // mmap-hostile filesystem: fall back to a plain read.
+    file->buffer_.resize(size);
+    std::size_t off = 0;
+    while (off < size) {
+        const ::ssize_t n =
+            ::read(fd, file->buffer_.data() + off, size - off);
+        if (n <= 0) {
+            ::close(fd);
+            return nullptr;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    file->data_ = file->buffer_.data();
+    file->size_ = size;
+    return file;
 }
+
+MappedCacheFile::~MappedCacheFile()
+{
+    if (map_ != nullptr)
+        ::munmap(map_, size_);
+}
+
+// --- lazy lookups ---------------------------------------------------------
+
+std::shared_ptr<const Function>
+AnalysisCache::findFunction(std::uint64_t key)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = functions_.find(key);
+    if (it != functions_.end()) {
+        stats_.functionHits++;
+        return it->second.value;
+    }
+    auto pit = pendingFunctions_.find(key);
+    if (pit == pendingFunctions_.end()) {
+        stats_.functionMisses++;
+        return nullptr;
+    }
+    // First lookup of a lazily-indexed entry: verify its checksum
+    // and deserialize it now, outside the lock (the shared mapping
+    // keeps the bytes alive; a racing decode of the same key is
+    // wasted work, not a bug).
+    const PendingEntry pe = pit->second;
+    lock.unlock();
+    Function func;
+    ByteReader rd(pe.payload, pe.payloadLen);
+    const bool ok =
+        fnv1a(pe.payload, pe.payloadLen) == pe.payloadHash &&
+        decodeFunction(rd, func);
+    lock.lock();
+    pendingFunctions_.erase(key);
+    if (!ok) {
+        // Corrupt or undecodable payload: count the miss and
+        // re-analyze; the entry heals on the next compaction.
+        stats_.functionMisses++;
+        return nullptr;
+    }
+    func.cacheKey = key;
+    auto value = std::make_shared<const Function>(std::move(func));
+    auto [ins, fresh] = functions_.emplace(
+        key, Entry<Function>{pe.arch, std::move(value)});
+    stats_.functionHits++;
+    CacheCounters::global().entriesLazy.fetch_add(
+        1, std::memory_order_relaxed);
+    return ins->second.value;
+}
+
+std::shared_ptr<const LivenessResult>
+AnalysisCache::findLiveness(std::uint64_t key)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = liveness_.find(key);
+    if (it != liveness_.end()) {
+        stats_.livenessHits++;
+        return it->second.value;
+    }
+    auto pit = pendingLiveness_.find(key);
+    if (pit == pendingLiveness_.end()) {
+        stats_.livenessMisses++;
+        return nullptr;
+    }
+    const PendingEntry pe = pit->second;
+    lock.unlock();
+    LivenessResult live;
+    ByteReader rd(pe.payload, pe.payloadLen);
+    const bool ok =
+        fnv1a(pe.payload, pe.payloadLen) == pe.payloadHash &&
+        decodeLiveness(rd, live);
+    lock.lock();
+    pendingLiveness_.erase(key);
+    if (!ok) {
+        stats_.livenessMisses++;
+        return nullptr;
+    }
+    auto value =
+        std::make_shared<const LivenessResult>(std::move(live));
+    auto [ins, fresh] = liveness_.emplace(
+        key, Entry<LivenessResult>{pe.arch, std::move(value)});
+    stats_.livenessHits++;
+    CacheCounters::global().entriesLazy.fetch_add(
+        1, std::memory_order_relaxed);
+    return ins->second.value;
+}
+
+// --- load -----------------------------------------------------------------
 
 CacheLoadReport
 AnalysisCache::load(const std::string &path,
@@ -442,130 +942,305 @@ AnalysisCache::load(const std::string &path,
 {
     CacheLoadReport report;
 
-    std::ifstream file(path, std::ios::binary);
+    auto file = MappedCacheFile::open(path);
     if (!file)
         return report; // absent file: cold start, not an error
-    std::vector<std::uint8_t> raw(
-        (std::istreambuf_iterator<char>(file)),
-        std::istreambuf_iterator<char>());
     report.fileRead = true;
+    report.bytesMapped = file->size();
+    CacheCounters::global().bytesMapped.fetch_add(
+        file->size(), std::memory_order_relaxed);
 
-    ByteReader rd(raw.data(), raw.size());
-    const std::uint32_t magic = rd.u32();
-    if (rd.failed() || magic != cache_file_magic) {
-        report.issues.push_back(
-            {"cache-magic", 0,
-             "file does not start with the ICPC cache magic"});
-        return report;
-    }
-    const std::uint32_t version = rd.u32();
-    if (version != cache_file_version) {
-        char msg[96];
-        std::snprintf(msg, sizeof(msg),
-                      "format version %u (this build reads %u); "
-                      "file ignored",
-                      version, cache_file_version);
-        report.issues.push_back({"cache-version", 4, msg});
-        return report;
-    }
-    const std::uint32_t count = rd.u32();
+    ScanResult scan = scanFile(file);
+    report.fileVersion = scan.version;
+    report.segments = scan.segments;
+    report.droppedEntries += scan.droppedEntries;
+    report.issues = std::move(scan.issues);
 
-    for (std::uint32_t i = 0; i < count; ++i) {
-        const std::size_t entry_off = rd.pos();
-        const std::uint8_t kind = rd.u8();
-        const std::uint8_t arch = rd.u8();
-        const std::uint64_t key = rd.u64();
-        const std::uint32_t payload_len = rd.u32();
-        const std::uint64_t payload_hash = rd.u64();
-        const std::uint8_t *payload = rd.blob(payload_len);
-        if (rd.failed()) {
-            char msg[96];
-            std::snprintf(msg, sizeof(msg),
-                          "entry %u of %u runs past end of file; "
-                          "remaining entries dropped",
-                          i + 1, count);
+    // Validate entry headers eagerly (one cheap pass over headers
+    // only — no payload byte is touched), then index survivors for
+    // lazy checksum + deserialization on first lookup.
+    std::vector<const RawEntry *> accepted;
+    accepted.reserve(scan.entries.size());
+    for (const RawEntry &e : scan.entries) {
+        if (e.kind != entry_kind_function &&
+            e.kind != entry_kind_liveness) {
             report.issues.push_back(
-                {"cache-truncated", entry_off, msg});
-            report.droppedEntries += count - i;
-            return report;
-        }
-        if (fnv1a(payload, payload_len) != payload_hash) {
-            report.issues.push_back(
-                {"cache-checksum", entry_off,
-                 "payload checksum mismatch; entry dropped"});
+                {"cache-entry", e.offset,
+                 "unknown entry kind; entry dropped"});
             ++report.droppedEntries;
             continue;
         }
-        if (arch > static_cast<std::uint8_t>(Arch::aarch64)) {
+        if (e.arch > static_cast<std::uint8_t>(Arch::aarch64)) {
             report.issues.push_back(
-                {"cache-entry", entry_off,
+                {"cache-entry", e.offset,
                  "unknown ISA tag; entry dropped"});
             ++report.droppedEntries;
             continue;
         }
         if (expect_arch &&
-            static_cast<Arch>(arch) != *expect_arch) {
+            static_cast<Arch>(e.arch) != *expect_arch) {
             char msg[96];
             std::snprintf(msg, sizeof(msg),
                           "entry built for %s, image is %s; "
                           "entry dropped",
-                          archName(static_cast<Arch>(arch)),
+                          archName(static_cast<Arch>(e.arch)),
                           archName(*expect_arch));
-            report.issues.push_back({"cache-arch", entry_off, msg});
+            report.issues.push_back({"cache-arch", e.offset, msg});
             ++report.droppedEntries;
             continue;
         }
+        accepted.push_back(&e);
+    }
 
-        ByteReader payload_rd(payload, payload_len);
-        if (kind == entry_kind_function) {
-            Function func;
-            if (!decodeFunction(payload_rd, func)) {
-                report.issues.push_back(
-                    {"cache-entry", entry_off,
-                     "malformed function payload; entry dropped"});
-                ++report.droppedEntries;
-                continue;
-            }
-            func.cacheKey = key;
-            auto value =
-                std::make_shared<const Function>(std::move(func));
-            std::lock_guard<std::mutex> lock(mu_);
-            if (!functions_
-                     .emplace(key, Entry<Function>{
-                                       static_cast<Arch>(arch),
-                                       std::move(value)})
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const RawEntry *e : accepted) {
+        PendingEntry pe;
+        pe.arch = static_cast<Arch>(e->arch);
+        pe.payload = e->payload;
+        pe.payloadLen = e->payloadLen;
+        pe.payloadHash = e->payloadHash;
+        pe.file = file;
+        if (e->kind == entry_kind_function) {
+            if (functions_.count(e->key) ||
+                !pendingFunctions_.emplace(e->key, std::move(pe))
                      .second)
                 ++report.skippedExisting;
             else
                 ++report.loadedFunctions;
-        } else if (kind == entry_kind_liveness) {
-            LivenessResult live;
-            if (!decodeLiveness(payload_rd, live)) {
-                report.issues.push_back(
-                    {"cache-entry", entry_off,
-                     "malformed liveness payload; entry dropped"});
-                ++report.droppedEntries;
-                continue;
-            }
-            auto value = std::make_shared<const LivenessResult>(
-                std::move(live));
-            std::lock_guard<std::mutex> lock(mu_);
-            if (!liveness_
-                     .emplace(key, Entry<LivenessResult>{
-                                       static_cast<Arch>(arch),
-                                       std::move(value)})
+        } else {
+            if (liveness_.count(e->key) ||
+                !pendingLiveness_.emplace(e->key, std::move(pe))
                      .second)
                 ++report.skippedExisting;
             else
                 ++report.loadedLiveness;
+        }
+    }
+    return report;
+}
+
+// --- save -----------------------------------------------------------------
+
+bool
+AnalysisCache::save(const std::string &path,
+                    std::uint64_t max_bytes) const
+{
+    // Writers serialize here; the scan below therefore sees every
+    // segment earlier writers appended (merge-on-save).
+    CacheFileLock file_lock(path);
+
+    auto file = MappedCacheFile::open(path);
+    ScanResult scan;
+    if (file)
+        scan = scanFile(file);
+    const bool append_mode =
+        file && scan.usableV2() && !scan.torn;
+
+    // Keys already durable in the file need not be written again.
+    std::unordered_set<std::uint64_t> file_keys;
+    for (const RawEntry &e : scan.entries)
+        if (e.completeSegment)
+            file_keys.insert(e.key);
+
+    // Collect the delta — everything in memory the file lacks —
+    // under the cache lock, but only as cheap references: values are
+    // shared immutable snapshots, and pending (never-decoded)
+    // entries stay raw so their payload bytes copy straight through
+    // without a decode+re-encode trip. On a fully-warm run this
+    // finds nothing and the save costs one header scan. Ordered maps
+    // keep output byte-stable for identical contents.
+    std::map<std::uint64_t, Entry<Function>> miss_fn;
+    std::map<std::uint64_t, Entry<LivenessResult>> miss_lv;
+    std::map<std::uint64_t, PendingEntry> miss_fn_raw, miss_lv_raw;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[key, entry] : functions_)
+            if (!file_keys.count(key))
+                miss_fn.emplace(key, entry);
+        for (const auto &[key, pe] : pendingFunctions_)
+            if (!file_keys.count(key))
+                miss_fn_raw.emplace(key, pe);
+        for (const auto &[key, entry] : liveness_)
+            if (!file_keys.count(key))
+                miss_lv.emplace(key, entry);
+        for (const auto &[key, pe] : pendingLiveness_)
+            if (!file_keys.count(key))
+                miss_lv_raw.emplace(key, pe);
+    }
+
+    // The delta segment, functions before liveness, sorted by key.
+    std::vector<std::uint8_t> body;
+    std::uint32_t count = 0;
+    for (const auto &[key, entry] : miss_fn) {
+        appendEntry(body, entry_kind_function, entry.arch, key,
+                    encodeFunction(*entry.value));
+        ++count;
+    }
+    for (const auto &[key, pe] : miss_fn_raw) {
+        appendEntry(body, entry_kind_function, pe.arch, key,
+                    pe.payload, pe.payloadLen, pe.payloadHash);
+        ++count;
+    }
+    for (const auto &[key, entry] : miss_lv) {
+        appendEntry(body, entry_kind_liveness, entry.arch, key,
+                    encodeLiveness(*entry.value));
+        ++count;
+    }
+    for (const auto &[key, pe] : miss_lv_raw) {
+        appendEntry(body, entry_kind_liveness, pe.arch, key,
+                    pe.payload, pe.payloadLen, pe.payloadHash);
+        ++count;
+    }
+
+    bool ok = true;
+    if (append_mode && count == 0) {
+        // Fully-warm run: nothing new, the file is not touched at
+        // all (same bytes, same mtime).
+    } else if (append_mode) {
+        const std::uint64_t generation = scan.maxGeneration + 1;
+        const std::vector<std::uint8_t> seg =
+            segmentBytes(count, body, generation);
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        ok = static_cast<bool>(out);
+        if (ok) {
+            out.write(reinterpret_cast<const char *>(seg.data()),
+                      static_cast<std::streamsize>(seg.size()));
+            ok = static_cast<bool>(out);
+        }
+        if (ok)
+            CacheCounters::global().bytesAppended.fetch_add(
+                seg.size(), std::memory_order_relaxed);
+    } else {
+        // Fresh file, v1 migration, foreign/torn content: full
+        // atomic rewrite. Durable raw entries from a v2 scan are
+        // copied through; everything else comes from memory.
+        const std::uint64_t generation = scan.maxGeneration + 1;
+        std::vector<std::uint8_t> full_body;
+        std::uint32_t full_count = 0;
+        if (scan.version == 1 || scan.usableV2()) {
+            std::unordered_set<std::uint64_t> seen;
+            for (const RawEntry &e : scan.entries) {
+                if (!e.completeSegment || !seen.insert(e.key).second)
+                    continue;
+                appendEntry(full_body, e.kind,
+                            static_cast<Arch>(e.arch), e.key,
+                            e.payload, e.payloadLen, e.payloadHash);
+                ++full_count;
+            }
+        }
+        full_body.insert(full_body.end(), body.begin(), body.end());
+        full_count += count;
+        std::vector<std::uint8_t> bytes = fileHeader(generation);
+        const std::vector<std::uint8_t> seg =
+            segmentBytes(full_count, full_body, generation);
+        bytes.insert(bytes.end(), seg.begin(), seg.end());
+        ok = writeFileAtomic(path, bytes);
+        if (ok)
+            CacheCounters::global().bytesAppended.fetch_add(
+                bytes.size(), std::memory_order_relaxed);
+    }
+
+    // Size-cap policy: compact in place while still holding the
+    // lock (compaction failure never fails the save).
+    if (ok && max_bytes != 0 && fileSizeOf(path) > max_bytes) {
+        CacheCompactionResult compaction;
+        compactLocked(path, max_bytes, compaction);
+    }
+    return ok;
+}
+
+// --- inspect / verify / compact -------------------------------------------
+
+CacheFileInfo
+inspectCacheFile(const std::string &path)
+{
+    CacheFileInfo info;
+    auto file = MappedCacheFile::open(path);
+    if (!file)
+        return info;
+    info.fileRead = true;
+    info.fileBytes = file->size();
+    ScanResult scan = scanFile(file);
+    info.version = scan.version;
+    info.generation = scan.maxGeneration;
+    info.segments = scan.segments;
+    info.issues = std::move(scan.issues);
+    for (const RawEntry &e : scan.entries) {
+        if (e.kind == entry_kind_function)
+            ++info.functionEntries;
+        else if (e.kind == entry_kind_liveness)
+            ++info.livenessEntries;
+        info.payloadBytes += e.payloadLen;
+    }
+    return info;
+}
+
+CacheLoadReport
+verifyCacheFile(const std::string &path)
+{
+    CacheLoadReport report;
+    auto file = MappedCacheFile::open(path);
+    if (!file)
+        return report;
+    report.fileRead = true;
+    report.bytesMapped = file->size();
+
+    ScanResult scan = scanFile(file);
+    report.fileVersion = scan.version;
+    report.segments = scan.segments;
+    report.droppedEntries += scan.droppedEntries;
+    report.issues = std::move(scan.issues);
+
+    for (const RawEntry &e : scan.entries) {
+        if (fnv1a(e.payload, e.payloadLen) != e.payloadHash) {
+            report.issues.push_back(
+                {"cache-checksum", e.offset,
+                 "payload checksum mismatch"});
+            ++report.droppedEntries;
+            continue;
+        }
+        if (e.arch > static_cast<std::uint8_t>(Arch::aarch64)) {
+            report.issues.push_back(
+                {"cache-entry", e.offset, "unknown ISA tag"});
+            ++report.droppedEntries;
+            continue;
+        }
+        ByteReader rd(e.payload, e.payloadLen);
+        if (e.kind == entry_kind_function) {
+            Function func;
+            if (!decodeFunction(rd, func)) {
+                report.issues.push_back(
+                    {"cache-entry", e.offset,
+                     "malformed function payload"});
+                ++report.droppedEntries;
+                continue;
+            }
+            ++report.loadedFunctions;
+        } else if (e.kind == entry_kind_liveness) {
+            LivenessResult live;
+            if (!decodeLiveness(rd, live)) {
+                report.issues.push_back(
+                    {"cache-entry", e.offset,
+                     "malformed liveness payload"});
+                ++report.droppedEntries;
+                continue;
+            }
+            ++report.loadedLiveness;
         } else {
             report.issues.push_back(
-                {"cache-entry", entry_off,
-                 "unknown entry kind; entry dropped"});
+                {"cache-entry", e.offset, "unknown entry kind"});
             ++report.droppedEntries;
         }
     }
     return report;
+}
+
+bool
+compactCacheFile(const std::string &path, std::uint64_t max_bytes,
+                 CacheCompactionResult &out)
+{
+    CacheFileLock lock(path);
+    return compactLocked(path, max_bytes, out);
 }
 
 } // namespace icp

@@ -11,17 +11,25 @@
  *
  * Robustness contract: loading never crashes. A missing file, a
  * foreign magic, a version mismatch, a flipped payload byte, a
- * truncated tail, or a wrong-ISA entry each degrade to an empty or
- * partial load, with one structured cache-* issue per problem (the
- * same shape as the SBF container's sbf-* diagnostics). Cache keys
- * are content hashes, so a surviving entry is usable by construction
- * and a dropped entry only costs re-analysis.
+ * truncated or torn-off tail, or a wrong-ISA entry each degrade to
+ * an empty or partial load, with one structured cache-* issue per
+ * problem (the same shape as the SBF container's sbf-* diagnostics).
+ * Cache keys are content hashes, so a surviving entry is usable by
+ * construction and a dropped entry only costs re-analysis.
  *
- * File layout (all integers little-endian):
+ * File layout v2 (all integers little-endian):
  *
- *   u32 magic   "ICPC"
- *   u32 version cache_file_version (bump on any shape change)
+ *   u32 magic       "ICPC"
+ *   u32 version     cache_file_version
+ *   u64 generation  bumped by compaction (segments carry their own)
+ *
+ * followed by a chain of append-only segments, each one `save()`:
+ *
+ *   u32 segMagic    "ICPS"
  *   u32 entryCount
+ *   u64 bodyBytes   total entry bytes following this header
+ *   u64 generation  monotonically increasing across appends
+ *   u64 headerHash  FNV-1a over the previous 24 header bytes
  *   entryCount x {
  *     u8  kind      1 = function CFG, 2 = liveness summary
  *     u8  arch      Arch enum value
@@ -30,6 +38,21 @@
  *     u64 payloadHash   FNV-1a over the payload bytes
  *     u8  payload[payloadLen]
  *   }
+ *
+ * load() maps the file (zero-copy) and only walks entry headers; a
+ * payload's checksum is verified and its bytes deserialized lazily
+ * on first cache lookup, so a warm rewrite touching k functions pays
+ * O(k) payload work, not O(file). save() appends one segment holding only the entries the
+ * file does not already contain (a pure-warm run appends nothing and
+ * leaves the file untouched); concurrent writers serialize on an
+ * advisory `<path>.lock` flock and re-scan the file's key set under
+ * the lock before appending, so parallel CI shards merge instead of
+ * clobbering. A torn final segment (a writer died mid-append) is
+ * salvaged entry-by-entry at load and repaired by the next save,
+ * which falls back to a full atomic rewrite (tmp + rename, keeping
+ * live mmaps valid on the old inode). Version-1 files (one unsegmented
+ * whole-file snapshot) load transparently read-only with a
+ * `cache-migrated` info diagnostic; the next save writes v2.
  *
  * Invalidation needs no explicit rule: the key already covers the
  * function bytes, the analysis options, and every non-executable
@@ -47,13 +70,21 @@
 namespace icp
 {
 
-constexpr std::uint32_t cache_file_magic = 0x43504349; // "ICPC"
-constexpr std::uint32_t cache_file_version = 1;
+constexpr std::uint32_t cache_file_magic = 0x43504349;    // "ICPC"
+constexpr std::uint32_t cache_segment_magic = 0x53504349; // "ICPS"
+constexpr std::uint32_t cache_file_version = 2;
+
+/** Byte sizes of the fixed-layout records above. */
+constexpr std::size_t cache_file_header_bytes = 16;
+constexpr std::size_t cache_segment_header_bytes = 32;
+constexpr std::size_t cache_entry_header_bytes = 22;
+/** The v1 header (magic, version, entryCount) load() still reads. */
+constexpr std::size_t cache_v1_header_bytes = 12;
 
 /** One structured problem found while loading a cache file. */
 struct CacheFileIssue
 {
-    std::string rule;       ///< "cache-magic", "cache-version", ...
+    std::string rule;       ///< "cache-magic", "cache-torn", ...
     std::size_t offset = 0; ///< byte offset into the file
     std::string message;
 };
@@ -64,6 +95,19 @@ struct CacheLoadReport
     /** File existed and was readable (false is not an error). */
     bool fileRead = false;
 
+    /** Format version of the file that was read (0 = unreadable). */
+    std::uint32_t fileVersion = 0;
+
+    /** Complete segments in the file (0 for v1 files). */
+    unsigned segments = 0;
+
+    /** File bytes mapped for lazy deserialization. */
+    std::uint64_t bytesMapped = 0;
+
+    /**
+     * Entries indexed for lazy deserialization (headers verified;
+     * checksum check and payload decode deferred to first lookup).
+     */
     unsigned loadedFunctions = 0;
     unsigned loadedLiveness = 0;
 
@@ -83,6 +127,58 @@ struct CacheLoadReport
         return loadedFunctions + loadedLiveness;
     }
 };
+
+/** Header-walk summary of a cache file (`icp cache info`). */
+struct CacheFileInfo
+{
+    bool fileRead = false;
+    std::uint32_t version = 0;
+    std::uint64_t generation = 0; ///< newest segment generation
+    std::uint64_t fileBytes = 0;
+    unsigned segments = 0;
+    unsigned functionEntries = 0;
+    unsigned livenessEntries = 0;
+    std::uint64_t payloadBytes = 0;
+    std::vector<CacheFileIssue> issues;
+};
+
+/**
+ * Walk a cache file's headers without decoding payloads: version,
+ * segment chain, per-kind entry counts, structural issues. Cheap —
+ * suitable for `icp cache info` and the save-time merge scan.
+ */
+CacheFileInfo inspectCacheFile(const std::string &path);
+
+/**
+ * Eagerly verify a cache file end to end: header chain, per-entry
+ * checksums, and a full decode of every payload, without touching
+ * the process-wide cache. Every problem is a structured issue on the
+ * report (`icp cache verify`).
+ */
+CacheLoadReport verifyCacheFile(const std::string &path);
+
+/** Outcome of compactCacheFile(). */
+struct CacheCompactionResult
+{
+    bool performed = false; ///< file rewritten (false: no file)
+    std::uint64_t bytesBefore = 0;
+    std::uint64_t bytesAfter = 0;
+    unsigned entriesBefore = 0;
+    unsigned entriesKept = 0;
+    unsigned entriesEvicted = 0;
+};
+
+/**
+ * Rewrite @p path as a single-segment v2 file, deduplicating keys
+ * and dropping torn tails. When @p max_bytes is non-zero, entries
+ * are kept newest-generation-first until the cap: the LRU-ish
+ * watermark policy that bounds CI cache growth (`icp cache compact`,
+ * RewriteOptions::cacheMaxBytes). Runs under the advisory file lock;
+ * the rewrite is atomic (tmp + rename).
+ */
+bool compactCacheFile(const std::string &path,
+                      std::uint64_t max_bytes,
+                      CacheCompactionResult &out);
 
 } // namespace icp
 

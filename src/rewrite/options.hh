@@ -191,6 +191,14 @@ struct RewriteOptions
     std::string cachePath;
 
     /**
+     * Size cap for cachePath (CLI --cache-max-bytes; 0 = unbounded).
+     * When a save leaves the file larger than this, it is compacted
+     * in place keeping newest-generation entries first — the
+     * automatic variant of `icp cache compact`.
+     */
+    std::uint64_t cacheMaxBytes = 0;
+
+    /**
      * Record the RewriteManifest on the result so the static
      * soundness verifier (lintRewrite in src/verify/) can check the
      * rewritten image against what the rewriter intended to emit.

@@ -1182,7 +1182,8 @@ rewriteBinary(const BinaryImage &input, const RewriteOptions &options,
 
     if (persist && result.ok) {
         StageTimer timer(Stage::cacheSave);
-        AnalysisCache::global().save(options.cachePath);
+        AnalysisCache::global().save(options.cachePath,
+                                     options.cacheMaxBytes);
     }
     return result;
 }

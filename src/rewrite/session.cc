@@ -213,7 +213,8 @@ RewriteSession::saveDiskCache(const RewriteResult &result)
         !result.ok)
         return;
     StageTimer timer(Stage::cacheSave);
-    AnalysisCache::global().save(opts_.cachePath);
+    AnalysisCache::global().save(opts_.cachePath,
+                                 opts_.cacheMaxBytes);
 }
 
 void

@@ -104,6 +104,22 @@ StageTimers::reset()
 {
     for (auto &n : nanos_)
         n.store(0, std::memory_order_relaxed);
+    CacheCounters::global().reset();
+}
+
+CacheCounters &
+CacheCounters::global()
+{
+    static CacheCounters counters;
+    return counters;
+}
+
+void
+CacheCounters::reset()
+{
+    bytesMapped.store(0, std::memory_order_relaxed);
+    bytesAppended.store(0, std::memory_order_relaxed);
+    entriesLazy.store(0, std::memory_order_relaxed);
 }
 
 std::string
@@ -119,6 +135,18 @@ StageTimers::table() const
                       static_cast<double>(nanos(stage)) / 1e6);
         out += line;
     }
+    const CacheCounters &cc = CacheCounters::global();
+    std::snprintf(line, sizeof(line),
+                  "  %-12s %10llu bytes mapped, %llu appended, "
+                  "%llu lazy entries\n",
+                  "cache.io",
+                  static_cast<unsigned long long>(
+                      cc.bytesMapped.load(std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(cc.bytesAppended.load(
+                      std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(cc.entriesLazy.load(
+                      std::memory_order_relaxed)));
+    out += line;
     return out;
 }
 
@@ -135,6 +163,19 @@ StageTimers::json() const
                       static_cast<double>(nanos(stage)) / 1e6);
         out += item;
     }
+    const CacheCounters &cc = CacheCounters::global();
+    char counters[160];
+    std::snprintf(
+        counters, sizeof(counters),
+        ", \"cache_bytes_mapped\": %llu, \"cache_bytes_appended\": "
+        "%llu, \"cache_entries_lazy\": %llu",
+        static_cast<unsigned long long>(
+            cc.bytesMapped.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            cc.bytesAppended.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            cc.entriesLazy.load(std::memory_order_relaxed)));
+    out += counters;
     out += "}";
     return out;
 }

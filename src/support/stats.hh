@@ -90,6 +90,24 @@ class StageTimers
         nanos_{};
 };
 
+/**
+ * Process-wide counters for the on-disk analysis cache's hot-path
+ * behavior: bytes mapped by load(), bytes appended by save(), and
+ * entries deserialized lazily on first lookup. Reset together with
+ * StageTimers (same measurement scope); reported by table()/json().
+ */
+class CacheCounters
+{
+  public:
+    static CacheCounters &global();
+
+    std::atomic<std::uint64_t> bytesMapped{0};
+    std::atomic<std::uint64_t> bytesAppended{0};
+    std::atomic<std::uint64_t> entriesLazy{0};
+
+    void reset();
+};
+
 /** RAII accumulator: adds the scope's duration to one stage. */
 class StageTimer
 {

@@ -938,7 +938,12 @@ diagnosticsFromCacheIssues(const std::vector<CacheFileIssue> &issues)
     for (const CacheFileIssue &issue : issues) {
         Diagnostic d;
         d.rule = issue.rule;
-        d.severity = Severity::warning;
+        // A v1 file migrating to v2 on its next save is expected
+        // behavior, not degradation: info, so --fail-on=warning
+        // gates stay green across the format transition.
+        d.severity = issue.rule == "cache-migrated"
+                         ? Severity::info
+                         : Severity::warning;
         d.message = issue.message + " (cache-file offset " +
                     std::to_string(issue.offset) + ")";
         out.push_back(std::move(d));

@@ -10,10 +10,14 @@
  * a different rewrite output.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/stat.h>
 
 #include <gtest/gtest.h>
 
@@ -228,44 +232,66 @@ TEST(CacheStore, TruncatedFileLoadsPartialWithIssue)
     const std::string path = tmpPath("truncated");
     std::vector<std::uint8_t> raw = validCacheFile(path);
     const std::size_t total = raw.size();
-    // Cut the file mid-way through the entry list: a strict prefix
-    // of entries survives, the rest is reported, nothing crashes.
+    // Cut the file mid-way through the segment body — the shape a
+    // writer killed mid-append leaves behind. A strict prefix of
+    // entries is salvaged, the rest is reported, nothing crashes.
     raw.resize(total / 2);
     writeAll(path, raw);
 
     AnalysisCache::global().clear();
     const CacheLoadReport rep = AnalysisCache::global().load(path);
     EXPECT_TRUE(rep.fileRead);
-    EXPECT_TRUE(hasIssue(rep, "cache-truncated"));
+    EXPECT_TRUE(hasIssue(rep, "cache-torn"));
     EXPECT_GE(rep.droppedEntries, 1u);
     EXPECT_EQ(AnalysisCache::global().entryCount(),
               rep.loadedEntries());
 }
 
-TEST(CacheStore, FlippedPayloadByteDropsOnlyThatEntry)
+TEST(CacheStore, FlippedPayloadByteDegradesToLazyMiss)
 {
     const std::string path = tmpPath("checksum");
-    std::vector<std::uint8_t> raw = validCacheFile(path);
+    const BinaryImage img = compileMicro(Arch::x64);
+    const std::vector<std::uint8_t> cold = coldRewrite(img, path);
+    std::vector<std::uint8_t> raw = readAll(path);
     AnalysisCache::global().clear();
     const CacheLoadReport clean_rep =
         AnalysisCache::global().load(path);
     const unsigned total = clean_rep.loadedEntries();
     ASSERT_GE(total, 2u);
 
-    // First entry starts right after the 12-byte header; its payload
-    // starts 22 bytes further (kind u8 + arch u8 + key u64 +
-    // payloadLen u32 + payloadHash u64). Flip the payload's first
-    // byte so only the checksum rule can catch it.
-    const std::size_t payload0 = 12 + 22;
+    // First entry starts after the file header and the first
+    // segment header; its payload starts one entry header further
+    // (kind u8 + arch u8 + key u64 + payloadLen u32 + payloadHash
+    // u64). Flip the payload's first byte so only the checksum can
+    // catch it.
+    const std::size_t payload0 = cache_file_header_bytes +
+                                 cache_segment_header_bytes +
+                                 cache_entry_header_bytes;
     ASSERT_LT(payload0, raw.size());
     raw[payload0] ^= 0x01;
     writeAll(path, raw);
 
+    // load() only walks headers, so the structural pass stays clean
+    // and indexes every entry; the flipped payload is caught by the
+    // lazy checksum at first lookup and degrades to a miss.
     AnalysisCache::global().clear();
     const CacheLoadReport rep = AnalysisCache::global().load(path);
-    EXPECT_TRUE(hasIssue(rep, "cache-checksum"));
-    EXPECT_EQ(rep.droppedEntries, 1u);
-    EXPECT_EQ(rep.loadedEntries(), total - 1);
+    EXPECT_TRUE(rep.clean());
+    EXPECT_EQ(rep.droppedEntries, 0u);
+    EXPECT_EQ(rep.loadedEntries(), total);
+
+    // The eager verifier still pinpoints the corruption.
+    const CacheLoadReport verify = verifyCacheFile(path);
+    EXPECT_TRUE(hasIssue(verify, "cache-checksum"));
+    EXPECT_EQ(verify.droppedEntries, 1u);
+
+    // And a rewrite against the corrupt file re-analyzes the one
+    // damaged function and still produces identical bytes.
+    AnalysisCache::global().clear();
+    const RewriteResult warm = rewriteBinary(img, baseOptions(path));
+    ASSERT_TRUE(warm.ok) << warm.failReason;
+    EXPECT_EQ(warm.image.serialize(), cold);
+    EXPECT_GE(AnalysisCache::global().stats().misses(), 1u);
 }
 
 TEST(CacheStore, WrongIsaEntriesAreDroppedWithIssue)
@@ -342,3 +368,312 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return name;
     });
+
+// --- v2 store: delta saves, merging, compaction, migration -----------------
+
+namespace
+{
+
+struct FileStamp
+{
+    std::uint64_t size = 0;
+    std::int64_t mtimeSec = 0;
+    std::int64_t mtimeNsec = 0;
+
+    bool
+    operator==(const FileStamp &o) const
+    {
+        return size == o.size && mtimeSec == o.mtimeSec &&
+               mtimeNsec == o.mtimeNsec;
+    }
+};
+
+FileStamp
+stampOf(const std::string &path)
+{
+    struct stat st;
+    EXPECT_EQ(::stat(path.c_str(), &st), 0) << path;
+    FileStamp s;
+    s.size = static_cast<std::uint64_t>(st.st_size);
+    s.mtimeSec = st.st_mtim.tv_sec;
+    s.mtimeNsec = st.st_mtim.tv_nsec;
+    return s;
+}
+
+} // namespace
+
+/**
+ * The acceptance matrix: for every ISA, outputs stay byte-identical
+ * to the cold run through every on-disk cache state — lazy mmap
+ * load, a delta-append from a second workload, the merged
+ * two-segment file, and the compacted file.
+ */
+TEST_P(CacheStoreArch, DeltaMergeCompactStatesStayByteIdentical)
+{
+    const Arch arch = GetParam();
+    const BinaryImage img = compileMicro(arch);
+    const BinaryImage other = compileMicro(arch, /*pie=*/false);
+    const std::string path =
+        tmpPath(std::string("states_") + archName(arch));
+
+    // State 1: fresh single-segment file.
+    const std::vector<std::uint8_t> cold = coldRewrite(img, path);
+    const std::uint64_t size_one = stampOf(path).size;
+
+    // State 2: a second workload delta-appends its (disjoint-key)
+    // entries as a new segment instead of rewriting the file.
+    AnalysisCache::global().clear();
+    const RewriteResult second =
+        rewriteBinary(other, baseOptions(path));
+    ASSERT_TRUE(second.ok) << second.failReason;
+    const std::vector<std::uint8_t> cold_other =
+        second.image.serialize();
+    const CacheFileInfo merged = inspectCacheFile(path);
+    EXPECT_EQ(merged.version, cache_file_version);
+    EXPECT_GE(merged.segments, 2u);
+    EXPECT_GT(merged.fileBytes, size_one);
+
+    // State 3: lazy-load from the merged file reproduces both
+    // workloads byte-for-byte.
+    AnalysisCache::global().clear();
+    const RewriteResult warm = rewriteBinary(img, baseOptions(path));
+    ASSERT_TRUE(warm.ok) << warm.failReason;
+    EXPECT_EQ(warm.image.serialize(), cold);
+    AnalysisCache::global().clear();
+    const RewriteResult warm_other =
+        rewriteBinary(other, baseOptions(path));
+    ASSERT_TRUE(warm_other.ok) << warm_other.failReason;
+    EXPECT_EQ(warm_other.image.serialize(), cold_other);
+
+    const CacheLoadReport verify = verifyCacheFile(path);
+    EXPECT_TRUE(verify.clean())
+        << (verify.issues.empty() ? ""
+                                  : verify.issues.front().message);
+
+    // State 4: compaction (unbounded: dedup + single segment) keeps
+    // everything reusable and the outputs identical.
+    CacheCompactionResult compaction;
+    ASSERT_TRUE(compactCacheFile(path, 0, compaction));
+    EXPECT_TRUE(compaction.performed);
+    EXPECT_EQ(compaction.entriesEvicted, 0u);
+    EXPECT_EQ(inspectCacheFile(path).segments, 1u);
+
+    AnalysisCache::global().clear();
+    const RewriteResult compacted =
+        rewriteBinary(img, baseOptions(path));
+    ASSERT_TRUE(compacted.ok) << compacted.failReason;
+    EXPECT_TRUE(compacted.cacheLoad.clean());
+    EXPECT_EQ(compacted.image.serialize(), cold);
+}
+
+TEST(CacheStore, PureWarmSaveLeavesFileUntouched)
+{
+    const std::string path = tmpPath("noop_save");
+    const BinaryImage img = compileMicro(Arch::x64);
+    const std::vector<std::uint8_t> cold = coldRewrite(img, path);
+    const FileStamp before = stampOf(path);
+    const std::vector<std::uint8_t> bytes_before = readAll(path);
+
+    // Make sure a rewrite of the file would move the mtime.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    AnalysisCache::global().clear();
+    const RewriteResult warm = rewriteBinary(img, baseOptions(path));
+    ASSERT_TRUE(warm.ok) << warm.failReason;
+    EXPECT_EQ(warm.image.serialize(), cold);
+
+    // 100%-hit run: the save had nothing to append and must not
+    // have touched the file at all.
+    const FileStamp after = stampOf(path);
+    EXPECT_TRUE(before == after)
+        << "size " << before.size << " -> " << after.size;
+    EXPECT_EQ(readAll(path), bytes_before);
+}
+
+TEST(CacheStore, SaveMergesWithEntriesFromOtherWriters)
+{
+    const std::string path = tmpPath("merge_writers");
+    const BinaryImage img = compileMicro(Arch::x64);
+    const BinaryImage other = compileMicro(Arch::x64, /*pie=*/false);
+
+    // Writer 1 persists workload A.
+    coldRewrite(img, path);
+    AnalysisCache::global().clear();
+    const CacheLoadReport first = AnalysisCache::global().load(path);
+    const unsigned count_a = first.loadedEntries();
+    ASSERT_GT(count_a, 0u);
+
+    // Writer 2 analyzed workload B with no knowledge of the file
+    // (simulating a concurrent shard); its save must merge, not
+    // clobber.
+    AnalysisCache::global().clear();
+    const RewriteResult rw = rewriteBinary(other, baseOptions(""));
+    ASSERT_TRUE(rw.ok) << rw.failReason;
+    const std::size_t count_b = AnalysisCache::global().entryCount();
+    ASSERT_GT(count_b, 0u);
+    ASSERT_TRUE(AnalysisCache::global().save(path));
+
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep = AnalysisCache::global().load(path);
+    EXPECT_TRUE(rep.clean())
+        << (rep.issues.empty() ? "" : rep.issues.front().message);
+    EXPECT_EQ(rep.loadedEntries(), count_a + count_b);
+}
+
+TEST(CacheStore, TornFinalSegmentKeepsPriorSegmentsReadable)
+{
+    const std::string path = tmpPath("torn_tail");
+    const BinaryImage img = compileMicro(Arch::x64);
+    const BinaryImage other = compileMicro(Arch::x64, /*pie=*/false);
+
+    // Two segments: A then B.
+    coldRewrite(img, path);
+    AnalysisCache::global().clear();
+    const CacheLoadReport first = AnalysisCache::global().load(path);
+    const unsigned count_a = first.loadedEntries();
+    const std::uint64_t size_a = stampOf(path).size;
+    AnalysisCache::global().clear();
+    ASSERT_TRUE(rewriteBinary(other, baseOptions(path)).ok);
+    AnalysisCache::global().clear();
+    const unsigned count_total =
+        AnalysisCache::global().load(path).loadedEntries();
+    ASSERT_GT(count_total, count_a);
+
+    // Tear segment B: drop the file's last 10 bytes (a writer died
+    // mid-append). Segment A must stay fully readable and B's
+    // surviving prefix is salvaged.
+    std::vector<std::uint8_t> raw = readAll(path);
+    raw.resize(raw.size() - 10);
+    writeAll(path, raw);
+
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep = AnalysisCache::global().load(path);
+    EXPECT_TRUE(hasIssue(rep, "cache-torn"));
+    EXPECT_GE(rep.droppedEntries, 1u);
+    EXPECT_GE(rep.loadedEntries(), count_a);
+    EXPECT_LT(rep.loadedEntries(), count_total);
+    EXPECT_EQ(inspectCacheFile(path).segments, 1u);
+    (void)size_a;
+
+    // The next save repairs the tail with a full atomic rewrite.
+    ASSERT_TRUE(AnalysisCache::global().save(path));
+    const CacheLoadReport verify = verifyCacheFile(path);
+    EXPECT_TRUE(verify.clean())
+        << (verify.issues.empty() ? ""
+                                  : verify.issues.front().message);
+    EXPECT_EQ(verify.loadedEntries(), rep.loadedEntries());
+}
+
+TEST(CacheStore, CompactionEvictsOldestGenerationsUnderSizeCap)
+{
+    const std::string path = tmpPath("compact_cap");
+    const BinaryImage img = compileMicro(Arch::x64);
+    const BinaryImage other = compileMicro(Arch::x64, /*pie=*/false);
+
+    // Segment A (generation g), then segment B (generation g+1).
+    coldRewrite(img, path);
+    const std::uint64_t size_a = stampOf(path).size;
+    AnalysisCache::global().clear();
+    const RewriteResult second =
+        rewriteBinary(other, baseOptions(path));
+    ASSERT_TRUE(second.ok);
+    const std::vector<std::uint8_t> cold_other =
+        second.image.serialize();
+    const std::uint64_t size_ab = stampOf(path).size;
+    const std::uint64_t seg_b_bytes = size_ab - size_a;
+
+    // Cap sized to hold exactly segment B's entries: compaction must
+    // keep the newest generation (B) and evict all of A.
+    const std::uint64_t cap =
+        cache_file_header_bytes + seg_b_bytes;
+    CacheCompactionResult compaction;
+    ASSERT_TRUE(compactCacheFile(path, cap, compaction));
+    EXPECT_TRUE(compaction.performed);
+    EXPECT_GT(compaction.entriesEvicted, 0u);
+    EXPECT_GT(compaction.entriesKept, 0u);
+    EXPECT_LE(compaction.bytesAfter, cap);
+    EXPECT_LE(stampOf(path).size, cap);
+
+    // The kept entries are B's: a warm rewrite of B reuses all of
+    // its analyses and stays byte-identical.
+    AnalysisCache::global().clear();
+    const RewriteResult warm =
+        rewriteBinary(other, baseOptions(path));
+    ASSERT_TRUE(warm.ok) << warm.failReason;
+    EXPECT_TRUE(warm.cacheLoad.clean());
+    const auto stats = AnalysisCache::global().stats();
+    EXPECT_EQ(stats.misses(), 0u)
+        << stats.functionMisses << " function / "
+        << stats.livenessMisses << " liveness misses";
+    EXPECT_EQ(warm.image.serialize(), cold_other);
+}
+
+TEST(CacheStore, AutoCompactionTriggersOnSaveWhenOverCap)
+{
+    const std::string path = tmpPath("auto_compact");
+    const BinaryImage img = compileMicro(Arch::x64);
+    const BinaryImage other = compileMicro(Arch::x64, /*pie=*/false);
+
+    coldRewrite(img, path);
+    const std::uint64_t size_a = stampOf(path).size;
+
+    // Second workload saves through RewriteOptions::cacheMaxBytes:
+    // the append pushes the file over the cap, so the save compacts
+    // it back under.
+    AnalysisCache::global().clear();
+    RewriteOptions opts = baseOptions(path);
+    opts.cacheMaxBytes = size_a + cache_file_header_bytes;
+    const RewriteResult rw = rewriteBinary(other, opts);
+    ASSERT_TRUE(rw.ok) << rw.failReason;
+    EXPECT_LE(stampOf(path).size, opts.cacheMaxBytes);
+    const CacheLoadReport verify = verifyCacheFile(path);
+    EXPECT_TRUE(verify.clean());
+}
+
+TEST(CacheStore, V1FileMigratesToV2WithInfoDiagnostic)
+{
+    const std::string path = tmpPath("migrate_v1");
+    const BinaryImage img = compileMicro(Arch::x64);
+    const std::vector<std::uint8_t> cold = coldRewrite(img, path);
+    AnalysisCache::global().clear();
+    const unsigned count =
+        AnalysisCache::global().load(path).loadedEntries();
+    ASSERT_GT(count, 0u);
+
+    // Synthesize the v1 layout (magic, version=1, entryCount,
+    // entries) from the v2 file's first-segment body: the entry
+    // encoding is identical across versions.
+    const std::vector<std::uint8_t> v2 = readAll(path);
+    std::vector<std::uint8_t> v1;
+    putU32(v1, cache_file_magic);
+    putU32(v1, 1);
+    putU32(v1, count);
+    const std::size_t body = cache_file_header_bytes +
+                             cache_segment_header_bytes;
+    ASSERT_LT(body, v2.size());
+    v1.insert(v1.end(), v2.begin() + body, v2.end());
+    writeAll(path, v1);
+
+    // Loads read-only with exactly one info-grade migration issue.
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep = AnalysisCache::global().load(path);
+    EXPECT_TRUE(rep.fileRead);
+    EXPECT_EQ(rep.fileVersion, 1u);
+    EXPECT_EQ(rep.loadedEntries(), count);
+    EXPECT_EQ(rep.droppedEntries, 0u);
+    ASSERT_EQ(rep.issues.size(), 1u);
+    EXPECT_EQ(rep.issues.front().rule, "cache-migrated");
+
+    // The warm rewrite over a v1 file is still byte-identical, and
+    // its save rewrites the file as v2.
+    const RewriteResult warm = rewriteBinary(img, baseOptions(path));
+    ASSERT_TRUE(warm.ok) << warm.failReason;
+    EXPECT_EQ(warm.image.serialize(), cold);
+    const CacheFileInfo info = inspectCacheFile(path);
+    EXPECT_EQ(info.version, cache_file_version);
+    AnalysisCache::global().clear();
+    const CacheLoadReport reloaded =
+        AnalysisCache::global().load(path);
+    EXPECT_TRUE(reloaded.clean());
+    EXPECT_EQ(reloaded.loadedEntries(), count);
+}

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <string>
 
+#include <sys/stat.h>
 #include <sys/wait.h>
 
 #include <gtest/gtest.h>
@@ -315,6 +316,133 @@ TEST(CliCacheFile, CorruptCacheFileDegradesToColdRun)
         "cmp -s /tmp/icp_cli_cc_out.sbf /tmp/icp_cli_cc_ref.sbf");
     EXPECT_EQ(WEXITSTATUS(cmp), 0)
         << "corrupt cache changed the rewrite output";
+}
+
+TEST(CliCacheFile, ConcurrentWritersWithDisjointSetsMerge)
+{
+    // Two processes race their saves into one cache file; the
+    // advisory lock + merge-on-save must leave both entry sets
+    // loadable and the file verifiably intact.
+    std::remove("/tmp/icp_cli_ccw.icpc");
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_ccw_a.sbf"), 0);
+    ASSERT_EQ(run("compile spec1 /tmp/icp_cli_ccw_b.sbf"), 0);
+    const std::string both =
+        std::string("( ") + ICP_CLI_PATH +
+        " rewrite /tmp/icp_cli_ccw_a.sbf /tmp/icp_cli_ccw_a1.sbf "
+        "--cache-file /tmp/icp_cli_ccw.icpc & " +
+        ICP_CLI_PATH +
+        " rewrite /tmp/icp_cli_ccw_b.sbf /tmp/icp_cli_ccw_b1.sbf "
+        "--cache-file /tmp/icp_cli_ccw.icpc & wait ) "
+        "> /dev/null 2>&1";
+    ASSERT_EQ(std::system(both.c_str()), 0);
+
+    EXPECT_EQ(exitCode("cache verify /tmp/icp_cli_ccw.icpc"), 0);
+
+    // Both shards' entries are loadable: each warm rerun reuses
+    // everything and reproduces its cold output.
+    const std::string warm_a = capture(
+        "rewrite /tmp/icp_cli_ccw_a.sbf /tmp/icp_cli_ccw_a2.sbf "
+        "--cache-file /tmp/icp_cli_ccw.icpc");
+    EXPECT_NE(warm_a.find(" reused (100.0%)"), std::string::npos)
+        << warm_a;
+    const std::string warm_b = capture(
+        "rewrite /tmp/icp_cli_ccw_b.sbf /tmp/icp_cli_ccw_b2.sbf "
+        "--cache-file /tmp/icp_cli_ccw.icpc");
+    EXPECT_NE(warm_b.find(" reused (100.0%)"), std::string::npos)
+        << warm_b;
+    EXPECT_EQ(WEXITSTATUS(std::system(
+                  "cmp -s /tmp/icp_cli_ccw_a1.sbf "
+                  "/tmp/icp_cli_ccw_a2.sbf")),
+              0);
+    EXPECT_EQ(WEXITSTATUS(std::system(
+                  "cmp -s /tmp/icp_cli_ccw_b1.sbf "
+                  "/tmp/icp_cli_ccw_b2.sbf")),
+              0);
+}
+
+TEST(CliCacheFile, ConcurrentWritersWithOverlappingSetsMerge)
+{
+    // Same workload from two processes at once: identical keys race,
+    // the winner's entries land, and nothing corrupts.
+    std::remove("/tmp/icp_cli_cow.icpc");
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_cow.sbf"), 0);
+    const std::string both =
+        std::string("( ") + ICP_CLI_PATH +
+        " rewrite /tmp/icp_cli_cow.sbf /tmp/icp_cli_cow_1.sbf "
+        "--cache-file /tmp/icp_cli_cow.icpc & " +
+        ICP_CLI_PATH +
+        " rewrite /tmp/icp_cli_cow.sbf /tmp/icp_cli_cow_2.sbf "
+        "--cache-file /tmp/icp_cli_cow.icpc & wait ) "
+        "> /dev/null 2>&1";
+    ASSERT_EQ(std::system(both.c_str()), 0);
+
+    EXPECT_EQ(exitCode("cache verify /tmp/icp_cli_cow.icpc"), 0);
+    const std::string warm = capture(
+        "rewrite /tmp/icp_cli_cow.sbf /tmp/icp_cli_cow_3.sbf "
+        "--cache-file /tmp/icp_cli_cow.icpc");
+    EXPECT_NE(warm.find(" reused (100.0%)"), std::string::npos)
+        << warm;
+    EXPECT_EQ(WEXITSTATUS(std::system(
+                  "cmp -s /tmp/icp_cli_cow_1.sbf "
+                  "/tmp/icp_cli_cow_3.sbf")),
+              0);
+}
+
+TEST(CliCache, InfoVerifyCompactRoundTrip)
+{
+    std::remove("/tmp/icp_cli_cmd.icpc");
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_cmd_a.sbf"), 0);
+    ASSERT_EQ(run("compile spec1 /tmp/icp_cli_cmd_b.sbf"), 0);
+    ASSERT_EQ(run("rewrite /tmp/icp_cli_cmd_a.sbf "
+                  "/tmp/icp_cli_cmd_a1.sbf "
+                  "--cache-file /tmp/icp_cli_cmd.icpc"),
+              0);
+    ASSERT_EQ(run("rewrite /tmp/icp_cli_cmd_b.sbf "
+                  "/tmp/icp_cli_cmd_b1.sbf "
+                  "--cache-file /tmp/icp_cli_cmd.icpc"),
+              0);
+
+    const std::string info = capture("cache info /tmp/icp_cli_cmd.icpc");
+    EXPECT_NE(info.find("v2"), std::string::npos) << info;
+    EXPECT_NE(info.find("2 segments"), std::string::npos) << info;
+    EXPECT_EQ(exitCode("cache verify /tmp/icp_cli_cmd.icpc"), 0);
+
+    const std::string compacted = capture(
+        "cache compact /tmp/icp_cli_cmd.icpc --max-bytes 8192");
+    EXPECT_NE(compacted.find("evicted"), std::string::npos)
+        << compacted;
+    const std::string after =
+        capture("cache info /tmp/icp_cli_cmd.icpc");
+    EXPECT_NE(after.find("1 segment"), std::string::npos) << after;
+    EXPECT_EQ(exitCode("cache verify /tmp/icp_cli_cmd.icpc"), 0);
+
+    // Operational errors: missing file is exit 1, bad action usage.
+    EXPECT_EQ(exitCode("cache info /tmp/definitely_missing.icpc"), 1);
+    EXPECT_EQ(exitCode("cache frobnicate /tmp/icp_cli_cmd.icpc"), 2);
+}
+
+TEST(CliCache, RewriteHonorsCacheMaxBytes)
+{
+    std::remove("/tmp/icp_cli_cap.icpc");
+    ASSERT_EQ(run("compile micro /tmp/icp_cli_cap_a.sbf"), 0);
+    ASSERT_EQ(run("compile spec1 /tmp/icp_cli_cap_b.sbf"), 0);
+    ASSERT_EQ(run("rewrite /tmp/icp_cli_cap_a.sbf "
+                  "/tmp/icp_cli_cap_a1.sbf "
+                  "--cache-file /tmp/icp_cli_cap.icpc"),
+              0);
+    ASSERT_EQ(run("rewrite /tmp/icp_cli_cap_b.sbf "
+                  "/tmp/icp_cli_cap_b1.sbf "
+                  "--cache-file /tmp/icp_cli_cap.icpc "
+                  "--cache-max-bytes 8192"),
+              0);
+    const std::string info =
+        capture("cache info /tmp/icp_cli_cap.icpc");
+    EXPECT_NE(info.find("v2"), std::string::npos) << info;
+    // The capped save compacted the file back under the limit.
+    struct stat st;
+    ASSERT_EQ(stat("/tmp/icp_cli_cap.icpc", &st), 0);
+    EXPECT_LE(st.st_size, 8192);
+    EXPECT_EQ(exitCode("cache verify /tmp/icp_cli_cap.icpc"), 0);
 }
 
 TEST(CliLintBaseline, DiffAgainstSavedJsonReport)

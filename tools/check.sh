@@ -13,8 +13,14 @@
 #                  finding fails with exit 2
 #   warm-cache     two rewrites sharing an on-disk AnalysisCache
 #                  (--cache-file): the second, fresh-process run must
-#                  reuse 100% of function analyses and produce
-#                  byte-identical output
+#                  reuse 100% of function analyses, produce
+#                  byte-identical output, and leave the cache file
+#                  untouched (delta save finds nothing to append)
+#   cache-v2       cache store v2 smoke: two concurrent sharded
+#                  rewrites merge into one cache file, `icp cache
+#                  verify` finds it clean, and `icp cache compact
+#                  --max-bytes` / `--cache-max-bytes` enforce the
+#                  size cap
 #
 # Unlike a `set -e` script, every requested leg runs even when an
 # earlier one fails; the per-leg PASS/FAIL summary and the aggregate
@@ -37,7 +43,7 @@ for arg in "$@"; do
     esac
 done
 jobs="${jobs:-$(nproc)}"
-legs="${legs:-tsan asan release lint-baseline warm-cache}"
+legs="${legs:-tsan asan release lint-baseline warm-cache cache-v2}"
 
 # Compiler launcher: use ccache when available (CI restores its
 # directory between runs), invisible otherwise.
@@ -124,11 +130,53 @@ leg_warm_cache() {
     ./build/tools/icp compile micro "$dir/in.sbf" --pie &&
     ./build/tools/icp rewrite "$dir/in.sbf" "$dir/cold.sbf" \
         --cache-file "$cache" &&
+    stamp_before="$(stat -c '%Y %s' "$cache")" &&
     ./build/tools/icp rewrite "$dir/in.sbf" "$dir/warm.sbf" \
         --cache-file "$cache" | tee "$dir/warm.log" &&
     grep -q " reused (100.0%)" "$dir/warm.log" &&
     cmp "$dir/cold.sbf" "$dir/warm.sbf" &&
-    echo "warm run: full reuse, byte-identical output"
+    stamp_after="$(stat -c '%Y %s' "$cache")" &&
+    [ "$stamp_before" = "$stamp_after" ] &&
+    echo "warm run: full reuse, byte-identical output," \
+         "cache file untouched"
+    status=$?
+    rm -rf "$dir"
+    return $status
+}
+
+leg_cache_v2() {
+    echo "== Cache store v2 smoke (merge / verify / compact) =="
+    build_cli || return 1
+    dir="$(mktemp -d)"
+    cache="$dir/shared.icpc"
+    # Two writers race on one cache file; flock + merge-on-save must
+    # leave a clean file holding both shards.
+    ./build/tools/icp compile micro "$dir/a.sbf" --pie &&
+    ./build/tools/icp compile spec1 "$dir/b.sbf" --pie &&
+    {
+        ./build/tools/icp rewrite "$dir/a.sbf" "$dir/a_out.sbf" \
+            --cache-file "$cache" &
+        ./build/tools/icp rewrite "$dir/b.sbf" "$dir/b_out.sbf" \
+            --cache-file "$cache" &
+        wait
+    } &&
+    ./build/tools/icp cache verify "$cache" &&
+    ./build/tools/icp rewrite "$dir/a.sbf" "$dir/a_warm.sbf" \
+        --cache-file "$cache" | grep -q " reused (100.0%)" &&
+    ./build/tools/icp rewrite "$dir/b.sbf" "$dir/b_warm.sbf" \
+        --cache-file "$cache" | grep -q " reused (100.0%)" &&
+    cmp "$dir/a_out.sbf" "$dir/a_warm.sbf" &&
+    cmp "$dir/b_out.sbf" "$dir/b_warm.sbf" &&
+    echo "concurrent writers merged: clean file, both warm" &&
+    # Compaction honors the byte cap, and the rewrite flag applies
+    # the same cap automatically.
+    ./build/tools/icp cache compact "$cache" --max-bytes 8192 &&
+    [ "$(stat -c '%s' "$cache")" -le 8192 ] &&
+    ./build/tools/icp cache verify "$cache" &&
+    ./build/tools/icp rewrite "$dir/b.sbf" "$dir/b_cap.sbf" \
+        --cache-file "$cache" --cache-max-bytes 8192 &&
+    [ "$(stat -c '%s' "$cache")" -le 8192 ] &&
+    echo "compaction: size cap enforced, file still clean"
     status=$?
     rm -rf "$dir"
     return $status

@@ -8,6 +8,8 @@
 #   tools/ci.sh tsan           TSan parallel-pipeline tests
 #   tools/ci.sh lint-baseline  lint --diff against the saved baseline
 #   tools/ci.sh warm-cache     on-disk AnalysisCache round-trip smoke
+#   tools/ci.sh cache-v2       concurrent-writer merge + verify +
+#                              compaction size-cap smoke
 #   tools/ci.sh all            every leg (what check.sh runs bare)
 #
 #   tools/ci.sh regen-lint-baseline
@@ -39,7 +41,7 @@ regen_lint_baseline() {
 }
 
 case "$job" in
-    release|asan|tsan|lint-baseline|warm-cache)
+    release|asan|tsan|lint-baseline|warm-cache|cache-v2)
         exec tools/check.sh "$jobs" "$job"
         ;;
     all)
@@ -50,8 +52,8 @@ case "$job" in
         ;;
     *)
         echo "ci.sh: unknown job '$job'" >&2
-        echo "jobs: release asan tsan lint-baseline warm-cache all" \
-             "regen-lint-baseline" >&2
+        echo "jobs: release asan tsan lint-baseline warm-cache" \
+             "cache-v2 all regen-lint-baseline" >&2
         exit 64
         ;;
 esac

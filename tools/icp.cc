@@ -9,7 +9,8 @@
  *               [--count-blocks] [--count-entries] [--only f1,f2]
  *               [--no-placement] [--no-multihop] [--call-emulation]
  *               [--threads N] [--no-cache] [--timing]
- *               [--cache-file PATH] [--lint] [--fail-on S]
+ *               [--cache-file PATH] [--cache-max-bytes N]
+ *               [--lint] [--fail-on S]
  *               [--inject DEFECT] [--repair[=N]]
  *   icp lint    <in.sbf> [rewrite options] [--json] [--timing]
  *               [--fail-on info|warning|error] [--inject DEFECT]
@@ -18,6 +19,8 @@
  *               [rewrite options] [--json] [--fail-on S]
  *   icp run     <in.sbf> [--gc N]
  *   icp inspect <in.sbf> [function]
+ *   icp cache   info|verify <file.icpc>
+ *   icp cache   compact <file.icpc> [--max-bytes N]
  *
  * Profiles: micro, spec0..spec18, libxul, docker, libcuda.
  *
@@ -31,7 +34,12 @@
  * The first operand may instead be a saved `icp lint --json` report
  * (the CI lint-baseline gate). `--cache-file PATH` persists the
  * AnalysisCache across invocations: it is merged before analysis and
- * saved back after a successful rewrite.
+ * delta-saved back after a successful rewrite (concurrent writers
+ * merge via the store's advisory lock); `--cache-max-bytes N`
+ * compacts the file when a save leaves it larger than N. `icp cache`
+ * maintains such files: info (header walk), verify (full decode of
+ * every entry; exit 2 on any issue), compact (deduplicate and
+ * optionally evict down to --max-bytes, oldest generations first).
  * `icp rewrite --repair[=N]` (implies --lint) runs the stateful
  * RewriteSession loop — rewrite, lint, selectively re-rewrite the
  * functions owning error findings — up to N (default 2) repair
@@ -48,6 +56,7 @@
 
 #include "analysis/builder.hh"
 #include "analysis/cache.hh"
+#include "analysis/cache_store.hh"
 #include "codegen/compiler.hh"
 #include "codegen/workloads.hh"
 #include "rewrite/rewriter.hh"
@@ -77,7 +86,9 @@ usage()
                  "                   [--threads N] [--no-cache] "
                  "[--timing] [--lint] [--fail-on S]\n"
                  "                   [--cache-file PATH] "
-                 "[--inject DEFECT] [--repair[=N]]\n"
+                 "[--cache-max-bytes N]\n"
+                 "                   [--inject DEFECT] "
+                 "[--repair[=N]]\n"
                  "       icp lint <in.sbf> [rewrite options] "
                  "[--json] [--fail-on info|warning|error]\n"
                  "                [--inject DEFECT] "
@@ -85,7 +96,10 @@ usage()
                  "       icp lint --diff <a.sbf|baseline.json> "
                  "<b.sbf> [rewrite options] [--json] [--fail-on S]\n"
                  "       icp run <in.sbf> [--gc N]\n"
-                 "       icp inspect <in.sbf> [function]\n");
+                 "       icp inspect <in.sbf> [function]\n"
+                 "       icp cache info|verify <file.icpc>\n"
+                 "       icp cache compact <file.icpc> "
+                 "[--max-bytes N]\n");
     return 2;
 }
 
@@ -178,6 +192,16 @@ parseRewriteFlag(RewriteOptions &opts, int argc, char **argv, int &i,
     } else if (arg.rfind("--cache-file=", 0) == 0) {
         opts.cachePath = arg.substr(std::strlen("--cache-file="));
         if (opts.cachePath.empty())
+            *bad = true;
+    } else if (arg == "--cache-max-bytes" && i + 1 < argc) {
+        opts.cacheMaxBytes = std::strtoull(argv[++i], nullptr, 10);
+        if (opts.cacheMaxBytes == 0)
+            *bad = true;
+    } else if (arg.rfind("--cache-max-bytes=", 0) == 0) {
+        opts.cacheMaxBytes = std::strtoull(
+            arg.c_str() + std::strlen("--cache-max-bytes="), nullptr,
+            10);
+        if (opts.cacheMaxBytes == 0)
             *bad = true;
     } else if (arg == "--inject" && i + 1 < argc) {
         const auto defect = parseInjectDefect(argv[++i]);
@@ -677,6 +701,97 @@ cmdInspect(int argc, char **argv)
     return 0;
 }
 
+void
+printCacheIssues(const std::vector<CacheFileIssue> &issues)
+{
+    for (const CacheFileIssue &issue : issues)
+        std::fprintf(stderr, "[%s] %s (offset %zu)\n",
+                     issue.rule.c_str(), issue.message.c_str(),
+                     issue.offset);
+}
+
+/**
+ * `icp cache info|verify|compact <file.icpc>`: maintenance of the
+ * on-disk analysis cache. info walks headers only; verify decodes
+ * every payload; compact rewrites the file as one deduplicated
+ * segment, optionally under a --max-bytes cap (the manual form of
+ * --cache-max-bytes).
+ */
+int
+cmdCache(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string action = argv[0];
+    const std::string path = argv[1];
+
+    if (action == "info") {
+        const CacheFileInfo info = inspectCacheFile(path);
+        if (!info.fileRead) {
+            std::fprintf(stderr, "cannot read %s\n", path.c_str());
+            return 1;
+        }
+        std::printf(
+            "%s: v%u, %llu bytes, %u segment%s (generation %llu)\n"
+            "  %u function entries, %u liveness entries, "
+            "%llu payload bytes\n",
+            path.c_str(), info.version,
+            static_cast<unsigned long long>(info.fileBytes),
+            info.segments, info.segments == 1 ? "" : "s",
+            static_cast<unsigned long long>(info.generation),
+            info.functionEntries, info.livenessEntries,
+            static_cast<unsigned long long>(info.payloadBytes));
+        printCacheIssues(info.issues);
+        return info.issues.empty() ? 0 : 2;
+    }
+
+    if (action == "verify") {
+        const CacheLoadReport rep = verifyCacheFile(path);
+        if (!rep.fileRead) {
+            std::fprintf(stderr, "cannot read %s\n", path.c_str());
+            return 1;
+        }
+        std::printf("%s: %u entries verified (%u function, "
+                    "%u liveness), %u dropped\n",
+                    path.c_str(), rep.loadedEntries(),
+                    rep.loadedFunctions, rep.loadedLiveness,
+                    rep.droppedEntries);
+        printCacheIssues(rep.issues);
+        return rep.clean() ? 0 : 2;
+    }
+
+    if (action == "compact") {
+        std::uint64_t max_bytes = 0;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--max-bytes" && i + 1 < argc)
+                max_bytes = std::strtoull(argv[++i], nullptr, 10);
+            else if (arg.rfind("--max-bytes=", 0) == 0)
+                max_bytes = std::strtoull(
+                    arg.c_str() + std::strlen("--max-bytes="),
+                    nullptr, 10);
+            else
+                return usage();
+        }
+        CacheCompactionResult result;
+        if (!compactCacheFile(path, max_bytes, result)) {
+            std::fprintf(stderr, "cannot compact %s\n",
+                         path.c_str());
+            return 1;
+        }
+        std::printf("%s: %llu -> %llu bytes; %u entries kept, "
+                    "%u evicted\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(
+                        result.bytesBefore),
+                    static_cast<unsigned long long>(
+                        result.bytesAfter),
+                    result.entriesKept, result.entriesEvicted);
+        return 0;
+    }
+    return usage();
+}
+
 } // namespace
 
 int
@@ -695,5 +810,7 @@ main(int argc, char **argv)
         return cmdRun(argc - 2, argv + 2);
     if (cmd == "inspect")
         return cmdInspect(argc - 2, argv + 2);
+    if (cmd == "cache")
+        return cmdCache(argc - 2, argv + 2);
     return usage();
 }
