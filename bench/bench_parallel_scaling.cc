@@ -29,11 +29,17 @@
 #include <thread>
 #include <vector>
 
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "analysis/cache.hh"
 #include "bench_main.hh"
+#include "binfmt/stream_writer.hh"
 #include "codegen/compiler.hh"
 #include "codegen/workloads.hh"
 #include "rewrite/rewriter.hh"
+#include "rewrite/session.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
 
@@ -203,6 +209,315 @@ measure(const BinaryImage &img, unsigned threads, CacheMode mode)
 }
 
 std::string
+shardCountersJson(const std::vector<ShardCounters> &shards)
+{
+    std::ostringstream out;
+    out << "[";
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const ShardCounters &sc = shards[i];
+        out << (i ? ", " : "") << "{\"lo\": " << sc.lo
+            << ", \"hi\": " << sc.hi
+            << ", \"functions\": " << sc.functions
+            << ", \"instrumented\": " << sc.instrumented
+            << ", \"blocks\": " << sc.blocks
+            << ", \"insns\": " << sc.insns
+            << ", \"worker_attempts\": " << sc.workerAttempts
+            << ", \"degraded\": "
+            << (sc.degraded ? "true" : "false")
+            << ", \"worker_peak_rss_bytes\": "
+            << sc.workerPeakRssBytes << "}";
+    }
+    out << "]";
+    return out.str();
+}
+
+/**
+ * One measured run of the chromium corpus: classic materializing
+ * (shards == 0) or sharded streaming, each in a forked child so
+ * wait4's ru_maxrss gives the run's true peak RSS without the
+ * bench's own footprint.
+ */
+struct ChromiumRun
+{
+    unsigned shards = 0;
+    double wallMs = 0.0;
+    std::uint64_t peakRssBytes = 0;  ///< child ru_maxrss
+    std::uint64_t outputBytes = 0;   ///< rewritten .sbf size
+    std::string stages;              ///< StageTimers JSON
+    std::string shardCounters = "[]";
+};
+
+/**
+ * Child body for one chromium run. Loads the corpus from @p sbf_path
+ * (the parent never materializes it: inherited RSS stays tiny),
+ * rewrites in jt mode, and writes wall/output/stages/counters as
+ * `key=value` lines to @p report_path. Returns the exit status.
+ */
+int
+chromiumChildBody(const std::string &sbf_path,
+                  const std::string &report_path,
+                  const std::string &out_path, unsigned shards)
+{
+    std::ifstream in(sbf_path, std::ios::binary);
+    std::vector<std::uint8_t> raw(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (raw.empty())
+        return 2;
+    const BinaryImage img = BinaryImage::deserialize(raw);
+    raw.clear();
+    raw.shrink_to_fit();
+
+    RewriteOptions opts;
+    opts.mode = RewriteMode::jt;
+    opts.threads = 1;
+    opts.shards = shards;
+    opts.lint = false;
+
+    StageTimers::global().reset();
+    const auto t0 = std::chrono::steady_clock::now();
+    RewriteResult rw;
+    if (shards == 0) {
+        rw = rewriteBinary(img, opts);
+        if (rw.ok) {
+            const auto bytes = rw.image.serialize();
+            std::ofstream out(out_path, std::ios::binary);
+            out.write(reinterpret_cast<const char *>(bytes.data()),
+                      static_cast<std::streamsize>(bytes.size()));
+        }
+    } else {
+        std::FILE *f = std::fopen(out_path.c_str(), "wb");
+        if (!f)
+            return 2;
+        FileSink sink(f);
+        rw = rewriteBinarySharded(img, opts, sink);
+        std::fclose(f);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!rw.ok) {
+        std::fprintf(stderr, "chromium rewrite failed: %s\n",
+                     rw.failReason.c_str());
+        return 2;
+    }
+
+    std::ofstream report(report_path, std::ios::trunc);
+    report << "wall_ms="
+           << std::chrono::duration<double, std::milli>(t1 - t0)
+                  .count()
+           << "\noutput_bytes=" << fileBytes(out_path)
+           << "\nstages=" << StageTimers::global().json()
+           << "\nshard_counters="
+           << shardCountersJson(rw.stats.shards) << "\n";
+    return report ? 0 : 2;
+}
+
+/**
+ * The chromium-corpus memory-ceiling regime: one child per shard
+ * count, shards=0 being the classic materializing baseline the
+ * streaming path's RSS is judged against.
+ */
+void
+chromiumShardedSection(icp::bench::JsonSections &sections)
+{
+    const std::string dir = "/tmp/icp_bench_chromium." +
+                            std::to_string(getpid());
+    const std::string sbf_path = dir + ".sbf";
+    const std::string out_path = dir + ".out.sbf";
+    const std::string report_path = dir + ".report";
+
+    // Compile in a throwaway child so the bench process never holds
+    // the corpus (forked measurement children would inherit it).
+    {
+        const pid_t pid = fork();
+        if (pid == 0) {
+            const BinaryImage img =
+                compileProgram(chromiumProfile());
+            const auto bytes = img.serialize();
+            std::ofstream out(sbf_path, std::ios::binary);
+            out.write(reinterpret_cast<const char *>(bytes.data()),
+                      static_cast<std::streamsize>(bytes.size()));
+            _exit(out ? 0 : 2);
+        }
+        int status = 0;
+        waitpid(pid, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr, "chromium compile failed\n");
+            std::exit(1);
+        }
+    }
+
+    std::vector<ChromiumRun> runs;
+    for (unsigned shards : {0u, 1u, 2u, 4u}) {
+        const pid_t pid = fork();
+        if (pid == 0)
+            _exit(chromiumChildBody(sbf_path, report_path, out_path,
+                                    shards));
+        int status = 0;
+        struct rusage ru = {};
+        wait4(pid, &status, 0, &ru);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr, "chromium run failed (shards=%u)\n",
+                         shards);
+            std::exit(1);
+        }
+        ChromiumRun run;
+        run.shards = shards;
+        run.peakRssBytes =
+            static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+        std::ifstream report(report_path);
+        std::string line;
+        while (std::getline(report, line)) {
+            const auto eq = line.find('=');
+            if (eq == std::string::npos)
+                continue;
+            const std::string key = line.substr(0, eq);
+            const std::string val = line.substr(eq + 1);
+            if (key == "wall_ms")
+                run.wallMs = std::stod(val);
+            else if (key == "output_bytes")
+                run.outputBytes = std::stoull(val);
+            else if (key == "stages")
+                run.stages = val;
+            else if (key == "shard_counters")
+                run.shardCounters = val;
+        }
+        runs.push_back(std::move(run));
+    }
+    std::remove(sbf_path.c_str());
+    std::remove(out_path.c_str());
+    std::remove(report_path.c_str());
+
+    const double base_rss =
+        static_cast<double>(runs.front().peakRssBytes);
+    TextTable table({"Shards", "Wall ms", "Peak RSS MiB",
+                     "RSS vs classic", "Output MiB"});
+    std::ostringstream json;
+    json << "[";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const ChromiumRun &r = runs[i];
+        char rss[32], ratio[32], out_mib[32];
+        std::snprintf(rss, sizeof(rss), "%.1f",
+                      static_cast<double>(r.peakRssBytes) /
+                          (1024.0 * 1024.0));
+        std::snprintf(ratio, sizeof(ratio), "%.2fx",
+                      static_cast<double>(r.peakRssBytes) /
+                          base_rss);
+        std::snprintf(out_mib, sizeof(out_mib), "%.1f",
+                      static_cast<double>(r.outputBytes) /
+                          (1024.0 * 1024.0));
+        table.addRow({r.shards ? std::to_string(r.shards)
+                               : "0 (classic)",
+                      std::to_string(r.wallMs), rss,
+                      r.shards ? ratio : "-", out_mib});
+        json << (i ? ",\n" : "\n")
+             << "    {\"shards\": " << r.shards
+             << ", \"wall_ms\": " << r.wallMs
+             << ", \"peak_rss_bytes\": " << r.peakRssBytes
+             << ", \"output_bytes\": " << r.outputBytes
+             << ", \"shard_counters\": " << r.shardCounters
+             << ", \"stages\": " << r.stages << "}";
+    }
+    json << "\n  ]";
+    std::printf("chromium corpus, jt mode (forked runs, RSS via "
+                "wait4)\n%s\n",
+                table.render().c_str());
+    sections.add("chromium_sharded", json.str());
+}
+
+/**
+ * The warm-session regime: a full rewrite, then a one-instruction
+ * edit re-rewritten through RewriteSession::loadInput. The one-shot
+ * warm-memory relocation cost is irreducible (every function's
+ * bytes must re-emit); session reuse is the path that shrinks it —
+ * only the dirty function re-emits, the rest splice.
+ */
+void
+warmSessionSection(icp::bench::JsonSections &sections)
+{
+    AnalysisCache::global().clear();
+    BinaryImage img = compileProgram(libxulProfile());
+    BinaryImage edited = img;
+    if (!mutateOneImmediate(edited)) {
+        std::fprintf(stderr, "no in-place-mutable immediate found\n");
+        std::exit(1);
+    }
+
+    RewriteOptions opts;
+    opts.mode = RewriteMode::funcPtr;
+    opts.instrumentation.countFunctionEntries = true;
+    opts.threads = 1;
+    // lint stays on: the recorded manifest is what the selective
+    // re-rewrite splices previous bytes from.
+
+    RewriteSession session(std::move(img));
+
+    StageTimers::global().reset();
+    auto t0 = std::chrono::steady_clock::now();
+    const RewriteResult &full = session.rewrite(opts);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!full.ok) {
+        std::fprintf(stderr, "session rewrite failed: %s\n",
+                     full.failReason.c_str());
+        std::exit(1);
+    }
+    const double full_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double full_reloc_ms =
+        static_cast<double>(
+            StageTimers::global().nanos(Stage::relocate)) /
+        1e6;
+    const std::string full_stages = StageTimers::global().json();
+    const unsigned full_emitted = full.stats.relocEmittedFunctions;
+
+    StageTimers::global().reset();
+    t0 = std::chrono::steady_clock::now();
+    const RewriteSession::LoadOutcome outcome =
+        session.loadInput(std::move(edited));
+    t1 = std::chrono::steady_clock::now();
+    const double delta_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double delta_reloc_ms =
+        static_cast<double>(
+            StageTimers::global().nanos(Stage::relocate)) /
+        1e6;
+    const std::string delta_stages = StageTimers::global().json();
+    if (!outcome.incremental || !session.lastResult().ok) {
+        std::fprintf(stderr, "session delta was not incremental\n");
+        std::exit(1);
+    }
+    const RewriteResult &delta = session.lastResult();
+
+    TextTable table({"Pass", "Wall ms", "Relocation ms", "Emitted",
+                     "Spliced"});
+    table.addRow({"full", std::to_string(full_ms),
+                  std::to_string(full_reloc_ms),
+                  std::to_string(full_emitted), "0"});
+    table.addRow({"1-insn delta", std::to_string(delta_ms),
+                  std::to_string(delta_reloc_ms),
+                  std::to_string(delta.stats.relocEmittedFunctions),
+                  std::to_string(delta.stats.relocReusedFunctions)});
+    std::printf("libxul warm session (RewriteSession::loadInput, "
+                "one AddImm edit)\n%s\n",
+                table.render().c_str());
+
+    std::ostringstream json;
+    json << "{\n    \"full\": {\"wall_ms\": " << full_ms
+         << ", \"relocation_ms\": " << full_reloc_ms
+         << ", \"emitted_functions\": " << full_emitted
+         << ", \"stages\": " << full_stages << "},\n"
+         << "    \"delta\": {\"wall_ms\": " << delta_ms
+         << ", \"relocation_ms\": " << delta_reloc_ms
+         << ", \"dirty_functions\": "
+         << outcome.dirtyFunctions.size()
+         << ", \"emitted_functions\": "
+         << delta.stats.relocEmittedFunctions
+         << ", \"spliced_functions\": "
+         << delta.stats.relocReusedFunctions
+         << ", \"stages\": " << delta_stages << "}\n  }";
+    sections.add("warm_session", json.str());
+}
+
+std::string
 runsJson(const std::vector<Run> &runs)
 {
     std::ostringstream out;
@@ -237,6 +552,17 @@ main(int argc, char **argv)
                 "%u)\n\n",
                 std::thread::hardware_concurrency());
 
+    icp::bench::JsonSections sections;
+    {
+        std::ostringstream hw;
+        hw << std::thread::hardware_concurrency();
+        sections.add("hardware_concurrency", hw.str());
+    }
+
+    // Before any corpus is compiled in-process: the forked
+    // measurement children must inherit a near-empty address space.
+    chromiumShardedSection(sections);
+
     struct Workload
     {
         const char *name;
@@ -247,13 +573,6 @@ main(int argc, char **argv)
     workloads.push_back(
         {"spec_gcc_aarch64",
          compileProgram(specCpuSuite(Arch::aarch64, true)[1])});
-
-    icp::bench::JsonSections sections;
-    {
-        std::ostringstream hw;
-        hw << std::thread::hardware_concurrency();
-        sections.add("hardware_concurrency", hw.str());
-    }
 
     for (Workload &w : workloads) {
         TextTable table({"Threads", "Cache", "Wall ms", "Speedup",
@@ -291,6 +610,8 @@ main(int argc, char **argv)
         sections.add(w.name, runsJson(runs));
     }
     std::remove(cache_file.c_str());
+
+    warmSessionSection(sections);
 
     if (!icp::bench::writeJsonIfRequested(argc, argv,
                                           sections.str()))

@@ -394,7 +394,13 @@ buildCfg(const BinaryImage &image, const AnalysisOptions &opts)
     // Functions are analyzed independently; build (or fetch) each
     // one in parallel into an index-addressed slot, then insert in
     // address order so the module is identical for any thread count.
-    const std::vector<const Symbol *> syms = image.functionSymbols();
+    std::vector<const Symbol *> syms = image.functionSymbols();
+    if (opts.rangeLo != 0 || opts.rangeHi != ~static_cast<Addr>(0)) {
+        std::erase_if(syms, [&](const Symbol *sym) {
+            return sym->addr < opts.rangeLo ||
+                   sym->addr >= opts.rangeHi;
+        });
+    }
     std::vector<Function> built(syms.size());
     ThreadPool::shared().parallelFor(
         syms.size(), effectiveThreads(opts.threads),

@@ -43,6 +43,17 @@ struct AnalysisOptions
      * the cache key; hits are bit-identical to fresh results.
      */
     bool useCache = true;
+
+    /**
+     * Restrict construction to function symbols whose entry lies in
+     * [rangeLo, rangeHi). Per-function analysis never looks at other
+     * functions, so a range-restricted build returns bit-identical
+     * Function objects (same cache keys — the range is deliberately
+     * not folded into the cache seed). Used by the sharded rewriter
+     * to bound one slice's memory.
+     */
+    Addr rangeLo = 0;
+    Addr rangeHi = ~static_cast<Addr>(0);
 };
 
 /** Build the module CFG for every function symbol in @p image. */

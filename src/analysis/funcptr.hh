@@ -16,6 +16,8 @@
 #ifndef ICP_ANALYSIS_FUNCPTR_HH
 #define ICP_ANALYSIS_FUNCPTR_HH
 
+#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/cfg.hh"
@@ -66,6 +68,38 @@ struct FuncPtrAnalysisResult
      * strong test, as in the paper's Docker experiment.
      */
     unsigned unclassifiedRelocs = 0;
+};
+
+/**
+ * Incremental form of the analysis for drivers that never hold the
+ * whole-module CFG (the sharded rewriter): construction runs the
+ * module-level passes — relocation-backed cells and, for non-PIE
+ * images, the raw data-word scan — against the image's function
+ * symbol table; scanFunction() then contributes one function's code
+ * scan at a time. Feeding every function in ascending entry order
+ * yields a result identical to analyzeFuncPtrs() (which is now a
+ * thin wrapper over this class).
+ */
+class FuncPtrScanner
+{
+  public:
+    explicit FuncPtrScanner(const BinaryImage &image);
+
+    /** Code scan (pass 3) for one function; call in address order. */
+    void scanFunction(const Function &func);
+
+    /** Move the accumulated result out; the scanner is done after. */
+    FuncPtrAnalysisResult take() { return std::move(result_); }
+
+  private:
+    bool isEntry(Addr a) const { return ranges_.count(a) > 0; }
+    std::optional<Addr> containing(Addr a) const;
+
+    const BinaryImage &image_;
+    bool fixed_;
+    std::map<Addr, Addr> ranges_; ///< function entry -> end
+    std::unordered_map<Addr, std::size_t> cellDefIdx_;
+    FuncPtrAnalysisResult result_;
 };
 
 /** Run the analysis over @p cfg. */

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "binfmt/stream_writer.hh"
 #include "isa/bytes.hh"
 #include "support/logging.hh"
 
@@ -208,13 +209,6 @@ namespace
 
 constexpr std::uint32_t sbf_magic = 0x31464253; // "SBF1"
 
-void
-putString(std::vector<std::uint8_t> &out, const std::string &s)
-{
-    putU32(out, static_cast<std::uint32_t>(s.size()));
-    out.insert(out.end(), s.begin(), s.end());
-}
-
 /**
  * Bounds-checked sequential reader over the raw blob. The first
  * out-of-range read records an sbf-truncated issue and latches the
@@ -314,52 +308,8 @@ std::vector<std::uint8_t>
 BinaryImage::serialize() const
 {
     std::vector<std::uint8_t> out;
-    putU32(out, sbf_magic);
-    putU8(out, static_cast<std::uint8_t>(arch));
-    putU8(out, pie ? 1 : 0);
-    putU64(out, prefBase);
-    putU64(out, entry);
-    putU64(out, tocBase);
-    putString(out, soname);
-    putU8(out, features.cppExceptions);
-    putU8(out, features.isGo);
-    putU8(out, features.rustMetadata);
-    putU8(out, features.symbolVersioning);
-    putU8(out, features.fortranComponent);
-
-    putU32(out, static_cast<std::uint32_t>(sections.size()));
-    for (const auto &s : sections) {
-        putString(out, s.name);
-        putU8(out, static_cast<std::uint8_t>(s.kind));
-        putU64(out, s.addr);
-        putU64(out, s.memSize);
-        putU8(out, static_cast<std::uint8_t>(
-            (s.loadable ? 1 : 0) | (s.executable ? 2 : 0) |
-            (s.writable ? 4 : 0)));
-        putU32(out, static_cast<std::uint32_t>(s.bytes.size()));
-        out.insert(out.end(), s.bytes.begin(), s.bytes.end());
-    }
-
-    putU32(out, static_cast<std::uint32_t>(symbols.size()));
-    for (const auto &sym : symbols) {
-        putString(out, sym.name);
-        putU8(out, static_cast<std::uint8_t>(sym.kind));
-        putU64(out, sym.addr);
-        putU64(out, sym.size);
-    }
-
-    putU32(out, static_cast<std::uint32_t>(relocs.size()));
-    for (const auto &rel : relocs) {
-        putU64(out, rel.site);
-        putU64(out, static_cast<std::uint64_t>(rel.addend));
-    }
-
-    putU32(out, static_cast<std::uint32_t>(linkRelocs.size()));
-    for (const auto &rel : linkRelocs) {
-        putU64(out, rel.site);
-        putString(out, rel.symbol);
-        putU64(out, static_cast<std::uint64_t>(rel.addend));
-    }
+    VectorSink sink(out);
+    streamImage(*this, sink);
     return out;
 }
 

@@ -1,0 +1,267 @@
+#include "binfmt/stream_writer.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace icp
+{
+
+namespace
+{
+
+constexpr std::uint32_t sbf_magic = 0x31464253; // "SBF1"
+
+} // namespace
+
+void
+VectorSink::writeAt(std::uint64_t off, const void *data,
+                    std::size_t len)
+{
+    if (off + len > out_.size())
+        out_.resize(off + len, 0);
+    std::memcpy(out_.data() + off, data, len);
+}
+
+void
+FileSink::writeAt(std::uint64_t off, const void *data, std::size_t len)
+{
+    if (!ok_ || len == 0)
+        return;
+    if (off != pos_) {
+        if (std::fseek(f_, static_cast<long>(off), SEEK_SET) != 0) {
+            ok_ = false;
+            return;
+        }
+        pos_ = off;
+    }
+    if (std::fwrite(data, 1, len, f_) != len) {
+        ok_ = false;
+        return;
+    }
+    pos_ = off + len;
+    size_ = std::max(size_, pos_);
+}
+
+SbfStreamWriter::SbfStreamWriter(SbfSink &sink,
+                                 std::size_t reorderWindowBytes)
+    : sink_(sink), window_(reorderWindowBytes)
+{
+}
+
+void
+SbfStreamWriter::put(const void *data, std::size_t len)
+{
+    sink_.append(data, len);
+    StreamCounters::global().bytesStreamed.fetch_add(
+        len, std::memory_order_relaxed);
+}
+
+void
+SbfStreamWriter::putU8(std::uint8_t v)
+{
+    put(&v, 1);
+}
+
+void
+SbfStreamWriter::putU32(std::uint32_t v)
+{
+    std::uint8_t b[4];
+    for (int i = 0; i < 4; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    put(b, sizeof(b));
+}
+
+void
+SbfStreamWriter::putU64(std::uint64_t v)
+{
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    put(b, sizeof(b));
+}
+
+void
+SbfStreamWriter::putString(const std::string &s)
+{
+    putU32(static_cast<std::uint32_t>(s.size()));
+    put(s.data(), s.size());
+}
+
+void
+SbfStreamWriter::beginImage(const BinaryImage &img)
+{
+    putU32(sbf_magic);
+    putU8(static_cast<std::uint8_t>(img.arch));
+    putU8(img.pie ? 1 : 0);
+    putU64(img.prefBase);
+    putU64(img.entry);
+    putU64(img.tocBase);
+    putString(img.soname);
+    putU8(img.features.cppExceptions);
+    putU8(img.features.isGo);
+    putU8(img.features.rustMetadata);
+    putU8(img.features.symbolVersioning);
+    putU8(img.features.fortranComponent);
+    putU32(static_cast<std::uint32_t>(img.sections.size()));
+}
+
+void
+SbfStreamWriter::sectionHeader(const Section &s,
+                               std::uint64_t payloadLen)
+{
+    putString(s.name);
+    putU8(static_cast<std::uint8_t>(s.kind));
+    putU64(s.addr);
+    putU64(s.memSize);
+    putU8(static_cast<std::uint8_t>((s.loadable ? 1 : 0) |
+                                    (s.executable ? 2 : 0) |
+                                    (s.writable ? 4 : 0)));
+    putU32(static_cast<std::uint32_t>(payloadLen));
+}
+
+void
+SbfStreamWriter::writeSection(const Section &s)
+{
+    icp_assert(!streaming_, "writeSection inside streamed section");
+    sectionHeader(s, s.bytes.size());
+    put(s.bytes.data(), s.bytes.size());
+}
+
+void
+SbfStreamWriter::beginStreamedSection(const Section &s,
+                                      std::uint64_t payloadLen)
+{
+    icp_assert(!streaming_, "nested streamed section");
+    icp_assert(payloadLen <= s.memSize,
+               "streamed payload larger than section memSize");
+    sectionHeader(s, payloadLen);
+    streaming_ = true;
+    payloadBase_ = sink_.size();
+    payloadLen_ = payloadLen;
+    cursor_ = 0;
+    pending_.clear();
+    pendingBytes_ = 0;
+}
+
+void
+SbfStreamWriter::addChunk(std::uint64_t off, const std::uint8_t *data,
+                          std::size_t len)
+{
+    icp_assert(streaming_, "addChunk outside streamed section");
+    icp_assert(off + len <= payloadLen_,
+               "chunk past streamed payload length");
+    StreamCounters::global().bytesStreamed.fetch_add(
+        len, std::memory_order_relaxed);
+    if (len == 0)
+        return;
+
+    if (off == cursor_) {
+        sink_.writeAt(payloadBase_ + off, data, len);
+        cursor_ = off + len;
+        // Drain any buffered chunks that are now contiguous.
+        auto it = pending_.begin();
+        while (it != pending_.end() && it->first == cursor_) {
+            sink_.writeAt(payloadBase_ + it->first, it->second.data(),
+                          it->second.size());
+            cursor_ = it->first + it->second.size();
+            pendingBytes_ -= it->second.size();
+            it = pending_.erase(it);
+        }
+        return;
+    }
+
+    if (off < cursor_) {
+        // Fills a hole left behind by an earlier window overflow.
+        sink_.writeAt(payloadBase_ + off, data, len);
+        return;
+    }
+
+    if (pendingBytes_ + len > window_) {
+        // Reorder window exhausted: place everything buffered (and
+        // this chunk) at its final offset now. Gaps become zero
+        // holes that later chunks overwrite in place.
+        StreamCounters::global().windowOverflows.fetch_add(
+            1, std::memory_order_relaxed);
+        std::uint64_t high = cursor_;
+        for (const auto &[o, bytes] : pending_) {
+            sink_.writeAt(payloadBase_ + o, bytes.data(),
+                          bytes.size());
+            high = std::max(high, o + bytes.size());
+        }
+        pending_.clear();
+        pendingBytes_ = 0;
+        sink_.writeAt(payloadBase_ + off, data, len);
+        cursor_ = std::max(high, off + len);
+        return;
+    }
+
+    auto [it, inserted] =
+        pending_.emplace(off, std::vector<std::uint8_t>(data, data + len));
+    icp_assert(inserted, "duplicate streamed chunk offset");
+    (void)it;
+    pendingBytes_ += len;
+}
+
+void
+SbfStreamWriter::endStreamedSection()
+{
+    icp_assert(streaming_, "endStreamedSection with no open section");
+    for (const auto &[o, bytes] : pending_) {
+        sink_.writeAt(payloadBase_ + o, bytes.data(), bytes.size());
+        cursor_ = std::max(cursor_, o + bytes.size());
+    }
+    pending_.clear();
+    pendingBytes_ = 0;
+    // Zero-fill any uncovered tail so the container length holds.
+    if (sink_.size() < payloadBase_ + payloadLen_) {
+        static const std::uint8_t zeros[4096] = {};
+        std::uint64_t at = sink_.size();
+        const std::uint64_t end = payloadBase_ + payloadLen_;
+        while (at < end) {
+            const std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(sizeof(zeros), end - at));
+            sink_.writeAt(at, zeros, n);
+            at += n;
+        }
+    }
+    streaming_ = false;
+}
+
+void
+SbfStreamWriter::finishImage(const BinaryImage &img)
+{
+    icp_assert(!streaming_, "finishImage inside streamed section");
+    putU32(static_cast<std::uint32_t>(img.symbols.size()));
+    for (const auto &sym : img.symbols) {
+        putString(sym.name);
+        putU8(static_cast<std::uint8_t>(sym.kind));
+        putU64(sym.addr);
+        putU64(sym.size);
+    }
+    putU32(static_cast<std::uint32_t>(img.relocs.size()));
+    for (const auto &rel : img.relocs) {
+        putU64(rel.site);
+        putU64(static_cast<std::uint64_t>(rel.addend));
+    }
+    putU32(static_cast<std::uint32_t>(img.linkRelocs.size()));
+    for (const auto &rel : img.linkRelocs) {
+        putU64(rel.site);
+        putString(rel.symbol);
+        putU64(static_cast<std::uint64_t>(rel.addend));
+    }
+}
+
+void
+streamImage(const BinaryImage &img, SbfSink &sink)
+{
+    SbfStreamWriter w(sink);
+    w.beginImage(img);
+    for (const Section &s : img.sections)
+        w.writeSection(s);
+    w.finishImage(img);
+}
+
+} // namespace icp

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Streaming SBF serializer: writes a BinaryImage to a byte sink
+ * section by section, so a producer can emit one section's payload
+ * in bounded-size chunks (in roughly ascending offset order) instead
+ * of materializing the whole image in memory first.
+ *
+ * Invariants:
+ *  - The byte stream produced is identical to the historical
+ *    BinaryImage::serialize() layout; serialize() itself is now a
+ *    VectorSink client of this writer.
+ *  - Chunks pushed through addChunk() may arrive out of order. Out
+ *    of order chunks are buffered up to the reorder window; a chunk
+ *    that would overflow the window falls back to a positioned
+ *    write (and bumps StreamCounters::windowOverflows), which
+ *    requires a seekable sink but never loses bytes.
+ *  - A streamed section's payload must cover [0, payloadLen)
+ *    exactly once; uncovered tail bytes are zero-filled at
+ *    endStreamedSection() (matching zero-fill section semantics).
+ */
+
+#ifndef ICP_BINFMT_STREAM_WRITER_HH
+#define ICP_BINFMT_STREAM_WRITER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "binfmt/image.hh"
+
+namespace icp
+{
+
+/**
+ * Positioned byte sink. size() is the max extent written so far;
+ * writing at size() appends, writing below it overwrites in place,
+ * and writing past it zero-fills the gap.
+ */
+class SbfSink
+{
+  public:
+    virtual ~SbfSink() = default;
+    virtual void writeAt(std::uint64_t off, const void *data,
+                         std::size_t len) = 0;
+    virtual std::uint64_t size() const = 0;
+
+    void
+    append(const void *data, std::size_t len)
+    {
+        writeAt(size(), data, len);
+    }
+};
+
+/** Sink into a caller-owned byte vector. */
+class VectorSink final : public SbfSink
+{
+  public:
+    explicit VectorSink(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    void writeAt(std::uint64_t off, const void *data,
+                 std::size_t len) override;
+    std::uint64_t size() const override { return out_.size(); }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+};
+
+/**
+ * Sink into an open stdio stream (caller keeps ownership). The
+ * stream must be seekable for out-of-order writes; purely in-order
+ * producers never seek.
+ */
+class FileSink final : public SbfSink
+{
+  public:
+    explicit FileSink(std::FILE *f) : f_(f) {}
+
+    void writeAt(std::uint64_t off, const void *data,
+                 std::size_t len) override;
+    std::uint64_t size() const override { return size_; }
+
+    /** False when any fwrite/fseek failed; check before trusting. */
+    bool ok() const { return ok_; }
+
+  private:
+    std::FILE *f_;
+    std::uint64_t pos_ = 0;  ///< current stream position
+    std::uint64_t size_ = 0; ///< max extent written
+    bool ok_ = true;
+};
+
+/**
+ * SBF stream writer. Usage, in strict order:
+ *
+ *   beginImage(img);
+ *   for each section (in img.sections order):
+ *       writeSection(s)                       // materialized payload
+ *     or
+ *       beginStreamedSection(s, payloadLen);
+ *       addChunk(off, data, len); ...         // cover [0, payloadLen)
+ *       endStreamedSection();
+ *   finishImage(img);                         // symbols + relocs
+ */
+class SbfStreamWriter
+{
+  public:
+    static constexpr std::size_t default_window = 1u << 20;
+
+    explicit SbfStreamWriter(SbfSink &sink,
+                             std::size_t reorderWindowBytes =
+                                 default_window);
+
+    void beginImage(const BinaryImage &img);
+    void writeSection(const Section &s);
+    void beginStreamedSection(const Section &s,
+                              std::uint64_t payloadLen);
+    void addChunk(std::uint64_t off, const std::uint8_t *data,
+                  std::size_t len);
+    void endStreamedSection();
+    void finishImage(const BinaryImage &img);
+
+  private:
+    void put(const void *data, std::size_t len);
+    void putU8(std::uint8_t v);
+    void putU32(std::uint32_t v);
+    void putU64(std::uint64_t v);
+    void putString(const std::string &s);
+    void sectionHeader(const Section &s, std::uint64_t payloadLen);
+
+    SbfSink &sink_;
+    std::size_t window_;
+
+    // Streamed-section state.
+    bool streaming_ = false;
+    std::uint64_t payloadBase_ = 0;
+    std::uint64_t payloadLen_ = 0;
+    std::uint64_t cursor_ = 0; ///< next in-order payload offset
+    std::map<std::uint64_t, std::vector<std::uint8_t>> pending_;
+    std::size_t pendingBytes_ = 0;
+};
+
+/**
+ * Serialize @p img through the streaming writer with every section
+ * payload already materialized. BinaryImage::serialize() is this
+ * with a VectorSink.
+ */
+void streamImage(const BinaryImage &img, SbfSink &sink);
+
+} // namespace icp
+
+#endif // ICP_BINFMT_STREAM_WRITER_HH

@@ -349,6 +349,138 @@ libcudaProfile()
     return spec;
 }
 
+namespace
+{
+
+/**
+ * Component-cluster corpus shared by the chromium profiles. Each
+ * component is an address-contiguous cluster: one entry hub with a
+ * dispatch jump table, a body of workers (a slice of which are
+ * dispatchers with their own tables), and a leaf pool of
+ * address-taken callbacks at the cluster's end. Hubs call local
+ * workers, a couple of leaves in *other* clusters (the cross-cluster
+ * edges the shard planner must keep correct), and sometimes make an
+ * indirect call through the callback pool. Every callee is a leaf or
+ * near-leaf, so the call graph stays acyclic.
+ */
+ProgramSpec
+buildChromiumCorpus(const char *name, unsigned components,
+                    unsigned funcs_per, Arch arch, bool pie,
+                    std::uint64_t seed)
+{
+    icp_assert(components >= 2 && funcs_per >= 16,
+               "corpus too small");
+    Rng rng(seed);
+    ProgramSpec spec;
+    spec.name = name;
+    spec.arch = arch;
+    spec.pie = pie;
+    spec.mainIterations = 12;
+    // Chromium builds with -fno-exceptions; dispatch-heavy C++
+    // without unwind tables.
+    spec.features.cppExceptions = false;
+
+    const unsigned n = components * funcs_per;
+    const unsigned pool = 8; // address-taken leaves per component
+    spec.funcs.resize(n + 1);
+    auto fidx = [&](unsigned comp, unsigned local) {
+        return 1 + comp * funcs_per + local;
+    };
+
+    for (unsigned c = 0; c < components; ++c) {
+        // Workers (locals [1, funcs_per)); the tail `pool` of them
+        // are the component's address-taken callback leaves.
+        for (unsigned l = 1; l < funcs_per; ++l) {
+            FuncSpec &fs = spec.funcs[fidx(c, l)];
+            fs.name = "comp" + std::to_string(c) + "_f" +
+                      std::to_string(l);
+            fs.computeOps = 2 +
+                static_cast<unsigned>(rng.range(0, 8));
+            fs.loopIters = rng.chance(0.2)
+                ? static_cast<unsigned>(rng.range(2, 10))
+                : 0;
+            fs.alignment = rng.chance(0.5) ? 16 : 32;
+            fs.padding = static_cast<unsigned>(rng.range(0, 12)) &
+                         ~3u;
+            if (l + pool >= funcs_per) {
+                fs.addressTaken = true; // callback leaf pool
+                continue;
+            }
+            if (rng.chance(0.18)) {
+                // Dispatcher: a cloned-jump-table candidate.
+                SwitchSpec sw;
+                sw.cases = static_cast<unsigned>(
+                    1u << rng.range(2, 5)); // 4..32
+                sw.entrySize = arch == Arch::aarch64
+                    ? (rng.chance(0.5) ? 1 : 2)
+                    : 4;
+                if (sw.cases > 16 && sw.entrySize == 1)
+                    sw.entrySize = 2;
+                sw.hard = rng.chance(0.01);
+                fs.switches.push_back(sw);
+            } else if (rng.chance(0.06)) {
+                // Thin forwarder tail-calling into the leaf pool.
+                fs.tailCallTo = static_cast<int>(fidx(
+                    c, funcs_per - 1 -
+                           static_cast<unsigned>(
+                               rng.range(0, pool - 1))));
+            }
+        }
+
+        // The component entry hub.
+        FuncSpec &hub = spec.funcs[fidx(c, 0)];
+        hub.name = "comp" + std::to_string(c) + "_entry";
+        hub.computeOps = 6;
+        hub.loopIters = 2;
+        SwitchSpec dispatch;
+        dispatch.cases = 16;
+        dispatch.entrySize = arch == Arch::aarch64 ? 2 : 4;
+        hub.switches.push_back(dispatch);
+        for (unsigned k = 0; k < 3; ++k) {
+            hub.callees.push_back(fidx(
+                c, 1 + static_cast<unsigned>(
+                           rng.range(0, funcs_per - 2))));
+        }
+        // Cross-cluster edges into other components' leaf pools.
+        for (unsigned k = 0; k < 2; ++k) {
+            unsigned oc = static_cast<unsigned>(
+                rng.range(0, components - 1));
+            if (oc == c)
+                oc = (oc + 1) % components;
+            hub.callees.push_back(fidx(
+                oc, funcs_per - 1 -
+                        static_cast<unsigned>(
+                            rng.range(0, pool - 1))));
+        }
+        if (rng.chance(0.5))
+            hub.indirectCalls = 1;
+    }
+
+    FuncSpec &fmain = spec.funcs[0];
+    fmain.name = "main";
+    fmain.computeOps = 4;
+    for (unsigned c = 0; c < components; ++c)
+        fmain.callees.push_back(fidx(c, 0));
+    fmain.indirectCalls = 1;
+    return spec;
+}
+
+} // namespace
+
+ProgramSpec
+chromiumProfile()
+{
+    return buildChromiumCorpus("chromium", 48, 2500, Arch::x64,
+                               true, 0xc4201e);
+}
+
+ProgramSpec
+chromiumSmallProfile(Arch arch, bool pie)
+{
+    return buildChromiumCorpus("chromium-small", 24, 50, arch, pie,
+                               0xc4511);
+}
+
 ProgramSpec
 microProfile(Arch arch, bool pie)
 {

@@ -44,6 +44,20 @@ ProgramSpec libcudaProfile();
 /** A small fully featured program for tests and the quickstart. */
 ProgramSpec microProfile(Arch arch, bool pie);
 
+/**
+ * Chrome analog: a browser-scale corpus of component-shaped function
+ * clusters (renderer, net, gpu, ... as address-contiguous groups)
+ * with per-component dispatch jump tables, cross-component calls
+ * into other clusters' leaf pools, and address-taken callback sets.
+ * Built with -fno-exceptions like the real thing. ~120k functions;
+ * use with --shards to keep rewriting inside a bounded-memory
+ * ceiling.
+ */
+ProgramSpec chromiumProfile();
+
+/** Scaled-down chromium corpus (~1200 funcs) for tests and CI. */
+ProgramSpec chromiumSmallProfile(Arch arch, bool pie);
+
 } // namespace icp
 
 #endif // ICP_CODEGEN_WORKLOADS_HH

@@ -60,13 +60,16 @@ class Engine
            const EngineConfig &config)
         : cfg_(cfg), image_(*cfg.image),
           arch_(cfg.image->archInfo()), instrumented_(instrumented),
-          cfg_opts_(config)
+          cfg_opts_(config), cloneCursor_(config.newRodataBase)
     {
     }
 
     EngineResult run();
 
-  private:
+    // The members below are logically private; they stay accessible
+    // because IncrementalEngine's state (defined later in this file)
+    // drives the per-function machinery directly.
+
     /**
      * One function's relocated code under construction. Each stream
      * has its own assembler, so streams build concurrently; every
@@ -116,10 +119,12 @@ class Engine
     };
 
     void planClones();
+    void planFunctionClones(const Function &func);
     bool tryReuseRun(const std::vector<const Function *> &funcs);
     std::vector<const Block *>
     blockEmitOrder(const Function &func) const;
     void assignCounters(const std::vector<const Function *> &funcs);
+    void assignCountersFor(const Function &func);
     FuncStream emitFunctionStream(const Function &func, Addr base);
     bool decisionsHold(const FuncStream &fs, Addr base) const;
     void emitFunction(FuncStream &fs, const Function &func);
@@ -150,7 +155,8 @@ class Engine
     bool
     isRelocatedBlock(Addr a) const
     {
-        return relocatedBlocks_.count(a) > 0;
+        return std::binary_search(relocatedBlocks_.begin(),
+                                  relocatedBlocks_.end(), a);
     }
 
     const CfgModule &cfg_;
@@ -160,49 +166,60 @@ class Engine
     EngineConfig cfg_opts_;
 
     EngineResult result_;
-    std::set<Addr> relocatedBlocks_;
+    /** Sorted block starts of every relocated function. A flat
+     *  vector, not a set: at browser scale it is millions of
+     *  entries, queried far more than it is built. */
+    std::vector<Addr> relocatedBlocks_;
+    Addr cloneCursor_ = 0;              ///< next .newrodata slot
+    std::uint32_t counterNext_ = 0;     ///< next instrumentation id
     std::map<Addr, Subst> substs_;      ///< per base-def instruction
-    std::map<Addr, const JumpTable *> widenLoads_;
+    std::set<Addr> widenLoads_;         ///< widened jt entry loads
 };
+
+void
+Engine::planFunctionClones(const Function &func)
+{
+    if (cfg_opts_.mode == RewriteMode::dir)
+        return;
+    for (const auto &jt : func.jumpTables) {
+        TableClone clone;
+        clone.table = jt;
+        clone.funcEntry = func.entry;
+        // Anchor-relative sub-word entries must widen to 4 bytes
+        // because relocated distances can exceed (and precede)
+        // the original ones (§5.1).
+        clone.widened = jt.entrySize < 4;
+        clone.entrySize = clone.widened ? 4 : jt.entrySize;
+        cloneCursor_ = (cloneCursor_ + 7) & ~Addr{7};
+        clone.cloneAddr = cloneCursor_;
+        cloneCursor_ +=
+            std::uint64_t{jt.entryCount} * clone.entrySize;
+
+        // Substitutions for the base-forming instructions.
+        const auto &defs = jt.baseDefAddrs;
+        if (defs.size() == 1) {
+            substs_[defs[0]] = {Subst::Role::whole,
+                                clone.cloneAddr};
+        } else if (defs.size() >= 2) {
+            substs_[defs[0]] = {Subst::Role::hi, clone.cloneAddr};
+            substs_[defs[1]] = {Subst::Role::lo, clone.cloneAddr};
+        }
+        if (clone.widened)
+            widenLoads_.insert(jt.loadAddr);
+
+        result_.clones.push_back(std::move(clone));
+    }
+}
 
 void
 Engine::planClones()
 {
     if (cfg_opts_.mode == RewriteMode::dir)
         return;
-    Addr cursor = cfg_opts_.newRodataBase;
     for (const auto &[entry, func] : cfg_.functions) {
         if (!instrumented_.count(entry))
             continue;
-        for (const auto &jt : func.jumpTables) {
-            TableClone clone;
-            clone.source = &jt;
-            // Anchor-relative sub-word entries must widen to 4 bytes
-            // because relocated distances can exceed (and precede)
-            // the original ones (§5.1).
-            clone.widened = jt.entrySize < 4;
-            clone.entrySize = clone.widened ? 4 : jt.entrySize;
-            cursor = (cursor + 7) & ~Addr{7};
-            clone.cloneAddr = cursor;
-            cursor += std::uint64_t{jt.entryCount} * clone.entrySize;
-            result_.clones.push_back(clone);
-
-            // Substitutions for the base-forming instructions.
-            if (jt.base && *jt.base != jt.tableAddr) {
-                // Anchor-relative: the anchor is code and relocates
-                // with the function; only the table address changes.
-            }
-            const auto &defs = jt.baseDefAddrs;
-            if (defs.size() == 1) {
-                substs_[defs[0]] = {Subst::Role::whole,
-                                    clone.cloneAddr};
-            } else if (defs.size() >= 2) {
-                substs_[defs[0]] = {Subst::Role::hi, clone.cloneAddr};
-                substs_[defs[1]] = {Subst::Role::lo, clone.cloneAddr};
-            }
-            if (clone.widened)
-                widenLoads_[jt.loadAddr] = &jt;
-        }
+        planFunctionClones(func);
     }
 }
 
@@ -259,8 +276,7 @@ Engine::emitTranslated(FuncStream &fs, const Function &func,
     }
 
     // Widened jump-table entry loads (a64 1/2-byte -> 4-byte read).
-    auto widen = widenLoads_.find(in.addr);
-    if (widen != widenLoads_.end() &&
+    if (widenLoads_.count(in.addr) &&
         cfg_opts_.mode != RewriteMode::dir) {
         Instruction patched = in;
         patched.memSize = 4;
@@ -615,63 +631,97 @@ Engine::appendAlignment(std::vector<std::uint8_t> &out, Addr &addr,
     icp_assert(addr == target, "alignment overshot");
 }
 
+/**
+ * Fill one clone's entries into the .newrodata payload.
+ * @p lookupBlock maps an original block start to its relocated
+ * address (nullopt when not relocated) — shared between the
+ * monolithic engine (map lookup) and the incremental driver (flat
+ * sorted vector).
+ */
+template <typename LookupBlock>
+void
+fillCloneEntries(const TableClone &clone, Addr new_rodata_base,
+                 const LookupBlock &lookupBlock,
+                 std::vector<std::uint8_t> &out)
+{
+    const JumpTable &jt = clone.table;
+    for (unsigned i = 0; i < jt.entryCount; ++i) {
+        std::uint64_t value = 0;
+        const Addr orig_target =
+            i < jt.targets.size() ? jt.targets[i] : 0;
+        if (std::optional<Addr> relocated = lookupBlock(orig_target)) {
+            const Addr tnew = *relocated;
+            if (!jt.base) {
+                value = tnew;
+            } else {
+                Addr base_new;
+                if (*jt.base == jt.tableAddr) {
+                    base_new = clone.cloneAddr;
+                } else {
+                    // Anchor-relative: the anchor moved with the
+                    // code.
+                    std::optional<Addr> anchor =
+                        lookupBlock(*jt.base);
+                    icp_assert(anchor.has_value(),
+                               "anchor 0x%llx not relocated",
+                               static_cast<unsigned long long>(
+                                   *jt.base));
+                    base_new = *anchor;
+                }
+                const std::int64_t diff =
+                    static_cast<std::int64_t>(tnew) -
+                    static_cast<std::int64_t>(base_new);
+                icp_assert((diff &
+                            ((1LL << jt.shift) - 1)) == 0,
+                           "clone entry not aligned");
+                const std::int64_t entry = diff >> jt.shift;
+                icp_assert(
+                    clone.entrySize == 8 ||
+                        fitsSigned(entry, clone.entrySize * 8),
+                    "clone entry does not fit");
+                value = static_cast<std::uint64_t>(entry);
+            }
+        }
+        // Over-approximated garbage entries keep zero; they are
+        // never dereferenced at runtime (§5.1, Failure 3).
+        const Offset off =
+            clone.cloneAddr - new_rodata_base +
+            std::uint64_t{i} * clone.entrySize;
+        if (out.size() < off + clone.entrySize)
+            out.resize(off + clone.entrySize, 0);
+        for (unsigned b = 0; b < clone.entrySize; ++b) {
+            out[off + b] =
+                static_cast<std::uint8_t>(value >> (8 * b));
+        }
+    }
+}
+
 void
 Engine::fillClones()
 {
+    const auto lookup = [&](Addr a) -> std::optional<Addr> {
+        auto it = result_.blockMap.find(a);
+        if (it == result_.blockMap.end())
+            return std::nullopt;
+        return it->second;
+    };
     for (const auto &clone : result_.clones) {
-        const JumpTable &jt = *clone.source;
-        for (unsigned i = 0; i < jt.entryCount; ++i) {
-            std::uint64_t value = 0;
-            const Addr orig_target =
-                i < jt.targets.size() ? jt.targets[i] : 0;
-            auto relocated = result_.blockMap.find(orig_target);
-            if (relocated != result_.blockMap.end()) {
-                const Addr tnew = relocated->second;
-                if (!jt.base) {
-                    value = tnew;
-                } else {
-                    Addr base_new;
-                    if (*jt.base == jt.tableAddr) {
-                        base_new = clone.cloneAddr;
-                    } else {
-                        // Anchor-relative: the anchor moved with the
-                        // code.
-                        auto anchor =
-                            result_.blockMap.find(*jt.base);
-                        icp_assert(anchor != result_.blockMap.end(),
-                                   "anchor 0x%llx not relocated",
-                                   static_cast<unsigned long long>(
-                                       *jt.base));
-                        base_new = anchor->second;
-                    }
-                    const std::int64_t diff =
-                        static_cast<std::int64_t>(tnew) -
-                        static_cast<std::int64_t>(base_new);
-                    icp_assert((diff &
-                                ((1LL << jt.shift) - 1)) == 0,
-                               "clone entry not aligned");
-                    const std::int64_t entry = diff >> jt.shift;
-                    icp_assert(
-                        clone.entrySize == 8 ||
-                            fitsSigned(entry, clone.entrySize * 8),
-                        "clone entry does not fit");
-                    value = static_cast<std::uint64_t>(entry);
-                }
-            }
-            // Over-approximated garbage entries keep zero; they are
-            // never dereferenced at runtime (§5.1, Failure 3).
-            const Offset off =
-                clone.cloneAddr - cfg_opts_.newRodataBase +
-                std::uint64_t{i} * clone.entrySize;
-            if (result_.newRodataBytes.size() <
-                off + clone.entrySize) {
-                result_.newRodataBytes.resize(off + clone.entrySize,
-                                              0);
-            }
-            for (unsigned b = 0; b < clone.entrySize; ++b) {
-                result_.newRodataBytes[off + b] =
-                    static_cast<std::uint8_t>(value >> (8 * b));
-            }
+        fillCloneEntries(clone, cfg_opts_.newRodataBase, lookup,
+                         result_.newRodataBytes);
+    }
+}
+
+void
+Engine::assignCountersFor(const Function &func)
+{
+    for (const Block *block : blockEmitOrder(func)) {
+        if (block->start == func.entry &&
+            cfg_opts_.instrumentation.countFunctionEntries) {
+            result_.entryCounters[func.entry] = counterNext_++;
+        }
+        if (cfg_opts_.instrumentation.instrumentsBlock(
+                block->start)) {
+            result_.blockCounters[block->start] = counterNext_++;
         }
     }
 }
@@ -679,19 +729,8 @@ Engine::fillClones()
 void
 Engine::assignCounters(const std::vector<const Function *> &funcs)
 {
-    std::uint32_t next = 0;
-    for (const Function *func : funcs) {
-        for (const Block *block : blockEmitOrder(*func)) {
-            if (block->start == func->entry &&
-                cfg_opts_.instrumentation.countFunctionEntries) {
-                result_.entryCounters[func->entry] = next++;
-            }
-            if (cfg_opts_.instrumentation.instrumentsBlock(
-                    block->start)) {
-                result_.blockCounters[block->start] = next++;
-            }
-        }
-    }
+    for (const Function *func : funcs)
+        assignCountersFor(*func);
 }
 
 /**
@@ -715,6 +754,21 @@ Engine::tryReuseRun(const std::vector<const Function *> &funcs)
     for (std::size_t i = 0; i < funcs.size(); ++i) {
         if (spans[i].entry != funcs[i]->entry)
             return false;
+    }
+
+    // Nothing dirty: the previous pass's artifacts stand wholesale.
+    // Skipping the per-entry copy below keeps the no-op warm path
+    // O(result size) with no map churn.
+    if (ru.dirty->empty()) {
+        result_.blockMap = prev.blockMap;
+        result_.insnMap = prev.insnMap;
+        result_.raPairs = prev.raPairs;
+        result_.instrBytes = *ru.instrBytes;
+        result_.funcSpans = spans;
+        result_.reusedFunctions =
+            static_cast<unsigned>(funcs.size());
+        fillClones();
+        return true;
     }
 
     // Re-emit each dirty function at its exact previous base. A size
@@ -757,8 +811,17 @@ Engine::tryReuseRun(const std::vector<const Function *> &funcs)
     }
 
     // RA pairs in emission order: the previous pass appended them
-    // stream by stream, so a reused function's pairs are exactly the
-    // previous pairs whose relocated address falls in its span.
+    // stream by stream, so they are sorted by relocated address and
+    // a reused function's pairs are exactly the previous pairs whose
+    // relocated address falls in its span — found by binary search,
+    // not a full scan per function (the full scan made warm-path
+    // relocation quadratic in the function count).
+    icp_assert(std::is_sorted(prev.raPairs.begin(),
+                              prev.raPairs.end(),
+                              [](const auto &a, const auto &b) {
+                                  return a.first < b.first;
+                              }),
+               "previous RA pairs not in emission order");
     for (std::size_t i = 0; i < funcs.size(); ++i) {
         if (emitted[i]) {
             const FuncStream &fs = streams[i];
@@ -768,10 +831,13 @@ Engine::tryReuseRun(const std::vector<const Function *> &funcs)
         }
         const Addr lo = spans[i].base;
         const Addr hi = spans[i].base + spans[i].size;
-        for (const auto &[ra, orig] : prev.raPairs) {
-            if (ra >= lo && ra < hi)
-                result_.raPairs.emplace_back(ra, orig);
-        }
+        auto it = std::lower_bound(
+            prev.raPairs.begin(), prev.raPairs.end(), lo,
+            [](const std::pair<Addr, Addr> &p, Addr v) {
+                return p.first < v;
+            });
+        for (; it != prev.raPairs.end() && it->first < hi; ++it)
+            result_.raPairs.push_back(*it);
     }
 
     // Splice the dirty functions' finalized bytes into a copy of the
@@ -820,8 +886,9 @@ Engine::run()
             continue;
         funcs.push_back(&func);
         for (const auto &[start, block] : func.blocks)
-            relocatedBlocks_.insert(start);
+            relocatedBlocks_.push_back(start);
     }
+    std::sort(relocatedBlocks_.begin(), relocatedBlocks_.end());
     if (cfg_opts_.functionOrder == OrderPolicy::reversed)
         std::reverse(funcs.begin(), funcs.end());
 
@@ -935,6 +1002,210 @@ relocateFunctions(const CfgModule &cfg,
     StageTimer timer(Stage::relocate);
     Engine engine(cfg, instrumented, config);
     return engine.run();
+}
+
+// --- IncrementalEngine ------------------------------------------------------
+
+struct IncrementalEngine::State
+{
+    /** Carries only the image pointer; the per-function entry points
+     *  never touch Engine::cfg_.functions. */
+    CfgModule cfg;
+    std::set<Addr> instrumented; ///< unused by per-function paths
+    Engine engine;
+    Addr align = 0;
+    Addr cursor = 0;
+
+    // Flat maps, appended per function and kept sorted by original
+    // address (functions arrive in ascending entry order; blocks of
+    // one function sort locally). At browser scale these are
+    // millions of entries — a node-based map would dominate the
+    // coordinator's memory.
+    std::vector<std::pair<Addr, Addr>> blockMap;
+    std::vector<std::pair<Addr, Addr>> insnMap;
+    std::vector<std::pair<Addr, Addr>> raPairs;
+
+    static CfgModule
+    makeCfg(const BinaryImage &image)
+    {
+        CfgModule m;
+        m.image = &image;
+        return m;
+    }
+
+    State(const BinaryImage &image, const EngineConfig &config)
+        : cfg(makeCfg(image)), engine(cfg, instrumented, config)
+    {
+        align = std::max<Addr>(config.functionAlign,
+                               image.archInfo().instrAlign);
+        cursor = config.instrBase;
+    }
+};
+
+IncrementalEngine::IncrementalEngine(const BinaryImage &image,
+                                     const EngineConfig &config)
+    : st_(std::make_unique<State>(image, config))
+{
+    icp_assert(config.functionOrder == OrderPolicy::original,
+               "incremental emission requires original "
+               "function order");
+    icp_assert(!config.reuse.valid(),
+               "incremental emission does not take a reuse pass");
+}
+
+IncrementalEngine::~IncrementalEngine() = default;
+
+void
+IncrementalEngine::planFunction(const Function &func)
+{
+    State &st = *st_;
+    st.engine.planFunctionClones(func);
+    st.engine.assignCountersFor(func);
+    // Ascending entry order keeps the flat vector sorted without a
+    // global sort pass.
+    icp_assert(st.engine.relocatedBlocks_.empty() ||
+                   st.engine.relocatedBlocks_.back() < func.entry,
+               "planFunction out of address order");
+    for (const auto &[start, block] : func.blocks) {
+        (void)block;
+        st.engine.relocatedBlocks_.push_back(start);
+    }
+}
+
+FuncSpan
+IncrementalEngine::layoutFunction(const Function &func)
+{
+    State &st = *st_;
+    const Addr base = alignUpAddr(st.cursor, st.align);
+    Engine::FuncStream fs = st.engine.emitFunctionStream(func, base);
+    st.cursor = base + fs.size;
+
+    // Record final addresses; the bytes are discarded (they cannot
+    // finalize until every function has a layout address).
+    const auto byOrig = [](const std::pair<Addr, Addr> &a,
+                           const std::pair<Addr, Addr> &b) {
+        return a.first < b.first;
+    };
+    const std::size_t b0 = st.blockMap.size();
+    for (const auto &[orig, off] : fs.blockOffsets)
+        st.blockMap.emplace_back(orig, base + off);
+    std::sort(st.blockMap.begin() +
+                  static_cast<std::ptrdiff_t>(b0),
+              st.blockMap.end(), byOrig);
+    const std::size_t i0 = st.insnMap.size();
+    for (const auto &[orig, off] : fs.insnOffsets)
+        st.insnMap.emplace_back(orig, base + off);
+    std::sort(st.insnMap.begin() +
+                  static_cast<std::ptrdiff_t>(i0),
+              st.insnMap.end(), byOrig);
+    for (const auto &[off, orig] : fs.raOffsets)
+        st.raPairs.emplace_back(base + off, orig);
+
+    return {func.entry, base, fs.size};
+}
+
+Addr
+IncrementalEngine::layoutEnd() const
+{
+    return st_->cursor;
+}
+
+std::vector<std::uint8_t>
+IncrementalEngine::emitFunction(const Function &func, Addr base)
+{
+    State &st = *st_;
+    Engine::FuncStream fs = st.engine.emitFunctionStream(func, base);
+    for (const auto &[addr, label] : fs.externalLabels) {
+        std::optional<Addr> target = lookupBlock(addr);
+        icp_assert(target.has_value(),
+                   "external block 0x%llx not relocated",
+                   static_cast<unsigned long long>(addr));
+        fs.as->bindAt(label, *target);
+    }
+    return fs.as->finalize();
+}
+
+std::vector<std::uint8_t>
+IncrementalEngine::paddingBytes(Addr from, Addr to) const
+{
+    // The same bytes Engine::appendAlignment produces for the gap.
+    std::vector<std::uint8_t> out;
+    Addr addr = from;
+    while (addr < to) {
+        const bool ok = st_->engine.arch_.codec->encode(
+            makeNop(), addr, out);
+        icp_assert(ok, "nop encode failed");
+        addr = from + out.size();
+    }
+    icp_assert(addr == to, "alignment overshot");
+    return out;
+}
+
+namespace
+{
+
+std::optional<Addr>
+flatLookup(const std::vector<std::pair<Addr, Addr>> &map, Addr orig)
+{
+    auto it = std::lower_bound(
+        map.begin(), map.end(), orig,
+        [](const std::pair<Addr, Addr> &p, Addr v) {
+            return p.first < v;
+        });
+    if (it == map.end() || it->first != orig)
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace
+
+std::optional<Addr>
+IncrementalEngine::lookupBlock(Addr orig) const
+{
+    return flatLookup(st_->blockMap, orig);
+}
+
+std::optional<Addr>
+IncrementalEngine::lookupInsn(Addr orig) const
+{
+    return flatLookup(st_->insnMap, orig);
+}
+
+const std::vector<std::pair<Addr, Addr>> &
+IncrementalEngine::raPairs() const
+{
+    return st_->raPairs;
+}
+
+const std::vector<TableClone> &
+IncrementalEngine::clones() const
+{
+    return st_->engine.result_.clones;
+}
+
+const std::map<Addr, std::uint32_t> &
+IncrementalEngine::blockCounters() const
+{
+    return st_->engine.result_.blockCounters;
+}
+
+const std::map<Addr, std::uint32_t> &
+IncrementalEngine::entryCounters() const
+{
+    return st_->engine.result_.entryCounters;
+}
+
+std::vector<std::uint8_t>
+IncrementalEngine::cloneBytes() const
+{
+    std::vector<std::uint8_t> out;
+    const auto lookup = [&](Addr a) { return lookupBlock(a); };
+    for (const TableClone &clone : st_->engine.result_.clones) {
+        fillCloneEntries(clone,
+                         st_->engine.cfg_opts_.newRodataBase, lookup,
+                         out);
+    }
+    return out;
 }
 
 } // namespace icp

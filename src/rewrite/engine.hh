@@ -11,6 +11,8 @@
 #define ICP_REWRITE_ENGINE_HH
 
 #include <map>
+#include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -20,10 +22,15 @@
 namespace icp
 {
 
-/** Placement of one cloned jump table in .newrodata. */
+/**
+ * Placement of one cloned jump table in .newrodata. Owns a copy of
+ * the source table so the plan outlives the CFG it came from (the
+ * sharded coordinator drops each shard's CFG between passes).
+ */
 struct TableClone
 {
-    const JumpTable *source = nullptr;
+    JumpTable table;
+    Addr funcEntry = 0; ///< owning function
     Addr cloneAddr = 0;
     unsigned entrySize = 0; ///< possibly widened (a64 1/2 -> 4)
     bool widened = false;
@@ -115,6 +122,77 @@ struct EngineResult
 EngineResult relocateFunctions(const CfgModule &cfg,
                                const std::set<Addr> &instrumented,
                                const EngineConfig &config);
+
+/**
+ * Per-function driver over the same relocation engine, for
+ * coordinators that never hold the whole-module CFG at once (the
+ * sharded rewriter). The protocol mirrors the monolithic run:
+ *
+ *   1. plan:   planFunction() once per instrumented function, in
+ *              ascending entry order — jump-table clones, operand
+ *              substitutions, counter ids, relocated-block set.
+ *   2. layout: layoutFunction() in the same order — emits the
+ *              function at its final base, records the block /
+ *              instruction / return-address maps, and DISCARDS the
+ *              bytes (cross-function branches can only bind once
+ *              every function has a layout address).
+ *   3. emit:   emitFunction() in the same order — re-emits at the
+ *              recorded base (emission is deterministic in (CFG,
+ *              base)), binds cross-function branches against the
+ *              global block map, and returns the finalized bytes.
+ *
+ * Driving all three passes over every instrumented function in
+ * address order reproduces relocateFunctions() bit for bit; peak
+ * memory is one function's assembler stream plus the flat maps.
+ * Only OrderPolicy::original function order is supported.
+ */
+class IncrementalEngine
+{
+  public:
+    IncrementalEngine(const BinaryImage &image,
+                      const EngineConfig &config);
+    ~IncrementalEngine();
+    IncrementalEngine(const IncrementalEngine &) = delete;
+    IncrementalEngine &operator=(const IncrementalEngine &) = delete;
+
+    // Pass 1: planning.
+    void planFunction(const Function &func);
+
+    // Pass 2: layout. Returns the function's span.
+    FuncSpan layoutFunction(const Function &func);
+
+    /** First address past the last laid-out span. */
+    Addr layoutEnd() const;
+
+    // Pass 3: final emission (call with the span's recorded base).
+    std::vector<std::uint8_t> emitFunction(const Function &func,
+                                           Addr base);
+
+    /** The inter-span alignment padding bytes (encoded nops). */
+    std::vector<std::uint8_t> paddingBytes(Addr from, Addr to) const;
+
+    /** Relocated address of an original block start, if relocated. */
+    std::optional<Addr> lookupBlock(Addr orig) const;
+
+    /** Relocated address of an original instruction, if relocated. */
+    std::optional<Addr> lookupInsn(Addr orig) const;
+
+    /** (relocated RA -> original RA), emission order. */
+    const std::vector<std::pair<Addr, Addr>> &raPairs() const;
+
+    const std::vector<TableClone> &clones() const;
+
+    /** The .newrodata payload (valid after all layoutFunction calls). */
+    std::vector<std::uint8_t> cloneBytes() const;
+
+    /** Counter-id maps (block start / entry -> CallRt id). */
+    const std::map<Addr, std::uint32_t> &blockCounters() const;
+    const std::map<Addr, std::uint32_t> &entryCounters() const;
+
+  private:
+    struct State;
+    std::unique_ptr<State> st_;
+};
 
 } // namespace icp
 

@@ -96,6 +96,28 @@ struct InstrumentationSpec
     }
 };
 
+/** Per-shard work accounting for the sharded rewrite. */
+struct ShardCounters
+{
+    /** The shard's function-entry range [lo, hi). */
+    Addr lo = 0;
+    Addr hi = 0;
+
+    unsigned functions = 0; ///< functions analyzed in the shard
+    unsigned instrumented = 0;
+    std::uint64_t blocks = 0; ///< basic blocks across the shard
+    std::uint64_t insns = 0;  ///< decoded instructions
+
+    /** Worker forks for this shard (1 normal, 2 after a retry). */
+    unsigned workerAttempts = 0;
+
+    /** Worker never succeeded; the coordinator analyzed cold. */
+    bool degraded = false;
+
+    /** Worker peak RSS from wait4 ru_maxrss (0 when degraded). */
+    std::uint64_t workerPeakRssBytes = 0;
+};
+
 struct RewriteOptions
 {
     RewriteMode mode = RewriteMode::funcPtr;
@@ -207,6 +229,27 @@ struct RewriteOptions
 
     /** Plant one defect for the verifier's self test (tests only). */
     InjectDefect injectDefect = InjectDefect::none;
+
+    /**
+     * Shard the rewrite across worker processes and stream the
+     * output (rewriteBinarySharded): the function space is split
+     * into this many contiguous address ranges, each analyzed by a
+     * forked worker that persists its results as an analysis-cache
+     * shard, and the coordinator drives the per-function relocation
+     * engine one shard at a time so peak memory is O(shard), not
+     * O(binary). Output bytes are identical for every shard count
+     * (and to the materializing path). 0 = classic single-process
+     * rewrite. Incompatible with lint manifests, fault injection,
+     * session reuse/repair, and reversed layout orders.
+     */
+    unsigned shards = 0;
+
+    /**
+     * Reorder-window budget of the streaming output writer used by
+     * the sharded path (bytes buffered for out-of-order chunks
+     * before falling back to positioned writes). 0 = writer default.
+     */
+    std::size_t streamWindowBytes = 0;
 };
 
 struct RewriteStats
@@ -234,6 +277,9 @@ struct RewriteStats
      */
     unsigned relocEmittedFunctions = 0;
     unsigned relocReusedFunctions = 0;
+
+    /** Per-shard work counters (sharded rewrites only). */
+    std::vector<ShardCounters> shards;
 
     std::uint64_t originalLoadedSize = 0;
     std::uint64_t rewrittenLoadedSize = 0;

@@ -1,14 +1,19 @@
 #include "rewrite/rewriter.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
+
+#include <unistd.h>
 
 #include "analysis/cache.hh"
 #include "analysis/funcptr.hh"
 #include "analysis/liveness.hh"
 #include "isa/bytes.hh"
 #include "binfmt/addr_map.hh"
+#include "binfmt/stream_writer.hh"
 #include "rewrite/engine.hh"
+#include "rewrite/shard.hh"
 #include "rewrite/trampoline.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
@@ -69,6 +74,9 @@ alignUp(Addr v, Addr align)
     return (v + align - 1) & ~(align - 1);
 }
 
+/** Relocated address of an original address, if relocated. */
+using BlockLookup = std::function<std::optional<Addr>(Addr)>;
+
 /** Mutable working copy of the output image under construction. */
 class Rewriter
 {
@@ -81,8 +89,18 @@ class Rewriter
     }
 
     RewriteResult run();
+    RewriteResult runSharded(SbfSink &sink);
 
   private:
+    /** A .instr patch that must wait for the emission pass (the
+     *  streaming path patches function bytes in flight instead of a
+     *  materialized section). */
+    struct InstrPatch
+    {
+        Addr at = 0;
+        Addr newTarget = 0;
+    };
+
     std::set<Addr> chooseInstrumented();
     std::set<Addr> cflBlocks(const Function &func) const;
     std::set<Addr> blocksReachingInstrumentation(
@@ -94,23 +112,42 @@ class Rewriter
     void fillManifest(const EngineResult &engine);
     void injectByteDefect();
     void installTrampolines(const EngineResult &engine);
-    void rewriteFuncPtrs(const EngineResult &engine);
+    void trampolineBegin();
+    void trampolineFunc(const Function &func,
+                        const std::set<Addr> &cfl,
+                        const LivenessResult *live,
+                        const BlockLookup &lookup);
+    void trampolineFinish();
+    void accountTrampoline(const TrampolineRequest &req,
+                           Addr func_entry,
+                           const TrampolineOut &installed);
+    void rewriteFuncPtrs(const BlockLookup &block_lookup,
+                         const BlockLookup &insn_lookup,
+                         std::vector<InstrPatch> *deferred);
     void patchCodeDef(const FuncPtrDef &def, Addr new_target,
-                      const EngineResult &engine);
+                      const BlockLookup &insn_lookup,
+                      std::vector<InstrPatch> *deferred);
+    static void applyFuncPtrMutation(const BinaryImage &input,
+                                     Instruction &in, Addr new_target);
     bool patchInstructionAt(std::vector<std::uint8_t> &bytes,
                             Addr section_base, Addr at,
                             const std::function<void(Instruction &)>
                                 &mutate);
-    void clobberOriginal();
+    void clobberOriginal(
+        const std::vector<std::pair<Addr, Addr>> &func_ranges);
     void addCodeSections(const EngineResult &engine);
-    void buildSections(const EngineResult &engine);
+    void buildSections(std::uint64_t instr_size,
+                       std::uint64_t rodata_size,
+                       const std::vector<std::pair<Addr, Addr>>
+                           &ra_pairs);
 
     const BinaryImage &input_;
     const RewriteOptions &opts_;
     const RewritePass &pass_;
     const ArchInfo &arch_;
 
-    /** Built here, or borrowed from pass_.cfg (session reuse). */
+    /** Built here, or borrowed from pass_.cfg (session reuse). In
+     *  the sharded run it points at the current shard's CFG. */
     CfgModule ownCfg_;
     const CfgModule *cfg_ = nullptr;
     FuncPtrAnalysisResult funcPtrs_;
@@ -126,6 +163,19 @@ class Rewriter
 
     /** Bytes a trampoline occupies (kept during clobbering). */
     std::vector<std::pair<Addr, Addr>> keepRanges_;
+
+    // Trampoline-installation state, live between trampolineBegin()
+    // and trampolineFinish() (the sharded coordinator interleaves
+    // per-function installs with layout across shard boundaries).
+    struct PendingTramp
+    {
+        TrampolineRequest req;
+        Addr superEnd;
+        Addr funcEntry;
+    };
+    std::unique_ptr<ScratchPool> pool_;
+    std::unique_ptr<TrampolineWriter> writer_;
+    std::vector<PendingTramp> pendingTramps_;
 };
 
 std::set<Addr>
@@ -281,58 +331,59 @@ Rewriter::donateScratch(ScratchPool &pool)
 }
 
 void
+Rewriter::accountTrampoline(const TrampolineRequest &req,
+                            Addr func_entry,
+                            const TrampolineOut &installed)
+{
+    result_.stats.trampolines++;
+    switch (installed.kind) {
+      case TrampolineKind::direct:
+        result_.stats.directTramps++;
+        break;
+      case TrampolineKind::longForm:
+      case TrampolineKind::longFormSpill:
+        result_.stats.longTramps++;
+        break;
+      case TrampolineKind::multiHop:
+        result_.stats.multiHopTramps++;
+        break;
+      case TrampolineKind::trap:
+        result_.stats.trapTramps++;
+        break;
+    }
+    TrampolinePatch patch;
+    patch.site = req.at;
+    patch.funcEntry = func_entry;
+    patch.target = req.target;
+    patch.kind = installed.kind;
+    patch.scratchReg = req.scratchReg;
+    patch.space = req.space;
+    for (const auto &write : installed.writes) {
+        const bool ok = out_.writeBytes(write.at, write.bytes);
+        icp_assert(ok, "trampoline write failed at 0x%llx",
+                   static_cast<unsigned long long>(write.at));
+        keepRanges_.emplace_back(write.at,
+                                 write.at + write.bytes.size());
+        patch.writes.emplace_back(write.at, write.bytes.size());
+    }
+    result_.manifest.trampolines.push_back(std::move(patch));
+    for (const auto &entry2 : installed.trapEntries)
+        trapEntries_.push_back(entry2);
+}
+
+void
+Rewriter::trampolineBegin()
+{
+    pool_ = std::make_unique<ScratchPool>();
+    donateScratch(*pool_);
+    writer_ = std::make_unique<TrampolineWriter>(
+        arch_, input_.tocBase, *pool_, opts_.multiHop);
+}
+
+void
 Rewriter::installTrampolines(const EngineResult &engine)
 {
-    ScratchPool pool;
-    donateScratch(pool);
-    TrampolineWriter writer(arch_, input_.tocBase, pool,
-                            opts_.multiHop);
-
-    struct Pending
-    {
-        TrampolineRequest req;
-        Addr superEnd;
-        Addr funcEntry;
-    };
-    std::vector<Pending> pending;
-
-    auto account = [&](const TrampolineRequest &req, Addr func_entry,
-                       const TrampolineOut &installed) {
-        result_.stats.trampolines++;
-        switch (installed.kind) {
-          case TrampolineKind::direct:
-            result_.stats.directTramps++;
-            break;
-          case TrampolineKind::longForm:
-          case TrampolineKind::longFormSpill:
-            result_.stats.longTramps++;
-            break;
-          case TrampolineKind::multiHop:
-            result_.stats.multiHopTramps++;
-            break;
-          case TrampolineKind::trap:
-            result_.stats.trapTramps++;
-            break;
-        }
-        TrampolinePatch patch;
-        patch.site = req.at;
-        patch.funcEntry = func_entry;
-        patch.target = req.target;
-        patch.kind = installed.kind;
-        patch.scratchReg = req.scratchReg;
-        patch.space = req.space;
-        for (const auto &write : installed.writes) {
-            const bool ok = out_.writeBytes(write.at, write.bytes);
-            icp_assert(ok, "trampoline write failed at 0x%llx",
-                       static_cast<unsigned long long>(write.at));
-            keepRanges_.emplace_back(
-                write.at, write.at + write.bytes.size());
-            patch.writes.emplace_back(write.at, write.bytes.size());
-        }
-        result_.manifest.trampolines.push_back(std::move(patch));
-        for (const auto &entry2 : installed.trapEntries)
-            trapEntries_.push_back(entry2);
-    };
+    trampolineBegin();
 
     // Per-function trampoline inputs — CFL block sets and (on the
     // fixed ISAs) liveness — are independent across functions:
@@ -381,154 +432,180 @@ Rewriter::installTrampolines(const EngineResult &engine)
 
     StageTimer timer(Stage::trampoline);
 
-    // Phase 1: in-place installs; unused superblock bytes (source 2
-    // of §7's scratch space) are donated to the pool for phase 2.
-    for (const FuncPre &p : pre) {
-        const Function &func = *p.func;
-        const std::set<Addr> &cfl = p.cfl;
-        result_.stats.cflBlocks += cfl.size();
-        result_.stats.totalBlocks += func.blocks.size();
+    const BlockLookup lookup = [&](Addr a) -> std::optional<Addr> {
+        auto it = engine.blockMap.find(a);
+        if (it == engine.blockMap.end())
+            return std::nullopt;
+        return it->second;
+    };
+    for (const FuncPre &p : pre)
+        trampolineFunc(*p.func, p.cfl, p.live.get(), lookup);
+    trampolineFinish();
+}
 
-        // Repair demotion: every trampoline in this function becomes
-        // a trap — the always-sound §4.3 fallback.
-        const bool force_trap =
-            opts_.forceTrapFunctions.count(func.name) > 0;
+/**
+ * Phase 1 for one function: in-place installs; unused superblock
+ * bytes (source 2 of §7's scratch space) are donated to the pool for
+ * phase 2. @p lookup resolves an original block start to its
+ * relocated address; @p live may be null on variable-length ISAs.
+ */
+void
+Rewriter::trampolineFunc(const Function &func,
+                         const std::set<Addr> &cfl,
+                         const LivenessResult *live,
+                         const BlockLookup &lookup)
+{
+    result_.stats.cflBlocks += cfl.size();
+    result_.stats.totalBlocks += func.blocks.size();
 
-        // Embedded jump-table data must never be overwritten.
-        std::vector<std::pair<Addr, Addr>> protect;
-        for (const auto &jt : func.jumpTables) {
-            if (jt.embeddedInCode) {
-                protect.emplace_back(
-                    jt.tableAddr,
-                    jt.tableAddr +
-                        std::uint64_t{jt.entryCount} * jt.entrySize);
-                keepRanges_.emplace_back(protect.back());
-                result_.manifest.protectedRanges.push_back(
-                    protect.back());
-            }
-        }
+    // Repair demotion: every trampoline in this function becomes
+    // a trap — the always-sound §4.3 fallback.
+    const bool force_trap =
+        opts_.forceTrapFunctions.count(func.name) > 0;
 
-        for (Addr start : cfl) {
-            auto bit = func.blocks.find(start);
-            if (bit == func.blocks.end())
-                continue;
-            // Trampoline superblock: extend across address-adjacent
-            // scratch (non-CFL) blocks (§4.1).
-            Addr se = bit->second.end;
-            if (opts_.trampolinePlacement) {
-                auto next = std::next(bit);
-                while (next != func.blocks.end() &&
-                       next->first == se && !cfl.count(next->first)) {
-                    se = next->second.end;
-                    ++next;
-                }
-            }
-            // Never extend over embedded table data.
-            for (const auto &[lo, hi] : protect) {
-                if (lo >= start && lo < se)
-                    se = lo;
-            }
-
-            TrampolineRequest req;
-            req.at = start;
-            req.space = se - start;
-            auto target = engine.blockMap.find(start);
-            icp_assert(target != engine.blockMap.end(),
-                       "CFL block 0x%llx not relocated",
-                       static_cast<unsigned long long>(start));
-            req.target = target->second;
-            req.scratchReg = arch_.fixedLength
-                ? p.live->deadRegAt(start)
-                : Reg::none;
-
-            if (force_trap) {
-                const TrampolineOut trapped = writer.installTrap(req);
-                const std::uint64_t used =
-                    trapped.writes.empty()
-                        ? 0
-                        : trapped.writes[0].bytes.size();
-                account(req, func.entry, trapped);
-                if (opts_.trampolinePlacement && start + used < se) {
-                    pool.donate(start + used, se - (start + used),
-                                arch_.instrAlign);
-                    recordDonation(start + used, se - (start + used));
-                }
-                continue;
-            }
-
-            // Fault injection (register defects): force a long form
-            // whose scratch register the verifier must reject. Only
-            // the first applicable site is corrupted.
-            std::optional<TrampolineOut> in_place;
-            const bool want_reg_defect = opts_.lint &&
-                (opts_.injectDefect == InjectDefect::liveScratch ||
-                 opts_.injectDefect == InjectDefect::tocScratch) &&
-                result_.manifest.injectedRule.empty() &&
-                (opts_.injectOnlyFunction.empty() ||
-                 func.name == opts_.injectOnlyFunction);
-            if (want_reg_defect && arch_.fixedLength &&
-                req.space >= writer.longFormLen()) {
-                Reg bad = Reg::none;
-                if (opts_.injectDefect == InjectDefect::tocScratch) {
-                    if (arch_.hasToc)
-                        bad = Reg::toc;
-                } else {
-                    const RegSet live = p.live->liveAtBlockStart(start);
-                    for (unsigned r = 0; r < num_gp_regs; ++r) {
-                        if (live.contains(static_cast<Reg>(r))) {
-                            bad = static_cast<Reg>(r);
-                            break;
-                        }
-                    }
-                }
-                if (bad != Reg::none) {
-                    req.scratchReg = bad;
-                    in_place = writer.installForcedLongForm(req);
-                    result_.manifest.injectedRule =
-                        opts_.injectDefect == InjectDefect::tocScratch
-                            ? "toc-preserved"
-                            : "tramp-scratch-live";
-                }
-            }
-            if (!in_place)
-                in_place = writer.installInPlace(req);
-
-            if (in_place) {
-                account(req, func.entry, *in_place);
-                std::uint64_t used = 0;
-                for (const auto &write : in_place->writes) {
-                    if (write.at == start)
-                        used = write.bytes.size();
-                }
-                if (opts_.trampolinePlacement && start + used < se) {
-                    pool.donate(start + used, se - (start + used),
-                                arch_.instrAlign);
-                    recordDonation(start + used, se - (start + used));
-                }
-            } else {
-                pending.push_back({req, se, func.entry});
-            }
+    // Embedded jump-table data must never be overwritten.
+    std::vector<std::pair<Addr, Addr>> protect;
+    for (const auto &jt : func.jumpTables) {
+        if (jt.embeddedInCode) {
+            protect.emplace_back(
+                jt.tableAddr,
+                jt.tableAddr +
+                    std::uint64_t{jt.entryCount} * jt.entrySize);
+            keepRanges_.emplace_back(protect.back());
+            result_.manifest.protectedRanges.push_back(
+                protect.back());
         }
     }
 
+    for (Addr start : cfl) {
+        auto bit = func.blocks.find(start);
+        if (bit == func.blocks.end())
+            continue;
+        // Trampoline superblock: extend across address-adjacent
+        // scratch (non-CFL) blocks (§4.1).
+        Addr se = bit->second.end;
+        if (opts_.trampolinePlacement) {
+            auto next = std::next(bit);
+            while (next != func.blocks.end() &&
+                   next->first == se && !cfl.count(next->first)) {
+                se = next->second.end;
+                ++next;
+            }
+        }
+        // Never extend over embedded table data.
+        for (const auto &[lo, hi] : protect) {
+            if (lo >= start && lo < se)
+                se = lo;
+        }
+
+        TrampolineRequest req;
+        req.at = start;
+        req.space = se - start;
+        const std::optional<Addr> target = lookup(start);
+        icp_assert(target.has_value(),
+                   "CFL block 0x%llx not relocated",
+                   static_cast<unsigned long long>(start));
+        req.target = *target;
+        req.scratchReg = arch_.fixedLength
+            ? live->deadRegAt(start)
+            : Reg::none;
+
+        if (force_trap) {
+            const TrampolineOut trapped = writer_->installTrap(req);
+            const std::uint64_t used =
+                trapped.writes.empty()
+                    ? 0
+                    : trapped.writes[0].bytes.size();
+            accountTrampoline(req, func.entry, trapped);
+            if (opts_.trampolinePlacement && start + used < se) {
+                pool_->donate(start + used, se - (start + used),
+                              arch_.instrAlign);
+                recordDonation(start + used, se - (start + used));
+            }
+            continue;
+        }
+
+        // Fault injection (register defects): force a long form
+        // whose scratch register the verifier must reject. Only
+        // the first applicable site is corrupted.
+        std::optional<TrampolineOut> in_place;
+        const bool want_reg_defect = opts_.lint &&
+            (opts_.injectDefect == InjectDefect::liveScratch ||
+             opts_.injectDefect == InjectDefect::tocScratch) &&
+            result_.manifest.injectedRule.empty() &&
+            (opts_.injectOnlyFunction.empty() ||
+             func.name == opts_.injectOnlyFunction);
+        if (want_reg_defect && arch_.fixedLength &&
+            req.space >= writer_->longFormLen()) {
+            Reg bad = Reg::none;
+            if (opts_.injectDefect == InjectDefect::tocScratch) {
+                if (arch_.hasToc)
+                    bad = Reg::toc;
+            } else {
+                const RegSet live_set = live->liveAtBlockStart(start);
+                for (unsigned r = 0; r < num_gp_regs; ++r) {
+                    if (live_set.contains(static_cast<Reg>(r))) {
+                        bad = static_cast<Reg>(r);
+                        break;
+                    }
+                }
+            }
+            if (bad != Reg::none) {
+                req.scratchReg = bad;
+                in_place = writer_->installForcedLongForm(req);
+                result_.manifest.injectedRule =
+                    opts_.injectDefect == InjectDefect::tocScratch
+                        ? "toc-preserved"
+                        : "tramp-scratch-live";
+            }
+        }
+        if (!in_place)
+            in_place = writer_->installInPlace(req);
+
+        if (in_place) {
+            accountTrampoline(req, func.entry, *in_place);
+            std::uint64_t used = 0;
+            for (const auto &write : in_place->writes) {
+                if (write.at == start)
+                    used = write.bytes.size();
+            }
+            if (opts_.trampolinePlacement && start + used < se) {
+                pool_->donate(start + used, se - (start + used),
+                              arch_.instrAlign);
+                recordDonation(start + used, se - (start + used));
+            }
+        } else {
+            pendingTramps_.push_back({req, se, func.entry});
+        }
+    }
+}
+
+void
+Rewriter::trampolineFinish()
+{
     // Donate the tails of still-pending superblocks (the first-hop
     // branch needs only the head), then resolve them.
     const std::uint64_t head = arch_.fixedLength
         ? arch_.directJmpLen
         : arch_.shortJmpLen;
     if (opts_.trampolinePlacement) {
-        for (const auto &p : pending) {
+        for (const auto &p : pendingTramps_) {
             if (p.req.at + head < p.superEnd) {
-                pool.donate(p.req.at + head,
-                            p.superEnd - (p.req.at + head),
-                            arch_.instrAlign);
+                pool_->donate(p.req.at + head,
+                              p.superEnd - (p.req.at + head),
+                              arch_.instrAlign);
                 recordDonation(p.req.at + head,
                                p.superEnd - (p.req.at + head));
             }
         }
     }
-    for (const auto &p : pending)
-        account(p.req, p.funcEntry, writer.installWithFallback(p.req));
+    for (const auto &p : pendingTramps_) {
+        accountTrampoline(p.req, p.funcEntry,
+                          writer_->installWithFallback(p.req));
+    }
+    pendingTramps_.clear();
+    writer_.reset();
+    pool_.reset();
 }
 
 bool
@@ -556,70 +633,78 @@ Rewriter::patchInstructionAt(std::vector<std::uint8_t> &bytes,
 }
 
 void
+Rewriter::applyFuncPtrMutation(const BinaryImage &input,
+                               Instruction &in, Addr new_target)
+{
+    const ArchInfo &arch = input.archInfo();
+    switch (in.op) {
+      case Opcode::MovImm:
+        if (arch.fixedLength) {
+            in.imm = static_cast<std::int64_t>(
+                (new_target >> in.movShift) & 0xffff);
+        } else {
+            in.imm = static_cast<std::int64_t>(new_target);
+        }
+        break;
+      case Opcode::Lea:
+      case Opcode::AdrPage:
+        in.target = new_target;
+        break;
+      case Opcode::AddisToc: {
+        const std::int64_t off =
+            static_cast<std::int64_t>(new_target) -
+            static_cast<std::int64_t>(input.tocBase);
+        in.imm = (off + 0x8000) >> 16;
+        break;
+      }
+      case Opcode::AddImm: {
+        std::int64_t lo;
+        if (arch.hasToc) {
+            const std::int64_t off =
+                static_cast<std::int64_t>(new_target) -
+                static_cast<std::int64_t>(input.tocBase);
+            lo = signExtend(static_cast<std::uint64_t>(off), 16);
+        } else {
+            const Addr page = ((new_target + 0x8000) >> 16) << 16;
+            lo = static_cast<std::int64_t>(new_target) -
+                 static_cast<std::int64_t>(page);
+        }
+        in.imm = lo;
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
 Rewriter::patchCodeDef(const FuncPtrDef &def, Addr new_target,
-                       const EngineResult &engine)
+                       const BlockLookup &insn_lookup,
+                       std::vector<InstrPatch> *deferred)
 {
     // Decide where the defining instructions live now: inside
     // relocated code (.instr) for instrumented functions, in the
-    // original .text otherwise.
+    // original .text otherwise. With @p deferred set, .instr patches
+    // are queued for the emission pass instead of applied to the
+    // (not yet materialized) section payload.
     Section *instr = out_.findSection(SectionKind::instr);
     Section *text = out_.findSection(SectionKind::text);
     icp_assert(instr && text, "sections missing");
 
-    for (std::size_t i = 0; i < def.defAddrs.size(); ++i) {
-        const Addr orig = def.defAddrs[i];
+    for (Addr orig : def.defAddrs) {
         Addr at = orig;
         Section *sec = text;
-        auto relocated = engine.insnMap.find(orig);
-        if (relocated != engine.insnMap.end()) {
-            at = relocated->second;
+        if (const std::optional<Addr> relocated = insn_lookup(orig)) {
+            at = *relocated;
             sec = instr;
+            if (deferred) {
+                deferred->push_back({at, new_target});
+                continue;
+            }
         }
-        const bool first = i == 0;
         const bool ok = patchInstructionAt(
             sec->bytes, sec->addr, at, [&](Instruction &in) {
-                switch (in.op) {
-                  case Opcode::MovImm:
-                    if (arch_.fixedLength) {
-                        in.imm = static_cast<std::int64_t>(
-                            (new_target >> in.movShift) & 0xffff);
-                    } else {
-                        in.imm =
-                            static_cast<std::int64_t>(new_target);
-                    }
-                    break;
-                  case Opcode::Lea:
-                  case Opcode::AdrPage:
-                    in.target = new_target;
-                    break;
-                  case Opcode::AddisToc: {
-                    const std::int64_t off =
-                        static_cast<std::int64_t>(new_target) -
-                        static_cast<std::int64_t>(input_.tocBase);
-                    in.imm = (off + 0x8000) >> 16;
-                    break;
-                  }
-                  case Opcode::AddImm: {
-                    std::int64_t lo;
-                    if (arch_.hasToc) {
-                        const std::int64_t off =
-                            static_cast<std::int64_t>(new_target) -
-                            static_cast<std::int64_t>(input_.tocBase);
-                        lo = signExtend(
-                            static_cast<std::uint64_t>(off), 16);
-                    } else {
-                        const Addr page =
-                            ((new_target + 0x8000) >> 16) << 16;
-                        lo = static_cast<std::int64_t>(new_target) -
-                             static_cast<std::int64_t>(page);
-                    }
-                    in.imm = lo;
-                    break;
-                  }
-                  default:
-                    break;
-                }
-                (void)first;
+                applyFuncPtrMutation(input_, in, new_target);
             });
         icp_assert(ok, "func-ptr code patch failed at 0x%llx",
                    static_cast<unsigned long long>(at));
@@ -627,7 +712,9 @@ Rewriter::patchCodeDef(const FuncPtrDef &def, Addr new_target,
 }
 
 void
-Rewriter::rewriteFuncPtrs(const EngineResult &engine)
+Rewriter::rewriteFuncPtrs(const BlockLookup &block_lookup,
+                          const BlockLookup &insn_lookup,
+                          std::vector<InstrPatch> *deferred)
 {
     for (const auto &def : funcPtrs_.defs) {
         // Displaced pointers (Listing 1's entry+1) land inside the
@@ -639,18 +726,19 @@ Rewriter::rewriteFuncPtrs(const EngineResult &engine)
         if (def.delta == 0) {
             // Point at the relocated block start so entry
             // instrumentation still runs.
-            auto relocated = engine.blockMap.find(def.funcEntry);
-            if (relocated == engine.blockMap.end())
+            const std::optional<Addr> relocated =
+                block_lookup(def.funcEntry);
+            if (!relocated)
                 continue; // not relocated; pointer stays valid
-            new_value = relocated->second;
+            new_value = *relocated;
         } else {
             const Addr use_point = def.funcEntry +
                                    static_cast<Addr>(def.delta);
-            auto relocated = engine.insnMap.find(use_point);
-            if (relocated == engine.insnMap.end())
+            const std::optional<Addr> relocated =
+                insn_lookup(use_point);
+            if (!relocated)
                 continue;
-            new_value = relocated->second -
-                        static_cast<Addr>(def.delta);
+            new_value = *relocated - static_cast<Addr>(def.delta);
         }
 
         FuncPtrPatch patch;
@@ -675,7 +763,7 @@ Rewriter::rewriteFuncPtrs(const EngineResult &engine)
             result_.stats.rewrittenFuncPtrs++;
             patch.kind = FuncPtrPatch::Kind::dataCell;
         } else {
-            patchCodeDef(def, new_value, engine);
+            patchCodeDef(def, new_value, insn_lookup, deferred);
             result_.stats.rewrittenFuncPtrs++;
             patch.kind = FuncPtrPatch::Kind::codeDef;
         }
@@ -684,7 +772,8 @@ Rewriter::rewriteFuncPtrs(const EngineResult &engine)
 }
 
 void
-Rewriter::clobberOriginal()
+Rewriter::clobberOriginal(
+    const std::vector<std::pair<Addr, Addr>> &func_ranges)
 {
     Section *text = out_.findSection(SectionKind::text);
     icp_assert(text, "no .text");
@@ -701,10 +790,8 @@ Rewriter::clobberOriginal()
     };
 
     // Illegal filler: 0x00 never decodes.
-    for (const auto &[entry, func] : cfg_->functions) {
-        if (!instrumented_.count(entry))
-            continue;
-        for (Addr a = func.entry; a < func.end; ++a) {
+    for (const auto &[entry, end] : func_ranges) {
+        for (Addr a = entry; a < end; ++a) {
             if (isKept(a))
                 continue;
             const Offset off = a - text->addr;
@@ -738,16 +825,18 @@ Rewriter::addCodeSections(const EngineResult &engine)
 }
 
 void
-Rewriter::buildSections(const EngineResult &engine)
+Rewriter::buildSections(std::uint64_t instr_size,
+                        std::uint64_t rodata_size,
+                        const std::vector<std::pair<Addr, Addr>>
+                            &ra_pairs)
 {
-    Addr cursor = alignUp(
-        std::max(newRodataBase_ + engine.newRodataBytes.size(),
-                 instrBase_ + engine.instrBytes.size()),
-        4096);
+    Addr cursor = alignUp(std::max(newRodataBase_ + rodata_size,
+                                   instrBase_ + instr_size),
+                          4096);
 
     // .ra_map
     if (opts_.raTranslation) {
-        AddrPairMap ra_map(engine.raPairs);
+        AddrPairMap ra_map(ra_pairs);
         Section s;
         s.name = ".ra_map";
         s.kind = SectionKind::raMap;
@@ -825,7 +914,7 @@ Rewriter::fillManifest(const EngineResult &engine)
     m.funcSpans = engine.funcSpans;
     m.instrumented = instrumented_;
     for (const auto &clone : engine.clones) {
-        const JumpTable &jt = *clone.source;
+        const JumpTable &jt = clone.table;
         JumpTableClonePatch p;
         p.jumpAddr = jt.jumpAddr;
         p.funcEntry = funcEntryOf(jt.jumpAddr);
@@ -1126,13 +1215,34 @@ Rewriter::run()
 
     addCodeSections(engine);
     installTrampolines(engine);
-    rewriteFuncPtrs(engine);
-    if (opts_.clobberOriginal)
-        clobberOriginal();
+    const BlockLookup block_lookup =
+        [&](Addr a) -> std::optional<Addr> {
+        auto it = engine.blockMap.find(a);
+        if (it == engine.blockMap.end())
+            return std::nullopt;
+        return it->second;
+    };
+    const BlockLookup insn_lookup =
+        [&](Addr a) -> std::optional<Addr> {
+        auto it = engine.insnMap.find(a);
+        if (it == engine.insnMap.end())
+            return std::nullopt;
+        return it->second;
+    };
+    rewriteFuncPtrs(block_lookup, insn_lookup, nullptr);
+    if (opts_.clobberOriginal) {
+        std::vector<std::pair<Addr, Addr>> ranges;
+        for (const auto &[entry, func] : cfg_->functions) {
+            if (instrumented_.count(entry))
+                ranges.emplace_back(func.entry, func.end);
+        }
+        clobberOriginal(ranges);
+    }
 
     {
         StageTimer timer(Stage::output);
-        buildSections(engine);
+        buildSections(engine.instrBytes.size(),
+                      engine.newRodataBytes.size(), engine.raPairs);
     }
     if (opts_.lint) {
         fillManifest(engine);
@@ -1146,6 +1256,329 @@ Rewriter::run()
     result_.blockCounters = engine.blockCounters;
     result_.entryCounters = engine.entryCounters;
     result_.image = std::move(out_);
+    result_.ok = true;
+    return result_;
+}
+
+/**
+ * The sharded, streaming run (§4g of DESIGN.md). Three sequential
+ * passes over the shard list — plan, layout+trampolines, emit — each
+ * rebuilding one shard's CFG at a time from the (never mutated)
+ * input, with the per-function relocation engine carrying only flat
+ * address maps across shards. Processing functions in ascending
+ * address order in every pass reproduces the monolithic pipeline's
+ * bytes exactly; only peak memory differs.
+ */
+RewriteResult
+Rewriter::runSharded(SbfSink &sink)
+{
+    if (opts_.reachabilityPruning && opts_.clobberOriginal) {
+        result_.failReason = "reachability pruning lets original "
+                             "code execute; it cannot be combined "
+                             "with clobbering";
+        return result_;
+    }
+    if (opts_.functionOrder != OrderPolicy::original ||
+        opts_.blockOrder != OrderPolicy::original) {
+        result_.failReason =
+            "sharded rewriting requires original layout order";
+        return result_;
+    }
+    if (opts_.injectDefect != InjectDefect::none) {
+        result_.failReason =
+            "sharded rewriting does not support fault injection";
+        return result_;
+    }
+    if (pass_.cfg || pass_.previous) {
+        result_.failReason =
+            "sharded rewriting does not take a session pass";
+        return result_;
+    }
+
+    // The analysis cache file is the coordination medium: workers
+    // persist their shard's analysis there and the coordinator
+    // replays it one shard at a time. Without a configured file, a
+    // private temporary one serves for this run. The in-memory cache
+    // is dropped up front so the per-shard bound holds from the
+    // first shard (and so forked workers inherit an empty cache).
+    std::string cache_path = opts_.cachePath;
+    bool temp_cache = false;
+    if (opts_.useAnalysisCache) {
+        AnalysisCache::global().clear();
+        if (cache_path.empty()) {
+            cache_path = "/tmp/icp-shard-cache." +
+                         std::to_string(::getpid()) + ".sbfc";
+            std::remove(cache_path.c_str());
+            temp_cache = true;
+        }
+    }
+
+    const std::vector<ShardRange> ranges =
+        planShards(input_, opts_.shards);
+    result_.stats.shards.resize(ranges.size());
+    if (opts_.useAnalysisCache) {
+        runShardWorkers(input_, opts_, ranges, cache_path,
+                        result_.stats.shards);
+    }
+
+    // (Re)build one shard's CFG. Saving before the clear persists
+    // entries the coordinator itself computed for the previous shard
+    // (cache misses — e.g. a degraded worker's range), so each range
+    // is analyzed cold at most once across the three passes.
+    auto buildShard = [&](const ShardRange &r) {
+        if (opts_.useAnalysisCache) {
+            AnalysisCache::global().save(cache_path);
+            AnalysisCache::global().clear();
+            AnalysisCache::global().load(cache_path, input_.arch);
+        }
+        AnalysisOptions analysis = opts_.analysis;
+        analysis.threads = opts_.threads;
+        analysis.useCache = opts_.useAnalysisCache;
+        analysis.rangeLo = r.lo;
+        analysis.rangeHi = r.hi;
+        return buildCfg(input_, analysis);
+    };
+
+    // Legacy-identical base state: mutate only the copy; every shard
+    // CFG decodes the unmutated input.
+    out_ = input_;
+    instrBase_ = input_.highWaterMark(4096);
+    EngineConfig config;
+    config.mode = opts_.mode;
+    config.callEmulation = !opts_.raTranslation;
+    config.instrumentation = opts_.instrumentation;
+    config.instrBase = instrBase_;
+    config.goRaTranslation =
+        opts_.raTranslation && input_.features.isGo;
+    config.threads = 1;
+    const Section *text = input_.findSection(SectionKind::text);
+    icp_assert(text, "input has no .text");
+    newRodataBase_ =
+        alignUp(instrBase_ + text->memSize * 4 + 0x10000, 4096);
+    config.newRodataBase = newRodataBase_;
+
+    IncrementalEngine engine(input_, config);
+    FuncPtrScanner scanner(input_);
+
+    // Pass 0 — plan: per-shard statistics, the function-pointer
+    // scan, clone/counter planning, and the instrumented ranges.
+    std::vector<std::pair<Addr, Addr>> instr_ranges;
+    for (std::size_t k = 0; k < ranges.size(); ++k) {
+        const CfgModule cfg = buildShard(ranges[k]);
+        cfg_ = &cfg;
+        const std::set<Addr> inst = chooseInstrumented();
+
+        ShardCounters &sc = result_.stats.shards[k];
+        sc.functions = cfg.totalFunctions();
+        sc.instrumented = static_cast<unsigned>(inst.size());
+        for (const auto &[entry, func] : cfg.functions) {
+            (void)entry;
+            sc.blocks += func.blocks.size();
+            for (const auto &[start, block] : func.blocks) {
+                (void)start;
+                sc.insns += block.insns.size();
+            }
+        }
+        result_.stats.totalFunctions += cfg.totalFunctions();
+        result_.stats.instrumentableFunctions +=
+            cfg.instrumentableFunctions();
+        result_.stats.instrumentedFunctions +=
+            static_cast<unsigned>(inst.size());
+
+        {
+            StageTimer timer(Stage::funcPtr);
+            for (const auto &[entry, func] : cfg.functions) {
+                (void)entry;
+                scanner.scanFunction(func);
+            }
+        }
+        for (Addr e : inst) {
+            const Function &func = cfg.functions.at(e);
+            engine.planFunction(func);
+            instr_ranges.emplace_back(func.entry, func.end);
+        }
+        cfg_ = nullptr;
+    }
+    funcPtrs_ = scanner.take();
+    result_.stats.originalLoadedSize = input_.loadedSize();
+
+    // Pass A — layout and trampolines, interleaved per function. The
+    // scratch pool evolves in the same ascending function order as
+    // the monolithic path, so every install decision matches; a
+    // function's CFL targets are in the block map the moment its own
+    // layout completes.
+    trampolineBegin();
+    std::vector<FuncSpan> spans;
+    const BlockLookup block_lookup = [&](Addr a) {
+        return engine.lookupBlock(a);
+    };
+    const BlockLookup insn_lookup = [&](Addr a) {
+        return engine.lookupInsn(a);
+    };
+    for (const ShardRange &r : ranges) {
+        const CfgModule cfg = buildShard(r);
+        cfg_ = &cfg;
+        for (Addr e : chooseInstrumented()) {
+            const Function &func = cfg.functions.at(e);
+            {
+                StageTimer timer(Stage::relocate);
+                spans.push_back(engine.layoutFunction(func));
+            }
+            const std::set<Addr> cfl = cflBlocks(func);
+            std::shared_ptr<const LivenessResult> live;
+            if (arch_.fixedLength) {
+                StageTimer timer(Stage::liveness);
+                const bool cached =
+                    opts_.useAnalysisCache && func.cacheKey != 0;
+                if (cached) {
+                    live = AnalysisCache::global().findLiveness(
+                        func.cacheKey);
+                }
+                if (!live) {
+                    auto computed =
+                        std::make_shared<LivenessResult>(
+                            computeLiveness(func, arch_));
+                    if (cached) {
+                        AnalysisCache::global().storeLiveness(
+                            func.cacheKey, input_.arch, *computed);
+                    }
+                    live = std::move(computed);
+                }
+            }
+            StageTimer timer(Stage::trampoline);
+            trampolineFunc(func, cfl, live.get(), block_lookup);
+        }
+        cfg_ = nullptr;
+    }
+    {
+        StageTimer timer(Stage::trampoline);
+        trampolineFinish();
+    }
+
+    const std::uint64_t instr_size = engine.layoutEnd() - instrBase_;
+    icp_assert(instrBase_ + instr_size <= newRodataBase_,
+               ".instr overflowed its window");
+    result_.stats.relocEmittedFunctions =
+        static_cast<unsigned>(spans.size());
+
+    // The section list must be final — and every non-streamed
+    // payload fully patched — before any byte is streamed. The
+    // .instr payload alone stays unmaterialized (empty bytes, full
+    // memSize); func-ptr patches that land in it are deferred to the
+    // emission pass.
+    Section instr;
+    instr.name = ".instr";
+    instr.kind = SectionKind::instr;
+    instr.addr = instrBase_;
+    instr.memSize = instr_size;
+    instr.executable = true;
+    out_.addSection(std::move(instr));
+
+    std::vector<std::uint8_t> rodata = engine.cloneBytes();
+    const std::uint64_t rodata_size = rodata.size();
+    if (!rodata.empty()) {
+        Section ro;
+        ro.name = ".newrodata";
+        ro.kind = SectionKind::newRodata;
+        ro.addr = newRodataBase_;
+        ro.memSize = rodata.size();
+        ro.bytes = std::move(rodata);
+        out_.addSection(std::move(ro));
+    }
+
+    std::vector<InstrPatch> deferred;
+    rewriteFuncPtrs(block_lookup, insn_lookup, &deferred);
+    if (opts_.clobberOriginal)
+        clobberOriginal(instr_ranges);
+    {
+        StageTimer timer(Stage::output);
+        buildSections(instr_size, rodata_size, engine.raPairs());
+    }
+    result_.stats.clonedTables = engine.clones().size();
+    result_.stats.rewrittenLoadedSize = out_.loadedSize();
+    result_.blockCounters = engine.blockCounters();
+    result_.entryCounters = engine.entryCounters();
+
+    // Pass B — emit and stream. Emission is deterministic in (CFG,
+    // base), so re-emitting at the recorded spans with the complete
+    // block map yields the final bytes function by function.
+    std::sort(deferred.begin(), deferred.end(),
+              [](const InstrPatch &a, const InstrPatch &b) {
+                  return a.at < b.at;
+              });
+    SbfStreamWriter writer(sink,
+                           opts_.streamWindowBytes
+                               ? opts_.streamWindowBytes
+                               : SbfStreamWriter::default_window);
+    writer.beginImage(out_);
+    for (const Section &sec : out_.sections) {
+        if (sec.kind != SectionKind::instr) {
+            writer.writeSection(sec);
+            continue;
+        }
+        writer.beginStreamedSection(sec, instr_size);
+        auto patch_it = deferred.cbegin();
+        std::size_t span_idx = 0;
+        Addr cursor = instrBase_;
+        for (const ShardRange &r : ranges) {
+            const CfgModule cfg = buildShard(r);
+            cfg_ = &cfg;
+            for (Addr e : chooseInstrumented()) {
+                const Function &func = cfg.functions.at(e);
+                const FuncSpan &span = spans[span_idx++];
+                icp_assert(span.entry == func.entry,
+                           "span/function order diverged");
+                std::vector<std::uint8_t> bytes;
+                {
+                    StageTimer timer(Stage::relocate);
+                    bytes = engine.emitFunction(func, span.base);
+                }
+                icp_assert(bytes.size() == span.size,
+                           "emission size diverged from layout");
+                for (; patch_it != deferred.cend() &&
+                       patch_it->at < span.base + bytes.size();
+                     ++patch_it) {
+                    icp_assert(patch_it->at >= span.base,
+                               "func-ptr patch outside any span");
+                    const bool ok = patchInstructionAt(
+                        bytes, span.base, patch_it->at,
+                        [&](Instruction &in) {
+                            applyFuncPtrMutation(
+                                input_, in, patch_it->newTarget);
+                        });
+                    icp_assert(ok,
+                               "func-ptr code patch failed at 0x%llx",
+                               static_cast<unsigned long long>(
+                                   patch_it->at));
+                }
+                if (cursor < span.base) {
+                    const std::vector<std::uint8_t> pad =
+                        engine.paddingBytes(cursor, span.base);
+                    writer.addChunk(cursor - instrBase_, pad.data(),
+                                    pad.size());
+                }
+                writer.addChunk(span.base - instrBase_, bytes.data(),
+                                bytes.size());
+                cursor = span.base + bytes.size();
+            }
+            cfg_ = nullptr;
+        }
+        icp_assert(cursor == engine.layoutEnd(),
+                   "streamed payload diverged from layout");
+        icp_assert(patch_it == deferred.cend(),
+                   "unapplied func-ptr patches");
+        writer.endStreamedSection();
+    }
+    writer.finishImage(out_);
+
+    if (temp_cache) {
+        std::remove(cache_path.c_str());
+        std::remove((cache_path + ".lock").c_str());
+    }
+
+    // Manifests are a monolithic-path feature (the verifier wants
+    // whole-image address maps); drop what accumulated.
+    result_.manifest = RewriteManifest{};
     result_.ok = true;
     return result_;
 }
@@ -1178,6 +1611,34 @@ rewriteBinary(const BinaryImage &input, const RewriteOptions &options,
 
     Rewriter rewriter(input, options, pass);
     RewriteResult result = rewriter.run();
+    result.cacheLoad = std::move(cache_load);
+
+    if (persist && result.ok) {
+        StageTimer timer(Stage::cacheSave);
+        AnalysisCache::global().save(options.cachePath,
+                                     options.cacheMaxBytes);
+    }
+    return result;
+}
+
+RewriteResult
+rewriteBinarySharded(const BinaryImage &input,
+                     const RewriteOptions &options, SbfSink &sink)
+{
+    // The load here only produces the user-facing report; the
+    // coordinator re-merges the file itself, shard by shard.
+    const bool persist =
+        !options.cachePath.empty() && options.useAnalysisCache;
+    CacheLoadReport cache_load;
+    if (persist) {
+        StageTimer timer(Stage::cacheLoad);
+        cache_load = AnalysisCache::global().load(options.cachePath,
+                                                  input.arch);
+    }
+
+    const RewritePass pass;
+    Rewriter rewriter(input, options, pass);
+    RewriteResult result = rewriter.runSharded(sink);
     result.cacheLoad = std::move(cache_load);
 
     if (persist && result.ok) {

@@ -45,6 +45,23 @@ RewriteResult rewriteBinary(const BinaryImage &input,
                             const RewriteOptions &options,
                             const RewritePass &pass);
 
+class SbfSink;
+
+/**
+ * Sharded, streaming rewrite (RewriteOptions::shards): analysis runs
+ * one address-range shard at a time (warmed by forked worker
+ * processes through a shared cache file) and the rewritten image is
+ * streamed to @p sink in section/address order instead of being
+ * materialized, so peak memory is O(largest shard + reorder window)
+ * rather than O(binary). The byte stream written to @p sink is
+ * identical to rewriteBinary(...).image.serialize() for the same
+ * input and options. result.image is left empty; stats, counter maps
+ * and per-shard counters are filled. Never throws; check result.ok.
+ */
+RewriteResult rewriteBinarySharded(const BinaryImage &input,
+                                   const RewriteOptions &options,
+                                   SbfSink &sink);
+
 } // namespace icp
 
 #endif // ICP_REWRITE_REWRITER_HH

@@ -1,0 +1,175 @@
+#include "rewrite/shard.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "analysis/builder.hh"
+#include "analysis/cache.hh"
+#include "analysis/cache_store.hh"
+#include "analysis/liveness.hh"
+#include "support/logging.hh"
+
+namespace icp
+{
+
+std::vector<ShardRange>
+planShards(const BinaryImage &image, unsigned shards)
+{
+    const auto syms = image.functionSymbols();
+    const unsigned n = std::max(
+        1u, std::min<unsigned>(
+                shards, static_cast<unsigned>(syms.size())));
+
+    // Boundaries at equal function-count splits; ranges tile the
+    // whole address space so membership is a pure range test.
+    std::vector<ShardRange> ranges;
+    Addr lo = 0;
+    for (unsigned k = 0; k < n; ++k) {
+        ShardRange r;
+        r.lo = lo;
+        if (k + 1 == n) {
+            r.hi = ~static_cast<Addr>(0);
+        } else {
+            const std::size_t split = syms.size() * (k + 1) / n;
+            r.hi = syms[split]->addr;
+        }
+        lo = r.hi;
+        ranges.push_back(r);
+    }
+    return ranges;
+}
+
+namespace
+{
+
+/**
+ * The worker body: warm the cache shard for one range. Runs in a
+ * forked child; must not touch the coordinator's state and exits
+ * via _exit (no atexit/stdio teardown of the parent's handles).
+ */
+int
+shardWorkerBody(const BinaryImage &image, const RewriteOptions &opts,
+                const ShardRange &range,
+                const std::string &cache_path)
+{
+    // The child inherits the parent's in-memory cache; drop it so
+    // this worker's memory is bounded by its own shard.
+    AnalysisCache::global().clear();
+    AnalysisCache::global().load(cache_path, image.arch);
+
+    AnalysisOptions analysis = opts.analysis;
+    analysis.threads = 1;
+    analysis.useCache = true;
+    analysis.rangeLo = range.lo;
+    analysis.rangeHi = range.hi;
+    const CfgModule cfg = buildCfg(image, analysis);
+
+    // Liveness for the functions the coordinator will instrument
+    // (trampoline scratch-register selection on the fixed ISAs).
+    const ArchInfo &arch = image.archInfo();
+    if (arch.fixedLength) {
+        for (const auto &[entry, func] : cfg.functions) {
+            (void)entry;
+            if (!func.instrumentable() || func.cacheKey == 0)
+                continue;
+            if (!opts.onlyFunctions.empty() &&
+                !opts.onlyFunctions.count(func.name))
+                continue;
+            if (AnalysisCache::global().findLiveness(func.cacheKey))
+                continue;
+            AnalysisCache::global().storeLiveness(
+                func.cacheKey, image.arch,
+                computeLiveness(func, arch));
+        }
+    }
+    return AnalysisCache::global().save(cache_path) ? 0 : 1;
+}
+
+/**
+ * Crash-test hook: simulate a worker killed mid-save by appending a
+ * torn partial segment to the cache file (what an interrupted
+ * appender leaves behind) and SIGKILLing ourselves.
+ */
+void
+maybeKillForTest(unsigned shard, unsigned attempt,
+                 const std::string &cache_path)
+{
+    const char *once = std::getenv("ICP_TEST_KILL_SHARD");
+    const char *always = std::getenv("ICP_TEST_KILL_SHARD_ALWAYS");
+    const char *sel = always ? always : once;
+    if (!sel || static_cast<unsigned>(std::atoi(sel)) != shard)
+        return;
+    if (!always && attempt != 0)
+        return;
+    if (std::FILE *f = std::fopen(cache_path.c_str(), "ab")) {
+        // A plausible-looking segment header cut off mid-payload.
+        const std::uint8_t torn[] = {'I', 'C', 'P', 'S', 0xff, 0x13,
+                                     0x37, 0x00, 0xde, 0xad};
+        std::fwrite(torn, 1, sizeof(torn), f);
+        std::fclose(f);
+    }
+    ::raise(SIGKILL);
+}
+
+} // namespace
+
+void
+runShardWorkers(const BinaryImage &image, const RewriteOptions &opts,
+                const std::vector<ShardRange> &ranges,
+                const std::string &cache_path,
+                std::vector<ShardCounters> &counters)
+{
+    icp_assert(counters.size() == ranges.size(),
+               "counters not sized to shard plan");
+
+    for (std::size_t k = 0; k < ranges.size(); ++k) {
+        ShardCounters &sc = counters[k];
+        sc.lo = ranges[k].lo;
+        sc.hi = ranges[k].hi;
+
+        // Sequential forks: the workers bound peak memory (one
+        // shard's CFG at a time); the 1-core host gains nothing
+        // from overlapping them.
+        bool ok = false;
+        for (unsigned attempt = 0; attempt < 2 && !ok; ++attempt) {
+            ++sc.workerAttempts;
+            const pid_t pid = ::fork();
+            if (pid < 0)
+                break; // fork pressure: degrade, never fail
+            if (pid == 0) {
+                maybeKillForTest(static_cast<unsigned>(k), attempt,
+                                 cache_path);
+                ::_exit(shardWorkerBody(image, opts, ranges[k],
+                                        cache_path));
+            }
+            int status = 0;
+            struct rusage ru;
+            std::memset(&ru, 0, sizeof(ru));
+            if (::wait4(pid, &status, 0, &ru) != pid)
+                continue;
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+                ok = true;
+#if defined(__APPLE__)
+                sc.workerPeakRssBytes =
+                    static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+                sc.workerPeakRssBytes =
+                    static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+            }
+        }
+        // Degraded: the coordinator re-analyzes this range itself
+        // when it gets there; the torn tail the crash may have left
+        // is dropped by the store's load-time validation.
+        sc.degraded = !ok;
+    }
+}
+
+} // namespace icp

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "logging.hh"
 
 namespace icp
@@ -105,6 +109,7 @@ StageTimers::reset()
     for (auto &n : nanos_)
         n.store(0, std::memory_order_relaxed);
     CacheCounters::global().reset();
+    StreamCounters::global().reset();
 }
 
 CacheCounters &
@@ -120,6 +125,37 @@ CacheCounters::reset()
     bytesMapped.store(0, std::memory_order_relaxed);
     bytesAppended.store(0, std::memory_order_relaxed);
     entriesLazy.store(0, std::memory_order_relaxed);
+}
+
+StreamCounters &
+StreamCounters::global()
+{
+    static StreamCounters counters;
+    return counters;
+}
+
+void
+StreamCounters::reset()
+{
+    bytesStreamed.store(0, std::memory_order_relaxed);
+    windowOverflows.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss); // already bytes
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024; // KiB
+#endif
+#else
+    return 0;
+#endif
 }
 
 std::string
@@ -146,6 +182,20 @@ StageTimers::table() const
                       std::memory_order_relaxed)),
                   static_cast<unsigned long long>(cc.entriesLazy.load(
                       std::memory_order_relaxed)));
+    out += line;
+    const StreamCounters &sc = StreamCounters::global();
+    std::snprintf(line, sizeof(line),
+                  "  %-12s %10llu bytes streamed, %llu window "
+                  "overflows\n",
+                  "stream.io",
+                  static_cast<unsigned long long>(sc.bytesStreamed.load(
+                      std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(sc.windowOverflows.load(
+                      std::memory_order_relaxed)));
+    out += line;
+    std::snprintf(line, sizeof(line), "  %-12s %10llu bytes\n",
+                  "peak-rss",
+                  static_cast<unsigned long long>(peakRssBytes()));
     out += line;
     return out;
 }
@@ -175,6 +225,17 @@ StageTimers::json() const
             cc.bytesAppended.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
             cc.entriesLazy.load(std::memory_order_relaxed)));
+    out += counters;
+    const StreamCounters &sc = StreamCounters::global();
+    std::snprintf(
+        counters, sizeof(counters),
+        ", \"output_bytes_streamed\": %llu, "
+        "\"stream_window_overflows\": %llu, \"peak_rss_bytes\": %llu",
+        static_cast<unsigned long long>(
+            sc.bytesStreamed.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            sc.windowOverflows.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(peakRssBytes()));
     out += counters;
     out += "}";
     return out;

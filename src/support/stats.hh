@@ -108,6 +108,32 @@ class CacheCounters
     void reset();
 };
 
+/**
+ * Process-wide counters for the streaming output writer: payload
+ * bytes pushed through SbfStreamWriter sinks and reorder-window
+ * overflows (chunks that arrived too far out of order and fell back
+ * to a positioned write). Reset together with StageTimers; reported
+ * by table()/json().
+ */
+class StreamCounters
+{
+  public:
+    static StreamCounters &global();
+
+    std::atomic<std::uint64_t> bytesStreamed{0};
+    std::atomic<std::uint64_t> windowOverflows{0};
+
+    void reset();
+};
+
+/**
+ * Peak resident set size of this process in bytes (getrusage
+ * ru_maxrss). Monotonic over the process lifetime: it cannot be
+ * reset, so bound a measurement by running it in a fresh process.
+ * Returns 0 where the platform offers no equivalent.
+ */
+std::uint64_t peakRssBytes();
+
 /** RAII accumulator: adds the scope's duration to one stage. */
 class StageTimer
 {

@@ -5,6 +5,8 @@
  * properties against a reference map, and image accessors.
  */
 
+#include <algorithm>
+#include <cstdio>
 #include <map>
 
 #include <gtest/gtest.h>
@@ -12,9 +14,11 @@
 #include "binfmt/addr_map.hh"
 #include "binfmt/ehframe.hh"
 #include "binfmt/image.hh"
+#include "binfmt/stream_writer.hh"
 #include "codegen/compiler.hh"
 #include "codegen/workloads.hh"
 #include "support/random.hh"
+#include "support/stats.hh"
 
 using namespace icp;
 
@@ -165,4 +169,121 @@ TEST(Image, HighWaterMarkIsAboveEverySection)
     EXPECT_EQ(top % 4096, 0u);
     for (const auto &sec : img.sections)
         EXPECT_LE(sec.end(), top);
+}
+
+// --- streaming SBF writer ---------------------------------------------------
+
+namespace
+{
+
+/**
+ * Stream @p img through SbfStreamWriter with the .text payload fed
+ * as chunks in the order given by @p chunk_order (indices into
+ * @p chunk_size-sized slices), every other section materialized.
+ */
+std::vector<std::uint8_t>
+streamWithChunkedText(const BinaryImage &img,
+                      const std::vector<std::size_t> &chunk_order,
+                      std::size_t chunk_size, std::size_t window)
+{
+    std::vector<std::uint8_t> out;
+    VectorSink sink(out);
+    SbfStreamWriter writer(sink, window);
+    writer.beginImage(img);
+    for (const Section &sec : img.sections) {
+        if (sec.kind != SectionKind::text) {
+            writer.writeSection(sec);
+            continue;
+        }
+        writer.beginStreamedSection(sec, sec.bytes.size());
+        for (std::size_t idx : chunk_order) {
+            const std::size_t off = idx * chunk_size;
+            const std::size_t len =
+                std::min(chunk_size, sec.bytes.size() - off);
+            writer.addChunk(off, sec.bytes.data() + off, len);
+        }
+        writer.endStreamedSection();
+    }
+    writer.finishImage(img);
+    return out;
+}
+
+std::vector<std::size_t>
+chunkIndices(const BinaryImage &img, std::size_t chunk_size)
+{
+    const Section *text = img.findSection(SectionKind::text);
+    const std::size_t n =
+        (text->bytes.size() + chunk_size - 1) / chunk_size;
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    return order;
+}
+
+} // namespace
+
+TEST(StreamWriter, InOrderChunksMatchSerialize)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, true));
+    const auto order = chunkIndices(img, 512);
+    EXPECT_EQ(streamWithChunkedText(img, order, 512,
+                                    SbfStreamWriter::default_window),
+              img.serialize());
+}
+
+TEST(StreamWriter, OutOfOrderChunksWithinWindowMatchSerialize)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::aarch64, false));
+    auto order = chunkIndices(img, 256);
+    ASSERT_GE(order.size(), 4u);
+    // Swap pairs so every chunk arrives out of order but within a
+    // one-chunk reorder distance.
+    for (std::size_t i = 0; i + 1 < order.size(); i += 2)
+        std::swap(order[i], order[i + 1]);
+    StreamCounters::global().reset();
+    EXPECT_EQ(streamWithChunkedText(img, order, 256,
+                                    SbfStreamWriter::default_window),
+              img.serialize());
+    EXPECT_EQ(StreamCounters::global().windowOverflows.load(), 0u);
+}
+
+TEST(StreamWriter, WindowOverflowFallsBackToPositionedWrites)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::ppc64le, true));
+    auto order = chunkIndices(img, 256);
+    ASSERT_GE(order.size(), 4u);
+    // Feed the payload back to front: everything except the final
+    // chunk is out of order, far beyond a 64-byte reorder window.
+    std::reverse(order.begin(), order.end());
+    StreamCounters::global().reset();
+    EXPECT_EQ(streamWithChunkedText(img, order, 256, 64),
+              img.serialize());
+    EXPECT_GT(StreamCounters::global().windowOverflows.load(), 0u);
+    EXPECT_GT(StreamCounters::global().bytesStreamed.load(), 0u);
+}
+
+TEST(StreamWriter, FileSinkMatchesVectorSink)
+{
+    const BinaryImage img =
+        compileProgram(microProfile(Arch::x64, false));
+    std::FILE *f = std::tmpfile();
+    ASSERT_NE(f, nullptr);
+    {
+        FileSink sink(f);
+        streamImage(img, sink);
+        ASSERT_TRUE(sink.ok());
+    }
+    std::fflush(f);
+    std::fseek(f, 0, SEEK_END);
+    const long len = std::ftell(f);
+    std::rewind(f);
+    std::vector<std::uint8_t> from_file(
+        static_cast<std::size_t>(len));
+    ASSERT_EQ(std::fread(from_file.data(), 1, from_file.size(), f),
+              from_file.size());
+    std::fclose(f);
+    EXPECT_EQ(from_file, img.serialize());
 }

@@ -195,7 +195,7 @@ TEST(Engine, CloneEntriesResolveToRelocatedBlocks)
     ASSERT_FALSE(result.clones.empty());
 
     for (const auto &clone : result.clones) {
-        const JumpTable &jt = *clone.source;
+        const JumpTable &jt = clone.table;
         for (unsigned i = 0; i < jt.entryCount; ++i) {
             const Offset off = clone.cloneAddr -
                                config.newRodataBase +

@@ -21,6 +21,12 @@
 #                  verify` finds it clean, and `icp cache compact
 #                  --max-bytes` / `--cache-max-bytes` enforce the
 #                  size cap
+#   sharded        multi-process rewrite smoke: the chromium-small
+#                  corpus through `icp rewrite --shards 2` must be
+#                  byte-identical to the classic path, lint clean,
+#                  leave a verifiable + compactable cache file, and
+#                  report a peak RSS below the classic run's (the
+#                  streaming writer's whole reason to exist)
 #
 # Unlike a `set -e` script, every requested leg runs even when an
 # earlier one fails; the per-leg PASS/FAIL summary and the aggregate
@@ -43,7 +49,7 @@ for arg in "$@"; do
     esac
 done
 jobs="${jobs:-$(nproc)}"
-legs="${legs:-tsan asan release lint-baseline warm-cache cache-v2}"
+legs="${legs:-tsan asan release lint-baseline warm-cache cache-v2 sharded}"
 
 # Compiler launcher: use ccache when available (CI restores its
 # directory between runs), invisible otherwise.
@@ -177,6 +183,37 @@ leg_cache_v2() {
         --cache-file "$cache" --cache-max-bytes 8192 &&
     [ "$(stat -c '%s' "$cache")" -le 8192 ] &&
     echo "compaction: size cap enforced, file still clean"
+    status=$?
+    rm -rf "$dir"
+    return $status
+}
+
+leg_sharded() {
+    echo "== Sharded rewrite smoke (chromium-small, --shards 2) =="
+    build_cli || return 1
+    dir="$(mktemp -d)"
+    cache="$dir/shards.icpc"
+    ./build/tools/icp compile chromium-small "$dir/in.sbf" --pie &&
+    ./build/tools/icp rewrite "$dir/in.sbf" "$dir/classic.sbf" \
+        --mode jt --timing | tee "$dir/classic.log" &&
+    ./build/tools/icp rewrite "$dir/in.sbf" "$dir/sharded.sbf" \
+        --mode jt --shards 2 --cache-file "$cache" --timing |
+        tee "$dir/sharded.log" &&
+    cmp "$dir/classic.sbf" "$dir/sharded.sbf" &&
+    echo "sharded output byte-identical to classic" &&
+    grep -q "^shard 1:" "$dir/sharded.log" &&
+    ./build/tools/icp lint "$dir/in.sbf" --mode jt \
+        --fail-on error &&
+    ./build/tools/icp cache verify "$cache" &&
+    ./build/tools/icp cache compact "$cache" --max-bytes 262144 &&
+    ./build/tools/icp cache verify "$cache" &&
+    # The whole point of streaming: the sharded run's peak RSS must
+    # come in under the materializing classic run's.
+    classic_rss="$(awk '/peak-rss/{print $2}' "$dir/classic.log")" &&
+    sharded_rss="$(awk '/peak-rss/{print $2}' "$dir/sharded.log")" &&
+    [ -n "$classic_rss" ] && [ -n "$sharded_rss" ] &&
+    [ "$sharded_rss" -lt "$classic_rss" ] &&
+    echo "peak RSS: sharded $sharded_rss < classic $classic_rss"
     status=$?
     rm -rf "$dir"
     return $status

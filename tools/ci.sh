@@ -10,6 +10,8 @@
 #   tools/ci.sh warm-cache     on-disk AnalysisCache round-trip smoke
 #   tools/ci.sh cache-v2       concurrent-writer merge + verify +
 #                              compaction size-cap smoke
+#   tools/ci.sh sharded        multi-process --shards rewrite smoke:
+#                              byte identity, lint, cache, RSS
 #   tools/ci.sh all            every leg (what check.sh runs bare)
 #
 #   tools/ci.sh regen-lint-baseline
@@ -41,7 +43,7 @@ regen_lint_baseline() {
 }
 
 case "$job" in
-    release|asan|tsan|lint-baseline|warm-cache|cache-v2)
+    release|asan|tsan|lint-baseline|warm-cache|cache-v2|sharded)
         exec tools/check.sh "$jobs" "$job"
         ;;
     all)
@@ -53,7 +55,7 @@ case "$job" in
     *)
         echo "ci.sh: unknown job '$job'" >&2
         echo "jobs: release asan tsan lint-baseline warm-cache" \
-             "cache-v2 all regen-lint-baseline" >&2
+             "cache-v2 sharded all regen-lint-baseline" >&2
         exit 64
         ;;
 esac

@@ -10,6 +10,7 @@
  *               [--no-placement] [--no-multihop] [--call-emulation]
  *               [--threads N] [--no-cache] [--timing]
  *               [--cache-file PATH] [--cache-max-bytes N]
+ *               [--shards N] [--stream-window BYTES]
  *               [--lint] [--fail-on S]
  *               [--inject DEFECT] [--repair[=N]]
  *   icp lint    <in.sbf> [rewrite options] [--json] [--timing]
@@ -22,7 +23,8 @@
  *   icp cache   info|verify <file.icpc>
  *   icp cache   compact <file.icpc> [--max-bytes N]
  *
- * Profiles: micro, spec0..spec18, libxul, docker, libcuda.
+ * Profiles: micro, spec0..spec18, libxul, docker, libcuda,
+ * chromium, chromium-small.
  *
  * `icp lint` rewrites the input in memory and runs the static
  * soundness verifier over the result. Exit codes: 0 when no finding
@@ -44,7 +46,15 @@
  * RewriteSession loop — rewrite, lint, selectively re-rewrite the
  * functions owning error findings — up to N (default 2) repair
  * passes, writing the repaired image; exit 0 when the final report
- * is clean at --fail-on, 2 otherwise.
+ * is clean at --fail-on, 2 otherwise. `icp rewrite --shards N` runs
+ * the sharded multi-process rewrite: the function space is split
+ * into N contiguous ranges, each analyzed by a forked worker into a
+ * shared analysis-cache shard, and the output is streamed to disk in
+ * address order so peak memory is bounded by one shard plus the
+ * reorder window (--stream-window, default 1 MiB) rather than the
+ * whole image. Output bytes are identical for every N. Incompatible
+ * with --lint/--repair/--inject (lint the output separately with
+ * `icp lint`).
  */
 
 #include <cstdio>
@@ -57,6 +67,7 @@
 #include "analysis/builder.hh"
 #include "analysis/cache.hh"
 #include "analysis/cache_store.hh"
+#include "binfmt/stream_writer.hh"
 #include "codegen/compiler.hh"
 #include "codegen/workloads.hh"
 #include "rewrite/rewriter.hh"
@@ -87,6 +98,8 @@ usage()
                  "[--timing] [--lint] [--fail-on S]\n"
                  "                   [--cache-file PATH] "
                  "[--cache-max-bytes N]\n"
+                 "                   [--shards N] "
+                 "[--stream-window BYTES]\n"
                  "                   [--inject DEFECT] "
                  "[--repair[=N]]\n"
                  "       icp lint <in.sbf> [rewrite options] "
@@ -187,6 +200,27 @@ parseRewriteFlag(RewriteOptions &opts, int argc, char **argv, int &i,
         opts.threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (arg == "--no-cache") {
         opts.useAnalysisCache = false;
+    } else if (arg == "--shards" && i + 1 < argc) {
+        opts.shards = static_cast<unsigned>(std::atoi(argv[++i]));
+        if (opts.shards == 0)
+            *bad = true;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+        opts.shards = static_cast<unsigned>(
+            std::atoi(arg.c_str() + std::strlen("--shards=")));
+        if (opts.shards == 0)
+            *bad = true;
+    } else if (arg == "--stream-window" && i + 1 < argc) {
+        opts.streamWindowBytes = static_cast<std::size_t>(
+            std::strtoull(argv[++i], nullptr, 10));
+        if (opts.streamWindowBytes == 0)
+            *bad = true;
+    } else if (arg.rfind("--stream-window=", 0) == 0) {
+        opts.streamWindowBytes = static_cast<std::size_t>(
+            std::strtoull(arg.c_str() +
+                              std::strlen("--stream-window="),
+                          nullptr, 10));
+        if (opts.streamWindowBytes == 0)
+            *bad = true;
     } else if (arg == "--cache-file" && i + 1 < argc) {
         opts.cachePath = argv[++i];
     } else if (arg.rfind("--cache-file=", 0) == 0) {
@@ -263,6 +297,10 @@ cmdCompile(int argc, char **argv)
         spec = dockerProfile();
     } else if (profile == "libcuda") {
         spec = libcudaProfile();
+    } else if (profile == "chromium") {
+        spec = chromiumProfile();
+    } else if (profile == "chromium-small") {
+        spec = chromiumSmallProfile(arch, pie);
     } else if (profile.rfind("spec", 0) == 0) {
         const unsigned idx =
             static_cast<unsigned>(std::atoi(profile.c_str() + 4));
@@ -288,6 +326,99 @@ cmdCompile(int argc, char **argv)
                 img.pie ? "PIE" : "no-PIE",
                 img.functionSymbols().size(),
                 static_cast<unsigned long long>(img.loadedSize()));
+    return 0;
+}
+
+void
+printRewriteStats(RewriteMode mode, const RewriteStats &stats)
+{
+    std::printf("mode %s: %u/%u functions, %llu trampolines "
+                "(%llu direct, %llu long, %llu multi-hop, %llu "
+                "trap), %llu cloned tables, %llu funcptrs, %llu "
+                "RA-map entries, size %+.2f%%\n",
+                rewriteModeName(mode), stats.instrumentedFunctions,
+                stats.totalFunctions,
+                static_cast<unsigned long long>(stats.trampolines),
+                static_cast<unsigned long long>(stats.directTramps),
+                static_cast<unsigned long long>(stats.longTramps),
+                static_cast<unsigned long long>(
+                    stats.multiHopTramps),
+                static_cast<unsigned long long>(stats.trapTramps),
+                static_cast<unsigned long long>(stats.clonedTables),
+                static_cast<unsigned long long>(
+                    stats.rewrittenFuncPtrs),
+                static_cast<unsigned long long>(stats.raMapEntries),
+                stats.sizeIncrease() * 100.0);
+}
+
+void
+printCacheStats(const RewriteResult &rw, const std::string &path)
+{
+    // Cross-invocation reuse report (the CLI process starts with
+    // an empty in-memory cache, so the stats are this run's).
+    const auto cstats = AnalysisCache::global().stats();
+    const std::uint64_t lookups =
+        cstats.functionHits + cstats.functionMisses;
+    std::printf("analysis cache: %llu/%llu function analyses "
+                "reused (%.1f%%), %u entries loaded from %s "
+                "(%u dropped)\n",
+                static_cast<unsigned long long>(cstats.functionHits),
+                static_cast<unsigned long long>(lookups),
+                lookups == 0
+                    ? 0.0
+                    : 100.0 *
+                          static_cast<double>(cstats.functionHits) /
+                          static_cast<double>(lookups),
+                rw.cacheLoad.loadedEntries(), path.c_str(),
+                rw.cacheLoad.droppedEntries);
+}
+
+/** `icp rewrite --shards N`: the multi-process streaming path. */
+int
+runShardedRewrite(const BinaryImage &img, RewriteOptions &opts,
+                  const char *out_path, bool timing)
+{
+    opts.lint = false;
+    std::FILE *f = std::fopen(out_path, "wb");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    FileSink sink(f);
+    const RewriteResult rw = rewriteBinarySharded(img, opts, sink);
+    const bool flushed = std::fclose(f) == 0;
+    if (!rw.ok) {
+        std::remove(out_path);
+        std::fprintf(stderr, "rewrite failed: %s\n",
+                     rw.failReason.c_str());
+        return 1;
+    }
+    if (!sink.ok() || !flushed) {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+
+    printRewriteStats(opts.mode, rw.stats);
+    for (std::size_t k = 0; k < rw.stats.shards.size(); ++k) {
+        const ShardCounters &sc = rw.stats.shards[k];
+        std::printf("shard %zu: [0x%llx, 0x%llx) %u functions "
+                    "(%u instrumented), %llu blocks, %llu insns, "
+                    "%u worker attempt(s)%s, worker peak RSS "
+                    "%llu KB\n",
+                    k, static_cast<unsigned long long>(sc.lo),
+                    static_cast<unsigned long long>(sc.hi),
+                    sc.functions, sc.instrumented,
+                    static_cast<unsigned long long>(sc.blocks),
+                    static_cast<unsigned long long>(sc.insns),
+                    sc.workerAttempts,
+                    sc.degraded ? ", DEGRADED" : "",
+                    static_cast<unsigned long long>(
+                        sc.workerPeakRssBytes / 1024));
+    }
+    if (!opts.cachePath.empty())
+        printCacheStats(rw, opts.cachePath);
+    if (timing)
+        std::printf("%s", StageTimers::global().table().c_str());
     return 0;
 }
 
@@ -341,6 +472,17 @@ cmdRewrite(int argc, char **argv)
 
     if (timing)
         StageTimers::global().reset();
+    if (opts.shards > 0) {
+        if (lint || repair ||
+            opts.injectDefect != InjectDefect::none) {
+            std::fprintf(stderr,
+                         "--shards is incompatible with --lint, "
+                         "--repair, --fail-on, and --inject; lint "
+                         "the output with `icp lint` instead\n");
+            return 1;
+        }
+        return runShardedRewrite(img, opts, argv[1], timing);
+    }
     RewriteSession session(img);
     {
         const RewriteResult &first = session.rewrite(opts);
@@ -377,49 +519,9 @@ cmdRewrite(int argc, char **argv)
         std::fprintf(stderr, "cannot write %s\n", argv[1]);
         return 1;
     }
-    std::printf("mode %s: %u/%u functions, %llu trampolines "
-                "(%llu direct, %llu long, %llu multi-hop, %llu "
-                "trap), %llu cloned tables, %llu funcptrs, %llu "
-                "RA-map entries, size %+.2f%%\n",
-                rewriteModeName(opts.mode),
-                rw.stats.instrumentedFunctions,
-                rw.stats.totalFunctions,
-                static_cast<unsigned long long>(
-                    rw.stats.trampolines),
-                static_cast<unsigned long long>(
-                    rw.stats.directTramps),
-                static_cast<unsigned long long>(rw.stats.longTramps),
-                static_cast<unsigned long long>(
-                    rw.stats.multiHopTramps),
-                static_cast<unsigned long long>(rw.stats.trapTramps),
-                static_cast<unsigned long long>(
-                    rw.stats.clonedTables),
-                static_cast<unsigned long long>(
-                    rw.stats.rewrittenFuncPtrs),
-                static_cast<unsigned long long>(
-                    rw.stats.raMapEntries),
-                rw.stats.sizeIncrease() * 100.0);
-    if (!opts.cachePath.empty()) {
-        // Cross-invocation reuse report (the CLI process starts with
-        // an empty in-memory cache, so the stats are this run's).
-        const auto cstats = AnalysisCache::global().stats();
-        const std::uint64_t lookups =
-            cstats.functionHits + cstats.functionMisses;
-        std::printf("analysis cache: %llu/%llu function analyses "
-                    "reused (%.1f%%), %u entries loaded from %s "
-                    "(%u dropped)\n",
-                    static_cast<unsigned long long>(
-                        cstats.functionHits),
-                    static_cast<unsigned long long>(lookups),
-                    lookups == 0 ? 0.0
-                                 : 100.0 *
-                                       static_cast<double>(
-                                           cstats.functionHits) /
-                                       static_cast<double>(lookups),
-                    rw.cacheLoad.loadedEntries(),
-                    opts.cachePath.c_str(),
-                    rw.cacheLoad.droppedEntries);
-    }
+    printRewriteStats(opts.mode, rw.stats);
+    if (!opts.cachePath.empty())
+        printCacheStats(rw, opts.cachePath);
     if (timing)
         std::printf("%s", StageTimers::global().table().c_str());
     if (lint) {
