@@ -10,10 +10,13 @@
  * one-instruction-edited binary: one analysis miss, one-entry delta
  * append — the paper's incremental steady state) — reporting wall
  * time, the cache file size, and the per-stage timer breakdown,
- * including the cache.load/cache.save stages. `--json <path>` writes
- * the results (BENCH_parallel.json in the repository is a committed
- * baseline); `--cache-file <path>` relocates the disk regimes'
- * cache file from its /tmp default.
+ * including the cache.load/cache.save stages. A warm_datadeps
+ * section compares the three RewriteSession::loadInput edit classes
+ * (unread-data edit: splice everything; code edit: re-emit one
+ * function; relocation-site edit: conservative full reset). `--json
+ * <path>` writes the results (BENCH_parallel.json in the repository
+ * is a committed baseline); `--cache-file <path>` relocates the disk
+ * regimes' cache file from its /tmp default.
  *
  * Speedups are whatever the host delivers: on a single-core
  * container the thread counts verify determinism and overhead
@@ -24,6 +27,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -34,6 +38,7 @@
 #include <unistd.h>
 
 #include "analysis/cache.hh"
+#include "analysis/datadeps.hh"
 #include "bench_main.hh"
 #include "binfmt/stream_writer.hh"
 #include "codegen/compiler.hh"
@@ -517,6 +522,182 @@ warmSessionSection(icp::bench::JsonSections &sections)
     sections.add("warm_session", json.str());
 }
 
+/**
+ * Pick a data byte nothing depends on: outside every recorded
+ * read-set, donated scratch range, runtime-relocation slot, and
+ * rewritten pointer cell. Scans .rodata backwards (the rodataPadding
+ * tail lives there). Returns 0 when none exists.
+ */
+Addr
+findUnreadDataByte(RewriteSession &session)
+{
+    DepIndex index;
+    for (const auto &[entry, func] : session.analyze().functions)
+        index.add(entry, func.dataDeps);
+    index.build();
+
+    const RewriteManifest &manifest = session.lastResult().manifest;
+    auto claimed = [&](Addr a) {
+        std::set<Addr> owners;
+        index.overlapping(a, a + 1, owners);
+        if (!owners.empty())
+            return true;
+        for (const auto &[addr, len] : manifest.scratchRanges)
+            if (a >= addr && a < addr + len)
+                return true;
+        for (const Relocation &rel : session.input().relocs)
+            if (a >= rel.site && a < rel.site + 8)
+                return true;
+        for (const FuncPtrPatch &p : manifest.funcPtrs)
+            if (p.kind == FuncPtrPatch::Kind::dataCell &&
+                a >= p.site && a < p.site + 8)
+                return true;
+        return false;
+    };
+
+    for (const Section &sec : session.input().sections) {
+        if (sec.executable || sec.bytes.empty() ||
+            sec.name != ".rodata")
+            continue;
+        for (std::size_t i = sec.bytes.size(); i-- > 0;) {
+            const Addr a = sec.addr + static_cast<Addr>(i);
+            if (!claimed(a))
+                return a;
+        }
+    }
+    return 0;
+}
+
+bool
+flipImageByte(BinaryImage &img, Addr victim)
+{
+    for (Section &sec : img.sections) {
+        if (!sec.contains(victim) || sec.bytes.empty())
+            continue;
+        const std::size_t off =
+            static_cast<std::size_t>(victim - sec.addr);
+        if (off >= sec.bytes.size())
+            return false;
+        sec.bytes[off] ^= 0x5a;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * The data-dependency regime: the same libxul corpus pushed through
+ * RewriteSession::loadInput under the three edit classes the
+ * read-set slicing distinguishes — an unread-data edit (overlap
+ * query finds no reader: every function splices, nothing
+ * re-analyzes), a one-instruction code edit (one dirty function
+ * re-emits), and a relocation-site edit (conservative full reset,
+ * the pre-slicing worst case the first two are measured against).
+ */
+void
+warmDatadepsSection(icp::bench::JsonSections &sections)
+{
+    ProgramSpec spec = libxulProfile();
+    // A blob no analysis reads — the string-table shape of the
+    // paper's data-edit workload.
+    spec.rodataPadding = 4096;
+
+    struct Regime
+    {
+        const char *name;
+        bool expectIncremental;
+    };
+    const std::vector<Regime> regimes = {
+        {"data-only", true},
+        {"code-edit", true},
+        {"reset", false},
+    };
+
+    RewriteOptions opts;
+    opts.mode = RewriteMode::funcPtr;
+    opts.instrumentation.countFunctionEntries = true;
+    opts.threads = 1;
+    // lint stays on: the splice path reuses the recorded manifest.
+
+    TextTable table({"Edit", "Wall ms", "Incremental", "Dirty",
+                     "Emitted", "Spliced"});
+    std::ostringstream json;
+    json << "[";
+    for (std::size_t i = 0; i < regimes.size(); ++i) {
+        const Regime &regime = regimes[i];
+        // Fresh session per regime so every delta is measured
+        // against the identical full-rewrite baseline.
+        AnalysisCache::global().clear();
+        RewriteSession session(compileProgram(spec));
+        if (!session.rewrite(opts).ok) {
+            std::fprintf(stderr, "session rewrite failed\n");
+            std::exit(1);
+        }
+
+        BinaryImage edited = compileProgram(spec);
+        bool prepared = false;
+        if (std::string(regime.name) == "data-only") {
+            const Addr victim = findUnreadDataByte(session);
+            prepared = victim != 0 && flipImageByte(edited, victim);
+        } else if (std::string(regime.name) == "code-edit") {
+            prepared = mutateOneImmediate(edited);
+        } else {
+            // Overwrite a runtime-relocation slot: loadInput cannot
+            // attribute the diff to any function and must reset.
+            for (const Relocation &rel : edited.relocs)
+                if ((prepared = flipImageByte(edited, rel.site)))
+                    break;
+        }
+        if (!prepared) {
+            std::fprintf(stderr, "no %s edit site found\n",
+                         regime.name);
+            std::exit(1);
+        }
+
+        StageTimers::global().reset();
+        const auto t0 = std::chrono::steady_clock::now();
+        const RewriteSession::LoadOutcome outcome =
+            session.loadInput(std::move(edited));
+        // A reset clears the previous result; the full re-rewrite it
+        // forces is the cost of this edit class, so time it too.
+        if (!outcome.incremental)
+            session.rewrite(opts);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!session.lastResult().ok ||
+            outcome.incremental != regime.expectIncremental) {
+            std::fprintf(stderr, "%s edit: unexpected outcome\n",
+                         regime.name);
+            std::exit(1);
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count();
+        const RewriteResult &res = session.lastResult();
+        table.addRow(
+            {regime.name, std::to_string(ms),
+             outcome.incremental ? "yes" : "no (reset)",
+             std::to_string(outcome.dirtyFunctions.size()),
+             std::to_string(res.stats.relocEmittedFunctions),
+             std::to_string(res.stats.relocReusedFunctions)});
+        json << (i ? ",\n" : "\n")
+             << "    {\"edit\": \"" << regime.name
+             << "\", \"wall_ms\": " << ms << ", \"incremental\": "
+             << (outcome.incremental ? "true" : "false")
+             << ", \"dirty_functions\": "
+             << outcome.dirtyFunctions.size()
+             << ", \"emitted_functions\": "
+             << res.stats.relocEmittedFunctions
+             << ", \"spliced_functions\": "
+             << res.stats.relocReusedFunctions
+             << ", \"stages\": " << StageTimers::global().json()
+             << "}";
+    }
+    json << "\n  ]";
+    std::printf("libxul data-dependency deltas "
+                "(RewriteSession::loadInput by edit class)\n%s\n",
+                table.render().c_str());
+    sections.add("warm_datadeps", json.str());
+}
+
 std::string
 runsJson(const std::vector<Run> &runs)
 {
@@ -612,6 +793,7 @@ main(int argc, char **argv)
     std::remove(cache_file.c_str());
 
     warmSessionSection(sections);
+    warmDatadepsSection(sections);
 
     if (!icp::bench::writeJsonIfRequested(argc, argv,
                                           sections.str()))

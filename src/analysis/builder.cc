@@ -261,6 +261,19 @@ FunctionBuilder::resolveIndirectJumps()
                 work_.push_back(t);
                 discovered = true;
             }
+            // An anchor-relative base (a code label the entries are
+            // offsets from) must survive as a block even when no
+            // entry currently targets it — entry values are
+            // recomputed against the relocated anchor, and a data
+            // edit may legally retarget every entry away from it.
+            if (jt->base && *jt->base != jt->tableAddr &&
+                inFunction(*jt->base) &&
+                *jt->base % image_.archInfo().instrAlign == 0 &&
+                !leaders_.count(*jt->base)) {
+                leaders_.insert(*jt->base);
+                work_.push_back(*jt->base);
+                discovered = true;
+            }
             func_.jumpTables.push_back(std::move(*jt));
         }
         {
@@ -416,16 +429,52 @@ buildCfg(const BinaryImage &image, const AnalysisOptions &opts)
                 key = functionCacheKey(image, sym, try_ranges, seed);
                 if (auto hit =
                         AnalysisCache::global().findFunction(key)) {
-                    built[i] = *hit;
-                    return;
+                    // The key covers code bytes but not data
+                    // contents; accept the hit only when the data
+                    // bytes its analysis read are unchanged. No
+                    // recorded read-set (pre-deps cache file) is a
+                    // conservative miss.
+                    auto deps =
+                        AnalysisCache::global().findDataDeps(key);
+                    bool ok = false;
+                    if (deps) {
+                        StageTimer timer(Stage::depsValidate);
+                        ok = deps->validate(image);
+                    }
+                    DepsCounters &dc = DepsCounters::global();
+                    if (ok) {
+                        dc.hitsValidated.fetch_add(
+                            1, std::memory_order_relaxed);
+                        built[i] = *hit;
+                        built[i].dataDeps = *deps;
+                        return;
+                    }
+                    dc.hitsRejected.fetch_add(
+                        1, std::memory_order_relaxed);
                 }
             }
             FunctionBuilder builder(image, opts, sym, try_ranges);
             built[i] = builder.build();
             built[i].cacheKey = key;
-            if (opts.useCache)
+            {
+                StageTimer timer(Stage::depsCompute);
+                built[i].dataDeps = computeDataDeps(built[i], image);
+            }
+            DepsCounters &dc = DepsCounters::global();
+            dc.rangesRecorded.fetch_add(built[i].dataDeps.size(),
+                                        std::memory_order_relaxed);
+            dc.bytesRecorded.fetch_add(
+                built[i].dataDeps.totalBytes(),
+                std::memory_order_relaxed);
+            if (opts.useCache) {
                 AnalysisCache::global().storeFunction(
                     key, image.arch, built[i]);
+                // Stored even when empty: presence means "computed,
+                // reads nothing", absence means "unknown" (which
+                // findFunction consumers must treat as a miss).
+                AnalysisCache::global().storeDataDeps(
+                    key, image.arch, built[i].dataDeps);
+            }
         });
 
     for (std::size_t i = 0; i < syms.size(); ++i)

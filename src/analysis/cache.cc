@@ -54,15 +54,19 @@ imageCacheSeed(const BinaryImage &image, const AnalysisOptions &opts)
     h = fnvValue(opts.inject.seed, h);
 
     // Jump-table analysis dereferences table bytes that live outside
-    // the function's own range (.rodata, .data); fold every
-    // non-executable loadable section in so data edits can never
-    // serve stale targets.
+    // the function's own range (.rodata, .data). Their *contents* are
+    // deliberately not folded here: each function records the exact
+    // ranges it read (Function::dataDeps, hashed per range), and
+    // buildCfg validates a hit against the current image, so a data
+    // edit invalidates only the functions that actually read the
+    // edited bytes instead of the whole image. Section addresses and
+    // sizes stay in the key — analysis bounds tables by their
+    // containing section's extent.
     for (const Section &sec : image.sections) {
         if (!sec.loadable || sec.executable)
             continue;
         h = fnvValue(sec.addr, h);
         h = fnvValue(sec.memSize, h);
-        h = fnv1a(sec.bytes.data(), sec.bytes.size(), h);
     }
     return h;
 }
@@ -120,6 +124,16 @@ AnalysisCache::storeLiveness(std::uint64_t key, Arch arch,
     liveness_[key] = {arch, std::move(value)};
 }
 
+void
+AnalysisCache::storeDataDeps(std::uint64_t key, Arch arch,
+                             DataDeps deps)
+{
+    auto value = std::make_shared<const DataDeps>(std::move(deps));
+    std::lock_guard<std::mutex> lock(mu_);
+    pendingDataDeps_.erase(key);
+    dataDeps_[key] = {arch, std::move(value)};
+}
+
 AnalysisCache::Stats
 AnalysisCache::stats() const
 {
@@ -131,8 +145,9 @@ std::size_t
 AnalysisCache::entryCount() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return functions_.size() + liveness_.size() +
-           pendingFunctions_.size() + pendingLiveness_.size();
+    return functions_.size() + liveness_.size() + dataDeps_.size() +
+           pendingFunctions_.size() + pendingLiveness_.size() +
+           pendingDataDeps_.size();
 }
 
 void
@@ -141,8 +156,10 @@ AnalysisCache::clear()
     std::lock_guard<std::mutex> lock(mu_);
     functions_.clear();
     liveness_.clear();
+    dataDeps_.clear();
     pendingFunctions_.clear();
     pendingLiveness_.clear();
+    pendingDataDeps_.clear();
     stats_ = Stats{};
 }
 

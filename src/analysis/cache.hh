@@ -8,11 +8,16 @@
  * (or slightly changed) binary skips almost all analysis work: only
  * functions whose bytes actually changed are re-analyzed.
  *
- * Keying caveat: the key covers the function's own bytes plus every
- * non-executable loadable section (jump-table data may live in
- * .rodata), hashed once per image. Changing any data section
- * therefore invalidates the whole image's entries — conservative,
- * but never stale for the supported scenario.
+ * Keying caveat: the key covers the function's own bytes and the
+ * layout (address/size) of every non-executable loadable section,
+ * but not data-section *contents*. Jump-table data may live in
+ * .rodata, so a code-keyed hit could be stale after a data edit;
+ * buildCfg therefore validates every hit against the function's
+ * recorded data read-set (Function::dataDeps, per-range FNV content
+ * hashes, stored alongside the function under the same key) and
+ * degrades to a conservative miss when the deps are absent or their
+ * bytes changed. Data edits thus invalidate exactly the functions
+ * that read the edited bytes, not the whole image.
  */
 
 #ifndef ICP_ANALYSIS_CACHE_HH
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "analysis/builder.hh"
+#include "analysis/datadeps.hh"
 #include "analysis/liveness.hh"
 
 namespace icp
@@ -132,6 +138,16 @@ class AnalysisCache
     void storeLiveness(std::uint64_t key, Arch arch,
                        LivenessResult live);
 
+    /**
+     * The data read-set recorded for @p key's function, or nullptr
+     * when none was stored (pre-deps cache file, caching off): the
+     * consumer must then treat a code-keyed hit as a conservative
+     * miss. Does not count toward hit/miss stats — deps ride along
+     * with their function entry.
+     */
+    std::shared_ptr<const DataDeps> findDataDeps(std::uint64_t key);
+    void storeDataDeps(std::uint64_t key, Arch arch, DataDeps deps);
+
     Stats stats() const;
 
     /** Decoded plus lazily-indexed entries. */
@@ -202,9 +218,12 @@ class AnalysisCache
     std::unordered_map<std::uint64_t, Entry<Function>> functions_;
     std::unordered_map<std::uint64_t, Entry<LivenessResult>>
         liveness_;
+    std::unordered_map<std::uint64_t, Entry<DataDeps>> dataDeps_;
     std::unordered_map<std::uint64_t, PendingEntry>
         pendingFunctions_;
     std::unordered_map<std::uint64_t, PendingEntry> pendingLiveness_;
+    std::unordered_map<std::uint64_t, PendingEntry>
+        pendingDataDeps_;
     Stats stats_;
 };
 

@@ -26,7 +26,9 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <set>
 #include <unordered_set>
+#include <utility>
 
 #include <fcntl.h>
 #include <sys/file.h>
@@ -403,8 +405,57 @@ decodeLiveness(ByteReader &rd, LivenessResult &live)
     return !rd.failed() && rd.remaining() == 0;
 }
 
+std::vector<std::uint8_t>
+encodeDataDeps(const DataDeps &deps)
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, static_cast<std::uint32_t>(deps.size()));
+    for (const DepRange &r : deps.ranges()) {
+        putU64(out, r.lo);
+        putU64(out, r.hi);
+        putU64(out, r.hash);
+    }
+    return out;
+}
+
+bool
+decodeDataDeps(ByteReader &rd, DataDeps &deps)
+{
+    const std::uint32_t n = rd.u32();
+    if (n > rd.remaining() / 24)
+        return false;
+    std::vector<DepRange> ranges;
+    ranges.reserve(n);
+    Addr prev_hi = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        DepRange r;
+        r.lo = rd.u64();
+        r.hi = rd.u64();
+        r.hash = rd.u64();
+        // The encoder only writes finalized sets: sorted, disjoint,
+        // non-empty ranges. Anything else is not ours.
+        if (r.hi <= r.lo || (i > 0 && r.lo < prev_hi))
+            return false;
+        prev_hi = r.hi;
+        ranges.push_back(r);
+    }
+    if (rd.failed() || rd.remaining() != 0)
+        return false;
+    deps.setRanges(std::move(ranges));
+    return true;
+}
+
 constexpr std::uint8_t entry_kind_function = 1;
 constexpr std::uint8_t entry_kind_liveness = 2;
+constexpr std::uint8_t entry_kind_datadeps = 3;
+
+bool
+knownEntryKind(std::uint8_t kind)
+{
+    return kind == entry_kind_function ||
+           kind == entry_kind_liveness ||
+           kind == entry_kind_datadeps;
+}
 
 void
 appendEntry(std::vector<std::uint8_t> &out, std::uint8_t kind,
@@ -517,12 +568,14 @@ scanBuffer(const std::uint8_t *data, std::size_t size)
     const std::uint32_t version = rd.u32();
     scan.version = version;
 
-    if (version != 1 && version != cache_file_version) {
+    if (version < cache_file_min_version ||
+        version > cache_file_version) {
         char msg[96];
         std::snprintf(msg, sizeof(msg),
-                      "format version %u (this build reads 1..%u); "
+                      "format version %u (this build reads %u..%u); "
                       "file ignored",
-                      version, cache_file_version);
+                      version, cache_file_min_version,
+                      cache_file_version);
         scan.issues.push_back({"cache-version", 4, msg});
         return scan;
     }
@@ -732,14 +785,18 @@ compactLocked(const std::string &path, std::uint64_t max_bytes,
     if (!scan.issues.empty() && scan.version == 0)
         return false; // not a cache file; refuse to clobber it
 
-    // Deduplicate by key (last occurrence wins: it is the newest
-    // append) and heal silently-corrupt payloads by verifying each
-    // checksum here — compaction is the slow, thorough path.
-    std::map<std::uint64_t, const RawEntry *> by_key;
+    // Deduplicate by (kind, key) — function, liveness, and data-dep
+    // entries share the Function::cacheKey namespace — with the last
+    // occurrence winning (it is the newest append), and heal
+    // silently-corrupt payloads by verifying each checksum here —
+    // compaction is the slow, thorough path.
+    std::map<std::pair<std::uint8_t, std::uint64_t>,
+             const RawEntry *>
+        by_key;
     for (const RawEntry &e : scan.entries) {
         if (fnv1a(e.payload, e.payloadLen) != e.payloadHash)
             continue;
-        by_key[e.key] = &e;
+        by_key[{e.kind, e.key}] = &e;
     }
     out.entriesBefore = static_cast<unsigned>(scan.entries.size());
 
@@ -934,6 +991,38 @@ AnalysisCache::findLiveness(std::uint64_t key)
     return ins->second.value;
 }
 
+std::shared_ptr<const DataDeps>
+AnalysisCache::findDataDeps(std::uint64_t key)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = dataDeps_.find(key);
+    if (it != dataDeps_.end())
+        return it->second.value;
+    auto pit = pendingDataDeps_.find(key);
+    if (pit == pendingDataDeps_.end())
+        return nullptr;
+    const PendingEntry pe = pit->second;
+    lock.unlock();
+    DataDeps deps;
+    ByteReader rd(pe.payload, pe.payloadLen);
+    const bool ok =
+        fnv1a(pe.payload, pe.payloadLen) == pe.payloadHash &&
+        decodeDataDeps(rd, deps);
+    lock.lock();
+    pendingDataDeps_.erase(key);
+    if (!ok) {
+        // Corrupt read-set: the paired function hit degrades to a
+        // conservative miss at its consumer.
+        return nullptr;
+    }
+    auto value = std::make_shared<const DataDeps>(std::move(deps));
+    auto [ins, fresh] = dataDeps_.emplace(
+        key, Entry<DataDeps>{pe.arch, std::move(value)});
+    CacheCounters::global().entriesLazy.fetch_add(
+        1, std::memory_order_relaxed);
+    return ins->second.value;
+}
+
 // --- load -----------------------------------------------------------------
 
 CacheLoadReport
@@ -962,12 +1051,17 @@ AnalysisCache::load(const std::string &path,
     std::vector<const RawEntry *> accepted;
     accepted.reserve(scan.entries.size());
     for (const RawEntry &e : scan.entries) {
-        if (e.kind != entry_kind_function &&
-            e.kind != entry_kind_liveness) {
-            report.issues.push_back(
-                {"cache-entry", e.offset,
-                 "unknown entry kind; entry dropped"});
-            ++report.droppedEntries;
+        if (!knownEntryKind(e.kind)) {
+            // Forward compatibility: a newer writer introduced an
+            // entry kind this build does not understand. Skipping it
+            // only costs re-derivation of whatever it memoized.
+            char msg[96];
+            std::snprintf(msg, sizeof(msg),
+                          "unknown entry kind %u (newer writer?); "
+                          "entry skipped",
+                          e.kind);
+            report.issues.push_back({"cache-skip", e.offset, msg});
+            ++report.skippedUnknown;
             continue;
         }
         if (e.arch > static_cast<std::uint8_t>(Arch::aarch64)) {
@@ -993,6 +1087,10 @@ AnalysisCache::load(const std::string &path,
     }
 
     std::lock_guard<std::mutex> lock(mu_);
+    // Decoded in-memory entries win over file entries; among file
+    // entries for the same key the newest occurrence (last in file
+    // order: save() appends replacements when a function's data
+    // read-set changed) wins.
     for (const RawEntry *e : accepted) {
         PendingEntry pe;
         pe.arch = static_cast<Arch>(e->arch);
@@ -1000,21 +1098,25 @@ AnalysisCache::load(const std::string &path,
         pe.payloadLen = e->payloadLen;
         pe.payloadHash = e->payloadHash;
         pe.file = file;
-        if (e->kind == entry_kind_function) {
-            if (functions_.count(e->key) ||
-                !pendingFunctions_.emplace(e->key, std::move(pe))
-                     .second)
+        auto index = [&](auto &decoded, auto &pending,
+                         unsigned &loaded) {
+            if (decoded.count(e->key)) {
                 ++report.skippedExisting;
-            else
-                ++report.loadedFunctions;
-        } else {
-            if (liveness_.count(e->key) ||
-                !pendingLiveness_.emplace(e->key, std::move(pe))
-                     .second)
-                ++report.skippedExisting;
-            else
-                ++report.loadedLiveness;
-        }
+                return;
+            }
+            if (!pending.count(e->key))
+                ++loaded;
+            pending[e->key] = std::move(pe);
+        };
+        if (e->kind == entry_kind_function)
+            index(functions_, pendingFunctions_,
+                  report.loadedFunctions);
+        else if (e->kind == entry_kind_liveness)
+            index(liveness_, pendingLiveness_,
+                  report.loadedLiveness);
+        else
+            index(dataDeps_, pendingDataDeps_,
+                  report.loadedDataDeps);
     }
     return report;
 }
@@ -1036,11 +1138,26 @@ AnalysisCache::save(const std::string &path,
     const bool append_mode =
         file && scan.usableV2() && !scan.torn;
 
-    // Keys already durable in the file need not be written again.
-    std::unordered_set<std::uint64_t> file_keys;
-    for (const RawEntry &e : scan.entries)
-        if (e.completeSegment)
-            file_keys.insert(e.key);
+    // Keys already durable in the file, kept per entry kind —
+    // function, liveness, and data-dep entries share the
+    // Function::cacheKey namespace — plus the newest durable payload
+    // hash of each data read-set, so a read-set that changed under
+    // an unchanged code key (a data edit) triggers a replacement
+    // append instead of being treated as already saved.
+    std::unordered_set<std::uint64_t> file_fn, file_lv, file_deps;
+    std::unordered_map<std::uint64_t, std::uint64_t> file_deps_hash;
+    for (const RawEntry &e : scan.entries) {
+        if (!e.completeSegment)
+            continue;
+        if (e.kind == entry_kind_function)
+            file_fn.insert(e.key);
+        else if (e.kind == entry_kind_liveness)
+            file_lv.insert(e.key);
+        else if (e.kind == entry_kind_datadeps) {
+            file_deps.insert(e.key);
+            file_deps_hash[e.key] = e.payloadHash;
+        }
+    }
 
     // Collect the delta — everything in memory the file lacks —
     // under the cache lock, but only as cheap references: values are
@@ -1051,20 +1168,51 @@ AnalysisCache::save(const std::string &path,
     // keep output byte-stable for identical contents.
     std::map<std::uint64_t, Entry<Function>> miss_fn;
     std::map<std::uint64_t, Entry<LivenessResult>> miss_lv;
-    std::map<std::uint64_t, PendingEntry> miss_fn_raw, miss_lv_raw;
+    std::map<std::uint64_t, Entry<DataDeps>> miss_deps;
+    std::map<std::uint64_t, PendingEntry> miss_fn_raw, miss_lv_raw,
+        miss_deps_raw;
+    std::map<std::uint64_t, std::vector<std::uint8_t>> deps_payload;
     {
         std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[key, entry] : dataDeps_) {
+            // Read-sets are tiny (a handful of ranges); encoding
+            // them under the lock to compare against the file's
+            // payload hash is cheaper than a decode round trip.
+            std::vector<std::uint8_t> payload =
+                encodeDataDeps(*entry.value);
+            const bool stale =
+                file_deps.count(key) != 0 &&
+                file_deps_hash[key] !=
+                    fnv1a(payload.data(), payload.size());
+            if (!file_deps.count(key) || stale) {
+                miss_deps.emplace(key, entry);
+                deps_payload.emplace(key, std::move(payload));
+            }
+            if (stale) {
+                // A changed read-set under an unchanged code key
+                // means a data edit re-analyzed this function: the
+                // file's function payload is stale too. Append the
+                // fresh one — load() lets the newest occurrence of
+                // a key win.
+                auto fit = functions_.find(key);
+                if (fit != functions_.end())
+                    miss_fn.emplace(key, fit->second);
+            }
+        }
+        for (const auto &[key, pe] : pendingDataDeps_)
+            if (!file_deps.count(key))
+                miss_deps_raw.emplace(key, pe);
         for (const auto &[key, entry] : functions_)
-            if (!file_keys.count(key))
+            if (!file_fn.count(key))
                 miss_fn.emplace(key, entry);
         for (const auto &[key, pe] : pendingFunctions_)
-            if (!file_keys.count(key))
+            if (!file_fn.count(key))
                 miss_fn_raw.emplace(key, pe);
         for (const auto &[key, entry] : liveness_)
-            if (!file_keys.count(key))
+            if (!file_lv.count(key))
                 miss_lv.emplace(key, entry);
         for (const auto &[key, pe] : pendingLiveness_)
-            if (!file_keys.count(key))
+            if (!file_lv.count(key))
                 miss_lv_raw.emplace(key, pe);
     }
 
@@ -1091,6 +1239,16 @@ AnalysisCache::save(const std::string &path,
                     pe.payload, pe.payloadLen, pe.payloadHash);
         ++count;
     }
+    for (const auto &[key, entry] : miss_deps) {
+        appendEntry(body, entry_kind_datadeps, entry.arch, key,
+                    deps_payload[key]);
+        ++count;
+    }
+    for (const auto &[key, pe] : miss_deps_raw) {
+        appendEntry(body, entry_kind_datadeps, pe.arch, key,
+                    pe.payload, pe.payloadLen, pe.payloadHash);
+        ++count;
+    }
 
     bool ok = true;
     if (append_mode && count == 0) {
@@ -1111,16 +1269,20 @@ AnalysisCache::save(const std::string &path,
             CacheCounters::global().bytesAppended.fetch_add(
                 seg.size(), std::memory_order_relaxed);
     } else {
-        // Fresh file, v1 migration, foreign/torn content: full
-        // atomic rewrite. Durable raw entries from a v2 scan are
-        // copied through; everything else comes from memory.
+        // Fresh file, older-version migration, foreign/torn content:
+        // full atomic rewrite. Durable raw entries from any readable
+        // scan are copied through (deduplicated per kind, newest
+        // occurrence first); everything else comes from memory.
         const std::uint64_t generation = scan.maxGeneration + 1;
         std::vector<std::uint8_t> full_body;
         std::uint32_t full_count = 0;
-        if (scan.version == 1 || scan.usableV2()) {
-            std::unordered_set<std::uint64_t> seen;
-            for (const RawEntry &e : scan.entries) {
-                if (!e.completeSegment || !seen.insert(e.key).second)
+        if (scan.version != 0) {
+            std::set<std::pair<std::uint8_t, std::uint64_t>> seen;
+            for (auto it = scan.entries.rbegin();
+                 it != scan.entries.rend(); ++it) {
+                const RawEntry &e = *it;
+                if (!e.completeSegment ||
+                    !seen.insert({e.kind, e.key}).second)
                     continue;
                 appendEntry(full_body, e.kind,
                             static_cast<Arch>(e.arch), e.key,
@@ -1170,6 +1332,10 @@ inspectCacheFile(const std::string &path)
             ++info.functionEntries;
         else if (e.kind == entry_kind_liveness)
             ++info.livenessEntries;
+        else if (e.kind == entry_kind_datadeps)
+            ++info.dataDepsEntries;
+        else
+            ++info.otherEntries;
         info.payloadBytes += e.payloadLen;
     }
     return info;
@@ -1226,10 +1392,24 @@ verifyCacheFile(const std::string &path)
                 continue;
             }
             ++report.loadedLiveness;
+        } else if (e.kind == entry_kind_datadeps) {
+            DataDeps deps;
+            if (!decodeDataDeps(rd, deps)) {
+                report.issues.push_back(
+                    {"cache-entry", e.offset,
+                     "malformed data read-set payload"});
+                ++report.droppedEntries;
+                continue;
+            }
+            ++report.loadedDataDeps;
         } else {
-            report.issues.push_back(
-                {"cache-entry", e.offset, "unknown entry kind"});
-            ++report.droppedEntries;
+            char msg[96];
+            std::snprintf(msg, sizeof(msg),
+                          "unknown entry kind %u (newer writer?); "
+                          "entry skipped",
+                          e.kind);
+            report.issues.push_back({"cache-skip", e.offset, msg});
+            ++report.skippedUnknown;
         }
     }
     return report;

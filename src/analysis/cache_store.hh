@@ -31,13 +31,23 @@
  *   u64 generation  monotonically increasing across appends
  *   u64 headerHash  FNV-1a over the previous 24 header bytes
  *   entryCount x {
- *     u8  kind      1 = function CFG, 2 = liveness summary
+ *     u8  kind      1 = function CFG, 2 = liveness summary,
+ *                   3 = data read-set (v3)
  *     u8  arch      Arch enum value
  *     u64 key       Function::cacheKey the entry memoizes
  *     u32 payloadLen
  *     u64 payloadHash   FNV-1a over the payload bytes
  *     u8  payload[payloadLen]
  *   }
+ *
+ * Version 3 adds the data read-set entry kind (DataDeps: u32 count,
+ * count x { u64 lo, u64 hi, u64 rangeHash }) without changing the
+ * container framing or the function/liveness payload encodings, so
+ * v2 files load unchanged (their functions just have no recorded
+ * deps and degrade to conservative cache misses at consumption).
+ * Forward compatibility is structural: an *unknown* entry kind is
+ * skipped with a `cache-skip` info diagnostic — a reader built
+ * before a kind was introduced tolerates files that contain it.
  *
  * load() maps the file (zero-copy) and only walks entry headers; a
  * payload's checksum is verified and its bytes deserialized lazily
@@ -54,10 +64,15 @@
  * whole-file snapshot) load transparently read-only with a
  * `cache-migrated` info diagnostic; the next save writes v2.
  *
- * Invalidation needs no explicit rule: the key already covers the
- * function bytes, the analysis options, and every non-executable
- * loadable section (see imageCacheSeed), so a stale entry's key is
- * simply never looked up again.
+ * Invalidation: a key covers the function bytes, the analysis
+ * options, and the data-section layout (see imageCacheSeed) — but
+ * not data contents. A code edit changes the key, so the stale entry
+ * is never looked up again; a data edit keeps the key, and the
+ * consumer (buildCfg) rejects the hit when the entry's recorded data
+ * read-set no longer hashes clean against the image. save() appends
+ * replacement function+deps entries when the in-memory read-set
+ * disagrees with the file's (load() lets the newest occurrence of a
+ * key win), so a warm file converges after data edits too.
  */
 
 #ifndef ICP_ANALYSIS_CACHE_STORE_HH
@@ -72,7 +87,10 @@ namespace icp
 
 constexpr std::uint32_t cache_file_magic = 0x43504349;    // "ICPC"
 constexpr std::uint32_t cache_segment_magic = 0x53504349; // "ICPS"
-constexpr std::uint32_t cache_file_version = 2;
+constexpr std::uint32_t cache_file_version = 3;
+
+/** Oldest file version load() still reads (v1: whole-file snapshot). */
+constexpr std::uint32_t cache_file_min_version = 1;
 
 /** Byte sizes of the fixed-layout records above. */
 constexpr std::size_t cache_file_header_bytes = 16;
@@ -110,9 +128,13 @@ struct CacheLoadReport
      */
     unsigned loadedFunctions = 0;
     unsigned loadedLiveness = 0;
+    unsigned loadedDataDeps = 0;
 
     /** Entries present in the file but rejected (one issue each). */
     unsigned droppedEntries = 0;
+
+    /** Unknown-kind entries tolerated (forward compat, info issue). */
+    unsigned skippedUnknown = 0;
 
     /** Keys already in memory; the in-memory entry won. */
     unsigned skippedExisting = 0;
@@ -124,7 +146,7 @@ struct CacheLoadReport
     unsigned
     loadedEntries() const
     {
-        return loadedFunctions + loadedLiveness;
+        return loadedFunctions + loadedLiveness + loadedDataDeps;
     }
 };
 
@@ -138,6 +160,8 @@ struct CacheFileInfo
     unsigned segments = 0;
     unsigned functionEntries = 0;
     unsigned livenessEntries = 0;
+    unsigned dataDepsEntries = 0;
+    unsigned otherEntries = 0; ///< unknown kinds (forward compat)
     std::uint64_t payloadBytes = 0;
     std::vector<CacheFileIssue> issues;
 };

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/datadeps.hh"
 #include "binfmt/image.hh"
 #include "isa/instruction.hh"
 
@@ -124,6 +125,15 @@ struct Function
      * memoized under the same key.
      */
     std::uint64_t cacheKey = 0;
+
+    /**
+     * Data bytes this function's analysis and clones read (jump
+     * tables, constant-base data loads), finalized against the image
+     * it was analyzed on. Cache hits keyed on code bytes are
+     * validated by re-hashing these ranges; loadInput keys data-edit
+     * invalidation on overlap with them.
+     */
+    DataDeps dataDeps;
 
     bool instrumentable() const
     {

@@ -134,6 +134,7 @@ class CompilerImpl
     Addr vtabAddr_ = 0;
     Addr vtabDataAddr_ = 0;
     Addr plusOneCellAddr_ = 0;
+    Addr globalsAddr_ = 0;
     Addr plusOneSlotAddr_ = 0;
     int goexitIdx_ = -1;
 
@@ -231,6 +232,15 @@ CompilerImpl::emitSwitch(Assembler &as, unsigned func_idx,
     for (auto &l : case_labels)
         l = as.newLabel();
 
+    // Merged case bodies: the last case's entry points at case 0's
+    // block, so the table has a duplicated target.
+    const bool merge_last =
+        sw.dupLastCase && !sw.denseTiny && sw.cases >= 2;
+    const unsigned bound_cases =
+        merge_last ? sw.cases - 1 : sw.cases;
+    if (merge_last)
+        case_labels[sw.cases - 1] = case_labels[0];
+
     // Index in r7, derived from the argument register.
     as.emit(makeMovReg(Reg::r7, arg));
     as.emit(makeAddImm(Reg::r7, static_cast<std::int64_t>(sw_idx)));
@@ -325,7 +335,7 @@ CompilerImpl::emitSwitch(Assembler &as, unsigned func_idx,
         as.emit(makeAddImm(Reg::r4, 1));
         as.bind(merge);
     } else {
-        for (unsigned i = 0; i < sw.cases; ++i) {
+        for (unsigned i = 0; i < bound_cases; ++i) {
             as.bind(case_labels[i]);
             as.emit(makeAddImm(Reg::r4,
                                static_cast<std::int64_t>(i * 7 + 3)));
@@ -481,6 +491,17 @@ CompilerImpl::emitRegularBody(Assembler &as, const FuncSpec &fs,
         as.emitToLabel(makeJmpCond(Cond::ne, 0), skip);
         as.emit(makeAddImm(Reg::r4, 3));
         as.bind(skip);
+    }
+
+    // Constant-base load of a global data cell (a feature flag, a
+    // tuning knob): the ISA-generic address materialization —
+    // lea/adr/addis+addi — gives every ISA functions with a data
+    // read-set outside any jump table.
+    if (fs.readsGlobal) {
+        emitLoadAddr(as, Reg::r2,
+                     globalsAddr_ + (fs.globalSlot & 7) * 8);
+        as.emit(makeLoad(Reg::r3, Reg::r2, 0));
+        as.emit(makeAdd(Reg::r4, Reg::r3));
     }
 
     // Direct calls, optionally covered by a try range.
@@ -818,6 +839,7 @@ CompilerImpl::planLayout()
         plusOneSlotAddr_ = dcur;
         dcur += 8;
     }
+    globalsAddr_ = dcur;
     dcur += 64; // small globals area
     dataSize_ = dcur - dataBase_;
 }

@@ -46,6 +46,15 @@ struct SwitchSpec
      * traps.
      */
     bool denseTiny = false;
+
+    /**
+     * The last case shares case 0's block (real compilers merge
+     * identical case bodies): the table carries a duplicated target,
+     * so one entry can be redirected onto another without changing
+     * the function's jump-table target *set* — the edit the
+     * data-dependency invalidation check pokes.
+     */
+    bool dupLastCase = false;
 };
 
 /** One function of the synthetic program. */
@@ -99,6 +108,14 @@ struct FuncSpec
 
     /** Emit an x == &f comparison (func-ptr safety, §5.2). */
     bool comparesFuncPtr = false;
+
+    /**
+     * Load one 8-byte cell of the .data globals area through a
+     * constant base — a data read the dependency analysis records on
+     * every ISA. globalSlot picks which of the 8 cells (mod 8).
+     */
+    bool readsGlobal = false;
+    unsigned globalSlot = 0;
 };
 
 /** A whole program. funcs[0] is main. */

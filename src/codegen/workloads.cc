@@ -380,6 +380,10 @@ buildChromiumCorpus(const char *name, unsigned components,
     // without unwind tables.
     spec.features.cppExceptions = false;
 
+    // A string-table-like blob at the end of .rodata no analysis
+    // reads: the data-only-edit target of the invalidation check.
+    spec.rodataPadding = 2048;
+
     const unsigned n = components * funcs_per;
     const unsigned pool = 8; // address-taken leaves per component
     spec.funcs.resize(n + 1);
@@ -405,6 +409,14 @@ buildChromiumCorpus(const char *name, unsigned components,
             if (l + pool >= funcs_per) {
                 fs.addressTaken = true; // callback leaf pool
                 continue;
+            }
+            if (rng.chance(0.15)) {
+                // Feature-flag readers: a data read-set on every
+                // ISA, including ones whose jump tables embed in
+                // .text.
+                fs.readsGlobal = true;
+                fs.globalSlot = static_cast<unsigned>(
+                    rng.range(0, 7));
             }
             if (rng.chance(0.18)) {
                 // Dispatcher: a cloned-jump-table candidate.
@@ -435,6 +447,9 @@ buildChromiumCorpus(const char *name, unsigned components,
         SwitchSpec dispatch;
         dispatch.cases = 16;
         dispatch.entrySize = arch == Arch::aarch64 ? 2 : 4;
+        // Merged case bodies give every hub table a duplicated
+        // target, the shape the datadeps invalidation check pokes.
+        dispatch.dupLastCase = true;
         hub.switches.push_back(dispatch);
         for (unsigned k = 0; k < 3; ++k) {
             hub.callees.push_back(fidx(

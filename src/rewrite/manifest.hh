@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/datadeps.hh"
 #include "rewrite/trampoline.hh"
 
 namespace icp
@@ -114,6 +115,14 @@ struct RewriteManifest
 
     /** Entries of the instrumented (relocated) functions. */
     std::set<Addr> instrumented;
+
+    /**
+     * Per-function data read-sets (function entry -> finalized
+     * ranges), copied from the analyzed CFG. The datadep-* lint
+     * rules audit these against a recomputation from the original
+     * image; loadInput keys data-edit invalidation on them.
+     */
+    std::map<Addr, DataDeps> dataDeps;
 
     /**
      * When fault injection ran (RewriteOptions::injectDefect), the

@@ -59,6 +59,9 @@ enum class InjectDefect : std::uint8_t
     raMapEntry,     ///< corrupt one .ra_map pair
     dropFde,        ///< drop the FDE covering a relocated function
     funcPtrStale,   ///< restore a rewritten pointer cell
+    depMissing,     ///< drop one recorded data read-set range
+    depStale,       ///< flip one recorded read-set range hash
+    depOverbroad,   ///< append a large bogus (but clean-hash) range
 };
 
 const char *injectDefectName(InjectDefect defect);

@@ -49,6 +49,9 @@ injectDefectName(InjectDefect defect)
       case InjectDefect::raMapEntry: return "ra-map-entry";
       case InjectDefect::dropFde: return "drop-fde";
       case InjectDefect::funcPtrStale: return "func-ptr-stale";
+      case InjectDefect::depMissing: return "dep-missing";
+      case InjectDefect::depStale: return "dep-stale";
+      case InjectDefect::depOverbroad: return "dep-overbroad";
     }
     return "?";
 }
@@ -57,7 +60,7 @@ std::optional<InjectDefect>
 parseInjectDefect(const std::string &name)
 {
     for (unsigned v = 0;
-         v <= static_cast<unsigned>(InjectDefect::funcPtrStale); ++v) {
+         v <= static_cast<unsigned>(InjectDefect::depOverbroad); ++v) {
         const auto defect = static_cast<InjectDefect>(v);
         if (name == injectDefectName(defect))
             return defect;
@@ -913,6 +916,8 @@ Rewriter::fillManifest(const EngineResult &engine)
     m.raPairs = engine.raPairs;
     m.funcSpans = engine.funcSpans;
     m.instrumented = instrumented_;
+    for (const auto &[entry, func] : cfg_->functions)
+        m.dataDeps[entry] = func.dataDeps;
     for (const auto &clone : engine.clones) {
         const JumpTable &jt = clone.table;
         JumpTableClonePatch p;
@@ -1123,6 +1128,73 @@ Rewriter::injectByteDefect()
                 }
             }
             m.injectedRule = "func-ptr-target";
+            return;
+        }
+        return;
+      }
+
+      case InjectDefect::depMissing: {
+        // Drop one recorded read-set range: the audit's expected
+        // recomputation finds bytes the owner reads but never
+        // recorded.
+        for (auto &[entry, deps] : m.dataDeps) {
+            if (deps.empty() || !injectSiteAllowed(entry))
+                continue;
+            auto ranges = deps.ranges();
+            ranges.pop_back();
+            deps.setRanges(std::move(ranges));
+            m.injectedRule = "datadep-missing";
+            return;
+        }
+        return;
+      }
+
+      case InjectDefect::depStale: {
+        // Flip one recorded range hash: the range no longer hashes
+        // clean against the image it claims to describe.
+        for (auto &[entry, deps] : m.dataDeps) {
+            if (deps.empty() || !injectSiteAllowed(entry))
+                continue;
+            auto ranges = deps.ranges();
+            ranges.back().hash ^= 1;
+            deps.setRanges(std::move(ranges));
+            m.injectedRule = "datadep-stale";
+            return;
+        }
+        return;
+      }
+
+      case InjectDefect::depOverbroad: {
+        // Append a large range the slice never reads, with a
+        // *correct* content hash (re-finalized against the input),
+        // so only the overbroad audit fires — not stale.
+        const Section *blob = nullptr;
+        for (const Section &sec : input_.sections) {
+            if (!sec.loadable || sec.executable ||
+                sec.bytes.empty())
+                continue;
+            if (!blob || sec.memSize > blob->memSize)
+                blob = &sec;
+        }
+        if (!blob)
+            return;
+        for (auto &[entry, deps] : m.dataDeps) {
+            if (deps.empty() || !injectSiteAllowed(entry))
+                continue;
+            const std::uint64_t before = deps.totalBytes();
+            DataDeps widened;
+            for (const DepRange &r : deps.ranges())
+                widened.add(r.lo, r.hi);
+            widened.add(blob->addr, blob->addr + blob->memSize);
+            widened.finalize(input_);
+            // Below the audit threshold the defect would go
+            // unflagged; keep looking for a smaller owner.
+            const std::uint64_t extra =
+                widened.totalBytes() - before;
+            if (extra <= std::max<std::uint64_t>(64, before))
+                continue;
+            deps = std::move(widened);
+            m.injectedRule = "datadep-overbroad";
             return;
         }
         return;

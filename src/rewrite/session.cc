@@ -48,6 +48,7 @@ selectiveLintRules()
         "tramp-trap",    "tramp-scratch-live", "toc-preserved",
         "jt-clone-bounds", "jt-clone-target", "patch-overlap",
         "eh-frame-cover", "func-ptr-target",
+        "datadep-missing", "datadep-stale", "datadep-overbroad",
     };
     return rules;
 }
@@ -109,8 +110,12 @@ RewriteSession::loadInput(BinaryImage newImage)
     }
 
     std::set<Addr> dirty;
+    std::vector<std::pair<Addr, Addr>> dataDiffs; // changed [lo, hi)
+    std::vector<std::size_t> dataSections;        // their indices
+    std::size_t span_count = 0;
     if (comparable) {
         const std::vector<DiffSpan> spans = functionSpans(*input_);
+        span_count = spans.size();
         for (std::size_t i = 0; i < input_->sections.size(); ++i) {
             const Section &os = input_->sections[i];
             const Section &ns = newImage.sections[i];
@@ -122,10 +127,39 @@ RewriteSession::loadInput(BinaryImage newImage)
             if (os.bytes == ns.bytes)
                 continue;
             if (!os.executable) {
-                // Data bytes feed jump-table analysis and are cloned
-                // into the output; a data edit invalidates splicing.
-                comparable = false;
-                break;
+                // A data edit dirties exactly the functions whose
+                // recorded read-sets overlap the changed bytes
+                // (Function::dataDeps). That is sound only when
+                // analysis reads data through recorded slices:
+                //  - non-PIE images word-scan all of .data/.rodata
+                //    for function pointers (unrecorded reads), and
+                //  - structural sections (.rela.dyn, .dynsym,
+                //    .eh_frame, ...) feed whole-image analyses;
+                // both fall back to a full reset, as does a session
+                // without a manifest to splice from.
+                if (!input_->pie || !result_.manifest.populated ||
+                    (os.kind != SectionKind::rodata &&
+                     os.kind != SectionKind::data)) {
+                    comparable = false;
+                    break;
+                }
+                std::size_t b = 0;
+                while (b < os.bytes.size()) {
+                    if (os.bytes[b] == ns.bytes[b]) {
+                        ++b;
+                        continue;
+                    }
+                    std::size_t e = b;
+                    while (e < os.bytes.size() &&
+                           os.bytes[e] != ns.bytes[e])
+                        ++e;
+                    dataDiffs.emplace_back(
+                        os.addr + static_cast<Addr>(b),
+                        os.addr + static_cast<Addr>(e));
+                    b = e;
+                }
+                dataSections.push_back(i);
+                continue;
             }
             for (std::size_t b = 0; b < os.bytes.size(); ++b) {
                 if (os.bytes[b] == ns.bytes[b])
@@ -144,10 +178,53 @@ RewriteSession::loadInput(BinaryImage newImage)
             if (!comparable)
                 break;
         }
-        if (comparable)
-            out.unchangedFunctions = static_cast<unsigned>(
-                spans.size() - dirty.size());
     }
+
+    if (comparable && !dataDiffs.empty()) {
+        // Edits under donated scratch ranges or function-pointer
+        // cells interact with emitted artifacts in ways the splice
+        // below cannot reproduce; reset conservatively.
+        auto overlapsDiff = [&](Addr lo, Addr hi) {
+            for (const auto &[dlo, dhi] : dataDiffs) {
+                if (dlo < hi && lo < dhi)
+                    return true;
+            }
+            return false;
+        };
+        for (const auto &[addr, len] : result_.manifest.scratchRanges)
+            if (overlapsDiff(addr, addr + len))
+                comparable = false;
+        for (const Relocation &rel : input_->relocs)
+            if (overlapsDiff(rel.site, rel.site + 8))
+                comparable = false;
+        for (const FuncPtrPatch &p : result_.manifest.funcPtrs)
+            if (p.kind == FuncPtrPatch::Kind::dataCell &&
+                overlapsDiff(p.site, p.site + 8))
+                comparable = false;
+
+        if (comparable && !cfgBuilt_)
+            comparable = false;
+        if (comparable) {
+            // Overlap-keyed invalidation: dirty exactly the readers
+            // of the changed bytes.
+            DepIndex index;
+            for (const auto &[entry, func] : cfg_.functions)
+                index.add(entry, func.dataDeps);
+            index.build();
+            std::set<Addr> owners;
+            for (const auto &[lo, hi] : dataDiffs)
+                index.overlapping(lo, hi, owners);
+            for (Addr entry : owners) {
+                dirty.insert(entry);
+                auto it = cfg_.functions.find(entry);
+                if (it != cfg_.functions.end())
+                    out.dirtyNames.insert(it->second.name);
+            }
+        }
+    }
+    if (comparable)
+        out.unchangedFunctions =
+            static_cast<unsigned>(span_count - dirty.size());
 
     // Adopt the new image; the old CFG described the old bytes.
     owned_ = std::move(newImage);
@@ -174,8 +251,36 @@ RewriteSession::loadInput(BinaryImage newImage)
     out.incremental = true;
     out.dirtyFunctions = dirty;
 
-    if (dirty.empty())
-        return out; // byte-identical input: previous result stands
+    if (dirty.empty()) {
+        // Code-identical input: the previous result stands. A
+        // zero-overlap data edit (a string-table change no analysis
+        // read) is spliced into the output image wholesale — the
+        // rewrite copies input data sections verbatim, so copying
+        // the new bytes and re-applying the recorded pointer-cell
+        // patches reproduces a cold rewrite of the edited input
+        // byte for byte, with zero functions re-emitted.
+        for (std::size_t i : dataSections) {
+            const Section &ns = input_->sections[i];
+            for (Section &rs : result_.image.sections) {
+                if (rs.name == ns.name && rs.addr == ns.addr) {
+                    rs.bytes = ns.bytes;
+                    break;
+                }
+            }
+        }
+        if (!dataSections.empty()) {
+            for (const FuncPtrPatch &p : result_.manifest.funcPtrs) {
+                if (p.kind != FuncPtrPatch::Kind::dataCell)
+                    continue;
+                std::vector<std::uint8_t> raw;
+                for (unsigned b = 0; b < 8; ++b)
+                    raw.push_back(static_cast<std::uint8_t>(
+                        p.newValue >> (8 * b)));
+                result_.image.writeBytes(p.site, raw);
+            }
+        }
+        return out;
+    }
 
     // Selective re-rewrite: re-emit only the changed functions,
     // splice everything else from the previous pass (PR 3's repair

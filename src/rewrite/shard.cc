@@ -93,6 +93,47 @@ shardWorkerBody(const BinaryImage &image, const RewriteOptions &opts,
 }
 
 /**
+ * Concurrency-test hook: when ICP_TEST_SHARD_BARRIER=<dir>:<count>
+ * is set, the worker drops a start file into <dir> and waits (up to
+ * ~10 s) until all <count> start files exist before doing any work.
+ * Only a coordinator that launches every worker before reaping any
+ * can pass the barrier; a serialized launch-reap loop would park its
+ * single live worker in the timeout. Returns false on timeout.
+ */
+bool
+maybeBarrierForTest(unsigned shard)
+{
+    const char *spec = std::getenv("ICP_TEST_SHARD_BARRIER");
+    if (!spec)
+        return true;
+    const std::string s(spec);
+    const std::size_t colon = s.rfind(':');
+    if (colon == std::string::npos)
+        return true;
+    const std::string dir = s.substr(0, colon);
+    const unsigned count =
+        static_cast<unsigned>(std::atoi(s.c_str() + colon + 1));
+    char path[512];
+    std::snprintf(path, sizeof(path), "%s/shard-%u.started",
+                  dir.c_str(), shard);
+    if (std::FILE *f = std::fopen(path, "wb"))
+        std::fclose(f);
+    for (int spin = 0; spin < 10000; ++spin) {
+        unsigned present = 0;
+        for (unsigned k = 0; k < count; ++k) {
+            std::snprintf(path, sizeof(path), "%s/shard-%u.started",
+                          dir.c_str(), k);
+            if (::access(path, F_OK) == 0)
+                ++present;
+        }
+        if (present == count)
+            return true;
+        ::usleep(1000);
+    }
+    return false;
+}
+
+/**
  * Crash-test hook: simulate a worker killed mid-save by appending a
  * torn partial segment to the cache file (what an interrupted
  * appender leaves behind) and SIGKILLing ourselves.
@@ -129,46 +170,68 @@ runShardWorkers(const BinaryImage &image, const RewriteOptions &opts,
     icp_assert(counters.size() == ranges.size(),
                "counters not sized to shard plan");
 
-    for (std::size_t k = 0; k < ranges.size(); ++k) {
-        ShardCounters &sc = counters[k];
-        sc.lo = ranges[k].lo;
-        sc.hi = ranges[k].hi;
-
-        // Sequential forks: the workers bound peak memory (one
-        // shard's CFG at a time); the 1-core host gains nothing
-        // from overlapping them.
-        bool ok = false;
-        for (unsigned attempt = 0; attempt < 2 && !ok; ++attempt) {
-            ++sc.workerAttempts;
-            const pid_t pid = ::fork();
-            if (pid < 0)
-                break; // fork pressure: degrade, never fail
-            if (pid == 0) {
-                maybeKillForTest(static_cast<unsigned>(k), attempt,
-                                 cache_path);
-                ::_exit(shardWorkerBody(image, opts, ranges[k],
-                                        cache_path));
-            }
-            int status = 0;
-            struct rusage ru;
-            std::memset(&ru, 0, sizeof(ru));
-            if (::wait4(pid, &status, 0, &ru) != pid)
-                continue;
-            if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
-                ok = true;
-#if defined(__APPLE__)
-                sc.workerPeakRssBytes =
-                    static_cast<std::uint64_t>(ru.ru_maxrss);
-#else
-                sc.workerPeakRssBytes =
-                    static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
-#endif
-            }
+    // Fork one worker per shard (and, on failure, one sequential
+    // retry). The attempt spawns the child and returns its pid (or
+    // -1 under fork pressure); the reap waits for it and harvests
+    // peak RSS. Shards write disjoint key sets and the cache save
+    // serializes on the file's flock, so concurrent workers merge
+    // segments instead of clobbering.
+    auto launch = [&](std::size_t k, unsigned attempt) -> pid_t {
+        ++counters[k].workerAttempts;
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            maybeKillForTest(static_cast<unsigned>(k), attempt,
+                             cache_path);
+            if (!maybeBarrierForTest(static_cast<unsigned>(k)))
+                ::_exit(3);
+            ::_exit(shardWorkerBody(image, opts, ranges[k],
+                                    cache_path));
         }
+        return pid; // < 0: fork pressure — degrade, never fail
+    };
+    auto reap = [&](std::size_t k, pid_t pid) -> bool {
+        if (pid < 0)
+            return false;
+        int status = 0;
+        struct rusage ru;
+        std::memset(&ru, 0, sizeof(ru));
+        if (::wait4(pid, &status, 0, &ru) != pid)
+            return false;
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            return false;
+#if defined(__APPLE__)
+        counters[k].workerPeakRssBytes =
+            static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+        counters[k].workerPeakRssBytes =
+            static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+        return true;
+    };
+
+    // Phase 1: launch every shard's worker, then reap them all in
+    // launch order — the analysis overlaps across cores instead of
+    // serializing on each child's exit.
+    std::vector<pid_t> pids(ranges.size(), -1);
+    for (std::size_t k = 0; k < ranges.size(); ++k) {
+        counters[k].lo = ranges[k].lo;
+        counters[k].hi = ranges[k].hi;
+        pids[k] = launch(k, 0);
+    }
+    std::vector<bool> ok(ranges.size(), false);
+    for (std::size_t k = 0; k < ranges.size(); ++k)
+        ok[k] = reap(k, pids[k]);
+
+    // Phase 2: one sequential retry per failed shard (a crashed
+    // worker may have left a torn cache tail; retrying serially
+    // keeps the repair-then-append window simple to reason about).
+    for (std::size_t k = 0; k < ranges.size(); ++k) {
+        if (!ok[k])
+            ok[k] = reap(k, launch(k, 1));
         // Degraded: the coordinator re-analyzes this range itself
         // when it gets there; the torn tail the crash may have left
         // is dropped by the store's load-time validation.
-        sc.degraded = !ok;
+        counters[k].degraded = !ok[k];
     }
 }
 

@@ -77,6 +77,8 @@ stageName(Stage stage)
       case Stage::lintPtrs: return "lint.ptrs";
       case Stage::cacheLoad: return "cache.load";
       case Stage::cacheSave: return "cache.save";
+      case Stage::depsCompute: return "deps.compute";
+      case Stage::depsValidate: return "deps.validate";
       case Stage::count_: break;
     }
     return "?";
@@ -109,6 +111,7 @@ StageTimers::reset()
     for (auto &n : nanos_)
         n.store(0, std::memory_order_relaxed);
     CacheCounters::global().reset();
+    DepsCounters::global().reset();
     StreamCounters::global().reset();
 }
 
@@ -125,6 +128,22 @@ CacheCounters::reset()
     bytesMapped.store(0, std::memory_order_relaxed);
     bytesAppended.store(0, std::memory_order_relaxed);
     entriesLazy.store(0, std::memory_order_relaxed);
+}
+
+DepsCounters &
+DepsCounters::global()
+{
+    static DepsCounters counters;
+    return counters;
+}
+
+void
+DepsCounters::reset()
+{
+    rangesRecorded.store(0, std::memory_order_relaxed);
+    bytesRecorded.store(0, std::memory_order_relaxed);
+    hitsValidated.store(0, std::memory_order_relaxed);
+    hitsRejected.store(0, std::memory_order_relaxed);
 }
 
 StreamCounters &
@@ -162,7 +181,7 @@ std::string
 StageTimers::table() const
 {
     std::string out;
-    char line[96];
+    char line[128];
     for (unsigned s = 0; s < static_cast<unsigned>(Stage::count_);
          ++s) {
         const auto stage = static_cast<Stage>(s);
@@ -182,6 +201,21 @@ StageTimers::table() const
                       std::memory_order_relaxed)),
                   static_cast<unsigned long long>(cc.entriesLazy.load(
                       std::memory_order_relaxed)));
+    out += line;
+    const DepsCounters &dc = DepsCounters::global();
+    std::snprintf(
+        line, sizeof(line),
+        "  %-12s %10llu ranges (%llu bytes), %llu hits ok, "
+        "%llu rejected\n",
+        "deps.io",
+        static_cast<unsigned long long>(
+            dc.rangesRecorded.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            dc.bytesRecorded.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            dc.hitsValidated.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            dc.hitsRejected.load(std::memory_order_relaxed)));
     out += line;
     const StreamCounters &sc = StreamCounters::global();
     std::snprintf(line, sizeof(line),
@@ -226,6 +260,22 @@ StageTimers::json() const
         static_cast<unsigned long long>(
             cc.entriesLazy.load(std::memory_order_relaxed)));
     out += counters;
+    const DepsCounters &dc = DepsCounters::global();
+    char deps[192];
+    std::snprintf(
+        deps, sizeof(deps),
+        ", \"deps_ranges_recorded\": %llu, \"deps_bytes_recorded\": "
+        "%llu, \"deps_hits_validated\": %llu, "
+        "\"deps_hits_rejected\": %llu",
+        static_cast<unsigned long long>(
+            dc.rangesRecorded.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            dc.bytesRecorded.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            dc.hitsValidated.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            dc.hitsRejected.load(std::memory_order_relaxed)));
+    out += deps;
     const StreamCounters &sc = StreamCounters::global();
     std::snprintf(
         counters, sizeof(counters),

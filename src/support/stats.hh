@@ -57,6 +57,8 @@ enum class Stage : unsigned
     lintPtrs,   ///< lint: loaded function-pointer cells
     cacheLoad,  ///< on-disk AnalysisCache deserialization
     cacheSave,  ///< on-disk AnalysisCache serialization
+    depsCompute,///< data read-set recording (computeDataDeps)
+    depsValidate,///< data read-set re-hash on cache hits
     count_      ///< number of stages (not a stage)
 };
 
@@ -104,6 +106,26 @@ class CacheCounters
     std::atomic<std::uint64_t> bytesMapped{0};
     std::atomic<std::uint64_t> bytesAppended{0};
     std::atomic<std::uint64_t> entriesLazy{0};
+
+    void reset();
+};
+
+/**
+ * Process-wide counters for the data read-set layer: ranges and
+ * bytes recorded by computeDataDeps during CFG construction, and the
+ * hit-validation outcomes (a rejected hit means a data byte the
+ * function reads changed, so the hit degraded to a conservative
+ * miss). Reset together with StageTimers; reported by table()/json().
+ */
+class DepsCounters
+{
+  public:
+    static DepsCounters &global();
+
+    std::atomic<std::uint64_t> rangesRecorded{0};
+    std::atomic<std::uint64_t> bytesRecorded{0};
+    std::atomic<std::uint64_t> hitsValidated{0};
+    std::atomic<std::uint64_t> hitsRejected{0};
 
     void reset();
 };

@@ -62,6 +62,14 @@ lintRules()
         {"func-ptr-target", Severity::error,
          "rewritten pointer cell does not load to its relocated "
          "target"},
+        {"datadep-missing", Severity::error,
+         "cloned jump table or loaded pointer cell whose source "
+         "bytes are absent from the owner's recorded read-set"},
+        {"datadep-stale", Severity::error,
+         "recorded read-set range hash disagrees with the image"},
+        {"datadep-overbroad", Severity::warning,
+         "recorded read-set exceeds the analysis slice's actual "
+         "reads beyond the audit threshold"},
         {"lint-input", Severity::error,
          "rewrite failed; there is no output image to verify"},
         {"lint-manifest", Severity::error,
@@ -86,6 +94,9 @@ lintRules()
          "analysis-cache entry payload does not decode"},
         {"cache-arch", Severity::warning,
          "analysis-cache entry was produced for a different ISA"},
+        {"cache-skip", Severity::info,
+         "analysis-cache entry of an unknown kind was skipped "
+         "(file written by a newer build)"},
     };
     return rules;
 }

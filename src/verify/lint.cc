@@ -66,6 +66,7 @@ class Checker
         checkOverlaps();
         checkAddrMaps();
         checkEhFrames();
+        checkDataDeps();
         if (opts_.checkLoadedImage)
             checkFuncPtrs();
         return std::move(findings_);
@@ -798,6 +799,81 @@ class Checker
         }
     }
 
+    // --- R13/R14/R15: data read-set audit ---------------------------------
+
+    /**
+     * Audit each function's recorded data read-set against a fresh
+     * recomputation from the original CFG and image: ranges the
+     * slices read must be recorded (datadep-missing), recorded
+     * hashes must match the image (datadep-stale), and the recorded
+     * total must not exceed the actual reads beyond a threshold
+     * (datadep-overbroad) — an overbroad set is sound but erodes the
+     * precision of overlap-keyed invalidation. One finding per rule
+     * per function, so a planted defect yields a focused report.
+     */
+    void
+    checkDataDeps()
+    {
+        if (!anyRuleEnabled({"datadep-missing", "datadep-stale",
+                             "datadep-overbroad"}))
+            return;
+        for (const auto &[entry, recorded] : m_.dataDeps) {
+            if (!siteEnabled(entry))
+                continue;
+            const Function *fn = functionAt(entry);
+            if (!fn)
+                continue;
+            ++checkedDataDeps_;
+
+            DataDeps expected;
+            {
+                const StageTimer timer(Stage::depsCompute);
+                expected = computeDataDeps(*fn, orig_);
+            }
+            if (ruleEnabled("datadep-missing")) {
+                for (const DepRange &r : expected.ranges()) {
+                    if (recorded.covers(r.lo, r.hi))
+                        continue;
+                    report("datadep-missing", Severity::error, r.lo,
+                           invalid_addr, entry,
+                           "analysis reads [" + hex(r.lo) + ", " +
+                               hex(r.hi) +
+                               ") but the recorded read-set does "
+                               "not cover it");
+                    break;
+                }
+            }
+            if (ruleEnabled("datadep-stale")) {
+                for (const DepRange &r : recorded.ranges()) {
+                    const std::uint64_t now =
+                        hashImageRange(orig_, r.lo, r.hi);
+                    if (now == r.hash)
+                        continue;
+                    report("datadep-stale", Severity::error, r.lo,
+                           invalid_addr, entry,
+                           "recorded hash of [" + hex(r.lo) + ", " +
+                               hex(r.hi) +
+                               ") disagrees with the image");
+                    break;
+                }
+            }
+            if (ruleEnabled("datadep-overbroad")) {
+                const std::uint64_t want = expected.totalBytes();
+                const std::uint64_t have = recorded.totalBytes();
+                const std::uint64_t slack =
+                    std::max<std::uint64_t>(64, want);
+                if (have > want + slack) {
+                    report("datadep-overbroad", Severity::warning,
+                           entry, invalid_addr, entry,
+                           "recorded read-set spans " +
+                               std::to_string(have) +
+                               " bytes; the analysis slices read " +
+                               std::to_string(want));
+                }
+            }
+        }
+    }
+
     // --- R11: function-pointer cells under the loader ---------------------
 
     void
@@ -859,6 +935,7 @@ class Checker
     std::uint64_t checkedFuncPtrs_ = 0;
     std::uint64_t checkedRaPairs_ = 0;
     std::uint64_t checkedFdes_ = 0;
+    std::uint64_t checkedDataDeps_ = 0;
     bool rebuiltOriginalCfg_ = false;
     std::uint64_t livenessCacheHits_ = 0;
     std::uint64_t livenessCacheMisses_ = 0;
@@ -924,6 +1001,7 @@ lintRewrite(const BinaryImage &original, const RewriteResult &rw,
     rep.checkedFuncPtrs = checker.checkedFuncPtrs_;
     rep.checkedRaPairs = checker.checkedRaPairs_;
     rep.checkedFdes = checker.checkedFdes_;
+    rep.checkedDataDeps = checker.checkedDataDeps_;
     rep.rebuiltOriginalCfg = checker.rebuiltOriginalCfg_;
     rep.livenessCacheHits = checker.livenessCacheHits_;
     rep.livenessCacheMisses = checker.livenessCacheMisses_;
@@ -938,10 +1016,12 @@ diagnosticsFromCacheIssues(const std::vector<CacheFileIssue> &issues)
     for (const CacheFileIssue &issue : issues) {
         Diagnostic d;
         d.rule = issue.rule;
-        // A v1 file migrating to v2 on its next save is expected
+        // A v1 file migrating on its next save and an unknown entry
+        // kind skipped for forward compatibility are both expected
         // behavior, not degradation: info, so --fail-on=warning
-        // gates stay green across the format transition.
-        d.severity = issue.rule == "cache-migrated"
+        // gates stay green across format transitions.
+        d.severity = issue.rule == "cache-migrated" ||
+                             issue.rule == "cache-skip"
                          ? Severity::info
                          : Severity::warning;
         d.message = issue.message + " (cache-file offset " +
@@ -1228,12 +1308,14 @@ LintReport::renderText() const
     std::snprintf(
         line, sizeof(line),
         "checked: %llu trampolines, %llu clone entries, %llu "
-        "func-ptr cells, %llu ra-map pairs, %llu FDEs\n",
+        "func-ptr cells, %llu ra-map pairs, %llu FDEs, %llu "
+        "read-sets\n",
         static_cast<unsigned long long>(checkedTrampolines),
         static_cast<unsigned long long>(checkedCloneEntries),
         static_cast<unsigned long long>(checkedFuncPtrs),
         static_cast<unsigned long long>(checkedRaPairs),
-        static_cast<unsigned long long>(checkedFdes));
+        static_cast<unsigned long long>(checkedFdes),
+        static_cast<unsigned long long>(checkedDataDeps));
     out += line;
     return out;
 }
@@ -1377,12 +1459,13 @@ LintReport::renderJson() const
         buf, sizeof(buf),
         "\"checked\": {\"trampolines\": %llu, \"clone_entries\": "
         "%llu, \"func_ptrs\": %llu, \"ra_pairs\": %llu, \"fdes\": "
-        "%llu}, ",
+        "%llu, \"data_deps\": %llu}, ",
         static_cast<unsigned long long>(checkedTrampolines),
         static_cast<unsigned long long>(checkedCloneEntries),
         static_cast<unsigned long long>(checkedFuncPtrs),
         static_cast<unsigned long long>(checkedRaPairs),
-        static_cast<unsigned long long>(checkedFdes));
+        static_cast<unsigned long long>(checkedFdes),
+        static_cast<unsigned long long>(checkedDataDeps));
     out += buf;
     out += "\"findings\": " + renderDiagnosticsJson(findings);
     out += "}";

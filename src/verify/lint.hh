@@ -85,6 +85,7 @@ struct LintReport
     std::uint64_t checkedFuncPtrs = 0;
     std::uint64_t checkedRaPairs = 0;
     std::uint64_t checkedFdes = 0;
+    std::uint64_t checkedDataDeps = 0; ///< audited read-set owners
 
     /**
      * True when the checker had to rebuild the original CFG itself

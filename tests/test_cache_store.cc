@@ -26,6 +26,7 @@
 #include "codegen/compiler.hh"
 #include "codegen/workloads.hh"
 #include "isa/bytes.hh"
+#include "support/stats.hh"
 #include "rewrite/rewriter.hh"
 
 using namespace icp;
@@ -676,4 +677,234 @@ TEST(CacheStore, V1FileMigratesToV2WithInfoDiagnostic)
         AnalysisCache::global().load(path);
     EXPECT_TRUE(reloaded.clean());
     EXPECT_EQ(reloaded.loadedEntries(), count);
+}
+
+// --- v3 data read-sets: round trip and version compatibility ---------------
+
+namespace
+{
+
+/** One parsed entry record: its kind and raw on-disk bytes. */
+struct ParsedEntry
+{
+    std::uint8_t kind = 0;
+    std::vector<std::uint8_t> bytes; ///< header + payload
+};
+
+/** Walk a segmented cache file's entry records (test-side parser). */
+std::vector<ParsedEntry>
+parseEntries(const std::vector<std::uint8_t> &raw)
+{
+    std::vector<ParsedEntry> entries;
+    std::size_t pos = cache_file_header_bytes;
+    while (pos + cache_segment_header_bytes <= raw.size()) {
+        const std::uint32_t count = getU32(raw.data() + pos + 4);
+        pos += cache_segment_header_bytes;
+        for (std::uint32_t i = 0; i < count; ++i) {
+            EXPECT_LE(pos + cache_entry_header_bytes, raw.size());
+            const std::uint32_t len = getU32(raw.data() + pos + 10);
+            const std::size_t total = cache_entry_header_bytes + len;
+            EXPECT_LE(pos + total, raw.size());
+            ParsedEntry e;
+            e.kind = raw[pos];
+            e.bytes.assign(raw.begin() + static_cast<long>(pos),
+                           raw.begin() + static_cast<long>(pos) +
+                               static_cast<long>(total));
+            entries.push_back(std::move(e));
+            pos += total;
+        }
+    }
+    return entries;
+}
+
+/** Frame @p body as a single-segment file of @p version. */
+std::vector<std::uint8_t>
+frameCacheFile(std::uint32_t version, std::uint32_t entry_count,
+               const std::vector<std::uint8_t> &body)
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, cache_file_magic);
+    putU32(out, version);
+    putU64(out, 1); // file generation
+    std::vector<std::uint8_t> seg;
+    putU32(seg, cache_segment_magic);
+    putU32(seg, entry_count);
+    putU64(seg, body.size());
+    putU64(seg, 1); // segment generation
+    putU64(seg, fnv1a(seg.data(), 24));
+    out.insert(out.end(), seg.begin(), seg.end());
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+} // namespace
+
+TEST(CacheStore, V3FileCarriesDataDepsEntries)
+{
+    const std::string path = tmpPath("v3_deps");
+    coldRewrite(compileMicro(Arch::x64), path);
+
+    const CacheFileInfo info = inspectCacheFile(path);
+    EXPECT_EQ(info.version, cache_file_version);
+    EXPECT_GT(info.functionEntries, 0u);
+    EXPECT_GT(info.dataDepsEntries, 0u);
+    EXPECT_EQ(info.otherEntries, 0u);
+
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep = AnalysisCache::global().load(path);
+    EXPECT_TRUE(rep.clean());
+    EXPECT_EQ(rep.loadedDataDeps, info.dataDepsEntries);
+    EXPECT_EQ(rep.skippedUnknown, 0u);
+}
+
+TEST(CacheStore, UnknownEntryKindIsSkippedNeverFatal)
+{
+    const std::string path = tmpPath("unknown_kind");
+    const BinaryImage img = compileMicro(Arch::x64);
+    const std::vector<std::uint8_t> cold = coldRewrite(img, path);
+    AnalysisCache::global().clear();
+    const unsigned before =
+        AnalysisCache::global().load(path).loadedEntries();
+
+    // Append a well-formed segment holding one entry of a kind this
+    // build has never heard of — what a newer writer would leave.
+    std::vector<std::uint8_t> entry;
+    const std::vector<std::uint8_t> payload = {0xde, 0xad, 0xbe,
+                                               0xef};
+    putU8(entry, 77); // future entry kind
+    putU8(entry, static_cast<std::uint8_t>(Arch::x64));
+    putU64(entry, 0x77777777ULL);
+    putU32(entry, static_cast<std::uint32_t>(payload.size()));
+    putU64(entry, fnv1a(payload.data(), payload.size()));
+    entry.insert(entry.end(), payload.begin(), payload.end());
+    std::vector<std::uint8_t> seg;
+    putU32(seg, cache_segment_magic);
+    putU32(seg, 1);
+    putU64(seg, entry.size());
+    putU64(seg, 99); // newer generation
+    putU64(seg, fnv1a(seg.data(), 24));
+    seg.insert(seg.end(), entry.begin(), entry.end());
+    std::vector<std::uint8_t> raw = readAll(path);
+    raw.insert(raw.end(), seg.begin(), seg.end());
+    writeAll(path, raw);
+
+    // Structural tolerance: the unknown entry is skipped with one
+    // info-shaped cache-skip issue; everything else loads.
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep = AnalysisCache::global().load(path);
+    EXPECT_TRUE(rep.fileRead);
+    EXPECT_EQ(rep.skippedUnknown, 1u);
+    EXPECT_TRUE(hasIssue(rep, "cache-skip"));
+    EXPECT_EQ(rep.droppedEntries, 0u);
+    EXPECT_EQ(rep.loadedEntries(), before);
+
+    // The eager verifier and the header walker agree.
+    const CacheLoadReport verify = verifyCacheFile(path);
+    EXPECT_EQ(verify.skippedUnknown, 1u);
+    EXPECT_TRUE(hasIssue(verify, "cache-skip"));
+    EXPECT_EQ(inspectCacheFile(path).otherEntries, 1u);
+
+    // And a warm rewrite through the file is unaffected.
+    AnalysisCache::global().clear();
+    const RewriteResult warm = rewriteBinary(img, baseOptions(path));
+    ASSERT_TRUE(warm.ok) << warm.failReason;
+    EXPECT_EQ(warm.image.serialize(), cold);
+}
+
+TEST(CacheStore, V2FileWithoutDepsDegradesToConservativeMisses)
+{
+    const std::string path = tmpPath("v2_nodeps");
+    const BinaryImage img = compileMicro(Arch::x64);
+    const std::vector<std::uint8_t> cold = coldRewrite(img, path);
+
+    // Synthesize a faithful v2 file: same framing, same function and
+    // liveness payloads, no data read-set entries (the kind v3
+    // introduced).
+    const std::vector<std::uint8_t> raw = readAll(path);
+    std::vector<std::uint8_t> body;
+    std::uint32_t kept = 0;
+    unsigned deps_dropped = 0;
+    for (const ParsedEntry &e : parseEntries(raw)) {
+        if (e.kind == 3) {
+            ++deps_dropped;
+            continue;
+        }
+        body.insert(body.end(), e.bytes.begin(), e.bytes.end());
+        ++kept;
+    }
+    ASSERT_GT(deps_dropped, 0u);
+    ASSERT_GT(kept, 0u);
+    writeAll(path, frameCacheFile(2, kept, body));
+
+    // The v2 file loads cleanly: functions and liveness index, no
+    // deps entries exist to load.
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep = AnalysisCache::global().load(path);
+    EXPECT_TRUE(rep.clean());
+    EXPECT_EQ(rep.fileVersion, 2u);
+    EXPECT_GT(rep.loadedFunctions, 0u);
+    EXPECT_EQ(rep.loadedDataDeps, 0u);
+
+    // Absent read-sets make code-keyed hits unverifiable, so the
+    // consumer rejects them and re-analyzes (conservative miss) —
+    // and still emits byte-identical output.
+    const std::uint64_t rejected_before =
+        DepsCounters::global().hitsRejected.load();
+    const RewriteResult warm = rewriteBinary(img, baseOptions(path));
+    ASSERT_TRUE(warm.ok) << warm.failReason;
+    EXPECT_EQ(warm.image.serialize(), cold);
+    EXPECT_GT(DepsCounters::global().hitsRejected.load(),
+              rejected_before);
+}
+
+TEST(CacheStore, DataEditAppendsReplacementDepsEntries)
+{
+    const std::string path = tmpPath("data_edit");
+    const BinaryImage img = compileMicro(Arch::x64);
+    coldRewrite(img, path);
+
+    // Redirect one jump-table entry onto another: same code bytes
+    // (same cache keys), different data contents.
+    AnalysisOptions aopts;
+    aopts.useCache = false;
+    const CfgModule cfg = buildCfg(img, aopts);
+    const JumpTable *jt = nullptr;
+    for (const auto &[entry, func] : cfg.functions) {
+        (void)entry;
+        for (const JumpTable &t : func.jumpTables)
+            if (!t.embeddedInCode && t.targets.size() >= 2 &&
+                t.targets[0] != t.targets[1])
+                jt = &t;
+    }
+    ASSERT_NE(jt, nullptr);
+    BinaryImage edited = compileMicro(Arch::x64);
+    std::vector<std::uint8_t> donor;
+    ASSERT_TRUE(edited.readBytes(jt->tableAddr + jt->entrySize,
+                                 jt->entrySize, donor));
+    ASSERT_TRUE(edited.writeBytes(jt->tableAddr, donor));
+
+    // Warm rewrite of the edited image: the table reader's hit fails
+    // read-set validation and re-analyzes; save() appends the
+    // replacement function+deps entries for the stale keys.
+    AnalysisCache::global().clear();
+    const std::uint64_t rejected_before =
+        DepsCounters::global().hitsRejected.load();
+    const RewriteResult first =
+        rewriteBinary(edited, baseOptions(path));
+    ASSERT_TRUE(first.ok) << first.failReason;
+    EXPECT_GT(DepsCounters::global().hitsRejected.load(),
+              rejected_before);
+    EXPECT_GE(inspectCacheFile(path).segments, 2u);
+
+    // The converged file serves the edited image fully warm: newest
+    // occurrence of the key wins, its deps hash clean.
+    AnalysisCache::global().clear();
+    const std::uint64_t rejected_mid =
+        DepsCounters::global().hitsRejected.load();
+    const RewriteResult second =
+        rewriteBinary(edited, baseOptions(path));
+    ASSERT_TRUE(second.ok) << second.failReason;
+    EXPECT_EQ(DepsCounters::global().hitsRejected.load(),
+              rejected_mid);
+    EXPECT_EQ(second.image.serialize(), first.image.serialize());
 }

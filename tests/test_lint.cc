@@ -153,16 +153,31 @@ TEST_P(LintInjection, DefectTripsExactlyItsRule)
                      << " not applicable on " << archName(arch);
 
     const LintReport rep = lintRewrite(img, rw);
-    EXPECT_GE(errorCount(rep), 1u)
-        << "planted defect went undetected: "
-        << rw.manifest.injectedRule;
-    for (const Diagnostic &d : rep.findings) {
-        if (d.severity < Severity::error)
-            continue;
-        EXPECT_EQ(d.rule, rw.manifest.injectedRule)
-            << "defect " << injectDefectName(defect)
-            << " tripped a different rule:\n"
+    if (defect == InjectDefect::depOverbroad) {
+        // Overbroad read-sets are an efficiency smell, not a
+        // soundness hole: the rule reports at warning severity and
+        // must not be drowned out by (or promoted to) errors.
+        EXPECT_EQ(errorCount(rep), 0u) << rep.renderText();
+        bool fired = false;
+        for (const Diagnostic &d : rep.findings)
+            fired |= d.rule == rw.manifest.injectedRule &&
+                     d.severity == Severity::warning;
+        EXPECT_TRUE(fired)
+            << "planted defect went undetected: "
+            << rw.manifest.injectedRule << "\n"
             << rep.renderText();
+    } else {
+        EXPECT_GE(errorCount(rep), 1u)
+            << "planted defect went undetected: "
+            << rw.manifest.injectedRule;
+        for (const Diagnostic &d : rep.findings) {
+            if (d.severity < Severity::error)
+                continue;
+            EXPECT_EQ(d.rule, rw.manifest.injectedRule)
+                << "defect " << injectDefectName(defect)
+                << " tripped a different rule:\n"
+                << rep.renderText();
+        }
     }
 
     // The same config without injection is clean — the finding is
@@ -179,7 +194,7 @@ allInjections()
     std::vector<InjectParam> params;
     for (Arch arch : all_arches) {
         for (auto d = static_cast<unsigned>(InjectDefect::trampTarget);
-             d <= static_cast<unsigned>(InjectDefect::funcPtrStale);
+             d <= static_cast<unsigned>(InjectDefect::depOverbroad);
              ++d)
             params.push_back({arch, static_cast<InjectDefect>(d)});
     }
@@ -197,7 +212,7 @@ TEST(LintInjectionCoverage, EveryDefectFiresOnSomeArch)
     // Each defect must be plantable on at least one ISA, so every
     // rule's detection path is genuinely exercised by the matrix.
     for (auto d = static_cast<unsigned>(InjectDefect::trampTarget);
-         d <= static_cast<unsigned>(InjectDefect::funcPtrStale);
+         d <= static_cast<unsigned>(InjectDefect::depOverbroad);
          ++d) {
         const auto defect = static_cast<InjectDefect>(d);
         bool fired = false;
@@ -324,7 +339,7 @@ TEST(LintReportTest, RuleRegistryCoversEmittedRules)
         registered.insert(r.id);
     // Every rule the fault injector can name is registered.
     for (auto d = static_cast<unsigned>(InjectDefect::trampTarget);
-         d <= static_cast<unsigned>(InjectDefect::funcPtrStale);
+         d <= static_cast<unsigned>(InjectDefect::depOverbroad);
          ++d) {
         for (Arch arch : all_arches) {
             RewriteOptions opts;

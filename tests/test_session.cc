@@ -8,12 +8,14 @@
  * across thread counts — and identical to a defect-free rewrite.
  */
 
+#include <set>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "analysis/cache.hh"
+#include "analysis/datadeps.hh"
 #include "codegen/compiler.hh"
 #include "codegen/workloads.hh"
 #include "rewrite/session.hh"
@@ -549,6 +551,194 @@ TEST(SessionLoadInputFallback, DataSectionEditForcesFullRewrite)
     EXPECT_FALSE(out.incremental);
     EXPECT_FALSE(session.hasResult());
 }
+
+// --- loadInput: overlap-keyed data-edit invalidation -----------------------
+
+namespace
+{
+
+/**
+ * Pick a data byte nothing depends on: not in any function's recorded
+ * read-set, not under a donated scratch range, a relocation site, or
+ * a rewritten function-pointer cell. Scans .rodata backwards (the
+ * rodataPadding tail lives there). Returns 0 when none exists.
+ */
+Addr
+findUnreadDataByte(RewriteSession &session)
+{
+    DepIndex index;
+    for (const auto &[entry, func] : session.analyze().functions)
+        index.add(entry, func.dataDeps);
+    index.build();
+
+    const RewriteManifest &manifest =
+        session.lastResult().manifest;
+    auto claimed = [&](Addr a) {
+        std::set<Addr> owners;
+        index.overlapping(a, a + 1, owners);
+        if (!owners.empty())
+            return true;
+        for (const auto &[addr, len] : manifest.scratchRanges)
+            if (a >= addr && a < addr + len)
+                return true;
+        for (const Relocation &rel : session.input().relocs)
+            if (a >= rel.site && a < rel.site + 8)
+                return true;
+        for (const FuncPtrPatch &p : manifest.funcPtrs)
+            if (p.kind == FuncPtrPatch::Kind::dataCell &&
+                a >= p.site && a < p.site + 8)
+                return true;
+        return false;
+    };
+
+    for (const Section &sec : session.input().sections) {
+        if (sec.executable || sec.bytes.empty() ||
+            sec.name != ".rodata")
+            continue;
+        for (std::size_t i = sec.bytes.size(); i-- > 0;) {
+            const Addr a = sec.addr + static_cast<Addr>(i);
+            if (!claimed(a))
+                return a;
+        }
+    }
+    return 0;
+}
+
+void
+flipImageByte(BinaryImage &img, Addr victim)
+{
+    for (Section &sec : img.sections) {
+        if (!sec.contains(victim) || sec.bytes.empty())
+            continue;
+        const std::size_t off =
+            static_cast<std::size_t>(victim - sec.addr);
+        if (off < sec.bytes.size()) {
+            sec.bytes[off] ^= 0x5a;
+            return;
+        }
+    }
+    FAIL() << "victim byte not backed by file bytes";
+}
+
+} // namespace
+
+class SessionDataDeps : public ::testing::TestWithParam<Arch>
+{
+};
+
+TEST_P(SessionDataDeps, UnreadDataEditSplicesWithZeroDirty)
+{
+    const Arch arch = GetParam();
+    AnalysisCache::global().clear();
+
+    // rodataPadding is a blob no analysis reads — the string-table
+    // shape of the paper's data-edit workload.
+    ProgramSpec spec = microProfile(arch, /*pie=*/true);
+    spec.rodataPadding = 512;
+
+    RewriteSession session(compileProgram(spec));
+    ASSERT_TRUE(session.rewrite(baseOptions()).ok);
+
+    const Addr victim = findUnreadDataByte(session);
+    ASSERT_NE(victim, 0u) << "no unread data byte in the corpus";
+
+    BinaryImage edited = compileProgram(spec);
+    flipImageByte(edited, victim);
+
+    const auto pre = AnalysisCache::global().stats();
+    const auto out = session.loadInput(std::move(edited));
+    const auto post = AnalysisCache::global().stats();
+
+    // Overlap-keyed invalidation: zero readers, zero re-analysis,
+    // zero re-emission — the new data bytes splice into the previous
+    // result wholesale.
+    EXPECT_TRUE(out.incremental);
+    EXPECT_TRUE(out.dirtyFunctions.empty());
+    EXPECT_EQ(post.functionMisses - pre.functionMisses, 0u);
+
+    // The splice reproduces a cold rewrite of the edited input byte
+    // for byte.
+    BinaryImage edited_again = compileProgram(spec);
+    flipImageByte(edited_again, victim);
+    RewriteSession cold(std::move(edited_again));
+    const RewriteResult &cold_rw = cold.rewrite(baseOptions());
+    ASSERT_TRUE(cold_rw.ok);
+    EXPECT_EQ(session.lastResult().image.serialize(),
+              cold_rw.image.serialize());
+
+    EXPECT_EQ(errorCount(session.lint()), 0u)
+        << session.lastReport().renderText();
+}
+
+TEST_P(SessionDataDeps, JumpTableEditDirtiesExactlyItsReaders)
+{
+    const Arch arch = GetParam();
+    AnalysisCache::global().clear();
+
+    RewriteSession session(compileMicro(arch));
+    ASSERT_TRUE(session.rewrite(baseOptions()).ok);
+
+    // Find an out-of-code jump table and redirect one entry onto
+    // another (valid table bytes, different target) — the edit only
+    // the table's reader may notice.
+    const JumpTable *jt = nullptr;
+    for (const auto &[entry, func] : session.analyze().functions) {
+        (void)entry;
+        for (const JumpTable &t : func.jumpTables) {
+            if (!t.embeddedInCode && t.targets.size() >= 2 &&
+                t.targets[0] != t.targets[1]) {
+                jt = &t;
+                break;
+            }
+        }
+        if (jt != nullptr)
+            break;
+    }
+    if (jt == nullptr)
+        GTEST_SKIP() << "no out-of-code jump table on "
+                     << archName(arch);
+    const Addr site = jt->tableAddr;
+    const unsigned width = jt->entrySize;
+
+    // The expected dirty set: every function whose read-set overlaps
+    // the poked entry (computed before the edit invalidates the CFG).
+    DepIndex index;
+    for (const auto &[entry, func] : session.analyze().functions)
+        index.add(entry, func.dataDeps);
+    index.build();
+    std::set<Addr> expected;
+    index.overlapping(site, site + width, expected);
+    ASSERT_FALSE(expected.empty())
+        << "table bytes missing from every read-set";
+
+    BinaryImage edited = compileMicro(arch);
+    std::vector<std::uint8_t> donor;
+    ASSERT_TRUE(edited.readBytes(site + width, width, donor));
+    ASSERT_TRUE(edited.writeBytes(site, donor));
+
+    const auto out = session.loadInput(std::move(edited));
+    EXPECT_TRUE(out.incremental);
+    EXPECT_EQ(out.dirtyFunctions, expected);
+
+    // Byte-identity with a cold rewrite of the same edited input.
+    BinaryImage edited_again = compileMicro(arch);
+    ASSERT_TRUE(edited_again.writeBytes(site, donor));
+    RewriteSession cold(std::move(edited_again));
+    const RewriteResult &cold_rw = cold.rewrite(baseOptions());
+    ASSERT_TRUE(cold_rw.ok);
+    EXPECT_EQ(session.lastResult().image.serialize(),
+              cold_rw.image.serialize());
+
+    EXPECT_EQ(errorCount(session.lint()), 0u)
+        << session.lastReport().renderText();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchs, SessionDataDeps,
+    ::testing::Values(Arch::x64, Arch::ppc64le, Arch::aarch64),
+    [](const ::testing::TestParamInfo<Arch> &info) {
+        return sanitize(archName(info.param));
+    });
 
 // --- lint report JSON round trip ------------------------------------------
 

@@ -280,6 +280,34 @@ TEST(ShardWorkers, PersistentCrashDegradesButStaysCorrect)
     removeCache(cache);
 }
 
+TEST(ShardWorkers, AllWorkersRunConcurrently)
+{
+    // Workers rendezvous on a start-file barrier that only completes
+    // when every shard's process is alive at the same time: a
+    // coordinator that serialized launch and reap would park its one
+    // live worker in the barrier timeout and degrade the shard.
+    const std::string dir =
+        "/tmp/icp-test-shard-barrier." + std::to_string(getpid());
+    std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+    const BinaryImage img =
+        compileProgram(chromiumSmallProfile(Arch::x64, true));
+    const RewriteOptions opts = shardOptions(RewriteMode::jt, 3);
+    const auto classic = classicBytes(img, opts);
+
+    setenv("ICP_TEST_SHARD_BARRIER", (dir + ":3").c_str(), 1);
+    RewriteResult rw;
+    const auto bytes = shardedBytes(img, opts, &rw);
+    unsetenv("ICP_TEST_SHARD_BARRIER");
+    std::system(("rm -rf " + dir).c_str());
+
+    EXPECT_EQ(bytes, classic);
+    ASSERT_EQ(rw.stats.shards.size(), 3u);
+    for (const ShardCounters &sc : rw.stats.shards) {
+        EXPECT_EQ(sc.workerAttempts, 1u);
+        EXPECT_FALSE(sc.degraded);
+    }
+}
+
 TEST(ShardRewrite, RejectsIncompatibleOptions)
 {
     const BinaryImage img =

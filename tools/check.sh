@@ -27,6 +27,15 @@
 #                  leave a verifiable + compactable cache file, and
 #                  report a peak RSS below the classic run's (the
 #                  streaming writer's whole reason to exist)
+#   datadeps       data-dependency smoke on every ISA: `icp deps
+#                  --poke-padding` (all) and `--poke-table`
+#                  (x64/aarch64; ppc64le embeds its tables in code)
+#                  must report identical=1, each datadep-* lint rule
+#                  must fire under --inject at its severity, and the
+#                  clean binary must stay lint-clean
+#   tidy           clang-tidy over src/ + tools/ using the exported
+#                  compilation database; skipped (PASS) when
+#                  clang-tidy is not installed
 #
 # Unlike a `set -e` script, every requested leg runs even when an
 # earlier one fails; the per-leg PASS/FAIL summary and the aggregate
@@ -49,7 +58,7 @@ for arg in "$@"; do
     esac
 done
 jobs="${jobs:-$(nproc)}"
-legs="${legs:-tsan asan release lint-baseline warm-cache cache-v2 sharded}"
+legs="${legs:-tsan asan release lint-baseline warm-cache cache-v2 sharded datadeps tidy}"
 
 # Compiler launcher: use ccache when available (CI restores its
 # directory between runs), invisible otherwise.
@@ -217,6 +226,83 @@ leg_sharded() {
     status=$?
     rm -rf "$dir"
     return $status
+}
+
+leg_datadeps() {
+    echo "== Data-dependency smoke (icp deps pokes + inject matrix) =="
+    build_cli || return 1
+    dir="$(mktemp -d)"
+    status=0
+    for arch in x64 aarch64 ppc64le; do
+        in="$dir/in-$arch.sbf"
+        if ! ./build/tools/icp compile chromium-small "$in" \
+                --pie --arch "$arch"; then
+            status=1
+            continue
+        fi
+        # Padding poke: a data-only edit no function reads must make
+        # the warm pass re-analyze and re-emit nothing.
+        if ! ./build/tools/icp deps "$in" --poke-padding |
+                tee "$dir/pad-$arch.log" ||
+           ! grep -q "deps-check padding: .* dirty=0 emitted=0 identical=1" \
+                "$dir/pad-$arch.log"; then
+            echo "datadeps: padding poke failed ($arch)"
+            status=1
+        fi
+        # Table poke: retargeting one jump-table entry must dirty
+        # exactly its reader and still emit byte-identical output.
+        # ppc64le embeds its tables in code, so there is nothing to
+        # poke without touching text.
+        if [ "$arch" != "ppc64le" ]; then
+            if ! ./build/tools/icp deps "$in" --poke-table |
+                    tee "$dir/tbl-$arch.log" ||
+               ! grep -q "deps-check table: .* identical=1 lint-errors=0" \
+                    "$dir/tbl-$arch.log"; then
+                echo "datadeps: table poke failed ($arch)"
+                status=1
+            fi
+        fi
+        # Each datadep rule fires under injection at its severity:
+        # missing/stale are errors, overbroad is a warning only.
+        for defect in dep-missing dep-stale; do
+            if ./build/tools/icp lint "$in" --inject "$defect" \
+                    --fail-on error >/dev/null 2>&1; then
+                echo "datadeps: --inject $defect not an error ($arch)"
+                status=1
+            fi
+        done
+        if ! ./build/tools/icp lint "$in" --inject dep-overbroad \
+                --fail-on error >/dev/null 2>&1; then
+            echo "datadeps: dep-overbroad escalated past warning ($arch)"
+            status=1
+        fi
+        if ./build/tools/icp lint "$in" --inject dep-overbroad \
+                --fail-on warning >/dev/null 2>&1; then
+            echo "datadeps: --inject dep-overbroad not a warning ($arch)"
+            status=1
+        fi
+        # ...and without injection the binary stays clean.
+        if ! ./build/tools/icp lint "$in" --fail-on warning \
+                >/dev/null; then
+            echo "datadeps: clean binary not lint-clean ($arch)"
+            status=1
+        fi
+    done
+    rm -rf "$dir"
+    [ $status -eq 0 ] &&
+    echo "deps checks: pokes identical, rules fire, clean stays clean"
+    return $status
+}
+
+leg_tidy() {
+    echo "== clang-tidy (src/ + tools/, .clang-tidy config) =="
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "clang-tidy not installed; leg skipped"
+        return 0
+    fi
+    build_cli || return 1
+    clang-tidy -p build --quiet \
+        $(git ls-files 'src/*.cc' 'tools/*.cc')
 }
 
 summary=""

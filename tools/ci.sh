@@ -12,6 +12,10 @@
 #                              compaction size-cap smoke
 #   tools/ci.sh sharded        multi-process --shards rewrite smoke:
 #                              byte identity, lint, cache, RSS
+#   tools/ci.sh datadeps       per-ISA `icp deps` poke checks plus the
+#                              datadep-* lint-rule inject matrix
+#   tools/ci.sh tidy           clang-tidy over src/ + tools/ (skips
+#                              cleanly when clang-tidy is absent)
 #   tools/ci.sh all            every leg (what check.sh runs bare)
 #
 #   tools/ci.sh regen-lint-baseline
@@ -43,7 +47,7 @@ regen_lint_baseline() {
 }
 
 case "$job" in
-    release|asan|tsan|lint-baseline|warm-cache|cache-v2|sharded)
+    release|asan|tsan|lint-baseline|warm-cache|cache-v2|sharded|datadeps|tidy)
         exec tools/check.sh "$jobs" "$job"
         ;;
     all)
@@ -55,7 +59,8 @@ case "$job" in
     *)
         echo "ci.sh: unknown job '$job'" >&2
         echo "jobs: release asan tsan lint-baseline warm-cache" \
-             "cache-v2 sharded all regen-lint-baseline" >&2
+             "cache-v2 sharded datadeps tidy all" \
+             "regen-lint-baseline" >&2
         exit 64
         ;;
 esac
