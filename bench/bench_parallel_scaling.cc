@@ -13,10 +13,17 @@
  * including the cache.load/cache.save stages. A warm_datadeps
  * section compares the three RewriteSession::loadInput edit classes
  * (unread-data edit: splice everything; code edit: re-emit one
- * function; relocation-site edit: conservative full reset). `--json
- * <path>` writes the results (BENCH_parallel.json in the repository
- * is a committed baseline); `--cache-file <path>` relocates the disk
- * regimes' cache file from its /tmp default.
+ * function; relocation-site edit: conservative full reset). A serve
+ * section drives an in-process `icp serve` daemon through a
+ * one-function-edit rewrite loop and compares its per-request
+ * latency against forking the real `icp rewrite --cache-file` binary
+ * per edit — the process startup + cache load the daemon exists to
+ * amortize. `--json <path>` writes the results (BENCH_parallel.json
+ * in the repository is a committed baseline); `--cache-file <path>`
+ * relocates the disk regimes' cache file from its /tmp default;
+ * `--icp <path>` names the CLI binary for the serve section's
+ * one-shot baseline (default tools/icp, resolved from the working
+ * directory — i.e. run from the build tree).
  *
  * Speedups are whatever the host delivers: on a single-core
  * container the thread counts verify determinism and overhead
@@ -33,7 +40,10 @@
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -45,6 +55,8 @@
 #include "codegen/workloads.hh"
 #include "rewrite/rewriter.hh"
 #include "rewrite/session.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
 
@@ -57,6 +69,11 @@ constexpr unsigned reps = 3;
 
 /** The disk-regime cache file; overridable with --cache-file. */
 std::string cache_file = "/tmp/icp_bench_parallel.icpc";
+
+/** The CLI binary the serve section's one-shot baseline forks;
+ *  overridable with --icp. The default resolves from the build tree
+ *  (the bench's usual working directory). */
+std::string icp_binary = "tools/icp";
 
 double
 rewriteWallMs(const BinaryImage &img, unsigned threads,
@@ -698,6 +715,262 @@ warmDatadepsSection(icp::bench::JsonSections &sections)
     sections.add("warm_datadeps", json.str());
 }
 
+bool
+writeBlob(const std::string &path,
+          const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(out);
+}
+
+/**
+ * One timed `icp rewrite --cache-file` subprocess — fork + execl +
+ * waitpid, stdout to /dev/null. This is the cost the daemon
+ * amortizes: process startup, binary load, cache-file load, a full
+ * (non-splicing) emit, and the delta save. --lint matches the
+ * daemon's options (a serve rewrite always carries the lint
+ * manifest, which is what its `lint` verb answers from for free —
+ * the one-shot equivalent of the CI rewrite→lint loop pays it per
+ * process).
+ */
+double
+oneShotRewriteMs(const std::string &in, const std::string &out,
+                 const std::string &cache)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const pid_t pid = fork();
+    if (pid == 0) {
+        const int devnull = ::open("/dev/null", O_WRONLY);
+        if (devnull >= 0)
+            dup2(devnull, 1);
+        execl(icp_binary.c_str(), icp_binary.c_str(), "rewrite",
+              in.c_str(), out.c_str(), "--cache-file", cache.c_str(),
+              "--mode", "jt", "--threads", "1", "--lint",
+              static_cast<char *>(nullptr));
+        _exit(127);
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr, "one-shot icp rewrite failed (%s)\n",
+                     icp_binary.c_str());
+        std::exit(1);
+    }
+    return std::chrono::duration<double, std::milli>(t1 - t0)
+        .count();
+}
+
+/**
+ * The hot-session regime: an in-process `icp serve` daemon answers a
+ * loop of one-immediate-edit rewrites (every iteration rewrites the
+ * input file on disk, so each request takes the full stamp-check +
+ * loadInput + selective-re-emit path), measured against forking the
+ * real one-shot CLI with a primed --cache-file per edit. The serve
+ * p50 should win by the process startup + cache load + full-emit
+ * margin — the daemon's entire reason to exist.
+ */
+void
+serveSection(icp::bench::JsonSections &sections)
+{
+    constexpr unsigned serve_reps = 20;
+
+    struct ServeWorkload
+    {
+        const char *name;
+        ProgramSpec spec;
+    };
+    std::vector<ServeWorkload> workloads;
+    workloads.push_back({"libxul", libxulProfile()});
+    workloads.push_back(
+        {"chromium_small", chromiumSmallProfile(Arch::x64, true)});
+
+    const bool have_icp = access(icp_binary.c_str(), X_OK) == 0;
+    if (!have_icp)
+        std::fprintf(stderr,
+                     "serve bench: '%s' not executable; one-shot "
+                     "subprocess baseline skipped (pass --icp)\n",
+                     icp_binary.c_str());
+
+    TextTable table({"Workload", "Serve p50 ms", "Serve p99 ms",
+                     "Req/s", "One-shot p50 ms", "Speedup"});
+    std::ostringstream json;
+    json << "[";
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        ServeWorkload &w = workloads[wi];
+        const std::string base = "/tmp/icp_bench_serve." +
+                                 std::to_string(getpid()) + "." +
+                                 w.name;
+        const std::string in_path = base + ".sbf";
+        const std::string out_path = base + ".out.sbf";
+        const std::string one_in = base + ".oneshot.sbf";
+        const std::string one_out = base + ".oneshot.out.sbf";
+        const std::string one_cache = base + ".icpc";
+        const std::string sock = base + ".sock";
+
+        AnalysisCache::global().clear();
+        BinaryImage img = compileProgram(w.spec);
+        BinaryImage edited = img;
+        if (!mutateOneImmediate(edited)) {
+            std::fprintf(stderr,
+                         "no in-place-mutable immediate found\n");
+            std::exit(1);
+        }
+        const auto blob_a = img.serialize();
+        const auto blob_b = edited.serialize();
+
+        ServeOptions so;
+        so.socketPath = sock;
+        so.threads = 1;
+        ServeServer server(so);
+        std::string err;
+        if (!server.start(err)) {
+            std::fprintf(stderr, "serve bench: start failed: %s\n",
+                         err.c_str());
+            std::exit(1);
+        }
+        std::thread daemon([&server] { server.run(); });
+
+        // A hot-loop client holds its connection open (the daemon's
+        // frame loop serves any number of requests per connection),
+        // so connect + accept + dispatch are paid once, not per
+        // request — that is the steady state being measured here.
+        sockaddr_un sa = {};
+        sa.sun_family = AF_UNIX;
+        std::snprintf(sa.sun_path, sizeof(sa.sun_path), "%s",
+                      sock.c_str());
+        const int cfd = socket(AF_UNIX, SOCK_STREAM, 0);
+        if (cfd < 0 ||
+            connect(cfd, reinterpret_cast<sockaddr *>(&sa),
+                    sizeof(sa)) != 0) {
+            std::fprintf(stderr, "serve bench: connect failed\n");
+            std::exit(1);
+        }
+
+        auto serveRewrite = [&](ServeMessage &reply) {
+            ServeMessage req;
+            req.verb = "rewrite";
+            req.set("path", in_path);
+            req.set("out", out_path);
+            req.set("mode", "jt");
+            req.set("threads", std::uint64_t{1});
+            std::string call_err;
+            if (!writeServeFrame(cfd, req, 30000) ||
+                readServeFrame(cfd, reply, 30000, call_err) !=
+                    FrameStatus::ok ||
+                reply.verb != "ok") {
+                std::fprintf(stderr,
+                             "serve bench: rewrite failed: %s %s\n",
+                             call_err.c_str(),
+                             reply.get("error").c_str());
+                std::exit(1);
+            }
+        };
+
+        // Cold open, untimed: the daemon's first load of this path.
+        writeBlob(in_path, blob_a);
+        ServeMessage reply;
+        serveRewrite(reply);
+
+        // One-shot cold prime, untimed: populates the cache file the
+        // timed subprocess runs load from.
+        if (have_icp) {
+            std::remove(one_cache.c_str());
+            writeBlob(one_in, blob_a);
+            oneShotRewriteMs(one_in, one_out, one_cache);
+        }
+
+        // Warm loop: every rep rewrites both input files with the
+        // other blob (a one-immediate diff from the resident /
+        // cached state), so each request pays stamp check +
+        // loadInput + selective re-emit, never the unchanged-file
+        // cached-reply shortcut. The serve request and the one-shot
+        // subprocess are timed back to back inside the same rep so
+        // host-load drift (this is often a shared core) hits both
+        // sides equally instead of whichever loop ran second.
+        SampleStats serve_ms;
+        SampleStats one_ms;
+        std::uint64_t dirty_total = 0;
+        std::uint64_t emitted_total = 0;
+        for (unsigned r = 0; r < serve_reps; ++r) {
+            writeBlob(in_path, r % 2 == 0 ? blob_b : blob_a);
+            const auto t0 = std::chrono::steady_clock::now();
+            serveRewrite(reply);
+            const auto t1 = std::chrono::steady_clock::now();
+            if (reply.getU64("warm") != 1 ||
+                reply.getU64("incremental") != 1) {
+                std::fprintf(stderr,
+                             "serve bench: rep %u not a warm "
+                             "incremental answer\n",
+                             r);
+                std::exit(1);
+            }
+            dirty_total += reply.getU64("dirty");
+            emitted_total += reply.getU64("emitted");
+            serve_ms.add(
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count());
+            if (have_icp) {
+                writeBlob(one_in, r % 2 == 0 ? blob_b : blob_a);
+                one_ms.add(
+                    oneShotRewriteMs(one_in, one_out, one_cache));
+            }
+        }
+        close(cfd);
+        server.requestDrain();
+        daemon.join();
+
+        const double p50 = serve_ms.percentile(50);
+        const double p99 = serve_ms.percentile(99);
+        const double req_per_sec =
+            serve_ms.mean() > 0.0 ? 1000.0 / serve_ms.mean() : 0.0;
+        const double one_p50 =
+            one_ms.empty() ? 0.0 : one_ms.percentile(50);
+        const double speedup = p50 > 0.0 && one_p50 > 0.0
+                                   ? one_p50 / p50
+                                   : 0.0;
+
+        char p50s[32], p99s[32], rps[32], ones[32], sp[32];
+        std::snprintf(p50s, sizeof(p50s), "%.3f", p50);
+        std::snprintf(p99s, sizeof(p99s), "%.3f", p99);
+        std::snprintf(rps, sizeof(rps), "%.1f", req_per_sec);
+        std::snprintf(ones, sizeof(ones), "%.3f", one_p50);
+        std::snprintf(sp, sizeof(sp), "%.2fx", speedup);
+        table.addRow({w.name, p50s, p99s, rps,
+                      one_ms.empty() ? "-" : ones,
+                      one_ms.empty() ? "-" : sp});
+
+        json << (wi ? ",\n" : "\n") << "    {\"workload\": \""
+             << w.name << "\", \"reps\": " << serve_reps
+             << ", \"dirty_per_rep\": "
+             << (static_cast<double>(dirty_total) / serve_reps)
+             << ", \"emitted_per_rep\": "
+             << (static_cast<double>(emitted_total) / serve_reps)
+             << ", \"serve_p50_ms\": " << p50
+             << ", \"serve_p99_ms\": " << p99
+             << ", \"serve_mean_ms\": " << serve_ms.mean()
+             << ", \"serve_req_per_sec\": " << req_per_sec
+             << ", \"oneshot_p50_ms\": "
+             << (one_ms.empty() ? 0.0 : one_ms.percentile(50))
+             << ", \"oneshot_p99_ms\": "
+             << (one_ms.empty() ? 0.0 : one_ms.percentile(99))
+             << ", \"speedup_p50\": " << speedup << "}";
+
+        std::remove(in_path.c_str());
+        std::remove(out_path.c_str());
+        std::remove(one_in.c_str());
+        std::remove(one_out.c_str());
+        std::remove(one_cache.c_str());
+    }
+    json << "\n  ]";
+    std::printf("serve daemon vs one-shot subprocess "
+                "(one-immediate edit per request, mode jt)\n%s\n",
+                table.render().c_str());
+    sections.add("serve", json.str());
+}
+
 std::string
 runsJson(const std::vector<Run> &runs)
 {
@@ -727,6 +1000,10 @@ main(int argc, char **argv)
             cache_file = argv[++i];
         else if (arg.rfind("--cache-file=", 0) == 0)
             cache_file = arg.substr(13);
+        else if (arg == "--icp" && i + 1 < argc)
+            icp_binary = argv[++i];
+        else if (arg.rfind("--icp=", 0) == 0)
+            icp_binary = arg.substr(6);
     }
 
     std::printf("Parallel pipeline scaling (hardware concurrency: "
@@ -794,6 +1071,7 @@ main(int argc, char **argv)
 
     warmSessionSection(sections);
     warmDatadepsSection(sections);
+    serveSection(sections);
 
     if (!icp::bench::writeJsonIfRequested(argc, argv,
                                           sections.str()))

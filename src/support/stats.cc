@@ -79,6 +79,7 @@ stageName(Stage stage)
       case Stage::cacheSave: return "cache.save";
       case Stage::depsCompute: return "deps.compute";
       case Stage::depsValidate: return "deps.validate";
+      case Stage::serve: return "serve.req";
       case Stage::count_: break;
     }
     return "?";
@@ -113,6 +114,7 @@ StageTimers::reset()
     CacheCounters::global().reset();
     DepsCounters::global().reset();
     StreamCounters::global().reset();
+    ServeCounters::global().reset();
 }
 
 CacheCounters &
@@ -158,6 +160,25 @@ StreamCounters::reset()
 {
     bytesStreamed.store(0, std::memory_order_relaxed);
     windowOverflows.store(0, std::memory_order_relaxed);
+}
+
+ServeCounters &
+ServeCounters::global()
+{
+    static ServeCounters counters;
+    return counters;
+}
+
+void
+ServeCounters::reset()
+{
+    requests.store(0, std::memory_order_relaxed);
+    errors.store(0, std::memory_order_relaxed);
+    sessionHits.store(0, std::memory_order_relaxed);
+    sessionMisses.store(0, std::memory_order_relaxed);
+    evictions.store(0, std::memory_order_relaxed);
+    timeouts.store(0, std::memory_order_relaxed);
+    badFrames.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t
@@ -227,6 +248,23 @@ StageTimers::table() const
                   static_cast<unsigned long long>(sc.windowOverflows.load(
                       std::memory_order_relaxed)));
     out += line;
+    const ServeCounters &vc = ServeCounters::global();
+    std::snprintf(
+        line, sizeof(line),
+        "  %-12s %10llu requests (%llu errors), %llu hits, "
+        "%llu misses, %llu evicted\n",
+        "serve.io",
+        static_cast<unsigned long long>(
+            vc.requests.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vc.errors.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vc.sessionHits.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vc.sessionMisses.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vc.evictions.load(std::memory_order_relaxed)));
+    out += line;
     std::snprintf(line, sizeof(line), "  %-12s %10llu bytes\n",
                   "peak-rss",
                   static_cast<unsigned long long>(peakRssBytes()));
@@ -276,6 +314,29 @@ StageTimers::json() const
         static_cast<unsigned long long>(
             dc.hitsRejected.load(std::memory_order_relaxed)));
     out += deps;
+    const ServeCounters &vc = ServeCounters::global();
+    char serve[256];
+    std::snprintf(
+        serve, sizeof(serve),
+        ", \"serve_requests\": %llu, \"serve_errors\": %llu, "
+        "\"serve_session_hits\": %llu, \"serve_session_misses\": "
+        "%llu, \"serve_evictions\": %llu, \"serve_timeouts\": %llu, "
+        "\"serve_bad_frames\": %llu",
+        static_cast<unsigned long long>(
+            vc.requests.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vc.errors.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vc.sessionHits.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vc.sessionMisses.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vc.evictions.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vc.timeouts.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vc.badFrames.load(std::memory_order_relaxed)));
+    out += serve;
     const StreamCounters &sc = StreamCounters::global();
     std::snprintf(
         counters, sizeof(counters),

@@ -59,6 +59,7 @@ enum class Stage : unsigned
     cacheSave,  ///< on-disk AnalysisCache serialization
     depsCompute,///< data read-set recording (computeDataDeps)
     depsValidate,///< data read-set re-hash on cache hits
+    serve,      ///< serve daemon request handling
     count_      ///< number of stages (not a stage)
 };
 
@@ -144,6 +145,28 @@ class StreamCounters
 
     std::atomic<std::uint64_t> bytesStreamed{0};
     std::atomic<std::uint64_t> windowOverflows{0};
+
+    void reset();
+};
+
+/**
+ * Process-wide counters for the `icp serve` daemon: request volume,
+ * structured error replies, warm-session hits vs misses, LRU
+ * evictions, request timeouts, and malformed frames. Reset together
+ * with StageTimers; reported by table()/json().
+ */
+class ServeCounters
+{
+  public:
+    static ServeCounters &global();
+
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> sessionHits{0};
+    std::atomic<std::uint64_t> sessionMisses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> badFrames{0};
 
     void reset();
 };

@@ -125,6 +125,20 @@ ThreadPool::workerLoop()
 }
 
 void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.emplace_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
 ThreadPool::parallelFor(std::size_t n, unsigned max_parallel,
                         const std::function<void(std::size_t)> &fn)
 {

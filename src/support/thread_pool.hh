@@ -66,6 +66,14 @@ class ThreadPool
                      const std::function<void(std::size_t)> &fn);
 
     /**
+     * Enqueue one fire-and-forget task for a worker to run. With no
+     * workers the task runs inline on the calling thread. The caller
+     * owns completion tracking (the serve daemon counts in-flight
+     * connections itself); exceptions must not escape @p task.
+     */
+    void submit(std::function<void()> task);
+
+    /**
      * parallelFor producing one R per index, in index order. R must
      * be default-constructible and movable.
      */

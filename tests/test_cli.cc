@@ -416,9 +416,11 @@ TEST(CliCache, InfoVerifyCompactRoundTrip)
     EXPECT_NE(after.find("1 segment"), std::string::npos) << after;
     EXPECT_EQ(exitCode("cache verify /tmp/icp_cli_cmd.icpc"), 0);
 
-    // Operational errors: missing file is exit 1, bad action usage.
+    // Operational errors: missing file and bad actions are both
+    // exit 1 (usage goes to stderr; exit 2 is reserved for lint's
+    // findings-reached-fail-on contract).
     EXPECT_EQ(exitCode("cache info /tmp/definitely_missing.icpc"), 1);
-    EXPECT_EQ(exitCode("cache frobnicate /tmp/icp_cli_cmd.icpc"), 2);
+    EXPECT_EQ(exitCode("cache frobnicate /tmp/icp_cli_cmd.icpc"), 1);
 }
 
 TEST(CliCache, RewriteHonorsCacheMaxBytes)

@@ -1,0 +1,658 @@
+/**
+ * @file
+ * Tests for the `icp serve` daemon of src/serve/: protocol framing
+ * round-trips and degrades to structured errors (truncated,
+ * oversized, garbage frames never crash a worker), resident sessions
+ * answer warm rewrites through loadInput's one-function invalidation
+ * byte-identically to one-shot rewrites, LRU eviction under a tiny
+ * budget re-opens evicted binaries correctly, concurrent clients on
+ * distinct binaries stay isolated, and a drain completes in-flight
+ * requests before removing the socket and lock files.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "analysis/cache.hh"
+#include "codegen/compiler.hh"
+#include "codegen/workloads.hh"
+#include "rewrite/session.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+using namespace icp;
+
+namespace
+{
+
+/** The daemon's session defaults (optionsFromRequest with no flags). */
+RewriteOptions
+serveDefaultOptions()
+{
+    RewriteOptions opts;
+    opts.mode = RewriteMode::jt;
+    opts.lint = true;
+    return opts;
+}
+
+bool
+writeFileBytes(const std::string &path,
+               const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(out);
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+/**
+ * Flip the low bit of one AddImm immediate in place (same encoded
+ * length) so exactly one function changes — the dirty-function probe
+ * of test_session.cc. Returns the victim function's name.
+ */
+std::string
+mutateOneImmediate(BinaryImage &img)
+{
+    const Codec &codec = *img.archInfo().codec;
+    for (const Symbol *sym : img.functionSymbols()) {
+        std::vector<std::uint8_t> body;
+        if (!img.readBytes(sym->addr, sym->size, body))
+            continue;
+        Addr addr = sym->addr;
+        std::size_t off = 0;
+        while (off < body.size()) {
+            Instruction in;
+            if (!codec.decode(body.data() + off, body.size() - off,
+                              addr, in) ||
+                in.length == 0)
+                break;
+            if (in.op == Opcode::AddImm && in.imm > 1) {
+                Instruction edit = in;
+                edit.imm = in.imm ^ 1;
+                std::vector<std::uint8_t> enc;
+                if (codec.encode(edit, addr, enc) &&
+                    enc.size() == in.length) {
+                    EXPECT_TRUE(img.writeBytes(addr, enc));
+                    return sym->name;
+                }
+            }
+            off += in.length;
+            addr += in.length;
+        }
+    }
+    return "";
+}
+
+/** Run one ServeServer on its own thread for a test's lifetime. */
+class DaemonFixture
+{
+  public:
+    explicit DaemonFixture(const std::string &tag,
+                           ServeOptions opts = ServeOptions{})
+    {
+        opts.socketPath = "/tmp/icp_test_serve_" + tag + ".sock";
+        std::remove(opts.socketPath.c_str());
+        std::remove((opts.socketPath + ".lock").c_str());
+        server_ = std::make_unique<ServeServer>(opts);
+        std::string error;
+        started_ = server_->start(error);
+        EXPECT_TRUE(started_) << error;
+        if (started_)
+            thread_ = std::thread([this] { rc_ = server_->run(); });
+    }
+
+    ~DaemonFixture() { stop(); }
+
+    void
+    stop()
+    {
+        if (thread_.joinable()) {
+            server_->requestDrain();
+            thread_.join();
+        }
+    }
+
+    const std::string &
+    socketPath() const
+    {
+        return server_->options().socketPath;
+    }
+
+    ServeServer &server() { return *server_; }
+    int exitCode() const { return rc_; }
+
+    ServeMessage
+    call(const ServeMessage &request)
+    {
+        ServeMessage reply;
+        std::string error;
+        if (!serveCall(socketPath(), request, reply, error))
+            reply.verb = "transport-error: " + error;
+        return reply;
+    }
+
+  private:
+    std::unique_ptr<ServeServer> server_;
+    std::thread thread_;
+    bool started_ = false;
+    int rc_ = -1;
+};
+
+/** Raw client connection for protocol-abuse tests. */
+int
+rawConnect(const std::string &socket_path)
+{
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size());
+    const int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return -1;
+    if (connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+// --- protocol framing -----------------------------------------------------
+
+TEST(ServeProtocol, PayloadRoundTrip)
+{
+    ServeMessage msg;
+    msg.verb = "rewrite";
+    msg.set("path", "/tmp/a.sbf");
+    msg.set("threads", std::uint64_t{4});
+    msg.set("note", "value with = signs == kept");
+
+    const auto payload = encodeServePayload(msg);
+    ServeMessage back;
+    std::string error;
+    ASSERT_TRUE(parseServePayload(payload.data(), payload.size(),
+                                  back, error))
+        << error;
+    EXPECT_EQ(back.verb, "rewrite");
+    EXPECT_EQ(back.get("path"), "/tmp/a.sbf");
+    EXPECT_EQ(back.getU64("threads"), 4u);
+    EXPECT_EQ(back.get("note"), "value with = signs == kept");
+    EXPECT_EQ(back.getU64("absent", 7), 7u);
+    EXPECT_FALSE(back.has("absent"));
+}
+
+TEST(ServeProtocol, EncoderFoldsNewlinesIntoSpaces)
+{
+    ServeMessage msg;
+    msg.verb = "ok";
+    msg.set("error", "line one\nline two");
+    const auto payload = encodeServePayload(msg);
+    ServeMessage back;
+    std::string error;
+    ASSERT_TRUE(parseServePayload(payload.data(), payload.size(),
+                                  back, error));
+    EXPECT_EQ(back.get("error"), "line one line two");
+}
+
+TEST(ServeProtocol, ParseRejectsGarbage)
+{
+    ServeMessage out;
+    std::string error;
+
+    EXPECT_FALSE(parseServePayload(nullptr, 0, out, error));
+
+    const std::string bad_verb = "NOT A VERB\nk=v\n";
+    EXPECT_FALSE(parseServePayload(
+        reinterpret_cast<const std::uint8_t *>(bad_verb.data()),
+        bad_verb.size(), out, error));
+
+    const std::string bad_field = "ping\nno-equals-here\n";
+    EXPECT_FALSE(parseServePayload(
+        reinterpret_cast<const std::uint8_t *>(bad_field.data()),
+        bad_field.size(), out, error));
+
+    const std::string with_nul = std::string("ping\nk=v") + '\0';
+    EXPECT_FALSE(parseServePayload(
+        reinterpret_cast<const std::uint8_t *>(with_nul.data()),
+        with_nul.size(), out, error));
+
+    const std::vector<std::uint8_t> binary = {0xff, 0xfe, 0x00,
+                                              0x01, 0x80};
+    EXPECT_FALSE(parseServePayload(binary.data(), binary.size(), out,
+                                   error));
+}
+
+TEST(ServeProtocol, FrameReadDegradesStructurally)
+{
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ServeMessage out;
+    std::string error;
+
+    // Truncated: a length prefix promising more than is sent.
+    const std::uint8_t hungry[4] = {16, 0, 0, 0};
+    ASSERT_EQ(write(fds[0], hungry, 4), 4);
+    ASSERT_EQ(write(fds[0], "abc", 3), 3);
+    close(fds[0]);
+    EXPECT_EQ(readServeFrame(fds[1], out, 1000, error),
+              FrameStatus::malformed);
+    close(fds[1]);
+
+    // Oversized: declared payload above the cap.
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const std::uint32_t huge = kMaxFramePayload + 1;
+    std::uint8_t head[4];
+    for (unsigned b = 0; b < 4; ++b)
+        head[b] = static_cast<std::uint8_t>((huge >> (8 * b)) & 0xff);
+    ASSERT_EQ(write(fds[0], head, 4), 4);
+    EXPECT_EQ(readServeFrame(fds[1], out, 1000, error),
+              FrameStatus::oversized);
+    close(fds[0]);
+    close(fds[1]);
+
+    // Zero-length frames are malformed, not empty messages.
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const std::uint8_t zero[4] = {0, 0, 0, 0};
+    ASSERT_EQ(write(fds[0], zero, 4), 4);
+    EXPECT_EQ(readServeFrame(fds[1], out, 1000, error),
+              FrameStatus::malformed);
+    close(fds[0]);
+    close(fds[1]);
+
+    // A stalled peer times out rather than hanging the worker.
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    EXPECT_EQ(readServeFrame(fds[1], out, 50, error),
+              FrameStatus::timeout);
+    close(fds[0]);
+    close(fds[1]);
+
+    // Orderly EOF before any byte is a close, not an error.
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    close(fds[0]);
+    EXPECT_EQ(readServeFrame(fds[1], out, 1000, error),
+              FrameStatus::closed);
+    close(fds[1]);
+}
+
+// --- daemon behavior ------------------------------------------------------
+
+TEST(ServeDaemon, AnswersPingStatsAndUnknownVerbs)
+{
+    DaemonFixture daemon("ping");
+
+    ServeMessage ping;
+    ping.verb = "ping";
+    EXPECT_EQ(daemon.call(ping).verb, "ok");
+
+    ServeMessage stats;
+    stats.verb = "stats";
+    const ServeMessage reply = daemon.call(stats);
+    ASSERT_EQ(reply.verb, "ok");
+    EXPECT_GE(reply.getU64("requests"), 1u);
+
+    ServeMessage bogus;
+    bogus.verb = "frobnicate";
+    const ServeMessage err = daemon.call(bogus);
+    EXPECT_EQ(err.verb, "error");
+    EXPECT_EQ(err.get("code"), "bad-verb");
+
+    // Operational errors are structured replies too.
+    ServeMessage missing;
+    missing.verb = "open";
+    missing.set("path", "/tmp/definitely_missing_input.sbf");
+    EXPECT_EQ(daemon.call(missing).verb, "error");
+}
+
+TEST(ServeDaemon, BadFramesGetStructuredErrorsNotCrashes)
+{
+    DaemonFixture daemon("abuse");
+
+    // Garbage payload: parses as a frame, fails as a message.
+    int fd = rawConnect(daemon.socketPath());
+    ASSERT_GE(fd, 0);
+    const std::string garbage = "\x07\x03***!!";
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(garbage.size());
+    std::uint8_t head[4];
+    for (unsigned b = 0; b < 4; ++b)
+        head[b] = static_cast<std::uint8_t>((len >> (8 * b)) & 0xff);
+    ASSERT_EQ(write(fd, head, 4), 4);
+    ASSERT_EQ(write(fd, garbage.data(), garbage.size()),
+              static_cast<ssize_t>(garbage.size()));
+    ServeMessage reply;
+    std::string error;
+    ASSERT_EQ(readServeFrame(fd, reply, 5000, error),
+              FrameStatus::ok)
+        << error;
+    EXPECT_EQ(reply.verb, "error");
+    EXPECT_EQ(reply.get("code"), "malformed");
+    close(fd);
+
+    // Oversized declared length: refused before any payload read.
+    fd = rawConnect(daemon.socketPath());
+    ASSERT_GE(fd, 0);
+    const std::uint32_t huge = kMaxFramePayload + 1;
+    for (unsigned b = 0; b < 4; ++b)
+        head[b] = static_cast<std::uint8_t>((huge >> (8 * b)) & 0xff);
+    ASSERT_EQ(write(fd, head, 4), 4);
+    ASSERT_EQ(readServeFrame(fd, reply, 5000, error),
+              FrameStatus::ok)
+        << error;
+    EXPECT_EQ(reply.verb, "error");
+    EXPECT_EQ(reply.get("code"), "oversized");
+    close(fd);
+
+    // Truncated frame: bytes promised, connection dropped.
+    fd = rawConnect(daemon.socketPath());
+    ASSERT_GE(fd, 0);
+    const std::uint8_t hungry[4] = {64, 0, 0, 0};
+    ASSERT_EQ(write(fd, hungry, 4), 4);
+    ASSERT_EQ(write(fd, "xy", 2), 2);
+    shutdown(fd, SHUT_WR);
+    ASSERT_EQ(readServeFrame(fd, reply, 5000, error),
+              FrameStatus::ok)
+        << error;
+    EXPECT_EQ(reply.verb, "error");
+    EXPECT_EQ(reply.get("code"), "malformed");
+    close(fd);
+
+    // After all that abuse, the daemon still answers politely.
+    ServeMessage ping;
+    ping.verb = "ping";
+    EXPECT_EQ(daemon.call(ping).verb, "ok");
+
+    const ServeStatsSnapshot snap = daemon.server().statsSnapshot();
+    EXPECT_GE(snap.badFrames, 3u);
+}
+
+TEST(ServeDaemon, WarmRewriteIsIncrementalAndByteIdentical)
+{
+    AnalysisCache::global().clear();
+    const std::string in_path = "/tmp/icp_test_serve_in.sbf";
+    const std::string out_path = "/tmp/icp_test_serve_out.sbf";
+    const BinaryImage base = compileProgram(microProfile(Arch::x64, true));
+    ASSERT_TRUE(writeFileBytes(in_path, base.serialize()));
+
+    DaemonFixture daemon("warm");
+
+    ServeMessage rewrite;
+    rewrite.verb = "rewrite";
+    rewrite.set("path", in_path);
+    rewrite.set("out", out_path);
+
+    // Cold first request: a fresh session, full emission.
+    ServeMessage first = daemon.call(rewrite);
+    ASSERT_EQ(first.verb, "ok");
+    EXPECT_EQ(first.getU64("warm"), 0u);
+    EXPECT_GT(first.getU64("emitted"), 0u);
+
+    // One-shot ground truth under the daemon's default options.
+    RewriteSession oneshot(base);
+    const RewriteResult &rw = oneshot.rewrite(serveDefaultOptions());
+    ASSERT_TRUE(rw.ok) << rw.failReason;
+    EXPECT_EQ(readFileBytes(out_path), rw.image.serialize());
+
+    // Unchanged input, warm session: answered from the cached
+    // result without re-analysis.
+    ServeMessage second = daemon.call(rewrite);
+    ASSERT_EQ(second.verb, "ok");
+    EXPECT_EQ(second.getU64("warm"), 1u);
+    EXPECT_EQ(second.getU64("cached"), 1u);
+    EXPECT_EQ(second.getU64("dirty"), 0u);
+    EXPECT_EQ(readFileBytes(out_path), rw.image.serialize());
+
+    // One-function edit: loadInput's overlap-keyed invalidation
+    // re-analyzes and re-emits exactly the victim.
+    BinaryImage edited = compileProgram(microProfile(Arch::x64, true));
+    const std::string victim = mutateOneImmediate(edited);
+    ASSERT_FALSE(victim.empty());
+    ASSERT_TRUE(writeFileBytes(in_path, edited.serialize()));
+
+    ServeMessage third = daemon.call(rewrite);
+    ASSERT_EQ(third.verb, "ok");
+    EXPECT_EQ(third.getU64("warm"), 1u);
+    EXPECT_EQ(third.getU64("incremental"), 1u);
+    EXPECT_EQ(third.getU64("dirty"), 1u);
+    EXPECT_EQ(third.getU64("emitted"), 1u);
+
+    RewriteSession cold(edited);
+    const RewriteResult &cold_rw =
+        cold.rewrite(serveDefaultOptions());
+    ASSERT_TRUE(cold_rw.ok);
+    EXPECT_EQ(readFileBytes(out_path), cold_rw.image.serialize());
+
+    daemon.stop();
+    EXPECT_EQ(daemon.exitCode(), 0);
+    std::remove(in_path.c_str());
+    std::remove(out_path.c_str());
+}
+
+TEST(ServeDaemon, LruEvictionUnderTinyBudgetReopensCorrectly)
+{
+    AnalysisCache::global().clear();
+    const std::string path_a = "/tmp/icp_test_serve_lru_a.sbf";
+    const std::string path_b = "/tmp/icp_test_serve_lru_b.sbf";
+    const std::string out_a = "/tmp/icp_test_serve_lru_a_out.sbf";
+    const BinaryImage img_a =
+        compileProgram(microProfile(Arch::x64, true));
+    const BinaryImage img_b =
+        compileProgram(microProfile(Arch::aarch64, true));
+    ASSERT_TRUE(writeFileBytes(path_a, img_a.serialize()));
+    ASSERT_TRUE(writeFileBytes(path_b, img_b.serialize()));
+
+    // A one-byte budget: any second resident session forces the
+    // least-recently-used one out.
+    ServeOptions opts;
+    opts.sessionMaxBytes = 1;
+    DaemonFixture daemon("lru", opts);
+    const ServeStatsSnapshot before = daemon.server().statsSnapshot();
+
+    ServeMessage open_a;
+    open_a.verb = "open";
+    open_a.set("path", path_a);
+    ASSERT_EQ(daemon.call(open_a).verb, "ok");
+
+    ServeMessage open_b;
+    open_b.verb = "open";
+    open_b.set("path", path_b);
+    ASSERT_EQ(daemon.call(open_b).verb, "ok");
+
+    ServeStatsSnapshot snap = daemon.server().statsSnapshot();
+    EXPECT_GE(snap.evictions, before.evictions + 1);
+    EXPECT_LE(snap.residentSessions, 1u);
+
+    // The evicted binary transparently re-opens cold and still
+    // produces the one-shot bytes.
+    ServeMessage rewrite_a;
+    rewrite_a.verb = "rewrite";
+    rewrite_a.set("path", path_a);
+    rewrite_a.set("out", out_a);
+    const ServeMessage reply = daemon.call(rewrite_a);
+    ASSERT_EQ(reply.verb, "ok");
+    EXPECT_EQ(reply.getU64("warm"), 0u);
+
+    RewriteSession oneshot(img_a);
+    const RewriteResult &rw =
+        oneshot.rewrite(serveDefaultOptions());
+    ASSERT_TRUE(rw.ok);
+    EXPECT_EQ(readFileBytes(out_a), rw.image.serialize());
+
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+    std::remove(out_a.c_str());
+}
+
+TEST(ServeDaemon, ConcurrentClientsOnDistinctBinaries)
+{
+    AnalysisCache::global().clear();
+    const std::string path_a = "/tmp/icp_test_serve_cc_a.sbf";
+    const std::string path_b = "/tmp/icp_test_serve_cc_b.sbf";
+    const std::string out_a = "/tmp/icp_test_serve_cc_a_out.sbf";
+    const std::string out_b = "/tmp/icp_test_serve_cc_b_out.sbf";
+    const BinaryImage img_a =
+        compileProgram(microProfile(Arch::x64, true));
+    const BinaryImage img_b =
+        compileProgram(microProfile(Arch::ppc64le, true));
+    ASSERT_TRUE(writeFileBytes(path_a, img_a.serialize()));
+    ASSERT_TRUE(writeFileBytes(path_b, img_b.serialize()));
+
+    DaemonFixture daemon("conc");
+
+    auto client = [&](const std::string &in, const std::string &out,
+                      std::string *verb) {
+        ServeMessage req;
+        req.verb = "rewrite";
+        req.set("path", in);
+        req.set("out", out);
+        ServeMessage reply;
+        std::string error;
+        *verb = serveCall(daemon.socketPath(), req, reply, error)
+                    ? reply.verb
+                    : "transport-error: " + error;
+    };
+
+    for (unsigned round = 0; round < 2; ++round) {
+        std::string verb_a, verb_b;
+        std::thread ta(client, path_a, out_a, &verb_a);
+        std::thread tb(client, path_b, out_b, &verb_b);
+        ta.join();
+        tb.join();
+        EXPECT_EQ(verb_a, "ok");
+        EXPECT_EQ(verb_b, "ok");
+    }
+
+    RewriteSession oneshot_a(img_a);
+    RewriteSession oneshot_b(img_b);
+    const RewriteResult &rw_a =
+        oneshot_a.rewrite(serveDefaultOptions());
+    const RewriteResult &rw_b =
+        oneshot_b.rewrite(serveDefaultOptions());
+    ASSERT_TRUE(rw_a.ok);
+    ASSERT_TRUE(rw_b.ok);
+    EXPECT_EQ(readFileBytes(out_a), rw_a.image.serialize());
+    EXPECT_EQ(readFileBytes(out_b), rw_b.image.serialize());
+
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+    std::remove(out_a.c_str());
+    std::remove(out_b.c_str());
+}
+
+TEST(ServeDaemon, DrainCompletesInFlightRequests)
+{
+    AnalysisCache::global().clear();
+    const std::string in_path = "/tmp/icp_test_serve_drain.sbf";
+    const std::string out_path =
+        "/tmp/icp_test_serve_drain_out.sbf";
+    const BinaryImage img = compileProgram(microProfile(Arch::x64, true));
+    ASSERT_TRUE(writeFileBytes(in_path, img.serialize()));
+
+    setenv("ICP_SERVE_TEST_DELAY_MS", "300", 1);
+    DaemonFixture daemon("drain");
+
+    std::string verb;
+    std::thread client([&] {
+        ServeMessage req;
+        req.verb = "rewrite";
+        req.set("path", in_path);
+        req.set("out", out_path);
+        ServeMessage reply;
+        std::string error;
+        verb = serveCall(daemon.socketPath(), req, reply, error)
+                   ? reply.verb
+                   : "transport-error: " + error;
+    });
+
+    // Let the request get in flight, then drain mid-handling.
+    usleep(100 * 1000);
+    daemon.server().requestDrain();
+    client.join();
+    daemon.stop();
+    unsetenv("ICP_SERVE_TEST_DELAY_MS");
+
+    // The in-flight rewrite finished and was answered.
+    EXPECT_EQ(verb, "ok");
+    EXPECT_EQ(daemon.exitCode(), 0);
+    EXPECT_FALSE(readFileBytes(out_path).empty());
+
+    // A clean drain removes both the socket and the lock file.
+    EXPECT_NE(access(daemon.socketPath().c_str(), F_OK), 0);
+    EXPECT_NE(access((daemon.socketPath() + ".lock").c_str(), F_OK),
+              0);
+
+    std::remove(in_path.c_str());
+    std::remove(out_path.c_str());
+}
+
+TEST(ServeDaemon, StaleSocketAndLockFilesDoNotWedgeRestart)
+{
+    // Emulate SIGKILL leftovers: a bound-then-abandoned socket file
+    // plus a lock file nobody holds a flock on.
+    const std::string socket_path =
+        "/tmp/icp_test_serve_stale.sock";
+    std::remove(socket_path.c_str());
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size());
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                   sizeof(addr)),
+              0);
+    close(fd); // socket file stays behind, no listener
+    { std::ofstream lock(socket_path + ".lock"); }
+
+    ServeOptions opts;
+    opts.socketPath = socket_path;
+    ServeServer server(opts);
+    std::string error;
+    EXPECT_TRUE(server.start(error)) << error;
+
+    std::thread t([&] { server.run(); });
+    ServeMessage ping;
+    ping.verb = "ping";
+    ServeMessage reply;
+    EXPECT_TRUE(serveCall(socket_path, ping, reply, error)) << error;
+    EXPECT_EQ(reply.verb, "ok");
+    server.requestDrain();
+    t.join();
+}
+
+TEST(ServeDaemon, SecondDaemonOnSameSocketIsRefused)
+{
+    DaemonFixture daemon("dup");
+    ServeOptions opts;
+    opts.socketPath = daemon.socketPath();
+    ServeServer second(opts);
+    std::string error;
+    EXPECT_FALSE(second.start(error));
+    EXPECT_NE(error.find("holds"), std::string::npos) << error;
+    // The incumbent is unharmed.
+    ServeMessage ping;
+    ping.verb = "ping";
+    EXPECT_EQ(daemon.call(ping).verb, "ok");
+}

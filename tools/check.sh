@@ -27,6 +27,13 @@
 #                  leave a verifiable + compactable cache file, and
 #                  report a peak RSS below the classic run's (the
 #                  streaming writer's whole reason to exist)
+#   serve          hot-session daemon smoke: background `icp serve`,
+#                  drive open -> rewrite -> edited rewrite -> lint ->
+#                  shutdown through `icp client`, assert byte identity
+#                  with one-shot rewrites and a warm session hit on
+#                  the second rewrite; a second pass SIGKILLs the
+#                  daemon mid-session and asserts the stale socket and
+#                  lock files don't wedge a restart
 #   datadeps       data-dependency smoke on every ISA: `icp deps
 #                  --poke-padding` (all) and `--poke-table`
 #                  (x64/aarch64; ppc64le embeds its tables in code)
@@ -58,7 +65,7 @@ for arg in "$@"; do
     esac
 done
 jobs="${jobs:-$(nproc)}"
-legs="${legs:-tsan asan release lint-baseline warm-cache cache-v2 sharded datadeps tidy}"
+legs="${legs:-tsan asan release lint-baseline warm-cache cache-v2 sharded serve datadeps tidy}"
 
 # Compiler launcher: use ccache when available (CI restores its
 # directory between runs), invisible otherwise.
@@ -171,9 +178,13 @@ leg_cache_v2() {
     {
         ./build/tools/icp rewrite "$dir/a.sbf" "$dir/a_out.sbf" \
             --cache-file "$cache" &
+        pid_a=$!
         ./build/tools/icp rewrite "$dir/b.sbf" "$dir/b_out.sbf" \
             --cache-file "$cache" &
-        wait
+        pid_b=$!
+        # A bare `wait` always exits 0; wait on each pid so a failed
+        # background rewrite fails the leg.
+        wait "$pid_a" && wait "$pid_b"
     } &&
     ./build/tools/icp cache verify "$cache" &&
     ./build/tools/icp rewrite "$dir/a.sbf" "$dir/a_warm.sbf" \
@@ -224,6 +235,107 @@ leg_sharded() {
     [ "$sharded_rss" -lt "$classic_rss" ] &&
     echo "peak RSS: sharded $sharded_rss < classic $classic_rss"
     status=$?
+    rm -rf "$dir"
+    return $status
+}
+
+# Poll a daemon's socket with `icp client ping` until it answers
+# (readiness, not a fixed sleep). Fails after ~5s.
+serve_wait_ready() {
+    sock="$1"
+    i=0
+    while [ "$i" -lt 50 ]; do
+        if ./build/tools/icp client "$sock" ping >/dev/null 2>&1; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "serve: daemon on $sock never became ready"
+    return 1
+}
+
+leg_serve() {
+    echo "== Serve daemon smoke (icp serve / icp client round trip) =="
+    build_cli || return 1
+    dir="$(mktemp -d)"
+    sock="$dir/serve.sock"
+    status=1
+    # Ground truths: one-shot rewrites of the original and the edited
+    # input, produced without any daemon in the picture.
+    if ./build/tools/icp compile micro "$dir/in.sbf" --pie &&
+       ./build/tools/icp compile spec1 "$dir/edit.sbf" --pie &&
+       ./build/tools/icp rewrite "$dir/in.sbf" "$dir/oneshot.sbf" &&
+       cp "$dir/edit.sbf" "$dir/edit_in.sbf" &&
+       ./build/tools/icp rewrite "$dir/edit_in.sbf" \
+           "$dir/oneshot_edit.sbf"
+    then
+        # Pass 1: full session lifecycle against one daemon, ending in
+        # a graceful shutdown whose exit status we actually collect.
+        ./build/tools/icp serve "$sock" &
+        srv=$!
+        if serve_wait_ready "$sock" &&
+           ./build/tools/icp client "$sock" open "$dir/in.sbf" &&
+           ./build/tools/icp client "$sock" rewrite "$dir/in.sbf" \
+               "$dir/served.sbf" &&
+           cmp "$dir/oneshot.sbf" "$dir/served.sbf" &&
+           ./build/tools/icp client "$sock" rewrite "$dir/in.sbf" \
+               "$dir/served2.sbf" | tee "$dir/warm.log" &&
+           grep -q "warm=1" "$dir/warm.log" &&
+           cmp "$dir/oneshot.sbf" "$dir/served2.sbf" &&
+           echo "serve: second rewrite warm, byte-identical" &&
+           # Edit the binary on disk; the resident session must notice
+           # the stamp change and still match the one-shot answer.
+           cp "$dir/edit.sbf" "$dir/in.sbf" &&
+           ./build/tools/icp client "$sock" rewrite "$dir/in.sbf" \
+               "$dir/served_edit.sbf" | tee "$dir/edit.log" &&
+           grep -q "warm=1" "$dir/edit.log" &&
+           cmp "$dir/oneshot_edit.sbf" "$dir/served_edit.sbf" &&
+           echo "serve: edited rewrite warm, byte-identical" &&
+           ./build/tools/icp client "$sock" lint "$dir/in.sbf" \
+               --fail-on error &&
+           ./build/tools/icp client "$sock" shutdown &&
+           wait "$srv"
+        then
+            echo "serve: lifecycle pass clean (daemon exit 0)"
+            status=0
+        else
+            kill "$srv" 2>/dev/null
+            wait "$srv" 2>/dev/null
+        fi
+    fi
+    # Pass 2: SIGKILL the daemon mid-session. The abandoned socket and
+    # lock files must not wedge a restart on the same path.
+    if [ $status -eq 0 ]; then
+        status=1
+        ./build/tools/icp serve "$sock" &
+        srv=$!
+        if serve_wait_ready "$sock" &&
+           ./build/tools/icp client "$sock" open "$dir/in.sbf"
+        then
+            kill -9 "$srv"
+            wait "$srv" 2>/dev/null
+            [ -S "$sock" ] || echo "serve: note: socket already gone"
+            ./build/tools/icp serve "$sock" &
+            srv=$!
+            if serve_wait_ready "$sock" &&
+               ./build/tools/icp client "$sock" rewrite "$dir/in.sbf" \
+                   "$dir/served_restart.sbf" &&
+               cmp "$dir/oneshot_edit.sbf" "$dir/served_restart.sbf" &&
+               ./build/tools/icp client "$sock" shutdown &&
+               wait "$srv"
+            then
+                echo "serve: SIGKILL restart pass clean"
+                status=0
+            else
+                kill "$srv" 2>/dev/null
+                wait "$srv" 2>/dev/null
+            fi
+        else
+            kill -9 "$srv" 2>/dev/null
+            wait "$srv" 2>/dev/null
+        fi
+    fi
     rm -rf "$dir"
     return $status
 }

@@ -12,6 +12,9 @@
 #                              compaction size-cap smoke
 #   tools/ci.sh sharded        multi-process --shards rewrite smoke:
 #                              byte identity, lint, cache, RSS
+#   tools/ci.sh serve          hot-session daemon smoke: lifecycle via
+#                              `icp client`, warm-hit + byte-identity
+#                              asserts, SIGKILL restart pass
 #   tools/ci.sh datadeps       per-ISA `icp deps` poke checks plus the
 #                              datadep-* lint-rule inject matrix
 #   tools/ci.sh tidy           clang-tidy over src/ + tools/ (skips
@@ -47,7 +50,7 @@ regen_lint_baseline() {
 }
 
 case "$job" in
-    release|asan|tsan|lint-baseline|warm-cache|cache-v2|sharded|datadeps|tidy)
+    release|asan|tsan|lint-baseline|warm-cache|cache-v2|sharded|serve|datadeps|tidy)
         exec tools/check.sh "$jobs" "$job"
         ;;
     all)
@@ -59,7 +62,7 @@ case "$job" in
     *)
         echo "ci.sh: unknown job '$job'" >&2
         echo "jobs: release asan tsan lint-baseline warm-cache" \
-             "cache-v2 sharded datadeps tidy all" \
+             "cache-v2 sharded serve datadeps tidy all" \
              "regen-lint-baseline" >&2
         exit 64
         ;;

@@ -25,6 +25,10 @@
  *               [rewrite options]
  *   icp cache   info|verify <file.icpc>
  *   icp cache   compact <file.icpc> [--max-bytes N]
+ *   icp serve   <socket> [--session-max-bytes N] [--max-sessions N]
+ *               [--timeout-ms N] [--threads N] [--timing]
+ *   icp client  <socket> <verb> [paths] [rewrite options]
+ *               [--fail-on S] [--iterations N] [--timeout-ms N]
  *
  * Profiles: micro, spec0..spec18, libxul, docker, libcuda,
  * chromium, chromium-small.
@@ -70,14 +74,30 @@
  * whole image. Output bytes are identical for every N. Incompatible
  * with --lint/--repair/--inject (lint the output separately with
  * `icp lint`).
+ *
+ * `icp serve` runs the hot-session daemon of src/serve/: resident
+ * RewriteSessions keyed by binary path behind a Unix-domain socket,
+ * so repeated rewrites of an edited binary skip process startup and
+ * go through loadInput's overlap-keyed invalidation. `icp client`
+ * sends one request (ping, open, rewrite, lint, repair, deps, stats,
+ * shutdown) and prints the reply as one greppable `verb: ok k=v ...`
+ * line; exit 0 on an ok reply, 2 when a lint reply reaches the
+ * fail-on floor, 1 on errors. SIGTERM/SIGINT drain the daemon
+ * gracefully: in-flight requests finish, caches delta-save, and the
+ * socket/lock files are removed. SIGKILL leaves them behind, but the
+ * flock-held lock file lets a restart detect staleness and rebind.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include <limits.h>
+#include <unistd.h>
 
 #include "analysis/builder.hh"
 #include "analysis/cache.hh"
@@ -87,6 +107,8 @@
 #include "codegen/workloads.hh"
 #include "rewrite/rewriter.hh"
 #include "rewrite/session.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
 #include "sim/loader.hh"
 #include "sim/machine.hh"
 #include "support/stats.hh"
@@ -129,8 +151,19 @@ usage()
                  "[--poke-padding|--poke-table]\n"
                  "       icp cache info|verify <file.icpc>\n"
                  "       icp cache compact <file.icpc> "
-                 "[--max-bytes N]\n");
-    return 2;
+                 "[--max-bytes N]\n"
+                 "       icp serve <socket> [--session-max-bytes N] "
+                 "[--max-sessions N]\n"
+                 "                 [--timeout-ms N] [--threads N] "
+                 "[--timing]\n"
+                 "       icp client <socket> ping|stats|shutdown\n"
+                 "       icp client <socket> open|lint|repair|deps "
+                 "<in.sbf> [options]\n"
+                 "       icp client <socket> rewrite <in.sbf> "
+                 "<out.sbf> [options]\n");
+    // Exit 1: operational error, distinct from lint's exit-2
+    // "findings reached --fail-on" contract.
+    return 1;
 }
 
 bool
@@ -1236,6 +1269,190 @@ cmdCache(int argc, char **argv)
     return usage();
 }
 
+std::string
+absolutePath(const std::string &path)
+{
+    if (!path.empty() && path[0] == '/')
+        return path;
+    char cwd[PATH_MAX];
+    if (getcwd(cwd, sizeof(cwd)) == nullptr)
+        return path;
+    return std::string(cwd) + "/" + path;
+}
+
+ServeServer *g_serve_server = nullptr;
+
+void
+serveSignalHandler(int)
+{
+    // requestDrain is async-signal-safe: an atomic store plus a
+    // self-pipe write.
+    if (g_serve_server != nullptr)
+        g_serve_server->requestDrain();
+}
+
+/** `icp serve <socket>`: run the hot-session daemon until drained. */
+int
+cmdServe(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    ServeOptions sopts;
+    sopts.socketPath = argv[0];
+    bool timing = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--session-max-bytes" && i + 1 < argc) {
+            sopts.sessionMaxBytes =
+                std::strtoull(argv[++i], nullptr, 10);
+            if (sopts.sessionMaxBytes == 0)
+                return usage();
+        } else if (arg == "--max-sessions" && i + 1 < argc) {
+            sopts.maxSessions =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+            if (sopts.maxSessions == 0)
+                return usage();
+        } else if (arg == "--timeout-ms" && i + 1 < argc) {
+            sopts.requestTimeoutMs = std::atoi(argv[++i]);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            sopts.threads =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--timing") {
+            timing = true;
+        } else {
+            return usage();
+        }
+    }
+
+    StageTimers::global().reset();
+    ServeServer server(sopts);
+    std::string error;
+    if (!server.start(error)) {
+        std::fprintf(stderr, "icp serve: %s\n", error.c_str());
+        return 1;
+    }
+
+    g_serve_server = &server;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = serveSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::printf("icp serve: listening on %s\n",
+                sopts.socketPath.c_str());
+    std::fflush(stdout);
+    const int rc = server.run();
+    g_serve_server = nullptr;
+
+    const ServeStatsSnapshot snap = server.statsSnapshot();
+    std::printf("icp serve: drained after %llu requests "
+                "(%llu hits, %llu misses, %llu evictions, "
+                "%llu errors), p50 %.3f ms, p99 %.3f ms\n",
+                static_cast<unsigned long long>(snap.requests),
+                static_cast<unsigned long long>(snap.sessionHits),
+                static_cast<unsigned long long>(snap.sessionMisses),
+                static_cast<unsigned long long>(snap.evictions),
+                static_cast<unsigned long long>(snap.errors),
+                snap.p50Ms, snap.p99Ms);
+    if (timing)
+        std::printf("%s", StageTimers::global().table().c_str());
+    return rc;
+}
+
+/**
+ * `icp client <socket> <verb> ...`: one request round trip. The
+ * reply is printed as a single greppable `verb: ok k=v ...` line.
+ * Exit 0 on an ok reply, 2 when a lint reply reaches the fail-on
+ * floor, 1 on connection/protocol/server errors.
+ */
+int
+cmdClient(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string socket_path = argv[0];
+    ServeMessage request;
+    request.verb = argv[1];
+    int timeout_ms = 30000;
+
+    int i = 2;
+    if (request.verb == "open" || request.verb == "lint" ||
+        request.verb == "repair" || request.verb == "deps") {
+        if (i >= argc)
+            return usage();
+        // The daemon resolves paths in its own cwd; absolutize so
+        // the client's cwd is what counts.
+        request.set("path", absolutePath(argv[i++]));
+    } else if (request.verb == "rewrite") {
+        if (i + 1 >= argc)
+            return usage();
+        request.set("path", absolutePath(argv[i++]));
+        request.set("out", absolutePath(argv[i++]));
+    } else if (request.verb != "ping" && request.verb != "stats" &&
+               request.verb != "shutdown") {
+        return usage();
+    }
+
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--mode" && i + 1 < argc) {
+            request.set("mode", argv[++i]);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            request.set("threads", argv[++i]);
+        } else if (arg == "--cache-file" && i + 1 < argc) {
+            request.set("cache_file", absolutePath(argv[++i]));
+        } else if (arg == "--cache-max-bytes" && i + 1 < argc) {
+            request.set("cache_max_bytes", argv[++i]);
+        } else if (arg == "--count-blocks") {
+            request.set("count_blocks", "1");
+        } else if (arg == "--count-entries") {
+            request.set("count_entries", "1");
+        } else if (arg == "--call-emulation") {
+            request.set("call_emulation", "1");
+        } else if (arg == "--clobber") {
+            request.set("clobber", "1");
+        } else if (arg == "--no-cache") {
+            request.set("no_cache", "1");
+        } else if (arg == "--fail-on" && i + 1 < argc) {
+            request.set("fail_on", argv[++i]);
+        } else if (arg == "--iterations" && i + 1 < argc) {
+            request.set("iterations", argv[++i]);
+        } else if (arg == "--timeout-ms" && i + 1 < argc) {
+            timeout_ms = std::atoi(argv[++i]);
+        } else {
+            return usage();
+        }
+    }
+
+    ServeMessage reply;
+    std::string error;
+    if (!serveCall(socket_path, request, reply, error, timeout_ms)) {
+        std::fprintf(stderr, "icp client: %s\n", error.c_str());
+        return 1;
+    }
+    if (reply.verb != "ok") {
+        std::fprintf(stderr, "icp client: %s failed [%s] %s\n",
+                     request.verb.c_str(),
+                     reply.get("code", "?").c_str(),
+                     reply.get("error", "").c_str());
+        return 1;
+    }
+    std::string line = request.verb + ": ok";
+    for (const auto &[key, value] : reply.fields) {
+        line += " ";
+        line += key;
+        line += "=";
+        line += value;
+    }
+    std::printf("%s\n", line.c_str());
+    if (request.verb == "lint" && reply.getU64("fail") != 0)
+        return 2;
+    return 0;
+}
+
 } // namespace
 
 int
@@ -1258,5 +1475,9 @@ main(int argc, char **argv)
         return cmdDeps(argc - 2, argv + 2);
     if (cmd == "cache")
         return cmdCache(argc - 2, argv + 2);
+    if (cmd == "serve")
+        return cmdServe(argc - 2, argv + 2);
+    if (cmd == "client")
+        return cmdClient(argc - 2, argv + 2);
     return usage();
 }
