@@ -427,15 +427,18 @@ buildCfg(const BinaryImage &image, const AnalysisOptions &opts)
             std::uint64_t key = 0;
             if (opts.useCache) {
                 key = functionCacheKey(image, sym, try_ranges, seed);
-                if (auto hit =
-                        AnalysisCache::global().findFunction(key)) {
+                if (auto hit = AnalysisCache::global().findFunction(
+                        key, sym.addr, image.tocBase)) {
                     // The key covers code bytes but not data
                     // contents; accept the hit only when the data
-                    // bytes its analysis read are unchanged. No
-                    // recorded read-set (pre-deps cache file) is a
+                    // bytes its analysis read are unchanged — for a
+                    // cross-binary hit the read-set comes back
+                    // rebased to *this* image's addresses, so the
+                    // re-hash checks this binary's data bytes. No
+                    // recorded read-set (caching off earlier) is a
                     // conservative miss.
-                    auto deps =
-                        AnalysisCache::global().findDataDeps(key);
+                    auto deps = AnalysisCache::global().findDataDeps(
+                        key, sym.addr);
                     bool ok = false;
                     if (deps) {
                         StageTimer timer(Stage::depsValidate);
@@ -468,12 +471,12 @@ buildCfg(const BinaryImage &image, const AnalysisOptions &opts)
                 std::memory_order_relaxed);
             if (opts.useCache) {
                 AnalysisCache::global().storeFunction(
-                    key, image.arch, built[i]);
+                    key, image.arch, built[i], image.tocBase);
                 // Stored even when empty: presence means "computed,
                 // reads nothing", absence means "unknown" (which
                 // findFunction consumers must treat as a miss).
                 AnalysisCache::global().storeDataDeps(
-                    key, image.arch, built[i].dataDeps);
+                    key, image.arch, sym.addr, built[i].dataDeps);
             }
         });
 

@@ -40,10 +40,15 @@ fnvDouble(double v, std::uint64_t hash)
 std::uint64_t
 imageCacheSeed(const BinaryImage &image, const AnalysisOptions &opts)
 {
+    // Nothing position-dependent goes in here: no tocBase, no
+    // section addresses or sizes. Analysis results are stored
+    // entry-relative and rebased on hit, so two binaries that link
+    // the same code at different layouts share entries. What *does*
+    // change analysis output for identical bytes is folded:
+    // architecture, PIE-ness, and every analysis/injection option.
     std::uint64_t h = fnvValue(
         static_cast<std::uint64_t>(image.arch), 0xcbf29ce484222325ULL);
     h = fnvValue(image.pie ? 1 : 0, h);
-    h = fnvValue(image.tocBase, h);
     h = fnvValue(opts.resolveJumpTables ? 1 : 0, h);
     h = fnvValue(opts.tailCallHeuristic ? 1 : 0, h);
     h = fnvDouble(opts.inject.failProb, h);
@@ -52,22 +57,6 @@ imageCacheSeed(const BinaryImage &image, const AnalysisOptions &opts)
     h = fnvValue(opts.inject.overExtra, h);
     h = fnvValue(opts.inject.underCut, h);
     h = fnvValue(opts.inject.seed, h);
-
-    // Jump-table analysis dereferences table bytes that live outside
-    // the function's own range (.rodata, .data). Their *contents* are
-    // deliberately not folded here: each function records the exact
-    // ranges it read (Function::dataDeps, hashed per range), and
-    // buildCfg validates a hit against the current image, so a data
-    // edit invalidates only the functions that actually read the
-    // edited bytes instead of the whole image. Section addresses and
-    // sizes stay in the key — analysis bounds tables by their
-    // containing section's extent.
-    for (const Section &sec : image.sections) {
-        if (!sec.loadable || sec.executable)
-            continue;
-        h = fnvValue(sec.addr, h);
-        h = fnvValue(sec.memSize, h);
-    }
     return h;
 }
 
@@ -76,9 +65,14 @@ functionCacheKey(const BinaryImage &image, const Symbol &sym,
                  const std::vector<TryRange> &tries,
                  std::uint64_t seed)
 {
-    std::uint64_t h = fnvValue(sym.addr, seed);
-    h = fnvValue(sym.size, h);
-    h = fnv1a(sym.name.data(), sym.name.size(), h);
+    // Content-addressed: size, entry-relative try offsets, and the
+    // code bytes. The entry address and symbol name are deliberately
+    // not folded — the same code at a different address (or under a
+    // different name in another binary) must produce the same key.
+    // Jump-table data that lives outside the function is covered by
+    // the recorded read-set (validated on every hit at the rebased
+    // addresses), not by the key.
+    std::uint64_t h = fnvValue(sym.size, seed);
     for (const TryRange &range : tries) {
         h = fnvValue(range.startOff, h);
         h = fnvValue(range.endOff, h);
@@ -88,6 +82,99 @@ functionCacheKey(const BinaryImage &image, const Symbol &sym,
     if (image.readBytes(sym.addr, sym.size, bytes))
         h = fnv1a(bytes.data(), bytes.size(), h);
     return h;
+}
+
+// --- rebase-on-hit --------------------------------------------------------
+
+namespace
+{
+
+/** entry-delta shift that preserves the invalid_addr sentinel. */
+inline Addr
+shifted(Addr a, std::uint64_t delta)
+{
+    return a == invalid_addr ? a : a + delta;
+}
+
+} // namespace
+
+Function
+rebaseFunction(const Function &func, Addr new_entry)
+{
+    Function out = func;
+    const std::uint64_t delta = new_entry - func.entry;
+    if (delta == 0)
+        return out;
+    out.entry = func.entry + delta;
+    out.end = func.end + delta;
+
+    std::map<Addr, Block> blocks;
+    for (auto &[start, block] : out.blocks) {
+        Block b = std::move(block);
+        b.start += delta;
+        b.end += delta;
+        if (b.callTarget)
+            b.callTarget = *b.callTarget + delta;
+        for (Instruction &in : b.insns) {
+            in.addr += delta;
+            in.target = shifted(in.target, delta);
+        }
+        for (Edge &e : b.succs)
+            e.target += delta;
+        blocks.emplace(b.start, std::move(b));
+    }
+    out.blocks = std::move(blocks);
+
+    for (JumpTable &jt : out.jumpTables) {
+        jt.jumpAddr += delta;
+        jt.tableAddr += delta;
+        if (jt.base)
+            jt.base = *jt.base + delta;
+        for (Addr &a : jt.baseDefAddrs)
+            a += delta;
+        jt.loadAddr += delta;
+        for (Addr &a : jt.targets)
+            a += delta;
+    }
+
+    std::set<Addr> pads;
+    for (Addr a : out.landingPads)
+        pads.insert(a + delta);
+    out.landingPads = std::move(pads);
+    for (Addr &a : out.indirectTailCalls)
+        a += delta;
+
+    out.dataDeps = rebaseDataDeps(out.dataDeps, func.entry, new_entry);
+    return out;
+}
+
+LivenessResult
+rebaseLiveness(const LivenessResult &live, Addr orig_entry,
+               Addr new_entry)
+{
+    const std::uint64_t delta = new_entry - orig_entry;
+    if (delta == 0)
+        return live;
+    LivenessResult out;
+    for (const auto &[addr, regs] : live.liveIn)
+        out.liveIn.emplace(addr + delta, regs);
+    return out;
+}
+
+DataDeps
+rebaseDataDeps(const DataDeps &deps, Addr orig_entry, Addr new_entry)
+{
+    const std::uint64_t delta = new_entry - orig_entry;
+    if (delta == 0)
+        return deps;
+    std::vector<DepRange> ranges = deps.ranges();
+    for (DepRange &r : ranges) {
+        r.lo += delta;
+        r.hi += delta;
+    }
+    DataDeps out;
+    out.setRanges(std::move(ranges));
+    return out;
 }
 
 AnalysisCache &
@@ -104,34 +191,62 @@ AnalysisCache::global()
 
 void
 AnalysisCache::storeFunction(std::uint64_t key, Arch arch,
-                             Function func)
+                             Function func, Addr toc_base)
 {
-    auto value =
+    const Addr entry = func.entry;
+    // Toc-relative address formation (ppc64le addis rd,r2) derives
+    // targets from tocBase, not from pc: a rebase is only exact when
+    // the requester's tocBase shifts by the same delta as the entry.
+    // Record the analysis-time offset so find can enforce that.
+    bool uses_toc = false;
+    for (const auto &[start, block] : func.blocks) {
+        for (const Instruction &in : block.insns) {
+            if (in.op == Opcode::AddisToc) {
+                uses_toc = true;
+                break;
+            }
+        }
+        if (uses_toc)
+            break;
+    }
+    Entry<Function> entry_rec;
+    entry_rec.arch = arch;
+    entry_rec.origEntry = entry;
+    entry_rec.tocDelta = static_cast<std::int64_t>(toc_base) -
+                         static_cast<std::int64_t>(entry);
+    entry_rec.usesToc = uses_toc;
+    entry_rec.value =
         std::make_shared<const Function>(std::move(func));
     std::lock_guard<std::mutex> lock(mu_);
     pendingFunctions_.erase(key);
-    functions_[key] = {arch, std::move(value)};
+    functions_[key] = std::move(entry_rec);
 }
 
 void
 AnalysisCache::storeLiveness(std::uint64_t key, Arch arch,
-                             LivenessResult live)
+                             Addr entry, LivenessResult live)
 {
-    auto value =
+    Entry<LivenessResult> entry_rec;
+    entry_rec.arch = arch;
+    entry_rec.origEntry = entry;
+    entry_rec.value =
         std::make_shared<const LivenessResult>(std::move(live));
     std::lock_guard<std::mutex> lock(mu_);
     pendingLiveness_.erase(key);
-    liveness_[key] = {arch, std::move(value)};
+    liveness_[key] = std::move(entry_rec);
 }
 
 void
 AnalysisCache::storeDataDeps(std::uint64_t key, Arch arch,
-                             DataDeps deps)
+                             Addr entry, DataDeps deps)
 {
-    auto value = std::make_shared<const DataDeps>(std::move(deps));
+    Entry<DataDeps> entry_rec;
+    entry_rec.arch = arch;
+    entry_rec.origEntry = entry;
+    entry_rec.value = std::make_shared<const DataDeps>(std::move(deps));
     std::lock_guard<std::mutex> lock(mu_);
     pendingDataDeps_.erase(key);
-    dataDeps_[key] = {arch, std::move(value)};
+    dataDeps_[key] = std::move(entry_rec);
 }
 
 AnalysisCache::Stats

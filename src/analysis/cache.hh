@@ -2,22 +2,34 @@
  * @file
  * The incremental analysis cache: the "incremental" in incremental
  * CFG patching applied to analysis time. Per-function analysis
- * results (CFG with jump tables, liveness summaries) are memoized
- * under an FNV-1a key of the function's byte range, entry address,
- * architecture, and analysis options, so re-rewriting an unchanged
- * (or slightly changed) binary skips almost all analysis work: only
- * functions whose bytes actually changed are re-analyzed.
+ * results (CFG with jump tables, liveness summaries, data read-sets)
+ * are memoized under a *content-addressed* FNV-1a key — architecture,
+ * analysis options, landing-pad layout, symbol size, and the
+ * function's code bytes. The entry address is deliberately not part
+ * of the key: two binaries that statically link the same function at
+ * different addresses (or `icp serve` sessions for different
+ * binaries in one process) share a single cache entry.
  *
- * Keying caveat: the key covers the function's own bytes and the
- * layout (address/size) of every non-executable loadable section,
- * but not data-section *contents*. Jump-table data may live in
- * .rodata, so a code-keyed hit could be stale after a data edit;
- * buildCfg therefore validates every hit against the function's
- * recorded data read-set (Function::dataDeps, per-range FNV content
- * hashes, stored alongside the function under the same key) and
- * degrades to a conservative miss when the deps are absent or their
- * bytes changed. Data edits thus invalidate exactly the functions
- * that read the edited bytes, not the whole image.
+ * The v4 contract that makes an address-free key sound:
+ *  - Entries are position-independent. Every absolute address in a
+ *    stored result (block bounds, branch targets, jump-table
+ *    anchors, liveness keys, read-set ranges) is kept relative to
+ *    the entry it was analyzed at; find*() rematerializes absolute
+ *    addresses at the *requested* entry (rebase-on-hit). Identical
+ *    bytes imply identical pc-relative displacements, so every
+ *    derived address shifts by exactly the entry delta; code whose
+ *    bytes embed absolute addresses (non-PIE immediates,
+ *    toc-relative forms at a different toc offset) differs in bytes
+ *    or fails the recorded toc-delta check and simply never hits.
+ *  - Data contents are still not part of the key. Every hit is
+ *    validated by re-hashing the function's recorded data read-set
+ *    (Function::dataDeps, per-range FNV content hashes, stored under
+ *    the same key) against the current image *at the rebased
+ *    addresses*, and degrades to a conservative miss when the deps
+ *    are absent or their bytes changed. Data edits thus invalidate
+ *    exactly the functions that read the edited bytes — and a
+ *    cross-binary hit is accepted only when the second binary's data
+ *    bytes match what the analysis originally read.
  */
 
 #ifndef ICP_ANALYSIS_CACHE_HH
@@ -76,21 +88,45 @@ std::uint64_t fnv1a(const void *data, std::size_t len,
                     std::uint64_t hash = 0xcbf29ce484222325ULL);
 
 /**
- * Image-wide key component: architecture, PIE-ness, analysis
- * options, and all non-executable loadable bytes. Computed once per
- * buildCfg call and folded into every function key.
+ * Image-wide key component: architecture, PIE-ness, and analysis
+ * options — nothing position-dependent (no base addresses, no
+ * section layout), so binaries laid out differently can share
+ * entries. Computed once per buildCfg call and folded into every
+ * function key.
  */
 std::uint64_t imageCacheSeed(const BinaryImage &image,
                              const AnalysisOptions &opts);
 
 /**
- * Key of one function's analysis results under @p seed: its entry,
- * size, name, landing-pad layout, and code bytes.
+ * Content-addressed key of one function's analysis results under
+ * @p seed: its size, landing-pad layout (entry-relative try
+ * offsets), and code bytes. Neither the entry address nor the symbol
+ * name is folded, so the same code linked at a different address —
+ * or into a different binary — produces the same key.
  */
 std::uint64_t functionCacheKey(const BinaryImage &image,
                                const Symbol &sym,
                                const std::vector<TryRange> &tries,
                                std::uint64_t seed);
+
+/**
+ * Shift every absolute address in @p func by `newEntry - func.entry`:
+ * entry/end, block bounds, instruction addresses and branch targets
+ * (the invalid_addr sentinel is preserved), edges, call targets,
+ * jump-table anchors and computed targets, landing pads, indirect
+ * tail calls, and the data read-set ranges (their content hashes are
+ * position-independent and carry over). Sound for byte-identical
+ * code because all of these derive from pc-relative displacements.
+ */
+Function rebaseFunction(const Function &func, Addr new_entry);
+
+/** Shift liveness keys (instruction addresses) by the entry delta. */
+LivenessResult rebaseLiveness(const LivenessResult &live,
+                              Addr orig_entry, Addr new_entry);
+
+/** Shift read-set ranges by the entry delta (hashes carry over). */
+DataDeps rebaseDataDeps(const DataDeps &deps, Addr orig_entry,
+                        Addr new_entry);
 
 /**
  * Process-wide memo of per-function analysis results. Thread-safe;
@@ -129,24 +165,35 @@ class AnalysisCache
      * and deserialized on its first lookup here (and only then) — a
      * corrupt or malformed payload degrades to a miss and the
      * function simply re-analyzes.
+     *
+     * Entries are canonical at the entry they were analyzed at. When
+     * @p entry differs (a cross-binary hit) the result is rebased to
+     * @p entry (CacheCounters::crossHits, Stage::cacheRebase); toc-
+     * relative code additionally requires `tocBase - entry` to match
+     * the recorded value, else the lookup misses — a rebased
+     * toc-relative target would be wrong.
      */
-    std::shared_ptr<const Function> findFunction(std::uint64_t key);
-    void storeFunction(std::uint64_t key, Arch arch, Function func);
+    std::shared_ptr<const Function>
+    findFunction(std::uint64_t key, Addr entry, Addr toc_base);
+    void storeFunction(std::uint64_t key, Arch arch, Function func,
+                       Addr toc_base);
 
     std::shared_ptr<const LivenessResult>
-    findLiveness(std::uint64_t key);
-    void storeLiveness(std::uint64_t key, Arch arch,
+    findLiveness(std::uint64_t key, Addr entry);
+    void storeLiveness(std::uint64_t key, Arch arch, Addr entry,
                        LivenessResult live);
 
     /**
-     * The data read-set recorded for @p key's function, or nullptr
-     * when none was stored (pre-deps cache file, caching off): the
-     * consumer must then treat a code-keyed hit as a conservative
-     * miss. Does not count toward hit/miss stats — deps ride along
-     * with their function entry.
+     * The data read-set recorded for @p key's function rebased to
+     * @p entry, or nullptr when none was stored (legacy cache file,
+     * caching off): the consumer must then treat a code-keyed hit as
+     * a conservative miss. Does not count toward hit/miss stats —
+     * deps ride along with their function entry.
      */
-    std::shared_ptr<const DataDeps> findDataDeps(std::uint64_t key);
-    void storeDataDeps(std::uint64_t key, Arch arch, DataDeps deps);
+    std::shared_ptr<const DataDeps> findDataDeps(std::uint64_t key,
+                                                 Addr entry);
+    void storeDataDeps(std::uint64_t key, Arch arch, Addr entry,
+                       DataDeps deps);
 
     Stats stats() const;
 
@@ -157,7 +204,7 @@ class AnalysisCache
     // --- on-disk persistence (implemented in cache_store.cc) -----------
 
     /**
-     * Persist the cache to @p path in the v2 format of
+     * Persist the cache to @p path in the v4 format of
      * analysis/cache_store.hh. Delta save: under the advisory
      * `<path>.lock` flock, the file's existing key set is re-scanned
      * (merging segments appended by concurrent writers) and only
@@ -192,10 +239,21 @@ class AnalysisCache
                          std::optional<Arch> expect_arch = {});
 
   private:
-    /** One memoized result, tagged with the ISA it was built for. */
+    /**
+     * One memoized result, tagged with the ISA it was built for and
+     * the entry address it was analyzed at (the canonical form keeps
+     * absolute addresses at origEntry so same-entry hits return the
+     * shared snapshot without copying; a different requested entry
+     * rebases a copy). usesToc/tocDelta guard toc-relative code:
+     * a hit at a different entry is only valid when the requester's
+     * `tocBase - entry` matches.
+     */
     template <typename T> struct Entry
     {
         Arch arch = Arch::x64;
+        Addr origEntry = 0;
+        std::int64_t tocDelta = 0; ///< tocBase - entry at analysis
+        bool usesToc = false;      ///< any AddisToc instruction
         std::shared_ptr<const T> value;
     };
 

@@ -1,7 +1,10 @@
 /**
  * @file
- * AnalysisCache::save()/load() and the `icp cache` helpers: the v2
- * segmented cache-file format documented in cache_store.hh.
+ * AnalysisCache::save()/load() and the `icp cache` helpers: the v4
+ * segmented cache-file format documented in cache_store.hh
+ * (position-independent entries, content-addressed keys; the v1-v3
+ * framing still loads, with absolute-form entries degrading to
+ * misses).
  *
  * Layered like the SBF container code: a bounds-latched ByteReader
  * and kind-specific payload encoders/decoders at the bottom; a
@@ -141,9 +144,29 @@ class ByteReader
 
 // --- payload encoders -----------------------------------------------------
 
+/**
+ * Entry-relative address encoding (v4): addresses are stored as
+ * wrap-around u64 deltas from the function entry, so a payload is
+ * position-independent and decoding at any entry reconstructs
+ * consistent absolute addresses (two's-complement round trip).
+ * The invalid_addr sentinel (unresolved Instruction::target) is
+ * preserved verbatim — it must not shift.
+ */
+std::uint64_t
+relAddr(Addr a, Addr entry)
+{
+    return a == invalid_addr ? a : a - entry;
+}
+
+Addr
+absAddr(std::uint64_t rel, Addr entry)
+{
+    return rel == invalid_addr ? rel : rel + entry;
+}
+
 void
 encodeInstruction(std::vector<std::uint8_t> &out,
-                  const Instruction &in)
+                  const Instruction &in, Addr entry)
 {
     putU8(out, static_cast<std::uint8_t>(in.op));
     putU8(out, static_cast<std::uint8_t>(in.rd));
@@ -156,37 +179,39 @@ encodeInstruction(std::vector<std::uint8_t> &out,
     putU8(out, in.movKeep ? 1 : 0);
     putU8(out, in.formHint);
     putU64(out, static_cast<std::uint64_t>(in.imm));
-    putU64(out, in.target);
-    putU64(out, in.addr);
+    putU64(out, relAddr(in.target, entry));
+    putU64(out, relAddr(in.addr, entry));
     putU32(out, in.length);
 }
 
 void
-encodeJumpTable(std::vector<std::uint8_t> &out, const JumpTable &jt)
+encodeJumpTable(std::vector<std::uint8_t> &out, const JumpTable &jt,
+                Addr entry)
 {
-    putU64(out, jt.jumpAddr);
-    putU64(out, jt.tableAddr);
+    putU64(out, relAddr(jt.jumpAddr, entry));
+    putU64(out, relAddr(jt.tableAddr, entry));
     putU32(out, jt.entrySize);
     putU8(out, jt.signedEntries ? 1 : 0);
     putU32(out, jt.shift);
     putU8(out, jt.base.has_value() ? 1 : 0);
-    putU64(out, jt.base.value_or(0));
+    putU64(out, jt.base ? relAddr(*jt.base, entry) : 0);
     putU32(out, static_cast<std::uint32_t>(jt.baseDefAddrs.size()));
     for (Addr a : jt.baseDefAddrs)
-        putU64(out, a);
-    putU64(out, jt.loadAddr);
+        putU64(out, relAddr(a, entry));
+    putU64(out, relAddr(jt.loadAddr, entry));
     putU32(out, jt.entryCount);
     putU32(out, static_cast<std::uint32_t>(jt.targets.size()));
     for (Addr a : jt.targets)
-        putU64(out, a);
+        putU64(out, relAddr(a, entry));
     putU8(out, jt.embeddedInCode ? 1 : 0);
 }
 
 void
-encodeBlock(std::vector<std::uint8_t> &out, const Block &block)
+encodeBlock(std::vector<std::uint8_t> &out, const Block &block,
+            Addr entry)
 {
-    putU64(out, block.start);
-    putU64(out, block.end);
+    putU64(out, relAddr(block.start, entry));
+    putU64(out, relAddr(block.end, entry));
     std::uint8_t flags = 0;
     if (block.endsInUnresolvedIndirect)
         flags |= 1;
@@ -195,48 +220,56 @@ encodeBlock(std::vector<std::uint8_t> &out, const Block &block)
     if (block.callTarget.has_value())
         flags |= 4;
     putU8(out, flags);
-    putU64(out, block.callTarget.value_or(0));
+    putU64(out, block.callTarget ? relAddr(*block.callTarget, entry)
+                                 : 0);
     putU32(out, static_cast<std::uint32_t>(block.insns.size()));
     for (const Instruction &in : block.insns)
-        encodeInstruction(out, in);
+        encodeInstruction(out, in, entry);
     putU32(out, static_cast<std::uint32_t>(block.succs.size()));
     for (const Edge &e : block.succs) {
-        putU64(out, e.target);
+        putU64(out, relAddr(e.target, entry));
         putU8(out, static_cast<std::uint8_t>(e.kind));
     }
 }
 
 std::vector<std::uint8_t>
-encodeFunction(const Function &func)
+encodeFunction(const Function &func, std::int64_t toc_delta,
+               bool uses_toc)
 {
     std::vector<std::uint8_t> out;
-    putString(out, func.name);
+    // Position-independence metadata: the entry the analysis ran at
+    // (provenance for cross-hit accounting and the canonical decode
+    // base) and the toc offset guard for toc-relative code.
     putU64(out, func.entry);
-    putU64(out, func.end);
+    putU64(out, static_cast<std::uint64_t>(toc_delta));
+    putU8(out, uses_toc ? 1 : 0);
+    putString(out, func.name);
+    putU64(out, relAddr(func.end, func.entry));
     putU8(out, static_cast<std::uint8_t>(func.failure));
     putU32(out, static_cast<std::uint32_t>(func.landingPads.size()));
     for (Addr a : func.landingPads)
-        putU64(out, a);
+        putU64(out, relAddr(a, func.entry));
     putU32(out, static_cast<std::uint32_t>(
                     func.indirectTailCalls.size()));
     for (Addr a : func.indirectTailCalls)
-        putU64(out, a);
+        putU64(out, relAddr(a, func.entry));
     putU32(out, static_cast<std::uint32_t>(func.jumpTables.size()));
     for (const JumpTable &jt : func.jumpTables)
-        encodeJumpTable(out, jt);
+        encodeJumpTable(out, jt, func.entry);
     putU32(out, static_cast<std::uint32_t>(func.blocks.size()));
     for (const auto &[start, block] : func.blocks)
-        encodeBlock(out, block);
+        encodeBlock(out, block, func.entry);
     return out;
 }
 
 std::vector<std::uint8_t>
-encodeLiveness(const LivenessResult &live)
+encodeLiveness(const LivenessResult &live, Addr entry)
 {
     std::vector<std::uint8_t> out;
+    putU64(out, entry);
     putU32(out, static_cast<std::uint32_t>(live.liveIn.size()));
     for (const auto &[addr, regs] : live.liveIn) {
-        putU64(out, addr);
+        putU64(out, relAddr(addr, entry));
         putU32(out, regs.raw());
     }
     return out;
@@ -251,7 +284,7 @@ validReg(std::uint8_t v)
 }
 
 bool
-decodeInstruction(ByteReader &rd, Instruction &in)
+decodeInstruction(ByteReader &rd, Instruction &in, Addr entry)
 {
     const std::uint8_t op = rd.u8();
     const std::uint8_t vrd = rd.u8();
@@ -264,8 +297,8 @@ decodeInstruction(ByteReader &rd, Instruction &in)
     in.movKeep = rd.u8() != 0;
     in.formHint = rd.u8();
     in.imm = static_cast<std::int64_t>(rd.u64());
-    in.target = rd.u64();
-    in.addr = rd.u64();
+    in.target = absAddr(rd.u64(), entry);
+    in.addr = absAddr(rd.u64(), entry);
     in.length = rd.u32();
     if (rd.failed())
         return false;
@@ -285,40 +318,40 @@ decodeInstruction(ByteReader &rd, Instruction &in)
 }
 
 bool
-decodeJumpTable(ByteReader &rd, JumpTable &jt)
+decodeJumpTable(ByteReader &rd, JumpTable &jt, Addr entry)
 {
-    jt.jumpAddr = rd.u64();
-    jt.tableAddr = rd.u64();
+    jt.jumpAddr = absAddr(rd.u64(), entry);
+    jt.tableAddr = absAddr(rd.u64(), entry);
     jt.entrySize = rd.u32();
     jt.signedEntries = rd.u8() != 0;
     jt.shift = rd.u32();
     const bool has_base = rd.u8() != 0;
     const Addr base = rd.u64();
     if (has_base)
-        jt.base = base;
+        jt.base = absAddr(base, entry);
     const std::uint32_t ndefs = rd.u32();
     if (ndefs > rd.remaining() / 8)
         return false;
     jt.baseDefAddrs.reserve(ndefs);
     for (std::uint32_t i = 0; i < ndefs; ++i)
-        jt.baseDefAddrs.push_back(rd.u64());
-    jt.loadAddr = rd.u64();
+        jt.baseDefAddrs.push_back(absAddr(rd.u64(), entry));
+    jt.loadAddr = absAddr(rd.u64(), entry);
     jt.entryCount = rd.u32();
     const std::uint32_t ntargets = rd.u32();
     if (ntargets > rd.remaining() / 8)
         return false;
     jt.targets.reserve(ntargets);
     for (std::uint32_t i = 0; i < ntargets; ++i)
-        jt.targets.push_back(rd.u64());
+        jt.targets.push_back(absAddr(rd.u64(), entry));
     jt.embeddedInCode = rd.u8() != 0;
     return !rd.failed();
 }
 
 bool
-decodeBlock(ByteReader &rd, Block &block)
+decodeBlock(ByteReader &rd, Block &block, Addr entry)
 {
-    block.start = rd.u64();
-    block.end = rd.u64();
+    block.start = absAddr(rd.u64(), entry);
+    block.end = absAddr(rd.u64(), entry);
     const std::uint8_t flags = rd.u8();
     if (flags > 7)
         return false;
@@ -326,13 +359,13 @@ decodeBlock(ByteReader &rd, Block &block)
     block.endsFunction = (flags & 2) != 0;
     const Addr call_target = rd.u64();
     if (flags & 4)
-        block.callTarget = call_target;
+        block.callTarget = absAddr(call_target, entry);
     const std::uint32_t ninsns = rd.u32();
     if (ninsns > rd.remaining() / 38) // encoded instruction size
         return false;
     block.insns.resize(ninsns);
     for (Instruction &in : block.insns) {
-        if (!decodeInstruction(rd, in))
+        if (!decodeInstruction(rd, in, entry))
             return false;
     }
     const std::uint32_t nsuccs = rd.u32();
@@ -340,7 +373,7 @@ decodeBlock(ByteReader &rd, Block &block)
         return false;
     block.succs.resize(nsuccs);
     for (Edge &e : block.succs) {
-        e.target = rd.u64();
+        e.target = absAddr(rd.u64(), entry);
         const std::uint8_t kind = rd.u8();
         if (kind > static_cast<std::uint8_t>(EdgeKind::jumpTable))
             return false;
@@ -349,12 +382,23 @@ decodeBlock(ByteReader &rd, Block &block)
     return !rd.failed();
 }
 
+/**
+ * Decode a v4 function payload into its canonical form: absolute
+ * addresses at the entry it was analyzed at (carried in the payload).
+ * Structural validation (sortedness, enum ranges) runs on the
+ * rematerialized absolute values — wrap-around deltas round-trip
+ * exactly, so this checks the same invariants the encoder wrote.
+ */
 bool
-decodeFunction(ByteReader &rd, Function &func)
+decodeFunction(ByteReader &rd, Function &func,
+               std::int64_t &toc_delta, bool &uses_toc)
 {
+    const Addr entry = rd.u64();
+    toc_delta = static_cast<std::int64_t>(rd.u64());
+    uses_toc = rd.u8() != 0;
+    func.entry = entry;
     func.name = rd.str();
-    func.entry = rd.u64();
-    func.end = rd.u64();
+    func.end = absAddr(rd.u64(), entry);
     const std::uint8_t failure = rd.u8();
     if (failure >
         static_cast<std::uint8_t>(AnalysisFailure::gapsWithRealCode))
@@ -364,18 +408,18 @@ decodeFunction(ByteReader &rd, Function &func)
     if (npads > rd.remaining() / 8)
         return false;
     for (std::uint32_t i = 0; i < npads; ++i)
-        func.landingPads.insert(rd.u64());
+        func.landingPads.insert(absAddr(rd.u64(), entry));
     const std::uint32_t ntails = rd.u32();
     if (ntails > rd.remaining() / 8)
         return false;
     for (std::uint32_t i = 0; i < ntails; ++i)
-        func.indirectTailCalls.push_back(rd.u64());
+        func.indirectTailCalls.push_back(absAddr(rd.u64(), entry));
     const std::uint32_t njts = rd.u32();
     if (njts > rd.remaining() / 46) // minimum encoded table size
         return false;
     func.jumpTables.resize(njts);
     for (JumpTable &jt : func.jumpTables) {
-        if (!decodeJumpTable(rd, jt))
+        if (!decodeJumpTable(rd, jt, entry))
             return false;
     }
     const std::uint32_t nblocks = rd.u32();
@@ -383,7 +427,7 @@ decodeFunction(ByteReader &rd, Function &func)
         return false;
     for (std::uint32_t i = 0; i < nblocks; ++i) {
         Block block;
-        if (!decodeBlock(rd, block))
+        if (!decodeBlock(rd, block, entry))
             return false;
         func.blocks.emplace(block.start, std::move(block));
     }
@@ -393,34 +437,38 @@ decodeFunction(ByteReader &rd, Function &func)
 }
 
 bool
-decodeLiveness(ByteReader &rd, LivenessResult &live)
+decodeLiveness(ByteReader &rd, LivenessResult &live,
+               Addr &orig_entry)
 {
+    orig_entry = rd.u64();
     const std::uint32_t n = rd.u32();
     if (n > rd.remaining() / 12)
         return false;
     for (std::uint32_t i = 0; i < n; ++i) {
-        const Addr addr = rd.u64();
+        const Addr addr = absAddr(rd.u64(), orig_entry);
         live.liveIn.emplace(addr, RegSet::fromRaw(rd.u32()));
     }
     return !rd.failed() && rd.remaining() == 0;
 }
 
 std::vector<std::uint8_t>
-encodeDataDeps(const DataDeps &deps)
+encodeDataDeps(const DataDeps &deps, Addr entry)
 {
     std::vector<std::uint8_t> out;
+    putU64(out, entry);
     putU32(out, static_cast<std::uint32_t>(deps.size()));
     for (const DepRange &r : deps.ranges()) {
-        putU64(out, r.lo);
-        putU64(out, r.hi);
+        putU64(out, relAddr(r.lo, entry));
+        putU64(out, relAddr(r.hi, entry));
         putU64(out, r.hash);
     }
     return out;
 }
 
 bool
-decodeDataDeps(ByteReader &rd, DataDeps &deps)
+decodeDataDeps(ByteReader &rd, DataDeps &deps, Addr &orig_entry)
 {
+    orig_entry = rd.u64();
     const std::uint32_t n = rd.u32();
     if (n > rd.remaining() / 24)
         return false;
@@ -429,8 +477,8 @@ decodeDataDeps(ByteReader &rd, DataDeps &deps)
     Addr prev_hi = 0;
     for (std::uint32_t i = 0; i < n; ++i) {
         DepRange r;
-        r.lo = rd.u64();
-        r.hi = rd.u64();
+        r.lo = absAddr(rd.u64(), orig_entry);
+        r.hi = absAddr(rd.u64(), orig_entry);
         r.hash = rd.u64();
         // The encoder only writes finalized sets: sorted, disjoint,
         // non-empty ranges. Anything else is not ours.
@@ -445,9 +493,13 @@ decodeDataDeps(ByteReader &rd, DataDeps &deps)
     return true;
 }
 
-constexpr std::uint8_t entry_kind_function = 1;
-constexpr std::uint8_t entry_kind_liveness = 2;
-constexpr std::uint8_t entry_kind_datadeps = 3;
+// v4 position-independent payload kinds. The absolute-form v1-v3
+// kinds (1/2/3) are recognized so old files walk cleanly, but never
+// indexed: their payloads cannot be rebased and their keys were
+// computed under the old address-folding scheme.
+constexpr std::uint8_t entry_kind_function = 4;
+constexpr std::uint8_t entry_kind_liveness = 5;
+constexpr std::uint8_t entry_kind_datadeps = 6;
 
 bool
 knownEntryKind(std::uint8_t kind)
@@ -455,6 +507,12 @@ knownEntryKind(std::uint8_t kind)
     return kind == entry_kind_function ||
            kind == entry_kind_liveness ||
            kind == entry_kind_datadeps;
+}
+
+bool
+legacyEntryKind(std::uint8_t kind)
+{
+    return kind >= 1 && kind <= 3;
 }
 
 void
@@ -586,7 +644,7 @@ scanBuffer(const std::uint8_t *data, std::size_t size)
         scan.issues.push_back(
             {"cache-migrated", 4,
              "version-1 cache file loaded read-only; the next save "
-             "rewrites it as version 2"});
+             "rewrites it in the current format"});
         const std::uint32_t count = rd.u32();
         for (std::uint32_t i = 0; i < count; ++i) {
             RawEntry e;
@@ -796,6 +854,11 @@ compactLocked(const std::string &path, std::uint64_t max_bytes,
     for (const RawEntry &e : scan.entries) {
         if (fnv1a(e.payload, e.payloadLen) != e.payloadHash)
             continue;
+        // Legacy absolute-form kinds can never hit again; compaction
+        // is where they finally leave the file. Unknown kinds are
+        // kept (forward compat).
+        if (legacyEntryKind(e.kind))
+            continue;
         by_key[{e.kind, e.key}] = &e;
     }
     out.entriesBefore = static_cast<unsigned>(scan.entries.size());
@@ -912,115 +975,167 @@ MappedCacheFile::~MappedCacheFile()
 // --- lazy lookups ---------------------------------------------------------
 
 std::shared_ptr<const Function>
-AnalysisCache::findFunction(std::uint64_t key)
+AnalysisCache::findFunction(std::uint64_t key, Addr entry,
+                            Addr toc_base)
 {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = functions_.find(key);
-    if (it != functions_.end()) {
+    if (it == functions_.end()) {
+        auto pit = pendingFunctions_.find(key);
+        if (pit == pendingFunctions_.end()) {
+            stats_.functionMisses++;
+            return nullptr;
+        }
+        // First lookup of a lazily-indexed entry: verify its
+        // checksum and deserialize it now, outside the lock (the
+        // shared mapping keeps the bytes alive; a racing decode of
+        // the same key is wasted work, not a bug). The canonical
+        // in-memory form keeps absolute addresses at the entry the
+        // payload records (origEntry), not the requested one.
+        const PendingEntry pe = pit->second;
+        lock.unlock();
+        Function func;
+        std::int64_t toc_delta = 0;
+        bool uses_toc = false;
+        ByteReader rd(pe.payload, pe.payloadLen);
+        const bool ok =
+            fnv1a(pe.payload, pe.payloadLen) == pe.payloadHash &&
+            decodeFunction(rd, func, toc_delta, uses_toc);
+        lock.lock();
+        pendingFunctions_.erase(key);
+        if (!ok) {
+            // Corrupt or undecodable payload: count the miss and
+            // re-analyze; the entry heals on the next compaction.
+            stats_.functionMisses++;
+            return nullptr;
+        }
+        func.cacheKey = key;
+        Entry<Function> rec;
+        rec.arch = pe.arch;
+        rec.origEntry = func.entry;
+        rec.tocDelta = toc_delta;
+        rec.usesToc = uses_toc;
+        rec.value = std::make_shared<const Function>(std::move(func));
+        it = functions_.emplace(key, std::move(rec)).first;
+        CacheCounters::global().entriesLazy.fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    const Entry<Function> &e = it->second;
+    if (entry == e.origEntry) {
         stats_.functionHits++;
-        return it->second.value;
+        return e.value;
     }
-    auto pit = pendingFunctions_.find(key);
-    if (pit == pendingFunctions_.end()) {
+    // Cross-binary hit: the same code bytes at a different address.
+    // Toc-relative code derives targets from tocBase, so the rebase
+    // is only exact when the requester's toc offset matches.
+    if (e.usesToc &&
+        static_cast<std::int64_t>(toc_base) -
+                static_cast<std::int64_t>(entry) !=
+            e.tocDelta) {
         stats_.functionMisses++;
         return nullptr;
     }
-    // First lookup of a lazily-indexed entry: verify its checksum
-    // and deserialize it now, outside the lock (the shared mapping
-    // keeps the bytes alive; a racing decode of the same key is
-    // wasted work, not a bug).
-    const PendingEntry pe = pit->second;
-    lock.unlock();
-    Function func;
-    ByteReader rd(pe.payload, pe.payloadLen);
-    const bool ok =
-        fnv1a(pe.payload, pe.payloadLen) == pe.payloadHash &&
-        decodeFunction(rd, func);
-    lock.lock();
-    pendingFunctions_.erase(key);
-    if (!ok) {
-        // Corrupt or undecodable payload: count the miss and
-        // re-analyze; the entry heals on the next compaction.
-        stats_.functionMisses++;
-        return nullptr;
-    }
-    func.cacheKey = key;
-    auto value = std::make_shared<const Function>(std::move(func));
-    auto [ins, fresh] = functions_.emplace(
-        key, Entry<Function>{pe.arch, std::move(value)});
     stats_.functionHits++;
-    CacheCounters::global().entriesLazy.fetch_add(
+    CacheCounters::global().crossHits.fetch_add(
         1, std::memory_order_relaxed);
-    return ins->second.value;
+    std::shared_ptr<const Function> value = e.value;
+    lock.unlock();
+    StageTimer timer(Stage::cacheRebase);
+    return std::make_shared<const Function>(
+        rebaseFunction(*value, entry));
 }
 
 std::shared_ptr<const LivenessResult>
-AnalysisCache::findLiveness(std::uint64_t key)
+AnalysisCache::findLiveness(std::uint64_t key, Addr entry)
 {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = liveness_.find(key);
-    if (it != liveness_.end()) {
-        stats_.livenessHits++;
-        return it->second.value;
+    if (it == liveness_.end()) {
+        auto pit = pendingLiveness_.find(key);
+        if (pit == pendingLiveness_.end()) {
+            stats_.livenessMisses++;
+            return nullptr;
+        }
+        const PendingEntry pe = pit->second;
+        lock.unlock();
+        LivenessResult live;
+        Addr orig_entry = 0;
+        ByteReader rd(pe.payload, pe.payloadLen);
+        const bool ok =
+            fnv1a(pe.payload, pe.payloadLen) == pe.payloadHash &&
+            decodeLiveness(rd, live, orig_entry);
+        lock.lock();
+        pendingLiveness_.erase(key);
+        if (!ok) {
+            stats_.livenessMisses++;
+            return nullptr;
+        }
+        Entry<LivenessResult> rec;
+        rec.arch = pe.arch;
+        rec.origEntry = orig_entry;
+        rec.value =
+            std::make_shared<const LivenessResult>(std::move(live));
+        it = liveness_.emplace(key, std::move(rec)).first;
+        CacheCounters::global().entriesLazy.fetch_add(
+            1, std::memory_order_relaxed);
     }
-    auto pit = pendingLiveness_.find(key);
-    if (pit == pendingLiveness_.end()) {
-        stats_.livenessMisses++;
-        return nullptr;
-    }
-    const PendingEntry pe = pit->second;
-    lock.unlock();
-    LivenessResult live;
-    ByteReader rd(pe.payload, pe.payloadLen);
-    const bool ok =
-        fnv1a(pe.payload, pe.payloadLen) == pe.payloadHash &&
-        decodeLiveness(rd, live);
-    lock.lock();
-    pendingLiveness_.erase(key);
-    if (!ok) {
-        stats_.livenessMisses++;
-        return nullptr;
-    }
-    auto value =
-        std::make_shared<const LivenessResult>(std::move(live));
-    auto [ins, fresh] = liveness_.emplace(
-        key, Entry<LivenessResult>{pe.arch, std::move(value)});
+
+    const Entry<LivenessResult> &e = it->second;
     stats_.livenessHits++;
-    CacheCounters::global().entriesLazy.fetch_add(
-        1, std::memory_order_relaxed);
-    return ins->second.value;
+    if (entry == e.origEntry)
+        return e.value;
+    std::shared_ptr<const LivenessResult> value = e.value;
+    const Addr orig = e.origEntry;
+    lock.unlock();
+    StageTimer timer(Stage::cacheRebase);
+    return std::make_shared<const LivenessResult>(
+        rebaseLiveness(*value, orig, entry));
 }
 
 std::shared_ptr<const DataDeps>
-AnalysisCache::findDataDeps(std::uint64_t key)
+AnalysisCache::findDataDeps(std::uint64_t key, Addr entry)
 {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = dataDeps_.find(key);
-    if (it != dataDeps_.end())
-        return it->second.value;
-    auto pit = pendingDataDeps_.find(key);
-    if (pit == pendingDataDeps_.end())
-        return nullptr;
-    const PendingEntry pe = pit->second;
-    lock.unlock();
-    DataDeps deps;
-    ByteReader rd(pe.payload, pe.payloadLen);
-    const bool ok =
-        fnv1a(pe.payload, pe.payloadLen) == pe.payloadHash &&
-        decodeDataDeps(rd, deps);
-    lock.lock();
-    pendingDataDeps_.erase(key);
-    if (!ok) {
-        // Corrupt read-set: the paired function hit degrades to a
-        // conservative miss at its consumer.
-        return nullptr;
+    if (it == dataDeps_.end()) {
+        auto pit = pendingDataDeps_.find(key);
+        if (pit == pendingDataDeps_.end())
+            return nullptr;
+        const PendingEntry pe = pit->second;
+        lock.unlock();
+        DataDeps deps;
+        Addr orig_entry = 0;
+        ByteReader rd(pe.payload, pe.payloadLen);
+        const bool ok =
+            fnv1a(pe.payload, pe.payloadLen) == pe.payloadHash &&
+            decodeDataDeps(rd, deps, orig_entry);
+        lock.lock();
+        pendingDataDeps_.erase(key);
+        if (!ok) {
+            // Corrupt read-set: the paired function hit degrades to
+            // a conservative miss at its consumer.
+            return nullptr;
+        }
+        Entry<DataDeps> rec;
+        rec.arch = pe.arch;
+        rec.origEntry = orig_entry;
+        rec.value = std::make_shared<const DataDeps>(std::move(deps));
+        it = dataDeps_.emplace(key, std::move(rec)).first;
+        CacheCounters::global().entriesLazy.fetch_add(
+            1, std::memory_order_relaxed);
     }
-    auto value = std::make_shared<const DataDeps>(std::move(deps));
-    auto [ins, fresh] = dataDeps_.emplace(
-        key, Entry<DataDeps>{pe.arch, std::move(value)});
-    CacheCounters::global().entriesLazy.fetch_add(
-        1, std::memory_order_relaxed);
-    return ins->second.value;
+
+    const Entry<DataDeps> &e = it->second;
+    if (entry == e.origEntry)
+        return e.value;
+    std::shared_ptr<const DataDeps> value = e.value;
+    const Addr orig = e.origEntry;
+    lock.unlock();
+    // Rebased read-set: the consumer re-hashes it against *its*
+    // image, which is exactly the cross-binary soundness check.
+    return std::make_shared<const DataDeps>(
+        rebaseDataDeps(*value, orig, entry));
 }
 
 // --- load -----------------------------------------------------------------
@@ -1050,7 +1165,18 @@ AnalysisCache::load(const std::string &path,
     // lazy checksum + deserialization on first lookup.
     std::vector<const RawEntry *> accepted;
     accepted.reserve(scan.entries.size());
+    std::size_t first_legacy_off = 0;
     for (const RawEntry &e : scan.entries) {
+        if (legacyEntryKind(e.kind)) {
+            // Absolute-form v1-v3 entry: cannot be rebased and its
+            // key predates the content-addressed scheme, so it could
+            // never match a lookup anyway. Degrades to a miss; one
+            // summarizing issue below instead of per-entry noise.
+            if (report.skippedLegacy == 0)
+                first_legacy_off = e.offset;
+            ++report.skippedLegacy;
+            continue;
+        }
         if (!knownEntryKind(e.kind)) {
             // Forward compatibility: a newer writer introduced an
             // entry kind this build does not understand. Skipping it
@@ -1084,6 +1210,16 @@ AnalysisCache::load(const std::string &path,
             continue;
         }
         accepted.push_back(&e);
+    }
+    if (report.skippedLegacy > 0) {
+        char msg[128];
+        std::snprintf(msg, sizeof(msg),
+                      "%u absolute-form v1-v3 entries skipped "
+                      "(re-analysis repopulates them); the next save "
+                      "rewrites the file as version %u",
+                      report.skippedLegacy, cache_file_version);
+        report.issues.push_back(
+            {"cache-legacy", first_legacy_off, msg});
     }
 
     std::lock_guard<std::mutex> lock(mu_);
@@ -1179,7 +1315,7 @@ AnalysisCache::save(const std::string &path,
             // them under the lock to compare against the file's
             // payload hash is cheaper than a decode round trip.
             std::vector<std::uint8_t> payload =
-                encodeDataDeps(*entry.value);
+                encodeDataDeps(*entry.value, entry.origEntry);
             const bool stale =
                 file_deps.count(key) != 0 &&
                 file_deps_hash[key] !=
@@ -1221,7 +1357,8 @@ AnalysisCache::save(const std::string &path,
     std::uint32_t count = 0;
     for (const auto &[key, entry] : miss_fn) {
         appendEntry(body, entry_kind_function, entry.arch, key,
-                    encodeFunction(*entry.value));
+                    encodeFunction(*entry.value, entry.tocDelta,
+                                   entry.usesToc));
         ++count;
     }
     for (const auto &[key, pe] : miss_fn_raw) {
@@ -1231,7 +1368,7 @@ AnalysisCache::save(const std::string &path,
     }
     for (const auto &[key, entry] : miss_lv) {
         appendEntry(body, entry_kind_liveness, entry.arch, key,
-                    encodeLiveness(*entry.value));
+                    encodeLiveness(*entry.value, entry.origEntry));
         ++count;
     }
     for (const auto &[key, pe] : miss_lv_raw) {
@@ -1281,7 +1418,10 @@ AnalysisCache::save(const std::string &path,
             for (auto it = scan.entries.rbegin();
                  it != scan.entries.rend(); ++it) {
                 const RawEntry &e = *it;
-                if (!e.completeSegment ||
+                // Legacy absolute-form kinds are dropped here — they
+                // can never hit again; unknown future kinds pass
+                // through so a newer writer's entries survive us.
+                if (!e.completeSegment || legacyEntryKind(e.kind) ||
                     !seen.insert({e.kind, e.key}).second)
                     continue;
                 appendEntry(full_body, e.kind,
@@ -1327,17 +1467,30 @@ inspectCacheFile(const std::string &path)
     info.generation = scan.maxGeneration;
     info.segments = scan.segments;
     info.issues = std::move(scan.issues);
+    std::set<std::pair<std::uint8_t, std::uint64_t>> keys;
+    std::set<std::uint64_t> payload_hashes;
     for (const RawEntry &e : scan.entries) {
-        if (e.kind == entry_kind_function)
+        if (e.kind == entry_kind_function) {
             ++info.functionEntries;
-        else if (e.kind == entry_kind_liveness)
+            info.functionPayloadBytes += e.payloadLen;
+        } else if (e.kind == entry_kind_liveness) {
             ++info.livenessEntries;
-        else if (e.kind == entry_kind_datadeps)
+            info.livenessPayloadBytes += e.payloadLen;
+        } else if (e.kind == entry_kind_datadeps) {
             ++info.dataDepsEntries;
-        else
+            info.dataDepsPayloadBytes += e.payloadLen;
+        } else if (legacyEntryKind(e.kind)) {
+            ++info.legacyEntries;
+        } else {
             ++info.otherEntries;
+        }
         info.payloadBytes += e.payloadLen;
+        keys.insert({e.kind, e.key});
+        payload_hashes.insert(e.payloadHash);
     }
+    info.distinctKeys = static_cast<unsigned>(keys.size());
+    info.distinctPayloads =
+        static_cast<unsigned>(payload_hashes.size());
     return info;
 }
 
@@ -1374,7 +1527,9 @@ verifyCacheFile(const std::string &path)
         ByteReader rd(e.payload, e.payloadLen);
         if (e.kind == entry_kind_function) {
             Function func;
-            if (!decodeFunction(rd, func)) {
+            std::int64_t toc_delta = 0;
+            bool uses_toc = false;
+            if (!decodeFunction(rd, func, toc_delta, uses_toc)) {
                 report.issues.push_back(
                     {"cache-entry", e.offset,
                      "malformed function payload"});
@@ -1384,7 +1539,8 @@ verifyCacheFile(const std::string &path)
             ++report.loadedFunctions;
         } else if (e.kind == entry_kind_liveness) {
             LivenessResult live;
-            if (!decodeLiveness(rd, live)) {
+            Addr orig_entry = 0;
+            if (!decodeLiveness(rd, live, orig_entry)) {
                 report.issues.push_back(
                     {"cache-entry", e.offset,
                      "malformed liveness payload"});
@@ -1394,7 +1550,8 @@ verifyCacheFile(const std::string &path)
             ++report.loadedLiveness;
         } else if (e.kind == entry_kind_datadeps) {
             DataDeps deps;
-            if (!decodeDataDeps(rd, deps)) {
+            Addr orig_entry = 0;
+            if (!decodeDataDeps(rd, deps, orig_entry)) {
                 report.issues.push_back(
                     {"cache-entry", e.offset,
                      "malformed data read-set payload"});
@@ -1402,6 +1559,16 @@ verifyCacheFile(const std::string &path)
                 continue;
             }
             ++report.loadedDataDeps;
+        } else if (legacyEntryKind(e.kind)) {
+            // Checksum already verified above; the payload itself is
+            // not decodable under the v4 contract, by design.
+            char msg[96];
+            std::snprintf(msg, sizeof(msg),
+                          "absolute-form v1-v3 entry (kind %u); "
+                          "degrades to a miss at load",
+                          e.kind);
+            report.issues.push_back({"cache-legacy", e.offset, msg});
+            ++report.skippedLegacy;
         } else {
             char msg[96];
             std::snprintf(msg, sizeof(msg),

@@ -17,7 +17,7 @@
  * Cache keys are content hashes, so a surviving entry is usable by
  * construction and a dropped entry only costs re-analysis.
  *
- * File layout v2 (all integers little-endian):
+ * File layout v4 (all integers little-endian):
  *
  *   u32 magic       "ICPC"
  *   u32 version     cache_file_version
@@ -31,8 +31,10 @@
  *   u64 generation  monotonically increasing across appends
  *   u64 headerHash  FNV-1a over the previous 24 header bytes
  *   entryCount x {
- *     u8  kind      1 = function CFG, 2 = liveness summary,
- *                   3 = data read-set (v3)
+ *     u8  kind      4 = function CFG, 5 = liveness summary,
+ *                   6 = data read-set (all position-independent;
+ *                   1-3 are the absolute-form v1-v3 equivalents,
+ *                   recognized but never indexed)
  *     u8  arch      Arch enum value
  *     u64 key       Function::cacheKey the entry memoizes
  *     u32 payloadLen
@@ -40,14 +42,24 @@
  *     u8  payload[payloadLen]
  *   }
  *
- * Version 3 adds the data read-set entry kind (DataDeps: u32 count,
- * count x { u64 lo, u64 hi, u64 rangeHash }) without changing the
- * container framing or the function/liveness payload encodings, so
- * v2 files load unchanged (their functions just have no recorded
- * deps and degrade to conservative cache misses at consumption).
- * Forward compatibility is structural: an *unknown* entry kind is
- * skipped with a `cache-skip` info diagnostic — a reader built
- * before a kind was introduced tolerates files that contain it.
+ * Version 4 makes entries position-independent: keys are content
+ * addresses (no entry address, no symbol name — see cache.hh) and
+ * every absolute address in a payload is stored relative to the
+ * entry the function was analyzed at, with that original entry (and
+ * for functions the analysis-time `tocBase - entry` offset) kept as
+ * payload metadata, so a lookup from a *different* binary sharing
+ * the code bytes rebases the entry to its own addresses. The v4
+ * payload kinds are new numbers (4/5/6): the absolute-form v1-v3
+ * kinds (1/2/3) remain self-describing in old files and degrade to
+ * misses at load — decoding them under the v4 contract would rebase
+ * absolute addresses and corrupt them, and their keys were computed
+ * under the old address-folding scheme anyway, so they can never
+ * match a v4 lookup. v1-v3 files therefore still *load* (per-entry
+ * degradation with one summarizing `cache-legacy` info issue, never
+ * a crash) and are rewritten as v4 by the next save. Forward
+ * compatibility is structural: an *unknown* entry kind is skipped
+ * with a `cache-skip` info diagnostic — a reader built before a
+ * kind was introduced tolerates files that contain it.
  *
  * load() maps the file (zero-copy) and only walks entry headers; a
  * payload's checksum is verified and its bytes deserialized lazily
@@ -87,7 +99,7 @@ namespace icp
 
 constexpr std::uint32_t cache_file_magic = 0x43504349;    // "ICPC"
 constexpr std::uint32_t cache_segment_magic = 0x53504349; // "ICPS"
-constexpr std::uint32_t cache_file_version = 3;
+constexpr std::uint32_t cache_file_version = 4;
 
 /** Oldest file version load() still reads (v1: whole-file snapshot). */
 constexpr std::uint32_t cache_file_min_version = 1;
@@ -136,6 +148,13 @@ struct CacheLoadReport
     /** Unknown-kind entries tolerated (forward compat, info issue). */
     unsigned skippedUnknown = 0;
 
+    /**
+     * Absolute-form v1-v3 entries recognized but not indexed: their
+     * addresses cannot be rebased and their keys predate the
+     * content-addressed scheme, so they degrade to misses.
+     */
+    unsigned skippedLegacy = 0;
+
     /** Keys already in memory; the in-memory entry won. */
     unsigned skippedExisting = 0;
 
@@ -161,8 +180,26 @@ struct CacheFileInfo
     unsigned functionEntries = 0;
     unsigned livenessEntries = 0;
     unsigned dataDepsEntries = 0;
-    unsigned otherEntries = 0; ///< unknown kinds (forward compat)
+    unsigned legacyEntries = 0; ///< absolute-form v1-v3 kinds
+    unsigned otherEntries = 0;  ///< unknown kinds (forward compat)
     std::uint64_t payloadBytes = 0;
+
+    /** Per-kind payload bytes (`icp cache info` breakdown). */
+    std::uint64_t functionPayloadBytes = 0;
+    std::uint64_t livenessPayloadBytes = 0;
+    std::uint64_t dataDepsPayloadBytes = 0;
+
+    /**
+     * Sharing stats: with content-addressed keys, every binary whose
+     * functions share code collapses onto the same (kind, key)
+     * pairs. distinctKeys < total entries means append-path
+     * duplicates (replacement appends); distinctPayloads <
+     * distinctKeys means byte-identical payloads stored under
+     * several keys (near-miss dedup headroom).
+     */
+    unsigned distinctKeys = 0;     ///< unique (kind, key) pairs
+    unsigned distinctPayloads = 0; ///< unique payload hashes
+
     std::vector<CacheFileIssue> issues;
 };
 
@@ -193,7 +230,7 @@ struct CacheCompactionResult
 };
 
 /**
- * Rewrite @p path as a single-segment v2 file, deduplicating keys
+ * Rewrite @p path as a single-segment v4 file, deduplicating keys
  * and dropping torn tails. When @p max_bytes is non-zero, entries
  * are kept newest-generation-first until the cap: the LRU-ish
  * watermark policy that bounds CI cache growth (`icp cache compact`,

@@ -753,7 +753,8 @@ CompilerImpl::planLayout()
     icp_assert(!spec_.goFuncPtrPlusOne || spec_.arch == Arch::x64,
                "the +1 pattern is modeled on x64 only");
 
-    prefBase_ = spec_.pie ? 0x10000 : 0x400000;
+    prefBase_ =
+        (spec_.pie ? 0x10000 : 0x400000) + spec_.baseOffset;
 
     // Dynamic-linking sections first (sizes depend only on counts).
     dynsymAddr_ = prefBase_ + 0x1000;
@@ -771,7 +772,9 @@ CompilerImpl::planLayout()
     }
     relaSize_ = 16 * nrelocs + 16;
 
-    textBase_ = alignUp(relaAddr_ + relaSize_, 4096);
+    textBase_ = alignUp(relaAddr_ + relaSize_,
+                        spec_.textAlign != 0 ? spec_.textAlign
+                                             : 4096);
 
     // Phase A: size every function at a dummy address.
     resolved_ = false;
@@ -794,6 +797,8 @@ CompilerImpl::planLayout()
             cursor += spec_.funcs[i].padding;
     }
     textSize_ = cursor - textBase_;
+    if (spec_.textSizeFloor > textSize_)
+        textSize_ = spec_.textSizeFloor; // nop-padded tail
 
     // .rodata: jump tables for the table-in-rodata architectures,
     // then the padding blob.

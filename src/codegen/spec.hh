@@ -134,6 +134,31 @@ struct ProgramSpec
     /** Inflate .rodata to push sections apart (range pressure). */
     std::uint64_t rodataPadding = 0;
 
+    /**
+     * Extra offset added to the preferred link base (0 = none).
+     * Corpus binaries that share a static-library core use distinct
+     * multiples of 0x10000 here, so byte-identical functions land at
+     * different absolute addresses — the shape the content-addressed
+     * analysis cache rebases on hit.
+     */
+    std::uint64_t baseOffset = 0;
+
+    /**
+     * Alignment of .text's base (0 = the default 4096). Corpus
+     * binaries sharing code raise this to 0x10000 so differently
+     * sized dynamic-linking headers cannot shift .text relative to
+     * the link base.
+     */
+    std::uint64_t textAlign = 0;
+
+    /**
+     * Pad .text to at least this many bytes (0 = none), pinning the
+     * .rodata/.data bases at a fixed distance from .text across
+     * binaries whose app-specific tails differ in size — which keeps
+     * the shared core's pc-relative references byte-identical.
+     */
+    std::uint64_t textSizeFloor = 0;
+
     /** Retain link-time relocations (-Wl,-q analog, for BOLT). */
     bool emitLinkRelocs = false;
 

@@ -496,6 +496,147 @@ chromiumSmallProfile(Arch arch, bool pie)
                                0xc4511);
 }
 
+std::vector<ProgramSpec>
+libcommonCorpus(Arch arch, unsigned count)
+{
+    icp_assert(count >= 2, "a corpus needs at least two binaries");
+    constexpr unsigned core = 60; ///< shared static-lib functions
+    constexpr unsigned tail = 38; ///< app-specific functions
+    constexpr unsigned pool = 6;  ///< address-taken tail leaves
+
+    // The shared core, generated ONCE with a fixed seed and embedded
+    // verbatim in every binary at spec indices [1, 1+core). Core
+    // functions only ever reference other core functions and their
+    // own jump tables: no reads of .data globals, no funcptr-table
+    // traffic, no address-taken members — everything they touch sits
+    // at a link-base-relative position the layout knobs hold fixed,
+    // so their emitted bytes agree across the corpus.
+    Rng core_rng(0x11bc033);
+    std::vector<FuncSpec> core_funcs(core);
+    const unsigned core_hubs = core / 5;
+    for (unsigned i = core_hubs; i < core; ++i) {
+        FuncSpec &fs = core_funcs[i];
+        fs.name = "core_f" + std::to_string(i);
+        fs.computeOps = 2 +
+            static_cast<unsigned>(core_rng.range(0, 10));
+        fs.loopIters = core_rng.chance(0.25)
+            ? static_cast<unsigned>(core_rng.range(2, 10))
+            : 0;
+        fs.alignment = core_rng.chance(0.5) ? 16 : 32;
+        fs.padding =
+            static_cast<unsigned>(core_rng.range(0, 12)) & ~3u;
+        if (core_rng.chance(0.30)) {
+            SwitchSpec sw;
+            sw.cases = static_cast<unsigned>(
+                1u << core_rng.range(2, 5)); // 4..32
+            sw.entrySize = arch == Arch::aarch64
+                ? (core_rng.chance(0.5) ? 1 : 2)
+                : 4;
+            if (sw.cases > 16 && sw.entrySize == 1)
+                sw.entrySize = 2;
+            fs.switches.push_back(sw);
+        } else if (core_rng.chance(0.10) && i + 2 < core) {
+            // Direct tail call, always forward (acyclic).
+            fs.tailCallTo = static_cast<int>(
+                1 + i + 1 +
+                core_rng.range(0, core - i - 2));
+        }
+    }
+    for (unsigned i = 0; i < core_hubs; ++i) {
+        FuncSpec &fs = core_funcs[i];
+        fs.name = "core_h" + std::to_string(i);
+        fs.computeOps = 4 +
+            static_cast<unsigned>(core_rng.range(0, 8));
+        fs.loopIters = core_rng.chance(0.5)
+            ? static_cast<unsigned>(core_rng.range(2, 6))
+            : 0;
+        const unsigned ncallees =
+            static_cast<unsigned>(core_rng.range(1, 3));
+        for (unsigned c = 0; c < ncallees; ++c) {
+            fs.callees.push_back(static_cast<unsigned>(
+                1 + core_rng.range(core_hubs, core - 1)));
+        }
+    }
+    // Pin the core block's start: main (spec index 0, app-specific)
+    // precedes it in .text, so a page alignment on the first core
+    // function absorbs per-binary differences in main's size.
+    core_funcs[0].alignment = 4096;
+
+    std::vector<ProgramSpec> corpus;
+    for (unsigned b = 0; b < count; ++b) {
+        ProgramSpec spec;
+        spec.name = "libcommon-app" + std::to_string(b);
+        spec.arch = arch;
+        // PIE everywhere: on x64 it selects 4-byte table-relative
+        // jump-table entries — absolute 8-byte entries would differ
+        // per link address and (correctly) defeat sharing.
+        spec.pie = true;
+        spec.mainIterations = 40;
+        spec.baseOffset = std::uint64_t{b} * 0x100000;
+        spec.textAlign = 0x10000;
+        spec.textSizeFloor = 0x40000;
+        spec.funcs.resize(1 + core + tail);
+        for (unsigned i = 0; i < core; ++i)
+            spec.funcs[1 + i] = core_funcs[i];
+
+        // The app tail: per-binary feature mix, including the data
+        // readers and indirect-call traffic the core must avoid.
+        Rng rng(0xa9912 + b * 7919);
+        const unsigned first_tail = 1 + core;
+        const unsigned tail_hubs = 5;
+        for (unsigned t = 0; t < tail; ++t) {
+            FuncSpec &fs = spec.funcs[first_tail + t];
+            fs.name = "app" + std::to_string(b) + "_t" +
+                      std::to_string(t);
+            fs.computeOps = 2 +
+                static_cast<unsigned>(rng.range(0, 8 + b));
+            fs.loopIters = rng.chance(0.2)
+                ? static_cast<unsigned>(rng.range(2, 8))
+                : 0;
+            fs.alignment = rng.chance(0.5) ? 16 : 32;
+            fs.padding =
+                static_cast<unsigned>(rng.range(0, 12)) & ~3u;
+            if (t + pool >= tail) {
+                fs.addressTaken = true; // callback leaf pool
+                continue;
+            }
+            if (t < tail_hubs) {
+                // Tail hubs bridge into the core and the leaf pool.
+                for (unsigned c = 0; c < 2; ++c) {
+                    fs.callees.push_back(static_cast<unsigned>(
+                        1 + rng.range(core_hubs, core - 1)));
+                }
+                fs.indirectCalls =
+                    rng.chance(0.5) ? 1 : 0;
+                continue;
+            }
+            if (rng.chance(0.25)) {
+                fs.readsGlobal = true;
+                fs.globalSlot =
+                    static_cast<unsigned>(rng.range(0, 7));
+            }
+            if (rng.chance(0.20)) {
+                SwitchSpec sw;
+                sw.cases = static_cast<unsigned>(
+                    1u << rng.range(2, 4));
+                sw.entrySize = arch == Arch::aarch64 ? 2 : 4;
+                fs.switches.push_back(sw);
+            }
+        }
+
+        FuncSpec &fmain = spec.funcs[0];
+        fmain.name = "main";
+        fmain.computeOps = 4 + b; // per-binary main, different bytes
+        for (unsigned i = 0; i < core_hubs; ++i)
+            fmain.callees.push_back(1 + i);
+        for (unsigned t = 0; t < tail_hubs; ++t)
+            fmain.callees.push_back(first_tail + t);
+        fmain.indirectCalls = 1;
+        corpus.push_back(std::move(spec));
+    }
+    return corpus;
+}
+
 ProgramSpec
 microProfile(Arch arch, bool pie)
 {

@@ -58,6 +58,23 @@ ProgramSpec chromiumProfile();
 /** Scaled-down chromium corpus (~1200 funcs) for tests and CI. */
 ProgramSpec chromiumSmallProfile(Arch arch, bool pie);
 
+/**
+ * Shared-library corpus: @p count binaries that all link the same
+ * static-lib core (~60% of each binary's functions, byte-identical
+ * across the corpus) at different link addresses, each with a
+ * distinct app-specific tail. The layout knobs (ProgramSpec
+ * baseOffset / textAlign / textSizeFloor) pin every section at a
+ * fixed distance from the link base, so a core function's code
+ * bytes — including its pc-relative references to core callees and
+ * its jump tables at the head of .rodata — are identical in every
+ * binary while its absolute address differs per binary. That is the
+ * cross-binary shape the content-addressed analysis cache serves
+ * with rebase-on-hit: rewriting binary B against a cache primed by
+ * binary A re-uses every core function's analysis.
+ */
+std::vector<ProgramSpec> libcommonCorpus(Arch arch,
+                                         unsigned count = 4);
+
 } // namespace icp
 
 #endif // ICP_CODEGEN_WORKLOADS_HH

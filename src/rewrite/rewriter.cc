@@ -418,8 +418,9 @@ Rewriter::installTrampolines(const EngineResult &engine)
                 const bool cached =
                     opts_.useAnalysisCache && func.cacheKey != 0;
                 if (cached) {
-                    if (auto hit = AnalysisCache::global()
-                                       .findLiveness(func.cacheKey)) {
+                    if (auto hit =
+                            AnalysisCache::global().findLiveness(
+                                func.cacheKey, func.entry)) {
                         pre[i].live = hit;
                         return;
                     }
@@ -428,7 +429,8 @@ Rewriter::installTrampolines(const EngineResult &engine)
                     computeLiveness(func, arch_));
                 if (cached) {
                     AnalysisCache::global().storeLiveness(
-                        func.cacheKey, input_.arch, *pre[i].live);
+                        func.cacheKey, input_.arch, func.entry,
+                        *pre[i].live);
                 }
             });
     }
@@ -1504,7 +1506,7 @@ Rewriter::runSharded(SbfSink &sink)
                     opts_.useAnalysisCache && func.cacheKey != 0;
                 if (cached) {
                     live = AnalysisCache::global().findLiveness(
-                        func.cacheKey);
+                        func.cacheKey, func.entry);
                 }
                 if (!live) {
                     auto computed =
@@ -1512,7 +1514,8 @@ Rewriter::runSharded(SbfSink &sink)
                             computeLiveness(func, arch_));
                     if (cached) {
                         AnalysisCache::global().storeLiveness(
-                            func.cacheKey, input_.arch, *computed);
+                            func.cacheKey, input_.arch, func.entry,
+                            *computed);
                     }
                     live = std::move(computed);
                 }

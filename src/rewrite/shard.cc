@@ -82,10 +82,11 @@ shardWorkerBody(const BinaryImage &image, const RewriteOptions &opts,
             if (!opts.onlyFunctions.empty() &&
                 !opts.onlyFunctions.count(func.name))
                 continue;
-            if (AnalysisCache::global().findLiveness(func.cacheKey))
+            if (AnalysisCache::global().findLiveness(func.cacheKey,
+                                                     func.entry))
                 continue;
             AnalysisCache::global().storeLiveness(
-                func.cacheKey, image.arch,
+                func.cacheKey, image.arch, func.entry,
                 computeLiveness(func, arch));
         }
     }

@@ -232,9 +232,40 @@ ServeServer::run()
             rc = 1;
             break;
         }
+        bool reject = false;
         {
             std::lock_guard<std::mutex> lock(inflightMu_);
-            ++inflight_;
+            if (opts_.maxPending != 0 &&
+                inflight_ >= opts_.maxPending)
+                reject = true;
+            else
+                ++inflight_;
+        }
+        if (reject) {
+            // Shed load at the door: drain the request frame (tiny,
+            // normally already buffered — and reading it first keeps
+            // the client's send from racing our close), answer with
+            // a structured busy error, hang up. Not counted as an
+            // error — the request was never processed. The read is
+            // capped well under the request timeout; a rejecting
+            // server must keep accepting.
+            ServeCounters::global().rejected.fetch_add(
+                1, std::memory_order_relaxed);
+            ServeMessage shed_req;
+            std::string shed_err;
+            const int cap =
+                opts_.requestTimeoutMs <= 0
+                    ? 1000
+                    : std::min(opts_.requestTimeoutMs, 1000);
+            (void)readServeFrame(fd, shed_req, cap, shed_err);
+            ServeMessage busy;
+            busy.verb = "error";
+            busy.set("code", "busy");
+            busy.set("error",
+                     "server at --max-pending capacity; retry");
+            writeServeFrame(fd, busy, opts_.requestTimeoutMs);
+            close(fd);
+            continue;
         }
         ThreadPool::shared().submit([this, fd] {
             handleConnection(fd);
@@ -748,6 +779,7 @@ ServeServer::handleStats(const ServeMessage &request)
     reply.set("evictions", snap.evictions);
     reply.set("timeouts", snap.timeouts);
     reply.set("bad_frames", snap.badFrames);
+    reply.set("rejected", snap.rejected);
     reply.set("resident_sessions",
               std::uint64_t{snap.residentSessions});
     reply.set("resident_bytes", snap.residentBytes);
@@ -779,6 +811,8 @@ ServeServer::statsSnapshot() const
         counters.timeouts.load(std::memory_order_relaxed);
     snap.badFrames =
         counters.badFrames.load(std::memory_order_relaxed);
+    snap.rejected =
+        counters.rejected.load(std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(registryMu_);
         snap.residentSessions =

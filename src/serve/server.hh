@@ -68,6 +68,17 @@ struct ServeOptions
     /** Per-request socket read/write timeout (<= 0 = none). */
     int requestTimeoutMs = 30000;
 
+    /**
+     * Bound on accepted-but-unfinished connections (0 = unbounded).
+     * When the bound is reached the accept loop drains each new
+     * connection's request frame, answers it with a structured
+     * `error` reply (code "busy"), and closes it — so an overloaded
+     * daemon sheds load in milliseconds instead of queueing
+     * unbounded work behind the thread pool. Rejections count in
+     * ServeCounters::rejected (`serve_rejected`).
+     */
+    unsigned maxPending = 0;
+
     /** Default worker threads for sessions opened without an
      *  explicit threads field. 0 = hardware concurrency. */
     unsigned threads = 0;
@@ -83,6 +94,7 @@ struct ServeStatsSnapshot
     std::uint64_t evictions = 0;
     std::uint64_t timeouts = 0;
     std::uint64_t badFrames = 0;
+    std::uint64_t rejected = 0; ///< connections shed at --max-pending
 
     unsigned residentSessions = 0;
     std::uint64_t residentBytes = 0;

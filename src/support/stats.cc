@@ -77,6 +77,7 @@ stageName(Stage stage)
       case Stage::lintPtrs: return "lint.ptrs";
       case Stage::cacheLoad: return "cache.load";
       case Stage::cacheSave: return "cache.save";
+      case Stage::cacheRebase: return "cache.rebase";
       case Stage::depsCompute: return "deps.compute";
       case Stage::depsValidate: return "deps.validate";
       case Stage::serve: return "serve.req";
@@ -130,6 +131,7 @@ CacheCounters::reset()
     bytesMapped.store(0, std::memory_order_relaxed);
     bytesAppended.store(0, std::memory_order_relaxed);
     entriesLazy.store(0, std::memory_order_relaxed);
+    crossHits.store(0, std::memory_order_relaxed);
 }
 
 DepsCounters &
@@ -179,6 +181,7 @@ ServeCounters::reset()
     evictions.store(0, std::memory_order_relaxed);
     timeouts.store(0, std::memory_order_relaxed);
     badFrames.store(0, std::memory_order_relaxed);
+    rejected.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t
@@ -202,7 +205,7 @@ std::string
 StageTimers::table() const
 {
     std::string out;
-    char line[128];
+    char line[160];
     for (unsigned s = 0; s < static_cast<unsigned>(Stage::count_);
          ++s) {
         const auto stage = static_cast<Stage>(s);
@@ -214,13 +217,15 @@ StageTimers::table() const
     const CacheCounters &cc = CacheCounters::global();
     std::snprintf(line, sizeof(line),
                   "  %-12s %10llu bytes mapped, %llu appended, "
-                  "%llu lazy entries\n",
+                  "%llu lazy entries, %llu cross hits\n",
                   "cache.io",
                   static_cast<unsigned long long>(
                       cc.bytesMapped.load(std::memory_order_relaxed)),
                   static_cast<unsigned long long>(cc.bytesAppended.load(
                       std::memory_order_relaxed)),
                   static_cast<unsigned long long>(cc.entriesLazy.load(
+                      std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(cc.crossHits.load(
                       std::memory_order_relaxed)));
     out += line;
     const DepsCounters &dc = DepsCounters::global();
@@ -286,17 +291,20 @@ StageTimers::json() const
         out += item;
     }
     const CacheCounters &cc = CacheCounters::global();
-    char counters[160];
+    char counters[256];
     std::snprintf(
         counters, sizeof(counters),
         ", \"cache_bytes_mapped\": %llu, \"cache_bytes_appended\": "
-        "%llu, \"cache_entries_lazy\": %llu",
+        "%llu, \"cache_entries_lazy\": %llu, "
+        "\"cache_cross_hits\": %llu",
         static_cast<unsigned long long>(
             cc.bytesMapped.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
             cc.bytesAppended.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
-            cc.entriesLazy.load(std::memory_order_relaxed)));
+            cc.entriesLazy.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            cc.crossHits.load(std::memory_order_relaxed)));
     out += counters;
     const DepsCounters &dc = DepsCounters::global();
     char deps[192];
@@ -315,13 +323,13 @@ StageTimers::json() const
             dc.hitsRejected.load(std::memory_order_relaxed)));
     out += deps;
     const ServeCounters &vc = ServeCounters::global();
-    char serve[256];
+    char serve[384];
     std::snprintf(
         serve, sizeof(serve),
         ", \"serve_requests\": %llu, \"serve_errors\": %llu, "
         "\"serve_session_hits\": %llu, \"serve_session_misses\": "
         "%llu, \"serve_evictions\": %llu, \"serve_timeouts\": %llu, "
-        "\"serve_bad_frames\": %llu",
+        "\"serve_bad_frames\": %llu, \"serve_rejected\": %llu",
         static_cast<unsigned long long>(
             vc.requests.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
@@ -335,7 +343,9 @@ StageTimers::json() const
         static_cast<unsigned long long>(
             vc.timeouts.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
-            vc.badFrames.load(std::memory_order_relaxed)));
+            vc.badFrames.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vc.rejected.load(std::memory_order_relaxed)));
     out += serve;
     const StreamCounters &sc = StreamCounters::global();
     std::snprintf(

@@ -57,6 +57,7 @@ enum class Stage : unsigned
     lintPtrs,   ///< lint: loaded function-pointer cells
     cacheLoad,  ///< on-disk AnalysisCache deserialization
     cacheSave,  ///< on-disk AnalysisCache serialization
+    cacheRebase,///< rematerializing cross-binary hits at a new entry
     depsCompute,///< data read-set recording (computeDataDeps)
     depsValidate,///< data read-set re-hash on cache hits
     serve,      ///< serve daemon request handling
@@ -107,6 +108,13 @@ class CacheCounters
     std::atomic<std::uint64_t> bytesMapped{0};
     std::atomic<std::uint64_t> bytesAppended{0};
     std::atomic<std::uint64_t> entriesLazy{0};
+
+    /**
+     * Hits whose stored entry was analyzed at a different entry
+     * address (another binary, or the same library linked elsewhere)
+     * and was rebased to the requested entry on lookup.
+     */
+    std::atomic<std::uint64_t> crossHits{0};
 
     void reset();
 };
@@ -167,6 +175,9 @@ class ServeCounters
     std::atomic<std::uint64_t> evictions{0};
     std::atomic<std::uint64_t> timeouts{0};
     std::atomic<std::uint64_t> badFrames{0};
+
+    /** Connections refused with `error=busy` (pending queue full). */
+    std::atomic<std::uint64_t> rejected{0};
 
     void reset();
 };

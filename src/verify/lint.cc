@@ -168,7 +168,7 @@ class Checker
             opts_.useAnalysisCache && fn->cacheKey != 0;
         if (cached) {
             if (auto hit = AnalysisCache::global().findLiveness(
-                    fn->cacheKey)) {
+                    fn->cacheKey, fn->entry)) {
                 ++livenessCacheHits_;
                 return liveness_.emplace(entry, std::move(hit))
                     .first->second.get();
@@ -179,7 +179,7 @@ class Checker
             computeLiveness(*fn, arch_));
         if (cached) {
             AnalysisCache::global().storeLiveness(
-                fn->cacheKey, orig_.arch, *fresh);
+                fn->cacheKey, orig_.arch, fn->entry, *fresh);
         }
         return liveness_.emplace(entry, std::move(fresh))
             .first->second.get();

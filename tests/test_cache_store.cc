@@ -631,7 +631,7 @@ TEST(CacheStore, AutoCompactionTriggersOnSaveWhenOverCap)
     EXPECT_TRUE(verify.clean());
 }
 
-TEST(CacheStore, V1FileMigratesToV2WithInfoDiagnostic)
+TEST(CacheStore, V1FramingLoadsReadOnlyWithInfoDiagnostic)
 {
     const std::string path = tmpPath("migrate_v1");
     const BinaryImage img = compileMicro(Arch::x64);
@@ -642,8 +642,9 @@ TEST(CacheStore, V1FileMigratesToV2WithInfoDiagnostic)
     ASSERT_GT(count, 0u);
 
     // Synthesize the v1 layout (magic, version=1, entryCount,
-    // entries) from the v2 file's first-segment body: the entry
-    // encoding is identical across versions.
+    // entries) from the v4 file's first-segment body: the entry
+    // *framing* is identical across versions, and these bodies hold
+    // v4 position-independent kinds, so they stay loadable.
     const std::vector<std::uint8_t> v2 = readAll(path);
     std::vector<std::uint8_t> v1;
     putU32(v1, cache_file_magic);
@@ -666,7 +667,7 @@ TEST(CacheStore, V1FileMigratesToV2WithInfoDiagnostic)
     EXPECT_EQ(rep.issues.front().rule, "cache-migrated");
 
     // The warm rewrite over a v1 file is still byte-identical, and
-    // its save rewrites the file as v2.
+    // its save rewrites the file in the current format.
     const RewriteResult warm = rewriteBinary(img, baseOptions(path));
     ASSERT_TRUE(warm.ok) << warm.failReason;
     EXPECT_EQ(warm.image.serialize(), cold);
@@ -811,21 +812,21 @@ TEST(CacheStore, UnknownEntryKindIsSkippedNeverFatal)
     EXPECT_EQ(warm.image.serialize(), cold);
 }
 
-TEST(CacheStore, V2FileWithoutDepsDegradesToConservativeMisses)
+TEST(CacheStore, V4FileWithoutDepsDegradesToConservativeMisses)
 {
-    const std::string path = tmpPath("v2_nodeps");
+    const std::string path = tmpPath("v4_nodeps");
     const BinaryImage img = compileMicro(Arch::x64);
     const std::vector<std::uint8_t> cold = coldRewrite(img, path);
 
-    // Synthesize a faithful v2 file: same framing, same function and
-    // liveness payloads, no data read-set entries (the kind v3
-    // introduced).
+    // Synthesize a v4 file whose data read-set entries are missing
+    // (caching interrupted before the deps landed): same framing,
+    // same function and liveness payloads.
     const std::vector<std::uint8_t> raw = readAll(path);
     std::vector<std::uint8_t> body;
     std::uint32_t kept = 0;
     unsigned deps_dropped = 0;
     for (const ParsedEntry &e : parseEntries(raw)) {
-        if (e.kind == 3) {
+        if (e.kind == 6) {
             ++deps_dropped;
             continue;
         }
@@ -834,14 +835,14 @@ TEST(CacheStore, V2FileWithoutDepsDegradesToConservativeMisses)
     }
     ASSERT_GT(deps_dropped, 0u);
     ASSERT_GT(kept, 0u);
-    writeAll(path, frameCacheFile(2, kept, body));
+    writeAll(path, frameCacheFile(cache_file_version, kept, body));
 
-    // The v2 file loads cleanly: functions and liveness index, no
-    // deps entries exist to load.
+    // The file loads cleanly: functions index, no deps entries
+    // exist to load.
     AnalysisCache::global().clear();
     const CacheLoadReport rep = AnalysisCache::global().load(path);
     EXPECT_TRUE(rep.clean());
-    EXPECT_EQ(rep.fileVersion, 2u);
+    EXPECT_EQ(rep.fileVersion, cache_file_version);
     EXPECT_GT(rep.loadedFunctions, 0u);
     EXPECT_EQ(rep.loadedDataDeps, 0u);
 
@@ -855,6 +856,166 @@ TEST(CacheStore, V2FileWithoutDepsDegradesToConservativeMisses)
     EXPECT_EQ(warm.image.serialize(), cold);
     EXPECT_GT(DepsCounters::global().hitsRejected.load(),
               rejected_before);
+}
+
+// --- legacy migration matrix: v1/v2/v3 files under a v4 reader -------------
+
+namespace
+{
+
+/**
+ * One hand-framed absolute-form legacy entry (kinds 1-3). The
+ * payload bytes are opaque to a v4 reader by design — it must skip
+ * them without ever decoding.
+ */
+std::vector<std::uint8_t>
+legacyEntry(std::uint8_t kind, std::uint64_t key)
+{
+    const std::vector<std::uint8_t> payload = {0x01, 0x02, 0x03,
+                                               0x04, 0x05};
+    std::vector<std::uint8_t> out;
+    putU8(out, kind);
+    putU8(out, static_cast<std::uint8_t>(Arch::x64));
+    putU64(out, key);
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    putU64(out, fnv1a(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+/**
+ * The shared matrix body: a version-N file holding absolute-form
+ * entries must load with per-entry degradation (never a crash), a
+ * rewrite against it must be byte-identical to cold, and the
+ * rewrite's save must leave a clean v4 file with the legacy entries
+ * gone.
+ */
+void
+runLegacyMigration(std::uint32_t file_version,
+                   const std::vector<std::uint8_t> &legacy_kinds)
+{
+    const std::string path =
+        tmpPath("migrate_v" + std::to_string(file_version));
+    const BinaryImage img = compileMicro(Arch::x64);
+    const std::vector<std::uint8_t> cold = coldRewrite(img, path);
+    std::remove(path.c_str());
+
+    std::vector<std::uint8_t> body;
+    std::uint32_t count = 0;
+    for (std::uint8_t kind : legacy_kinds) {
+        const std::vector<std::uint8_t> e =
+            legacyEntry(kind, 0x1000ULL + kind);
+        body.insert(body.end(), e.begin(), e.end());
+        ++count;
+    }
+    if (file_version == 1) {
+        // v1 framing: magic, version, entryCount, entries.
+        std::vector<std::uint8_t> v1;
+        putU32(v1, cache_file_magic);
+        putU32(v1, 1);
+        putU32(v1, count);
+        v1.insert(v1.end(), body.begin(), body.end());
+        writeAll(path, v1);
+    } else {
+        writeAll(path, frameCacheFile(file_version, count, body));
+    }
+
+    // Load: every absolute-form entry degrades to a miss, with one
+    // summarizing cache-legacy issue.
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep = AnalysisCache::global().load(path);
+    EXPECT_TRUE(rep.fileRead);
+    EXPECT_EQ(rep.fileVersion, file_version);
+    EXPECT_EQ(rep.skippedLegacy, count);
+    EXPECT_EQ(rep.loadedEntries(), 0u);
+    EXPECT_EQ(rep.droppedEntries, 0u);
+    EXPECT_TRUE(hasIssue(rep, "cache-legacy"));
+
+    // A rewrite through the legacy file re-analyzes everything and
+    // stays byte-identical; its save rewrites the file as v4 with
+    // the unusable legacy entries dropped.
+    const RewriteResult warm = rewriteBinary(img, baseOptions(path));
+    ASSERT_TRUE(warm.ok) << warm.failReason;
+    EXPECT_EQ(warm.image.serialize(), cold);
+
+    const CacheFileInfo info = inspectCacheFile(path);
+    EXPECT_EQ(info.version, cache_file_version);
+    EXPECT_EQ(info.legacyEntries, 0u);
+    EXPECT_GT(info.functionEntries, 0u);
+    const CacheLoadReport verify = verifyCacheFile(path);
+    EXPECT_TRUE(verify.clean())
+        << (verify.issues.empty() ? ""
+                                  : verify.issues.front().message);
+
+    // And the converged v4 file serves the image fully warm.
+    AnalysisCache::global().clear();
+    const RewriteResult again =
+        rewriteBinary(img, baseOptions(path));
+    ASSERT_TRUE(again.ok) << again.failReason;
+    EXPECT_EQ(again.image.serialize(), cold);
+    EXPECT_EQ(AnalysisCache::global().stats().functionMisses, 0u);
+}
+
+} // namespace
+
+TEST(CacheStore, V1FileWithLegacyEntriesMigratesToV4)
+{
+    runLegacyMigration(1, {1, 2});
+}
+
+TEST(CacheStore, V2FileWithLegacyEntriesMigratesToV4)
+{
+    runLegacyMigration(2, {1, 2});
+}
+
+TEST(CacheStore, V3FileWithLegacyEntriesMigratesToV4)
+{
+    runLegacyMigration(3, {1, 2, 3});
+}
+
+TEST(CacheStore, TornV4TailAfterLegacySegmentSalvages)
+{
+    // A v3-era segment followed by a torn v4 append: the legacy
+    // entries degrade, the torn tail salvages entry-by-entry, and
+    // nothing crashes.
+    const std::string path = tmpPath("torn_after_legacy");
+    const BinaryImage img = compileMicro(Arch::x64);
+    const std::vector<std::uint8_t> cold = coldRewrite(img, path);
+
+    std::vector<std::uint8_t> raw = readAll(path);
+    // Prepend a legacy entry as its own segment by rebuilding the
+    // file: header, legacy segment, then the original segment(s).
+    std::vector<std::uint8_t> legacy_body = legacyEntry(2, 0x2002);
+    std::vector<std::uint8_t> rebuilt;
+    putU32(rebuilt, cache_file_magic);
+    putU32(rebuilt, cache_file_version);
+    putU64(rebuilt, 1);
+    std::vector<std::uint8_t> seg;
+    putU32(seg, cache_segment_magic);
+    putU32(seg, 1);
+    putU64(seg, legacy_body.size());
+    putU64(seg, 1);
+    putU64(seg, fnv1a(seg.data(), 24));
+    rebuilt.insert(rebuilt.end(), seg.begin(), seg.end());
+    rebuilt.insert(rebuilt.end(), legacy_body.begin(),
+                   legacy_body.end());
+    rebuilt.insert(rebuilt.end(),
+                   raw.begin() + cache_file_header_bytes, raw.end());
+    // Tear the final segment: drop the last 7 bytes.
+    rebuilt.resize(rebuilt.size() - 7);
+    writeAll(path, rebuilt);
+
+    AnalysisCache::global().clear();
+    const CacheLoadReport rep = AnalysisCache::global().load(path);
+    EXPECT_TRUE(rep.fileRead);
+    EXPECT_EQ(rep.skippedLegacy, 1u);
+    EXPECT_TRUE(hasIssue(rep, "cache-legacy"));
+    EXPECT_TRUE(hasIssue(rep, "cache-torn"));
+    EXPECT_GT(rep.loadedEntries(), 0u);
+
+    const RewriteResult warm = rewriteBinary(img, baseOptions(path));
+    ASSERT_TRUE(warm.ok) << warm.failReason;
+    EXPECT_EQ(warm.image.serialize(), cold);
 }
 
 TEST(CacheStore, DataEditAppendsReplacementDepsEntries)

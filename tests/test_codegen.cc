@@ -142,6 +142,55 @@ TEST(Workloads, LibcudaRuns)
     EXPECT_TRUE(result.halted) << result.describe();
 }
 
+TEST(Workloads, LibcommonCorpusSharesByteIdenticalCoreAtShiftedAddresses)
+{
+    // The contract the cross-binary cache depends on: every core_*
+    // function's code bytes are identical across the corpus while
+    // its absolute address differs per binary (so a content-keyed
+    // lookup hits and rebases). App tails and main stay distinct.
+    for (const Arch arch :
+         {Arch::x64, Arch::aarch64, Arch::ppc64le}) {
+        const auto corpus = libcommonCorpus(arch, 3);
+        ASSERT_EQ(corpus.size(), 3u);
+        std::vector<BinaryImage> imgs;
+        for (const auto &spec : corpus) {
+            imgs.push_back(compileProgram(spec));
+            const RunResult result = runImage(imgs.back());
+            EXPECT_TRUE(result.halted) << result.describe();
+        }
+        unsigned core_funcs = 0, total = 0;
+        for (const Symbol *sym : imgs[0].functionSymbols()) {
+            ++total;
+            if (sym->name.rfind("core_", 0) != 0)
+                continue;
+            ++core_funcs;
+            std::vector<std::uint8_t> want;
+            ASSERT_TRUE(
+                imgs[0].readBytes(sym->addr, sym->size, want));
+            for (unsigned b = 1; b < imgs.size(); ++b) {
+                const Symbol *other = nullptr;
+                for (const Symbol *cand :
+                     imgs[b].functionSymbols()) {
+                    if (cand->name == sym->name) {
+                        other = cand;
+                        break;
+                    }
+                }
+                ASSERT_NE(other, nullptr) << sym->name;
+                EXPECT_NE(other->addr, sym->addr) << sym->name;
+                ASSERT_EQ(other->size, sym->size) << sym->name;
+                std::vector<std::uint8_t> got;
+                ASSERT_TRUE(imgs[b].readBytes(other->addr,
+                                              other->size, got));
+                EXPECT_EQ(got, want)
+                    << sym->name << " diverges on binary " << b;
+            }
+        }
+        // The shared core is the majority of each binary.
+        EXPECT_GE(core_funcs * 2, total);
+    }
+}
+
 TEST(Workloads, SuiteChecksumsAreStableAcrossCompiles)
 {
     // Compiling twice must produce identical images (determinism).

@@ -327,18 +327,36 @@ TEST(DataDepsCache, RoundTripsThroughStoreAndDiskFile)
     AnalysisCache::global().clear();
     const std::uint64_t key = 0x1234abcdULL;
     AnalysisCache::global().storeDataDeps(key, Arch::x64,
+                                          func->entry,
                                           func->dataDeps);
 
-    const auto in_memory = AnalysisCache::global().findDataDeps(key);
+    const auto in_memory =
+        AnalysisCache::global().findDataDeps(key, func->entry);
     ASSERT_NE(in_memory, nullptr);
     EXPECT_EQ(*in_memory, func->dataDeps);
-    EXPECT_EQ(AnalysisCache::global().findDataDeps(key + 1), nullptr);
+    EXPECT_EQ(
+        AnalysisCache::global().findDataDeps(key + 1, func->entry),
+        nullptr);
 
-    // Through the v3 file: save, clear, lazy-load, look up again.
+    // A lookup at a shifted entry comes back rebased by the same
+    // delta, hashes unchanged (the cross-binary contract).
+    const auto rebased = AnalysisCache::global().findDataDeps(
+        key, func->entry + 0x1000);
+    ASSERT_NE(rebased, nullptr);
+    ASSERT_EQ(rebased->size(), func->dataDeps.size());
+    for (std::size_t i = 0; i < rebased->size(); ++i) {
+        EXPECT_EQ(rebased->ranges()[i].lo,
+                  func->dataDeps.ranges()[i].lo + 0x1000);
+        EXPECT_EQ(rebased->ranges()[i].hash,
+                  func->dataDeps.ranges()[i].hash);
+    }
+
+    // Through the v4 file: save, clear, lazy-load, look up again.
     FileGuard guard{tmpPath("roundtrip.icpc")};
     ASSERT_TRUE(AnalysisCache::global().save(guard.path));
     AnalysisCache::global().clear();
-    ASSERT_EQ(AnalysisCache::global().findDataDeps(key), nullptr);
+    ASSERT_EQ(AnalysisCache::global().findDataDeps(key, func->entry),
+              nullptr);
 
     const CacheLoadReport rep =
         AnalysisCache::global().load(guard.path, Arch::x64);
@@ -346,7 +364,8 @@ TEST(DataDepsCache, RoundTripsThroughStoreAndDiskFile)
     EXPECT_EQ(rep.fileVersion, cache_file_version);
     EXPECT_EQ(rep.loadedDataDeps, 1u);
 
-    const auto from_disk = AnalysisCache::global().findDataDeps(key);
+    const auto from_disk =
+        AnalysisCache::global().findDataDeps(key, func->entry);
     ASSERT_NE(from_disk, nullptr);
     EXPECT_EQ(*from_disk, func->dataDeps);
     AnalysisCache::global().clear();

@@ -606,6 +606,128 @@ TEST(ServeDaemon, DrainCompletesInFlightRequests)
     std::remove(out_path.c_str());
 }
 
+TEST(ServeDaemon, CrossBinarySessionsShareAnalysisCache)
+{
+    // Two *different* binaries sharing a static-lib core: resident
+    // sessions are per-binary, but the process-wide AnalysisCache is
+    // content-addressed, so the second binary's core functions hit
+    // the entries the first one stored — at different absolute
+    // addresses, i.e. rebase-on-hit cross hits.
+    AnalysisCache::global().clear();
+    const auto corpus = libcommonCorpus(Arch::x64, 2);
+    const std::string path_a = "/tmp/icp_test_serve_xbin_a.sbf";
+    const std::string path_b = "/tmp/icp_test_serve_xbin_b.sbf";
+    const std::string out_a = "/tmp/icp_test_serve_xbin_a_out.sbf";
+    const std::string out_b = "/tmp/icp_test_serve_xbin_b_out.sbf";
+    const BinaryImage img_a = compileProgram(corpus[0]);
+    const BinaryImage img_b = compileProgram(corpus[1]);
+    ASSERT_TRUE(writeFileBytes(path_a, img_a.serialize()));
+    ASSERT_TRUE(writeFileBytes(path_b, img_b.serialize()));
+
+    DaemonFixture daemon("xbin");
+
+    ServeMessage rw_a;
+    rw_a.verb = "rewrite";
+    rw_a.set("path", path_a);
+    rw_a.set("out", out_a);
+    ASSERT_EQ(daemon.call(rw_a).verb, "ok");
+
+    const std::uint64_t cross_before =
+        CacheCounters::global().crossHits.load();
+    ServeMessage rw_b;
+    rw_b.verb = "rewrite";
+    rw_b.set("path", path_b);
+    rw_b.set("out", out_b);
+    ASSERT_EQ(daemon.call(rw_b).verb, "ok");
+    const std::uint64_t cross_after =
+        CacheCounters::global().crossHits.load();
+
+    // The shared core is ~60% of each binary's functions; every one
+    // of B's core functions should ride A's warm entries.
+    EXPECT_GE(cross_after - cross_before, 50u);
+
+    // Warm sharing must not change bytes: B's output matches a
+    // one-shot rewrite.
+    RewriteSession oneshot(img_b);
+    const RewriteResult &rw = oneshot.rewrite(serveDefaultOptions());
+    ASSERT_TRUE(rw.ok) << rw.failReason;
+    EXPECT_EQ(readFileBytes(out_b), rw.image.serialize());
+
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+    std::remove(out_a.c_str());
+    std::remove(out_b.c_str());
+}
+
+TEST(ServeDaemon, BackpressureShedsFloodWithBusyReplies)
+{
+    // A 1-thread daemon with a pending bound of 1: once a single
+    // connection is in flight, every further connection is answered
+    // with a structured busy error at accept time instead of
+    // queueing behind the thread pool.
+    ServeOptions opts;
+    opts.threads = 1;
+    opts.maxPending = 1;
+    opts.requestTimeoutMs = 10000;
+    DaemonFixture daemon("busy", opts);
+    const ServeStatsSnapshot before = daemon.server().statsSnapshot();
+
+    // Occupy the only pending slot deterministically: a raw
+    // connection that sends nothing holds inflight from accept
+    // until we close it (the worker blocks reading its first
+    // frame). The accept queue is FIFO, so once any later ping is
+    // rejected the slot is provably held and stays held.
+    const int slot = rawConnect(daemon.socketPath());
+    ASSERT_GE(slot, 0);
+    bool held = false;
+    for (unsigned poll = 0; poll < 500 && !held; ++poll) {
+        ServeMessage ping;
+        ping.verb = "ping";
+        ServeMessage reply;
+        std::string error;
+        ASSERT_TRUE(
+            serveCall(daemon.socketPath(), ping, reply, error))
+            << error;
+        if (reply.verb == "error" &&
+            reply.get("code") == "busy")
+            held = true;
+        else
+            usleep(10 * 1000);
+    }
+    ASSERT_TRUE(held) << "slot-holder connection never accepted";
+
+    // Flood: every call must come back busy immediately (rejects
+    // cost microseconds; the slot is held until `slot` closes).
+    for (unsigned k = 0; k < 3; ++k) {
+        ServeMessage ping;
+        ping.verb = "ping";
+        ServeMessage reply;
+        std::string error;
+        ASSERT_TRUE(
+            serveCall(daemon.socketPath(), ping, reply, error))
+            << error;
+        EXPECT_EQ(reply.verb, "error");
+        EXPECT_EQ(reply.get("code"), "busy");
+    }
+
+    // Release the slot: the daemon must recover as soon as the
+    // worker notices the EOF and the connection retires.
+    close(slot);
+    std::string last_verb;
+    for (unsigned poll = 0; poll < 500; ++poll) {
+        ServeMessage ping;
+        ping.verb = "ping";
+        last_verb = daemon.call(ping).verb;
+        if (last_verb == "ok")
+            break;
+        usleep(10 * 1000);
+    }
+    EXPECT_EQ(last_verb, "ok");
+
+    const ServeStatsSnapshot snap = daemon.server().statsSnapshot();
+    EXPECT_GE(snap.rejected, before.rejected + 4);
+}
+
 TEST(ServeDaemon, StaleSocketAndLockFilesDoNotWedgeRestart)
 {
     // Emulate SIGKILL leftovers: a bound-then-abandoned socket file

@@ -27,6 +27,13 @@
 #                  leave a verifiable + compactable cache file, and
 #                  report a peak RSS below the classic run's (the
 #                  streaming writer's whole reason to exist)
+#   cross-binary   content-addressed sharing smoke: two libcommon
+#                  corpus binaries (same static-lib core, different
+#                  link bases) rewritten through one shared
+#                  --cache-file; the second must reuse >= 50% of its
+#                  function analyses as cross-binary hits, stay
+#                  byte-identical to its cold rewrite, and leave a
+#                  verifiable cache file
 #   serve          hot-session daemon smoke: background `icp serve`,
 #                  drive open -> rewrite -> edited rewrite -> lint ->
 #                  shutdown through `icp client`, assert byte identity
@@ -65,7 +72,7 @@ for arg in "$@"; do
     esac
 done
 jobs="${jobs:-$(nproc)}"
-legs="${legs:-tsan asan release lint-baseline warm-cache cache-v2 sharded serve datadeps tidy}"
+legs="${legs:-tsan asan release lint-baseline warm-cache cache-v2 cross-binary sharded serve datadeps tidy}"
 
 # Compiler launcher: use ccache when available (CI restores its
 # directory between runs), invisible otherwise.
@@ -203,6 +210,39 @@ leg_cache_v2() {
         --cache-file "$cache" --cache-max-bytes 8192 &&
     [ "$(stat -c '%s' "$cache")" -le 8192 ] &&
     echo "compaction: size cap enforced, file still clean"
+    status=$?
+    rm -rf "$dir"
+    return $status
+}
+
+leg_cross_binary() {
+    echo "== Cross-binary cache smoke (libcommon corpus, shared --cache-file) =="
+    build_cli || return 1
+    dir="$(mktemp -d)"
+    cache="$dir/shared.icpc"
+    ./build/tools/icp compile libcommon0 "$dir/a.sbf" &&
+    ./build/tools/icp compile libcommon1 "$dir/b.sbf" &&
+    # Cold ground truth for the second binary: no cache anywhere.
+    ./build/tools/icp rewrite "$dir/b.sbf" "$dir/b_cold.sbf" &&
+    # Prime the shared file with the first binary...
+    ./build/tools/icp rewrite "$dir/a.sbf" "$dir/a_out.sbf" \
+        --cache-file "$cache" &&
+    # ...then rewrite the second against it. The binaries share only
+    # their static-lib core, at different link bases: the >= 50%
+    # analysis reuse below is possible only if content-addressed
+    # keys hit across binaries and rebase-on-hit keeps the output
+    # byte-identical to the cold run.
+    ./build/tools/icp rewrite "$dir/b.sbf" "$dir/b_warm.sbf" \
+        --cache-file "$cache" --timing | tee "$dir/warm.log" &&
+    pct="$(sed -n 's/.*reused (\([0-9.]*\)%).*/\1/p' "$dir/warm.log")" &&
+    [ -n "$pct" ] &&
+    awk "BEGIN{exit !($pct >= 50)}" &&
+    cross="$(sed -n 's/.* \([0-9][0-9]*\) cross hits.*/\1/p' "$dir/warm.log")" &&
+    [ -n "$cross" ] && [ "$cross" -gt 0 ] &&
+    cmp "$dir/b_cold.sbf" "$dir/b_warm.sbf" &&
+    ./build/tools/icp cache verify "$cache" &&
+    echo "cross-binary: ${pct}% reuse, $cross cross hits," \
+         "byte-identical to cold, cache clean"
     status=$?
     rm -rf "$dir"
     return $status

@@ -10,6 +10,10 @@
 #   tools/ci.sh warm-cache     on-disk AnalysisCache round-trip smoke
 #   tools/ci.sh cache-v2       concurrent-writer merge + verify +
 #                              compaction size-cap smoke
+#   tools/ci.sh cross-binary   content-addressed cross-binary cache
+#                              smoke: second libcommon binary >= 50%
+#                              analysis reuse via rebase-on-hit,
+#                              byte-identical to its cold rewrite
 #   tools/ci.sh sharded        multi-process --shards rewrite smoke:
 #                              byte identity, lint, cache, RSS
 #   tools/ci.sh serve          hot-session daemon smoke: lifecycle via
@@ -50,7 +54,7 @@ regen_lint_baseline() {
 }
 
 case "$job" in
-    release|asan|tsan|lint-baseline|warm-cache|cache-v2|sharded|serve|datadeps|tidy)
+    release|asan|tsan|lint-baseline|warm-cache|cache-v2|cross-binary|sharded|serve|datadeps|tidy)
         exec tools/check.sh "$jobs" "$job"
         ;;
     all)
@@ -62,8 +66,8 @@ case "$job" in
     *)
         echo "ci.sh: unknown job '$job'" >&2
         echo "jobs: release asan tsan lint-baseline warm-cache" \
-             "cache-v2 sharded serve datadeps tidy all" \
-             "regen-lint-baseline" >&2
+             "cache-v2 cross-binary sharded serve datadeps tidy" \
+             "all regen-lint-baseline" >&2
         exit 64
         ;;
 esac

@@ -26,12 +26,14 @@
  *   icp cache   info|verify <file.icpc>
  *   icp cache   compact <file.icpc> [--max-bytes N]
  *   icp serve   <socket> [--session-max-bytes N] [--max-sessions N]
- *               [--timeout-ms N] [--threads N] [--timing]
+ *               [--timeout-ms N] [--max-pending N] [--threads N]
+ *               [--timing]
  *   icp client  <socket> <verb> [paths] [rewrite options]
  *               [--fail-on S] [--iterations N] [--timeout-ms N]
  *
  * Profiles: micro, spec0..spec18, libxul, docker, libcuda,
- * chromium, chromium-small.
+ * chromium, chromium-small, libcommon0..libcommonN (the
+ * shared-static-lib corpus for cross-binary cache reuse).
  *
  * `icp deps` dumps each function's recorded data read-set
  * (Function::dataDeps): the byte ranges its jump-table and
@@ -88,6 +90,7 @@
  * flock-held lock file lets a restart detect staleness and rebind.
  */
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -154,8 +157,8 @@ usage()
                  "[--max-bytes N]\n"
                  "       icp serve <socket> [--session-max-bytes N] "
                  "[--max-sessions N]\n"
-                 "                 [--timeout-ms N] [--threads N] "
-                 "[--timing]\n"
+                 "                 [--timeout-ms N] [--max-pending N] "
+                 "[--threads N] [--timing]\n"
                  "       icp client <socket> ping|stats|shutdown\n"
                  "       icp client <socket> open|lint|repair|deps "
                  "<in.sbf> [options]\n"
@@ -351,6 +354,19 @@ cmdCompile(int argc, char **argv)
         spec = chromiumProfile();
     } else if (profile == "chromium-small") {
         spec = chromiumSmallProfile(arch, pie);
+    } else if (profile.rfind("libcommon", 0) == 0) {
+        // libcommon<K>: the K-th binary of the shared-library
+        // corpus (all of them link the same static-lib core at
+        // different addresses).
+        const unsigned idx = static_cast<unsigned>(
+            std::atoi(profile.c_str() + 9));
+        const auto corpus =
+            libcommonCorpus(arch, std::max(4u, idx + 1));
+        if (idx >= corpus.size()) {
+            std::fprintf(stderr, "libcommon index out of range\n");
+            return 1;
+        }
+        spec = corpus[idx];
     } else if (profile.rfind("spec", 0) == 0) {
         const unsigned idx =
             static_cast<unsigned>(std::atoi(profile.c_str() + 4));
@@ -1206,16 +1222,34 @@ cmdCache(int argc, char **argv)
         }
         std::printf(
             "%s: v%u, %llu bytes, %u segment%s (generation %llu)\n"
-            "  %u function entries, %u liveness entries, "
-            "%u data read-set entries, %u other, "
-            "%llu payload bytes\n",
+            "  function:      %u entries, %llu payload bytes\n"
+            "  liveness:      %u entries, %llu payload bytes\n"
+            "  data read-set: %u entries, %llu payload bytes\n"
+            "  legacy (v1-v3): %u, unknown kind: %u, "
+            "%llu payload bytes total\n",
             path.c_str(), info.version,
             static_cast<unsigned long long>(info.fileBytes),
             info.segments, info.segments == 1 ? "" : "s",
             static_cast<unsigned long long>(info.generation),
-            info.functionEntries, info.livenessEntries,
-            info.dataDepsEntries, info.otherEntries,
+            info.functionEntries,
+            static_cast<unsigned long long>(
+                info.functionPayloadBytes),
+            info.livenessEntries,
+            static_cast<unsigned long long>(
+                info.livenessPayloadBytes),
+            info.dataDepsEntries,
+            static_cast<unsigned long long>(
+                info.dataDepsPayloadBytes),
+            info.legacyEntries, info.otherEntries,
             static_cast<unsigned long long>(info.payloadBytes));
+        const unsigned total = info.functionEntries +
+                               info.livenessEntries +
+                               info.dataDepsEntries +
+                               info.legacyEntries +
+                               info.otherEntries;
+        std::printf("  sharing: %u total entries, %u distinct keys, "
+                    "%u distinct payloads\n",
+                    total, info.distinctKeys, info.distinctPayloads);
         printCacheIssues(info.issues);
         return info.issues.empty() ? 0 : 2;
     }
@@ -1228,11 +1262,11 @@ cmdCache(int argc, char **argv)
         }
         std::printf("%s: %u entries verified (%u function, "
                     "%u liveness, %u data read-set), %u dropped, "
-                    "%u skipped (unknown kind)\n",
+                    "%u skipped (unknown kind), %u legacy\n",
                     path.c_str(), rep.loadedEntries(),
                     rep.loadedFunctions, rep.loadedLiveness,
                     rep.loadedDataDeps, rep.droppedEntries,
-                    rep.skippedUnknown);
+                    rep.skippedUnknown, rep.skippedLegacy);
         printCacheIssues(rep.issues);
         return rep.clean() ? 0 : 2;
     }
@@ -1314,6 +1348,11 @@ cmdServe(int argc, char **argv)
                 return usage();
         } else if (arg == "--timeout-ms" && i + 1 < argc) {
             sopts.requestTimeoutMs = std::atoi(argv[++i]);
+        } else if (arg == "--max-pending" && i + 1 < argc) {
+            sopts.maxPending =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+            if (sopts.maxPending == 0)
+                return usage();
         } else if (arg == "--threads" && i + 1 < argc) {
             sopts.threads =
                 static_cast<unsigned>(std::atoi(argv[++i]));
@@ -1350,12 +1389,14 @@ cmdServe(int argc, char **argv)
     const ServeStatsSnapshot snap = server.statsSnapshot();
     std::printf("icp serve: drained after %llu requests "
                 "(%llu hits, %llu misses, %llu evictions, "
-                "%llu errors), p50 %.3f ms, p99 %.3f ms\n",
+                "%llu errors, %llu rejected), p50 %.3f ms, "
+                "p99 %.3f ms\n",
                 static_cast<unsigned long long>(snap.requests),
                 static_cast<unsigned long long>(snap.sessionHits),
                 static_cast<unsigned long long>(snap.sessionMisses),
                 static_cast<unsigned long long>(snap.evictions),
                 static_cast<unsigned long long>(snap.errors),
+                static_cast<unsigned long long>(snap.rejected),
                 snap.p50Ms, snap.p99Ms);
     if (timing)
         std::printf("%s", StageTimers::global().table().c_str());
